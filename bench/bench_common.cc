@@ -1,0 +1,251 @@
+#include "bench/bench_common.h"
+
+#include <algorithm>
+
+#include "src/meta/meta_learner.h"
+#include "src/nas/nas_search.h"
+#include "src/train/trainer.h"
+#include "src/util/logging.h"
+
+namespace alt {
+namespace bench {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "1";
+    }
+  }
+}
+
+double Flags::GetDouble(const std::string& name, double default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : std::stod(it->second);
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : std::stoll(it->second);
+}
+
+bool Flags::GetBool(const std::string& name, bool default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return it->second == "1" || it->second == "true";
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+void BenchOptions::ApplyFlags(const Flags& flags) {
+  if (flags.GetBool("full", false)) {
+    // Paper-sized sequences; still a reduced sample scale (full 5.4M-sample
+    // training is not a laptop workload).
+    seq_len = 128;
+    scale = 1.0 / 100.0;
+    epochs = 5;
+    learning_rate = 1e-3f;
+  }
+  scale = flags.GetDouble("scale", scale);
+  seq_len = flags.GetInt("seq_len", seq_len);
+  initial_count = flags.GetInt("initial", initial_count);
+  epochs = flags.GetInt("epochs", epochs);
+  learning_rate =
+      static_cast<float>(flags.GetDouble("lr", learning_rate));
+  nas_search_epochs = flags.GetInt("nas_epochs", nas_search_epochs);
+  nas_layers = flags.GetInt("nas_layers", nas_layers);
+  seed = static_cast<uint64_t>(flags.GetInt("seed", static_cast<int64_t>(seed)));
+}
+
+data::SyntheticConfig BenchOptions::MakeDataConfig() const {
+  return workload == Workload::kDatasetA
+             ? data::DatasetAConfig(scale, seq_len, min_scenario_size)
+             : data::DatasetBConfig(scale, seq_len, min_scenario_size);
+}
+
+models::ModelConfig BenchOptions::HeavyConfig(
+    models::EncoderKind kind) const {
+  const data::SyntheticConfig dc = MakeDataConfig();
+  models::ModelConfig c = models::ModelConfig::Heavy(
+      kind, dc.profile_dim, dc.seq_len, dc.vocab_size);
+  c.learning_rate = learning_rate;
+  return c;
+}
+
+models::ModelConfig BenchOptions::LightConfig(
+    models::EncoderKind kind) const {
+  const data::SyntheticConfig dc = MakeDataConfig();
+  models::ModelConfig c = models::ModelConfig::Light(
+      kind, dc.profile_dim, dc.seq_len, dc.vocab_size);
+  c.learning_rate = learning_rate;
+  return c;
+}
+
+std::vector<PreparedScenario> PrepareWorkload(const BenchOptions& options) {
+  data::SyntheticGenerator generator(options.MakeDataConfig());
+  feature::DataPreparationConfig prep;
+  prep.test_fraction = 0.2;  // Paper: 20% held out as the test set.
+  prep.seed = options.seed;
+  std::vector<PreparedScenario> scenarios;
+  for (int64_t s = 0; s < options.MakeDataConfig().num_scenarios; ++s) {
+    auto prepared =
+        feature::PrepareScenarioData(generator.GenerateScenario(s), prep);
+    ALT_CHECK(prepared.ok()) << prepared.status().ToString();
+    PreparedScenario scenario;
+    scenario.scenario_id = s;
+    scenario.train = std::move(prepared.value().train);
+    scenario.test = std::move(prepared.value().test);
+    scenarios.push_back(std::move(scenario));
+  }
+  return scenarios;
+}
+
+std::vector<int64_t> PickInitialScenarios(const BenchOptions& options,
+                                          int64_t num_scenarios,
+                                          uint64_t repeat) {
+  Rng rng(options.seed * 7 + repeat * 1009 + 3);
+  auto picks = rng.SampleWithoutReplacement(
+      static_cast<size_t>(num_scenarios),
+      static_cast<size_t>(
+          std::min<int64_t>(options.initial_count, num_scenarios)));
+  std::vector<int64_t> out(picks.begin(), picks.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+StrategyResults RunStrategies(const BenchOptions& options,
+                              const std::vector<PreparedScenario>& scenarios,
+                              const std::vector<int64_t>& initial,
+                              models::EncoderKind encoder,
+                              const StrategySet& set) {
+  StrategyResults results;
+  const models::ModelConfig heavy_config = options.HeavyConfig(encoder);
+  const models::ModelConfig light_config = options.LightConfig(encoder);
+
+  train::TrainOptions train_options;
+  train_options.epochs = options.epochs;
+  train_options.batch_size = options.batch_size;
+  train_options.learning_rate = options.learning_rate;
+  train_options.seed = options.seed;
+
+  // --- SinH: per-scenario heavy model from scratch. -----------------------
+  if (set.run_sinh) {
+    for (const PreparedScenario& s : scenarios) {
+      Rng rng(options.seed * 101 + static_cast<uint64_t>(s.scenario_id));
+      auto model = models::BuildBaseModel(heavy_config, &rng);
+      ALT_CHECK(model.ok());
+      ALT_CHECK(
+          train::TrainModel(model.value().get(), s.train, train_options)
+              .ok());
+      results.sinh.push_back(
+          train::EvaluateAuc(model.value().get(), s.test));
+    }
+  }
+
+  if (!set.run_meh && !set.run_mel && !set.run_ours) return results;
+
+  // --- Shared meta pass: initialize f0 on the initial scenarios, then for
+  // each scenario fine-tune the heavy copy (Eq. 1) with feedback (Eq. 2),
+  // which is the teacher for both light strategies. ------------------------
+  meta::MetaOptions meta_options;
+  meta_options.init_train = train_options;
+  meta_options.finetune = train_options;
+  meta_options.finetune.epochs = std::max<int64_t>(1, options.epochs / 2);
+  meta_options.seed = options.seed;
+  meta::MetaLearner learner(heavy_config, meta_options);
+  std::vector<data::ScenarioData> initial_train;
+  for (int64_t idx : initial) {
+    initial_train.push_back(scenarios[static_cast<size_t>(idx)].train);
+  }
+  ALT_CHECK(learner.Initialize(initial_train).ok());
+
+  // NAS budget: the predefined light encoder's FLOPs (Sec. V-A2: "the upper
+  // bound of the FLOPs for the searched architectures is set to be the same
+  // as the light models").
+  int64_t budget = 0;
+  {
+    Rng rng(options.seed);
+    auto light_ref = models::BuildBaseModel(light_config, &rng);
+    ALT_CHECK(light_ref.ok());
+    budget = light_ref.value()->behavior_encoder()->Flops(options.seq_len);
+  }
+
+  double heavy_flops_total = 0.0;
+  double light_flops_total = 0.0;
+  double ours_flops_total = 0.0;
+  int64_t flops_count = 0;
+
+  for (const PreparedScenario& s : scenarios) {
+    auto heavy = learner.AdaptToScenario(s.train);
+    ALT_CHECK(heavy.ok()) << heavy.status().ToString();
+    if (set.run_meh) {
+      results.meh.push_back(train::EvaluateAuc(heavy.value().get(), s.test));
+    }
+
+    if (set.run_mel) {
+      Rng rng(options.seed * 211 + static_cast<uint64_t>(s.scenario_id));
+      auto light = models::BuildBaseModel(light_config, &rng);
+      ALT_CHECK(light.ok());
+      train::TrainOptions distill_options = train_options;
+      distill_options.seed =
+          options.seed * 31 + static_cast<uint64_t>(s.scenario_id);
+      ALT_CHECK(train::TrainWithDistillation(light.value().get(),
+                                             heavy.value().get(), s.train,
+                                             /*delta=*/1.0f, distill_options)
+                    .ok());
+      results.mel.push_back(train::EvaluateAuc(light.value().get(), s.test));
+      light_flops_total +=
+          static_cast<double>(light.value()->FlopsPerSample());
+    }
+
+    if (set.run_ours) {
+      nas::NasSearchOptions nas_options;
+      nas_options.supernet.num_layers = options.nas_layers;
+      nas_options.search_epochs = options.nas_search_epochs;
+      nas_options.batch_size = options.batch_size;
+      nas_options.weight_lr = options.learning_rate;
+      nas_options.flops_budget = budget;
+      nas_options.final_train = train_options;
+      nas_options.seed =
+          options.seed * 977 + static_cast<uint64_t>(s.scenario_id);
+      nas::NasSearchReport report;
+      auto ours = nas::SearchLightModel(light_config, heavy.value().get(),
+                                        s.train, nas_options, &report);
+      ALT_CHECK(ours.ok()) << ours.status().ToString();
+      results.ours.push_back(train::EvaluateAuc(ours.value().get(), s.test));
+      results.archs.push_back(report.arch);
+      ours_flops_total +=
+          static_cast<double>(ours.value()->FlopsPerSample());
+    }
+
+    heavy_flops_total += static_cast<double>(heavy.value()->FlopsPerSample());
+    ++flops_count;
+  }
+  if (flops_count > 0) {
+    results.heavy_flops = heavy_flops_total / flops_count;
+    if (set.run_mel) results.light_flops = light_flops_total / flops_count;
+    if (set.run_ours) results.ours_flops = ours_flops_total / flops_count;
+  }
+  return results;
+}
+
+}  // namespace bench
+}  // namespace alt

@@ -1,0 +1,90 @@
+// Reproduces Fig. 10 and Table VII: the benefit of behavior sequences. A
+// profile-only "Basic" model is compared against LSTM- and BERT-based
+// models under the SinH strategy on Dataset A; the figure plots accumulated
+// AUC across scenarios, the table reports averages.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/train/trainer.h"
+#include "src/util/table_printer.h"
+
+namespace alt {
+namespace bench {
+namespace {
+
+std::vector<double> RunSinH(const BenchOptions& options,
+                            const std::vector<PreparedScenario>& scenarios,
+                            const models::ModelConfig& config) {
+  std::vector<double> aucs;
+  train::TrainOptions train_options;
+  train_options.epochs = options.epochs;
+  train_options.learning_rate = options.learning_rate;
+  for (const PreparedScenario& s : scenarios) {
+    Rng rng(options.seed * 307 + static_cast<uint64_t>(s.scenario_id));
+    auto model = models::BuildBaseModel(config, &rng);
+    ALT_CHECK(model.ok());
+    train_options.seed =
+        options.seed * 13 + static_cast<uint64_t>(s.scenario_id);
+    ALT_CHECK(
+        train::TrainModel(model.value().get(), s.train, train_options).ok());
+    aucs.push_back(train::EvaluateAuc(model.value().get(), s.test));
+  }
+  return aucs;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace alt
+
+int main(int argc, char** argv) {
+  using namespace alt;
+  bench::Flags flags(argc, argv);
+  bench::BenchOptions options;
+  options.workload = bench::Workload::kDatasetA;
+  options.ApplyFlags(flags);
+
+  std::printf("=== Fig. 10 + Table VII: value of behavior sequences ===\n\n");
+  auto scenarios = bench::PrepareWorkload(options);
+
+  models::ModelConfig basic =
+      models::ModelConfig::ProfileOnly(options.MakeDataConfig().profile_dim);
+  basic.learning_rate = options.learning_rate;
+  auto basic_auc = bench::RunSinH(options, scenarios, basic);
+  auto lstm_auc = bench::RunSinH(
+      options, scenarios, options.HeavyConfig(models::EncoderKind::kLstm));
+  auto bert_auc = bench::RunSinH(
+      options, scenarios, options.HeavyConfig(models::EncoderKind::kBert));
+
+  // Fig. 10: accumulated (running average) AUC across scenarios.
+  std::printf("Fig. 10 — accumulated AUC after k scenarios:\n");
+  TablePrinter curve({"k", "Basic", "LSTM", "BERT"});
+  double acc_basic = 0.0;
+  double acc_lstm = 0.0;
+  double acc_bert = 0.0;
+  for (size_t k = 0; k < basic_auc.size(); ++k) {
+    acc_basic += basic_auc[k];
+    acc_lstm += lstm_auc[k];
+    acc_bert += bert_auc[k];
+    const double n = static_cast<double>(k + 1);
+    curve.AddRow({std::to_string(k + 1), TablePrinter::Num(acc_basic / n),
+                  TablePrinter::Num(acc_lstm / n),
+                  TablePrinter::Num(acc_bert / n)});
+  }
+  curve.Print();
+
+  std::printf("\nTable VII — averaged AUC:\n");
+  TablePrinter table({"", "Basic", "LSTM", "BERT"});
+  table.AddRow({"AVG", TablePrinter::Num(bench::Mean(basic_auc)),
+                TablePrinter::Num(bench::Mean(lstm_auc)),
+                TablePrinter::Num(bench::Mean(bert_auc))});
+  table.Print();
+  std::printf(
+      "\nPaper Table VII reference: Basic 0.728, LSTM 0.743, BERT 0.745 "
+      "(BERT +1.70%% over Basic).\nExpected shape: sequence encoders beat "
+      "the profile-only model.\nMeasured: LSTM %+.2f%%, BERT %+.2f%% over "
+      "Basic.\n",
+      100.0 * (bench::Mean(lstm_auc) / bench::Mean(basic_auc) - 1.0),
+      100.0 * (bench::Mean(bert_auc) / bench::Mean(basic_auc) - 1.0));
+  return 0;
+}

@@ -1,0 +1,205 @@
+// Reproduces Fig. 11: the online 7-day A/B comparison on a recommendation
+// task with 34 scenarios. Policies:
+//   baseline — a per-scenario light model trained on that scenario only
+//              (the paper's expert-tuned light baselines);
+//   MeL      — meta-adapted heavy teacher distilled into the predefined
+//              light architecture;
+//   Ours     — meta-adapted heavy teacher + budget-limited NAS light model.
+// The simulator shows each policy the same daily candidate users and
+// reports CTR from the generator's ground-truth click probabilities; the
+// figure is the daily relative CTR improvement over the baseline.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/meta/meta_learner.h"
+#include "src/nas/nas_search.h"
+#include "src/serving/online_simulator.h"
+#include "src/train/trainer.h"
+#include "src/util/table_printer.h"
+
+namespace alt {
+namespace bench {
+namespace {
+
+data::SyntheticConfig RecommendationConfig(const BenchOptions& options,
+                                           int64_t num_scenarios) {
+  data::SyntheticConfig config;
+  config.num_scenarios = num_scenarios;
+  config.profile_dim = 32;
+  config.seq_len = options.seq_len;
+  // Same signal profile as the dataset presets: behavior sequences carry a
+  // learnable share of the click signal.
+  config.vocab_size = 30;
+  config.seq_signal = 2.0;
+  config.motif_signal = 1.5;
+  config.num_motifs = 6;
+  config.seed = options.seed * 3 + 2024;
+  config.scenario_sizes.clear();
+  // Long-tail sizes from ~1400 down to ~150.
+  for (int64_t s = 0; s < num_scenarios; ++s) {
+    config.scenario_sizes.push_back(
+        std::max<int64_t>(150, static_cast<int64_t>(1400.0 /
+                                                    (1.0 + 0.35 * s))));
+  }
+  return config;
+}
+
+serving::ScoringFn PolicyFor(models::BaseModel* model) {
+  return [model](const data::ScenarioData& candidates) {
+    return train::Predict(model, candidates);
+  };
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace alt
+
+int main(int argc, char** argv) {
+  using namespace alt;
+  bench::Flags flags(argc, argv);
+  bench::BenchOptions options;
+  // 34 scenarios x 3 policies is the most training-heavy bench; slightly
+  // shorter per-scenario budgets keep the default run tractable.
+  options.epochs = 3;
+  options.nas_search_epochs = 2;
+  options.ApplyFlags(flags);
+  const int64_t num_scenarios = flags.GetInt("scenarios", 34);
+  const int64_t days = flags.GetInt("days", 7);
+
+  std::printf("=== Fig. 11: online CTR improvement over %lld days, %lld "
+              "scenarios ===\n\n",
+              static_cast<long long>(days),
+              static_cast<long long>(num_scenarios));
+
+  data::SyntheticConfig dc =
+      bench::RecommendationConfig(options, num_scenarios);
+  data::SyntheticGenerator generator(dc);
+
+  models::ModelConfig heavy_config = models::ModelConfig::Heavy(
+      models::EncoderKind::kLstm, dc.profile_dim, dc.seq_len, dc.vocab_size);
+  heavy_config.learning_rate = options.learning_rate;
+  models::ModelConfig light_config = models::ModelConfig::Light(
+      models::EncoderKind::kLstm, dc.profile_dim, dc.seq_len, dc.vocab_size);
+  light_config.learning_rate = options.learning_rate;
+
+  // Meta learner over the first 8 scenarios (the platform's history).
+  meta::MetaOptions meta_options;
+  meta_options.init_train.epochs = options.epochs;
+  meta_options.init_train.learning_rate = options.learning_rate;
+  meta_options.finetune.epochs = std::max<int64_t>(1, options.epochs / 2);
+  meta_options.finetune.learning_rate = options.learning_rate;
+  meta_options.seed = options.seed;
+  meta::MetaLearner learner(heavy_config, meta_options);
+  std::vector<data::ScenarioData> initial;
+  for (int64_t s = 0; s < std::min<int64_t>(8, num_scenarios); ++s) {
+    initial.push_back(generator.GenerateScenario(s));
+  }
+  ALT_CHECK(learner.Initialize(initial).ok());
+
+  Rng rng(options.seed);
+  auto light_ref = models::BuildBaseModel(light_config, &rng);
+  const int64_t budget =
+      light_ref.value()->behavior_encoder()->Flops(dc.seq_len);
+
+  serving::OnlineSimOptions sim;
+  sim.days = days;
+  sim.users_per_day = flags.GetInt("users_per_day", 200);
+  sim.top_k = flags.GetInt("top_k", 20);
+  sim.seed = options.seed;
+
+  std::vector<double> base_daily(static_cast<size_t>(days), 0.0);
+  std::vector<double> mel_daily(static_cast<size_t>(days), 0.0);
+  std::vector<double> ours_daily(static_cast<size_t>(days), 0.0);
+
+  train::TrainOptions train_options;
+  train_options.epochs = options.epochs;
+  train_options.learning_rate = options.learning_rate;
+
+  for (int64_t s = 0; s < num_scenarios; ++s) {
+    data::ScenarioData scenario_train = generator.GenerateScenario(s);
+
+    // Baseline: scenario-only model with an even lighter architecture
+    // (the paper's baselines use lighter models to meet the latency
+    // budget without knowledge sharing).
+    models::ModelConfig baseline_config = light_config;
+    baseline_config.encoder_layers = 1;
+    Rng base_rng(options.seed * 71 + static_cast<uint64_t>(s));
+    auto baseline = models::BuildBaseModel(baseline_config, &base_rng);
+    ALT_CHECK(baseline.ok());
+    train_options.seed = options.seed * 3 + static_cast<uint64_t>(s);
+    ALT_CHECK(train::TrainModel(baseline.value().get(), scenario_train,
+                                train_options)
+                  .ok());
+
+    // Meta-adapted heavy teacher.
+    auto heavy = learner.AdaptToScenario(scenario_train);
+    ALT_CHECK(heavy.ok());
+
+    // MeL: predefined light distilled from the teacher.
+    Rng mel_rng(options.seed * 73 + static_cast<uint64_t>(s));
+    auto mel = models::BuildBaseModel(light_config, &mel_rng);
+    ALT_CHECK(mel.ok());
+    ALT_CHECK(train::TrainWithDistillation(mel.value().get(),
+                                           heavy.value().get(),
+                                           scenario_train, 1.0f,
+                                           train_options)
+                  .ok());
+
+    // Ours: budget-limited NAS + distillation.
+    nas::NasSearchOptions nas_options;
+    nas_options.supernet.num_layers = options.nas_layers;
+    nas_options.search_epochs = options.nas_search_epochs;
+    nas_options.weight_lr = options.learning_rate;
+    nas_options.flops_budget = budget;
+    nas_options.final_train = train_options;
+    nas_options.seed = options.seed * 79 + static_cast<uint64_t>(s);
+    auto ours = nas::SearchLightModel(light_config, heavy.value().get(),
+                                      scenario_train, nas_options, nullptr);
+    ALT_CHECK(ours.ok()) << ours.status().ToString();
+
+    for (auto [model, daily] :
+         {std::pair{baseline.value().get(), &base_daily},
+          std::pair{mel.value().get(), &mel_daily},
+          std::pair{ours.value().get(), &ours_daily}}) {
+      auto series = serving::RunOnlineSimulation(
+          generator, s, bench::PolicyFor(model), sim);
+      ALT_CHECK(series.ok());
+      for (int64_t d = 0; d < days; ++d) {
+        (*daily)[static_cast<size_t>(d)] +=
+            series.value().daily_ctr[static_cast<size_t>(d)];
+      }
+    }
+    if ((s + 1) % 10 == 0) {
+      std::printf("... %lld/%lld scenarios simulated\n",
+                  static_cast<long long>(s + 1),
+                  static_cast<long long>(num_scenarios));
+    }
+  }
+
+  TablePrinter table({"day", "baseline CTR", "MeL CTR", "Ours CTR",
+                      "MeL impr %", "Ours impr %"});
+  double mel_total = 0.0;
+  double ours_total = 0.0;
+  for (int64_t d = 0; d < days; ++d) {
+    const double base = base_daily[static_cast<size_t>(d)] / num_scenarios;
+    const double mel = mel_daily[static_cast<size_t>(d)] / num_scenarios;
+    const double ours = ours_daily[static_cast<size_t>(d)] / num_scenarios;
+    const double mel_impr = 100.0 * (mel / base - 1.0);
+    const double ours_impr = 100.0 * (ours / base - 1.0);
+    mel_total += mel_impr;
+    ours_total += ours_impr;
+    table.AddRow({std::to_string(d + 1), TablePrinter::Num(base, 4),
+                  TablePrinter::Num(mel, 4), TablePrinter::Num(ours, 4),
+                  TablePrinter::Num(mel_impr, 2),
+                  TablePrinter::Num(ours_impr, 2)});
+  }
+  table.Print();
+  std::printf(
+      "\nMean relative improvement: MeL %+.2f%%, Ours %+.2f%%\n"
+      "Paper Fig. 11 reference: MeL +3.80%%, Ours +10.49%% (7-day average "
+      "over 34 scenarios).\nExpected shape: Ours > MeL > baseline on every "
+      "day.\n",
+      mel_total / days, ours_total / days);
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Reproduces Fig. 9: the architectures searched by the budget-limited NAS
+// for a large-sample scenario (Dataset A scenario 4) and a small-sample
+// scenario (scenario 15). The paper observes that the large scenario gets a
+// more complicated architecture (larger filters, more parameters).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/meta/meta_learner.h"
+#include "src/nas/derived_encoder.h"
+#include "src/nas/nas_search.h"
+#include "src/train/trainer.h"
+
+namespace alt {
+namespace bench {
+namespace {
+
+int64_t CountParameters(const nas::Architecture& arch) {
+  Rng rng(1);
+  nas::DerivedNasEncoder encoder(arch, &rng);
+  return encoder.NumParameters();
+}
+
+double AverageKernel(const nas::Architecture& arch) {
+  int64_t total = 0;
+  int64_t count = 0;
+  for (const nas::LayerSpec& layer : arch.layers) {
+    if (layer.op.kernel > 0) {
+      total += layer.op.kernel;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : static_cast<double>(total) / count;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace alt
+
+int main(int argc, char** argv) {
+  using namespace alt;
+  bench::Flags flags(argc, argv);
+  bench::BenchOptions options;
+  options.workload = bench::Workload::kDatasetA;
+  options.ApplyFlags(flags);
+
+  std::printf("=== Fig. 9: searched architectures (Dataset A) ===\n\n");
+  auto scenarios = bench::PrepareWorkload(options);
+
+  // Train a teacher from pooled initial scenarios so the search follows the
+  // system pipeline (heavy teacher -> budget-limited NAS + distillation).
+  auto initial = bench::PickInitialScenarios(
+      options, static_cast<int64_t>(scenarios.size()));
+  meta::MetaOptions meta_options;
+  meta_options.init_train.epochs = options.epochs;
+  meta_options.init_train.learning_rate = options.learning_rate;
+  meta_options.seed = options.seed;
+  meta::MetaLearner learner(
+      options.HeavyConfig(models::EncoderKind::kLstm), meta_options);
+  std::vector<data::ScenarioData> initial_train;
+  for (int64_t idx : initial) {
+    initial_train.push_back(scenarios[static_cast<size_t>(idx)].train);
+  }
+  ALT_CHECK(learner.Initialize(initial_train).ok());
+
+  Rng rng(options.seed);
+  auto light_ref = models::BuildBaseModel(
+      options.LightConfig(models::EncoderKind::kLstm), &rng);
+  const int64_t budget =
+      light_ref.value()->behavior_encoder()->Flops(options.seq_len);
+
+  // Paper Fig. 9: scenario 4 (large, 875k samples) vs 15 (small, 47k).
+  nas::Architecture arch_large;
+  nas::Architecture arch_small;
+  for (const auto& [label, index, out] :
+       {std::tuple{"Scenario 4 (large sample size)", size_t{3}, &arch_large},
+        std::tuple{"Scenario 15 (small sample size)", size_t{14},
+                   &arch_small}}) {
+    const bench::PreparedScenario& scenario = scenarios[index];
+    auto teacher = learner.AdaptToScenario(scenario.train);
+    ALT_CHECK(teacher.ok());
+    nas::NasSearchOptions nas_options;
+    nas_options.supernet.num_layers = options.nas_layers;
+    nas_options.search_epochs = options.nas_search_epochs;
+    nas_options.weight_lr = options.learning_rate;
+    nas_options.flops_budget = budget;
+    nas_options.final_train.epochs = options.epochs;
+    nas_options.final_train.learning_rate = options.learning_rate;
+    nas_options.seed = options.seed + index;
+    nas::NasSearchReport report;
+    auto model =
+        nas::SearchLightModel(options.LightConfig(models::EncoderKind::kLstm),
+                              teacher.value().get(), scenario.train,
+                              nas_options, &report);
+    ALT_CHECK(model.ok()) << model.status().ToString();
+    *out = report.arch;
+    std::printf("--- %s (train n=%lld) ---\n%s", label,
+                static_cast<long long>(scenario.train.num_samples()),
+                report.arch.ToString().c_str());
+    std::printf("encoder FLOPs: %lld (budget %lld)  parameters: %lld  "
+                "avg kernel: %.2f  test AUC: %.3f\n\n",
+                static_cast<long long>(report.arch.Flops(options.seq_len)),
+                static_cast<long long>(budget),
+                static_cast<long long>(bench::CountParameters(report.arch)),
+                bench::AverageKernel(report.arch),
+                train::EvaluateAuc(model.value().get(), scenario.test));
+    std::printf("JSON: %s\n\n", report.arch.ToJson().Dump().c_str());
+  }
+  std::printf(
+      "Paper's observation: the large-sample architecture is more complex\n"
+      "(bigger average filter size, more trainable parameters) than the\n"
+      "small-sample one. Measured: params %lld vs %lld, avg kernel %.2f vs "
+      "%.2f.\n",
+      static_cast<long long>(bench::CountParameters(arch_large)),
+      static_cast<long long>(bench::CountParameters(arch_small)),
+      bench::AverageKernel(arch_large), bench::AverageKernel(arch_small));
+  return 0;
+}

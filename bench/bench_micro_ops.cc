@@ -1,0 +1,121 @@
+// Micro-benchmarks (google-benchmark) of the compute substrate: raw
+// kernels, layer forwards, and end-to-end single-sample inference for the
+// heavy / light model presets. These support Table V's latency numbers with
+// kernel-level context.
+
+#include <benchmark/benchmark.h>
+
+#include "src/data/synthetic.h"
+#include "src/models/base_model.h"
+#include "src/nn/attention.h"
+#include "src/nn/lstm.h"
+#include "src/tensor/kernels.h"
+
+namespace alt {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, &rng);
+  Tensor b = Tensor::Randn({n, n}, &rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    MatMul(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_Conv1D(benchmark::State& state) {
+  const int64_t kernel = state.range(0);
+  Rng rng(2);
+  Tensor input = Tensor::Randn({1, 128, 15}, &rng);
+  Tensor weight = Tensor::Randn({15, kernel, 15}, &rng);
+  Tensor bias = Tensor::Randn({15}, &rng);
+  Tensor out({1, 128, 15});
+  for (auto _ : state) {
+    Conv1D(input, weight, &bias, /*dilation=*/1, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_Conv1D)->Arg(1)->Arg(3)->Arg(7);
+
+void BM_LstmForward(benchmark::State& state) {
+  const int64_t seq_len = state.range(0);
+  Rng rng(3);
+  nn::Lstm lstm(15, 15, 1, &rng);
+  lstm.SetTraining(false);
+  Tensor x = Tensor::Randn({1, seq_len, 15}, &rng);
+  for (auto _ : state) {
+    ag::Variable out = lstm.Forward(ag::Variable::Constant(x));
+    benchmark::DoNotOptimize(out.value().data());
+  }
+}
+BENCHMARK(BM_LstmForward)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_AttentionForward(benchmark::State& state) {
+  const int64_t seq_len = state.range(0);
+  Rng rng(4);
+  nn::MultiHeadSelfAttention mha(15, 3, &rng);
+  mha.SetTraining(false);
+  Tensor x = Tensor::Randn({1, seq_len, 15}, &rng);
+  for (auto _ : state) {
+    ag::Variable out = mha.Forward(ag::Variable::Constant(x));
+    benchmark::DoNotOptimize(out.value().data());
+  }
+}
+BENCHMARK(BM_AttentionForward)->Arg(16)->Arg(64)->Arg(128);
+
+data::Batch OneSample(int64_t profile_dim, int64_t seq_len, int64_t vocab) {
+  Rng rng(5);
+  data::Batch batch;
+  batch.batch_size = 1;
+  batch.seq_len = seq_len;
+  batch.profiles = Tensor::Randn({1, profile_dim}, &rng);
+  batch.behaviors.resize(static_cast<size_t>(seq_len));
+  for (auto& id : batch.behaviors) id = rng.UniformInt(0, vocab - 1);
+  batch.labels = Tensor({1, 1});
+  return batch;
+}
+
+void ModelInference(benchmark::State& state, models::EncoderKind kind,
+                    bool heavy) {
+  const int64_t seq_len = state.range(0);
+  Rng rng(6);
+  models::ModelConfig config =
+      heavy ? models::ModelConfig::Heavy(kind, 69, seq_len, 40)
+            : models::ModelConfig::Light(kind, 69, seq_len, 40);
+  auto model = models::BuildBaseModel(config, &rng);
+  ALT_CHECK(model.ok());
+  data::Batch batch = OneSample(69, seq_len, 40);
+  for (auto _ : state) {
+    auto probs = model.value()->PredictProbs(batch);
+    benchmark::DoNotOptimize(probs.data());
+  }
+  state.counters["flops"] =
+      static_cast<double>(model.value()->FlopsPerSample());
+}
+
+void BM_HeavyLstmInference(benchmark::State& state) {
+  ModelInference(state, models::EncoderKind::kLstm, /*heavy=*/true);
+}
+void BM_LightLstmInference(benchmark::State& state) {
+  ModelInference(state, models::EncoderKind::kLstm, /*heavy=*/false);
+}
+void BM_HeavyBertInference(benchmark::State& state) {
+  ModelInference(state, models::EncoderKind::kBert, /*heavy=*/true);
+}
+void BM_LightBertInference(benchmark::State& state) {
+  ModelInference(state, models::EncoderKind::kBert, /*heavy=*/false);
+}
+BENCHMARK(BM_HeavyLstmInference)->Arg(16)->Arg(128);
+BENCHMARK(BM_LightLstmInference)->Arg(16)->Arg(128);
+BENCHMARK(BM_HeavyBertInference)->Arg(16)->Arg(128);
+BENCHMARK(BM_LightBertInference)->Arg(16)->Arg(128);
+
+}  // namespace
+}  // namespace alt
+
+BENCHMARK_MAIN();

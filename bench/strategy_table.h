@@ -1,0 +1,58 @@
+#ifndef ALT_BENCH_STRATEGY_TABLE_H_
+#define ALT_BENCH_STRATEGY_TABLE_H_
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "src/util/table_printer.h"
+
+namespace alt {
+namespace bench {
+
+/// Renders a Table III/IV-style AUC comparison for both encoder families.
+inline void PrintStrategyTable(const StrategyResults& lstm,
+                               const StrategyResults& bert) {
+  TablePrinter table({"ID", "SinH(L)", "MeH(L)", "MeL(L)", "Ours(L)",
+                      "SinH(B)", "MeH(B)", "MeL(B)", "Ours(B)"});
+  const size_t n = lstm.sinh.size();
+  for (size_t i = 0; i < n; ++i) {
+    table.AddRow({std::to_string(i + 1), TablePrinter::Num(lstm.sinh[i]),
+                  TablePrinter::Num(lstm.meh[i]),
+                  TablePrinter::Num(lstm.mel[i]),
+                  TablePrinter::Num(lstm.ours[i]),
+                  TablePrinter::Num(bert.sinh[i]),
+                  TablePrinter::Num(bert.meh[i]),
+                  TablePrinter::Num(bert.mel[i]),
+                  TablePrinter::Num(bert.ours[i])});
+  }
+  table.AddRow({"AVG", TablePrinter::Num(Mean(lstm.sinh)),
+                TablePrinter::Num(Mean(lstm.meh)),
+                TablePrinter::Num(Mean(lstm.mel)),
+                TablePrinter::Num(Mean(lstm.ours)),
+                TablePrinter::Num(Mean(bert.sinh)),
+                TablePrinter::Num(Mean(bert.meh)),
+                TablePrinter::Num(Mean(bert.mel)),
+                TablePrinter::Num(Mean(bert.ours))});
+  table.Print();
+}
+
+/// Checks and narrates the expected qualitative shape: MeH >= SinH (transfer
+/// helps), Ours ~ MeH and Ours > MeL (NAS light competitive with heavy,
+/// better than predefined light).
+inline void PrintShapeSummary(const char* name, const StrategyResults& r) {
+  const double sinh = Mean(r.sinh);
+  const double meh = Mean(r.meh);
+  const double mel = Mean(r.mel);
+  const double ours = Mean(r.ours);
+  std::printf(
+      "[%s] AVG  SinH=%.3f  MeH=%.3f  MeL=%.3f  Ours=%.3f\n"
+      "  shape: MeH-SinH=%+.3f (paper: positive)  Ours-MeL=%+.3f (paper: "
+      "positive)  MeH-Ours=%+.3f (paper: small positive)\n",
+      name, sinh, meh, mel, ours, meh - sinh, ours - mel, meh - ours);
+}
+
+}  // namespace bench
+}  // namespace alt
+
+#endif  // ALT_BENCH_STRATEGY_TABLE_H_

@@ -1,0 +1,781 @@
+#include "src/autograd/ops.h"
+
+#include <cmath>
+
+#include "src/tensor/kernels.h"
+#include "src/util/logging.h"
+
+namespace alt {
+namespace ag {
+
+namespace {
+
+constexpr float kInvSqrt2 = 0.7071067811865476f;
+constexpr float kInvSqrt2Pi = 0.3989422804014327f;
+
+void CheckSameShape(const Variable& a, const Variable& b) {
+  ALT_CHECK(a.value().SameShape(b.value()))
+      << ShapeToString(a.value().shape()) << " vs "
+      << ShapeToString(b.value().shape());
+}
+
+/// Elementwise unary op helper: out = f(x), dx += dOut * dfdx(x, out).
+template <typename FwdFn, typename GradFn>
+Variable UnaryElementwise(const Variable& x, FwdFn fwd, GradFn dfdx) {
+  Tensor out(x.value().shape());
+  const Tensor& xv = x.value();
+  for (int64_t i = 0; i < xv.numel(); ++i) out[i] = fwd(xv[i]);
+  auto xn = x.node();
+  return MakeOpNode(std::move(out), {xn}, [xn, dfdx](Node* self) {
+    if (!xn->requires_grad) return;
+    xn->EnsureGrad();
+    for (int64_t i = 0; i < self->value.numel(); ++i) {
+      xn->grad[i] += self->grad[i] * dfdx(xn->value[i], self->value[i]);
+    }
+  });
+}
+
+}  // namespace
+
+Variable Add(const Variable& a, const Variable& b) {
+  CheckSameShape(a, b);
+  Tensor out = a.value();
+  out.AddInPlace(b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeOpNode(std::move(out), {an, bn}, [an, bn](Node* self) {
+    for (auto& p : {an, bn}) {
+      if (p->requires_grad) {
+        p->EnsureGrad();
+        p->grad.AddInPlace(self->grad);
+      }
+    }
+  });
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  CheckSameShape(a, b);
+  Tensor out = a.value();
+  out.Axpy(-1.0f, b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeOpNode(std::move(out), {an, bn}, [an, bn](Node* self) {
+    if (an->requires_grad) {
+      an->EnsureGrad();
+      an->grad.AddInPlace(self->grad);
+    }
+    if (bn->requires_grad) {
+      bn->EnsureGrad();
+      bn->grad.Axpy(-1.0f, self->grad);
+    }
+  });
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  CheckSameShape(a, b);
+  Tensor out(a.value().shape());
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    out[i] = a.value()[i] * b.value()[i];
+  }
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeOpNode(std::move(out), {an, bn}, [an, bn](Node* self) {
+    if (an->requires_grad) {
+      an->EnsureGrad();
+      for (int64_t i = 0; i < self->grad.numel(); ++i) {
+        an->grad[i] += self->grad[i] * bn->value[i];
+      }
+    }
+    if (bn->requires_grad) {
+      bn->EnsureGrad();
+      for (int64_t i = 0; i < self->grad.numel(); ++i) {
+        bn->grad[i] += self->grad[i] * an->value[i];
+      }
+    }
+  });
+}
+
+Variable Neg(const Variable& x) { return ScalarMul(x, -1.0f); }
+
+Variable ScalarMul(const Variable& x, float c) {
+  Tensor out = x.value();
+  out.ScaleInPlace(c);
+  auto xn = x.node();
+  return MakeOpNode(std::move(out), {xn}, [xn, c](Node* self) {
+    if (!xn->requires_grad) return;
+    xn->EnsureGrad();
+    xn->grad.Axpy(c, self->grad);
+  });
+}
+
+Variable ScalarAdd(const Variable& x, float c) {
+  Tensor out = x.value();
+  for (int64_t i = 0; i < out.numel(); ++i) out[i] += c;
+  auto xn = x.node();
+  return MakeOpNode(std::move(out), {xn}, [xn](Node* self) {
+    if (!xn->requires_grad) return;
+    xn->EnsureGrad();
+    xn->grad.AddInPlace(self->grad);
+  });
+}
+
+Variable AddBias(const Variable& x, const Variable& bias) {
+  ALT_CHECK_EQ(bias.value().ndim(), 1);
+  const int64_t f = bias.value().size(0);
+  ALT_CHECK_EQ(x.value().size(x.value().ndim() - 1), f);
+  Tensor out = x.value();
+  const int64_t rows = out.numel() / f;
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = out.data() + r * f;
+    for (int64_t j = 0; j < f; ++j) row[j] += bias.value()[j];
+  }
+  auto xn = x.node();
+  auto bn = bias.node();
+  return MakeOpNode(std::move(out), {xn, bn}, [xn, bn, f](Node* self) {
+    if (xn->requires_grad) {
+      xn->EnsureGrad();
+      xn->grad.AddInPlace(self->grad);
+    }
+    if (bn->requires_grad) {
+      bn->EnsureGrad();
+      const int64_t rows = self->grad.numel() / f;
+      for (int64_t r = 0; r < rows; ++r) {
+        const float* row = self->grad.data() + r * f;
+        for (int64_t j = 0; j < f; ++j) bn->grad[j] += row[j];
+      }
+    }
+  });
+}
+
+Variable MulScalarVar(const Variable& x, const Variable& s) {
+  ALT_CHECK_EQ(s.value().numel(), 1);
+  const float sv = s.value()[0];
+  Tensor out = x.value();
+  out.ScaleInPlace(sv);
+  auto xn = x.node();
+  auto sn = s.node();
+  return MakeOpNode(std::move(out), {xn, sn}, [xn, sn](Node* self) {
+    const float sv = sn->value[0];
+    if (xn->requires_grad) {
+      xn->EnsureGrad();
+      xn->grad.Axpy(sv, self->grad);
+    }
+    if (sn->requires_grad) {
+      sn->EnsureGrad();
+      double acc = 0.0;
+      for (int64_t i = 0; i < self->grad.numel(); ++i) {
+        acc += static_cast<double>(self->grad[i]) * xn->value[i];
+      }
+      sn->grad[0] += static_cast<float>(acc);
+    }
+  });
+}
+
+Variable Detach(const Variable& x) { return Variable::Constant(x.value()); }
+
+Variable IndexSelect(const Variable& v, int64_t index) {
+  ALT_CHECK_EQ(v.value().ndim(), 1);
+  ALT_CHECK_GE(index, 0);
+  ALT_CHECK_LT(index, v.value().numel());
+  Tensor out = Tensor::Scalar(v.value()[index]);
+  auto vn = v.node();
+  return MakeOpNode(std::move(out), {vn}, [vn, index](Node* self) {
+    if (!vn->requires_grad) return;
+    vn->EnsureGrad();
+    vn->grad[index] += self->grad[0];
+  });
+}
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  ALT_CHECK_EQ(a.value().ndim(), 2);
+  ALT_CHECK_EQ(b.value().ndim(), 2);
+  ALT_CHECK_EQ(a.value().size(1), b.value().size(0));
+  Tensor out({a.value().size(0), b.value().size(1)});
+  alt::MatMul(a.value(), b.value(), &out);
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeOpNode(std::move(out), {an, bn}, [an, bn](Node* self) {
+    // dA += dC * B^T ; dB += A^T * dC.
+    if (an->requires_grad) {
+      an->EnsureGrad();
+      MatMulTransBAcc(self->grad, bn->value, &an->grad);
+    }
+    if (bn->requires_grad) {
+      bn->EnsureGrad();
+      MatMulTransAAcc(an->value, self->grad, &bn->grad);
+    }
+  });
+}
+
+Variable BatchedMatMul(const Variable& a, const Variable& b, bool trans_a,
+                       bool trans_b) {
+  ALT_CHECK_EQ(a.value().ndim(), 3);
+  ALT_CHECK_EQ(b.value().ndim(), 3);
+  const int64_t batch = a.value().size(0);
+  const int64_t m = trans_a ? a.value().size(2) : a.value().size(1);
+  const int64_t n = trans_b ? b.value().size(1) : b.value().size(2);
+  Tensor out({batch, m, n});
+  alt::BatchedMatMul(a.value(), trans_a, b.value(), trans_b, &out,
+                     /*accumulate=*/false);
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeOpNode(
+      std::move(out), {an, bn}, [an, bn, trans_a, trans_b](Node* self) {
+        // For C = opA(A) opB(B):
+        //   no transposes: dA += dC B^T,  dB += A^T dC
+        //   trans_a:       dA += B dC^T,  dB += A dC
+        //   trans_b:       dA += dC B,    dB += dC^T A
+        //   both:          dA += B^T dC^T, dB += dC^T A^T
+        if (an->requires_grad) {
+          an->EnsureGrad();
+          if (!trans_a && !trans_b) {
+            alt::BatchedMatMul(self->grad, false, bn->value, true, &an->grad,
+                               true);
+          } else if (trans_a && !trans_b) {
+            alt::BatchedMatMul(bn->value, false, self->grad, true, &an->grad,
+                               true);
+          } else if (!trans_a && trans_b) {
+            alt::BatchedMatMul(self->grad, false, bn->value, false, &an->grad,
+                               true);
+          } else {
+            alt::BatchedMatMul(bn->value, true, self->grad, true, &an->grad,
+                               true);
+          }
+        }
+        if (bn->requires_grad) {
+          bn->EnsureGrad();
+          if (!trans_a && !trans_b) {
+            alt::BatchedMatMul(an->value, true, self->grad, false, &bn->grad,
+                               true);
+          } else if (trans_a && !trans_b) {
+            alt::BatchedMatMul(an->value, false, self->grad, false, &bn->grad,
+                               true);
+          } else if (!trans_a && trans_b) {
+            alt::BatchedMatMul(self->grad, true, an->value, false, &bn->grad,
+                               true);
+          } else {
+            alt::BatchedMatMul(self->grad, true, an->value, true, &bn->grad,
+                               true);
+          }
+        }
+      });
+}
+
+Variable Reshape(const Variable& x, std::vector<int64_t> shape) {
+  Tensor out = x.value().Reshape(shape);
+  auto xn = x.node();
+  return MakeOpNode(std::move(out), {xn}, [xn](Node* self) {
+    if (!xn->requires_grad) return;
+    xn->EnsureGrad();
+    // Grad has the reshaped shape; data layout is identical.
+    for (int64_t i = 0; i < self->grad.numel(); ++i) {
+      xn->grad[i] += self->grad[i];
+    }
+  });
+}
+
+Variable SliceLastDim(const Variable& x, int64_t start, int64_t len) {
+  const Tensor& xv = x.value();
+  const int64_t f = xv.size(xv.ndim() - 1);
+  ALT_CHECK_GE(start, 0);
+  ALT_CHECK_LE(start + len, f);
+  std::vector<int64_t> out_shape = xv.shape();
+  out_shape.back() = len;
+  Tensor out(out_shape);
+  const int64_t rows = xv.numel() / f;
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* src = xv.data() + r * f + start;
+    float* dst = out.data() + r * len;
+    for (int64_t j = 0; j < len; ++j) dst[j] = src[j];
+  }
+  auto xn = x.node();
+  return MakeOpNode(std::move(out), {xn}, [xn, start, len, f](Node* self) {
+    if (!xn->requires_grad) return;
+    xn->EnsureGrad();
+    const int64_t rows = self->grad.numel() / len;
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* src = self->grad.data() + r * len;
+      float* dst = xn->grad.data() + r * f + start;
+      for (int64_t j = 0; j < len; ++j) dst[j] += src[j];
+    }
+  });
+}
+
+Variable ConcatLastDim(const std::vector<Variable>& xs) {
+  ALT_CHECK(!xs.empty());
+  const Tensor& first = xs[0].value();
+  std::vector<int64_t> lens;
+  int64_t total = 0;
+  for (const Variable& x : xs) {
+    const Tensor& v = x.value();
+    ALT_CHECK_EQ(v.ndim(), first.ndim());
+    for (int64_t d = 0; d + 1 < v.ndim(); ++d) {
+      ALT_CHECK_EQ(v.size(d), first.size(d));
+    }
+    lens.push_back(v.size(v.ndim() - 1));
+    total += lens.back();
+  }
+  std::vector<int64_t> out_shape = first.shape();
+  out_shape.back() = total;
+  Tensor out(out_shape);
+  const int64_t rows = out.numel() / total;
+  int64_t offset = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const Tensor& v = xs[i].value();
+    const int64_t len = lens[i];
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* src = v.data() + r * len;
+      float* dst = out.data() + r * total + offset;
+      for (int64_t j = 0; j < len; ++j) dst[j] = src[j];
+    }
+    offset += len;
+  }
+  std::vector<std::shared_ptr<Node>> parents;
+  parents.reserve(xs.size());
+  for (const Variable& x : xs) parents.push_back(x.node());
+  return MakeOpNode(
+      std::move(out), std::move(parents), [lens, total](Node* self) {
+        const int64_t rows = self->grad.numel() / total;
+        int64_t offset = 0;
+        for (size_t i = 0; i < self->parents.size(); ++i) {
+          Node* p = self->parents[i].get();
+          const int64_t len = lens[i];
+          if (p->requires_grad) {
+            p->EnsureGrad();
+            for (int64_t r = 0; r < rows; ++r) {
+              const float* src = self->grad.data() + r * total + offset;
+              float* dst = p->grad.data() + r * len;
+              for (int64_t j = 0; j < len; ++j) dst[j] += src[j];
+            }
+          }
+          offset += len;
+        }
+      });
+}
+
+Variable SelectTime(const Variable& x, int64_t t) {
+  const Tensor& xv = x.value();
+  ALT_CHECK_EQ(xv.ndim(), 3);
+  const int64_t batch = xv.size(0);
+  const int64_t seq = xv.size(1);
+  const int64_t c = xv.size(2);
+  ALT_CHECK_GE(t, 0);
+  ALT_CHECK_LT(t, seq);
+  Tensor out({batch, c});
+  for (int64_t b = 0; b < batch; ++b) {
+    const float* src = xv.data() + (b * seq + t) * c;
+    float* dst = out.data() + b * c;
+    for (int64_t j = 0; j < c; ++j) dst[j] = src[j];
+  }
+  auto xn = x.node();
+  return MakeOpNode(std::move(out), {xn}, [xn, t, seq, c](Node* self) {
+    if (!xn->requires_grad) return;
+    xn->EnsureGrad();
+    const int64_t batch = self->grad.size(0);
+    for (int64_t b = 0; b < batch; ++b) {
+      const float* src = self->grad.data() + b * c;
+      float* dst = xn->grad.data() + (b * seq + t) * c;
+      for (int64_t j = 0; j < c; ++j) dst[j] += src[j];
+    }
+  });
+}
+
+Variable StackTime(const std::vector<Variable>& xs) {
+  ALT_CHECK(!xs.empty());
+  const Tensor& first = xs[0].value();
+  ALT_CHECK_EQ(first.ndim(), 2);
+  const int64_t batch = first.size(0);
+  const int64_t c = first.size(1);
+  const int64_t seq = static_cast<int64_t>(xs.size());
+  Tensor out({batch, seq, c});
+  for (int64_t t = 0; t < seq; ++t) {
+    const Tensor& v = xs[static_cast<size_t>(t)].value();
+    ALT_CHECK(v.SameShape(first));
+    for (int64_t b = 0; b < batch; ++b) {
+      const float* src = v.data() + b * c;
+      float* dst = out.data() + (b * seq + t) * c;
+      for (int64_t j = 0; j < c; ++j) dst[j] = src[j];
+    }
+  }
+  std::vector<std::shared_ptr<Node>> parents;
+  parents.reserve(xs.size());
+  for (const Variable& x : xs) parents.push_back(x.node());
+  return MakeOpNode(
+      std::move(out), std::move(parents), [batch, seq, c](Node* self) {
+        for (int64_t t = 0; t < seq; ++t) {
+          Node* p = self->parents[static_cast<size_t>(t)].get();
+          if (!p->requires_grad) continue;
+          p->EnsureGrad();
+          for (int64_t b = 0; b < batch; ++b) {
+            const float* src = self->grad.data() + (b * seq + t) * c;
+            float* dst = p->grad.data() + b * c;
+            for (int64_t j = 0; j < c; ++j) dst[j] += src[j];
+          }
+        }
+      });
+}
+
+Variable Sigmoid(const Variable& x) {
+  return UnaryElementwise(
+      x,
+      [](float v) {
+        return v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
+                         : std::exp(v) / (1.0f + std::exp(v));
+      },
+      [](float /*xv*/, float yv) { return yv * (1.0f - yv); });
+}
+
+Variable Tanh(const Variable& x) {
+  return UnaryElementwise(
+      x, [](float v) { return std::tanh(v); },
+      [](float /*xv*/, float yv) { return 1.0f - yv * yv; });
+}
+
+Variable Relu(const Variable& x) {
+  return UnaryElementwise(
+      x, [](float v) { return v > 0.0f ? v : 0.0f; },
+      [](float xv, float /*yv*/) { return xv > 0.0f ? 1.0f : 0.0f; });
+}
+
+Variable Gelu(const Variable& x) {
+  return UnaryElementwise(
+      x,
+      [](float v) {
+        return 0.5f * v * (1.0f + std::erf(v * kInvSqrt2));
+      },
+      [](float xv, float /*yv*/) {
+        const float phi = kInvSqrt2Pi * std::exp(-0.5f * xv * xv);
+        const float cdf = 0.5f * (1.0f + std::erf(xv * kInvSqrt2));
+        return cdf + xv * phi;
+      });
+}
+
+Variable Exp(const Variable& x) {
+  return UnaryElementwise(
+      x, [](float v) { return std::exp(v); },
+      [](float /*xv*/, float yv) { return yv; });
+}
+
+Variable Log(const Variable& x) {
+  return UnaryElementwise(
+      x,
+      [](float v) {
+        ALT_CHECK_GT(v, 0.0f);
+        return std::log(v);
+      },
+      [](float xv, float /*yv*/) { return 1.0f / xv; });
+}
+
+Variable SoftmaxLastDim(const Variable& x) {
+  const Tensor& xv = x.value();
+  const int64_t f = xv.size(xv.ndim() - 1);
+  const int64_t rows = xv.numel() / f;
+  Tensor out(xv.shape());
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* src = xv.data() + r * f;
+    float* dst = out.data() + r * f;
+    float max_v = src[0];
+    for (int64_t j = 1; j < f; ++j) max_v = std::max(max_v, src[j]);
+    double total = 0.0;
+    for (int64_t j = 0; j < f; ++j) {
+      dst[j] = std::exp(src[j] - max_v);
+      total += dst[j];
+    }
+    const float inv = static_cast<float>(1.0 / total);
+    for (int64_t j = 0; j < f; ++j) dst[j] *= inv;
+  }
+  auto xn = x.node();
+  return MakeOpNode(std::move(out), {xn}, [xn, f](Node* self) {
+    if (!xn->requires_grad) return;
+    xn->EnsureGrad();
+    const int64_t rows = self->grad.numel() / f;
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* y = self->value.data() + r * f;
+      const float* dy = self->grad.data() + r * f;
+      float* dx = xn->grad.data() + r * f;
+      double dot = 0.0;
+      for (int64_t j = 0; j < f; ++j) dot += static_cast<double>(dy[j]) * y[j];
+      for (int64_t j = 0; j < f; ++j) {
+        dx[j] += (dy[j] - static_cast<float>(dot)) * y[j];
+      }
+    }
+  });
+}
+
+Variable SumAll(const Variable& x) {
+  Tensor out = Tensor::Scalar(x.value().SumAll());
+  auto xn = x.node();
+  return MakeOpNode(std::move(out), {xn}, [xn](Node* self) {
+    if (!xn->requires_grad) return;
+    xn->EnsureGrad();
+    const float g = self->grad[0];
+    for (int64_t i = 0; i < xn->grad.numel(); ++i) xn->grad[i] += g;
+  });
+}
+
+Variable MeanAll(const Variable& x) {
+  const float inv = 1.0f / static_cast<float>(x.value().numel());
+  Tensor out = Tensor::Scalar(x.value().SumAll() * inv);
+  auto xn = x.node();
+  return MakeOpNode(std::move(out), {xn}, [xn, inv](Node* self) {
+    if (!xn->requires_grad) return;
+    xn->EnsureGrad();
+    const float g = self->grad[0] * inv;
+    for (int64_t i = 0; i < xn->grad.numel(); ++i) xn->grad[i] += g;
+  });
+}
+
+Variable MeanTime(const Variable& x) {
+  const Tensor& xv = x.value();
+  ALT_CHECK_EQ(xv.ndim(), 3);
+  const int64_t batch = xv.size(0);
+  const int64_t seq = xv.size(1);
+  const int64_t c = xv.size(2);
+  Tensor out({batch, c});
+  const float inv = 1.0f / static_cast<float>(seq);
+  for (int64_t b = 0; b < batch; ++b) {
+    float* dst = out.data() + b * c;
+    for (int64_t t = 0; t < seq; ++t) {
+      const float* src = xv.data() + (b * seq + t) * c;
+      for (int64_t j = 0; j < c; ++j) dst[j] += src[j];
+    }
+    for (int64_t j = 0; j < c; ++j) dst[j] *= inv;
+  }
+  auto xn = x.node();
+  return MakeOpNode(std::move(out), {xn}, [xn, seq, c, inv](Node* self) {
+    if (!xn->requires_grad) return;
+    xn->EnsureGrad();
+    const int64_t batch = self->grad.size(0);
+    for (int64_t b = 0; b < batch; ++b) {
+      const float* src = self->grad.data() + b * c;
+      for (int64_t t = 0; t < seq; ++t) {
+        float* dst = xn->grad.data() + (b * seq + t) * c;
+        for (int64_t j = 0; j < c; ++j) dst[j] += src[j] * inv;
+      }
+    }
+  });
+}
+
+Variable EmbeddingLookup(const Variable& weight,
+                         const std::vector<int64_t>& ids, int64_t batch,
+                         int64_t seq_len) {
+  const Tensor& w = weight.value();
+  ALT_CHECK_EQ(w.ndim(), 2);
+  ALT_CHECK_EQ(static_cast<int64_t>(ids.size()), batch * seq_len);
+  const int64_t vocab = w.size(0);
+  const int64_t dim = w.size(1);
+  Tensor out({batch, seq_len, dim});
+  for (int64_t i = 0; i < batch * seq_len; ++i) {
+    const int64_t id = ids[static_cast<size_t>(i)];
+    ALT_CHECK_GE(id, 0);
+    ALT_CHECK_LT(id, vocab);
+    const float* src = w.data() + id * dim;
+    float* dst = out.data() + i * dim;
+    for (int64_t j = 0; j < dim; ++j) dst[j] = src[j];
+  }
+  auto wn = weight.node();
+  return MakeOpNode(std::move(out), {wn}, [wn, ids, dim](Node* self) {
+    if (!wn->requires_grad) return;
+    wn->EnsureGrad();
+    const int64_t n = static_cast<int64_t>(ids.size());
+    for (int64_t i = 0; i < n; ++i) {
+      const float* src = self->grad.data() + i * dim;
+      float* dst = wn->grad.data() + ids[static_cast<size_t>(i)] * dim;
+      for (int64_t j = 0; j < dim; ++j) dst[j] += src[j];
+    }
+  });
+}
+
+Variable Conv1D(const Variable& x, const Variable& w, const Variable& bias,
+                int64_t dilation) {
+  const Tensor& xv = x.value();
+  const Tensor& wv = w.value();
+  Tensor out({xv.size(0), xv.size(1), wv.size(0)});
+  const Tensor* bias_ptr = bias.defined() ? &bias.value() : nullptr;
+  alt::Conv1D(xv, wv, bias_ptr, dilation, &out);
+  auto xn = x.node();
+  auto wn = w.node();
+  std::vector<std::shared_ptr<Node>> parents = {xn, wn};
+  std::shared_ptr<Node> bn = bias.defined() ? bias.node() : nullptr;
+  if (bn != nullptr) parents.push_back(bn);
+  return MakeOpNode(
+      std::move(out), std::move(parents), [xn, wn, bn, dilation](Node* self) {
+        Tensor* gx = nullptr;
+        Tensor* gw = nullptr;
+        Tensor* gb = nullptr;
+        if (xn->requires_grad) {
+          xn->EnsureGrad();
+          gx = &xn->grad;
+        }
+        if (wn->requires_grad) {
+          wn->EnsureGrad();
+          gw = &wn->grad;
+        }
+        if (bn != nullptr && bn->requires_grad) {
+          bn->EnsureGrad();
+          gb = &bn->grad;
+        }
+        Conv1DBackward(xn->value, wn->value, self->grad, dilation, gx, gw, gb);
+      });
+}
+
+Variable AvgPool1D(const Variable& x, int64_t k) {
+  const Tensor& xv = x.value();
+  Tensor out(xv.shape());
+  alt::AvgPool1D(xv, k, &out);
+  auto xn = x.node();
+  return MakeOpNode(std::move(out), {xn}, [xn, k](Node* self) {
+    if (!xn->requires_grad) return;
+    xn->EnsureGrad();
+    AvgPool1DBackward(self->grad, k, &xn->grad);
+  });
+}
+
+Variable MaxPool1D(const Variable& x, int64_t k) {
+  const Tensor& xv = x.value();
+  Tensor out(xv.shape());
+  auto argmax = std::make_shared<std::vector<int64_t>>();
+  alt::MaxPool1D(xv, k, &out, argmax.get());
+  auto xn = x.node();
+  return MakeOpNode(std::move(out), {xn}, [xn, argmax](Node* self) {
+    if (!xn->requires_grad) return;
+    xn->EnsureGrad();
+    MaxPool1DBackward(self->grad, *argmax, &xn->grad);
+  });
+}
+
+Variable LayerNorm(const Variable& x, const Variable& gamma,
+                   const Variable& beta, float eps) {
+  const Tensor& xv = x.value();
+  const int64_t f = xv.size(xv.ndim() - 1);
+  ALT_CHECK_EQ(gamma.value().numel(), f);
+  ALT_CHECK_EQ(beta.value().numel(), f);
+  const int64_t rows = xv.numel() / f;
+
+  Tensor out(xv.shape());
+  // Cache per-row inverse stddev and normalized values for backward.
+  auto inv_std = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(rows));
+  auto xhat = std::make_shared<Tensor>(xv.shape());
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* src = xv.data() + r * f;
+    double mean = 0.0;
+    for (int64_t j = 0; j < f; ++j) mean += src[j];
+    mean /= static_cast<double>(f);
+    double var = 0.0;
+    for (int64_t j = 0; j < f; ++j) {
+      const double d = src[j] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(f);
+    const float istd = static_cast<float>(1.0 / std::sqrt(var + eps));
+    (*inv_std)[static_cast<size_t>(r)] = istd;
+    float* xh = xhat->data() + r * f;
+    float* dst = out.data() + r * f;
+    for (int64_t j = 0; j < f; ++j) {
+      xh[j] = (src[j] - static_cast<float>(mean)) * istd;
+      dst[j] = xh[j] * gamma.value()[j] + beta.value()[j];
+    }
+  }
+  auto xn = x.node();
+  auto gn = gamma.node();
+  auto bn = beta.node();
+  return MakeOpNode(
+      std::move(out), {xn, gn, bn}, [xn, gn, bn, f, inv_std, xhat](Node* self) {
+        const int64_t rows = self->grad.numel() / f;
+        if (gn->requires_grad) gn->EnsureGrad();
+        if (bn->requires_grad) bn->EnsureGrad();
+        if (xn->requires_grad) xn->EnsureGrad();
+        for (int64_t r = 0; r < rows; ++r) {
+          const float* dy = self->grad.data() + r * f;
+          const float* xh = xhat->data() + r * f;
+          if (gn->requires_grad || bn->requires_grad) {
+            for (int64_t j = 0; j < f; ++j) {
+              if (gn->requires_grad) gn->grad[j] += dy[j] * xh[j];
+              if (bn->requires_grad) bn->grad[j] += dy[j];
+            }
+          }
+          if (xn->requires_grad) {
+            // dxhat = dy * gamma;
+            // dx = istd * (dxhat - mean(dxhat) - xhat * mean(dxhat*xhat)).
+            double mean_dxhat = 0.0;
+            double mean_dxhat_xhat = 0.0;
+            for (int64_t j = 0; j < f; ++j) {
+              const double dxh = static_cast<double>(dy[j]) * gn->value[j];
+              mean_dxhat += dxh;
+              mean_dxhat_xhat += dxh * xh[j];
+            }
+            mean_dxhat /= static_cast<double>(f);
+            mean_dxhat_xhat /= static_cast<double>(f);
+            const float istd = (*inv_std)[static_cast<size_t>(r)];
+            float* dx = xn->grad.data() + r * f;
+            for (int64_t j = 0; j < f; ++j) {
+              const double dxh = static_cast<double>(dy[j]) * gn->value[j];
+              dx[j] += static_cast<float>(
+                  istd * (dxh - mean_dxhat - xh[j] * mean_dxhat_xhat));
+            }
+          }
+        }
+      });
+}
+
+Variable Dropout(const Variable& x, float p, Rng* rng, bool training) {
+  if (!training || p <= 0.0f) return x;
+  ALT_CHECK_LT(p, 1.0f);
+  const float scale = 1.0f / (1.0f - p);
+  auto mask = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(x.value().numel()));
+  Tensor out = x.value();
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    const float m = rng->Bernoulli(p) ? 0.0f : scale;
+    (*mask)[static_cast<size_t>(i)] = m;
+    out[i] *= m;
+  }
+  auto xn = x.node();
+  return MakeOpNode(std::move(out), {xn}, [xn, mask](Node* self) {
+    if (!xn->requires_grad) return;
+    xn->EnsureGrad();
+    for (int64_t i = 0; i < self->grad.numel(); ++i) {
+      xn->grad[i] += self->grad[i] * (*mask)[static_cast<size_t>(i)];
+    }
+  });
+}
+
+Variable BCEWithLogits(const Variable& logits, const Variable& targets) {
+  CheckSameShape(logits, targets);
+  const Tensor& z = logits.value();
+  const Tensor& y = targets.value();
+  const int64_t n = z.numel();
+  ALT_CHECK_GT(n, 0);
+  // loss_i = max(z,0) - z*y + log(1 + exp(-|z|)).
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float zi = z[i];
+    total += std::max(zi, 0.0f) - zi * y[i] +
+             std::log1p(std::exp(-std::abs(zi)));
+  }
+  Tensor out = Tensor::Scalar(static_cast<float>(total / n));
+  auto zn = logits.node();
+  auto yn = targets.node();
+  return MakeOpNode(std::move(out), {zn, yn}, [zn, yn, n](Node* self) {
+    const float g = self->grad[0] / static_cast<float>(n);
+    if (zn->requires_grad) {
+      zn->EnsureGrad();
+      for (int64_t i = 0; i < n; ++i) {
+        const float zi = zn->value[i];
+        const float sig = zi >= 0.0f ? 1.0f / (1.0f + std::exp(-zi))
+                                     : std::exp(zi) / (1.0f + std::exp(zi));
+        zn->grad[i] += g * (sig - yn->value[i]);
+      }
+    }
+    if (yn->requires_grad) {
+      yn->EnsureGrad();
+      for (int64_t i = 0; i < n; ++i) {
+        yn->grad[i] += g * (-zn->value[i]);
+      }
+    }
+  });
+}
+
+}  // namespace ag
+}  // namespace alt

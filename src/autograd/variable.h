@@ -1,0 +1,84 @@
+#ifndef ALT_SRC_AUTOGRAD_VARIABLE_H_
+#define ALT_SRC_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace alt {
+namespace ag {
+
+/// A node in the dynamically-built computation graph. Users interact with
+/// Variable; Node is the shared state behind it.
+struct Node {
+  Tensor value;
+  Tensor grad;  // Allocated lazily by EnsureGrad(); same shape as value.
+  bool requires_grad = false;
+  bool grad_allocated = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  /// Propagates this node's grad into its parents' grads. Null for leaves.
+  std::function<void(Node*)> backward_fn;
+
+  /// Allocates (zeroed) grad storage if not present.
+  void EnsureGrad() {
+    if (!grad_allocated) {
+      grad = Tensor(value.shape());
+      grad_allocated = true;
+    }
+  }
+};
+
+/// A handle to a computation-graph node. Copies share the node. Building ops
+/// on Variables records the graph; calling Backward() on a scalar Variable
+/// runs reverse-mode differentiation, accumulating into leaf gradients.
+class Variable {
+ public:
+  /// An undefined variable; defined() is false.
+  Variable() = default;
+  explicit Variable(std::shared_ptr<Node> node) : node_(std::move(node)) {}
+
+  /// A trainable leaf (requires_grad = true).
+  static Variable Parameter(Tensor value);
+  /// A non-trainable leaf (inputs, labels, fixed constants).
+  static Variable Constant(Tensor value);
+
+  bool defined() const { return node_ != nullptr; }
+  const Tensor& value() const { return node_->value; }
+  /// Mutable access for optimizers; never call mid-graph.
+  Tensor& mutable_value() { return node_->value; }
+  /// The accumulated gradient. Requires grad storage (after Backward()).
+  const Tensor& grad() const { return node_->grad; }
+  Tensor& mutable_grad() {
+    node_->EnsureGrad();
+    return node_->grad;
+  }
+  bool requires_grad() const { return node_->requires_grad; }
+  bool has_grad() const { return node_->grad_allocated; }
+
+  /// Zeroes (and allocates) the gradient buffer.
+  void ZeroGrad() {
+    node_->EnsureGrad();
+    node_->grad.SetZero();
+  }
+
+  /// Reverse-mode sweep from this scalar ([1]-shaped) variable. Gradients
+  /// accumulate into every reachable leaf with requires_grad.
+  void Backward() const;
+
+  const std::shared_ptr<Node>& node() const { return node_; }
+
+ private:
+  std::shared_ptr<Node> node_;
+};
+
+/// Creates an op node: `value` is the forward result, `parents` its inputs,
+/// `backward_fn` the gradient rule. requires_grad is inherited from parents.
+Variable MakeOpNode(Tensor value, std::vector<std::shared_ptr<Node>> parents,
+                    std::function<void(Node*)> backward_fn);
+
+}  // namespace ag
+}  // namespace alt
+
+#endif  // ALT_SRC_AUTOGRAD_VARIABLE_H_

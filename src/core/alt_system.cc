@@ -1,0 +1,214 @@
+#include "src/core/alt_system.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "src/serving/model_store.h"
+#include "src/util/json.h"
+#include "src/util/logging.h"
+#include "src/util/thread_pool.h"
+
+namespace alt {
+namespace core {
+
+AltSystem::AltSystem(AltSystemOptions options)
+    : options_(std::move(options)) {
+  // The NAS budget equals the predefined light model's encoder FLOPs.
+  Rng rng(options_.seed);
+  auto light = models::BuildBaseModel(options_.light_config, &rng);
+  ALT_CHECK(light.ok()) << light.status().ToString();
+  flops_budget_ =
+      light.value()->behavior_encoder() != nullptr
+          ? light.value()->behavior_encoder()->Flops(
+                options_.light_config.seq_len)
+          : 0;
+  meta_ = std::make_unique<meta::MetaLearner>(
+      options_.heavy_config, options_.meta,
+      // The agnostic model may later adopt a NAS architecture, so cloning
+      // goes through the NAS-aware builder.
+      [](const models::ModelConfig& config, Rng* build_rng) {
+        return nas::BuildModel(config, build_rng);
+      });
+}
+
+Status AltSystem::Initialize(
+    const std::vector<data::ScenarioData>& initial_raw) {
+  if (initial_raw.empty()) {
+    return Status::InvalidArgument("need at least one initial scenario");
+  }
+  // Data preparation per scenario; pooled train parts initialize f0.
+  std::vector<data::ScenarioData> train_parts;
+  for (const data::ScenarioData& raw : initial_raw) {
+    ALT_ASSIGN_OR_RETURN(feature::PreparedData prepared,
+                         feature::PrepareScenarioData(raw, options_.prep));
+    train_parts.push_back(std::move(prepared.train));
+  }
+
+  if (!options_.use_hpo_init) {
+    return meta_->Initialize(train_parts);
+  }
+
+  // Fig. 4: compare the plain preset against the HPO-tuned preset on a
+  // shared validation split, keep the better one.
+  data::ScenarioData pooled = data::ConcatScenarios(train_parts);
+  Rng split_rng(options_.seed * 13 + 5);
+  auto [fit_part, val_part] = data::SplitTrainTest(
+      pooled, options_.hpo.validation_fraction, &split_rng);
+
+  Rng model_rng(options_.seed * 29 + 3);
+  ALT_ASSIGN_OR_RETURN(auto plain,
+                       models::BuildBaseModel(options_.heavy_config,
+                                              &model_rng));
+  train::TrainOptions init_train = options_.meta.init_train;
+  init_train.learning_rate = options_.heavy_config.learning_rate;
+  ALT_RETURN_IF_ERROR(
+      train::TrainModel(plain.get(), fit_part, init_train).status());
+  const double plain_auc = train::EvaluateAuc(plain.get(), val_part);
+
+  ALT_ASSIGN_OR_RETURN(
+      hpo::ModelSearchReport search,
+      hpo::TuneModelConfig(options_.heavy_config, pooled, options_.hpo));
+  ALT_LOG(Info) << "init candidates: preset AUC=" << plain_auc
+                << ", HPO-tuned AUC=" << search.best_auc;
+
+  if (search.best_auc > plain_auc) {
+    ALT_ASSIGN_OR_RETURN(auto tuned, models::BuildBaseModel(
+                                         search.best_config, &model_rng));
+    train::TrainOptions tuned_train = options_.meta.init_train;
+    tuned_train.learning_rate = search.best_config.learning_rate;
+    ALT_RETURN_IF_ERROR(
+        train::TrainModel(tuned.get(), pooled, tuned_train).status());
+    return meta_->AdoptInitialModel(std::move(tuned));
+  }
+  // Re-train the preset on the full pooled data before adopting.
+  ALT_RETURN_IF_ERROR(
+      train::TrainModel(plain.get(), pooled, init_train).status());
+  return meta_->AdoptInitialModel(std::move(plain));
+}
+
+Result<ScenarioArtifacts> AltSystem::OnScenarioArrival(
+    const data::ScenarioData& raw) {
+  if (!initialized()) {
+    return Status::FailedPrecondition("AltSystem::Initialize first");
+  }
+  ALT_ASSIGN_OR_RETURN(feature::PreparedData prepared,
+                       feature::PrepareScenarioData(raw, options_.prep));
+
+  // Scenario specific heavy model (Eq. 1) with feedback to f0 (Eq. 2).
+  ALT_ASSIGN_OR_RETURN(std::unique_ptr<models::BaseModel> heavy,
+                       meta_->AdaptToScenario(prepared.train));
+
+  // Scenario specific light model: budget-limited NAS + distillation.
+  nas::NasSearchOptions nas_options = options_.nas;
+  nas_options.flops_budget = flops_budget_;
+  nas_options.seed =
+      options_.seed * 389 + static_cast<uint64_t>(raw.scenario_id) * 7 + 1;
+  if (!options_.distill) nas_options.distill_delta = 0.0f;
+  nas::NasSearchReport nas_report;
+  ALT_ASSIGN_OR_RETURN(
+      std::unique_ptr<models::BaseModel> light,
+      nas::SearchLightModel(options_.light_config, heavy.get(),
+                            prepared.train, nas_options, &nas_report));
+
+  ScenarioArtifacts artifacts;
+  artifacts.scenario_id = raw.scenario_id;
+  artifacts.deployment_name =
+      "scenario_" + std::to_string(raw.scenario_id);
+  artifacts.heavy_flops = heavy->FlopsPerSample();
+  artifacts.light_flops = light->FlopsPerSample();
+  artifacts.arch = nas_report.arch;
+  if (prepared.test.num_samples() > 0) {
+    artifacts.heavy_test_auc = train::EvaluateAuc(heavy.get(), prepared.test);
+    artifacts.light_test_auc = train::EvaluateAuc(light.get(), prepared.test);
+  }
+
+  // Deploy the light model for online serving.
+  ALT_RETURN_IF_ERROR(
+      server_.Deploy(artifacts.deployment_name, std::move(light)));
+  return artifacts;
+}
+
+Result<std::vector<ScenarioArtifacts>> AltSystem::OnScenariosArrival(
+    const std::vector<data::ScenarioData>& raw_scenarios) {
+  if (raw_scenarios.empty()) return std::vector<ScenarioArtifacts>{};
+  const size_t workers = static_cast<size_t>(std::max<int64_t>(
+      1, std::min<int64_t>(options_.parallel_scenarios,
+                           static_cast<int64_t>(raw_scenarios.size()))));
+  ThreadPool pool(workers);
+  std::vector<std::future<Result<ScenarioArtifacts>>> futures;
+  futures.reserve(raw_scenarios.size());
+  for (const data::ScenarioData& raw : raw_scenarios) {
+    futures.push_back(
+        pool.Submit([this, &raw]() { return OnScenarioArrival(raw); }));
+  }
+  std::vector<ScenarioArtifacts> out;
+  for (auto& f : futures) {
+    Result<ScenarioArtifacts> result = f.get();
+    ALT_RETURN_IF_ERROR(result.status());
+    out.push_back(std::move(result).value());
+  }
+  return out;
+}
+
+Status AltSystem::SaveState(const std::string& directory) {
+  if (!initialized()) {
+    return Status::FailedPrecondition("nothing to save: not initialized");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) return Status::IOError("cannot create " + directory);
+
+  // Agnostic heavy model.
+  ALT_ASSIGN_OR_RETURN(auto agnostic, meta_->CloneAgnostic());
+  ALT_RETURN_IF_ERROR(serving::SaveModelBundleToFile(
+      agnostic.get(), directory + "/agnostic.altm"));
+
+  // Deployed scenario models + manifest.
+  Json manifest;
+  manifest["version"] = 1;
+  Json::Array deployments;
+  for (const std::string& scenario : server_.Scenarios()) {
+    const std::string file = scenario + ".altm";
+    ALT_RETURN_IF_ERROR(
+        server_.ExportBundle(scenario, directory + "/" + file));
+    Json entry;
+    entry["scenario"] = scenario;
+    entry["file"] = file;
+    deployments.push_back(std::move(entry));
+  }
+  manifest["deployments"] = std::move(deployments);
+  std::ofstream out(directory + "/manifest.json");
+  if (!out.is_open()) return Status::IOError("cannot write manifest");
+  out << manifest.DumpPretty();
+  if (!out.good()) return Status::IOError("manifest write failed");
+  return Status::OK();
+}
+
+Status AltSystem::LoadState(const std::string& directory) {
+  std::ifstream manifest_in(directory + "/manifest.json");
+  if (!manifest_in.is_open()) {
+    return Status::NotFound("no manifest in " + directory);
+  }
+  std::string text((std::istreambuf_iterator<char>(manifest_in)),
+                   std::istreambuf_iterator<char>());
+  ALT_ASSIGN_OR_RETURN(Json manifest, Json::Parse(text));
+
+  ALT_ASSIGN_OR_RETURN(auto agnostic, serving::LoadModelBundleFromFile(
+                                          directory + "/agnostic.altm"));
+  ALT_RETURN_IF_ERROR(meta_->AdoptInitialModel(std::move(agnostic)));
+
+  if (manifest.contains("deployments")) {
+    for (const Json& entry : manifest.at("deployments").as_array()) {
+      const std::string scenario = entry.at("scenario").as_string();
+      ALT_ASSIGN_OR_RETURN(
+          auto model, serving::LoadModelBundleFromFile(
+                          directory + "/" + entry.at("file").as_string()));
+      ALT_RETURN_IF_ERROR(server_.Deploy(scenario, std::move(model)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace alt

@@ -1,0 +1,107 @@
+#ifndef ALT_SRC_CORE_ALT_SYSTEM_H_
+#define ALT_SRC_CORE_ALT_SYSTEM_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/feature/data_preparation.h"
+#include "src/hpo/model_search.h"
+#include "src/meta/meta_learner.h"
+#include "src/nas/nas_search.h"
+#include "src/serving/model_server.h"
+
+namespace alt {
+namespace core {
+
+/// Options of the whole ALT system (Fig. 7).
+struct AltSystemOptions {
+  /// Pre-designed heavy architecture (the expert structure of Fig. 2).
+  models::ModelConfig heavy_config;
+  /// Predefined light architecture; its encoder FLOPs define the NAS budget
+  /// ("the upper bound of the FLOPs for the searched architectures is set
+  /// to be the same as the light models").
+  models::ModelConfig light_config;
+  meta::MetaOptions meta;
+  nas::NasSearchOptions nas;
+  feature::DataPreparationConfig prep;
+  /// Initialization strategy (Fig. 4): when enabled, the pre-designed
+  /// architecture is auto-tuned with AntTune-style HPO and compared against
+  /// the plain preset on a validation split; the better candidate becomes
+  /// the scenario agnostic heavy model.
+  bool use_hpo_init = false;
+  hpo::ModelSearchOptions hpo;
+  /// Maximum scenarios processed concurrently by OnScenariosArrival.
+  int64_t parallel_scenarios = 2;
+  /// Use distillation when building the light model (Eq. 5).
+  bool distill = true;
+  uint64_t seed = 123;
+};
+
+/// Artifacts produced for one scenario.
+struct ScenarioArtifacts {
+  int64_t scenario_id = 0;
+  std::string deployment_name;
+  double heavy_test_auc = 0.0;
+  double light_test_auc = 0.0;
+  int64_t heavy_flops = 0;
+  int64_t light_flops = 0;
+  nas::Architecture arch;
+};
+
+/// End-to-end orchestration of the ALT pipeline:
+///   Initialize(): data preparation -> scenario agnostic heavy model
+///     (optionally picking the better of plain preset vs HPO-tuned preset).
+///   OnScenarioArrival(): data preparation -> scenario specific heavy model
+///     (Eq. 1, with Eq. 2 feedback) -> budget-limited NAS + distillation ->
+///     scenario specific light model -> deployment to the model server.
+/// Multiple scenarios can be processed in parallel; the meta learner's
+/// asynchronous feedback (Eq. 3) keeps the agnostic model consistent.
+class AltSystem {
+ public:
+  explicit AltSystem(AltSystemOptions options);
+
+  /// Builds the scenario agnostic heavy model from the initial scenarios'
+  /// raw data.
+  Status Initialize(const std::vector<data::ScenarioData>& initial_raw);
+
+  bool initialized() const { return meta_->initialized(); }
+
+  /// Full automatic pipeline for one arriving scenario (raw data in).
+  Result<ScenarioArtifacts> OnScenarioArrival(
+      const data::ScenarioData& raw);
+
+  /// Processes several arriving scenarios in parallel.
+  Result<std::vector<ScenarioArtifacts>> OnScenariosArrival(
+      const std::vector<data::ScenarioData>& raw_scenarios);
+
+  serving::ModelServer* server() { return &server_; }
+
+  /// Persists the system state (agnostic heavy model + every deployed light
+  /// model + a manifest) into `directory`, creating it if needed.
+  Status SaveState(const std::string& directory);
+
+  /// Restores a previously saved state: the agnostic model is adopted and
+  /// every bundled scenario model is re-deployed.
+  Status LoadState(const std::string& directory);
+
+  meta::MetaLearner* meta_learner() { return meta_.get(); }
+  const AltSystemOptions& options() const { return options_; }
+
+  /// Encoder FLOPs budget used for the NAS (from the predefined light
+  /// architecture).
+  int64_t LightEncoderFlopsBudget() const { return flops_budget_; }
+
+ private:
+  AltSystemOptions options_;
+  int64_t flops_budget_ = 0;
+  std::unique_ptr<meta::MetaLearner> meta_;
+  serving::ModelServer server_;
+  std::mutex artifacts_mu_;
+};
+
+}  // namespace core
+}  // namespace alt
+
+#endif  // ALT_SRC_CORE_ALT_SYSTEM_H_

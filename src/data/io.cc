@@ -1,0 +1,220 @@
+#include "src/data/io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace alt {
+namespace data {
+
+namespace {
+constexpr char kMagic[4] = {'A', 'L', 'T', 'D'};
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+Status WriteCsv(const ScenarioData& scenario_data, std::ostream* out) {
+  // Header.
+  *out << "label";
+  for (int64_t j = 0; j < scenario_data.profile_dim; ++j) *out << ",p" << j;
+  for (int64_t t = 0; t < scenario_data.seq_len; ++t) *out << ",b" << t;
+  *out << "\n";
+  char buf[48];
+  for (int64_t i = 0; i < scenario_data.num_samples(); ++i) {
+    *out << (scenario_data.labels[static_cast<size_t>(i)] > 0.5f ? 1 : 0);
+    for (int64_t j = 0; j < scenario_data.profile_dim; ++j) {
+      std::snprintf(buf, sizeof(buf), "%.9g", scenario_data.profiles.at(i, j));
+      *out << ',' << buf;
+    }
+    for (int64_t t = 0; t < scenario_data.seq_len; ++t) {
+      *out << ','
+           << scenario_data.behaviors[static_cast<size_t>(
+                  i * scenario_data.seq_len + t)];
+    }
+    *out << "\n";
+  }
+  if (!out->good()) return Status::IOError("csv write failed");
+  return Status::OK();
+}
+
+Status WriteCsvFile(const ScenarioData& scenario_data,
+                    const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IOError("cannot open " + path);
+  return WriteCsv(scenario_data, &out);
+}
+
+Result<ScenarioData> ReadCsv(std::istream* in, int64_t scenario_id) {
+  std::string line;
+  if (!std::getline(*in, line)) {
+    return Status::InvalidArgument("empty csv");
+  }
+  // Parse header to infer dimensions.
+  int64_t profile_dim = 0;
+  int64_t seq_len = 0;
+  {
+    std::stringstream header(line);
+    std::string column;
+    bool first = true;
+    while (std::getline(header, column, ',')) {
+      if (first) {
+        if (column != "label") {
+          return Status::InvalidArgument("first column must be 'label'");
+        }
+        first = false;
+      } else if (column.rfind('p', 0) == 0) {
+        ++profile_dim;
+      } else if (column.rfind('b', 0) == 0) {
+        ++seq_len;
+      } else {
+        return Status::InvalidArgument("unknown column " + column);
+      }
+    }
+  }
+  if (profile_dim == 0 || seq_len == 0) {
+    return Status::InvalidArgument("csv needs p* and b* columns");
+  }
+
+  std::vector<float> labels;
+  std::vector<float> profile_values;
+  std::vector<int64_t> behavior_values;
+  int64_t line_number = 1;
+  while (std::getline(*in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::stringstream row(line);
+    std::string cell;
+    const int64_t expected = 1 + profile_dim + seq_len;
+    int64_t column = 0;
+    while (std::getline(row, cell, ',')) {
+      char* end = nullptr;
+      if (column == 0) {
+        const double v = std::strtod(cell.c_str(), &end);
+        if (end == cell.c_str()) {
+          return Status::InvalidArgument("bad label at line " +
+                                         std::to_string(line_number));
+        }
+        labels.push_back(v > 0.5 ? 1.0f : 0.0f);
+      } else if (column <= profile_dim) {
+        const double v = std::strtod(cell.c_str(), &end);
+        if (end == cell.c_str()) {
+          return Status::InvalidArgument("bad profile value at line " +
+                                         std::to_string(line_number));
+        }
+        profile_values.push_back(static_cast<float>(v));
+      } else {
+        const long long v = std::strtoll(cell.c_str(), &end, 10);
+        if (end == cell.c_str() || v < 0) {
+          return Status::InvalidArgument("bad behavior id at line " +
+                                         std::to_string(line_number));
+        }
+        behavior_values.push_back(v);
+      }
+      ++column;
+    }
+    if (column != expected) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) + " has " +
+          std::to_string(column) + " columns, expected " +
+          std::to_string(expected));
+    }
+  }
+  ScenarioData out;
+  out.scenario_id = scenario_id;
+  out.profile_dim = profile_dim;
+  out.seq_len = seq_len;
+  out.labels = std::move(labels);
+  out.profiles = Tensor::FromVector(
+      {static_cast<int64_t>(out.labels.size()), profile_dim},
+      std::move(profile_values));
+  out.behaviors = std::move(behavior_values);
+  return out;
+}
+
+Result<ScenarioData> ReadCsvFile(const std::string& path,
+                                 int64_t scenario_id) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  return ReadCsv(&in, scenario_id);
+}
+
+Status WriteBinary(const ScenarioData& scenario_data, std::ostream* out) {
+  out->write(kMagic, sizeof(kMagic));
+  const uint32_t version = kVersion;
+  out->write(reinterpret_cast<const char*>(&version), sizeof(version));
+  const int64_t header[4] = {scenario_data.scenario_id,
+                             scenario_data.profile_dim,
+                             scenario_data.seq_len,
+                             scenario_data.num_samples()};
+  out->write(reinterpret_cast<const char*>(header), sizeof(header));
+  out->write(reinterpret_cast<const char*>(scenario_data.labels.data()),
+             static_cast<std::streamsize>(scenario_data.labels.size() *
+                                          sizeof(float)));
+  out->write(
+      reinterpret_cast<const char*>(scenario_data.profiles.data()),
+      static_cast<std::streamsize>(scenario_data.profiles.numel() *
+                                   sizeof(float)));
+  out->write(reinterpret_cast<const char*>(scenario_data.behaviors.data()),
+             static_cast<std::streamsize>(scenario_data.behaviors.size() *
+                                          sizeof(int64_t)));
+  if (!out->good()) return Status::IOError("binary write failed");
+  return Status::OK();
+}
+
+Status WriteBinaryFile(const ScenarioData& scenario_data,
+                       const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return Status::IOError("cannot open " + path);
+  return WriteBinary(scenario_data, &out);
+}
+
+Result<ScenarioData> ReadBinary(std::istream* in) {
+  char magic[4];
+  in->read(magic, sizeof(magic));
+  if (!in->good() || std::string(magic, 4) != std::string(kMagic, 4)) {
+    return Status::InvalidArgument("not an ALT dataset file");
+  }
+  uint32_t version = 0;
+  in->read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in->good() || version != kVersion) {
+    return Status::InvalidArgument("unsupported dataset version");
+  }
+  int64_t header[4];
+  in->read(reinterpret_cast<char*>(header), sizeof(header));
+  if (!in->good()) return Status::IOError("truncated header");
+  const int64_t scenario_id = header[0];
+  const int64_t profile_dim = header[1];
+  const int64_t seq_len = header[2];
+  const int64_t n = header[3];
+  if (profile_dim <= 0 || seq_len <= 0 || n < 0 || n > (1ll << 40)) {
+    return Status::InvalidArgument("implausible dataset dimensions");
+  }
+  ScenarioData out;
+  out.scenario_id = scenario_id;
+  out.profile_dim = profile_dim;
+  out.seq_len = seq_len;
+  out.labels.resize(static_cast<size_t>(n));
+  in->read(reinterpret_cast<char*>(out.labels.data()),
+           static_cast<std::streamsize>(out.labels.size() * sizeof(float)));
+  out.profiles = Tensor({n, profile_dim});
+  in->read(reinterpret_cast<char*>(out.profiles.data()),
+           static_cast<std::streamsize>(out.profiles.numel() *
+                                        sizeof(float)));
+  out.behaviors.resize(static_cast<size_t>(n * seq_len));
+  in->read(reinterpret_cast<char*>(out.behaviors.data()),
+           static_cast<std::streamsize>(out.behaviors.size() *
+                                        sizeof(int64_t)));
+  if (!in->good()) return Status::IOError("truncated dataset body");
+  return out;
+}
+
+Result<ScenarioData> ReadBinaryFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  return ReadBinary(&in);
+}
+
+}  // namespace data
+}  // namespace alt

@@ -1,0 +1,43 @@
+#ifndef ALT_SRC_DATA_IO_H_
+#define ALT_SRC_DATA_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/data/dataset.h"
+#include "src/util/status.h"
+
+namespace alt {
+namespace data {
+
+/// Dataset import/export so downstream users can bring their own scenario
+/// data instead of the synthetic generator.
+///
+/// CSV schema (header required):
+///   label,p0,p1,...,p<P-1>,b0,b1,...,b<T-1>
+/// where p* are float profile columns and b* integer behavior event ids.
+/// Binary format: magic "ALTD" | version | scenario_id | P | T | N |
+/// labels f32[N] | profiles f32[N*P] | behaviors i64[N*T].
+
+/// Writes `scenario_data` as CSV.
+Status WriteCsv(const ScenarioData& scenario_data, std::ostream* out);
+Status WriteCsvFile(const ScenarioData& scenario_data,
+                    const std::string& path);
+
+/// Parses CSV with the schema above. Column counts are inferred from the
+/// header; malformed rows produce InvalidArgument with the line number.
+Result<ScenarioData> ReadCsv(std::istream* in, int64_t scenario_id = 0);
+Result<ScenarioData> ReadCsvFile(const std::string& path,
+                                 int64_t scenario_id = 0);
+
+/// Binary round trip (fast path for large datasets).
+Status WriteBinary(const ScenarioData& scenario_data, std::ostream* out);
+Status WriteBinaryFile(const ScenarioData& scenario_data,
+                       const std::string& path);
+Result<ScenarioData> ReadBinary(std::istream* in);
+Result<ScenarioData> ReadBinaryFile(const std::string& path);
+
+}  // namespace data
+}  // namespace alt
+
+#endif  // ALT_SRC_DATA_IO_H_

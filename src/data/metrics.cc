@@ -1,0 +1,147 @@
+#include "src/data/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/util/logging.h"
+
+namespace alt {
+namespace data {
+
+double Auc(const std::vector<float>& labels,
+           const std::vector<float>& scores) {
+  ALT_CHECK_EQ(labels.size(), scores.size());
+  const size_t n = labels.size();
+  size_t positives = 0;
+  for (float y : labels) positives += (y > 0.5f) ? 1 : 0;
+  const size_t negatives = n - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+
+  // Rank-based computation handling ties via average ranks.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+  std::vector<double> ranks(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double avg_rank = 0.5 * (static_cast<double>(i) +
+                                   static_cast<double>(j)) + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  double rank_sum_pos = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    if (labels[k] > 0.5f) rank_sum_pos += ranks[k];
+  }
+  const double p = static_cast<double>(positives);
+  const double q = static_cast<double>(negatives);
+  return (rank_sum_pos - p * (p + 1.0) / 2.0) / (p * q);
+}
+
+double LogLoss(const std::vector<float>& labels,
+               const std::vector<float>& probs) {
+  ALT_CHECK_EQ(labels.size(), probs.size());
+  ALT_CHECK(!labels.empty());
+  double total = 0.0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const double p =
+        std::clamp(static_cast<double>(probs[i]), 1e-7, 1.0 - 1e-7);
+    total += labels[i] > 0.5f ? -std::log(p) : -std::log(1.0 - p);
+  }
+  return total / static_cast<double>(labels.size());
+}
+
+double Accuracy(const std::vector<float>& labels,
+                const std::vector<float>& probs) {
+  ALT_CHECK_EQ(labels.size(), probs.size());
+  ALT_CHECK(!labels.empty());
+  size_t correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const bool pred = probs[i] >= 0.5f;
+    const bool truth = labels[i] > 0.5f;
+    if (pred == truth) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+double KsStatistic(const std::vector<float>& labels,
+                   const std::vector<float>& scores) {
+  ALT_CHECK_EQ(labels.size(), scores.size());
+  const size_t n = labels.size();
+  size_t positives = 0;
+  for (float y : labels) positives += (y > 0.5f) ? 1 : 0;
+  const size_t negatives = n - positives;
+  if (positives == 0 || negatives == 0) return 0.0;
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+  double cdf_pos = 0.0;
+  double cdf_neg = 0.0;
+  double ks = 0.0;
+  size_t i = 0;
+  while (i < n) {
+    // Advance through all ties at this score before reading the gap.
+    size_t j = i;
+    while (j < n && scores[order[j]] == scores[order[i]]) {
+      if (labels[order[j]] > 0.5f) {
+        cdf_pos += 1.0 / static_cast<double>(positives);
+      } else {
+        cdf_neg += 1.0 / static_cast<double>(negatives);
+      }
+      ++j;
+    }
+    ks = std::max(ks, std::abs(cdf_pos - cdf_neg));
+    i = j;
+  }
+  return ks;
+}
+
+double PrAuc(const std::vector<float>& labels,
+             const std::vector<float>& scores) {
+  ALT_CHECK_EQ(labels.size(), scores.size());
+  const size_t n = labels.size();
+  size_t positives = 0;
+  for (float y : labels) positives += (y > 0.5f) ? 1 : 0;
+  if (positives == 0) return 0.0;
+
+  // Average precision: sum of precision at each positive, walking scores
+  // from high to low (ties grouped).
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+  double ap = 0.0;
+  size_t tp = 0;
+  size_t seen = 0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    size_t tie_pos = 0;
+    while (j < n && scores[order[j]] == scores[order[i]]) {
+      if (labels[order[j]] > 0.5f) ++tie_pos;
+      ++j;
+    }
+    // All ties share the precision computed at the end of the tie group.
+    tp += tie_pos;
+    seen = j;
+    if (tie_pos > 0) {
+      const double precision =
+          static_cast<double>(tp) / static_cast<double>(seen);
+      ap += precision * static_cast<double>(tie_pos);
+    }
+    i = j;
+  }
+  return ap / static_cast<double>(positives);
+}
+
+}  // namespace data
+}  // namespace alt

@@ -1,0 +1,36 @@
+#ifndef ALT_SRC_DATA_METRICS_H_
+#define ALT_SRC_DATA_METRICS_H_
+
+#include <vector>
+
+namespace alt {
+namespace data {
+
+/// Area under the ROC curve via the Mann-Whitney U statistic (ties count
+/// one half). Returns 0.5 when either class is absent — the uninformative
+/// score — so degenerate scenario splits do not poison averages.
+double Auc(const std::vector<float>& labels, const std::vector<float>& scores);
+
+/// Mean binary cross-entropy of probabilities (clamped to [1e-7, 1-1e-7]).
+double LogLoss(const std::vector<float>& labels,
+               const std::vector<float>& probs);
+
+/// Fraction of correct predictions at threshold 0.5.
+double Accuracy(const std::vector<float>& labels,
+                const std::vector<float>& probs);
+
+/// Kolmogorov-Smirnov statistic of the score distributions of the two
+/// classes — the standard risk-control separation metric. 0 when either
+/// class is absent.
+double KsStatistic(const std::vector<float>& labels,
+                   const std::vector<float>& scores);
+
+/// Area under the precision-recall curve (average precision). Returns the
+/// positive rate when scores are uninformative; 0 when no positives.
+double PrAuc(const std::vector<float>& labels,
+             const std::vector<float>& scores);
+
+}  // namespace data
+}  // namespace alt
+
+#endif  // ALT_SRC_DATA_METRICS_H_

@@ -1,0 +1,155 @@
+#include "src/feature/data_preparation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace alt {
+namespace feature {
+
+NormalizerStats FitNormalizer(const Tensor& profiles) {
+  ALT_CHECK_EQ(profiles.ndim(), 2);
+  const int64_t rows = profiles.size(0);
+  const int64_t cols = profiles.size(1);
+  ALT_CHECK_GT(rows, 0);
+  NormalizerStats stats;
+  stats.mean.assign(static_cast<size_t>(cols), 0.0f);
+  stats.stddev.assign(static_cast<size_t>(cols), 0.0f);
+  for (int64_t c = 0; c < cols; ++c) {
+    double mean = 0.0;
+    for (int64_t r = 0; r < rows; ++r) mean += profiles.at(r, c);
+    mean /= static_cast<double>(rows);
+    double var = 0.0;
+    for (int64_t r = 0; r < rows; ++r) {
+      const double d = profiles.at(r, c) - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(rows);
+    stats.mean[static_cast<size_t>(c)] = static_cast<float>(mean);
+    stats.stddev[static_cast<size_t>(c)] =
+        std::max(1e-6f, static_cast<float>(std::sqrt(var)));
+  }
+  return stats;
+}
+
+Status ApplyNormalizer(const NormalizerStats& stats, Tensor* profiles) {
+  if (profiles->ndim() != 2 ||
+      profiles->size(1) != static_cast<int64_t>(stats.mean.size())) {
+    return Status::InvalidArgument("normalizer dim mismatch");
+  }
+  const int64_t rows = profiles->size(0);
+  const int64_t cols = profiles->size(1);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      profiles->at(r, c) =
+          (profiles->at(r, c) - stats.mean[static_cast<size_t>(c)]) /
+          stats.stddev[static_cast<size_t>(c)];
+    }
+  }
+  return Status::OK();
+}
+
+Discretizer FitQuantileDiscretizer(const Tensor& profiles, int64_t num_bins) {
+  ALT_CHECK_EQ(profiles.ndim(), 2);
+  ALT_CHECK_GE(num_bins, 2);
+  const int64_t rows = profiles.size(0);
+  const int64_t cols = profiles.size(1);
+  Discretizer discretizer;
+  discretizer.num_bins = num_bins;
+  discretizer.boundaries.resize(static_cast<size_t>(cols));
+  std::vector<float> column(static_cast<size_t>(rows));
+  for (int64_t c = 0; c < cols; ++c) {
+    for (int64_t r = 0; r < rows; ++r) {
+      column[static_cast<size_t>(r)] = profiles.at(r, c);
+    }
+    std::sort(column.begin(), column.end());
+    std::vector<float>& cuts = discretizer.boundaries[static_cast<size_t>(c)];
+    for (int64_t b = 1; b < num_bins; ++b) {
+      const size_t idx = static_cast<size_t>(
+          (static_cast<double>(b) / num_bins) * (rows - 1));
+      cuts.push_back(column[idx]);
+    }
+  }
+  return discretizer;
+}
+
+Status ApplyDiscretizer(const Discretizer& discretizer, Tensor* profiles) {
+  if (profiles->ndim() != 2 ||
+      profiles->size(1) !=
+          static_cast<int64_t>(discretizer.boundaries.size())) {
+    return Status::InvalidArgument("discretizer dim mismatch");
+  }
+  const int64_t rows = profiles->size(0);
+  const int64_t cols = profiles->size(1);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      const std::vector<float>& cuts =
+          discretizer.boundaries[static_cast<size_t>(c)];
+      const float v = profiles->at(r, c);
+      const auto it = std::upper_bound(cuts.begin(), cuts.end(), v);
+      profiles->at(r, c) = static_cast<float>(it - cuts.begin());
+    }
+  }
+  return Status::OK();
+}
+
+Result<PreparedData> PrepareScenarioData(const data::ScenarioData& raw,
+                                         const DataPreparationConfig& config) {
+  if (raw.num_samples() < 2) {
+    return Status::InvalidArgument("scenario needs at least 2 samples");
+  }
+  if (config.test_fraction < 0.0 || config.test_fraction >= 1.0) {
+    return Status::InvalidArgument("test_fraction must be in [0, 1)");
+  }
+  PreparedData prepared;
+  Rng rng(config.seed + static_cast<uint64_t>(raw.scenario_id) * 101);
+
+  // Sample shuffling + partitioning. SplitTrainTest shuffles internally;
+  // when shuffling is disabled, partition deterministically from the tail.
+  if (config.shuffle) {
+    auto [train, test] =
+        data::SplitTrainTest(raw, config.test_fraction, &rng);
+    prepared.train = std::move(train);
+    prepared.test = std::move(test);
+  } else {
+    const int64_t test_count = static_cast<int64_t>(
+        config.test_fraction * static_cast<double>(raw.num_samples()));
+    std::vector<size_t> train_idx;
+    std::vector<size_t> test_idx;
+    for (int64_t i = 0; i < raw.num_samples(); ++i) {
+      if (i < raw.num_samples() - test_count) {
+        train_idx.push_back(static_cast<size_t>(i));
+      } else {
+        test_idx.push_back(static_cast<size_t>(i));
+      }
+    }
+    prepared.train = raw.Subset(train_idx);
+    prepared.test = raw.Subset(test_idx);
+  }
+
+  // Feature processing: transforms are fit on train and applied to both.
+  if (config.normalize) {
+    prepared.normalizer = FitNormalizer(prepared.train.profiles);
+    ALT_RETURN_IF_ERROR(
+        ApplyNormalizer(prepared.normalizer, &prepared.train.profiles));
+    if (prepared.test.num_samples() > 0) {
+      ALT_RETURN_IF_ERROR(
+          ApplyNormalizer(prepared.normalizer, &prepared.test.profiles));
+    }
+  }
+  if (config.discretize) {
+    prepared.discretizer = FitQuantileDiscretizer(prepared.train.profiles,
+                                                  config.discretize_bins);
+    ALT_RETURN_IF_ERROR(
+        ApplyDiscretizer(prepared.discretizer, &prepared.train.profiles));
+    if (prepared.test.num_samples() > 0) {
+      ALT_RETURN_IF_ERROR(
+          ApplyDiscretizer(prepared.discretizer, &prepared.test.profiles));
+    }
+  }
+  return prepared;
+}
+
+}  // namespace feature
+}  // namespace alt

@@ -1,0 +1,66 @@
+#ifndef ALT_SRC_FEATURE_DATA_PREPARATION_H_
+#define ALT_SRC_FEATURE_DATA_PREPARATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/util/status.h"
+
+namespace alt {
+namespace feature {
+
+/// Per-column standardization statistics, fit on training data only and
+/// reused at serving time so online features get identical processing.
+struct NormalizerStats {
+  std::vector<float> mean;
+  std::vector<float> stddev;  // Floored at 1e-6 to avoid division by zero.
+};
+
+/// Fits mean/stddev per profile column.
+NormalizerStats FitNormalizer(const Tensor& profiles);
+
+/// In-place z-normalization with previously fit stats.
+Status ApplyNormalizer(const NormalizerStats& stats, Tensor* profiles);
+
+/// Equal-frequency (quantile) discretizer per profile column.
+struct Discretizer {
+  int64_t num_bins = 0;
+  /// boundaries[c] has num_bins - 1 ascending cut points for column c.
+  std::vector<std::vector<float>> boundaries;
+};
+
+Discretizer FitQuantileDiscretizer(const Tensor& profiles, int64_t num_bins);
+
+/// Replaces each value with its (float-cast) bin index in [0, num_bins).
+Status ApplyDiscretizer(const Discretizer& discretizer, Tensor* profiles);
+
+/// The Data Preparation pipeline of Sec. IV-B: feature processing
+/// (normalization / discretization), sample shuffling, and sample
+/// partitioning. Feature joining happens upstream in FeatureFactory.
+struct DataPreparationConfig {
+  bool normalize = true;
+  bool discretize = false;
+  int64_t discretize_bins = 10;
+  bool shuffle = true;
+  double test_fraction = 0.2;  // The paper holds out 20% as the test set.
+  uint64_t seed = 3;
+};
+
+/// Output of the pipeline: processed train/test partitions plus the fitted
+/// transforms (needed to process serving-time features identically).
+struct PreparedData {
+  data::ScenarioData train;
+  data::ScenarioData test;
+  NormalizerStats normalizer;
+  Discretizer discretizer;
+};
+
+/// Runs the pipeline on one scenario's raw data.
+Result<PreparedData> PrepareScenarioData(const data::ScenarioData& raw,
+                                         const DataPreparationConfig& config);
+
+}  // namespace feature
+}  // namespace alt
+
+#endif  // ALT_SRC_FEATURE_DATA_PREPARATION_H_

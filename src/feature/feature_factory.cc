@@ -1,0 +1,211 @@
+#include "src/feature/feature_factory.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace alt {
+namespace feature {
+
+Status FeatureFactory::RegisterProfileFeature(FeatureDefinition definition,
+                                              ProfileProducer producer) {
+  if (definition.kind != FeatureKind::kProfile) {
+    return Status::InvalidArgument("definition is not a profile feature");
+  }
+  if (producer == nullptr) {
+    return Status::InvalidArgument("producer must not be null");
+  }
+  if (features_.count(definition.name) > 0) {
+    return Status::AlreadyExists("feature " + definition.name);
+  }
+  FeatureEntry entry;
+  entry.definition = definition;
+  entry.profile_producer = std::move(producer);
+  entry.last_refresh_hour = clock_hours_;
+  registration_order_.push_back(definition.name);
+  const std::string name = definition.name;
+  features_.emplace(name, std::move(entry));
+  // Backfill existing users.
+  for (const std::string& user : users_) {
+    ALT_RETURN_IF_ERROR(RefreshFeatureForUser(&features_.at(name), user));
+  }
+  return Status::OK();
+}
+
+Status FeatureFactory::RegisterBehaviorFeature(FeatureDefinition definition,
+                                               BehaviorProducer producer) {
+  if (definition.kind != FeatureKind::kBehavior) {
+    return Status::InvalidArgument("definition is not a behavior feature");
+  }
+  if (producer == nullptr) {
+    return Status::InvalidArgument("producer must not be null");
+  }
+  if (features_.count(definition.name) > 0) {
+    return Status::AlreadyExists("feature " + definition.name);
+  }
+  FeatureEntry entry;
+  entry.definition = definition;
+  entry.behavior_producer = std::move(producer);
+  entry.last_refresh_hour = clock_hours_;
+  registration_order_.push_back(definition.name);
+  const std::string name = definition.name;
+  features_.emplace(name, std::move(entry));
+  for (const std::string& user : users_) {
+    ALT_RETURN_IF_ERROR(RefreshFeatureForUser(&features_.at(name), user));
+  }
+  return Status::OK();
+}
+
+Status FeatureFactory::RefreshFeatureForUser(FeatureEntry* entry,
+                                             const std::string& user_id) {
+  if (entry->definition.kind == FeatureKind::kProfile) {
+    std::vector<float> values = entry->profile_producer(user_id);
+    if (static_cast<int64_t>(values.size()) != entry->definition.dim) {
+      return Status::Internal("producer for " + entry->definition.name +
+                              " returned wrong dim");
+    }
+    entry->profile_values[user_id] = std::move(values);
+  } else {
+    std::vector<int64_t> events = entry->behavior_producer(user_id);
+    if (static_cast<int64_t>(events.size()) != entry->definition.dim) {
+      return Status::Internal("producer for " + entry->definition.name +
+                              " returned wrong length");
+    }
+    entry->behavior_values[user_id] = std::move(events);
+  }
+  return Status::OK();
+}
+
+Status FeatureFactory::AddUser(const std::string& user_id) {
+  if (HasUser(user_id)) return Status::AlreadyExists("user " + user_id);
+  users_.push_back(user_id);
+  for (auto& [name, entry] : features_) {
+    ALT_RETURN_IF_ERROR(RefreshFeatureForUser(&entry, user_id));
+  }
+  return Status::OK();
+}
+
+bool FeatureFactory::HasUser(const std::string& user_id) const {
+  return std::find(users_.begin(), users_.end(), user_id) != users_.end();
+}
+
+int64_t FeatureFactory::AdvanceClock(int64_t hours) {
+  ALT_CHECK_GE(hours, 0);
+  clock_hours_ += hours;
+  int64_t refreshes = 0;
+  for (auto& [name, entry] : features_) {
+    const int64_t cadence =
+        static_cast<int64_t>(entry.definition.frequency);
+    if (clock_hours_ - entry.last_refresh_hour >= cadence) {
+      for (const std::string& user : users_) {
+        const Status status = RefreshFeatureForUser(&entry, user);
+        if (!status.ok()) {
+          ALT_LOG(Error) << "refresh failed for " << name << "/" << user
+                         << ": " << status.ToString();
+          continue;
+        }
+        ++refreshes;
+      }
+      entry.last_refresh_hour = clock_hours_;
+    }
+  }
+  return refreshes;
+}
+
+Result<int64_t> FeatureFactory::LastRefreshHour(
+    const std::string& feature) const {
+  auto it = features_.find(feature);
+  if (it == features_.end()) return Status::NotFound("feature " + feature);
+  return it->second.last_refresh_hour;
+}
+
+Result<std::vector<float>> FeatureFactory::GetProfileValues(
+    const std::string& user_id, const std::string& feature) const {
+  auto it = features_.find(feature);
+  if (it == features_.end()) return Status::NotFound("feature " + feature);
+  if (it->second.definition.kind != FeatureKind::kProfile) {
+    return Status::InvalidArgument(feature + " is not a profile feature");
+  }
+  auto uit = it->second.profile_values.find(user_id);
+  if (uit == it->second.profile_values.end()) {
+    return Status::NotFound("user " + user_id);
+  }
+  return uit->second;
+}
+
+Result<std::vector<int64_t>> FeatureFactory::GetBehavior(
+    const std::string& user_id, const std::string& feature) const {
+  auto it = features_.find(feature);
+  if (it == features_.end()) return Status::NotFound("feature " + feature);
+  if (it->second.definition.kind != FeatureKind::kBehavior) {
+    return Status::InvalidArgument(feature + " is not a behavior feature");
+  }
+  auto uit = it->second.behavior_values.find(user_id);
+  if (uit == it->second.behavior_values.end()) {
+    return Status::NotFound("user " + user_id);
+  }
+  return uit->second;
+}
+
+std::vector<std::string> FeatureFactory::ProfileFeatureNames() const {
+  std::vector<std::string> out;
+  for (const std::string& name : registration_order_) {
+    if (features_.at(name).definition.kind == FeatureKind::kProfile) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> FeatureFactory::BehaviorFeatureNames() const {
+  std::vector<std::string> out;
+  for (const std::string& name : registration_order_) {
+    if (features_.at(name).definition.kind == FeatureKind::kBehavior) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+Result<JoinedFeatures> FeatureFactory::JoinUsers(
+    const std::vector<std::string>& user_ids,
+    const std::string& behavior_feature) const {
+  auto bit = features_.find(behavior_feature);
+  if (bit == features_.end()) {
+    return Status::NotFound("behavior feature " + behavior_feature);
+  }
+  if (bit->second.definition.kind != FeatureKind::kBehavior) {
+    return Status::InvalidArgument(behavior_feature +
+                                   " is not a behavior feature");
+  }
+  const std::vector<std::string> profile_names = ProfileFeatureNames();
+  int64_t total_dim = 0;
+  for (const std::string& name : profile_names) {
+    total_dim += features_.at(name).definition.dim;
+  }
+  JoinedFeatures joined;
+  joined.user_ids = user_ids;
+  joined.seq_len = bit->second.definition.dim;
+  const int64_t n = static_cast<int64_t>(user_ids.size());
+  joined.profiles = Tensor({n, total_dim});
+  joined.behaviors.resize(static_cast<size_t>(n * joined.seq_len));
+  for (int64_t r = 0; r < n; ++r) {
+    const std::string& user = user_ids[static_cast<size_t>(r)];
+    int64_t col = 0;
+    for (const std::string& name : profile_names) {
+      ALT_ASSIGN_OR_RETURN(std::vector<float> values,
+                           GetProfileValues(user, name));
+      for (float v : values) joined.profiles.at(r, col++) = v;
+    }
+    ALT_ASSIGN_OR_RETURN(std::vector<int64_t> events,
+                         GetBehavior(user, behavior_feature));
+    for (int64_t t = 0; t < joined.seq_len; ++t) {
+      joined.behaviors[static_cast<size_t>(r * joined.seq_len + t)] =
+          events[static_cast<size_t>(t)];
+    }
+  }
+  return joined;
+}
+
+}  // namespace feature
+}  // namespace alt

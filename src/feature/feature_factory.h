@@ -1,0 +1,113 @@
+#ifndef ALT_SRC_FEATURE_FEATURE_FACTORY_H_
+#define ALT_SRC_FEATURE_FEATURE_FACTORY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+#include "src/util/status.h"
+
+namespace alt {
+namespace feature {
+
+/// Feature group, matching the paper's split: relatively stable user
+/// profiles vs. frequently updated behavior sequences (Sec. IV-B).
+enum class FeatureKind { kProfile, kBehavior };
+
+/// Refresh cadence of a feature. The paper updates stable profile features
+/// daily or monthly and behavior sequences hourly or faster.
+enum class UpdateFrequency { kHourly = 1, kDaily = 24, kMonthly = 720 };
+
+/// Declaration of a feature column group.
+struct FeatureDefinition {
+  std::string name;
+  FeatureKind kind = FeatureKind::kProfile;
+  UpdateFrequency frequency = UpdateFrequency::kDaily;
+  /// kProfile: number of float columns; kBehavior: sequence length.
+  int64_t dim = 1;
+};
+
+/// Recomputes a user's profile feature values (simulates the upstream
+/// MaxCompute pipeline of the paper's deployment).
+using ProfileProducer =
+    std::function<std::vector<float>(const std::string& user_id)>;
+/// Recomputes a user's behavior event sequence.
+using BehaviorProducer =
+    std::function<std::vector<int64_t>(const std::string& user_id)>;
+
+/// Profile matrix + behavior sequences for a user list, ready for the
+/// Data Preparation module (the "feature joining" step).
+struct JoinedFeatures {
+  std::vector<std::string> user_ids;
+  Tensor profiles;                 // [num_users, total profile dim]
+  std::vector<int64_t> behaviors;  // row-major [num_users, seq_len]
+  int64_t seq_len = 0;
+};
+
+/// An in-process feature store with per-feature refresh cadences driven by
+/// a simulated clock. Registering a feature installs its producer; when the
+/// clock advances past a feature's cadence the factory re-invokes the
+/// producer for every known user (the "regularly scheduled feature update
+/// process" of Sec. IV-B).
+class FeatureFactory {
+ public:
+  Status RegisterProfileFeature(FeatureDefinition definition,
+                                ProfileProducer producer);
+  Status RegisterBehaviorFeature(FeatureDefinition definition,
+                                 BehaviorProducer producer);
+
+  /// Declares a user and computes all features for them at the current
+  /// clock.
+  Status AddUser(const std::string& user_id);
+  bool HasUser(const std::string& user_id) const;
+  int64_t NumUsers() const { return static_cast<int64_t>(users_.size()); }
+
+  /// Advances the simulated clock by `hours`, refreshing every feature
+  /// whose cadence has elapsed. Returns the number of feature refreshes.
+  int64_t AdvanceClock(int64_t hours);
+  int64_t clock_hours() const { return clock_hours_; }
+
+  /// Hour at which `feature` was last refreshed.
+  Result<int64_t> LastRefreshHour(const std::string& feature) const;
+
+  /// Current stored values.
+  Result<std::vector<float>> GetProfileValues(const std::string& user_id,
+                                              const std::string& feature) const;
+  Result<std::vector<int64_t>> GetBehavior(const std::string& user_id,
+                                           const std::string& feature) const;
+
+  std::vector<std::string> ProfileFeatureNames() const;
+  std::vector<std::string> BehaviorFeatureNames() const;
+
+  /// Joins all profile features (column-concatenated in registration order)
+  /// and the named behavior feature for the given users.
+  Result<JoinedFeatures> JoinUsers(const std::vector<std::string>& user_ids,
+                                   const std::string& behavior_feature) const;
+
+ private:
+  struct FeatureEntry {
+    FeatureDefinition definition;
+    ProfileProducer profile_producer;
+    BehaviorProducer behavior_producer;
+    int64_t last_refresh_hour = 0;
+    // Per-user stored values.
+    std::map<std::string, std::vector<float>> profile_values;
+    std::map<std::string, std::vector<int64_t>> behavior_values;
+  };
+
+  Status RefreshFeatureForUser(FeatureEntry* entry,
+                               const std::string& user_id);
+
+  int64_t clock_hours_ = 0;
+  std::vector<std::string> registration_order_;
+  std::map<std::string, FeatureEntry> features_;
+  std::vector<std::string> users_;
+};
+
+}  // namespace feature
+}  // namespace alt
+
+#endif  // ALT_SRC_FEATURE_FEATURE_FACTORY_H_

@@ -1,0 +1,173 @@
+#include "src/hpo/cmaes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace alt {
+namespace hpo {
+
+CmaEsTuner::CmaEsTuner(SearchSpace space, uint64_t seed, size_t lambda)
+    : Tuner(std::move(space), seed), dim_(space_.NumParams()) {
+  ALT_CHECK_GE(dim_, 1u);
+  const double n = static_cast<double>(dim_);
+  lambda_ = lambda > 0 ? lambda
+                       : static_cast<size_t>(4 + std::floor(3.0 * std::log(n)));
+  mu_ = lambda_ / 2;
+  ALT_CHECK_GE(mu_, 1u);
+
+  // Standard log-rank recombination weights.
+  weights_.resize(mu_);
+  double weight_sum = 0.0;
+  for (size_t i = 0; i < mu_; ++i) {
+    weights_[i] = std::log(static_cast<double>(mu_) + 0.5) -
+                  std::log(static_cast<double>(i) + 1.0);
+    weight_sum += weights_[i];
+  }
+  double weight_sq_sum = 0.0;
+  for (double& w : weights_) {
+    w /= weight_sum;
+    weight_sq_sum += w * w;
+  }
+  mu_eff_ = 1.0 / weight_sq_sum;
+
+  cc_ = (4.0 + mu_eff_ / n) / (n + 4.0 + 2.0 * mu_eff_ / n);
+  cs_ = (mu_eff_ + 2.0) / (n + mu_eff_ + 5.0);
+  c1_ = 2.0 / ((n + 1.3) * (n + 1.3) + mu_eff_);
+  cmu_ = std::min(1.0 - c1_, 2.0 * (mu_eff_ - 2.0 + 1.0 / mu_eff_) /
+                                 ((n + 2.0) * (n + 2.0) + mu_eff_));
+  // Separable variant: larger learning rates are admissible for the
+  // diagonal model (Ros & Hansen, 2008).
+  const double sep_scale = (n + 2.0) / 3.0;
+  c1_ = std::min(1.0, c1_ * sep_scale);
+  cmu_ = std::min(1.0 - c1_, cmu_ * sep_scale);
+  damps_ = 1.0 +
+           2.0 * std::max(0.0, std::sqrt((mu_eff_ - 1.0) / (n + 1.0)) - 1.0) +
+           cs_;
+  chi_n_ = std::sqrt(n) * (1.0 - 1.0 / (4.0 * n) + 1.0 / (21.0 * n * n));
+
+  mean_.assign(dim_, 0.5);
+  diag_c_.assign(dim_, 1.0);
+  path_c_.assign(dim_, 0.0);
+  path_s_.assign(dim_, 0.0);
+}
+
+void CmaEsTuner::SampleGeneration() {
+  for (size_t k = 0; k < lambda_; ++k) {
+    Candidate candidate;
+    candidate.z.resize(dim_);
+    candidate.x.resize(dim_);
+    for (size_t d = 0; d < dim_; ++d) {
+      candidate.z[d] = rng_.Normal();
+      const double step = sigma_ * std::sqrt(diag_c_[d]) * candidate.z[d];
+      candidate.x[d] = std::clamp(mean_[d] + step, 0.0, 1.0);
+    }
+    pending_ask_.push_back(std::move(candidate));
+  }
+}
+
+TrialConfig CmaEsTuner::Ask() {
+  if (pending_ask_.empty()) SampleGeneration();
+  Candidate candidate = std::move(pending_ask_.back());
+  pending_ask_.pop_back();
+  TrialConfig config = space_.Decode(candidate.x);
+  awaiting_tell_.push_back(std::move(candidate));
+  return config;
+}
+
+void CmaEsTuner::Tell(const TrialConfig& config, double objective) {
+  Tuner::Tell(config, objective);
+  const std::vector<double> x = space_.Encode(config);
+  // Match against an in-flight candidate by encoded position.
+  size_t best_index = awaiting_tell_.size();
+  double best_dist = 1e-6;
+  for (size_t i = 0; i < awaiting_tell_.size(); ++i) {
+    double dist = 0.0;
+    for (size_t d = 0; d < dim_; ++d) {
+      dist += std::abs(awaiting_tell_[i].x[d] - x[d]);
+    }
+    if (dist < best_dist) {
+      best_dist = dist;
+      best_index = i;
+    }
+  }
+  Candidate candidate;
+  if (best_index < awaiting_tell_.size()) {
+    candidate = std::move(awaiting_tell_[best_index]);
+    awaiting_tell_.erase(awaiting_tell_.begin() +
+                         static_cast<long>(best_index));
+  } else {
+    // Foreign config (told without Ask): reconstruct z from the current
+    // distribution.
+    candidate.x = x;
+    candidate.z.resize(dim_);
+    for (size_t d = 0; d < dim_; ++d) {
+      candidate.z[d] =
+          (x[d] - mean_[d]) / (sigma_ * std::sqrt(diag_c_[d]));
+    }
+  }
+  generation_results_.emplace_back(objective, std::move(candidate));
+  if (generation_results_.size() >= lambda_) UpdateDistribution();
+}
+
+void CmaEsTuner::UpdateDistribution() {
+  std::sort(generation_results_.begin(), generation_results_.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  const std::vector<double> old_mean = mean_;
+  std::vector<double> mean_z(dim_, 0.0);
+  for (size_t d = 0; d < dim_; ++d) {
+    double m = 0.0;
+    double mz = 0.0;
+    for (size_t i = 0; i < mu_; ++i) {
+      m += weights_[i] * generation_results_[i].second.x[d];
+      mz += weights_[i] * generation_results_[i].second.z[d];
+    }
+    mean_[d] = m;
+    mean_z[d] = mz;
+  }
+
+  // Step-size path (uses the standard-normal mean step).
+  double ps_norm_sq = 0.0;
+  for (size_t d = 0; d < dim_; ++d) {
+    path_s_[d] = (1.0 - cs_) * path_s_[d] +
+                 std::sqrt(cs_ * (2.0 - cs_) * mu_eff_) * mean_z[d];
+    ps_norm_sq += path_s_[d] * path_s_[d];
+  }
+  const double ps_norm = std::sqrt(ps_norm_sq);
+  const double n = static_cast<double>(dim_);
+  const bool hsig =
+      ps_norm / std::sqrt(1.0 - std::pow(1.0 - cs_,
+                                         2.0 * (generation_ + 1))) /
+          chi_n_ <
+      1.4 + 2.0 / (n + 1.0);
+
+  // Covariance path and diagonal covariance update.
+  for (size_t d = 0; d < dim_; ++d) {
+    const double y = (mean_[d] - old_mean[d]) / sigma_;
+    path_c_[d] = (1.0 - cc_) * path_c_[d] +
+                 (hsig ? std::sqrt(cc_ * (2.0 - cc_) * mu_eff_) * y : 0.0);
+    double rank_mu = 0.0;
+    for (size_t i = 0; i < mu_; ++i) {
+      const double yi =
+          (generation_results_[i].second.x[d] - old_mean[d]) / sigma_;
+      rank_mu += weights_[i] * yi * yi;
+    }
+    diag_c_[d] = (1.0 - c1_ - cmu_) * diag_c_[d] +
+                 c1_ * (path_c_[d] * path_c_[d] +
+                        (hsig ? 0.0 : cc_ * (2.0 - cc_) * diag_c_[d])) +
+                 cmu_ * rank_mu;
+    diag_c_[d] = std::max(diag_c_[d], 1e-12);
+  }
+
+  // Step-size adaptation.
+  sigma_ *= std::exp((cs_ / damps_) * (ps_norm / chi_n_ - 1.0));
+  sigma_ = std::clamp(sigma_, 1e-8, 1.0);
+
+  generation_results_.clear();
+  ++generation_;
+}
+
+}  // namespace hpo
+}  // namespace alt

@@ -1,0 +1,70 @@
+#ifndef ALT_SRC_HPO_CMAES_H_
+#define ALT_SRC_HPO_CMAES_H_
+
+#include <vector>
+
+#include "src/hpo/tuner.h"
+
+namespace alt {
+namespace hpo {
+
+/// Separable CMA-ES (Hansen et al.) over the normalized [0,1]^d encoding —
+/// the evolutionary strategy the paper cites ([32]) — with a diagonal
+/// covariance model, which keeps the update O(d) and is effective for the
+/// low-dimensional hyperparameter spaces used here. Box constraints are
+/// handled by clamping samples into [0,1].
+///
+/// Ask/tell protocol: a full population of `lambda` candidates is sampled
+/// per generation; the distribution parameters (mean, step size, diagonal
+/// covariance, evolution paths) update once the whole generation has been
+/// told back. Out-of-order tells are supported.
+class CmaEsTuner : public Tuner {
+ public:
+  CmaEsTuner(SearchSpace space, uint64_t seed, size_t lambda = 0);
+
+  TrialConfig Ask() override;
+  void Tell(const TrialConfig& config, double objective) override;
+  const char* name() const override { return "cmaes"; }
+
+  double sigma() const { return sigma_; }
+
+ private:
+  struct Candidate {
+    std::vector<double> x;  // clamped sample
+    std::vector<double> z;  // underlying standard-normal draw
+  };
+
+  void SampleGeneration();
+  void UpdateDistribution();
+
+  size_t dim_;
+  size_t lambda_;  // population size
+  size_t mu_;      // number of selected parents
+  std::vector<double> weights_;
+  double mu_eff_ = 0.0;
+  // Strategy parameters.
+  double cc_ = 0.0;
+  double cs_ = 0.0;
+  double c1_ = 0.0;
+  double cmu_ = 0.0;
+  double damps_ = 0.0;
+  double chi_n_ = 0.0;
+
+  // Distribution state.
+  std::vector<double> mean_;
+  std::vector<double> diag_c_;  // diagonal covariance
+  std::vector<double> path_c_;
+  std::vector<double> path_s_;
+  double sigma_ = 0.3;
+  int64_t generation_ = 0;
+
+  // In-flight candidates awaiting Ask()/Tell().
+  std::vector<Candidate> pending_ask_;
+  std::vector<Candidate> awaiting_tell_;
+  std::vector<std::pair<double, Candidate>> generation_results_;
+};
+
+}  // namespace hpo
+}  // namespace alt
+
+#endif  // ALT_SRC_HPO_CMAES_H_

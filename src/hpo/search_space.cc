@@ -1,0 +1,302 @@
+#include "src/hpo/search_space.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace alt {
+namespace hpo {
+
+double GetDouble(const TrialConfig& config, const std::string& name) {
+  auto it = config.find(name);
+  ALT_CHECK(it != config.end()) << "missing param " << name;
+  ALT_CHECK(std::holds_alternative<double>(it->second))
+      << name << " is not a double";
+  return std::get<double>(it->second);
+}
+
+int64_t GetInt(const TrialConfig& config, const std::string& name) {
+  auto it = config.find(name);
+  ALT_CHECK(it != config.end()) << "missing param " << name;
+  ALT_CHECK(std::holds_alternative<int64_t>(it->second))
+      << name << " is not an int";
+  return std::get<int64_t>(it->second);
+}
+
+const std::string& GetCategorical(const TrialConfig& config,
+                                  const std::string& name) {
+  auto it = config.find(name);
+  ALT_CHECK(it != config.end()) << "missing param " << name;
+  ALT_CHECK(std::holds_alternative<std::string>(it->second))
+      << name << " is not categorical";
+  return std::get<std::string>(it->second);
+}
+
+std::string ConfigToString(const TrialConfig& config) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [name, value] : config) {
+    if (!first) os << ", ";
+    first = false;
+    os << name << "=";
+    if (std::holds_alternative<double>(value)) {
+      os << std::get<double>(value);
+    } else if (std::holds_alternative<int64_t>(value)) {
+      os << std::get<int64_t>(value);
+    } else {
+      os << std::get<std::string>(value);
+    }
+  }
+  return os.str();
+}
+
+SearchSpace& SearchSpace::AddDouble(const std::string& name, double lo,
+                                    double hi, bool log_scale) {
+  ALT_CHECK_LT(lo, hi);
+  if (log_scale) ALT_CHECK_GT(lo, 0.0);
+  specs_.push_back({name, ParamType::kDouble, lo, hi, log_scale, {}});
+  return *this;
+}
+
+SearchSpace& SearchSpace::AddInt(const std::string& name, int64_t lo,
+                                 int64_t hi) {
+  ALT_CHECK_LE(lo, hi);
+  specs_.push_back({name, ParamType::kInt, static_cast<double>(lo),
+                    static_cast<double>(hi), false, {}});
+  return *this;
+}
+
+SearchSpace& SearchSpace::AddCategorical(const std::string& name,
+                                         std::vector<std::string> categories) {
+  ALT_CHECK(!categories.empty());
+  ParamSpec spec;
+  spec.name = name;
+  spec.type = ParamType::kCategorical;
+  spec.categories = std::move(categories);
+  specs_.push_back(std::move(spec));
+  return *this;
+}
+
+namespace {
+
+double SampleDouble(const ParamSpec& spec, double unit) {
+  if (spec.log_scale) {
+    const double log_lo = std::log(spec.lo);
+    const double log_hi = std::log(spec.hi);
+    return std::exp(log_lo + unit * (log_hi - log_lo));
+  }
+  return spec.lo + unit * (spec.hi - spec.lo);
+}
+
+double EncodeDouble(const ParamSpec& spec, double value) {
+  if (spec.log_scale) {
+    const double log_lo = std::log(spec.lo);
+    const double log_hi = std::log(spec.hi);
+    return (std::log(value) - log_lo) / (log_hi - log_lo);
+  }
+  return (value - spec.lo) / (spec.hi - spec.lo);
+}
+
+}  // namespace
+
+TrialConfig SearchSpace::Sample(Rng* rng) const {
+  TrialConfig config;
+  for (const ParamSpec& spec : specs_) {
+    switch (spec.type) {
+      case ParamType::kDouble:
+        config[spec.name] = SampleDouble(spec, rng->Uniform());
+        break;
+      case ParamType::kInt:
+        config[spec.name] = rng->UniformInt(static_cast<int64_t>(spec.lo),
+                                            static_cast<int64_t>(spec.hi));
+        break;
+      case ParamType::kCategorical:
+        config[spec.name] = spec.categories[static_cast<size_t>(
+            rng->UniformInt(0,
+                            static_cast<int64_t>(spec.categories.size()) - 1))];
+        break;
+    }
+  }
+  return config;
+}
+
+Status SearchSpace::Validate(const TrialConfig& config) const {
+  if (config.size() != specs_.size()) {
+    return Status::InvalidArgument("config has wrong number of params");
+  }
+  for (const ParamSpec& spec : specs_) {
+    auto it = config.find(spec.name);
+    if (it == config.end()) {
+      return Status::InvalidArgument("missing param " + spec.name);
+    }
+    switch (spec.type) {
+      case ParamType::kDouble: {
+        if (!std::holds_alternative<double>(it->second)) {
+          return Status::InvalidArgument(spec.name + " must be double");
+        }
+        const double v = std::get<double>(it->second);
+        if (v < spec.lo || v > spec.hi) {
+          return Status::OutOfRange(spec.name + " out of range");
+        }
+        break;
+      }
+      case ParamType::kInt: {
+        if (!std::holds_alternative<int64_t>(it->second)) {
+          return Status::InvalidArgument(spec.name + " must be int");
+        }
+        const int64_t v = std::get<int64_t>(it->second);
+        if (v < static_cast<int64_t>(spec.lo) ||
+            v > static_cast<int64_t>(spec.hi)) {
+          return Status::OutOfRange(spec.name + " out of range");
+        }
+        break;
+      }
+      case ParamType::kCategorical: {
+        if (!std::holds_alternative<std::string>(it->second)) {
+          return Status::InvalidArgument(spec.name + " must be categorical");
+        }
+        const std::string& v = std::get<std::string>(it->second);
+        if (std::find(spec.categories.begin(), spec.categories.end(), v) ==
+            spec.categories.end()) {
+          return Status::OutOfRange(spec.name + ": unknown category " + v);
+        }
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> SearchSpace::Encode(const TrialConfig& config) const {
+  std::vector<double> x;
+  x.reserve(specs_.size());
+  for (const ParamSpec& spec : specs_) {
+    switch (spec.type) {
+      case ParamType::kDouble:
+        x.push_back(EncodeDouble(spec, GetDouble(config, spec.name)));
+        break;
+      case ParamType::kInt: {
+        const double range = spec.hi - spec.lo;
+        x.push_back(range == 0.0
+                        ? 0.5
+                        : (static_cast<double>(GetInt(config, spec.name)) -
+                           spec.lo) / range);
+        break;
+      }
+      case ParamType::kCategorical: {
+        const std::string& v = GetCategorical(config, spec.name);
+        const auto it =
+            std::find(spec.categories.begin(), spec.categories.end(), v);
+        ALT_CHECK(it != spec.categories.end());
+        const double idx =
+            static_cast<double>(it - spec.categories.begin());
+        const double n = static_cast<double>(spec.categories.size());
+        x.push_back(n <= 1.0 ? 0.5 : idx / (n - 1.0));
+        break;
+      }
+    }
+  }
+  return x;
+}
+
+TrialConfig SearchSpace::Decode(const std::vector<double>& x) const {
+  ALT_CHECK_EQ(x.size(), specs_.size());
+  TrialConfig config;
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const ParamSpec& spec = specs_[i];
+    const double unit = std::clamp(x[i], 0.0, 1.0);
+    switch (spec.type) {
+      case ParamType::kDouble:
+        config[spec.name] = SampleDouble(spec, unit);
+        break;
+      case ParamType::kInt: {
+        const double v = spec.lo + unit * (spec.hi - spec.lo);
+        config[spec.name] = static_cast<int64_t>(std::llround(v));
+        break;
+      }
+      case ParamType::kCategorical: {
+        const double n = static_cast<double>(spec.categories.size());
+        const int64_t idx = std::min<int64_t>(
+            static_cast<int64_t>(spec.categories.size()) - 1,
+            static_cast<int64_t>(std::llround(unit * (n - 1.0))));
+        config[spec.name] = spec.categories[static_cast<size_t>(idx)];
+        break;
+      }
+    }
+  }
+  return config;
+}
+
+Json SearchSpace::ToJson() const {
+  Json j;
+  for (const ParamSpec& spec : specs_) {
+    Json p;
+    switch (spec.type) {
+      case ParamType::kDouble:
+        p["type"] = "double";
+        p["lo"] = spec.lo;
+        p["hi"] = spec.hi;
+        p["log"] = spec.log_scale;
+        break;
+      case ParamType::kInt:
+        p["type"] = "int";
+        p["lo"] = spec.lo;
+        p["hi"] = spec.hi;
+        break;
+      case ParamType::kCategorical: {
+        p["type"] = "categorical";
+        Json::Array cats;
+        for (const std::string& c : spec.categories) cats.push_back(c);
+        p["categories"] = std::move(cats);
+        break;
+      }
+    }
+    j[spec.name] = std::move(p);
+  }
+  return j;
+}
+
+Result<SearchSpace> SearchSpace::FromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("search space must be a JSON object");
+  }
+  SearchSpace space;
+  for (const auto& [name, p] : json.as_object()) {
+    if (!p.is_object() || !p.contains("type")) {
+      return Status::InvalidArgument("param " + name + " missing type");
+    }
+    const std::string& type = p.at("type").as_string();
+    if (type == "double") {
+      if (!p.contains("lo") || !p.contains("hi")) {
+        return Status::InvalidArgument(name + " needs lo/hi");
+      }
+      space.AddDouble(name, p.at("lo").as_number(), p.at("hi").as_number(),
+                      p.contains("log") && p.at("log").as_bool());
+    } else if (type == "int") {
+      if (!p.contains("lo") || !p.contains("hi")) {
+        return Status::InvalidArgument(name + " needs lo/hi");
+      }
+      space.AddInt(name, p.at("lo").as_int(), p.at("hi").as_int());
+    } else if (type == "categorical") {
+      if (!p.contains("categories") || !p.at("categories").is_array()) {
+        return Status::InvalidArgument(name + " needs categories");
+      }
+      std::vector<std::string> cats;
+      for (const Json& c : p.at("categories").as_array()) {
+        if (!c.is_string()) {
+          return Status::InvalidArgument(name + " categories must be strings");
+        }
+        cats.push_back(c.as_string());
+      }
+      space.AddCategorical(name, std::move(cats));
+    } else {
+      return Status::InvalidArgument("unknown param type " + type);
+    }
+  }
+  return space;
+}
+
+}  // namespace hpo
+}  // namespace alt

@@ -1,0 +1,85 @@
+#ifndef ALT_SRC_HPO_SEARCH_SPACE_H_
+#define ALT_SRC_HPO_SEARCH_SPACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/util/json.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace alt {
+namespace hpo {
+
+/// One hyperparameter's value inside a trial configuration.
+using ParamValue = std::variant<double, int64_t, std::string>;
+
+/// A full trial configuration: parameter name -> value.
+using TrialConfig = std::map<std::string, ParamValue>;
+
+/// Typed accessors (CHECK on type mismatch — a programmer error).
+double GetDouble(const TrialConfig& config, const std::string& name);
+int64_t GetInt(const TrialConfig& config, const std::string& name);
+const std::string& GetCategorical(const TrialConfig& config,
+                                  const std::string& name);
+
+/// Renders "lr=0.001, layers=3" for logs.
+std::string ConfigToString(const TrialConfig& config);
+
+/// The type of one searchable hyperparameter.
+enum class ParamType { kDouble, kInt, kCategorical };
+
+/// Declaration of one searchable hyperparameter (Fig. 3 of the paper shows
+/// such a configuration: learning rate, MLP dims, number of encoders, ...).
+struct ParamSpec {
+  std::string name;
+  ParamType type = ParamType::kDouble;
+  double lo = 0.0;
+  double hi = 1.0;
+  bool log_scale = false;
+  std::vector<std::string> categories;
+};
+
+/// An ordered set of hyperparameters with sampling, validation, and a
+/// normalized [0,1]^d encoding used by model-based tuners.
+class SearchSpace {
+ public:
+  SearchSpace& AddDouble(const std::string& name, double lo, double hi,
+                         bool log_scale = false);
+  SearchSpace& AddInt(const std::string& name, int64_t lo, int64_t hi);
+  SearchSpace& AddCategorical(const std::string& name,
+                              std::vector<std::string> categories);
+
+  size_t NumParams() const { return specs_.size(); }
+  const std::vector<ParamSpec>& specs() const { return specs_; }
+
+  /// Uniform (log-uniform where requested) random configuration.
+  TrialConfig Sample(Rng* rng) const;
+
+  /// Checks that `config` has exactly this space's parameters with in-range
+  /// values.
+  Status Validate(const TrialConfig& config) const;
+
+  /// Maps a configuration to [0,1]^d (one coordinate per parameter;
+  /// categoricals use the normalized category index).
+  std::vector<double> Encode(const TrialConfig& config) const;
+
+  /// Inverse of Encode; coordinates are clamped to [0,1].
+  TrialConfig Decode(const std::vector<double>& x) const;
+
+  /// (De)serialization of the space itself, e.g.
+  /// {"lr": {"type":"double","lo":1e-4,"hi":1e-1,"log":true}, ...}.
+  Json ToJson() const;
+  static Result<SearchSpace> FromJson(const Json& json);
+
+ private:
+  std::vector<ParamSpec> specs_;
+};
+
+}  // namespace hpo
+}  // namespace alt
+
+#endif  // ALT_SRC_HPO_SEARCH_SPACE_H_

@@ -1,0 +1,177 @@
+#include "src/hpo/tune_service.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+
+#include "src/util/logging.h"
+#include "src/util/stopwatch.h"
+#include "src/util/thread_pool.h"
+
+namespace alt {
+namespace hpo {
+
+namespace {
+
+/// Shared early-stopping state: per-step values of completed trials.
+class MedianTracker {
+ public:
+  void RecordCompleted(const std::map<int64_t, double>& step_values) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++completed_;
+    for (const auto& [step, value] : step_values) {
+      by_step_[step].push_back(value);
+    }
+  }
+
+  /// True when `value` at `step` is strictly below the median of completed
+  /// trials' values at the same step.
+  bool BelowMedian(int64_t step, double value, int64_t min_trials) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (completed_ < min_trials) return false;
+    auto it = by_step_.find(step);
+    if (it == by_step_.end() || it->second.empty()) return false;
+    std::vector<double> values = it->second;
+    std::nth_element(values.begin(), values.begin() + values.size() / 2,
+                     values.end());
+    const double median = values[values.size() / 2];
+    return value < median;
+  }
+
+ private:
+  std::mutex mu_;
+  int64_t completed_ = 0;
+  std::map<int64_t, std::vector<double>> by_step_;
+};
+
+class TrialContextImpl : public TrialContext {
+ public:
+  TrialContextImpl(MedianTracker* tracker, const TuneJobOptions& options)
+      : tracker_(tracker), options_(options) {}
+
+  Status ReportIntermediate(int64_t step, double value) override {
+    step_values_[step] = value;
+    if (options_.enable_early_stopping &&
+        tracker_->BelowMedian(step, value,
+                              options_.early_stopping_min_trials)) {
+      early_stopped_ = true;
+    }
+    if (ShouldStop()) {
+      return Status::Cancelled(early_stopped_ ? "early stopped"
+                                              : "trial timeout");
+    }
+    return Status::OK();
+  }
+
+  bool ShouldStop() const override {
+    if (early_stopped_) return true;
+    return options_.trial_timeout_seconds > 0.0 &&
+           watch_.ElapsedSeconds() > options_.trial_timeout_seconds;
+  }
+
+  bool early_stopped() const { return early_stopped_; }
+  double elapsed_seconds() const { return watch_.ElapsedSeconds(); }
+  const std::map<int64_t, double>& step_values() const { return step_values_; }
+
+ private:
+  MedianTracker* tracker_;
+  const TuneJobOptions& options_;
+  Stopwatch watch_;
+  std::map<int64_t, double> step_values_;
+  bool early_stopped_ = false;
+};
+
+}  // namespace
+
+Result<TuneReport> RunTuneJob(const SearchSpace& space, Objective objective,
+                              const TuneJobOptions& options) {
+  if (space.NumParams() == 0) {
+    return Status::InvalidArgument("empty search space");
+  }
+  if (options.max_trials <= 0 || options.parallelism <= 0) {
+    return Status::InvalidArgument(
+        "max_trials and parallelism must be positive");
+  }
+  ALT_ASSIGN_OR_RETURN(std::unique_ptr<Tuner> tuner,
+                       MakeTuner(options.algorithm, space, options.seed));
+
+  Stopwatch job_watch;
+  MedianTracker tracker;
+  std::mutex mu;  // Guards tuner and report.
+  TuneReport report;
+  ThreadPool pool(static_cast<size_t>(options.parallelism));
+
+  auto run_trial = [&](int64_t trial_id, TrialConfig config) {
+    TrialContextImpl context(&tracker, options);
+    Result<double> result = objective(config, &context);
+
+    TrialRecord record;
+    record.trial_id = trial_id;
+    record.config = config;
+    record.seconds = context.elapsed_seconds();
+    record.early_stopped = context.early_stopped();
+    if (result.ok()) {
+      record.objective = result.value();
+    } else {
+      record.failed = true;
+      record.error = result.status().ToString();
+    }
+    tracker.RecordCompleted(context.step_values());
+
+    std::lock_guard<std::mutex> lock(mu);
+    if (!record.failed) {
+      tuner->Tell(config, record.objective);
+      if (record.objective > report.best_objective) {
+        report.best_objective = record.objective;
+        report.best_config = config;
+      }
+    } else {
+      ++report.num_failed;
+    }
+    if (record.early_stopped) ++report.num_early_stopped;
+    report.trials.push_back(std::move(record));
+  };
+
+  std::vector<std::future<void>> futures;
+  for (int64_t trial_id = 0; trial_id < options.max_trials; ++trial_id) {
+    if (options.job_timeout_seconds > 0.0 &&
+        job_watch.ElapsedSeconds() > options.job_timeout_seconds) {
+      ALT_LOG(Warning) << "tune job timeout after " << trial_id << " trials";
+      break;
+    }
+    TrialConfig config;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      config = tuner->Ask();
+    }
+    const Status valid = space.Validate(config);
+    if (!valid.ok()) {
+      return Status::Internal("tuner proposed invalid config: " +
+                              valid.ToString());
+    }
+    futures.push_back(
+        pool.Submit([&run_trial, trial_id, config = std::move(config)]() {
+          run_trial(trial_id, config);
+        }));
+    // Light backpressure: when the pool is saturated, wait for the oldest
+    // outstanding trial so model-based tuners see results as they land.
+    if (futures.size() >= static_cast<size_t>(options.parallelism)) {
+      futures.front().get();
+      futures.erase(futures.begin());
+    }
+  }
+  for (auto& f : futures) f.get();
+
+  report.total_seconds = job_watch.ElapsedSeconds();
+  if (report.trials.empty()) {
+    return Status::DeadlineExceeded("no trials completed");
+  }
+  if (report.best_objective ==
+      -std::numeric_limits<double>::infinity()) {
+    return Status::Internal("all trials failed");
+  }
+  return report;
+}
+
+}  // namespace hpo
+}  // namespace alt

@@ -1,0 +1,91 @@
+#ifndef ALT_SRC_HPO_TUNE_SERVICE_H_
+#define ALT_SRC_HPO_TUNE_SERVICE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/hpo/search_space.h"
+#include "src/hpo/tuner.h"
+#include "src/util/status.h"
+
+namespace alt {
+namespace hpo {
+
+/// Options of one tuning job, mirroring the AntTune server behavior the
+/// paper describes (Fig. 8): distributed trial execution, per-trial and
+/// per-job time limits, early stopping of futureless trials, and fault
+/// tolerance for failing trials.
+struct TuneJobOptions {
+  int64_t max_trials = 24;
+  /// Concurrent trial executions (the "distributed" axis, here a pool).
+  int64_t parallelism = 2;
+  /// Per-trial wall-clock limit in seconds; 0 disables. Cooperative:
+  /// objectives observe it via TrialContext::ShouldStop().
+  double trial_timeout_seconds = 0.0;
+  /// Whole-job wall-clock limit in seconds; 0 disables. When it fires, no
+  /// new trials are launched.
+  double job_timeout_seconds = 0.0;
+  /// Median-rule early stopping on intermediate metrics: a trial is stopped
+  /// when its reported value at step s is below the median of all completed
+  /// trials' values at the same step.
+  bool enable_early_stopping = false;
+  /// Minimum completed trials before early stopping activates.
+  int64_t early_stopping_min_trials = 3;
+  /// "random" | "evolution" | "tpe" | "racos" (AntTune's default).
+  std::string algorithm = "racos";
+  uint64_t seed = 1;
+};
+
+/// Handed to the objective so it can report intermediate metrics (enabling
+/// early stopping) and observe cancellation/timeouts cooperatively.
+class TrialContext {
+ public:
+  virtual ~TrialContext() = default;
+
+  /// Reports the metric value at training step/epoch `step`. Returns a
+  /// Cancelled status when the scheduler decided to stop this trial; the
+  /// objective should return promptly (its result is still recorded).
+  virtual Status ReportIntermediate(int64_t step, double value) = 0;
+
+  /// True when the trial should stop (early-stopped or timed out).
+  virtual bool ShouldStop() const = 0;
+};
+
+/// The user-supplied evaluation function. Returns the final objective value
+/// (maximized) or an error status (the trial is marked failed; the job
+/// continues — fault tolerance).
+using Objective =
+    std::function<Result<double>(const TrialConfig&, TrialContext*)>;
+
+/// Per-trial outcome record.
+struct TrialRecord {
+  int64_t trial_id = 0;
+  TrialConfig config;
+  double objective = -std::numeric_limits<double>::infinity();
+  bool failed = false;
+  bool early_stopped = false;
+  double seconds = 0.0;
+  std::string error;
+};
+
+/// Job summary.
+struct TuneReport {
+  TrialConfig best_config;
+  double best_objective = -std::numeric_limits<double>::infinity();
+  std::vector<TrialRecord> trials;
+  int64_t num_failed = 0;
+  int64_t num_early_stopped = 0;
+  double total_seconds = 0.0;
+};
+
+/// Runs a tuning job: asks the tuner for configurations, evaluates them on
+/// a worker pool, feeds results back, and returns the best configuration.
+Result<TuneReport> RunTuneJob(const SearchSpace& space, Objective objective,
+                              const TuneJobOptions& options);
+
+}  // namespace hpo
+}  // namespace alt
+
+#endif  // ALT_SRC_HPO_TUNE_SERVICE_H_

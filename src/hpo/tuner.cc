@@ -1,0 +1,235 @@
+#include "src/hpo/tuner.h"
+
+#include "src/hpo/cmaes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/util/logging.h"
+
+namespace alt {
+namespace hpo {
+
+void Tuner::Tell(const TrialConfig& config, double objective) {
+  history_.push_back({config, objective});
+  if (objective > best_.objective) {
+    best_ = history_.back();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EvolutionaryTuner
+// ---------------------------------------------------------------------------
+
+EvolutionaryTuner::EvolutionaryTuner(SearchSpace space, uint64_t seed,
+                                     size_t population_size,
+                                     double mutation_sigma)
+    : Tuner(std::move(space), seed),
+      population_size_(population_size),
+      mutation_sigma_(mutation_sigma) {
+  ALT_CHECK_GE(population_size_, 2u);
+}
+
+TrialConfig EvolutionaryTuner::Ask() {
+  if (history_.size() < population_size_) {
+    return space_.Sample(&rng_);
+  }
+  // Current population = best `population_size_` observations.
+  std::vector<const Observation*> population;
+  population.reserve(history_.size());
+  for (const Observation& obs : history_) population.push_back(&obs);
+  std::sort(population.begin(), population.end(),
+            [](const Observation* a, const Observation* b) {
+              return a->objective > b->objective;
+            });
+  population.resize(population_size_);
+
+  auto tournament = [&]() -> const Observation* {
+    const Observation* a = population[static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(population.size()) - 1))];
+    const Observation* b = population[static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(population.size()) - 1))];
+    return a->objective >= b->objective ? a : b;
+  };
+  const std::vector<double> pa = space_.Encode(tournament()->config);
+  const std::vector<double> pb = space_.Encode(tournament()->config);
+
+  std::vector<double> child(pa.size());
+  for (size_t i = 0; i < child.size(); ++i) {
+    child[i] = rng_.Bernoulli(0.5) ? pa[i] : pb[i];       // uniform crossover
+    child[i] += rng_.Normal(0.0, mutation_sigma_);        // mutation
+    child[i] = std::clamp(child[i], 0.0, 1.0);
+  }
+  return space_.Decode(child);
+}
+
+// ---------------------------------------------------------------------------
+// TpeTuner
+// ---------------------------------------------------------------------------
+
+TpeTuner::TpeTuner(SearchSpace space, uint64_t seed, double gamma,
+                   size_t num_candidates, size_t warmup)
+    : Tuner(std::move(space), seed),
+      gamma_(gamma),
+      num_candidates_(num_candidates),
+      warmup_(warmup) {}
+
+namespace {
+
+/// Per-dimension Gaussian KDE log-density with bandwidth `h`.
+double KdeLogDensity(const std::vector<std::vector<double>>& points,
+                     const std::vector<double>& x, double h) {
+  if (points.empty()) return 0.0;
+  double log_total = -std::numeric_limits<double>::infinity();
+  for (const auto& p : points) {
+    double log_k = 0.0;
+    for (size_t d = 0; d < x.size(); ++d) {
+      const double z = (x[d] - p[d]) / h;
+      log_k += -0.5 * z * z - std::log(h);
+    }
+    // log-sum-exp accumulation.
+    if (log_k > log_total) std::swap(log_k, log_total);
+    log_total += std::log1p(std::exp(log_k - log_total));
+  }
+  return log_total - std::log(static_cast<double>(points.size()));
+}
+
+}  // namespace
+
+TrialConfig TpeTuner::Ask() {
+  if (history_.size() < warmup_) return space_.Sample(&rng_);
+
+  std::vector<const Observation*> sorted;
+  for (const Observation& obs : history_) sorted.push_back(&obs);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Observation* a, const Observation* b) {
+              return a->objective > b->objective;
+            });
+  const size_t n_good = std::max<size_t>(
+      2, static_cast<size_t>(gamma_ * static_cast<double>(sorted.size())));
+  std::vector<std::vector<double>> good;
+  std::vector<std::vector<double>> bad;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    auto encoded = space_.Encode(sorted[i]->config);
+    (i < n_good ? good : bad).push_back(std::move(encoded));
+  }
+  const double h = 0.15;
+
+  // Candidates: perturbations of good points; keep the best density ratio.
+  TrialConfig best_config;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < num_candidates_; ++c) {
+    const std::vector<double>& anchor = good[static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(good.size()) - 1))];
+    std::vector<double> x(anchor.size());
+    for (size_t d = 0; d < x.size(); ++d) {
+      x[d] = std::clamp(anchor[d] + rng_.Normal(0.0, h), 0.0, 1.0);
+    }
+    const double score =
+        KdeLogDensity(good, x, h) - KdeLogDensity(bad, x, h);
+    if (score > best_score) {
+      best_score = score;
+      best_config = space_.Decode(x);
+    }
+  }
+  return best_config;
+}
+
+// ---------------------------------------------------------------------------
+// RacosTuner
+// ---------------------------------------------------------------------------
+
+RacosTuner::RacosTuner(SearchSpace space, uint64_t seed, size_t num_positive,
+                       double epsilon, size_t warmup)
+    : Tuner(std::move(space), seed),
+      num_positive_(num_positive),
+      epsilon_(epsilon),
+      warmup_(warmup) {
+  ALT_CHECK_GE(num_positive_, 1u);
+}
+
+TrialConfig RacosTuner::Ask() {
+  if (history_.size() < warmup_ || rng_.Bernoulli(epsilon_)) {
+    return space_.Sample(&rng_);  // global exploration
+  }
+  // Split history into positives (best num_positive_) and negatives.
+  std::vector<const Observation*> sorted;
+  for (const Observation& obs : history_) sorted.push_back(&obs);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Observation* a, const Observation* b) {
+              return a->objective > b->objective;
+            });
+  const size_t n_pos = std::min(num_positive_, sorted.size());
+  const std::vector<double> positive = space_.Encode(
+      sorted[static_cast<size_t>(
+                 rng_.UniformInt(0, static_cast<int64_t>(n_pos) - 1))]
+          ->config);
+  std::vector<std::vector<double>> negatives;
+  for (size_t i = n_pos; i < sorted.size(); ++i) {
+    negatives.push_back(space_.Encode(sorted[i]->config));
+  }
+
+  // Learn a randomized axis-aligned box around the positive that excludes
+  // all negatives: while some negative lies inside, pick a random dimension
+  // where it differs from the positive and shrink the box on that side.
+  const size_t dim = positive.size();
+  std::vector<double> lo(dim, 0.0);
+  std::vector<double> hi(dim, 1.0);
+  for (const auto& neg : negatives) {
+    bool inside = true;
+    for (size_t d = 0; d < dim; ++d) {
+      if (neg[d] < lo[d] || neg[d] > hi[d]) {
+        inside = false;
+        break;
+      }
+    }
+    if (!inside) continue;
+    // Randomly pick dimensions until this negative is excluded.
+    for (int attempts = 0; attempts < 64 && inside; ++attempts) {
+      const size_t d = static_cast<size_t>(
+          rng_.UniformInt(0, static_cast<int64_t>(dim) - 1));
+      if (neg[d] == positive[d]) continue;
+      if (neg[d] < positive[d]) {
+        const double cut = rng_.Uniform(neg[d], positive[d]);
+        lo[d] = std::max(lo[d], cut);
+      } else {
+        const double cut = rng_.Uniform(positive[d], neg[d]);
+        hi[d] = std::min(hi[d], cut);
+      }
+      inside = neg[d] >= lo[d] && neg[d] <= hi[d];
+    }
+  }
+
+  std::vector<double> x(dim);
+  for (size_t d = 0; d < dim; ++d) {
+    x[d] = lo[d] < hi[d] ? rng_.Uniform(lo[d], hi[d]) : positive[d];
+  }
+  return space_.Decode(x);
+}
+
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<Tuner>> MakeTuner(const std::string& algorithm,
+                                         const SearchSpace& space,
+                                         uint64_t seed) {
+  if (algorithm == "random") {
+    return std::unique_ptr<Tuner>(new RandomSearchTuner(space, seed));
+  }
+  if (algorithm == "evolution") {
+    return std::unique_ptr<Tuner>(new EvolutionaryTuner(space, seed));
+  }
+  if (algorithm == "tpe") {
+    return std::unique_ptr<Tuner>(new TpeTuner(space, seed));
+  }
+  if (algorithm == "racos") {
+    return std::unique_ptr<Tuner>(new RacosTuner(space, seed));
+  }
+  if (algorithm == "cmaes") {
+    return std::unique_ptr<Tuner>(new CmaEsTuner(space, seed));
+  }
+  return Status::InvalidArgument("unknown tuner algorithm: " + algorithm);
+}
+
+}  // namespace hpo
+}  // namespace alt

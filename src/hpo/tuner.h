@@ -1,0 +1,114 @@
+#ifndef ALT_SRC_HPO_TUNER_H_
+#define ALT_SRC_HPO_TUNER_H_
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hpo/search_space.h"
+
+namespace alt {
+namespace hpo {
+
+/// One finished observation handed back to a tuner.
+struct Observation {
+  TrialConfig config;
+  double objective = 0.0;  // Tuners maximize.
+};
+
+/// Ask/tell interface shared by all hyperparameter-optimization algorithms.
+/// Implementations must tolerate interleaved Ask()s (parallel trials) and
+/// Tell()s in any order.
+class Tuner {
+ public:
+  Tuner(SearchSpace space, uint64_t seed)
+      : space_(std::move(space)), rng_(seed) {}
+  virtual ~Tuner() = default;
+
+  /// Proposes the next configuration to evaluate.
+  virtual TrialConfig Ask() = 0;
+
+  /// Reports a finished evaluation.
+  virtual void Tell(const TrialConfig& config, double objective);
+
+  virtual const char* name() const = 0;
+
+  /// Best observation so far; empty config if none reported.
+  const Observation& best() const { return best_; }
+  const std::vector<Observation>& history() const { return history_; }
+  const SearchSpace& space() const { return space_; }
+
+ protected:
+  SearchSpace space_;
+  Rng rng_;
+  std::vector<Observation> history_;
+  Observation best_{{}, -std::numeric_limits<double>::infinity()};
+};
+
+/// Pure random search (Bergstra & Bengio, 2012) — the sanity baseline.
+class RandomSearchTuner : public Tuner {
+ public:
+  using Tuner::Tuner;
+  TrialConfig Ask() override { return space_.Sample(&rng_); }
+  const char* name() const override { return "random"; }
+};
+
+/// A (mu+lambda)-style evolutionary tuner over the normalized encoding:
+/// tournament selection, uniform crossover, Gaussian mutation.
+class EvolutionaryTuner : public Tuner {
+ public:
+  EvolutionaryTuner(SearchSpace space, uint64_t seed,
+                    size_t population_size = 8, double mutation_sigma = 0.15);
+  TrialConfig Ask() override;
+  const char* name() const override { return "evolution"; }
+
+ private:
+  size_t population_size_;
+  double mutation_sigma_;
+};
+
+/// Tree-structured Parzen Estimator style tuner: models the top-gamma
+/// observations with per-dimension kernel density estimates and samples
+/// candidates maximizing the good/bad density ratio.
+class TpeTuner : public Tuner {
+ public:
+  TpeTuner(SearchSpace space, uint64_t seed, double gamma = 0.25,
+           size_t num_candidates = 24, size_t warmup = 8);
+  TrialConfig Ask() override;
+  const char* name() const override { return "tpe"; }
+
+ private:
+  double gamma_;
+  size_t num_candidates_;
+  size_t warmup_;
+};
+
+/// RACOS (Yu, Qian & Hu, AAAI'16), the classification-based derivative-free
+/// optimizer that AntTune uses by default. Maintains the best-so-far
+/// positive samples and learns a randomized axis-aligned box that separates
+/// a positive from the negatives; new samples are drawn from the box with
+/// probability 1 - epsilon (exploitation) and globally otherwise.
+class RacosTuner : public Tuner {
+ public:
+  RacosTuner(SearchSpace space, uint64_t seed, size_t num_positive = 2,
+             double epsilon = 0.15, size_t warmup = 6);
+  TrialConfig Ask() override;
+  const char* name() const override { return "racos"; }
+
+ private:
+  size_t num_positive_;
+  double epsilon_;
+  size_t warmup_;
+};
+
+/// Builds a tuner by algorithm name: "random", "evolution", "tpe",
+/// "racos", "cmaes".
+Result<std::unique_ptr<Tuner>> MakeTuner(const std::string& algorithm,
+                                         const SearchSpace& space,
+                                         uint64_t seed);
+
+}  // namespace hpo
+}  // namespace alt
+
+#endif  // ALT_SRC_HPO_TUNER_H_

@@ -1,0 +1,82 @@
+#ifndef ALT_SRC_MODELS_BEHAVIOR_ENCODER_H_
+#define ALT_SRC_MODELS_BEHAVIOR_ENCODER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/nn/embedding.h"
+#include "src/nn/lstm.h"
+#include "src/nn/module.h"
+#include "src/nn/transformer.h"
+
+namespace alt {
+namespace models {
+
+/// Interface of the Fig. 2 behavior encoding module: maps an embedded event
+/// sequence [B, T, H] to contextualized features [B, T, H]. Implementations:
+/// stacked LSTM, BERT-style transformer, and (in src/nas) the architecture
+/// derived by the budget-limited NAS.
+class BehaviorEncoder : public nn::Module {
+ public:
+  virtual ag::Variable Encode(const ag::Variable& embedded) = 0;
+  /// Inference FLOPs for one sample of length `seq_len`.
+  virtual int64_t Flops(int64_t seq_len) const = 0;
+};
+
+/// The paper's "LSTM-based" encoder.
+class LstmBehaviorEncoder : public BehaviorEncoder {
+ public:
+  LstmBehaviorEncoder(int64_t hidden_dim, int64_t num_layers, Rng* rng)
+      : lstm_(std::make_unique<nn::Lstm>(hidden_dim, hidden_dim, num_layers,
+                                         rng)) {}
+
+  ag::Variable Encode(const ag::Variable& embedded) override {
+    return lstm_->Forward(embedded);
+  }
+  int64_t Flops(int64_t seq_len) const override {
+    return lstm_->Flops(seq_len);
+  }
+
+ protected:
+  std::vector<std::pair<std::string, Module*>> Children() override {
+    return {{"lstm", lstm_.get()}};
+  }
+
+ private:
+  std::unique_ptr<nn::Lstm> lstm_;
+};
+
+/// The paper's "BERT-based" encoder: learned positional embeddings plus a
+/// transformer encoder stack.
+class BertBehaviorEncoder : public BehaviorEncoder {
+ public:
+  BertBehaviorEncoder(int64_t hidden_dim, int64_t num_heads, int64_t ff_dim,
+                      int64_t num_layers, int64_t max_seq_len, Rng* rng)
+      : positions_(std::make_unique<nn::PositionalEmbedding>(max_seq_len,
+                                                             hidden_dim, rng)),
+        encoder_(std::make_unique<nn::TransformerEncoder>(
+            hidden_dim, num_heads, ff_dim, num_layers, rng)) {}
+
+  ag::Variable Encode(const ag::Variable& embedded) override {
+    return encoder_->Forward(positions_->Forward(embedded));
+  }
+  int64_t Flops(int64_t seq_len) const override {
+    return positions_->Flops(seq_len) + encoder_->Flops(seq_len);
+  }
+
+ protected:
+  std::vector<std::pair<std::string, Module*>> Children() override {
+    return {{"positions", positions_.get()}, {"encoder", encoder_.get()}};
+  }
+
+ private:
+  std::unique_ptr<nn::PositionalEmbedding> positions_;
+  std::unique_ptr<nn::TransformerEncoder> encoder_;
+};
+
+}  // namespace models
+}  // namespace alt
+
+#endif  // ALT_SRC_MODELS_BEHAVIOR_ENCODER_H_

@@ -1,0 +1,133 @@
+#include "src/models/model_config.h"
+
+namespace alt {
+namespace models {
+
+const char* EncoderKindName(EncoderKind kind) {
+  switch (kind) {
+    case EncoderKind::kNone:
+      return "none";
+    case EncoderKind::kLstm:
+      return "lstm";
+    case EncoderKind::kBert:
+      return "bert";
+    case EncoderKind::kNas:
+      return "nas";
+  }
+  return "?";
+}
+
+Result<EncoderKind> EncoderKindFromName(const std::string& name) {
+  if (name == "none") return EncoderKind::kNone;
+  if (name == "lstm") return EncoderKind::kLstm;
+  if (name == "bert") return EncoderKind::kBert;
+  if (name == "nas") return EncoderKind::kNas;
+  return Status::InvalidArgument("unknown encoder kind: " + name);
+}
+
+Json ModelConfig::ToJson() const {
+  Json j;
+  j["profile_dim"] = profile_dim;
+  j["vocab_size"] = vocab_size;
+  j["seq_len"] = seq_len;
+  j["encoder"] = EncoderKindName(encoder);
+  j["hidden_dim"] = hidden_dim;
+  j["encoder_layers"] = encoder_layers;
+  j["num_heads"] = num_heads;
+  j["ff_dim"] = ff_dim;
+  if (!nas_arch.is_null()) j["nas_arch"] = nas_arch;
+  Json::Array profile;
+  for (int64_t d : profile_hidden) profile.push_back(d);
+  j["profile_hidden"] = std::move(profile);
+  j["profile_out"] = profile_out;
+  Json::Array head;
+  for (int64_t d : head_hidden) head.push_back(d);
+  j["head_hidden"] = std::move(head);
+  j["dropout"] = static_cast<double>(dropout);
+  j["learning_rate"] = static_cast<double>(learning_rate);
+  return j;
+}
+
+Result<ModelConfig> ModelConfig::FromJson(const Json& j) {
+  if (!j.is_object()) return Status::InvalidArgument("config must be object");
+  ModelConfig c;
+  auto get_int = [&](const std::string& key, int64_t* out) -> Status {
+    if (!j.contains(key)) return Status::OK();
+    if (!j.at(key).is_number()) {
+      return Status::InvalidArgument(key + " must be a number");
+    }
+    *out = j.at(key).as_int();
+    return Status::OK();
+  };
+  ALT_RETURN_IF_ERROR(get_int("profile_dim", &c.profile_dim));
+  ALT_RETURN_IF_ERROR(get_int("vocab_size", &c.vocab_size));
+  ALT_RETURN_IF_ERROR(get_int("seq_len", &c.seq_len));
+  ALT_RETURN_IF_ERROR(get_int("hidden_dim", &c.hidden_dim));
+  ALT_RETURN_IF_ERROR(get_int("encoder_layers", &c.encoder_layers));
+  ALT_RETURN_IF_ERROR(get_int("num_heads", &c.num_heads));
+  ALT_RETURN_IF_ERROR(get_int("ff_dim", &c.ff_dim));
+  ALT_RETURN_IF_ERROR(get_int("profile_out", &c.profile_out));
+  if (j.contains("encoder")) {
+    ALT_ASSIGN_OR_RETURN(c.encoder,
+                         EncoderKindFromName(j.at("encoder").as_string()));
+  }
+  if (j.contains("nas_arch")) c.nas_arch = j.at("nas_arch");
+  auto get_dims = [&](const std::string& key,
+                      std::vector<int64_t>* out) -> Status {
+    if (!j.contains(key)) return Status::OK();
+    if (!j.at(key).is_array()) {
+      return Status::InvalidArgument(key + " must be an array");
+    }
+    out->clear();
+    for (const Json& v : j.at(key).as_array()) {
+      if (!v.is_number()) {
+        return Status::InvalidArgument(key + " entries must be numbers");
+      }
+      out->push_back(v.as_int());
+    }
+    return Status::OK();
+  };
+  ALT_RETURN_IF_ERROR(get_dims("profile_hidden", &c.profile_hidden));
+  ALT_RETURN_IF_ERROR(get_dims("head_hidden", &c.head_hidden));
+  if (j.contains("dropout")) {
+    c.dropout = static_cast<float>(j.at("dropout").as_number());
+  }
+  if (j.contains("learning_rate")) {
+    c.learning_rate = static_cast<float>(j.at("learning_rate").as_number());
+  }
+  if (c.encoder == EncoderKind::kBert && c.hidden_dim % c.num_heads != 0) {
+    return Status::InvalidArgument("num_heads must divide hidden_dim");
+  }
+  return c;
+}
+
+ModelConfig ModelConfig::Heavy(EncoderKind kind, int64_t profile_dim,
+                               int64_t seq_len, int64_t vocab_size) {
+  ModelConfig c;
+  c.encoder = kind;
+  c.profile_dim = profile_dim;
+  c.seq_len = seq_len;
+  c.vocab_size = vocab_size;
+  c.hidden_dim = 15;
+  c.encoder_layers = 6;
+  c.num_heads = 3;
+  c.ff_dim = 32;
+  return c;
+}
+
+ModelConfig ModelConfig::Light(EncoderKind kind, int64_t profile_dim,
+                               int64_t seq_len, int64_t vocab_size) {
+  ModelConfig c = Heavy(kind, profile_dim, seq_len, vocab_size);
+  c.encoder_layers = 3;
+  return c;
+}
+
+ModelConfig ModelConfig::ProfileOnly(int64_t profile_dim) {
+  ModelConfig c;
+  c.encoder = EncoderKind::kNone;
+  c.profile_dim = profile_dim;
+  return c;
+}
+
+}  // namespace models
+}  // namespace alt

@@ -1,0 +1,68 @@
+#ifndef ALT_SRC_MODELS_MODEL_CONFIG_H_
+#define ALT_SRC_MODELS_MODEL_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/json.h"
+#include "src/util/status.h"
+
+namespace alt {
+namespace models {
+
+/// Which behavior-sequence encoder the model uses (Fig. 2's "behavior
+/// encoding module").
+enum class EncoderKind {
+  kNone,  // Profile-only "Basic" model (Table VII baseline).
+  kLstm,  // Stacked LSTM (the paper's LSTM-based architecture).
+  kBert,  // Transformer encoder stack (the paper's BERT-based architecture).
+  kNas,   // Architecture found by the budget-limited NAS (Sec. III-D).
+};
+
+const char* EncoderKindName(EncoderKind kind);
+Result<EncoderKind> EncoderKindFromName(const std::string& name);
+
+/// Full architecture + training hyperparameters of one Fig. 2 model.
+/// Serializable to JSON so models can be rebuilt at serving time and so the
+/// hyperparameter-optimization module can mutate it (Fig. 3 search space).
+struct ModelConfig {
+  // Input schema.
+  int64_t profile_dim = 16;
+  int64_t vocab_size = 40;
+  int64_t seq_len = 16;
+
+  // Behavior encoding module.
+  EncoderKind encoder = EncoderKind::kLstm;
+  int64_t hidden_dim = 15;      // Paper: 15 hidden units.
+  int64_t encoder_layers = 6;   // Paper: 6 heavy / 3 light.
+  int64_t num_heads = 3;        // Must divide hidden_dim for kBert.
+  int64_t ff_dim = 32;          // Paper: 32 intermediate units (BERT).
+  /// NAS-derived architecture description; only used when encoder == kNas.
+  Json nas_arch;
+
+  // Profile encoding module (MLP hidden dims; output profile_out).
+  std::vector<int64_t> profile_hidden = {32};
+  int64_t profile_out = 16;
+
+  // Prediction module (MLP hidden dims; output is always 1 logit).
+  std::vector<int64_t> head_hidden = {16};
+
+  float dropout = 0.0f;
+  float learning_rate = 1e-3f;  // Paper: Adam, lr 0.001.
+
+  Json ToJson() const;
+  static Result<ModelConfig> FromJson(const Json& json);
+
+  /// Presets matching the paper's implementation details (Sec. V-A3).
+  static ModelConfig Heavy(EncoderKind kind, int64_t profile_dim,
+                           int64_t seq_len, int64_t vocab_size);
+  static ModelConfig Light(EncoderKind kind, int64_t profile_dim,
+                           int64_t seq_len, int64_t vocab_size);
+  static ModelConfig ProfileOnly(int64_t profile_dim);
+};
+
+}  // namespace models
+}  // namespace alt
+
+#endif  // ALT_SRC_MODELS_MODEL_CONFIG_H_

@@ -1,0 +1,198 @@
+#include "src/nas/arch.h"
+
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace alt {
+namespace nas {
+
+namespace {
+
+/// Attention head count used consistently by FLOPs accounting and the
+/// derived encoder: 3 heads when divisible (the paper's hidden dim 15),
+/// otherwise 1.
+int64_t AttentionHeads(int64_t dim) { return dim % 3 == 0 ? 3 : 1; }
+
+}  // namespace
+
+std::string OpSpec::ToString() const {
+  switch (type) {
+    case OpType::kConv:
+      return "conv" + std::to_string(kernel);
+    case OpType::kDilatedConv:
+      return "dconv" + std::to_string(kernel);
+    case OpType::kAvgPool:
+      return "avgpool" + std::to_string(kernel);
+    case OpType::kMaxPool:
+      return "maxpool" + std::to_string(kernel);
+    case OpType::kLstm:
+      return "lstm";
+    case OpType::kAttention:
+      return "attn";
+  }
+  return "?";
+}
+
+Result<OpSpec> OpSpec::FromString(const std::string& name) {
+  auto parse_kernel = [&](size_t prefix_len) -> Result<int64_t> {
+    if (name.size() <= prefix_len) {
+      return Status::InvalidArgument("missing kernel in op name: " + name);
+    }
+    int64_t k = 0;
+    for (size_t i = prefix_len; i < name.size(); ++i) {
+      if (name[i] < '0' || name[i] > '9') {
+        return Status::InvalidArgument("bad kernel in op name: " + name);
+      }
+      k = k * 10 + (name[i] - '0');
+    }
+    return k;
+  };
+  if (name == "lstm") return OpSpec{OpType::kLstm, 0};
+  if (name == "attn") return OpSpec{OpType::kAttention, 0};
+  if (name.rfind("dconv", 0) == 0) {
+    ALT_ASSIGN_OR_RETURN(int64_t k, parse_kernel(5));
+    return OpSpec{OpType::kDilatedConv, k};
+  }
+  if (name.rfind("conv", 0) == 0) {
+    ALT_ASSIGN_OR_RETURN(int64_t k, parse_kernel(4));
+    return OpSpec{OpType::kConv, k};
+  }
+  if (name.rfind("avgpool", 0) == 0) {
+    ALT_ASSIGN_OR_RETURN(int64_t k, parse_kernel(7));
+    return OpSpec{OpType::kAvgPool, k};
+  }
+  if (name.rfind("maxpool", 0) == 0) {
+    ALT_ASSIGN_OR_RETURN(int64_t k, parse_kernel(7));
+    return OpSpec{OpType::kMaxPool, k};
+  }
+  return Status::InvalidArgument("unknown op name: " + name);
+}
+
+int64_t OpSpec::Flops(int64_t seq_len, int64_t dim) const {
+  switch (type) {
+    case OpType::kConv:
+    case OpType::kDilatedConv:
+      return seq_len * (2 * kernel * dim * dim + dim);
+    case OpType::kAvgPool:
+    case OpType::kMaxPool:
+      return seq_len * kernel * dim;
+    case OpType::kLstm:
+      // Fused input + hidden projections into 4H gates plus elementwise.
+      return seq_len * (2 * dim * 4 * dim + 2 * dim * 4 * dim + 10 * dim);
+    case OpType::kAttention: {
+      const int64_t heads = AttentionHeads(dim);
+      const int64_t head_dim = dim / heads;
+      const int64_t proj = 4 * (seq_len * 2 * dim * dim + seq_len * dim);
+      const int64_t matmuls = heads * 4 * seq_len * seq_len * head_dim;
+      const int64_t softmax = heads * 5 * seq_len * seq_len;
+      return proj + matmuls + softmax;
+    }
+  }
+  return 0;
+}
+
+std::vector<OpSpec> DefaultOpCandidates() {
+  std::vector<OpSpec> ops;
+  for (int64_t k : {1, 3, 5, 7}) ops.push_back({OpType::kConv, k});
+  for (int64_t k : {3, 5, 7}) ops.push_back({OpType::kDilatedConv, k});
+  ops.push_back({OpType::kAvgPool, 3});
+  ops.push_back({OpType::kMaxPool, 3});
+  ops.push_back({OpType::kLstm, 0});
+  ops.push_back({OpType::kAttention, 0});
+  return ops;
+}
+
+int64_t Architecture::Flops(int64_t seq_len) const {
+  int64_t flops = 0;
+  for (const LayerSpec& layer : layers) {
+    flops += layer.op.Flops(seq_len, dim);
+    for (bool active : layer.residuals) {
+      if (active) flops += seq_len * dim;  // residual addition
+    }
+  }
+  // Attentive sum over layer outputs: softmax over L plus L weighted adds.
+  flops += num_layers() * (2 * seq_len * dim) + 5 * num_layers();
+  return flops;
+}
+
+Status Architecture::Validate() const {
+  if (dim <= 0) return Status::InvalidArgument("dim must be positive");
+  if (layers.empty()) return Status::InvalidArgument("empty architecture");
+  for (int64_t i = 0; i < num_layers(); ++i) {
+    const LayerSpec& layer = layers[static_cast<size_t>(i)];
+    if (layer.input < 0 || layer.input > i) {
+      return Status::InvalidArgument("layer " + std::to_string(i) +
+                                     " has invalid input index");
+    }
+    if (static_cast<int64_t>(layer.residuals.size()) != i + 1) {
+      return Status::InvalidArgument("layer " + std::to_string(i) +
+                                     " residual mask has wrong size");
+    }
+  }
+  return Status::OK();
+}
+
+Json Architecture::ToJson() const {
+  Json j;
+  j["dim"] = dim;
+  Json::Array layer_array;
+  for (const LayerSpec& layer : layers) {
+    Json l;
+    l["input"] = layer.input;
+    l["op"] = layer.op.ToString();
+    Json::Array res;
+    for (bool r : layer.residuals) res.push_back(r);
+    l["residuals"] = std::move(res);
+    layer_array.push_back(std::move(l));
+  }
+  j["layers"] = std::move(layer_array);
+  return j;
+}
+
+Result<Architecture> Architecture::FromJson(const Json& json) {
+  if (!json.is_object() || !json.contains("layers")) {
+    return Status::InvalidArgument("architecture json must have layers");
+  }
+  Architecture arch;
+  if (json.contains("dim")) arch.dim = json.at("dim").as_int();
+  for (const Json& l : json.at("layers").as_array()) {
+    LayerSpec layer;
+    layer.input = l.at("input").as_int();
+    ALT_ASSIGN_OR_RETURN(layer.op, OpSpec::FromString(l.at("op").as_string()));
+    for (const Json& r : l.at("residuals").as_array()) {
+      layer.residuals.push_back(r.as_bool());
+    }
+    arch.layers.push_back(std::move(layer));
+  }
+  ALT_RETURN_IF_ERROR(arch.Validate());
+  return arch;
+}
+
+std::string Architecture::ToString() const {
+  auto source_name = [](int64_t s) {
+    return s == 0 ? std::string("input") : "layer" + std::to_string(s);
+  };
+  std::ostringstream os;
+  os << "Architecture(dim=" << dim << ")\n";
+  for (int64_t i = 0; i < num_layers(); ++i) {
+    const LayerSpec& layer = layers[static_cast<size_t>(i)];
+    os << "  layer" << (i + 1) << ": " << layer.op.ToString() << "("
+       << source_name(layer.input) << ")";
+    bool any = false;
+    for (size_t r = 0; r < layer.residuals.size(); ++r) {
+      if (layer.residuals[r]) {
+        os << (any ? ", " : "  + residual[") << source_name(
+            static_cast<int64_t>(r));
+        any = true;
+      }
+    }
+    if (any) os << "]";
+    os << "\n";
+  }
+  os << "  output: attentive sum of layer outputs\n";
+  return os.str();
+}
+
+}  // namespace nas
+}  // namespace alt

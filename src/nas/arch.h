@@ -1,0 +1,86 @@
+#ifndef ALT_SRC_NAS_ARCH_H_
+#define ALT_SRC_NAS_ARCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/json.h"
+#include "src/util/status.h"
+
+namespace alt {
+namespace nas {
+
+/// Candidate operation families of the paper's search space (Sec. III-D and
+/// V-A3): 1-D standard and dilated convolutions, average/max pooling, LSTM,
+/// and multi-head self-attention.
+enum class OpType {
+  kConv,         // standard conv1d, SAME padding
+  kDilatedConv,  // dilation 2
+  kAvgPool,      // kernel 3
+  kMaxPool,      // kernel 3
+  kLstm,         // single LSTM layer
+  kAttention,    // multi-head self-attention
+};
+
+/// One concrete candidate operation.
+struct OpSpec {
+  OpType type = OpType::kConv;
+  int64_t kernel = 3;  // Meaningful for conv/pool types.
+
+  /// Short name: "conv3", "dconv5", "avgpool3", "maxpool3", "lstm", "attn".
+  std::string ToString() const;
+  static Result<OpSpec> FromString(const std::string& name);
+
+  /// Inference FLOPs of this op for one [T, dim] sample.
+  int64_t Flops(int64_t seq_len, int64_t dim) const;
+
+  bool operator==(const OpSpec& other) const {
+    return type == other.type && kernel == other.kernel;
+  }
+};
+
+/// The paper's experimental candidate set: standard and dilated 1-D convs
+/// with kernels {1, 3, 5, 7}, avg/max pooling with kernel 3, LSTM, and
+/// self-attention (Sec. V-A3). Note kernel-1 dilated == kernel-1 standard,
+/// so dilated convs use kernels {3, 5, 7}.
+std::vector<OpSpec> DefaultOpCandidates();
+
+/// One searched layer: which earlier output it consumes, which operation it
+/// applies, and which earlier outputs are added as residuals (each previous
+/// output has an independent gate — a layer can have multiple residuals).
+struct LayerSpec {
+  /// 0 = original input; i >= 1 = output of layer i.
+  int64_t input = 0;
+  OpSpec op;
+  /// residuals[r] == true adds source r (same indexing as `input`).
+  /// Size must be the layer's index + 1 (layer i can see sources 0..i).
+  std::vector<bool> residuals;
+};
+
+/// A derived light behavior-encoder architecture (Fig. 6): a stack of
+/// searched layers whose outputs are combined by an attentive sum.
+struct Architecture {
+  int64_t dim = 15;  // Channel width (equals the behavior embedding dim).
+  std::vector<LayerSpec> layers;
+
+  int64_t num_layers() const { return static_cast<int64_t>(layers.size()); }
+
+  /// Total inference FLOPs for one length-`seq_len` sample: op FLOPs plus
+  /// residual additions plus the attentive output sum.
+  int64_t Flops(int64_t seq_len) const;
+
+  /// Structural validation (input/residual indices in range).
+  Status Validate() const;
+
+  Json ToJson() const;
+  static Result<Architecture> FromJson(const Json& json);
+
+  /// Multi-line ASCII rendering in the style of the paper's Fig. 9.
+  std::string ToString() const;
+};
+
+}  // namespace nas
+}  // namespace alt
+
+#endif  // ALT_SRC_NAS_ARCH_H_

@@ -1,0 +1,54 @@
+#include "src/nas/derived_encoder.h"
+
+#include "src/autograd/ops.h"
+#include "src/util/logging.h"
+
+namespace alt {
+namespace nas {
+
+DerivedNasEncoder::DerivedNasEncoder(Architecture arch, Rng* rng)
+    : arch_(std::move(arch)) {
+  ALT_CHECK(arch_.Validate().ok()) << arch_.Validate().ToString();
+  for (const LayerSpec& layer : arch_.layers) {
+    ops_.push_back(std::make_unique<NasOpModule>(layer.op, arch_.dim, rng));
+  }
+  attn_logits_ =
+      ag::Variable::Parameter(Tensor::Zeros({arch_.num_layers()}));
+}
+
+ag::Variable DerivedNasEncoder::Encode(const ag::Variable& embedded) {
+  ALT_CHECK_EQ(embedded.value().size(2), arch_.dim);
+  // outs[0] = original input; outs[i] = layer i's output (1-based).
+  std::vector<ag::Variable> outs;
+  outs.push_back(embedded);
+  for (int64_t i = 0; i < arch_.num_layers(); ++i) {
+    const LayerSpec& layer = arch_.layers[static_cast<size_t>(i)];
+    ag::Variable h = ops_[static_cast<size_t>(i)]->Forward(
+        outs[static_cast<size_t>(layer.input)]);
+    for (size_t r = 0; r < layer.residuals.size(); ++r) {
+      if (layer.residuals[r]) h = ag::Add(h, outs[r]);
+    }
+    outs.push_back(h);
+  }
+  // Attentive sum over layer outputs.
+  ag::Variable weights = ag::SoftmaxLastDim(attn_logits_);
+  ag::Variable result;
+  for (int64_t i = 0; i < arch_.num_layers(); ++i) {
+    ag::Variable term = ag::MulScalarVar(
+        outs[static_cast<size_t>(i + 1)], ag::IndexSelect(weights, i));
+    result = result.defined() ? ag::Add(result, term) : term;
+  }
+  return result;
+}
+
+std::vector<std::pair<std::string, nn::Module*>>
+DerivedNasEncoder::Children() {
+  std::vector<std::pair<std::string, nn::Module*>> out;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    out.emplace_back("op" + std::to_string(i), ops_[i].get());
+  }
+  return out;
+}
+
+}  // namespace nas
+}  // namespace alt

@@ -1,0 +1,47 @@
+#ifndef ALT_SRC_NAS_DERIVED_ENCODER_H_
+#define ALT_SRC_NAS_DERIVED_ENCODER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/models/behavior_encoder.h"
+#include "src/nas/arch.h"
+#include "src/nas/nas_ops.h"
+
+namespace alt {
+namespace nas {
+
+/// The behavior encoder instantiating a searched Architecture (Fig. 6):
+/// each layer applies its operation to the chosen earlier output, adds its
+/// gated residual inputs, and the final output is an attentive (learned
+/// softmax-weighted) sum of all layer outputs.
+class DerivedNasEncoder : public models::BehaviorEncoder {
+ public:
+  DerivedNasEncoder(Architecture arch, Rng* rng);
+
+  ag::Variable Encode(const ag::Variable& embedded) override;
+  int64_t Flops(int64_t seq_len) const override {
+    return arch_.Flops(seq_len);
+  }
+
+  const Architecture& arch() const { return arch_; }
+
+ protected:
+  std::vector<std::pair<std::string, ag::Variable*>> LocalParameters()
+      override {
+    return {{"attn_logits", &attn_logits_}};
+  }
+  std::vector<std::pair<std::string, Module*>> Children() override;
+
+ private:
+  Architecture arch_;
+  std::vector<std::unique_ptr<NasOpModule>> ops_;  // one per layer
+  ag::Variable attn_logits_;  // [num_layers] attentive-sum weights
+};
+
+}  // namespace nas
+}  // namespace alt
+
+#endif  // ALT_SRC_NAS_DERIVED_ENCODER_H_

@@ -1,0 +1,62 @@
+#include "src/nas/nas_ops.h"
+
+#include "src/autograd/ops.h"
+#include "src/util/logging.h"
+
+namespace alt {
+namespace nas {
+
+int64_t NasAttentionHeads(int64_t dim) { return dim % 3 == 0 ? 3 : 1; }
+
+NasOpModule::NasOpModule(const OpSpec& spec, int64_t dim, Rng* rng)
+    : spec_(spec) {
+  switch (spec_.type) {
+    case OpType::kConv:
+      conv_ = std::make_unique<nn::Conv1DLayer>(dim, dim, spec_.kernel,
+                                                /*dilation=*/1, rng);
+      break;
+    case OpType::kDilatedConv:
+      conv_ = std::make_unique<nn::Conv1DLayer>(dim, dim, spec_.kernel,
+                                                /*dilation=*/2, rng);
+      break;
+    case OpType::kAvgPool:
+    case OpType::kMaxPool:
+      break;  // stateless
+    case OpType::kLstm:
+      lstm_ = std::make_unique<nn::LstmLayer>(dim, dim, rng);
+      break;
+    case OpType::kAttention:
+      attention_ = std::make_unique<nn::MultiHeadSelfAttention>(
+          dim, NasAttentionHeads(dim), rng);
+      break;
+  }
+}
+
+ag::Variable NasOpModule::Forward(const ag::Variable& x) {
+  switch (spec_.type) {
+    case OpType::kConv:
+    case OpType::kDilatedConv:
+      return conv_->Forward(x);
+    case OpType::kAvgPool:
+      return ag::AvgPool1D(x, spec_.kernel);
+    case OpType::kMaxPool:
+      return ag::MaxPool1D(x, spec_.kernel);
+    case OpType::kLstm:
+      return lstm_->Forward(x);
+    case OpType::kAttention:
+      return attention_->Forward(x);
+  }
+  ALT_LOG(Fatal) << "unknown op type";
+  return x;
+}
+
+std::vector<std::pair<std::string, nn::Module*>> NasOpModule::Children() {
+  std::vector<std::pair<std::string, nn::Module*>> out;
+  if (conv_ != nullptr) out.emplace_back("conv", conv_.get());
+  if (lstm_ != nullptr) out.emplace_back("lstm", lstm_.get());
+  if (attention_ != nullptr) out.emplace_back("attention", attention_.get());
+  return out;
+}
+
+}  // namespace nas
+}  // namespace alt

@@ -1,0 +1,44 @@
+#ifndef ALT_SRC_NAS_NAS_OPS_H_
+#define ALT_SRC_NAS_NAS_OPS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/nas/arch.h"
+#include "src/nn/attention.h"
+#include "src/nn/conv.h"
+#include "src/nn/lstm.h"
+#include "src/nn/module.h"
+
+namespace alt {
+namespace nas {
+
+/// A single candidate operation instantiated as an nn module over [B, T, D].
+/// Pooling ops are stateless; conv/LSTM/attention own parameters.
+class NasOpModule : public nn::Module {
+ public:
+  NasOpModule(const OpSpec& spec, int64_t dim, Rng* rng);
+
+  ag::Variable Forward(const ag::Variable& x);
+
+  const OpSpec& spec() const { return spec_; }
+
+ protected:
+  std::vector<std::pair<std::string, Module*>> Children() override;
+
+ private:
+  OpSpec spec_;
+  std::unique_ptr<nn::Conv1DLayer> conv_;
+  std::unique_ptr<nn::LstmLayer> lstm_;
+  std::unique_ptr<nn::MultiHeadSelfAttention> attention_;
+};
+
+/// Head count used by attention candidates; matches OpSpec::Flops.
+int64_t NasAttentionHeads(int64_t dim);
+
+}  // namespace nas
+}  // namespace alt
+
+#endif  // ALT_SRC_NAS_NAS_OPS_H_

@@ -1,0 +1,180 @@
+#include "src/nas/nas_search.h"
+
+#include <algorithm>
+
+#include "src/autograd/ops.h"
+#include "src/nas/derived_encoder.h"
+#include "src/opt/optimizer.h"
+#include "src/util/logging.h"
+
+namespace alt {
+namespace nas {
+
+namespace {
+
+/// The Eq. 5 loss: CE(student, hard) + delta * CE(student, teacher_soft).
+/// Teacher may be null (hard labels only).
+ag::Variable DistillLoss(models::BaseModel* student,
+                         models::BaseModel* teacher, const data::Batch& batch,
+                         float delta, Rng* dropout_rng) {
+  ag::Variable logits = student->Forward(batch, dropout_rng);
+  ag::Variable hard = ag::Variable::Constant(batch.labels);
+  ag::Variable loss = ag::BCEWithLogits(logits, hard);
+  if (teacher != nullptr && delta > 0.0f) {
+    std::vector<float> soft_probs = teacher->PredictProbs(batch);
+    Tensor soft = Tensor::FromVector({batch.batch_size, 1}, soft_probs);
+    loss = ag::Add(
+        loss, ag::ScalarMul(
+                  ag::BCEWithLogits(logits, ag::Variable::Constant(soft)),
+                  delta));
+  }
+  return loss;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<models::BaseModel>> SearchLightModel(
+    const models::ModelConfig& light_base, models::BaseModel* teacher,
+    const data::ScenarioData& train_data, const NasSearchOptions& options,
+    NasSearchReport* report) {
+  if (train_data.num_samples() < 8) {
+    return Status::InvalidArgument("too few samples for NAS search");
+  }
+  Rng rng(options.seed);
+  Rng dropout_rng = rng.Fork();
+
+  // 1. Build the supernet model (full Fig. 2 model with supernet encoder).
+  models::ModelConfig supernet_config = light_base;
+  supernet_config.encoder = models::EncoderKind::kNas;
+  auto supernet = std::make_unique<SupernetEncoder>(
+      supernet_config.hidden_dim, options.supernet, options.seed * 97 + 1,
+      &rng);
+  SupernetEncoder* supernet_ptr = supernet.get();
+  auto model = std::make_unique<models::BaseModel>(
+      supernet_config, std::move(supernet), &rng);
+
+  // 2. Alternating bilevel optimization (weights on train split, arch on
+  //    validation split, Eq. 4).
+  Rng split_rng = rng.Fork();
+  auto [w_train, w_val] =
+      data::SplitTrainTest(train_data, options.val_fraction, &split_rng);
+  if (w_train.num_samples() == 0 || w_val.num_samples() == 0) {
+    return Status::InvalidArgument("train data too small to split for NAS");
+  }
+
+  std::vector<ag::Variable*> arch_params = supernet_ptr->ArchParameters();
+  std::vector<ag::Variable*> weight_params;
+  for (ag::Variable* p : model->Parameters()) {
+    if (std::find(arch_params.begin(), arch_params.end(), p) ==
+        arch_params.end()) {
+      weight_params.push_back(p);
+    }
+  }
+  opt::Adam weight_opt(weight_params, options.weight_lr);
+  opt::Adam arch_opt(arch_params, options.arch_lr);
+
+  model->SetTraining(true);
+  Rng batch_rng = rng.Fork();
+  int64_t step = 0;
+  const int64_t total_steps = std::max<int64_t>(
+      1, options.search_epochs *
+             ((w_train.num_samples() + options.batch_size - 1) /
+              options.batch_size));
+  for (int64_t epoch = 0; epoch < options.search_epochs; ++epoch) {
+    auto val_batches = data::ShuffledBatchIndices(
+        w_val.num_samples(), options.batch_size, &batch_rng);
+    size_t val_cursor = 0;
+    for (const auto& train_idx : data::ShuffledBatchIndices(
+             w_train.num_samples(), options.batch_size, &batch_rng)) {
+      // Anneal the Gumbel temperature from tau_start to tau_end.
+      const double progress =
+          static_cast<double>(step) / static_cast<double>(total_steps);
+      supernet_ptr->set_tau(options.tau_start +
+                            (options.tau_end - options.tau_start) * progress);
+      ++step;
+
+      // Weight step on the train split.
+      data::Batch train_batch = MakeBatch(w_train, train_idx);
+      model->ZeroGrad();
+      DistillLoss(model.get(), teacher, train_batch, options.distill_delta,
+                  &dropout_rng)
+          .Backward();
+      weight_opt.ClipGradNorm(5.0);
+      weight_opt.Step();
+
+      // Architecture step on the validation split (Eq. 4).
+      data::Batch val_batch =
+          MakeBatch(w_val, val_batches[val_cursor % val_batches.size()]);
+      ++val_cursor;
+      model->ZeroGrad();
+      ag::Variable val_loss = DistillLoss(model.get(), teacher, val_batch,
+                                          options.distill_delta, &dropout_rng);
+      val_loss =
+          ag::Add(val_loss,
+                  ag::ScalarMul(
+                      supernet_ptr->FlopsLoss(supernet_config.seq_len),
+                      options.lambda_flops));
+      val_loss.Backward();
+      arch_opt.ClipGradNorm(5.0);
+      arch_opt.Step();
+    }
+  }
+  model->SetTraining(false);
+
+  // 3. Derive the max-joint-probability architecture under the budget.
+  ALT_ASSIGN_OR_RETURN(
+      Architecture arch,
+      supernet_ptr->Derive(options.flops_budget, supernet_config.seq_len));
+  if (report != nullptr) {
+    report->arch = arch;
+    report->encoder_flops = arch.Flops(supernet_config.seq_len);
+    report->supernet_val_auc = train::EvaluateAuc(model.get(), w_val);
+  }
+
+  // 4. Train a fresh model with the derived encoder on the full train data.
+  models::ModelConfig final_config = light_base;
+  final_config.encoder = models::EncoderKind::kNas;
+  final_config.nas_arch = arch.ToJson();
+  ALT_ASSIGN_OR_RETURN(std::unique_ptr<models::BaseModel> final_model,
+                       BuildModel(final_config, &rng));
+  train::TrainOptions final_train = options.final_train;
+  final_train.seed = options.seed * 131 + 7;
+  if (teacher != nullptr && options.distill_delta > 0.0f) {
+    ALT_RETURN_IF_ERROR(
+        TrainWithDistillation(final_model.get(), teacher, train_data,
+                              options.distill_delta, final_train)
+            .status());
+  } else {
+    ALT_RETURN_IF_ERROR(
+        TrainModel(final_model.get(), train_data, final_train).status());
+  }
+  return final_model;
+}
+
+Result<std::unique_ptr<models::BaseModel>> BuildModel(
+    const models::ModelConfig& config, Rng* rng) {
+  if (config.encoder != models::EncoderKind::kNas) {
+    return models::BuildBaseModel(config, rng);
+  }
+  if (config.nas_arch.is_null()) {
+    return Status::InvalidArgument("kNas config without nas_arch");
+  }
+  ALT_ASSIGN_OR_RETURN(Architecture arch,
+                       Architecture::FromJson(config.nas_arch));
+  if (arch.dim != config.hidden_dim) {
+    return Status::InvalidArgument("nas_arch dim mismatch with hidden_dim");
+  }
+  auto encoder = std::make_unique<DerivedNasEncoder>(std::move(arch), rng);
+  return std::make_unique<models::BaseModel>(config, std::move(encoder), rng);
+}
+
+Result<std::unique_ptr<models::BaseModel>> CloneModel(
+    models::BaseModel* source, Rng* rng) {
+  ALT_ASSIGN_OR_RETURN(std::unique_ptr<models::BaseModel> clone,
+                       BuildModel(source->config(), rng));
+  ALT_RETURN_IF_ERROR(clone->CopyParametersFrom(source));
+  return clone;
+}
+
+}  // namespace nas
+}  // namespace alt

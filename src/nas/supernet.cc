@@ -1,0 +1,355 @@
+#include "src/nas/supernet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/autograd/ops.h"
+#include "src/util/logging.h"
+
+namespace alt {
+namespace nas {
+
+namespace {
+
+/// Softmax of a logits tensor as plain doubles (for Derive, Eq. 9).
+std::vector<double> SoftmaxValues(const Tensor& logits) {
+  std::vector<double> p(static_cast<size_t>(logits.numel()));
+  double max_v = logits[0];
+  for (int64_t i = 1; i < logits.numel(); ++i) {
+    max_v = std::max<double>(max_v, logits[i]);
+  }
+  double total = 0.0;
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    p[static_cast<size_t>(i)] = std::exp(logits[i] - max_v);
+    total += p[static_cast<size_t>(i)];
+  }
+  for (double& v : p) v /= total;
+  return p;
+}
+
+}  // namespace
+
+SupernetEncoder::SupernetEncoder(int64_t dim, SupernetOptions options,
+                                 uint64_t sample_seed, Rng* rng)
+    : dim_(dim), options_(std::move(options)), sample_rng_(sample_seed) {
+  ALT_CHECK_GE(options_.num_layers, 1);
+  if (options_.candidates.empty()) {
+    options_.candidates = DefaultOpCandidates();
+  }
+  const int64_t n_ops = static_cast<int64_t>(options_.candidates.size());
+  for (int64_t i = 0; i < options_.num_layers; ++i) {
+    LayerChoices layer;
+    layer.input_logits = ag::Variable::Parameter(Tensor::Zeros({i + 1}));
+    layer.op_logits = ag::Variable::Parameter(Tensor::Zeros({n_ops}));
+    for (int64_t r = 0; r <= i; ++r) {
+      // Slight bias toward "off" keeps early sampled architectures lean.
+      layer.res_logits.push_back(
+          ag::Variable::Parameter(Tensor::FromVector({2}, {0.5f, 0.0f})));
+    }
+    for (const OpSpec& spec : options_.candidates) {
+      layer.ops.push_back(std::make_unique<NasOpModule>(spec, dim_, rng));
+    }
+    layers_.push_back(std::move(layer));
+  }
+  attn_logits_ =
+      ag::Variable::Parameter(Tensor::Zeros({options_.num_layers}));
+}
+
+std::pair<int64_t, ag::Variable> SupernetEncoder::GumbelPick(
+    const ag::Variable& logits) {
+  const int64_t n = logits.value().numel();
+  if (training()) {
+    Tensor noise({n});
+    for (int64_t i = 0; i < n; ++i) {
+      noise[i] = static_cast<float>(sample_rng_.Gumbel());
+    }
+    ag::Variable perturbed = ag::ScalarMul(
+        ag::Add(logits, ag::Variable::Constant(std::move(noise))),
+        static_cast<float>(1.0 / options_.tau));
+    ag::Variable probs = ag::SoftmaxLastDim(perturbed);
+    const int64_t m = probs.value().ArgMaxAll();
+    // Eq. 8: gate value is exactly 1 in the forward pass; the backward pass
+    // reaches the winning logit through P_m.
+    ag::Variable pm = ag::IndexSelect(probs, m);
+    ag::Variable gate = ag::ScalarAdd(ag::Sub(pm, ag::Detach(pm)), 1.0f);
+    return {m, gate};
+  }
+  // Eval: deterministic argmax, no gradient needed.
+  return {logits.value().ArgMaxAll(), ag::Variable()};
+}
+
+ag::Variable SupernetEncoder::Encode(const ag::Variable& embedded) {
+  ALT_CHECK_EQ(embedded.value().size(2), dim_);
+  std::vector<ag::Variable> outs;
+  outs.push_back(embedded);
+  for (int64_t i = 0; i < options_.num_layers; ++i) {
+    LayerChoices& layer = layers_[static_cast<size_t>(i)];
+
+    auto [input_idx, input_gate] = GumbelPick(layer.input_logits);
+    ag::Variable in = outs[static_cast<size_t>(input_idx)];
+    if (input_gate.defined()) in = ag::MulScalarVar(in, input_gate);
+
+    auto [op_idx, op_gate] = GumbelPick(layer.op_logits);
+    ag::Variable h = layer.ops[static_cast<size_t>(op_idx)]->Forward(in);
+    if (op_gate.defined()) h = ag::MulScalarVar(h, op_gate);
+
+    for (size_t r = 0; r < layer.res_logits.size(); ++r) {
+      auto [on, res_gate] = GumbelPick(layer.res_logits[r]);
+      if (on == 1) {
+        ag::Variable res = outs[r];
+        if (res_gate.defined()) res = ag::MulScalarVar(res, res_gate);
+        h = ag::Add(h, res);
+      }
+    }
+    outs.push_back(h);
+  }
+  ag::Variable weights = ag::SoftmaxLastDim(attn_logits_);
+  ag::Variable result;
+  for (int64_t i = 0; i < options_.num_layers; ++i) {
+    ag::Variable term = ag::MulScalarVar(
+        outs[static_cast<size_t>(i + 1)], ag::IndexSelect(weights, i));
+    result = result.defined() ? ag::Add(result, term) : term;
+  }
+  return result;
+}
+
+int64_t SupernetEncoder::Flops(int64_t seq_len) const {
+  Result<Architecture> arch = Derive(/*flops_budget=*/0, seq_len);
+  ALT_CHECK(arch.ok());
+  return arch.value().Flops(seq_len);
+}
+
+std::vector<ag::Variable*> SupernetEncoder::ArchParameters() {
+  std::vector<ag::Variable*> out;
+  for (LayerChoices& layer : layers_) {
+    out.push_back(&layer.input_logits);
+    out.push_back(&layer.op_logits);
+    for (ag::Variable& r : layer.res_logits) out.push_back(&r);
+  }
+  return out;
+}
+
+std::vector<ag::Variable*> SupernetEncoder::WeightParameters() {
+  // Everything in the module tree except the architecture logits.
+  std::vector<ag::Variable*> arch = ArchParameters();
+  std::vector<ag::Variable*> out;
+  for (ag::Variable* p : Parameters()) {
+    if (std::find(arch.begin(), arch.end(), p) == arch.end()) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+ag::Variable SupernetEncoder::FlopsLoss(int64_t seq_len) {
+  ag::Variable total;
+  double max_total = 0.0;
+  const int64_t res_flops = seq_len * dim_;
+  for (LayerChoices& layer : layers_) {
+    // Expected op FLOPs: <softmax(op_logits), flops_vector>.
+    const int64_t n_ops = static_cast<int64_t>(options_.candidates.size());
+    Tensor flops_vec({n_ops});
+    double max_op = 0.0;
+    for (int64_t o = 0; o < n_ops; ++o) {
+      const double f = static_cast<double>(
+          options_.candidates[static_cast<size_t>(o)].Flops(seq_len, dim_));
+      flops_vec[o] = static_cast<float>(f);
+      max_op = std::max(max_op, f);
+    }
+    ag::Variable p_op = ag::SoftmaxLastDim(layer.op_logits);
+    ag::Variable expected_op =
+        ag::SumAll(ag::Mul(p_op, ag::Variable::Constant(flops_vec)));
+    total = total.defined() ? ag::Add(total, expected_op) : expected_op;
+    max_total += max_op;
+
+    // Expected residual-add FLOPs: P(on) * seq_len * dim per gate.
+    for (ag::Variable& res : layer.res_logits) {
+      ag::Variable p_on = ag::IndexSelect(ag::SoftmaxLastDim(res), 1);
+      total = ag::Add(
+          total, ag::ScalarMul(p_on, static_cast<float>(res_flops)));
+      max_total += static_cast<double>(res_flops);
+    }
+  }
+  return ag::ScalarMul(total, static_cast<float>(1.0 / max_total));
+}
+
+Result<Architecture> SupernetEncoder::Derive(int64_t flops_budget,
+                                             int64_t seq_len) const {
+  // Per-layer candidate combos: (input, op, residual mask) with joint log
+  // probability and FLOPs contribution.
+  struct Combo {
+    int64_t input;
+    int64_t op;
+    uint32_t res_mask;
+    double log_prob;
+    int64_t flops;
+  };
+  const int64_t res_flops = seq_len * dim_;
+  std::vector<std::vector<Combo>> per_layer;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    const LayerChoices& layer = layers_[i];
+    const std::vector<double> p_in = SoftmaxValues(layer.input_logits.value());
+    const std::vector<double> p_op = SoftmaxValues(layer.op_logits.value());
+    std::vector<std::vector<double>> p_res;
+    for (const ag::Variable& r : layer.res_logits) {
+      p_res.push_back(SoftmaxValues(r.value()));
+    }
+    const uint32_t num_masks = 1u << p_res.size();
+    std::vector<Combo> combos;
+    for (size_t in = 0; in < p_in.size(); ++in) {
+      for (size_t op = 0; op < p_op.size(); ++op) {
+        const int64_t op_flops =
+            options_.candidates[op].Flops(seq_len, dim_);
+        for (uint32_t mask = 0; mask < num_masks; ++mask) {
+          double log_prob = std::log(std::max(p_in[in], 1e-12)) +
+                            std::log(std::max(p_op[op], 1e-12));
+          int64_t flops = op_flops;
+          for (size_t r = 0; r < p_res.size(); ++r) {
+            const bool on = (mask >> r) & 1u;
+            log_prob += std::log(std::max(p_res[r][on ? 1 : 0], 1e-12));
+            if (on) flops += res_flops;
+          }
+          combos.push_back({static_cast<int64_t>(in),
+                            static_cast<int64_t>(op), mask, log_prob, flops});
+        }
+      }
+    }
+    per_layer.push_back(std::move(combos));
+  }
+
+  // Fixed overhead of the attentive output sum.
+  const int64_t overhead = static_cast<int64_t>(layers_.size()) *
+                               (2 * seq_len * dim_) +
+                           5 * static_cast<int64_t>(layers_.size());
+
+  std::vector<const Combo*> chosen(layers_.size(), nullptr);
+  if (flops_budget <= 0) {
+    // Unconstrained: per-layer argmax of the joint probability.
+    for (size_t i = 0; i < per_layer.size(); ++i) {
+      const Combo* best = nullptr;
+      for (const Combo& c : per_layer[i]) {
+        if (best == nullptr || c.log_prob > best->log_prob) best = &c;
+      }
+      chosen[i] = best;
+    }
+  } else {
+    // Knapsack DP over layers with bucketed FLOPs.
+    const int64_t budget = flops_budget - overhead;
+    if (budget <= 0) {
+      return Status::InvalidArgument("FLOPs budget below fixed overhead");
+    }
+    constexpr int64_t kBuckets = 1024;
+    const int64_t bucket_size = std::max<int64_t>(1, budget / kBuckets + 1);
+    const int64_t num_buckets = budget / bucket_size + 1;
+    const double kNegInf = -std::numeric_limits<double>::infinity();
+    // dp[b] = best total log prob using <= b buckets of FLOPs.
+    std::vector<std::vector<double>> dp(
+        layers_.size() + 1,
+        std::vector<double>(static_cast<size_t>(num_buckets), kNegInf));
+    std::vector<std::vector<int32_t>> choice(
+        layers_.size(),
+        std::vector<int32_t>(static_cast<size_t>(num_buckets), -1));
+    dp[0][0] = 0.0;
+    for (size_t i = 0; i < per_layer.size(); ++i) {
+      for (int64_t b = 0; b < num_buckets; ++b) {
+        if (dp[i][static_cast<size_t>(b)] == kNegInf) continue;
+        for (size_t c = 0; c < per_layer[i].size(); ++c) {
+          const Combo& combo = per_layer[i][c];
+          const int64_t cost =
+              (combo.flops + bucket_size - 1) / bucket_size;
+          const int64_t nb = b + cost;
+          if (nb >= num_buckets) continue;
+          const double value =
+              dp[i][static_cast<size_t>(b)] + combo.log_prob;
+          if (value > dp[i + 1][static_cast<size_t>(nb)]) {
+            dp[i + 1][static_cast<size_t>(nb)] = value;
+            choice[i][static_cast<size_t>(nb)] = static_cast<int32_t>(c);
+          }
+        }
+      }
+    }
+    // Best final bucket.
+    int64_t best_bucket = -1;
+    double best_value = kNegInf;
+    for (int64_t b = 0; b < num_buckets; ++b) {
+      if (dp[layers_.size()][static_cast<size_t>(b)] > best_value) {
+        best_value = dp[layers_.size()][static_cast<size_t>(b)];
+        best_bucket = b;
+      }
+    }
+    if (best_bucket < 0) {
+      // Nothing fits; fall back to the minimum-FLOPs combo per layer.
+      ALT_LOG(Warning) << "FLOPs budget " << flops_budget
+                       << " infeasible; using minimum-FLOPs architecture";
+      for (size_t i = 0; i < per_layer.size(); ++i) {
+        const Combo* best = nullptr;
+        for (const Combo& c : per_layer[i]) {
+          if (best == nullptr || c.flops < best->flops ||
+              (c.flops == best->flops && c.log_prob > best->log_prob)) {
+            best = &c;
+          }
+        }
+        chosen[i] = best;
+      }
+    } else {
+      // Backtrack. The DP stores, for each layer i and bucket b, the combo
+      // chosen to arrive at b; recover the path backwards.
+      int64_t b = best_bucket;
+      for (size_t i = per_layer.size(); i-- > 0;) {
+        const int32_t c = choice[i][static_cast<size_t>(b)];
+        ALT_CHECK_GE(c, 0);
+        chosen[i] = &per_layer[i][static_cast<size_t>(c)];
+        const int64_t cost =
+            (chosen[i]->flops + bucket_size - 1) / bucket_size;
+        b -= cost;
+      }
+    }
+  }
+
+  Architecture arch;
+  arch.dim = dim_;
+  for (size_t i = 0; i < chosen.size(); ++i) {
+    const Combo* c = chosen[i];
+    ALT_CHECK(c != nullptr);
+    LayerSpec layer;
+    layer.input = c->input;
+    layer.op = options_.candidates[static_cast<size_t>(c->op)];
+    for (size_t r = 0; r <= i; ++r) {
+      layer.residuals.push_back(((c->res_mask >> r) & 1u) != 0);
+    }
+    arch.layers.push_back(std::move(layer));
+  }
+  ALT_RETURN_IF_ERROR(arch.Validate());
+  return arch;
+}
+
+std::vector<std::pair<std::string, ag::Variable*>>
+SupernetEncoder::LocalParameters() {
+  std::vector<std::pair<std::string, ag::Variable*>> out;
+  out.emplace_back("attn_logits", &attn_logits_);
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    const std::string prefix = "arch_l" + std::to_string(i);
+    out.emplace_back(prefix + "_input", &layers_[i].input_logits);
+    out.emplace_back(prefix + "_op", &layers_[i].op_logits);
+    for (size_t r = 0; r < layers_[i].res_logits.size(); ++r) {
+      out.emplace_back(prefix + "_res" + std::to_string(r),
+                       &layers_[i].res_logits[r]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, nn::Module*>> SupernetEncoder::Children() {
+  std::vector<std::pair<std::string, nn::Module*>> out;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    for (size_t o = 0; o < layers_[i].ops.size(); ++o) {
+      out.emplace_back("l" + std::to_string(i) + "_op" + std::to_string(o),
+                       layers_[i].ops[o].get());
+    }
+  }
+  return out;
+}
+
+}  // namespace nas
+}  // namespace alt

@@ -1,0 +1,94 @@
+#ifndef ALT_SRC_NAS_SUPERNET_H_
+#define ALT_SRC_NAS_SUPERNET_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/models/behavior_encoder.h"
+#include "src/nas/arch.h"
+#include "src/nas/nas_ops.h"
+
+namespace alt {
+namespace nas {
+
+/// Structural options of the supernet (search space of Fig. 6).
+struct SupernetOptions {
+  int64_t num_layers = 3;
+  /// Candidate operation set; empty = DefaultOpCandidates().
+  std::vector<OpSpec> candidates;
+  /// Gumbel-softmax temperature (Eq. 7); anneal via set_tau().
+  double tau = 1.0;
+};
+
+/// The differentiable supernet implementing the paper's budget-limited NAS:
+///
+///  - Every layer holds architecture-distribution logits for (i) its input
+///    choice among all earlier outputs, (ii) its operation choice, and
+///    (iii) an independent on/off gate per possible residual input.
+///  - In training mode, Encode() samples one choice per decision with the
+///    Gumbel-softmax straight-through estimator of GDAS (Eq. 7/8): only the
+///    sampled op executes, and gradients flow to the winning logit.
+///  - In eval mode, argmax choices run deterministically.
+///  - FlopsLoss() is the differentiable expected-FLOPs regularizer of Eq. 4.
+///  - Derive() extracts the maximum-joint-probability architecture subject
+///    to a FLOPs budget (knapsack DP over per-layer choice combos).
+///
+/// It plugs into BaseModel as a BehaviorEncoder, so the search trains the
+/// full Fig. 2 model (profile branch included) end to end.
+class SupernetEncoder : public models::BehaviorEncoder {
+ public:
+  SupernetEncoder(int64_t dim, SupernetOptions options, uint64_t sample_seed,
+                  Rng* rng);
+
+  ag::Variable Encode(const ag::Variable& embedded) override;
+
+  /// FLOPs of the current argmax architecture (unconstrained derive).
+  int64_t Flops(int64_t seq_len) const override;
+
+  /// Architecture-distribution parameters (trained on the validation split).
+  std::vector<ag::Variable*> ArchParameters();
+  /// Operation weights + attentive-sum logits (trained on the train split).
+  std::vector<ag::Variable*> WeightParameters();
+
+  /// Expected inference FLOPs under the current architecture distribution,
+  /// normalized to [0, 1]; differentiable w.r.t. the arch logits.
+  ag::Variable FlopsLoss(int64_t seq_len);
+
+  void set_tau(double tau) { options_.tau = tau; }
+  double tau() const { return options_.tau; }
+
+  /// Maximum-joint-probability architecture with Flops(seq_len) <= budget
+  /// (budget <= 0 disables the constraint). Falls back to the minimum-FLOPs
+  /// architecture when nothing fits, with a warning.
+  Result<Architecture> Derive(int64_t flops_budget, int64_t seq_len) const;
+
+ protected:
+  std::vector<std::pair<std::string, ag::Variable*>> LocalParameters()
+      override;
+  std::vector<std::pair<std::string, Module*>> Children() override;
+
+ private:
+  struct LayerChoices {
+    ag::Variable input_logits;             // [i+1]
+    ag::Variable op_logits;                // [num_candidates]
+    std::vector<ag::Variable> res_logits;  // each [2]: (off, on)
+    std::vector<std::unique_ptr<NasOpModule>> ops;
+  };
+
+  /// Gumbel straight-through pick: returns (argmax index, gate Variable
+  /// whose value is 1 and whose gradient reaches the winning logit).
+  std::pair<int64_t, ag::Variable> GumbelPick(const ag::Variable& logits);
+
+  int64_t dim_;
+  SupernetOptions options_;
+  Rng sample_rng_;
+  std::vector<LayerChoices> layers_;
+  ag::Variable attn_logits_;  // [num_layers] attentive output sum (weights)
+};
+
+}  // namespace nas
+}  // namespace alt
+
+#endif  // ALT_SRC_NAS_SUPERNET_H_

@@ -1,0 +1,68 @@
+#include "src/nn/attention.h"
+
+#include <cmath>
+
+#include "src/autograd/ops.h"
+#include "src/util/logging.h"
+
+namespace alt {
+namespace nn {
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t dim, int64_t num_heads,
+                                               Rng* rng)
+    : dim_(dim), num_heads_(num_heads), head_dim_(dim / num_heads) {
+  ALT_CHECK_EQ(dim % num_heads, 0);
+  wq_ = std::make_unique<Linear>(dim, dim, rng);
+  wk_ = std::make_unique<Linear>(dim, dim, rng);
+  wv_ = std::make_unique<Linear>(dim, dim, rng);
+  wo_ = std::make_unique<Linear>(dim, dim, rng);
+}
+
+ag::Variable MultiHeadSelfAttention::Forward(const ag::Variable& x) {
+  const Tensor& xv = x.value();
+  ALT_CHECK_EQ(xv.ndim(), 3);
+  ALT_CHECK_EQ(xv.size(2), dim_);
+
+  ag::Variable q = wq_->Forward(x);  // [B, T, D]
+  ag::Variable k = wk_->Forward(x);
+  ag::Variable v = wv_->Forward(x);
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  std::vector<ag::Variable> head_outputs;
+  head_outputs.reserve(static_cast<size_t>(num_heads_));
+  for (int64_t h = 0; h < num_heads_; ++h) {
+    ag::Variable qh = ag::SliceLastDim(q, h * head_dim_, head_dim_);
+    ag::Variable kh = ag::SliceLastDim(k, h * head_dim_, head_dim_);
+    ag::Variable vh = ag::SliceLastDim(v, h * head_dim_, head_dim_);
+    // scores: [B, T, T]
+    ag::Variable scores = ag::ScalarMul(
+        ag::BatchedMatMul(qh, kh, /*trans_a=*/false, /*trans_b=*/true), scale);
+    ag::Variable attn = ag::SoftmaxLastDim(scores);
+    // context: [B, T, head_dim]
+    head_outputs.push_back(
+        ag::BatchedMatMul(attn, vh, /*trans_a=*/false, /*trans_b=*/false));
+  }
+  ag::Variable concat = ag::ConcatLastDim(head_outputs);
+  return wo_->Forward(concat);
+}
+
+int64_t MultiHeadSelfAttention::Flops(int64_t seq_len) const {
+  // Four D x D projections over T rows plus per-head score and context
+  // matmuls plus the softmax.
+  const int64_t proj = 4 * wq_->Flops(seq_len);
+  const int64_t scores = num_heads_ * 2 * seq_len * seq_len * head_dim_;
+  const int64_t context = num_heads_ * 2 * seq_len * seq_len * head_dim_;
+  const int64_t softmax = num_heads_ * 5 * seq_len * seq_len;
+  return proj + scores + context + softmax;
+}
+
+std::vector<std::pair<std::string, Module*>>
+MultiHeadSelfAttention::Children() {
+  return {{"wq", wq_.get()},
+          {"wk", wk_.get()},
+          {"wv", wv_.get()},
+          {"wo", wo_.get()}};
+}
+
+}  // namespace nn
+}  // namespace alt

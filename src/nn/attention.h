@@ -1,0 +1,45 @@
+#ifndef ALT_SRC_NN_ATTENTION_H_
+#define ALT_SRC_NN_ATTENTION_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/nn/linear.h"
+#include "src/nn/module.h"
+
+namespace alt {
+namespace nn {
+
+/// Multi-head scaled-dot-product self-attention over [B, T, D].
+/// `num_heads` must divide `dim`.
+class MultiHeadSelfAttention : public Module {
+ public:
+  MultiHeadSelfAttention(int64_t dim, int64_t num_heads, Rng* rng);
+
+  /// x: [B, T, D] -> [B, T, D].
+  ag::Variable Forward(const ag::Variable& x);
+
+  int64_t dim() const { return dim_; }
+  int64_t num_heads() const { return num_heads_; }
+
+  int64_t Flops(int64_t seq_len) const;
+
+ protected:
+  std::vector<std::pair<std::string, Module*>> Children() override;
+
+ private:
+  int64_t dim_;
+  int64_t num_heads_;
+  int64_t head_dim_;
+  std::unique_ptr<Linear> wq_;
+  std::unique_ptr<Linear> wk_;
+  std::unique_ptr<Linear> wv_;
+  std::unique_ptr<Linear> wo_;
+};
+
+}  // namespace nn
+}  // namespace alt
+
+#endif  // ALT_SRC_NN_ATTENTION_H_

@@ -1,0 +1,41 @@
+#include "src/nn/conv.h"
+
+#include "src/nn/init.h"
+#include "src/util/logging.h"
+
+namespace alt {
+namespace nn {
+
+Conv1DLayer::Conv1DLayer(int64_t in_channels, int64_t out_channels,
+                         int64_t kernel_size, int64_t dilation, Rng* rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_size_(kernel_size),
+      dilation_(dilation) {
+  ALT_CHECK_GE(kernel_size, 1);
+  ALT_CHECK_GE(dilation, 1);
+  weight_ = ag::Variable::Parameter(XavierUniformShaped(
+      {out_channels, kernel_size, in_channels}, kernel_size * in_channels,
+      out_channels, rng));
+  bias_ = ag::Variable::Parameter(Tensor::Zeros({out_channels}));
+}
+
+ag::Variable Conv1DLayer::Forward(const ag::Variable& x) {
+  const Tensor& xv = x.value();
+  ALT_CHECK_EQ(xv.ndim(), 3);
+  ALT_CHECK_EQ(xv.size(2), in_channels_);
+  return ag::Conv1D(x, weight_, bias_, dilation_);
+}
+
+int64_t Conv1DLayer::Flops(int64_t seq_len) const {
+  return seq_len * (2 * kernel_size_ * in_channels_ * out_channels_ +
+                    out_channels_);
+}
+
+std::vector<std::pair<std::string, ag::Variable*>>
+Conv1DLayer::LocalParameters() {
+  return {{"weight", &weight_}, {"bias", &bias_}};
+}
+
+}  // namespace nn
+}  // namespace alt

@@ -1,0 +1,48 @@
+#ifndef ALT_SRC_NN_CONV_H_
+#define ALT_SRC_NN_CONV_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/autograd/ops.h"
+#include "src/nn/module.h"
+
+namespace alt {
+namespace nn {
+
+/// 1-D convolution layer over [B, T, Cin] with SAME padding and stride 1.
+/// `dilation` > 1 yields a dilated convolution; kernel size 1 degenerates to
+/// a pointwise linear layer (as noted in the paper's search space).
+class Conv1DLayer : public Module {
+ public:
+  Conv1DLayer(int64_t in_channels, int64_t out_channels, int64_t kernel_size,
+              int64_t dilation, Rng* rng);
+
+  /// x: [B, T, Cin] -> [B, T, Cout].
+  ag::Variable Forward(const ag::Variable& x);
+
+  int64_t kernel_size() const { return kernel_size_; }
+  int64_t dilation() const { return dilation_; }
+
+  /// FLOPs for one sample of length `seq_len` (boundary taps counted as if
+  /// interior, matching the paper's simple FLOPs approximation).
+  int64_t Flops(int64_t seq_len) const;
+
+ protected:
+  std::vector<std::pair<std::string, ag::Variable*>> LocalParameters()
+      override;
+
+ private:
+  int64_t in_channels_;
+  int64_t out_channels_;
+  int64_t kernel_size_;
+  int64_t dilation_;
+  ag::Variable weight_;  // [Cout, K, Cin]
+  ag::Variable bias_;    // [Cout]
+};
+
+}  // namespace nn
+}  // namespace alt
+
+#endif  // ALT_SRC_NN_CONV_H_

@@ -1,0 +1,29 @@
+#include "src/nn/embedding.h"
+
+#include "src/util/logging.h"
+
+namespace alt {
+namespace nn {
+
+ag::Variable PositionalEmbedding::Forward(const ag::Variable& x) {
+  const Tensor& xv = x.value();
+  ALT_CHECK_EQ(xv.ndim(), 3);
+  ALT_CHECK_EQ(xv.size(2), dim_);
+  const int64_t batch = xv.size(0);
+  const int64_t seq = xv.size(1);
+  ALT_CHECK_LE(seq, max_len_);
+  // Replicate position ids per batch row; the embedding lookup's backward
+  // accumulates the position gradient once per batch element, which is the
+  // correct broadcast gradient.
+  std::vector<int64_t> ids(static_cast<size_t>(batch * seq));
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t t = 0; t < seq; ++t) {
+      ids[static_cast<size_t>(b * seq + t)] = t;
+    }
+  }
+  ag::Variable pos = ag::EmbeddingLookup(weight_, ids, batch, seq);
+  return ag::Add(x, pos);
+}
+
+}  // namespace nn
+}  // namespace alt

@@ -1,0 +1,76 @@
+#ifndef ALT_SRC_NN_EMBEDDING_H_
+#define ALT_SRC_NN_EMBEDDING_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/autograd/ops.h"
+#include "src/nn/init.h"
+#include "src/nn/module.h"
+
+namespace alt {
+namespace nn {
+
+/// Token embedding table: maps integer event ids to dense vectors.
+class Embedding : public Module {
+ public:
+  Embedding(int64_t vocab_size, int64_t dim, Rng* rng)
+      : vocab_size_(vocab_size),
+        dim_(dim),
+        weight_(ag::Variable::Parameter(NormalInit({vocab_size, dim}, rng))) {}
+
+  /// ids: row-major [batch, seq_len] event ids -> [batch, seq_len, dim].
+  ag::Variable Forward(const std::vector<int64_t>& ids, int64_t batch,
+                       int64_t seq_len) {
+    return ag::EmbeddingLookup(weight_, ids, batch, seq_len);
+  }
+
+  int64_t vocab_size() const { return vocab_size_; }
+  int64_t dim() const { return dim_; }
+
+  /// Lookup is typically counted as free; we count one FLOP per copied
+  /// element to stay conservative.
+  int64_t Flops(int64_t seq_len) const { return seq_len * dim_; }
+
+ protected:
+  std::vector<std::pair<std::string, ag::Variable*>> LocalParameters()
+      override {
+    return {{"weight", &weight_}};
+  }
+
+ private:
+  int64_t vocab_size_;
+  int64_t dim_;
+  ag::Variable weight_;
+};
+
+/// Learned positional embeddings added to a [B, T, D] sequence (BERT-style).
+class PositionalEmbedding : public Module {
+ public:
+  PositionalEmbedding(int64_t max_len, int64_t dim, Rng* rng)
+      : max_len_(max_len),
+        dim_(dim),
+        weight_(ag::Variable::Parameter(NormalInit({max_len, dim}, rng))) {}
+
+  /// x: [B, T, D] with T <= max_len.
+  ag::Variable Forward(const ag::Variable& x);
+
+  int64_t Flops(int64_t seq_len) const { return seq_len * dim_; }
+
+ protected:
+  std::vector<std::pair<std::string, ag::Variable*>> LocalParameters()
+      override {
+    return {{"weight", &weight_}};
+  }
+
+ private:
+  int64_t max_len_;
+  int64_t dim_;
+  ag::Variable weight_;
+};
+
+}  // namespace nn
+}  // namespace alt
+
+#endif  // ALT_SRC_NN_EMBEDDING_H_

@@ -1,0 +1,24 @@
+#include "src/nn/init.h"
+
+#include <cmath>
+
+namespace alt {
+namespace nn {
+
+Tensor XavierUniform(int64_t fan_in, int64_t fan_out, Rng* rng) {
+  return XavierUniformShaped({fan_in, fan_out}, fan_in, fan_out, rng);
+}
+
+Tensor XavierUniformShaped(std::vector<int64_t> shape, int64_t fan_in,
+                           int64_t fan_out, Rng* rng) {
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::RandUniform(std::move(shape), rng, -limit, limit);
+}
+
+Tensor NormalInit(std::vector<int64_t> shape, Rng* rng, float stddev) {
+  return Tensor::Randn(std::move(shape), rng, stddev);
+}
+
+}  // namespace nn
+}  // namespace alt

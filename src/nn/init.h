@@ -1,0 +1,26 @@
+#ifndef ALT_SRC_NN_INIT_H_
+#define ALT_SRC_NN_INIT_H_
+
+#include <cstdint>
+
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace alt {
+namespace nn {
+
+/// Glorot/Xavier uniform initialization for a [fan_in, fan_out] weight.
+Tensor XavierUniform(int64_t fan_in, int64_t fan_out, Rng* rng);
+
+/// Xavier-uniform for arbitrary shapes given explicit fans (used by conv
+/// kernels where fan_in = K * Cin).
+Tensor XavierUniformShaped(std::vector<int64_t> shape, int64_t fan_in,
+                           int64_t fan_out, Rng* rng);
+
+/// N(0, stddev) initialization, default stddev 0.02 (BERT-style).
+Tensor NormalInit(std::vector<int64_t> shape, Rng* rng, float stddev = 0.02f);
+
+}  // namespace nn
+}  // namespace alt
+
+#endif  // ALT_SRC_NN_INIT_H_

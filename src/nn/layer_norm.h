@@ -1,0 +1,48 @@
+#ifndef ALT_SRC_NN_LAYER_NORM_H_
+#define ALT_SRC_NN_LAYER_NORM_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/autograd/ops.h"
+#include "src/nn/module.h"
+
+namespace alt {
+namespace nn {
+
+/// Layer normalization over the last dimension with learned affine params.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t dim, float eps = 1e-5f)
+      : dim_(dim),
+        eps_(eps),
+        gamma_(ag::Variable::Parameter(Tensor::Ones({dim}))),
+        beta_(ag::Variable::Parameter(Tensor::Zeros({dim}))) {}
+
+  ag::Variable Forward(const ag::Variable& x) {
+    return ag::LayerNorm(x, gamma_, beta_, eps_);
+  }
+
+  int64_t dim() const { return dim_; }
+
+  /// ~8 FLOPs per element (mean, var, normalize, affine).
+  int64_t Flops(int64_t rows) const { return rows * dim_ * 8; }
+
+ protected:
+  std::vector<std::pair<std::string, ag::Variable*>> LocalParameters()
+      override {
+    return {{"gamma", &gamma_}, {"beta", &beta_}};
+  }
+
+ private:
+  int64_t dim_;
+  float eps_;
+  ag::Variable gamma_;
+  ag::Variable beta_;
+};
+
+}  // namespace nn
+}  // namespace alt
+
+#endif  // ALT_SRC_NN_LAYER_NORM_H_

@@ -1,0 +1,52 @@
+#include "src/nn/linear.h"
+
+#include "src/nn/init.h"
+#include "src/util/logging.h"
+
+namespace alt {
+namespace nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng,
+               bool use_bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      use_bias_(use_bias),
+      weight_(ag::Variable::Parameter(
+          XavierUniform(in_features, out_features, rng))) {
+  if (use_bias_) {
+    bias_ = ag::Variable::Parameter(Tensor::Zeros({out_features}));
+  }
+}
+
+ag::Variable Linear::Forward(const ag::Variable& x) {
+  const Tensor& xv = x.value();
+  ALT_CHECK_EQ(xv.size(xv.ndim() - 1), in_features_);
+  ag::Variable out;
+  if (xv.ndim() == 2) {
+    out = ag::MatMul(x, weight_);
+  } else {
+    ALT_CHECK_EQ(xv.ndim(), 3);
+    const int64_t batch = xv.size(0);
+    const int64_t seq = xv.size(1);
+    ag::Variable flat = ag::Reshape(x, {batch * seq, in_features_});
+    out = ag::Reshape(ag::MatMul(flat, weight_), {batch, seq, out_features_});
+  }
+  if (use_bias_) out = ag::AddBias(out, bias_);
+  return out;
+}
+
+int64_t Linear::Flops(int64_t rows) const {
+  int64_t flops = rows * (2 * in_features_ * out_features_);
+  if (use_bias_) flops += rows * out_features_;
+  return flops;
+}
+
+std::vector<std::pair<std::string, ag::Variable*>> Linear::LocalParameters() {
+  std::vector<std::pair<std::string, ag::Variable*>> out = {
+      {"weight", &weight_}};
+  if (use_bias_) out.emplace_back("bias", &bias_);
+  return out;
+}
+
+}  // namespace nn
+}  // namespace alt

@@ -1,0 +1,44 @@
+#ifndef ALT_SRC_NN_LINEAR_H_
+#define ALT_SRC_NN_LINEAR_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/autograd/ops.h"
+#include "src/nn/module.h"
+
+namespace alt {
+namespace nn {
+
+/// Fully-connected layer: y = x W + b. Accepts rank-2 [N, in] or rank-3
+/// [B, T, in] inputs (rank-3 is flattened to rows internally).
+class Linear : public Module {
+ public:
+  /// Xavier-uniform initialized weights; zero bias.
+  Linear(int64_t in_features, int64_t out_features, Rng* rng,
+         bool use_bias = true);
+
+  ag::Variable Forward(const ag::Variable& x);
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+  /// FLOPs for `rows` input rows (2 * in * out MACs + bias adds).
+  int64_t Flops(int64_t rows) const;
+
+ protected:
+  std::vector<std::pair<std::string, ag::Variable*>> LocalParameters() override;
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  bool use_bias_;
+  ag::Variable weight_;  // [in, out]
+  ag::Variable bias_;    // [out]
+};
+
+}  // namespace nn
+}  // namespace alt
+
+#endif  // ALT_SRC_NN_LINEAR_H_

@@ -1,0 +1,98 @@
+#include "src/nn/lstm.h"
+
+#include "src/nn/init.h"
+#include "src/util/logging.h"
+
+namespace alt {
+namespace nn {
+
+LstmLayer::LstmLayer(int64_t input_dim, int64_t hidden_dim, Rng* rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  w_x_ = ag::Variable::Parameter(
+      XavierUniformShaped({input_dim, 4 * hidden_dim}, input_dim,
+                          4 * hidden_dim, rng));
+  w_h_ = ag::Variable::Parameter(
+      XavierUniformShaped({hidden_dim, 4 * hidden_dim}, hidden_dim,
+                          4 * hidden_dim, rng));
+  Tensor b = Tensor::Zeros({4 * hidden_dim});
+  // Forget gate bias = 1 stabilizes early training.
+  for (int64_t j = hidden_dim; j < 2 * hidden_dim; ++j) b[j] = 1.0f;
+  bias_ = ag::Variable::Parameter(std::move(b));
+}
+
+ag::Variable LstmLayer::Forward(const ag::Variable& x) {
+  const Tensor& xv = x.value();
+  ALT_CHECK_EQ(xv.ndim(), 3);
+  ALT_CHECK_EQ(xv.size(2), input_dim_);
+  const int64_t batch = xv.size(0);
+  const int64_t seq = xv.size(1);
+  const int64_t h = hidden_dim_;
+
+  ag::Variable h_prev = ag::Variable::Constant(Tensor::Zeros({batch, h}));
+  ag::Variable c_prev = ag::Variable::Constant(Tensor::Zeros({batch, h}));
+  std::vector<ag::Variable> outputs;
+  outputs.reserve(static_cast<size_t>(seq));
+  for (int64_t t = 0; t < seq; ++t) {
+    ag::Variable x_t = ag::SelectTime(x, t);  // [B, in]
+    ag::Variable gates = ag::AddBias(
+        ag::Add(ag::MatMul(x_t, w_x_), ag::MatMul(h_prev, w_h_)), bias_);
+    ag::Variable i_g = ag::Sigmoid(ag::SliceLastDim(gates, 0, h));
+    ag::Variable f_g = ag::Sigmoid(ag::SliceLastDim(gates, h, h));
+    ag::Variable g_g = ag::Tanh(ag::SliceLastDim(gates, 2 * h, h));
+    ag::Variable o_g = ag::Sigmoid(ag::SliceLastDim(gates, 3 * h, h));
+    ag::Variable c_t =
+        ag::Add(ag::Mul(f_g, c_prev), ag::Mul(i_g, g_g));
+    ag::Variable h_t = ag::Mul(o_g, ag::Tanh(c_t));
+    outputs.push_back(h_t);
+    h_prev = h_t;
+    c_prev = c_t;
+  }
+  return ag::StackTime(outputs);  // [B, T, H]
+}
+
+int64_t LstmLayer::Flops(int64_t seq_len) const {
+  // Per timestep: two matmuls into 4H gates plus ~10 elementwise ops per
+  // hidden unit (gate nonlinearities and cell updates).
+  const int64_t per_step =
+      2 * input_dim_ * 4 * hidden_dim_ + 2 * hidden_dim_ * 4 * hidden_dim_ +
+      10 * hidden_dim_;
+  return seq_len * per_step;
+}
+
+std::vector<std::pair<std::string, ag::Variable*>>
+LstmLayer::LocalParameters() {
+  return {{"w_x", &w_x_}, {"w_h", &w_h_}, {"bias", &bias_}};
+}
+
+Lstm::Lstm(int64_t input_dim, int64_t hidden_dim, int64_t num_layers,
+           Rng* rng)
+    : hidden_dim_(hidden_dim) {
+  ALT_CHECK_GE(num_layers, 1);
+  for (int64_t i = 0; i < num_layers; ++i) {
+    layers_.push_back(std::make_unique<LstmLayer>(
+        i == 0 ? input_dim : hidden_dim, hidden_dim, rng));
+  }
+}
+
+ag::Variable Lstm::Forward(const ag::Variable& x) {
+  ag::Variable h = x;
+  for (auto& layer : layers_) h = layer->Forward(h);
+  return h;
+}
+
+int64_t Lstm::Flops(int64_t seq_len) const {
+  int64_t flops = 0;
+  for (const auto& layer : layers_) flops += layer->Flops(seq_len);
+  return flops;
+}
+
+std::vector<std::pair<std::string, Module*>> Lstm::Children() {
+  std::vector<std::pair<std::string, Module*>> out;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    out.emplace_back(std::to_string(i), layers_[i].get());
+  }
+  return out;
+}
+
+}  // namespace nn
+}  // namespace alt

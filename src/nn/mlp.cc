@@ -1,0 +1,81 @@
+#include "src/nn/mlp.h"
+
+#include "src/util/logging.h"
+
+namespace alt {
+namespace nn {
+
+ag::Variable ApplyActivation(const ag::Variable& x, Activation act) {
+  switch (act) {
+    case Activation::kRelu:
+      return ag::Relu(x);
+    case Activation::kTanh:
+      return ag::Tanh(x);
+    case Activation::kGelu:
+      return ag::Gelu(x);
+    case Activation::kSigmoid:
+      return ag::Sigmoid(x);
+    case Activation::kNone:
+      return x;
+  }
+  ALT_LOG(Fatal) << "unknown activation";
+  return x;
+}
+
+const char* ActivationName(Activation act) {
+  switch (act) {
+    case Activation::kRelu:
+      return "relu";
+    case Activation::kTanh:
+      return "tanh";
+    case Activation::kGelu:
+      return "gelu";
+    case Activation::kSigmoid:
+      return "sigmoid";
+    case Activation::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+Mlp::Mlp(std::vector<int64_t> dims, Activation activation, Rng* rng,
+         float dropout)
+    : dims_(std::move(dims)), activation_(activation), dropout_(dropout) {
+  ALT_CHECK_GE(dims_.size(), 2u);
+  for (size_t i = 0; i + 1 < dims_.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims_[i], dims_[i + 1], rng));
+  }
+}
+
+ag::Variable Mlp::Forward(const ag::Variable& x, Rng* rng) {
+  ag::Variable h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    if (i + 1 < layers_.size()) {
+      h = ApplyActivation(h, activation_);
+      if (dropout_ > 0.0f && rng != nullptr) {
+        h = ag::Dropout(h, dropout_, rng, training());
+      }
+    }
+  }
+  return h;
+}
+
+int64_t Mlp::Flops(int64_t rows) const {
+  int64_t flops = 0;
+  for (const auto& layer : layers_) flops += layer->Flops(rows);
+  // One FLOP per activation element.
+  for (size_t i = 1; i + 1 < dims_.size(); ++i) flops += rows * dims_[i];
+  return flops;
+}
+
+std::vector<std::pair<std::string, Module*>> Mlp::Children() {
+  std::vector<std::pair<std::string, Module*>> out;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    out.emplace_back(std::to_string(i), layers_[i].get());
+  }
+  return out;
+}
+
+}  // namespace nn
+}  // namespace alt

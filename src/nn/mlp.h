@@ -1,0 +1,54 @@
+#ifndef ALT_SRC_NN_MLP_H_
+#define ALT_SRC_NN_MLP_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/nn/linear.h"
+#include "src/nn/module.h"
+
+namespace alt {
+namespace nn {
+
+/// Activation applied between MLP layers.
+enum class Activation { kRelu, kTanh, kGelu, kSigmoid, kNone };
+
+/// Applies the activation as an autograd op.
+ag::Variable ApplyActivation(const ag::Variable& x, Activation act);
+
+const char* ActivationName(Activation act);
+
+/// A stack of Linear layers with activations between them (none after the
+/// final layer) and optional dropout. `dims` includes input and output:
+/// MLP({64, 32, 1}) is Linear(64,32) -> act -> Linear(32,1).
+class Mlp : public Module {
+ public:
+  Mlp(std::vector<int64_t> dims, Activation activation, Rng* rng,
+      float dropout = 0.0f);
+
+  ag::Variable Forward(const ag::Variable& x, Rng* rng = nullptr);
+
+  int64_t Flops(int64_t rows) const;
+
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+ protected:
+  std::vector<std::pair<std::string, ag::Variable*>> LocalParameters()
+      override {
+    return {};
+  }
+  std::vector<std::pair<std::string, Module*>> Children() override;
+
+ private:
+  std::vector<int64_t> dims_;
+  Activation activation_;
+  float dropout_;
+  std::vector<std::unique_ptr<Linear>> layers_;
+};
+
+}  // namespace nn
+}  // namespace alt
+
+#endif  // ALT_SRC_NN_MLP_H_

@@ -1,0 +1,67 @@
+#include "src/nn/module.h"
+
+#include "src/util/logging.h"
+
+namespace alt {
+namespace nn {
+
+std::vector<ag::Variable*> Module::Parameters() {
+  std::vector<ag::Variable*> out;
+  for (auto& [name, param] : NamedParameters()) out.push_back(param);
+  return out;
+}
+
+std::vector<std::pair<std::string, ag::Variable*>> Module::NamedParameters(
+    const std::string& prefix) {
+  std::vector<std::pair<std::string, ag::Variable*>> out;
+  for (auto& [name, param] : LocalParameters()) {
+    out.emplace_back(prefix.empty() ? name : prefix + "." + name, param);
+  }
+  for (auto& [name, child] : Children()) {
+    const std::string child_prefix =
+        prefix.empty() ? name : prefix + "." + name;
+    auto child_params = child->NamedParameters(child_prefix);
+    out.insert(out.end(), child_params.begin(), child_params.end());
+  }
+  return out;
+}
+
+int64_t Module::NumParameters() {
+  int64_t n = 0;
+  for (ag::Variable* p : Parameters()) n += p->value().numel();
+  return n;
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, child] : Children()) child->SetTraining(training);
+}
+
+void Module::ZeroGrad() {
+  for (ag::Variable* p : Parameters()) p->ZeroGrad();
+}
+
+Status Module::CopyParametersFrom(Module* other) {
+  auto dst = NamedParameters();
+  auto src = other->NamedParameters();
+  if (dst.size() != src.size()) {
+    return Status::InvalidArgument(
+        "parameter count mismatch: " + std::to_string(dst.size()) + " vs " +
+        std::to_string(src.size()));
+  }
+  for (size_t i = 0; i < dst.size(); ++i) {
+    if (dst[i].first != src[i].first) {
+      return Status::InvalidArgument("parameter name mismatch: " +
+                                     dst[i].first + " vs " + src[i].first);
+    }
+    if (!dst[i].second->value().SameShape(src[i].second->value())) {
+      return Status::InvalidArgument("parameter shape mismatch at " +
+                                     dst[i].first);
+    }
+    dst[i].second->mutable_value() = src[i].second->value();
+  }
+  return Status::OK();
+}
+
+}  // namespace nn
+}  // namespace alt

@@ -1,0 +1,61 @@
+#ifndef ALT_SRC_NN_MODULE_H_
+#define ALT_SRC_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/autograd/variable.h"
+#include "src/util/status.h"
+
+namespace alt {
+namespace nn {
+
+/// Base class for neural-network building blocks. A Module owns trainable
+/// parameters (as autograd leaf Variables) and may own child modules.
+/// Parameters() flattens the tree for optimizers; NamedParameters() gives
+/// stable hierarchical names for serialization and weight copying.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable parameters in the subtree, depth-first.
+  std::vector<ag::Variable*> Parameters();
+
+  /// Parameters with hierarchical dotted names ("encoder.0.weight").
+  std::vector<std::pair<std::string, ag::Variable*>> NamedParameters(
+      const std::string& prefix = "");
+
+  /// Total number of scalar parameters.
+  int64_t NumParameters();
+
+  /// Toggles training mode (affects dropout) for the whole subtree.
+  virtual void SetTraining(bool training);
+  bool training() const { return training_; }
+
+  /// Zeroes every parameter gradient.
+  void ZeroGrad();
+
+  /// Copies parameter values from `other`; the two modules must have the
+  /// same architecture (same named parameter list and shapes).
+  Status CopyParametersFrom(Module* other);
+
+ protected:
+  /// Parameters owned directly by this module (not by children).
+  virtual std::vector<std::pair<std::string, ag::Variable*>>
+  LocalParameters() {
+    return {};
+  }
+
+  /// Direct children with names.
+  virtual std::vector<std::pair<std::string, Module*>> Children() {
+    return {};
+  }
+
+  bool training_ = true;
+};
+
+}  // namespace nn
+}  // namespace alt
+
+#endif  // ALT_SRC_NN_MODULE_H_

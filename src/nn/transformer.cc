@@ -1,0 +1,72 @@
+#include "src/nn/transformer.h"
+
+#include "src/autograd/ops.h"
+#include "src/util/logging.h"
+
+namespace alt {
+namespace nn {
+
+TransformerEncoderLayer::TransformerEncoderLayer(int64_t dim,
+                                                 int64_t num_heads,
+                                                 int64_t ff_dim, Rng* rng) {
+  attention_ = std::make_unique<MultiHeadSelfAttention>(dim, num_heads, rng);
+  norm1_ = std::make_unique<LayerNorm>(dim);
+  ff1_ = std::make_unique<Linear>(dim, ff_dim, rng);
+  ff2_ = std::make_unique<Linear>(ff_dim, dim, rng);
+  norm2_ = std::make_unique<LayerNorm>(dim);
+}
+
+ag::Variable TransformerEncoderLayer::Forward(const ag::Variable& x) {
+  ag::Variable attn = attention_->Forward(x);
+  ag::Variable h = norm1_->Forward(ag::Add(x, attn));
+  ag::Variable ff = ff2_->Forward(ag::Gelu(ff1_->Forward(h)));
+  return norm2_->Forward(ag::Add(h, ff));
+}
+
+int64_t TransformerEncoderLayer::Flops(int64_t seq_len) const {
+  return attention_->Flops(seq_len) + norm1_->Flops(seq_len) +
+         ff1_->Flops(seq_len) + ff2_->Flops(seq_len) + norm2_->Flops(seq_len);
+}
+
+std::vector<std::pair<std::string, Module*>>
+TransformerEncoderLayer::Children() {
+  return {{"attention", attention_.get()},
+          {"norm1", norm1_.get()},
+          {"ff1", ff1_.get()},
+          {"ff2", ff2_.get()},
+          {"norm2", norm2_.get()}};
+}
+
+TransformerEncoder::TransformerEncoder(int64_t dim, int64_t num_heads,
+                                       int64_t ff_dim, int64_t num_layers,
+                                       Rng* rng) {
+  ALT_CHECK_GE(num_layers, 1);
+  for (int64_t i = 0; i < num_layers; ++i) {
+    layers_.push_back(
+        std::make_unique<TransformerEncoderLayer>(dim, num_heads, ff_dim,
+                                                  rng));
+  }
+}
+
+ag::Variable TransformerEncoder::Forward(const ag::Variable& x) {
+  ag::Variable h = x;
+  for (auto& layer : layers_) h = layer->Forward(h);
+  return h;
+}
+
+int64_t TransformerEncoder::Flops(int64_t seq_len) const {
+  int64_t flops = 0;
+  for (const auto& layer : layers_) flops += layer->Flops(seq_len);
+  return flops;
+}
+
+std::vector<std::pair<std::string, Module*>> TransformerEncoder::Children() {
+  std::vector<std::pair<std::string, Module*>> out;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    out.emplace_back(std::to_string(i), layers_[i].get());
+  }
+  return out;
+}
+
+}  // namespace nn
+}  // namespace alt

@@ -1,0 +1,64 @@
+#ifndef ALT_SRC_NN_TRANSFORMER_H_
+#define ALT_SRC_NN_TRANSFORMER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/nn/attention.h"
+#include "src/nn/layer_norm.h"
+#include "src/nn/linear.h"
+#include "src/nn/module.h"
+
+namespace alt {
+namespace nn {
+
+/// One post-LN transformer encoder block (BERT-style):
+/// x -> LN(x + MHA(x)) -> LN(h + FFN(h)) with a GELU feed-forward.
+class TransformerEncoderLayer : public Module {
+ public:
+  TransformerEncoderLayer(int64_t dim, int64_t num_heads, int64_t ff_dim,
+                          Rng* rng);
+
+  /// x: [B, T, D] -> [B, T, D].
+  ag::Variable Forward(const ag::Variable& x);
+
+  int64_t Flops(int64_t seq_len) const;
+
+ protected:
+  std::vector<std::pair<std::string, Module*>> Children() override;
+
+ private:
+  std::unique_ptr<MultiHeadSelfAttention> attention_;
+  std::unique_ptr<LayerNorm> norm1_;
+  std::unique_ptr<Linear> ff1_;
+  std::unique_ptr<Linear> ff2_;
+  std::unique_ptr<LayerNorm> norm2_;
+};
+
+/// A stack of transformer encoder blocks with learned positional embeddings.
+/// This is the paper's "BERT-based" behavior encoder (6 layers for the heavy
+/// model, 3 for the light model; 15 hidden, 32 intermediate units).
+class TransformerEncoder : public Module {
+ public:
+  TransformerEncoder(int64_t dim, int64_t num_heads, int64_t ff_dim,
+                     int64_t num_layers, Rng* rng);
+
+  /// x: [B, T, D] -> [B, T, D].
+  ag::Variable Forward(const ag::Variable& x);
+
+  int64_t Flops(int64_t seq_len) const;
+  int64_t num_layers() const { return static_cast<int64_t>(layers_.size()); }
+
+ protected:
+  std::vector<std::pair<std::string, Module*>> Children() override;
+
+ private:
+  std::vector<std::unique_ptr<TransformerEncoderLayer>> layers_;
+};
+
+}  // namespace nn
+}  // namespace alt
+
+#endif  // ALT_SRC_NN_TRANSFORMER_H_

@@ -1,0 +1,83 @@
+#ifndef ALT_SRC_OPT_LR_SCHEDULE_H_
+#define ALT_SRC_OPT_LR_SCHEDULE_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/util/logging.h"
+
+namespace alt {
+namespace opt {
+
+/// Learning-rate schedules, evaluated per step. Stateless value objects:
+/// call LearningRate(step) and feed the result to Optimizer::set_lr.
+
+/// Constant rate.
+class ConstantSchedule {
+ public:
+  explicit ConstantSchedule(float lr) : lr_(lr) {}
+  float LearningRate(int64_t /*step*/) const { return lr_; }
+
+ private:
+  float lr_;
+};
+
+/// Linear warmup to `peak` over `warmup_steps`, then constant.
+class WarmupSchedule {
+ public:
+  WarmupSchedule(float peak, int64_t warmup_steps)
+      : peak_(peak), warmup_steps_(warmup_steps) {
+    ALT_CHECK_GE(warmup_steps_, 1);
+  }
+  float LearningRate(int64_t step) const {
+    if (step >= warmup_steps_) return peak_;
+    return peak_ * static_cast<float>(step + 1) /
+           static_cast<float>(warmup_steps_);
+  }
+
+ private:
+  float peak_;
+  int64_t warmup_steps_;
+};
+
+/// Step decay: lr * gamma^(step / step_size).
+class StepDecaySchedule {
+ public:
+  StepDecaySchedule(float lr, int64_t step_size, float gamma)
+      : lr_(lr), step_size_(step_size), gamma_(gamma) {
+    ALT_CHECK_GE(step_size_, 1);
+  }
+  float LearningRate(int64_t step) const {
+    return lr_ * std::pow(gamma_, static_cast<float>(step / step_size_));
+  }
+
+ private:
+  float lr_;
+  int64_t step_size_;
+  float gamma_;
+};
+
+/// Cosine annealing from `peak` to `floor` over `total_steps`.
+class CosineSchedule {
+ public:
+  CosineSchedule(float peak, int64_t total_steps, float floor = 0.0f)
+      : peak_(peak), total_steps_(total_steps), floor_(floor) {
+    ALT_CHECK_GE(total_steps_, 1);
+  }
+  float LearningRate(int64_t step) const {
+    const float progress = std::min(
+        1.0f, static_cast<float>(step) / static_cast<float>(total_steps_));
+    return floor_ + 0.5f * (peak_ - floor_) *
+                        (1.0f + std::cos(progress * 3.14159265358979f));
+  }
+
+ private:
+  float peak_;
+  int64_t total_steps_;
+  float floor_;
+};
+
+}  // namespace opt
+}  // namespace alt
+
+#endif  // ALT_SRC_OPT_LR_SCHEDULE_H_

@@ -1,0 +1,82 @@
+#include "src/opt/optimizer.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace alt {
+namespace opt {
+
+void Optimizer::ZeroGrad() {
+  for (ag::Variable* p : params_) p->ZeroGrad();
+}
+
+double Optimizer::ClipGradNorm(double max_norm) {
+  double total = 0.0;
+  for (ag::Variable* p : params_) {
+    if (p->has_grad()) total += p->grad().SquaredNorm();
+  }
+  const double norm = std::sqrt(total);
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (ag::Variable* p : params_) {
+      if (p->has_grad()) p->mutable_grad().ScaleInPlace(scale);
+    }
+  }
+  return norm;
+}
+
+void Sgd::Step() {
+  for (ag::Variable* p : params_) {
+    if (!p->has_grad()) continue;
+    p->mutable_value().Axpy(-lr_, p->grad());
+  }
+}
+
+Adam::Adam(std::vector<ag::Variable*> params, float lr, float beta1,
+           float beta2, float eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (ag::Variable* p : params_) {
+    m_.emplace_back(p->value().shape());
+    v_.emplace_back(p->value().shape());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    ag::Variable* p = params_[i];
+    if (!p->has_grad()) continue;
+    const Tensor& g = p->grad();
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    Tensor& theta = p->mutable_value();
+    for (int64_t j = 0; j < g.numel(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      const float m_hat = m[j] / bc1;
+      const float v_hat = v[j] / bc2;
+      theta[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+void AdamW::Step() {
+  // Decoupled decay first, then the ordinary Adam update.
+  for (ag::Variable* p : params_) {
+    if (!p->has_grad()) continue;
+    p->mutable_value().ScaleInPlace(1.0f - lr() * weight_decay_);
+  }
+  Adam::Step();
+}
+
+}  // namespace opt
+}  // namespace alt

@@ -1,0 +1,94 @@
+#ifndef ALT_SRC_OPT_OPTIMIZER_H_
+#define ALT_SRC_OPT_OPTIMIZER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/autograd/variable.h"
+
+namespace alt {
+namespace opt {
+
+/// Base class for gradient-based optimizers over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ag::Variable*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the currently-accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Zeroes every parameter gradient (call before each forward/backward).
+  void ZeroGrad();
+
+  /// Rescales gradients so their global L2 norm is at most `max_norm`.
+  /// Returns the pre-clip norm.
+  double ClipGradNorm(double max_norm);
+
+  const std::vector<ag::Variable*>& params() const { return params_; }
+
+ protected:
+  std::vector<ag::Variable*> params_;
+};
+
+/// Plain SGD: theta <- theta - lr * grad. The update rule of the paper's
+/// Eq. 1/2/3 fine-tuning and meta-update steps.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<ag::Variable*> params, float lr)
+      : Optimizer(std::move(params)), lr_(lr) {}
+
+  void Step() override;
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+};
+
+/// Adam (Kingma & Ba, 2015) — the paper trains every model with Adam,
+/// lr = 0.001.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<ag::Variable*> params, float lr = 1e-3f,
+       float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f);
+
+  void Step() override;
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+/// AdamW (decoupled weight decay): like Adam, but decays parameters toward
+/// zero directly rather than through the gradient.
+class AdamW : public Adam {
+ public:
+  AdamW(std::vector<ag::Variable*> params, float lr = 1e-3f,
+        float weight_decay = 1e-2f, float beta1 = 0.9f, float beta2 = 0.999f,
+        float eps = 1e-8f)
+      : Adam(std::move(params), lr, beta1, beta2, eps),
+        weight_decay_(weight_decay) {}
+
+  void Step() override;
+
+  float weight_decay() const { return weight_decay_; }
+
+ private:
+  float weight_decay_;
+};
+
+}  // namespace opt
+}  // namespace alt
+
+#endif  // ALT_SRC_OPT_OPTIMIZER_H_

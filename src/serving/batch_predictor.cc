@@ -1,0 +1,141 @@
+#include "src/serving/batch_predictor.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace alt {
+namespace serving {
+
+BatchPredictor::BatchPredictor(ModelServer* server, Options options)
+    : server_(server), options_(options) {
+  ALT_CHECK(server != nullptr);
+  ALT_CHECK_GE(options_.max_batch_size, 1);
+  dispatcher_ = std::thread([this]() { DispatcherLoop(); });
+}
+
+BatchPredictor::~BatchPredictor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  dispatcher_.join();
+}
+
+std::future<Result<float>> BatchPredictor::Enqueue(
+    const std::string& scenario, Tensor profile,
+    std::vector<int64_t> behavior) {
+  Request request;
+  request.scenario = scenario;
+  request.profile = std::move(profile);
+  request.behavior = std::move(behavior);
+  request.enqueue_time = std::chrono::steady_clock::now();
+  std::future<Result<float>> future = request.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(request));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+size_t BatchPredictor::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+int64_t BatchPredictor::BatchesDispatched() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_dispatched_;
+}
+
+void BatchPredictor::DispatcherLoop() {
+  const auto max_delay =
+      std::chrono::duration<double, std::milli>(options_.max_delay_ms);
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return shutdown_ || !queue_.empty(); });
+      if (shutdown_ && queue_.empty()) return;
+      // Wait (bounded) for more requests to coalesce.
+      if (!shutdown_ &&
+          static_cast<int64_t>(queue_.size()) < options_.max_batch_size) {
+        const auto deadline = queue_.front().enqueue_time +
+                              std::chrono::duration_cast<
+                                  std::chrono::steady_clock::duration>(
+                                  max_delay);
+        cv_.wait_until(lock, deadline, [this]() {
+          return shutdown_ ||
+                 static_cast<int64_t>(queue_.size()) >=
+                     options_.max_batch_size;
+        });
+      }
+      // Pull a same-scenario run from the queue front (batches must share a
+      // model).
+      const std::string scenario = queue_.front().scenario;
+      while (!queue_.empty() &&
+             static_cast<int64_t>(batch.size()) < options_.max_batch_size &&
+             queue_.front().scenario == scenario) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      ++batches_dispatched_;
+    }
+    Flush(std::move(batch));
+  }
+}
+
+void BatchPredictor::Flush(std::vector<Request> batch) {
+  ALT_CHECK(!batch.empty());
+  const int64_t n = static_cast<int64_t>(batch.size());
+  const int64_t profile_dim = batch[0].profile.numel();
+  const int64_t seq_len = static_cast<int64_t>(batch[0].behavior.size());
+
+  // Validate homogeneous shapes; reject stragglers individually.
+  data::Batch merged;
+  merged.batch_size = 0;
+  merged.seq_len = seq_len;
+  std::vector<size_t> accepted;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].profile.numel() != profile_dim ||
+        static_cast<int64_t>(batch[i].behavior.size()) != seq_len) {
+      batch[i].promise.set_value(
+          Status::InvalidArgument("inconsistent request shape"));
+      continue;
+    }
+    accepted.push_back(i);
+  }
+  if (accepted.empty()) return;
+
+  merged.batch_size = static_cast<int64_t>(accepted.size());
+  merged.profiles = Tensor({merged.batch_size, profile_dim});
+  merged.behaviors.resize(static_cast<size_t>(merged.batch_size * seq_len));
+  merged.labels = Tensor({merged.batch_size, 1});
+  for (int64_t r = 0; r < merged.batch_size; ++r) {
+    const Request& request = batch[accepted[static_cast<size_t>(r)]];
+    for (int64_t j = 0; j < profile_dim; ++j) {
+      merged.profiles.at(r, j) = request.profile[j];
+    }
+    for (int64_t t = 0; t < seq_len; ++t) {
+      merged.behaviors[static_cast<size_t>(r * seq_len + t)] =
+          request.behavior[static_cast<size_t>(t)];
+    }
+  }
+
+  Result<std::vector<float>> scores =
+      server_->Predict(batch[accepted[0]].scenario, merged);
+  for (int64_t r = 0; r < merged.batch_size; ++r) {
+    Request& request = batch[accepted[static_cast<size_t>(r)]];
+    if (scores.ok()) {
+      request.promise.set_value(scores.value()[static_cast<size_t>(r)]);
+    } else {
+      request.promise.set_value(scores.status());
+    }
+  }
+  (void)n;
+}
+
+}  // namespace serving
+}  // namespace alt

@@ -1,0 +1,77 @@
+#ifndef ALT_SRC_SERVING_BATCH_PREDICTOR_H_
+#define ALT_SRC_SERVING_BATCH_PREDICTOR_H_
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/serving/model_server.h"
+
+namespace alt {
+namespace serving {
+
+/// Asynchronous request front-end for a ModelServer: single-user requests
+/// are queued and coalesced into micro-batches before hitting the model —
+/// the standard throughput optimization for online inference services.
+///
+/// A dedicated dispatcher thread drains the queue; a batch is flushed when
+/// it reaches `max_batch_size` or when the oldest queued request has waited
+/// `max_delay_ms`. Results are delivered through futures.
+class BatchPredictor {
+ public:
+  struct Options {
+    int64_t max_batch_size = 16;
+    double max_delay_ms = 2.0;
+  };
+
+  /// `server` must outlive this object.
+  BatchPredictor(ModelServer* server, Options options);
+  ~BatchPredictor();
+
+  BatchPredictor(const BatchPredictor&) = delete;
+  BatchPredictor& operator=(const BatchPredictor&) = delete;
+
+  /// Enqueues one sample for `scenario`; the future resolves to the score
+  /// (or an error status, e.g. scenario not deployed).
+  std::future<Result<float>> Enqueue(const std::string& scenario,
+                                     Tensor profile,
+                                     std::vector<int64_t> behavior);
+
+  /// Requests queued but not yet dispatched.
+  size_t QueueDepth() const;
+
+  /// Total number of model invocations (micro-batches) so far.
+  int64_t BatchesDispatched() const;
+
+ private:
+  struct Request {
+    std::string scenario;
+    Tensor profile;                 // [1, P]
+    std::vector<int64_t> behavior;  // [T]
+    std::promise<Result<float>> promise;
+    std::chrono::steady_clock::time_point enqueue_time;
+  };
+
+  void DispatcherLoop();
+  void Flush(std::vector<Request> batch);
+
+  ModelServer* server_;
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool shutdown_ = false;
+  int64_t batches_dispatched_ = 0;
+  std::thread dispatcher_;
+};
+
+}  // namespace serving
+}  // namespace alt
+
+#endif  // ALT_SRC_SERVING_BATCH_PREDICTOR_H_

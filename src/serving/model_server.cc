@@ -1,0 +1,147 @@
+#include "src/serving/model_server.h"
+
+#include <algorithm>
+
+#include "src/serving/model_store.h"
+#include "src/util/stopwatch.h"
+
+namespace alt {
+namespace serving {
+
+Status ModelServer::Deploy(const std::string& scenario,
+                           std::unique_ptr<models::BaseModel> model) {
+  if (model == nullptr) return Status::InvalidArgument("null model");
+  model->SetTraining(false);
+  std::shared_ptr<Deployment> deployment;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    auto it = deployments_.find(scenario);
+    if (it == deployments_.end()) {
+      deployment = std::make_shared<Deployment>();
+      deployments_[scenario] = deployment;
+    } else {
+      deployment = it->second;
+    }
+  }
+  std::lock_guard<std::mutex> model_lock(deployment->mu);
+  deployment->model = std::move(model);
+  return Status::OK();
+}
+
+Status ModelServer::Undeploy(const std::string& scenario) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  if (deployments_.erase(scenario) == 0) {
+    return Status::NotFound("scenario " + scenario);
+  }
+  return Status::OK();
+}
+
+bool ModelServer::IsDeployed(const std::string& scenario) const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  return deployments_.count(scenario) > 0;
+}
+
+std::vector<std::string> ModelServer::Scenarios() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, deployment] : deployments_) out.push_back(name);
+  return out;
+}
+
+Result<std::vector<float>> ModelServer::Predict(const std::string& scenario,
+                                                const data::Batch& batch) {
+  std::shared_ptr<Deployment> deployment;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    auto it = deployments_.find(scenario);
+    if (it == deployments_.end()) {
+      return Status::NotFound("scenario " + scenario + " not deployed");
+    }
+    deployment = it->second;
+  }
+  // Per-deployment lock: the model's forward pass mutates training-mode
+  // state, so concurrent requests to one scenario serialize here.
+  std::lock_guard<std::mutex> model_lock(deployment->mu);
+  if (deployment->model == nullptr) {
+    return Status::NotFound("scenario " + scenario + " has no model");
+  }
+  Stopwatch watch;
+  std::vector<float> probs = deployment->model->PredictProbs(batch);
+  deployment->latencies_ms.push_back(watch.ElapsedMillis());
+  return probs;
+}
+
+Result<LatencyStats> ModelServer::GetLatencyStats(
+    const std::string& scenario) const {
+  std::shared_ptr<Deployment> deployment;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    auto it = deployments_.find(scenario);
+    if (it == deployments_.end()) {
+      return Status::NotFound("scenario " + scenario);
+    }
+    deployment = it->second;
+  }
+  std::vector<double> latencies;
+  {
+    std::lock_guard<std::mutex> model_lock(deployment->mu);
+    latencies = deployment->latencies_ms;
+  }
+  LatencyStats stats;
+  stats.num_requests = static_cast<int64_t>(latencies.size());
+  if (latencies.empty()) return stats;
+  std::sort(latencies.begin(), latencies.end());
+  double total = 0.0;
+  for (double l : latencies) total += l;
+  stats.mean_ms = total / static_cast<double>(latencies.size());
+  auto percentile = [&](double p) {
+    const size_t idx = std::min(
+        latencies.size() - 1,
+        static_cast<size_t>(p * static_cast<double>(latencies.size())));
+    return latencies[idx];
+  };
+  stats.p50_ms = percentile(0.50);
+  stats.p95_ms = percentile(0.95);
+  stats.p99_ms = percentile(0.99);
+  stats.max_ms = latencies.back();
+  return stats;
+}
+
+Result<int64_t> ModelServer::FlopsPerSample(
+    const std::string& scenario) const {
+  std::shared_ptr<Deployment> deployment;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    auto it = deployments_.find(scenario);
+    if (it == deployments_.end()) {
+      return Status::NotFound("scenario " + scenario);
+    }
+    deployment = it->second;
+  }
+  std::lock_guard<std::mutex> model_lock(deployment->mu);
+  if (deployment->model == nullptr) {
+    return Status::NotFound("scenario " + scenario + " has no model");
+  }
+  return deployment->model->FlopsPerSample();
+}
+
+Status ModelServer::ExportBundle(const std::string& scenario,
+                                 const std::string& path) const {
+  std::shared_ptr<Deployment> deployment;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    auto it = deployments_.find(scenario);
+    if (it == deployments_.end()) {
+      return Status::NotFound("scenario " + scenario);
+    }
+    deployment = it->second;
+  }
+  std::lock_guard<std::mutex> model_lock(deployment->mu);
+  if (deployment->model == nullptr) {
+    return Status::NotFound("scenario " + scenario + " has no model");
+  }
+  return SaveModelBundleToFile(deployment->model.get(), path);
+}
+
+}  // namespace serving
+}  // namespace alt

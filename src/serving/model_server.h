@@ -1,0 +1,74 @@
+#ifndef ALT_SRC_SERVING_MODEL_SERVER_H_
+#define ALT_SRC_SERVING_MODEL_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/models/base_model.h"
+#include "src/util/status.h"
+
+namespace alt {
+namespace serving {
+
+/// Online latency distribution of one deployed model.
+struct LatencyStats {
+  int64_t num_requests = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// The Model Serving module (Sec. IV-E): per-scenario model registry with
+/// thread-safe prediction and per-scenario latency accounting. Deploys are
+/// atomic swaps, so scenarios can be re-deployed while serving.
+class ModelServer {
+ public:
+  ModelServer() = default;
+
+  /// Installs (or replaces) the serving model of `scenario`.
+  Status Deploy(const std::string& scenario,
+                std::unique_ptr<models::BaseModel> model);
+
+  Status Undeploy(const std::string& scenario);
+  bool IsDeployed(const std::string& scenario) const;
+  std::vector<std::string> Scenarios() const;
+
+  /// Scores a request batch with `scenario`'s model. Thread-safe; requests
+  /// to the same scenario are serialized on that scenario's lock.
+  Result<std::vector<float>> Predict(const std::string& scenario,
+                                     const data::Batch& batch);
+
+  /// Latency distribution of past Predict calls (per request, not per
+  /// sample).
+  Result<LatencyStats> GetLatencyStats(const std::string& scenario) const;
+
+  /// Inference FLOPs per sample of the deployed model.
+  Result<int64_t> FlopsPerSample(const std::string& scenario) const;
+
+  /// Writes the deployed model as a self-contained serving bundle.
+  Status ExportBundle(const std::string& scenario,
+                      const std::string& path) const;
+
+ private:
+  struct Deployment {
+    std::unique_ptr<models::BaseModel> model;
+    std::mutex mu;
+    std::vector<double> latencies_ms;
+  };
+
+  /// Deployments are shared_ptrs so an in-flight Predict keeps its
+  /// deployment alive across a concurrent Undeploy.
+  mutable std::mutex registry_mu_;
+  std::map<std::string, std::shared_ptr<Deployment>> deployments_;
+};
+
+}  // namespace serving
+}  // namespace alt
+
+#endif  // ALT_SRC_SERVING_MODEL_SERVER_H_

@@ -1,0 +1,65 @@
+#include "src/serving/online_simulator.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace alt {
+namespace serving {
+
+Result<CtrSeries> RunOnlineSimulation(const data::SyntheticGenerator& gen,
+                                      int64_t scenario_id, ScoringFn policy,
+                                      const OnlineSimOptions& options) {
+  if (options.days <= 0 || options.users_per_day <= 0 || options.top_k <= 0) {
+    return Status::InvalidArgument("days/users_per_day/top_k must be > 0");
+  }
+  if (options.top_k > options.users_per_day) {
+    return Status::InvalidArgument("top_k must be <= users_per_day");
+  }
+  CtrSeries series;
+  Rng click_rng(options.seed * 7907 + static_cast<uint64_t>(scenario_id));
+  for (int64_t day = 0; day < options.days; ++day) {
+    // The candidate stream depends only on (generator seed, scenario, day),
+    // so every compared policy sees identical users.
+    data::ScenarioData candidates = gen.GenerateExtra(
+        scenario_id, options.users_per_day,
+        /*stream=*/1000 + static_cast<uint64_t>(day));
+    std::vector<float> scores = policy(candidates);
+    if (static_cast<int64_t>(scores.size()) != candidates.num_samples()) {
+      return Status::Internal("policy returned wrong number of scores");
+    }
+    // Show the top-k scored users.
+    std::vector<size_t> order(scores.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(order.begin(),
+                      order.begin() + static_cast<long>(options.top_k),
+                      order.end(), [&](size_t a, size_t b) {
+                        return scores[a] > scores[b];
+                      });
+    double clicks = 0.0;
+    for (int64_t k = 0; k < options.top_k; ++k) {
+      const size_t user = order[static_cast<size_t>(k)];
+      const double ctr = gen.TrueProbability(
+          scenario_id,
+          candidates.profiles.data() +
+              static_cast<int64_t>(user) * candidates.profile_dim,
+          candidates.behaviors.data() +
+              static_cast<int64_t>(user) * candidates.seq_len);
+      if (options.sample_clicks) {
+        clicks += click_rng.Bernoulli(ctr) ? 1.0 : 0.0;
+      } else {
+        clicks += ctr;  // Expected clicks.
+      }
+    }
+    series.daily_ctr.push_back(clicks / static_cast<double>(options.top_k));
+  }
+  double total = 0.0;
+  for (double c : series.daily_ctr) total += c;
+  series.mean_ctr = total / static_cast<double>(series.daily_ctr.size());
+  return series;
+}
+
+}  // namespace serving
+}  // namespace alt

@@ -1,0 +1,50 @@
+#ifndef ALT_SRC_SERVING_ONLINE_SIMULATOR_H_
+#define ALT_SRC_SERVING_ONLINE_SIMULATOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/data/synthetic.h"
+#include "src/util/status.h"
+
+namespace alt {
+namespace serving {
+
+/// Options of the online recommendation simulation used to reproduce the
+/// paper's Fig. 11 (7-day CTR A/B test over 34 scenarios).
+struct OnlineSimOptions {
+  int64_t days = 7;
+  /// Candidate users reaching each scenario per day.
+  int64_t users_per_day = 200;
+  /// Impressions per day: the policy's top-k scored users are "shown".
+  int64_t top_k = 40;
+  /// When true, clicks are Bernoulli draws from the ground-truth CTR;
+  /// when false (default), the expected CTR is reported — lower variance,
+  /// same ordering of policies.
+  bool sample_clicks = false;
+  uint64_t seed = 11;
+};
+
+/// A policy scores a day's candidate set; higher = more likely to click.
+using ScoringFn =
+    std::function<std::vector<float>(const data::ScenarioData& candidates)>;
+
+/// Daily CTR series of one policy on one scenario.
+struct CtrSeries {
+  std::vector<double> daily_ctr;
+  double mean_ctr = 0.0;
+};
+
+/// Simulates `options.days` days: each day the same candidate stream (a
+/// deterministic function of generator seed, scenario, and day — identical
+/// across policies for a fair A/B comparison) is scored by `policy`, the
+/// top-k users are shown, and CTR is computed from the generator's
+/// ground-truth click probabilities.
+Result<CtrSeries> RunOnlineSimulation(const data::SyntheticGenerator& gen,
+                                      int64_t scenario_id, ScoringFn policy,
+                                      const OnlineSimOptions& options);
+
+}  // namespace serving
+}  // namespace alt
+
+#endif  // ALT_SRC_SERVING_ONLINE_SIMULATOR_H_

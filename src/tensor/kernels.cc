@@ -1,0 +1,309 @@
+#include "src/tensor/kernels.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/logging.h"
+
+namespace alt {
+
+namespace {
+
+/// Inner 2-D gemm on raw pointers: C[m,n] (+)= A[m,k] * B[k,n].
+void GemmImpl(const float* a, const float* b, float* c, int64_t m, int64_t k,
+              int64_t n, bool accumulate) {
+  if (!accumulate) std::fill(c, c + m * n, 0.0f);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// C[m,n] += A[k,m]^T B[k,n].
+void GemmTransAImpl(const float* a, const float* b, float* c, int64_t m,
+                    int64_t k, int64_t n) {
+  for (int64_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// C[m,n] += A[m,k] B[n,k]^T.
+void GemmTransBImpl(const float* a, const float* b, float* c, int64_t m,
+                    int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+}  // namespace
+
+void MatMul(const Tensor& a, const Tensor& b, Tensor* c) {
+  ALT_CHECK_EQ(a.ndim(), 2);
+  ALT_CHECK_EQ(b.ndim(), 2);
+  ALT_CHECK_EQ(a.size(1), b.size(0));
+  ALT_CHECK_EQ(c->size(0), a.size(0));
+  ALT_CHECK_EQ(c->size(1), b.size(1));
+  GemmImpl(a.data(), b.data(), c->data(), a.size(0), a.size(1), b.size(1),
+           /*accumulate=*/false);
+}
+
+void MatMulAcc(const Tensor& a, const Tensor& b, Tensor* c) {
+  ALT_CHECK_EQ(a.size(1), b.size(0));
+  GemmImpl(a.data(), b.data(), c->data(), a.size(0), a.size(1), b.size(1),
+           /*accumulate=*/true);
+}
+
+void MatMulTransAAcc(const Tensor& a, const Tensor& b, Tensor* c) {
+  ALT_CHECK_EQ(a.size(0), b.size(0));
+  GemmTransAImpl(a.data(), b.data(), c->data(), a.size(1), a.size(0),
+                 b.size(1));
+}
+
+void MatMulTransBAcc(const Tensor& a, const Tensor& b, Tensor* c) {
+  ALT_CHECK_EQ(a.size(1), b.size(1));
+  GemmTransBImpl(a.data(), b.data(), c->data(), a.size(0), a.size(1),
+                 b.size(0));
+}
+
+void BatchedMatMul(const Tensor& a, bool trans_a, const Tensor& b,
+                   bool trans_b, Tensor* c, bool accumulate) {
+  ALT_CHECK_EQ(a.ndim(), 3);
+  ALT_CHECK_EQ(b.ndim(), 3);
+  ALT_CHECK_EQ(c->ndim(), 3);
+  const int64_t batch = a.size(0);
+  ALT_CHECK_EQ(b.size(0), batch);
+  ALT_CHECK_EQ(c->size(0), batch);
+  const int64_t m = trans_a ? a.size(2) : a.size(1);
+  const int64_t k = trans_a ? a.size(1) : a.size(2);
+  const int64_t kb = trans_b ? b.size(2) : b.size(1);
+  const int64_t n = trans_b ? b.size(1) : b.size(2);
+  ALT_CHECK_EQ(k, kb);
+  ALT_CHECK_EQ(c->size(1), m);
+  ALT_CHECK_EQ(c->size(2), n);
+
+  const int64_t a_stride = a.size(1) * a.size(2);
+  const int64_t b_stride = b.size(1) * b.size(2);
+  const int64_t c_stride = m * n;
+  for (int64_t bi = 0; bi < batch; ++bi) {
+    const float* ap = a.data() + bi * a_stride;
+    const float* bp = b.data() + bi * b_stride;
+    float* cp = c->data() + bi * c_stride;
+    if (!accumulate) std::fill(cp, cp + c_stride, 0.0f);
+    if (!trans_a && !trans_b) {
+      GemmImpl(ap, bp, cp, m, k, n, /*accumulate=*/true);
+    } else if (trans_a && !trans_b) {
+      GemmTransAImpl(ap, bp, cp, m, k, n);
+    } else if (!trans_a && trans_b) {
+      GemmTransBImpl(ap, bp, cp, m, k, n);
+    } else {
+      // (A^T B^T): rarely needed; do it elementwise.
+      for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+          float acc = 0.0f;
+          for (int64_t p = 0; p < k; ++p) acc += ap[p * m + i] * bp[j * k + p];
+          cp[i * n + j] += acc;
+        }
+      }
+    }
+  }
+}
+
+void Conv1D(const Tensor& input, const Tensor& weight, const Tensor* bias,
+            int64_t dilation, Tensor* out) {
+  ALT_CHECK_EQ(input.ndim(), 3);
+  ALT_CHECK_EQ(weight.ndim(), 3);
+  const int64_t batch = input.size(0);
+  const int64_t seq = input.size(1);
+  const int64_t cin = input.size(2);
+  const int64_t cout = weight.size(0);
+  const int64_t k = weight.size(1);
+  ALT_CHECK_EQ(weight.size(2), cin);
+  ALT_CHECK_EQ(out->size(0), batch);
+  ALT_CHECK_EQ(out->size(1), seq);
+  ALT_CHECK_EQ(out->size(2), cout);
+  ALT_CHECK_GE(dilation, 1);
+
+  // SAME padding: output position t reads input positions
+  // t + (j - (k-1)/2) * dilation for tap j in [0, k).
+  const int64_t half = (k - 1) / 2;
+  out->SetZero();
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t t = 0; t < seq; ++t) {
+      float* orow = out->data() + (b * seq + t) * cout;
+      for (int64_t j = 0; j < k; ++j) {
+        const int64_t ti = t + (j - half) * dilation;
+        if (ti < 0 || ti >= seq) continue;
+        const float* irow = input.data() + (b * seq + ti) * cin;
+        const float* wtap = weight.data() + j * cin;  // [cout, k, cin]
+        for (int64_t co = 0; co < cout; ++co) {
+          const float* w = wtap + co * k * cin;
+          float acc = 0.0f;
+          for (int64_t ci = 0; ci < cin; ++ci) acc += irow[ci] * w[ci];
+          orow[co] += acc;
+        }
+      }
+      if (bias != nullptr) {
+        for (int64_t co = 0; co < cout; ++co) orow[co] += (*bias)[co];
+      }
+    }
+  }
+}
+
+void Conv1DBackward(const Tensor& input, const Tensor& weight,
+                    const Tensor& grad_out, int64_t dilation,
+                    Tensor* grad_input, Tensor* grad_weight,
+                    Tensor* grad_bias) {
+  const int64_t batch = input.size(0);
+  const int64_t seq = input.size(1);
+  const int64_t cin = input.size(2);
+  const int64_t cout = weight.size(0);
+  const int64_t k = weight.size(1);
+  const int64_t half = (k - 1) / 2;
+
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t t = 0; t < seq; ++t) {
+      const float* grow = grad_out.data() + (b * seq + t) * cout;
+      if (grad_bias != nullptr) {
+        for (int64_t co = 0; co < cout; ++co) (*grad_bias)[co] += grow[co];
+      }
+      for (int64_t j = 0; j < k; ++j) {
+        const int64_t ti = t + (j - half) * dilation;
+        if (ti < 0 || ti >= seq) continue;
+        const float* irow = input.data() + (b * seq + ti) * cin;
+        float* girow = grad_input != nullptr
+                           ? grad_input->data() + (b * seq + ti) * cin
+                           : nullptr;
+        for (int64_t co = 0; co < cout; ++co) {
+          const float g = grow[co];
+          if (g == 0.0f) continue;
+          const float* w = weight.data() + (co * k + j) * cin;
+          if (girow != nullptr) {
+            for (int64_t ci = 0; ci < cin; ++ci) girow[ci] += g * w[ci];
+          }
+          if (grad_weight != nullptr) {
+            float* gw = grad_weight->data() + (co * k + j) * cin;
+            for (int64_t ci = 0; ci < cin; ++ci) gw[ci] += g * irow[ci];
+          }
+        }
+      }
+    }
+  }
+}
+
+void AvgPool1D(const Tensor& input, int64_t k, Tensor* out) {
+  const int64_t batch = input.size(0);
+  const int64_t seq = input.size(1);
+  const int64_t c = input.size(2);
+  const int64_t half = (k - 1) / 2;
+  out->SetZero();
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t t = 0; t < seq; ++t) {
+      float* orow = out->data() + (b * seq + t) * c;
+      int64_t count = 0;
+      for (int64_t j = 0; j < k; ++j) {
+        const int64_t ti = t + j - half;
+        if (ti < 0 || ti >= seq) continue;
+        ++count;
+        const float* irow = input.data() + (b * seq + ti) * c;
+        for (int64_t ci = 0; ci < c; ++ci) orow[ci] += irow[ci];
+      }
+      ALT_CHECK_GT(count, 0);
+      const float inv = 1.0f / static_cast<float>(count);
+      for (int64_t ci = 0; ci < c; ++ci) orow[ci] *= inv;
+    }
+  }
+}
+
+void AvgPool1DBackward(const Tensor& grad_out, int64_t k, Tensor* grad_input) {
+  const int64_t batch = grad_out.size(0);
+  const int64_t seq = grad_out.size(1);
+  const int64_t c = grad_out.size(2);
+  const int64_t half = (k - 1) / 2;
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t t = 0; t < seq; ++t) {
+      int64_t count = 0;
+      for (int64_t j = 0; j < k; ++j) {
+        const int64_t ti = t + j - half;
+        if (ti >= 0 && ti < seq) ++count;
+      }
+      const float inv = 1.0f / static_cast<float>(count);
+      const float* grow = grad_out.data() + (b * seq + t) * c;
+      for (int64_t j = 0; j < k; ++j) {
+        const int64_t ti = t + j - half;
+        if (ti < 0 || ti >= seq) continue;
+        float* girow = grad_input->data() + (b * seq + ti) * c;
+        for (int64_t ci = 0; ci < c; ++ci) girow[ci] += grow[ci] * inv;
+      }
+    }
+  }
+}
+
+void MaxPool1D(const Tensor& input, int64_t k, Tensor* out,
+               std::vector<int64_t>* argmax) {
+  const int64_t batch = input.size(0);
+  const int64_t seq = input.size(1);
+  const int64_t c = input.size(2);
+  const int64_t half = (k - 1) / 2;
+  argmax->assign(static_cast<size_t>(out->numel()), -1);
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t t = 0; t < seq; ++t) {
+      float* orow = out->data() + (b * seq + t) * c;
+      int64_t* arow = argmax->data() + (b * seq + t) * c;
+      for (int64_t ci = 0; ci < c; ++ci) {
+        orow[ci] = -std::numeric_limits<float>::infinity();
+      }
+      for (int64_t j = 0; j < k; ++j) {
+        const int64_t ti = t + j - half;
+        if (ti < 0 || ti >= seq) continue;
+        const float* irow = input.data() + (b * seq + ti) * c;
+        for (int64_t ci = 0; ci < c; ++ci) {
+          if (irow[ci] > orow[ci]) {
+            orow[ci] = irow[ci];
+            arow[ci] = ti;
+          }
+        }
+      }
+    }
+  }
+}
+
+void MaxPool1DBackward(const Tensor& grad_out,
+                       const std::vector<int64_t>& argmax,
+                       Tensor* grad_input) {
+  const int64_t batch = grad_out.size(0);
+  const int64_t seq = grad_out.size(1);
+  const int64_t c = grad_out.size(2);
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t t = 0; t < seq; ++t) {
+      const float* grow = grad_out.data() + (b * seq + t) * c;
+      const int64_t* arow = argmax.data() + (b * seq + t) * c;
+      for (int64_t ci = 0; ci < c; ++ci) {
+        const int64_t ti = arow[ci];
+        if (ti < 0) continue;
+        grad_input->data()[(b * seq + ti) * c + ci] += grow[ci];
+      }
+    }
+  }
+}
+
+}  // namespace alt

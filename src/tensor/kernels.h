@@ -1,0 +1,56 @@
+#ifndef ALT_SRC_TENSOR_KERNELS_H_
+#define ALT_SRC_TENSOR_KERNELS_H_
+
+#include <cstdint>
+
+#include "src/tensor/tensor.h"
+
+namespace alt {
+
+/// Raw dense compute kernels shared by autograd forward and backward passes.
+/// All kernels operate on pre-shaped tensors; shape validation happens at the
+/// op layer. Accumulating variants (suffix `Acc`) add into the output, which
+/// is what backward passes need for gradient accumulation.
+
+/// C = A[m,k] * B[k,n]. Overwrites C.
+void MatMul(const Tensor& a, const Tensor& b, Tensor* c);
+/// C += A[m,k] * B[k,n].
+void MatMulAcc(const Tensor& a, const Tensor& b, Tensor* c);
+/// C += A[k,m]^T * B[k,n]  (i.e. C[m,n] += sum_k A[k,m] B[k,n]).
+void MatMulTransAAcc(const Tensor& a, const Tensor& b, Tensor* c);
+/// C += A[m,k] * B[n,k]^T.
+void MatMulTransBAcc(const Tensor& a, const Tensor& b, Tensor* c);
+
+/// Batched matrix product over the leading dimension:
+/// C[b] (+)= op(A[b]) * op(B[b]) with optional transposes.
+/// A: [B, m, k] (or [B, k, m] if trans_a), B analogous, C: [B, m, n].
+void BatchedMatMul(const Tensor& a, bool trans_a, const Tensor& b,
+                   bool trans_b, Tensor* c, bool accumulate);
+
+/// 1-D convolution with SAME padding and stride 1 over layout [B, T, Cin].
+/// weight: [Cout, K, Cin], bias: [Cout] (may be null), dilation >= 1.
+/// out: [B, T, Cout]. Overwrites out.
+void Conv1D(const Tensor& input, const Tensor& weight, const Tensor* bias,
+            int64_t dilation, Tensor* out);
+/// Backward of Conv1D: accumulates into grad_input / grad_weight / grad_bias
+/// (any may be null to skip).
+void Conv1DBackward(const Tensor& input, const Tensor& weight,
+                    const Tensor& grad_out, int64_t dilation,
+                    Tensor* grad_input, Tensor* grad_weight,
+                    Tensor* grad_bias);
+
+/// 1-D average pooling, kernel `k`, stride 1, SAME padding, layout [B, T, C].
+/// The average divides by the number of valid (in-bounds) taps.
+void AvgPool1D(const Tensor& input, int64_t k, Tensor* out);
+void AvgPool1DBackward(const Tensor& grad_out, int64_t k, Tensor* grad_input);
+
+/// 1-D max pooling; `argmax` (same shape as out) records the winning input
+/// time index per output element for the backward pass.
+void MaxPool1D(const Tensor& input, int64_t k, Tensor* out,
+               std::vector<int64_t>* argmax);
+void MaxPool1DBackward(const Tensor& grad_out,
+                       const std::vector<int64_t>& argmax, Tensor* grad_input);
+
+}  // namespace alt
+
+#endif  // ALT_SRC_TENSOR_KERNELS_H_

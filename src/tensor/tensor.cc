@@ -1,0 +1,177 @@
+#include "src/tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace alt {
+
+int64_t ShapeNumel(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    ALT_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+std::string ShapeToString(const std::vector<int64_t>& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Tensor::Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
+  data_.assign(static_cast<size_t>(ShapeNumel(shape_)), 0.0f);
+}
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::Ones(std::vector<int64_t> shape) {
+  return Full(std::move(shape), 1.0f);
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::FromVector(std::vector<int64_t> shape,
+                          std::vector<float> values) {
+  ALT_CHECK_EQ(ShapeNumel(shape), static_cast<int64_t>(values.size()));
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(values);
+  return t;
+}
+
+Tensor Tensor::Scalar(float value) { return FromVector({1}, {value}); }
+
+Tensor Tensor::Randn(std::vector<int64_t> shape, Rng* rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng->Normal(0.0, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::RandUniform(std::vector<int64_t> shape, Rng* rng, float lo,
+                           float hi) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return t;
+}
+
+int64_t Tensor::size(int64_t dim) const {
+  ALT_CHECK_GE(dim, 0);
+  ALT_CHECK_LT(dim, ndim());
+  return shape_[static_cast<size_t>(dim)];
+}
+
+float& Tensor::at(int64_t i, int64_t j) {
+  ALT_CHECK_EQ(ndim(), 2);
+  return data_[static_cast<size_t>(i * shape_[1] + j)];
+}
+
+float& Tensor::at(int64_t i, int64_t j, int64_t k) {
+  ALT_CHECK_EQ(ndim(), 3);
+  return data_[static_cast<size_t>((i * shape_[1] + j) * shape_[2] + k)];
+}
+
+float Tensor::at(int64_t i, int64_t j) const {
+  ALT_CHECK_EQ(ndim(), 2);
+  return data_[static_cast<size_t>(i * shape_[1] + j)];
+}
+
+float Tensor::at(int64_t i, int64_t j, int64_t k) const {
+  ALT_CHECK_EQ(ndim(), 3);
+  return data_[static_cast<size_t>((i * shape_[1] + j) * shape_[2] + k)];
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::AddInPlace(const Tensor& other) {
+  ALT_CHECK(SameShape(other)) << ShapeToString(shape_) << " vs "
+                              << ShapeToString(other.shape_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::Axpy(float alpha, const Tensor& other) {
+  ALT_CHECK(SameShape(other)) << ShapeToString(shape_) << " vs "
+                              << ShapeToString(other.shape_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void Tensor::ScaleInPlace(float alpha) {
+  for (float& v : data_) v *= alpha;
+}
+
+Tensor Tensor::Reshape(std::vector<int64_t> new_shape) const {
+  ALT_CHECK_EQ(ShapeNumel(new_shape), numel());
+  Tensor t = *this;
+  t.shape_ = std::move(new_shape);
+  return t;
+}
+
+float Tensor::SumAll() const {
+  double s = 0.0;
+  for (float v : data_) s += v;
+  return static_cast<float>(s);
+}
+
+float Tensor::MeanAll() const {
+  ALT_CHECK_GT(numel(), 0);
+  return SumAll() / static_cast<float>(numel());
+}
+
+float Tensor::MaxAll() const {
+  ALT_CHECK_GT(numel(), 0);
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::MinAll() const {
+  ALT_CHECK_GT(numel(), 0);
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+int64_t Tensor::ArgMaxAll() const {
+  ALT_CHECK_GT(numel(), 0);
+  return static_cast<int64_t>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+double Tensor::SquaredNorm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return s;
+}
+
+std::string Tensor::ToString(int64_t max_elems) const {
+  std::ostringstream os;
+  os << "Tensor" << ShapeToString(shape_) << " {";
+  int64_t n = std::min<int64_t>(numel(), max_elems);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) os << ", ";
+    os << data_[static_cast<size_t>(i)];
+  }
+  if (numel() > n) os << ", ...";
+  os << "}";
+  return os.str();
+}
+
+}  // namespace alt

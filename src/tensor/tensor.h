@@ -1,0 +1,100 @@
+#ifndef ALT_SRC_TENSOR_TENSOR_H_
+#define ALT_SRC_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace alt {
+
+/// A dense, row-major, float32 n-dimensional array. Value semantics: copies
+/// copy the buffer. This is the storage type for model parameters,
+/// activations, and gradients throughout the library.
+class Tensor {
+ public:
+  /// An empty 0-element tensor.
+  Tensor() = default;
+
+  /// A zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<int64_t> shape);
+
+  /// Factory constructors -------------------------------------------------
+  static Tensor Zeros(std::vector<int64_t> shape);
+  static Tensor Ones(std::vector<int64_t> shape);
+  static Tensor Full(std::vector<int64_t> shape, float value);
+  static Tensor FromVector(std::vector<int64_t> shape,
+                           std::vector<float> values);
+  /// A scalar tensor of shape [1].
+  static Tensor Scalar(float value);
+  /// I.i.d. N(0, stddev^2) entries.
+  static Tensor Randn(std::vector<int64_t> shape, Rng* rng,
+                      float stddev = 1.0f);
+  /// I.i.d. Uniform(lo, hi) entries.
+  static Tensor RandUniform(std::vector<int64_t> shape, Rng* rng, float lo,
+                            float hi);
+
+  /// Shape access ----------------------------------------------------------
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t ndim() const { return static_cast<int64_t>(shape_.size()); }
+  int64_t size(int64_t dim) const;
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// Element access --------------------------------------------------------
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  float& at(int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float& at(int64_t i, int64_t j);
+  float& at(int64_t i, int64_t j, int64_t k);
+  float at(int64_t i) const { return data_[static_cast<size_t>(i)]; }
+  float at(int64_t i, int64_t j) const;
+  float at(int64_t i, int64_t j, int64_t k) const;
+
+  /// In-place mutation -----------------------------------------------------
+  void Fill(float value);
+  void SetZero() { Fill(0.0f); }
+  /// this += other (same shape).
+  void AddInPlace(const Tensor& other);
+  /// this += alpha * other (same shape). The axpy primitive used by
+  /// optimizers and gradient accumulation.
+  void Axpy(float alpha, const Tensor& other);
+  /// this *= alpha.
+  void ScaleInPlace(float alpha);
+
+  /// Shape manipulation (copies metadata, shares no aliasing surprises) ----
+  /// Same data, new shape; numel must match.
+  Tensor Reshape(std::vector<int64_t> new_shape) const;
+
+  /// Reductions ------------------------------------------------------------
+  float SumAll() const;
+  float MeanAll() const;
+  float MaxAll() const;
+  float MinAll() const;
+  /// Index of the maximum element (first on ties).
+  int64_t ArgMaxAll() const;
+  /// Squared L2 norm of all entries.
+  double SquaredNorm() const;
+
+  /// Debug string such as "Tensor[2, 3] {1, 2, 3, ...}".
+  std::string ToString(int64_t max_elems = 8) const;
+
+ private:
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+};
+
+/// Returns the product of `shape` entries; checks non-negativity.
+int64_t ShapeNumel(const std::vector<int64_t>& shape);
+
+/// Renders "[2, 3, 4]".
+std::string ShapeToString(const std::vector<int64_t>& shape);
+
+}  // namespace alt
+
+#endif  // ALT_SRC_TENSOR_TENSOR_H_

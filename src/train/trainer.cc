@@ -1,0 +1,136 @@
+#include "src/train/trainer.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/autograd/ops.h"
+#include "src/opt/optimizer.h"
+#include "src/util/logging.h"
+
+namespace alt {
+namespace train {
+
+namespace {
+
+/// Shared epoch loop; `loss_fn` maps a batch to the scalar training loss.
+template <typename LossFn>
+Result<TrainReport> RunTraining(models::BaseModel* model,
+                                const data::ScenarioData& train_data,
+                                const TrainOptions& options, LossFn loss_fn) {
+  if (train_data.num_samples() == 0) {
+    return Status::InvalidArgument("empty training data");
+  }
+  if (options.epochs <= 0 || options.batch_size <= 0) {
+    return Status::InvalidArgument("epochs and batch_size must be positive");
+  }
+  model->SetTraining(true);
+  opt::Adam optimizer(model->Parameters(), options.learning_rate);
+  Rng rng(options.seed);
+  Rng dropout_rng = rng.Fork();
+
+  TrainReport report;
+  double best_loss = std::numeric_limits<double>::infinity();
+  int64_t bad_epochs = 0;
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    int64_t num_batches = 0;
+    for (const auto& indices : data::ShuffledBatchIndices(
+             train_data.num_samples(), options.batch_size, &rng)) {
+      data::Batch batch = MakeBatch(train_data, indices);
+      optimizer.ZeroGrad();
+      ag::Variable loss = loss_fn(batch, &dropout_rng);
+      epoch_loss += loss.value()[0];
+      ++num_batches;
+      loss.Backward();
+      if (options.grad_clip > 0.0f) {
+        optimizer.ClipGradNorm(options.grad_clip);
+      }
+      optimizer.Step();
+    }
+    epoch_loss /= static_cast<double>(num_batches);
+    if (epoch == 0) report.first_epoch_loss = epoch_loss;
+    report.final_epoch_loss = epoch_loss;
+    ++report.epochs_run;
+    if (options.patience > 0) {
+      if (epoch_loss < best_loss - options.min_improvement) {
+        best_loss = epoch_loss;
+        bad_epochs = 0;
+      } else if (++bad_epochs >= options.patience) {
+        break;
+      }
+    }
+  }
+  model->SetTraining(false);
+  return report;
+}
+
+}  // namespace
+
+Result<TrainReport> TrainModel(models::BaseModel* model,
+                               const data::ScenarioData& train_data,
+                               const TrainOptions& options) {
+  return RunTraining(
+      model, train_data, options,
+      [model](const data::Batch& batch, Rng* dropout_rng) {
+        ag::Variable logits = model->Forward(batch, dropout_rng);
+        ag::Variable targets = ag::Variable::Constant(batch.labels);
+        return ag::BCEWithLogits(logits, targets);
+      });
+}
+
+Result<TrainReport> TrainWithDistillation(models::BaseModel* student,
+                                          models::BaseModel* teacher,
+                                          const data::ScenarioData& train_data,
+                                          float delta,
+                                          const TrainOptions& options) {
+  if (teacher == nullptr) {
+    return Status::InvalidArgument("teacher must not be null");
+  }
+  return RunTraining(
+      student, train_data, options,
+      [student, teacher, delta](const data::Batch& batch, Rng* dropout_rng) {
+        ag::Variable logits = student->Forward(batch, dropout_rng);
+        ag::Variable hard = ag::Variable::Constant(batch.labels);
+        // Teacher soft labels, eval mode, no gradient.
+        std::vector<float> teacher_probs = teacher->PredictProbs(batch);
+        Tensor soft_tensor =
+            Tensor::FromVector({batch.batch_size, 1}, teacher_probs);
+        ag::Variable soft = ag::Variable::Constant(std::move(soft_tensor));
+        ag::Variable loss_hard = ag::BCEWithLogits(logits, hard);
+        ag::Variable loss_soft = ag::BCEWithLogits(logits, soft);
+        return ag::Add(loss_hard, ag::ScalarMul(loss_soft, delta));
+      });
+}
+
+std::vector<float> Predict(models::BaseModel* model,
+                           const data::ScenarioData& dataset,
+                           int64_t batch_size) {
+  std::vector<float> out;
+  out.reserve(static_cast<size_t>(dataset.num_samples()));
+  std::vector<size_t> indices;
+  for (int64_t start = 0; start < dataset.num_samples();
+       start += batch_size) {
+    const int64_t end = std::min(dataset.num_samples(), start + batch_size);
+    indices.clear();
+    for (int64_t i = start; i < end; ++i) {
+      indices.push_back(static_cast<size_t>(i));
+    }
+    data::Batch batch = MakeBatch(dataset, indices);
+    std::vector<float> probs = model->PredictProbs(batch);
+    out.insert(out.end(), probs.begin(), probs.end());
+  }
+  return out;
+}
+
+double EvaluateAuc(models::BaseModel* model,
+                   const data::ScenarioData& dataset) {
+  return data::Auc(dataset.labels, Predict(model, dataset));
+}
+
+double EvaluateLogLoss(models::BaseModel* model,
+                       const data::ScenarioData& dataset) {
+  return data::LogLoss(dataset.labels, Predict(model, dataset));
+}
+
+}  // namespace train
+}  // namespace alt

@@ -1,0 +1,68 @@
+#ifndef ALT_SRC_TRAIN_TRAINER_H_
+#define ALT_SRC_TRAIN_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/data/metrics.h"
+#include "src/models/base_model.h"
+#include "src/util/status.h"
+
+namespace alt {
+namespace train {
+
+/// Options for supervised training runs. The defaults follow the paper's
+/// implementation details (Adam, lr 0.001, cross-entropy), with batch size
+/// and epochs scaled to the synthetic workloads.
+struct TrainOptions {
+  int64_t epochs = 3;
+  int64_t batch_size = 64;
+  float learning_rate = 1e-3f;
+  /// Global gradient-norm clip; <= 0 disables.
+  float grad_clip = 5.0f;
+  uint64_t seed = 1;
+  /// Stop early when the epoch training loss fails to improve by at least
+  /// `min_improvement` for `patience` consecutive epochs; 0 disables.
+  int64_t patience = 0;
+  float min_improvement = 1e-4f;
+};
+
+/// Summary of one training run.
+struct TrainReport {
+  int64_t epochs_run = 0;
+  double first_epoch_loss = 0.0;
+  double final_epoch_loss = 0.0;
+};
+
+/// Trains `model` with binary cross-entropy on hard labels (Adam).
+Result<TrainReport> TrainModel(models::BaseModel* model,
+                               const data::ScenarioData& train_data,
+                               const TrainOptions& options);
+
+/// Trains `student` with the distillation loss of Eq. 5:
+///   L = CE(y', y_hard) + delta * CE(y'_soft, y_soft)
+/// where y_soft is the teacher's predicted probability. The teacher is used
+/// in eval mode and receives no gradient.
+Result<TrainReport> TrainWithDistillation(models::BaseModel* student,
+                                          models::BaseModel* teacher,
+                                          const data::ScenarioData& train_data,
+                                          float delta,
+                                          const TrainOptions& options);
+
+/// Eval-mode predictions for the whole dataset, batched to bound memory.
+std::vector<float> Predict(models::BaseModel* model,
+                           const data::ScenarioData& dataset,
+                           int64_t batch_size = 256);
+
+/// AUC of `model` on `dataset`.
+double EvaluateAuc(models::BaseModel* model, const data::ScenarioData& dataset);
+
+/// Mean binary cross-entropy of `model` on `dataset`.
+double EvaluateLogLoss(models::BaseModel* model,
+                       const data::ScenarioData& dataset);
+
+}  // namespace train
+}  // namespace alt
+
+#endif  // ALT_SRC_TRAIN_TRAINER_H_

@@ -1,0 +1,366 @@
+#include "src/util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/logging.h"
+
+namespace alt {
+
+namespace {
+const Json& NullJson() {
+  static const Json* kNull = new Json();
+  return *kNull;
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(std::string* out, double d) {
+  if (d == std::floor(d) && std::abs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    *out += buf;
+    return;
+  }
+  // Shortest representation that parses back to exactly the same double.
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, d);
+    if (std::strtod(buf, nullptr) == d) break;
+  }
+  *out += buf;
+}
+
+/// Recursive-descent parser over a string view with position tracking.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Json> Parse() {
+    SkipWhitespace();
+    ALT_ASSIGN_OR_RETURN(Json value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters at position " +
+                                     std::to_string(pos_));
+    }
+    return value;
+  }
+
+ private:
+  Result<Json> ParseValue() {
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't':
+        return ParseLiteral("true", Json(true));
+      case 'f':
+        return ParseLiteral("false", Json(false));
+      case 'n':
+        return ParseLiteral("null", Json(nullptr));
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<Json> ParseObject() {
+    ++pos_;  // consume '{'
+    Json::Object obj;
+    SkipWhitespace();
+    if (Peek() == '}') {
+      ++pos_;
+      return Json(std::move(obj));
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (Peek() != '"') return Fail("expected string key");
+      ALT_ASSIGN_OR_RETURN(Json key, ParseString());
+      SkipWhitespace();
+      if (Peek() != ':') return Fail("expected ':'");
+      ++pos_;
+      SkipWhitespace();
+      ALT_ASSIGN_OR_RETURN(Json value, ParseValue());
+      obj.emplace(key.as_string(), std::move(value));
+      SkipWhitespace();
+      char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return Json(std::move(obj));
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  Result<Json> ParseArray() {
+    ++pos_;  // consume '['
+    Json::Array arr;
+    SkipWhitespace();
+    if (Peek() == ']') {
+      ++pos_;
+      return Json(std::move(arr));
+    }
+    for (;;) {
+      SkipWhitespace();
+      ALT_ASSIGN_OR_RETURN(Json value, ParseValue());
+      arr.push_back(std::move(value));
+      SkipWhitespace();
+      char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return Json(std::move(arr));
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  Result<Json> ParseString() {
+    ++pos_;  // consume '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Json(std::move(out));
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail("bad escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Fail("bad \\u escape");
+            int code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code += h - '0';
+              } else if (h >= 'a' && h <= 'f') {
+                code += h - 'a' + 10;
+              } else if (h >= 'A' && h <= 'F') {
+                code += h - 'A' + 10;
+              } else {
+                return Fail("bad hex digit");
+              }
+            }
+            // Basic-plane code points only; encode as UTF-8.
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Fail("unknown escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Result<Json> ParseNumber() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected value");
+    char* end = nullptr;
+    std::string num = text_.substr(start, pos_ - start);
+    double d = std::strtod(num.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Fail("malformed number");
+    return Json(d);
+  }
+
+  Result<Json> ParseLiteral(const std::string& literal, Json value) {
+    if (text_.compare(pos_, literal.size(), literal) != 0) {
+      return Fail("bad literal");
+    }
+    pos_ += literal.size();
+    return value;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument(what + " at position " +
+                                   std::to_string(pos_));
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json& Json::operator[](const std::string& key) {
+  if (!is_object()) value_ = Object{};
+  return as_object()[key];
+}
+
+const Json& Json::at(const std::string& key) const {
+  if (!is_object()) return NullJson();
+  auto it = as_object().find(key);
+  if (it == as_object().end()) return NullJson();
+  return it->second;
+}
+
+bool Json::contains(const std::string& key) const {
+  return is_object() && as_object().count(key) > 0;
+}
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  const std::string pad =
+      indent > 0 ? std::string(static_cast<size_t>(indent * (depth + 1)), ' ')
+                 : "";
+  const std::string pad_close =
+      indent > 0 ? std::string(static_cast<size_t>(indent * depth), ' ') : "";
+  const char* nl = indent > 0 ? "\n" : "";
+  if (is_null()) {
+    *out += "null";
+  } else if (is_bool()) {
+    *out += as_bool() ? "true" : "false";
+  } else if (is_number()) {
+    AppendNumber(out, as_number());
+  } else if (is_string()) {
+    AppendEscaped(out, as_string());
+  } else if (is_array()) {
+    const Array& arr = as_array();
+    if (arr.empty()) {
+      *out += "[]";
+      return;
+    }
+    *out += "[";
+    *out += nl;
+    for (size_t i = 0; i < arr.size(); ++i) {
+      *out += pad;
+      arr[i].DumpTo(out, indent, depth + 1);
+      if (i + 1 < arr.size()) *out += ",";
+      *out += nl;
+    }
+    *out += pad_close;
+    *out += "]";
+  } else {
+    const Object& obj = as_object();
+    if (obj.empty()) {
+      *out += "{}";
+      return;
+    }
+    *out += "{";
+    *out += nl;
+    size_t i = 0;
+    for (const auto& [key, value] : obj) {
+      *out += pad;
+      AppendEscaped(out, key);
+      *out += indent > 0 ? ": " : ":";
+      value.DumpTo(out, indent, depth + 1);
+      if (++i < obj.size()) *out += ",";
+      *out += nl;
+    }
+    *out += pad_close;
+    *out += "}";
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(&out, /*indent=*/0, /*depth=*/0);
+  return out;
+}
+
+std::string Json::DumpPretty() const {
+  std::string out;
+  DumpTo(&out, /*indent=*/2, /*depth=*/0);
+  return out;
+}
+
+Result<Json> Json::Parse(const std::string& text) {
+  Parser parser(text);
+  return parser.Parse();
+}
+
+}  // namespace alt

@@ -1,0 +1,75 @@
+#ifndef ALT_SRC_UTIL_JSON_H_
+#define ALT_SRC_UTIL_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace alt {
+
+/// A minimal JSON document model used for search-space configurations
+/// (Fig. 3 of the paper), architecture exports (Fig. 9), and model metadata.
+/// Supports null, bool, number (double), string, array, object.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}           // NOLINT
+  Json(bool b) : value_(b) {}                         // NOLINT
+  Json(double d) : value_(d) {}                       // NOLINT
+  Json(int i) : value_(static_cast<double>(i)) {}     // NOLINT
+  Json(int64_t i) : value_(static_cast<double>(i)) {} // NOLINT
+  Json(size_t i) : value_(static_cast<double>(i)) {}  // NOLINT
+  Json(const char* s) : value_(std::string(s)) {}     // NOLINT
+  Json(std::string s) : value_(std::move(s)) {}       // NOLINT
+  Json(Array a) : value_(std::move(a)) {}             // NOLINT
+  Json(Object o) : value_(std::move(o)) {}            // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  bool as_bool() const { return std::get<bool>(value_); }
+  double as_number() const { return std::get<double>(value_); }
+  int64_t as_int() const { return static_cast<int64_t>(std::get<double>(value_)); }
+  const std::string& as_string() const { return std::get<std::string>(value_); }
+  const Array& as_array() const { return std::get<Array>(value_); }
+  Array& as_array() { return std::get<Array>(value_); }
+  const Object& as_object() const { return std::get<Object>(value_); }
+  Object& as_object() { return std::get<Object>(value_); }
+
+  /// Object member access; creates the object/member on mutation.
+  Json& operator[](const std::string& key);
+  /// Const lookup; returns a shared null Json when the key is absent.
+  const Json& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+
+  /// Serializes to a compact JSON string.
+  std::string Dump() const;
+  /// Serializes with 2-space indentation.
+  std::string DumpPretty() const;
+
+  /// Parses `text`; returns InvalidArgument on malformed input.
+  static Result<Json> Parse(const std::string& text);
+
+  bool operator==(const Json& other) const { return value_ == other.value_; }
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+};
+
+}  // namespace alt
+
+#endif  // ALT_SRC_UTIL_JSON_H_

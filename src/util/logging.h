@@ -1,0 +1,70 @@
+#ifndef ALT_SRC_UTIL_LOGGING_H_
+#define ALT_SRC_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace alt {
+
+/// Log severities, ordered. Messages below the global threshold are dropped.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Sets the global minimum severity that is emitted. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log message. Emits on destruction; kFatal aborts the process.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the message is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+#define ALT_LOG(level)                                                    \
+  ::alt::internal_logging::LogMessage(::alt::LogLevel::k##level, __FILE__, \
+                                      __LINE__)                            \
+      .stream()
+
+/// CHECK-style invariant assertion. Failure logs and aborts; these guard
+/// programmer errors (bad shapes, null handles), not recoverable conditions.
+#define ALT_CHECK(cond)                                  \
+  if (!(cond))                                           \
+  ::alt::internal_logging::LogMessage(                   \
+      ::alt::LogLevel::kFatal, __FILE__, __LINE__)       \
+      .stream()                                          \
+      << "Check failed: " #cond " "
+
+#define ALT_CHECK_EQ(a, b) ALT_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ALT_CHECK_NE(a, b) ALT_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ALT_CHECK_LT(a, b) ALT_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ALT_CHECK_LE(a, b) ALT_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ALT_CHECK_GT(a, b) ALT_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ALT_CHECK_GE(a, b) ALT_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+}  // namespace alt
+
+#endif  // ALT_SRC_UTIL_LOGGING_H_

@@ -1,0 +1,96 @@
+#ifndef ALT_SRC_UTIL_RNG_H_
+#define ALT_SRC_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace alt {
+
+/// Deterministic random number generator used everywhere in the library so
+/// experiments are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// A new generator derived from this one; lets sub-components own
+  /// independent deterministic streams.
+  Rng Fork() { return Rng(engine_()); }
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    ALT_CHECK_LE(lo, hi);
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Standard normal scaled to N(mean, stddev^2).
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  /// Gumbel(0, 1) noise, used by the GDAS sampler (Eq. 7 in the paper).
+  double Gumbel() {
+    double u = Uniform(1e-12, 1.0);
+    return -std::log(-std::log(u));
+  }
+
+  /// Bernoulli(p).
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Index sampled proportionally to non-negative `weights`.
+  size_t Categorical(const std::vector<double>& weights) {
+    ALT_CHECK(!weights.empty());
+    double total = 0.0;
+    for (double w : weights) {
+      ALT_CHECK_GE(w, 0.0);
+      total += w;
+    }
+    if (total <= 0.0) return UniformInt(0, static_cast<int64_t>(weights.size()) - 1);
+    double r = Uniform(0.0, total);
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (r < acc) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// `k` distinct indices from [0, n) in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k) {
+    ALT_CHECK_LE(k, n);
+    std::vector<size_t> idx(n);
+    for (size_t i = 0; i < n; ++i) idx[i] = i;
+    Shuffle(&idx);
+    idx.resize(k);
+    return idx;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace alt
+
+#endif  // ALT_SRC_UTIL_RNG_H_

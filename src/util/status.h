@@ -1,0 +1,135 @@
+#ifndef ALT_SRC_UTIL_STATUS_H_
+#define ALT_SRC_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace alt {
+
+/// Error codes used across the ALT library. Library code never throws;
+/// fallible operations return Status or Result<T> (RocksDB/Arrow idiom).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kDeadlineExceeded,
+  kInternal,
+  kUnimplemented,
+  kCancelled,
+  kIOError,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value. Cheap to copy on the OK path.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error container. Holds T on success, Status otherwise.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (error).
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : value_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  /// The error status. OK when this holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(value_);
+  }
+
+  /// Requires ok(). Accessing the value of an error Result aborts.
+  const T& value() const& { return std::get<T>(value_); }
+  T& value() & { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define ALT_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::alt::Status _alt_status = (expr);            \
+    if (!_alt_status.ok()) return _alt_status;     \
+  } while (false)
+
+/// Evaluates a Result expression; assigns its value to `lhs` or returns the
+/// error. Usage: ALT_ASSIGN_OR_RETURN(auto x, ComputeX());
+#define ALT_ASSIGN_OR_RETURN(lhs, expr)                       \
+  ALT_ASSIGN_OR_RETURN_IMPL_(                                 \
+      ALT_STATUS_CONCAT_(_alt_result, __LINE__), lhs, expr)
+
+#define ALT_STATUS_CONCAT_INNER_(a, b) a##b
+#define ALT_STATUS_CONCAT_(a, b) ALT_STATUS_CONCAT_INNER_(a, b)
+#define ALT_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                               \
+  if (!result.ok()) return result.status();           \
+  lhs = std::move(result).value()
+
+}  // namespace alt
+
+#endif  // ALT_SRC_UTIL_STATUS_H_

@@ -1,0 +1,30 @@
+#ifndef ALT_SRC_UTIL_STOPWATCH_H_
+#define ALT_SRC_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace alt {
+
+/// Monotonic wall-clock stopwatch used for trial time limits and inference
+/// latency measurements.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace alt
+
+#endif  // ALT_SRC_UTIL_STOPWATCH_H_

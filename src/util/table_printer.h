@@ -1,0 +1,34 @@
+#ifndef ALT_SRC_UTIL_TABLE_PRINTER_H_
+#define ALT_SRC_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace alt {
+
+/// Renders aligned ASCII tables for the benchmark harness, matching the
+/// row/column layout of the paper's tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string Num(double value, int precision = 3);
+
+  /// Renders the table with a header separator.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace alt
+
+#endif  // ALT_SRC_UTIL_TABLE_PRINTER_H_

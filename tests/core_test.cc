@@ -1,0 +1,114 @@
+#include "src/core/alt_system.h"
+
+#include "gtest/gtest.h"
+#include "src/data/synthetic.h"
+
+namespace alt {
+namespace core {
+namespace {
+
+/// End-to-end integration tests over a miniature long-tail family. Kept
+/// deliberately small: the goal is exercising the full pipeline (prepare ->
+/// meta adapt -> NAS + distill -> deploy), not absolute quality.
+
+data::SyntheticConfig CoreDataConfig() {
+  data::SyntheticConfig config;
+  config.num_scenarios = 5;
+  config.profile_dim = 6;
+  config.seq_len = 8;
+  config.vocab_size = 12;
+  config.scenario_sizes = {300, 250, 200, 180, 150};
+  config.seed = 61;
+  return config;
+}
+
+AltSystemOptions FastOptions() {
+  AltSystemOptions options;
+  options.heavy_config = models::ModelConfig::Heavy(
+      models::EncoderKind::kLstm, 6, 8, 12);
+  options.heavy_config.encoder_layers = 2;
+  options.heavy_config.hidden_dim = 6;
+  options.heavy_config.profile_hidden = {10};
+  options.heavy_config.head_hidden = {8};
+  options.heavy_config.learning_rate = 0.01f;
+  options.light_config = options.heavy_config;
+  options.light_config.encoder_layers = 1;
+  options.meta.init_train.epochs = 2;
+  options.meta.finetune.epochs = 1;
+  options.nas.supernet.num_layers = 2;
+  options.nas.search_epochs = 1;
+  options.nas.final_train.epochs = 2;
+  options.nas.final_train.learning_rate = 0.01f;
+  options.nas.weight_lr = 0.01f;
+  options.parallel_scenarios = 2;
+  options.seed = 5;
+  return options;
+}
+
+TEST(AltSystemTest, RequiresInitialization) {
+  AltSystem system(FastOptions());
+  EXPECT_FALSE(system.initialized());
+  data::SyntheticGenerator gen(CoreDataConfig());
+  EXPECT_FALSE(system.OnScenarioArrival(gen.GenerateScenario(0)).ok());
+  EXPECT_FALSE(system.Initialize({}).ok());
+}
+
+TEST(AltSystemTest, BudgetComesFromLightConfig) {
+  AltSystem system(FastOptions());
+  EXPECT_GT(system.LightEncoderFlopsBudget(), 0);
+}
+
+TEST(AltSystemTest, EndToEndScenarioArrival) {
+  data::SyntheticGenerator gen(CoreDataConfig());
+  AltSystem system(FastOptions());
+  ASSERT_TRUE(system
+                  .Initialize({gen.GenerateScenario(0),
+                               gen.GenerateScenario(1)})
+                  .ok());
+  ASSERT_TRUE(system.initialized());
+
+  auto artifacts = system.OnScenarioArrival(gen.GenerateScenario(2));
+  ASSERT_TRUE(artifacts.ok()) << artifacts.status().ToString();
+  const ScenarioArtifacts& a = artifacts.value();
+  EXPECT_EQ(a.scenario_id, 2);
+  // The light model is lighter than the heavy model.
+  EXPECT_LT(a.light_flops, a.heavy_flops);
+  // Searched encoder respects the budget.
+  EXPECT_LE(a.arch.Flops(8), system.LightEncoderFlopsBudget());
+  // Both models beat chance on the held-out test split.
+  EXPECT_GT(a.heavy_test_auc, 0.5);
+  EXPECT_GT(a.light_test_auc, 0.5);
+  // The light model is deployed and serving.
+  EXPECT_TRUE(system.server()->IsDeployed(a.deployment_name));
+  data::Batch batch = MakeFullBatch(gen.GenerateScenario(2));
+  EXPECT_TRUE(system.server()->Predict(a.deployment_name, batch).ok());
+}
+
+TEST(AltSystemTest, ParallelScenarioArrivals) {
+  data::SyntheticGenerator gen(CoreDataConfig());
+  AltSystem system(FastOptions());
+  ASSERT_TRUE(system.Initialize({gen.GenerateScenario(0)}).ok());
+  std::vector<data::ScenarioData> arriving = {gen.GenerateScenario(2),
+                                              gen.GenerateScenario(3),
+                                              gen.GenerateScenario(4)};
+  auto artifacts = system.OnScenariosArrival(arriving);
+  ASSERT_TRUE(artifacts.ok()) << artifacts.status().ToString();
+  EXPECT_EQ(artifacts.value().size(), 3u);
+  EXPECT_EQ(system.server()->Scenarios().size(), 3u);
+}
+
+TEST(AltSystemTest, HpoInitializationPath) {
+  data::SyntheticGenerator gen(CoreDataConfig());
+  AltSystemOptions options = FastOptions();
+  options.use_hpo_init = true;
+  options.hpo.tune.max_trials = 3;
+  options.hpo.tune.parallelism = 1;
+  options.hpo.train.epochs = 1;
+  AltSystem system(options);
+  ASSERT_TRUE(system.Initialize({gen.GenerateScenario(0)}).ok());
+  EXPECT_TRUE(system.initialized());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace alt

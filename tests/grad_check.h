@@ -1,0 +1,51 @@
+#ifndef ALT_TESTS_GRAD_CHECK_H_
+#define ALT_TESTS_GRAD_CHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/autograd/variable.h"
+
+namespace alt {
+namespace testing {
+
+/// Verifies analytic gradients against central finite differences.
+/// `loss_fn` must rebuild the graph (re-running ops on the same parameter
+/// Variables) and return a scalar loss each time it is called.
+inline void ExpectGradientsClose(
+    const std::function<ag::Variable()>& loss_fn,
+    const std::vector<ag::Variable*>& params, float eps = 1e-3f,
+    float rtol = 2e-2f, float atol = 2e-3f) {
+  // Analytic pass.
+  for (ag::Variable* p : params) p->ZeroGrad();
+  ag::Variable loss = loss_fn();
+  loss.Backward();
+  std::vector<Tensor> analytic;
+  analytic.reserve(params.size());
+  for (ag::Variable* p : params) analytic.push_back(p->grad());
+
+  // Numeric pass.
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor& value = params[pi]->mutable_value();
+    for (int64_t i = 0; i < value.numel(); ++i) {
+      const float saved = value[i];
+      value[i] = saved + eps;
+      const float lp = loss_fn().value()[0];
+      value[i] = saved - eps;
+      const float lm = loss_fn().value()[0];
+      value[i] = saved;
+      const float numeric = (lp - lm) / (2.0f * eps);
+      const float a = analytic[pi][i];
+      const float tol = atol + rtol * std::max(std::abs(numeric), std::abs(a));
+      EXPECT_NEAR(a, numeric, tol)
+          << "param " << pi << " element " << i;
+    }
+  }
+}
+
+}  // namespace testing
+}  // namespace alt
+
+#endif  // ALT_TESTS_GRAD_CHECK_H_

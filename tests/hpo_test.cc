@@ -1,0 +1,274 @@
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "gtest/gtest.h"
+#include "src/hpo/search_space.h"
+#include "src/hpo/tune_service.h"
+#include "src/hpo/tuner.h"
+
+namespace alt {
+namespace hpo {
+namespace {
+
+SearchSpace TwoDimSpace() {
+  SearchSpace space;
+  space.AddDouble("x", -1.0, 1.0);
+  space.AddDouble("y", -1.0, 1.0);
+  return space;
+}
+
+// ---------------------------------------------------------------------------
+// SearchSpace
+// ---------------------------------------------------------------------------
+
+TEST(SearchSpaceTest, SampleIsValid) {
+  SearchSpace space;
+  space.AddDouble("lr", 1e-4, 1e-1, /*log_scale=*/true)
+      .AddInt("layers", 1, 6)
+      .AddCategorical("act", {"relu", "tanh"});
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    TrialConfig config = space.Sample(&rng);
+    EXPECT_TRUE(space.Validate(config).ok());
+    EXPECT_GE(GetDouble(config, "lr"), 1e-4);
+    EXPECT_LE(GetDouble(config, "lr"), 1e-1);
+    EXPECT_GE(GetInt(config, "layers"), 1);
+    EXPECT_LE(GetInt(config, "layers"), 6);
+  }
+}
+
+TEST(SearchSpaceTest, ValidateRejectsBadConfigs) {
+  SearchSpace space;
+  space.AddDouble("x", 0.0, 1.0).AddCategorical("c", {"a", "b"});
+  TrialConfig missing = {{"x", 0.5}};
+  EXPECT_FALSE(space.Validate(missing).ok());
+  TrialConfig out_of_range = {{"x", 2.0}, {"c", std::string("a")}};
+  EXPECT_FALSE(space.Validate(out_of_range).ok());
+  TrialConfig bad_category = {{"x", 0.5}, {"c", std::string("z")}};
+  EXPECT_FALSE(space.Validate(bad_category).ok());
+  TrialConfig wrong_type = {{"x", int64_t{1}}, {"c", std::string("a")}};
+  EXPECT_FALSE(space.Validate(wrong_type).ok());
+}
+
+class EncodeDecodeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncodeDecodeTest, RoundTripsRandomConfigs) {
+  SearchSpace space;
+  space.AddDouble("x", -2.0, 3.0)
+      .AddDouble("lr", 1e-5, 1e-1, /*log_scale=*/true)
+      .AddInt("n", 2, 17)
+      .AddCategorical("c", {"a", "b", "c", "d"});
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  TrialConfig config = space.Sample(&rng);
+  TrialConfig back = space.Decode(space.Encode(config));
+  EXPECT_NEAR(GetDouble(back, "x"), GetDouble(config, "x"), 1e-9);
+  EXPECT_NEAR(std::log(GetDouble(back, "lr")),
+              std::log(GetDouble(config, "lr")), 1e-9);
+  EXPECT_EQ(GetInt(back, "n"), GetInt(config, "n"));
+  EXPECT_EQ(GetCategorical(back, "c"), GetCategorical(config, "c"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodeDecodeTest, ::testing::Range(0, 10));
+
+TEST(SearchSpaceTest, JsonRoundTrip) {
+  SearchSpace space;
+  space.AddDouble("lr", 1e-4, 1e-1, true)
+      .AddInt("layers", 1, 6)
+      .AddCategorical("act", {"relu", "tanh"});
+  auto parsed = SearchSpace::FromJson(space.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().NumParams(), 3u);
+  Rng rng(2);
+  EXPECT_TRUE(parsed.value().Validate(space.Sample(&rng)).ok());
+}
+
+TEST(SearchSpaceTest, FromJsonRejectsMalformed) {
+  auto bad1 = Json::Parse(R"({"x": {"type": "triangle"}})");
+  EXPECT_FALSE(SearchSpace::FromJson(bad1.value()).ok());
+  auto bad2 = Json::Parse(R"({"x": {"type": "double"}})");
+  EXPECT_FALSE(SearchSpace::FromJson(bad2.value()).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Tuners on a known objective: f(x, y) = -(x-0.3)^2 - (y+0.4)^2.
+// ---------------------------------------------------------------------------
+
+double Sphere(const TrialConfig& config) {
+  const double x = GetDouble(config, "x") - 0.3;
+  const double y = GetDouble(config, "y") + 0.4;
+  return -(x * x) - (y * y);
+}
+
+class TunerConvergenceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TunerConvergenceTest, FindsNearOptimum) {
+  SearchSpace space = TwoDimSpace();
+  auto tuner = MakeTuner(GetParam(), space, 17);
+  ASSERT_TRUE(tuner.ok());
+  for (int i = 0; i < 80; ++i) {
+    TrialConfig config = tuner.value()->Ask();
+    ASSERT_TRUE(space.Validate(config).ok());
+    tuner.value()->Tell(config, Sphere(config));
+  }
+  EXPECT_GT(tuner.value()->best().objective, -0.05)
+      << GetParam() << " best=" << tuner.value()->best().objective;
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, TunerConvergenceTest,
+                         ::testing::Values("random", "evolution", "tpe",
+                                           "racos", "cmaes"),
+                         [](const auto& info) { return info.param; });
+
+TEST(TunerTest, ModelBasedBeatsEarlyRandomPhase) {
+  // RACOS with 60 trials should comfortably beat its own first 10 samples.
+  SearchSpace space = TwoDimSpace();
+  RacosTuner tuner(space, 23);
+  double best_first10 = -1e9;
+  for (int i = 0; i < 60; ++i) {
+    TrialConfig config = tuner.Ask();
+    const double value = Sphere(config);
+    tuner.Tell(config, value);
+    if (i < 10) best_first10 = std::max(best_first10, value);
+  }
+  EXPECT_GT(tuner.best().objective, best_first10);
+}
+
+TEST(TunerTest, MakeTunerRejectsUnknown) {
+  EXPECT_FALSE(MakeTuner("annealing", TwoDimSpace(), 1).ok());
+}
+
+TEST(TunerTest, BestTracksMaximum) {
+  RandomSearchTuner tuner(TwoDimSpace(), 3);
+  tuner.Tell({{"x", 0.0}, {"y", 0.0}}, 1.0);
+  tuner.Tell({{"x", 0.1}, {"y", 0.0}}, 5.0);
+  tuner.Tell({{"x", 0.2}, {"y", 0.0}}, 3.0);
+  EXPECT_DOUBLE_EQ(tuner.best().objective, 5.0);
+  EXPECT_DOUBLE_EQ(GetDouble(tuner.best().config, "x"), 0.1);
+  EXPECT_EQ(tuner.history().size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// TuneService
+// ---------------------------------------------------------------------------
+
+TEST(TuneServiceTest, FindsOptimumInParallel) {
+  TuneJobOptions options;
+  options.max_trials = 60;
+  options.parallelism = 4;
+  options.algorithm = "racos";
+  options.seed = 5;
+  auto report = RunTuneJob(
+      TwoDimSpace(),
+      [](const TrialConfig& config, TrialContext*) -> Result<double> {
+        return Sphere(config);
+      },
+      options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report.value().best_objective, -0.05);
+  EXPECT_EQ(static_cast<int64_t>(report.value().trials.size()), 60);
+}
+
+TEST(TuneServiceTest, FaultToleranceSkipsFailedTrials) {
+  std::atomic<int> counter{0};
+  TuneJobOptions options;
+  options.max_trials = 20;
+  options.parallelism = 2;
+  options.algorithm = "random";
+  auto report = RunTuneJob(
+      TwoDimSpace(),
+      [&counter](const TrialConfig& config, TrialContext*) -> Result<double> {
+        if (counter.fetch_add(1) % 3 == 0) {
+          return Status::Internal("simulated trial crash");
+        }
+        return Sphere(config);
+      },
+      options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report.value().num_failed, 0);
+  EXPECT_LT(report.value().num_failed, 20);
+  EXPECT_GT(report.value().best_objective, -3.0);
+}
+
+TEST(TuneServiceTest, AllTrialsFailedIsAnError) {
+  TuneJobOptions options;
+  options.max_trials = 5;
+  options.parallelism = 1;
+  auto report = RunTuneJob(
+      TwoDimSpace(),
+      [](const TrialConfig&, TrialContext*) -> Result<double> {
+        return Status::Internal("always fails");
+      },
+      options);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(TuneServiceTest, EarlyStoppingStopsBadTrials) {
+  // Trials with a bad config report low intermediate values and should be
+  // cancelled by the median rule.
+  TuneJobOptions options;
+  options.max_trials = 24;
+  options.parallelism = 1;  // Deterministic completion order.
+  options.enable_early_stopping = true;
+  options.early_stopping_min_trials = 3;
+  options.algorithm = "random";
+  auto report = RunTuneJob(
+      TwoDimSpace(),
+      [](const TrialConfig& config, TrialContext* context) -> Result<double> {
+        const double quality = Sphere(config);
+        for (int64_t step = 0; step < 5; ++step) {
+          const Status status = context->ReportIntermediate(step, quality);
+          if (!status.ok()) return quality;  // Cooperative early exit.
+        }
+        return quality;
+      },
+      options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report.value().num_early_stopped, 0);
+}
+
+TEST(TuneServiceTest, JobTimeoutLimitsTrials) {
+  TuneJobOptions options;
+  options.max_trials = 1000;
+  options.parallelism = 1;
+  options.job_timeout_seconds = 0.05;
+  auto report = RunTuneJob(
+      TwoDimSpace(),
+      [](const TrialConfig& config, TrialContext*) -> Result<double> {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        return Sphere(config);
+      },
+      options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report.value().trials.size(), 1000u);
+}
+
+TEST(TuneServiceTest, TrialTimeoutObservable) {
+  TuneJobOptions options;
+  options.max_trials = 2;
+  options.parallelism = 1;
+  options.trial_timeout_seconds = 0.01;
+  auto report = RunTuneJob(
+      TwoDimSpace(),
+      [](const TrialConfig& config, TrialContext* context) -> Result<double> {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        EXPECT_TRUE(context->ShouldStop());
+        return Sphere(config);
+      },
+      options);
+  ASSERT_TRUE(report.ok());
+}
+
+TEST(TuneServiceTest, EmptySpaceRejected) {
+  TuneJobOptions options;
+  auto report = RunTuneJob(
+      SearchSpace(),
+      [](const TrialConfig&, TrialContext*) -> Result<double> { return 0.0; },
+      options);
+  EXPECT_FALSE(report.ok());
+}
+
+}  // namespace
+}  // namespace hpo
+}  // namespace alt

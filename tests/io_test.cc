@@ -1,0 +1,126 @@
+#include "src/data/io.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "src/data/synthetic.h"
+
+namespace alt {
+namespace data {
+namespace {
+
+ScenarioData MakeData(int64_t n = 20) {
+  SyntheticConfig config;
+  config.num_scenarios = 1;
+  config.profile_dim = 4;
+  config.seq_len = 5;
+  config.vocab_size = 8;
+  config.scenario_sizes = {n};
+  config.seed = 3;
+  ScenarioData d = SyntheticGenerator(config).GenerateScenario(0);
+  d.scenario_id = 9;
+  return d;
+}
+
+void ExpectEqualData(const ScenarioData& a, const ScenarioData& b,
+                     float profile_tol) {
+  ASSERT_EQ(a.num_samples(), b.num_samples());
+  ASSERT_EQ(a.profile_dim, b.profile_dim);
+  ASSERT_EQ(a.seq_len, b.seq_len);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.behaviors, b.behaviors);
+  for (int64_t i = 0; i < a.profiles.numel(); ++i) {
+    EXPECT_NEAR(a.profiles[i], b.profiles[i], profile_tol);
+  }
+}
+
+TEST(CsvIoTest, RoundTrip) {
+  ScenarioData original = MakeData();
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteCsv(original, &buffer).ok());
+  auto loaded = ReadCsv(&buffer, original.scenario_id);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectEqualData(original, loaded.value(), 1e-5f);
+  EXPECT_EQ(loaded.value().scenario_id, 9);
+}
+
+TEST(CsvIoTest, HeaderValidated) {
+  std::stringstream no_label("x,p0,b0\n0,1.0,2\n");
+  EXPECT_FALSE(ReadCsv(&no_label).ok());
+  std::stringstream bad_column("label,p0,q0\n0,1.0,2\n");
+  EXPECT_FALSE(ReadCsv(&bad_column).ok());
+  std::stringstream empty("");
+  EXPECT_FALSE(ReadCsv(&empty).ok());
+  std::stringstream no_behavior("label,p0\n0,1.0\n");
+  EXPECT_FALSE(ReadCsv(&no_behavior).ok());
+}
+
+TEST(CsvIoTest, MalformedRowsReportLineNumbers) {
+  std::stringstream missing_col("label,p0,b0\n1,0.5\n");
+  auto r1 = ReadCsv(&missing_col);
+  ASSERT_FALSE(r1.ok());
+  EXPECT_NE(r1.status().message().find("line 2"), std::string::npos);
+
+  std::stringstream bad_value("label,p0,b0\n1,abc,2\n");
+  EXPECT_FALSE(ReadCsv(&bad_value).ok());
+
+  std::stringstream negative_id("label,p0,b0\n1,0.5,-3\n");
+  EXPECT_FALSE(ReadCsv(&negative_id).ok());
+}
+
+TEST(CsvIoTest, EmptyBodyGivesEmptyDataset) {
+  std::stringstream header_only("label,p0,p1,b0\n");
+  auto loaded = ReadCsv(&header_only);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_samples(), 0);
+  EXPECT_EQ(loaded.value().profile_dim, 2);
+  EXPECT_EQ(loaded.value().seq_len, 1);
+}
+
+TEST(BinaryIoTest, RoundTripExact) {
+  ScenarioData original = MakeData(50);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteBinary(original, &buffer).ok());
+  auto loaded = ReadBinary(&buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectEqualData(original, loaded.value(), 0.0f);
+  EXPECT_EQ(loaded.value().scenario_id, 9);
+}
+
+TEST(BinaryIoTest, RejectsGarbageAndTruncation) {
+  std::stringstream garbage("not a dataset at all");
+  EXPECT_FALSE(ReadBinary(&garbage).ok());
+
+  ScenarioData original = MakeData(10);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteBinary(original, &buffer).ok());
+  std::string bytes = buffer.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+  EXPECT_FALSE(ReadBinary(&truncated).ok());
+}
+
+TEST(BinaryIoTest, FileRoundTrip) {
+  ScenarioData original = MakeData(15);
+  const std::string path = ::testing::TempDir() + "/alt_io_test.altd";
+  ASSERT_TRUE(WriteBinaryFile(original, path).ok());
+  auto loaded = ReadBinaryFile(path);
+  ASSERT_TRUE(loaded.ok());
+  ExpectEqualData(original, loaded.value(), 0.0f);
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReadBinaryFile(path).ok());
+}
+
+TEST(CsvIoTest, FileRoundTrip) {
+  ScenarioData original = MakeData(8);
+  const std::string path = ::testing::TempDir() + "/alt_io_test.csv";
+  ASSERT_TRUE(WriteCsvFile(original, path).ok());
+  auto loaded = ReadCsvFile(path, original.scenario_id);
+  ASSERT_TRUE(loaded.ok());
+  ExpectEqualData(original, loaded.value(), 1e-5f);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace alt

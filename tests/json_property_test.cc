@@ -1,0 +1,111 @@
+// Property tests for the JSON module: randomly generated documents must
+// survive dump -> parse round trips exactly, for both compact and pretty
+// output.
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "src/util/json.h"
+#include "src/util/rng.h"
+
+namespace alt {
+namespace {
+
+Json RandomJson(Rng* rng, int depth) {
+  const int64_t kind =
+      depth >= 3 ? rng->UniformInt(0, 3) : rng->UniformInt(0, 5);
+  switch (kind) {
+    case 0:
+      return Json(nullptr);
+    case 1:
+      return Json(rng->Bernoulli(0.5));
+    case 2: {
+      // Mix of integers and fractional values.
+      if (rng->Bernoulli(0.5)) {
+        return Json(static_cast<double>(rng->UniformInt(-100000, 100000)));
+      }
+      return Json(rng->Normal(0.0, 100.0));
+    }
+    case 3: {
+      std::string s;
+      const int64_t len = rng->UniformInt(0, 12);
+      const std::string alphabet =
+          "abcXYZ012 _-\"\\\n\t{}[]:,";
+      for (int64_t i = 0; i < len; ++i) {
+        s.push_back(alphabet[static_cast<size_t>(
+            rng->UniformInt(0, static_cast<int64_t>(alphabet.size()) - 1))]);
+      }
+      return Json(std::move(s));
+    }
+    case 4: {
+      Json::Array arr;
+      const int64_t len = rng->UniformInt(0, 4);
+      for (int64_t i = 0; i < len; ++i) {
+        arr.push_back(RandomJson(rng, depth + 1));
+      }
+      return Json(std::move(arr));
+    }
+    default: {
+      Json::Object obj;
+      const int64_t len = rng->UniformInt(0, 4);
+      for (int64_t i = 0; i < len; ++i) {
+        obj["key" + std::to_string(i)] = RandomJson(rng, depth + 1);
+      }
+      return Json(std::move(obj));
+    }
+  }
+}
+
+class JsonRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JsonRoundTripTest, CompactDumpParsesBack) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 101 + 7);
+  for (int i = 0; i < 20; ++i) {
+    Json original = RandomJson(&rng, 0);
+    auto parsed = Json::Parse(original.Dump());
+    ASSERT_TRUE(parsed.ok()) << original.Dump();
+    EXPECT_TRUE(parsed.value() == original) << original.Dump();
+  }
+}
+
+TEST_P(JsonRoundTripTest, PrettyDumpParsesBack) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 211 + 3);
+  for (int i = 0; i < 20; ++i) {
+    Json original = RandomJson(&rng, 0);
+    auto parsed = Json::Parse(original.DumpPretty());
+    ASSERT_TRUE(parsed.ok()) << original.DumpPretty();
+    EXPECT_TRUE(parsed.value() == original);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTripTest, ::testing::Range(0, 8));
+
+TEST(JsonFuzzishTest, TruncatedDocumentsNeverCrash) {
+  Rng rng(99);
+  for (int i = 0; i < 10; ++i) {
+    Json original = RandomJson(&rng, 0);
+    const std::string text = original.Dump();
+    for (size_t cut = 0; cut < text.size(); ++cut) {
+      // Must either parse (rare for prefixes) or return an error — never
+      // crash or hang.
+      (void)Json::Parse(text.substr(0, cut));
+    }
+  }
+  SUCCEED();
+}
+
+TEST(JsonFuzzishTest, RandomBytesNeverCrash) {
+  Rng rng(123);
+  for (int i = 0; i < 200; ++i) {
+    std::string garbage;
+    const int64_t len = rng.UniformInt(0, 40);
+    for (int64_t j = 0; j < len; ++j) {
+      garbage.push_back(static_cast<char>(rng.UniformInt(32, 126)));
+    }
+    (void)Json::Parse(garbage);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace alt

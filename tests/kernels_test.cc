@@ -1,0 +1,210 @@
+#include "src/tensor/kernels.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/util/rng.h"
+
+namespace alt {
+namespace {
+
+TEST(KernelsTest, MatMulSmall) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c({2, 2});
+  MatMul(a, b, &c);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(KernelsTest, MatMulAccAddsOnTop) {
+  Tensor a = Tensor::FromVector({1, 2}, {1, 1});
+  Tensor b = Tensor::FromVector({2, 1}, {2, 3});
+  Tensor c = Tensor::FromVector({1, 1}, {10});
+  MatMulAcc(a, b, &c);
+  EXPECT_FLOAT_EQ(c[0], 15.0f);
+}
+
+TEST(KernelsTest, TransposeVariantsMatchExplicitTranspose) {
+  Rng rng(1);
+  Tensor a = Tensor::Randn({4, 3}, &rng);
+  Tensor b = Tensor::Randn({4, 5}, &rng);
+  // c1 = a^T b via kernel.
+  Tensor c1({3, 5});
+  MatMulTransAAcc(a, b, &c1);
+  // Reference: explicit transpose.
+  Tensor at({3, 4});
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 3; ++j) at.at(j, i) = a.at(i, j);
+  }
+  Tensor c2({3, 5});
+  MatMul(at, b, &c2);
+  for (int64_t i = 0; i < c1.numel(); ++i) EXPECT_NEAR(c1[i], c2[i], 1e-5f);
+
+  // d1 = b a^T? Use TransB: x[m,k] * y[n,k]^T.
+  Tensor x = Tensor::Randn({2, 4}, &rng);
+  Tensor y = Tensor::Randn({3, 4}, &rng);
+  Tensor d1({2, 3});
+  MatMulTransBAcc(x, y, &d1);
+  Tensor yt({4, 3});
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 4; ++j) yt.at(j, i) = y.at(i, j);
+  }
+  Tensor d2({2, 3});
+  MatMul(x, yt, &d2);
+  for (int64_t i = 0; i < d1.numel(); ++i) EXPECT_NEAR(d1[i], d2[i], 1e-5f);
+}
+
+TEST(KernelsTest, BatchedMatMulMatchesPerBatch) {
+  Rng rng(2);
+  Tensor a = Tensor::Randn({3, 2, 4}, &rng);
+  Tensor b = Tensor::Randn({3, 4, 5}, &rng);
+  Tensor c({3, 2, 5});
+  BatchedMatMul(a, false, b, false, &c, false);
+  for (int64_t bi = 0; bi < 3; ++bi) {
+    for (int64_t i = 0; i < 2; ++i) {
+      for (int64_t j = 0; j < 5; ++j) {
+        float acc = 0.0f;
+        for (int64_t k = 0; k < 4; ++k) {
+          acc += a.at(bi, i, k) * b.at(bi, k, j);
+        }
+        EXPECT_NEAR(c.at(bi, i, j), acc, 1e-5f);
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, BatchedMatMulTransB) {
+  Rng rng(3);
+  Tensor a = Tensor::Randn({2, 3, 4}, &rng);
+  Tensor b = Tensor::Randn({2, 5, 4}, &rng);
+  Tensor c({2, 3, 5});
+  BatchedMatMul(a, false, b, true, &c, false);
+  for (int64_t bi = 0; bi < 2; ++bi) {
+    for (int64_t i = 0; i < 3; ++i) {
+      for (int64_t j = 0; j < 5; ++j) {
+        float acc = 0.0f;
+        for (int64_t k = 0; k < 4; ++k) {
+          acc += a.at(bi, i, k) * b.at(bi, j, k);
+        }
+        EXPECT_NEAR(c.at(bi, i, j), acc, 1e-5f);
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, BatchedMatMulTransA) {
+  Rng rng(4);
+  Tensor a = Tensor::Randn({2, 4, 3}, &rng);
+  Tensor b = Tensor::Randn({2, 4, 5}, &rng);
+  Tensor c({2, 3, 5});
+  BatchedMatMul(a, true, b, false, &c, false);
+  for (int64_t bi = 0; bi < 2; ++bi) {
+    for (int64_t i = 0; i < 3; ++i) {
+      for (int64_t j = 0; j < 5; ++j) {
+        float acc = 0.0f;
+        for (int64_t k = 0; k < 4; ++k) {
+          acc += a.at(bi, k, i) * b.at(bi, k, j);
+        }
+        EXPECT_NEAR(c.at(bi, i, j), acc, 1e-5f);
+      }
+    }
+  }
+}
+
+/// Reference conv1d (SAME, stride 1) written naively.
+float RefConv(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              int64_t b, int64_t t, int64_t co, int64_t dilation) {
+  const int64_t seq = input.size(1);
+  const int64_t cin = input.size(2);
+  const int64_t k = weight.size(1);
+  const int64_t half = (k - 1) / 2;
+  float acc = bias[co];
+  for (int64_t j = 0; j < k; ++j) {
+    const int64_t ti = t + (j - half) * dilation;
+    if (ti < 0 || ti >= seq) continue;
+    for (int64_t ci = 0; ci < cin; ++ci) {
+      acc += input.at(b, ti, ci) * weight.at(co, j, ci);
+    }
+  }
+  return acc;
+}
+
+TEST(KernelsTest, Conv1DMatchesReference) {
+  Rng rng(5);
+  for (int64_t kernel : {1, 3, 5}) {
+    for (int64_t dilation : {1, 2}) {
+      Tensor input = Tensor::Randn({2, 7, 3}, &rng);
+      Tensor weight = Tensor::Randn({4, kernel, 3}, &rng);
+      Tensor bias = Tensor::Randn({4}, &rng);
+      Tensor out({2, 7, 4});
+      Conv1D(input, weight, &bias, dilation, &out);
+      for (int64_t b = 0; b < 2; ++b) {
+        for (int64_t t = 0; t < 7; ++t) {
+          for (int64_t co = 0; co < 4; ++co) {
+            EXPECT_NEAR(out.at(b, t, co),
+                        RefConv(input, weight, bias, b, t, co, dilation),
+                        1e-4f)
+                << "k=" << kernel << " d=" << dilation;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, Conv1DKernelOneEqualsLinear) {
+  // The paper notes kernel-size-1 conv == linear layer.
+  Rng rng(6);
+  Tensor input = Tensor::Randn({1, 4, 3}, &rng);
+  Tensor weight = Tensor::Randn({2, 1, 3}, &rng);
+  Tensor bias = Tensor::Zeros({2});
+  Tensor out({1, 4, 2});
+  Conv1D(input, weight, &bias, 1, &out);
+  for (int64_t t = 0; t < 4; ++t) {
+    for (int64_t co = 0; co < 2; ++co) {
+      float acc = 0.0f;
+      for (int64_t ci = 0; ci < 3; ++ci) {
+        acc += input.at(0, t, ci) * weight.at(co, 0, ci);
+      }
+      EXPECT_NEAR(out.at(0, t, co), acc, 1e-5f);
+    }
+  }
+}
+
+TEST(KernelsTest, AvgPoolBoundaryUsesValidTapsOnly) {
+  Tensor input = Tensor::FromVector({1, 4, 1}, {1, 2, 3, 4});
+  Tensor out({1, 4, 1});
+  AvgPool1D(input, 3, &out);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 1.5f);   // (1+2)/2
+  EXPECT_FLOAT_EQ(out.at(0, 1, 0), 2.0f);   // (1+2+3)/3
+  EXPECT_FLOAT_EQ(out.at(0, 2, 0), 3.0f);   // (2+3+4)/3
+  EXPECT_FLOAT_EQ(out.at(0, 3, 0), 3.5f);   // (3+4)/2
+}
+
+TEST(KernelsTest, MaxPoolPicksMaxAndRecordsArgmax) {
+  Tensor input = Tensor::FromVector({1, 4, 1}, {1, 5, 2, 4});
+  Tensor out({1, 4, 1});
+  std::vector<int64_t> argmax;
+  MaxPool1D(input, 3, &out, &argmax);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 1, 0), 5.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 2, 0), 5.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 3, 0), 4.0f);
+  EXPECT_EQ(argmax[0], 1);
+  EXPECT_EQ(argmax[3], 3);
+}
+
+TEST(KernelsTest, PoolBackwardMassConservation) {
+  // Sum of input grads equals sum of output grads for avg pooling.
+  Rng rng(7);
+  Tensor grad_out = Tensor::Randn({2, 6, 3}, &rng);
+  Tensor grad_in({2, 6, 3});
+  AvgPool1DBackward(grad_out, 3, &grad_in);
+  EXPECT_NEAR(grad_in.SumAll(), grad_out.SumAll(), 1e-4f);
+}
+
+}  // namespace
+}  // namespace alt

@@ -1,0 +1,167 @@
+#include "src/models/multi_sequence_model.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/autograd/ops.h"
+#include "src/data/metrics.h"
+#include "src/data/synthetic.h"
+#include "src/opt/optimizer.h"
+
+namespace alt {
+namespace models {
+namespace {
+
+data::ScenarioData MsData(int64_t n = 200) {
+  data::SyntheticConfig config;
+  config.num_scenarios = 1;
+  config.profile_dim = 6;
+  config.seq_len = 8;
+  config.vocab_size = 12;
+  config.scenario_sizes = {n};
+  config.seed = 47;
+  return data::SyntheticGenerator(config).GenerateScenario(0);
+}
+
+ModelConfig MsConfig() {
+  ModelConfig c = ModelConfig::Light(EncoderKind::kLstm, 6, 8, 12);
+  c.encoder_layers = 1;
+  c.hidden_dim = 6;
+  return c;
+}
+
+std::vector<size_t> AllIndices(const data::ScenarioData& d) {
+  std::vector<size_t> idx(static_cast<size_t>(d.num_samples()));
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  return idx;
+}
+
+TEST(MultiSequenceBatchTest, ChannelsAreDistinctButSameAlphabet) {
+  data::ScenarioData d = MsData(10);
+  MultiSequenceBatch batch =
+      MakeMultiSequenceBatch(d, AllIndices(d), 3, /*seed=*/1);
+  ASSERT_EQ(batch.behaviors.size(), 3u);
+  EXPECT_NE(batch.behaviors[0], batch.behaviors[1]);
+  EXPECT_NE(batch.behaviors[1], batch.behaviors[2]);
+  // Rotations preserve the multiset of events per row.
+  for (int64_t r = 0; r < batch.batch_size; ++r) {
+    std::multiset<int64_t> base(
+        batch.behaviors[0].begin() + r * batch.seq_len,
+        batch.behaviors[0].begin() + (r + 1) * batch.seq_len);
+    std::multiset<int64_t> rotated(
+        batch.behaviors[1].begin() + r * batch.seq_len,
+        batch.behaviors[1].begin() + (r + 1) * batch.seq_len);
+    EXPECT_EQ(base, rotated);
+  }
+}
+
+TEST(MultiSequenceModelTest, ForwardShapeAndChannels) {
+  Rng rng(2);
+  auto model = BuildMultiSequenceModel(MsConfig(), 3, &rng);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model.value()->num_channels(), 3);
+  data::ScenarioData d = MsData(12);
+  MultiSequenceBatch batch =
+      MakeMultiSequenceBatch(d, AllIndices(d), 3, 1);
+  EXPECT_EQ(model.value()->Forward(batch).value().shape(),
+            (std::vector<int64_t>{12, 1}));
+  auto probs = model.value()->PredictProbs(batch);
+  for (float p : probs) {
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 1.0f);
+  }
+}
+
+TEST(MultiSequenceModelTest, FlopsScaleLinearlyInChannels) {
+  // Sec. III-D's motivation: the behavior encoder dominates, copied once
+  // per channel.
+  Rng rng(3);
+  auto one = BuildMultiSequenceModel(MsConfig(), 1, &rng);
+  auto four = BuildMultiSequenceModel(MsConfig(), 4, &rng);
+  ASSERT_TRUE(one.ok() && four.ok());
+  const int64_t base = one.value()->FlopsPerSample();
+  const int64_t big = four.value()->FlopsPerSample();
+  // 4 channels should cost nearly 4x the encoder part; definitely > 2.5x
+  // total and < 4x total.
+  EXPECT_GT(big, base * 2);
+  EXPECT_LT(big, base * 4);
+}
+
+TEST(MultiSequenceModelTest, WrongChannelCountChecks) {
+  Rng rng(4);
+  auto model = BuildMultiSequenceModel(MsConfig(), 2, &rng);
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(BuildMultiSequenceModel(MsConfig(), 0, &rng).ok());
+  ModelConfig profile_only = MsConfig();
+  profile_only.encoder = EncoderKind::kNone;
+  EXPECT_FALSE(BuildMultiSequenceModel(profile_only, 2, &rng).ok());
+}
+
+TEST(MultiSequenceModelTest, TrainsEndToEnd) {
+  Rng rng(5);
+  auto model = BuildMultiSequenceModel(MsConfig(), 2, &rng);
+  ASSERT_TRUE(model.ok());
+  data::ScenarioData d = MsData(300);
+  MultiSequenceBatch batch =
+      MakeMultiSequenceBatch(d, AllIndices(d), 2, 9);
+  opt::Adam optimizer(model.value()->Parameters(), 0.01f);
+  model.value()->SetTraining(true);
+  float first_loss = 0.0f;
+  float last_loss = 0.0f;
+  for (int step = 0; step < 30; ++step) {
+    optimizer.ZeroGrad();
+    ag::Variable loss =
+        ag::BCEWithLogits(model.value()->Forward(batch),
+                          ag::Variable::Constant(batch.labels));
+    if (step == 0) first_loss = loss.value()[0];
+    last_loss = loss.value()[0];
+    loss.Backward();
+    optimizer.Step();
+  }
+  EXPECT_LT(last_loss, first_loss);
+  model.value()->SetTraining(false);
+  EXPECT_GT(data::Auc(d.labels, model.value()->PredictProbs(batch)), 0.6);
+}
+
+// ---------------------------------------------------------------------------
+// KS + PR-AUC metrics
+// ---------------------------------------------------------------------------
+
+TEST(KsTest, PerfectSeparationGivesOne) {
+  EXPECT_DOUBLE_EQ(
+      data::KsStatistic({0, 0, 1, 1}, {0.1f, 0.2f, 0.8f, 0.9f}), 1.0);
+}
+
+TEST(KsTest, IdenticalDistributionsGiveZeroish) {
+  EXPECT_DOUBLE_EQ(data::KsStatistic({0, 1}, {0.5f, 0.5f}), 0.0);
+  EXPECT_DOUBLE_EQ(data::KsStatistic({1, 1}, {0.1f, 0.9f}), 0.0);
+}
+
+TEST(KsTest, PartialSeparation) {
+  // pos scores {0.4, 0.9}, neg scores {0.1, 0.6}: max CDF gap = 0.5.
+  EXPECT_NEAR(
+      data::KsStatistic({1, 0, 0, 1}, {0.4f, 0.1f, 0.6f, 0.9f}), 0.5, 1e-9);
+}
+
+TEST(PrAucTest, PerfectRankingGivesOne) {
+  EXPECT_DOUBLE_EQ(data::PrAuc({0, 0, 1, 1}, {0.1f, 0.2f, 0.8f, 0.9f}), 1.0);
+}
+
+TEST(PrAucTest, WorstRankingGivesLowValue) {
+  const double ap = data::PrAuc({1, 1, 0, 0}, {0.1f, 0.2f, 0.8f, 0.9f});
+  // Positives ranked last: AP = (1/3 + 2/4) / 2.
+  EXPECT_NEAR(ap, (1.0 / 3.0 + 0.5) / 2.0, 1e-9);
+}
+
+TEST(PrAucTest, NoPositivesGivesZero) {
+  EXPECT_DOUBLE_EQ(data::PrAuc({0, 0}, {0.3f, 0.7f}), 0.0);
+}
+
+TEST(PrAucTest, AllTiedScoresGivePositiveRate) {
+  EXPECT_NEAR(data::PrAuc({1, 0, 0, 0}, {0.5f, 0.5f, 0.5f, 0.5f}), 0.25,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace models
+}  // namespace alt

@@ -1,0 +1,88 @@
+#include "gtest/gtest.h"
+#include "src/autograd/ops.h"
+#include "src/nn/attention.h"
+#include "src/nn/conv.h"
+#include "src/nn/lstm.h"
+#include "src/nn/mlp.h"
+#include "src/nn/transformer.h"
+#include "tests/grad_check.h"
+
+namespace alt {
+namespace nn {
+namespace {
+
+using ::alt::testing::ExpectGradientsClose;
+
+/// End-to-end gradient checks through full layers (composition of many ops).
+/// These are the strongest correctness guarantees for the training substrate.
+
+TEST(NnGradCheck, MlpThroughLoss) {
+  Rng rng(31);
+  Mlp mlp({3, 4, 1}, Activation::kTanh, &rng);
+  ag::Variable x = ag::Variable::Constant(Tensor::Randn({4, 3}, &rng));
+  ag::Variable y = ag::Variable::Constant(
+      Tensor::FromVector({4, 1}, {1.0f, 0.0f, 1.0f, 0.0f}));
+  ExpectGradientsClose(
+      [&]() { return ag::BCEWithLogits(mlp.Forward(x), y); },
+      mlp.Parameters());
+}
+
+TEST(NnGradCheck, LstmLayerThroughLoss) {
+  Rng rng(32);
+  LstmLayer lstm(3, 4, &rng);
+  ag::Variable x = ag::Variable::Constant(Tensor::Randn({2, 3, 3}, &rng));
+  ag::Variable coeff =
+      ag::Variable::Constant(Tensor::Randn({2, 3, 4}, &rng));
+  ExpectGradientsClose(
+      [&]() { return ag::SumAll(ag::Mul(lstm.Forward(x), coeff)); },
+      lstm.Parameters(), /*eps=*/1e-2f, /*rtol=*/3e-2f, /*atol=*/3e-3f);
+}
+
+TEST(NnGradCheck, AttentionThroughLoss) {
+  Rng rng(33);
+  MultiHeadSelfAttention mha(4, 2, &rng);
+  ag::Variable x = ag::Variable::Constant(Tensor::Randn({2, 3, 4}, &rng));
+  ag::Variable coeff =
+      ag::Variable::Constant(Tensor::Randn({2, 3, 4}, &rng));
+  ExpectGradientsClose(
+      [&]() { return ag::SumAll(ag::Mul(mha.Forward(x), coeff)); },
+      mha.Parameters(), /*eps=*/1e-2f, /*rtol=*/3e-2f, /*atol=*/3e-3f);
+}
+
+TEST(NnGradCheck, TransformerLayerThroughLoss) {
+  Rng rng(34);
+  TransformerEncoderLayer layer(4, 2, 8, &rng);
+  ag::Variable x = ag::Variable::Constant(Tensor::Randn({1, 3, 4}, &rng));
+  ag::Variable coeff =
+      ag::Variable::Constant(Tensor::Randn({1, 3, 4}, &rng));
+  ExpectGradientsClose(
+      [&]() { return ag::SumAll(ag::Mul(layer.Forward(x), coeff)); },
+      layer.Parameters(), /*eps=*/1e-2f, /*rtol=*/5e-2f, /*atol=*/5e-3f);
+}
+
+TEST(NnGradCheck, ConvLayerThroughLoss) {
+  Rng rng(35);
+  Conv1DLayer conv(2, 3, 3, 2, &rng);
+  ag::Variable x = ag::Variable::Constant(Tensor::Randn({2, 4, 2}, &rng));
+  ag::Variable coeff =
+      ag::Variable::Constant(Tensor::Randn({2, 4, 3}, &rng));
+  ExpectGradientsClose(
+      [&]() { return ag::SumAll(ag::Mul(conv.Forward(x), coeff)); },
+      conv.Parameters());
+}
+
+TEST(NnGradCheck, GradientFlowsThroughInputToo) {
+  // Input gradients matter for NAS (supernet mixes layer inputs).
+  Rng rng(36);
+  LstmLayer lstm(2, 3, &rng);
+  ag::Variable x = ag::Variable::Parameter(Tensor::Randn({1, 3, 2}, &rng));
+  ag::Variable coeff =
+      ag::Variable::Constant(Tensor::Randn({1, 3, 3}, &rng));
+  ExpectGradientsClose(
+      [&]() { return ag::SumAll(ag::Mul(lstm.Forward(x), coeff)); }, {&x},
+      /*eps=*/1e-2f, /*rtol=*/3e-2f, /*atol=*/3e-3f);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace alt

@@ -1,0 +1,233 @@
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "src/nn/attention.h"
+#include "src/nn/conv.h"
+#include "src/nn/embedding.h"
+#include "src/nn/layer_norm.h"
+#include "src/nn/linear.h"
+#include "src/nn/lstm.h"
+#include "src/nn/mlp.h"
+#include "src/nn/serialize.h"
+#include "src/nn/transformer.h"
+
+namespace alt {
+namespace nn {
+namespace {
+
+TEST(LinearTest, ForwardShape2DAnd3D) {
+  Rng rng(1);
+  Linear layer(4, 3, &rng);
+  ag::Variable x2 = ag::Variable::Constant(Tensor::Randn({5, 4}, &rng));
+  EXPECT_EQ(layer.Forward(x2).value().shape(), (std::vector<int64_t>{5, 3}));
+  ag::Variable x3 = ag::Variable::Constant(Tensor::Randn({2, 6, 4}, &rng));
+  EXPECT_EQ(layer.Forward(x3).value().shape(),
+            (std::vector<int64_t>{2, 6, 3}));
+}
+
+TEST(LinearTest, ParameterCountAndFlops) {
+  Rng rng(2);
+  Linear layer(4, 3, &rng);
+  EXPECT_EQ(layer.NumParameters(), 4 * 3 + 3);
+  EXPECT_EQ(layer.Flops(10), 10 * (2 * 4 * 3) + 10 * 3);
+  Linear no_bias(4, 3, &rng, /*use_bias=*/false);
+  EXPECT_EQ(no_bias.NumParameters(), 12);
+}
+
+TEST(MlpTest, StackedShapeAndNames) {
+  Rng rng(3);
+  Mlp mlp({8, 16, 4}, Activation::kRelu, &rng);
+  ag::Variable x = ag::Variable::Constant(Tensor::Randn({2, 8}, &rng));
+  EXPECT_EQ(mlp.Forward(x).value().shape(), (std::vector<int64_t>{2, 4}));
+  auto named = mlp.NamedParameters();
+  ASSERT_EQ(named.size(), 4u);
+  EXPECT_EQ(named[0].first, "0.weight");
+  EXPECT_EQ(named[3].first, "1.bias");
+}
+
+TEST(EmbeddingTest, LookupShape) {
+  Rng rng(4);
+  Embedding emb(10, 6, &rng);
+  ag::Variable e = emb.Forward({1, 2, 3, 4, 5, 6}, 2, 3);
+  EXPECT_EQ(e.value().shape(), (std::vector<int64_t>{2, 3, 6}));
+}
+
+TEST(PositionalEmbeddingTest, AddsPositionInfo) {
+  Rng rng(5);
+  PositionalEmbedding pos(8, 4, &rng);
+  ag::Variable x = ag::Variable::Constant(Tensor::Zeros({2, 5, 4}));
+  Tensor out = pos.Forward(x).value();
+  // With zero input, output equals position table rows, equal across batch.
+  for (int64_t t = 0; t < 5; ++t) {
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(out.at(0, t, j), out.at(1, t, j));
+    }
+  }
+  // Distinct positions get distinct embeddings (random init).
+  EXPECT_NE(out.at(0, 0, 0), out.at(0, 1, 0));
+}
+
+TEST(LstmTest, OutputShapeAndFlops) {
+  Rng rng(6);
+  Lstm lstm(5, 7, 2, &rng);
+  ag::Variable x = ag::Variable::Constant(Tensor::Randn({3, 4, 5}, &rng));
+  EXPECT_EQ(lstm.Forward(x).value().shape(),
+            (std::vector<int64_t>{3, 4, 7}));
+  EXPECT_GT(lstm.Flops(4), 0);
+  EXPECT_EQ(lstm.num_layers(), 2);
+}
+
+TEST(LstmTest, ParameterNamesAreHierarchical) {
+  Rng rng(7);
+  Lstm lstm(3, 4, 2, &rng);
+  auto named = lstm.NamedParameters();
+  ASSERT_EQ(named.size(), 6u);
+  EXPECT_EQ(named[0].first, "0.w_x");
+  EXPECT_EQ(named[5].first, "1.bias");
+}
+
+TEST(LstmTest, ForgetBiasInitializedToOne) {
+  Rng rng(8);
+  LstmLayer layer(3, 4, &rng);
+  auto named = layer.NamedParameters();
+  const Tensor& bias = named[2].second->value();
+  EXPECT_EQ(named[2].first, "bias");
+  for (int64_t j = 0; j < 4; ++j) EXPECT_EQ(bias[j], 0.0f);
+  for (int64_t j = 4; j < 8; ++j) EXPECT_EQ(bias[j], 1.0f);
+}
+
+TEST(AttentionTest, OutputShapePreserved) {
+  Rng rng(9);
+  MultiHeadSelfAttention mha(6, 3, &rng);
+  ag::Variable x = ag::Variable::Constant(Tensor::Randn({2, 5, 6}, &rng));
+  EXPECT_EQ(mha.Forward(x).value().shape(),
+            (std::vector<int64_t>{2, 5, 6}));
+}
+
+TEST(AttentionTest, PermutationEquivariance) {
+  // Self-attention without positional encoding is permutation-equivariant:
+  // permuting input timesteps permutes output timesteps identically.
+  Rng rng(10);
+  MultiHeadSelfAttention mha(4, 2, &rng);
+  Tensor x = Tensor::Randn({1, 3, 4}, &rng);
+  Tensor xp({1, 3, 4});
+  const int64_t perm[3] = {2, 0, 1};
+  for (int64_t t = 0; t < 3; ++t) {
+    for (int64_t j = 0; j < 4; ++j) xp.at(0, t, j) = x.at(0, perm[t], j);
+  }
+  Tensor y = mha.Forward(ag::Variable::Constant(x)).value();
+  Tensor yp = mha.Forward(ag::Variable::Constant(xp)).value();
+  for (int64_t t = 0; t < 3; ++t) {
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(yp.at(0, t, j), y.at(0, perm[t], j), 1e-4f);
+    }
+  }
+}
+
+TEST(TransformerTest, EncoderShapeAndChildren) {
+  Rng rng(11);
+  TransformerEncoder encoder(6, 3, 12, 2, &rng);
+  ag::Variable x = ag::Variable::Constant(Tensor::Randn({2, 4, 6}, &rng));
+  EXPECT_EQ(encoder.Forward(x).value().shape(),
+            (std::vector<int64_t>{2, 4, 6}));
+  EXPECT_EQ(encoder.num_layers(), 2);
+  EXPECT_GT(encoder.Flops(4), 0);
+}
+
+TEST(ConvLayerTest, ShapeAndFlops) {
+  Rng rng(12);
+  Conv1DLayer conv(3, 5, 3, 1, &rng);
+  ag::Variable x = ag::Variable::Constant(Tensor::Randn({2, 6, 3}, &rng));
+  EXPECT_EQ(conv.Forward(x).value().shape(),
+            (std::vector<int64_t>{2, 6, 5}));
+  EXPECT_EQ(conv.Flops(6), 6 * (2 * 3 * 3 * 5 + 5));
+}
+
+TEST(LayerNormTest, NormalizesLastDim) {
+  Rng rng(13);
+  LayerNorm norm(8);
+  ag::Variable x = ag::Variable::Constant(Tensor::Randn({4, 8}, &rng, 3.0f));
+  Tensor y = norm.Forward(x).value();
+  for (int64_t r = 0; r < 4; ++r) {
+    double mean = 0.0;
+    double var = 0.0;
+    for (int64_t j = 0; j < 8; ++j) mean += y.at(r, j);
+    mean /= 8.0;
+    for (int64_t j = 0; j < 8; ++j) {
+      var += (y.at(r, j) - mean) * (y.at(r, j) - mean);
+    }
+    var /= 8.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(ModuleTest, SetTrainingPropagates) {
+  Rng rng(14);
+  Mlp mlp({4, 4, 2}, Activation::kRelu, &rng);
+  mlp.SetTraining(false);
+  EXPECT_FALSE(mlp.training());
+}
+
+TEST(ModuleTest, CopyParametersFromMatchingModule) {
+  Rng rng_a(15);
+  Rng rng_b(16);
+  Mlp a({4, 3, 2}, Activation::kTanh, &rng_a);
+  Mlp b({4, 3, 2}, Activation::kTanh, &rng_b);
+  ASSERT_TRUE(b.CopyParametersFrom(&a).ok());
+  auto pa = a.NamedParameters();
+  auto pb = b.NamedParameters();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    for (int64_t j = 0; j < pa[i].second->value().numel(); ++j) {
+      EXPECT_EQ(pa[i].second->value()[j], pb[i].second->value()[j]);
+    }
+  }
+}
+
+TEST(ModuleTest, CopyParametersShapeMismatchFails) {
+  Rng rng(17);
+  Mlp a({4, 3, 2}, Activation::kTanh, &rng);
+  Mlp b({4, 5, 2}, Activation::kTanh, &rng);
+  EXPECT_FALSE(b.CopyParametersFrom(&a).ok());
+}
+
+TEST(SerializeTest, SaveLoadRoundTrip) {
+  Rng rng_a(18);
+  Rng rng_b(19);
+  Lstm a(3, 4, 2, &rng_a);
+  Lstm b(3, 4, 2, &rng_b);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveWeights(&a, &buffer).ok());
+  ASSERT_TRUE(LoadWeights(&b, &buffer).ok());
+  auto pa = a.NamedParameters();
+  auto pb = b.NamedParameters();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    for (int64_t j = 0; j < pa[i].second->value().numel(); ++j) {
+      EXPECT_EQ(pa[i].second->value()[j], pb[i].second->value()[j]);
+    }
+  }
+}
+
+TEST(SerializeTest, LoadIntoWrongArchitectureFails) {
+  Rng rng(20);
+  Lstm a(3, 4, 2, &rng);
+  Lstm wrong_depth(3, 4, 1, &rng);
+  Mlp wrong_kind({3, 4}, Activation::kRelu, &rng);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveWeights(&a, &buffer).ok());
+  EXPECT_FALSE(LoadWeights(&wrong_depth, &buffer).ok());
+  buffer.clear();
+  buffer.seekg(0);
+  EXPECT_FALSE(LoadWeights(&wrong_kind, &buffer).ok());
+}
+
+TEST(SerializeTest, CorruptStreamRejected) {
+  Rng rng(21);
+  Mlp m({2, 2}, Activation::kNone, &rng);
+  std::stringstream buffer("not a weights file");
+  EXPECT_FALSE(LoadWeights(&m, &buffer).ok());
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace alt

@@ -1,0 +1,123 @@
+#include "src/opt/optimizer.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/autograd/ops.h"
+
+namespace alt {
+namespace opt {
+namespace {
+
+/// Minimizes f(theta) = sum((theta - target)^2) and returns final theta.
+template <typename Opt>
+Tensor Minimize(Opt* optimizer, ag::Variable* theta, const Tensor& target,
+                int steps) {
+  for (int i = 0; i < steps; ++i) {
+    optimizer->ZeroGrad();
+    ag::Variable diff =
+        ag::Sub(*theta, ag::Variable::Constant(target));
+    ag::Variable loss = ag::SumAll(ag::Mul(diff, diff));
+    loss.Backward();
+    optimizer->Step();
+  }
+  return theta->value();
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  ag::Variable theta = ag::Variable::Parameter(Tensor::Zeros({3}));
+  Tensor target = Tensor::FromVector({3}, {1.0f, -2.0f, 0.5f});
+  Sgd sgd({&theta}, 0.1f);
+  Tensor final_theta = Minimize(&sgd, &theta, target, 100);
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(final_theta[i], target[i], 1e-3f);
+  }
+}
+
+TEST(SgdTest, SingleStepMatchesRule) {
+  ag::Variable theta = ag::Variable::Parameter(Tensor::Scalar(2.0f));
+  Sgd sgd({&theta}, 0.5f);
+  sgd.ZeroGrad();
+  ag::SumAll(ag::Mul(theta, theta)).Backward();  // grad = 2*theta = 4.
+  sgd.Step();
+  EXPECT_FLOAT_EQ(theta.value()[0], 2.0f - 0.5f * 4.0f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  ag::Variable theta = ag::Variable::Parameter(Tensor::Zeros({3}));
+  Tensor target = Tensor::FromVector({3}, {1.0f, -2.0f, 0.5f});
+  Adam adam({&theta}, 0.05f);
+  Tensor final_theta = Minimize(&adam, &theta, target, 400);
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(final_theta[i], target[i], 1e-2f);
+  }
+}
+
+TEST(AdamTest, FirstStepSizeIsLr) {
+  // With bias correction the very first Adam step is ~lr in magnitude.
+  ag::Variable theta = ag::Variable::Parameter(Tensor::Scalar(1.0f));
+  Adam adam({&theta}, 0.1f);
+  adam.ZeroGrad();
+  ag::SumAll(ag::ScalarMul(theta, 5.0f)).Backward();  // grad = 5.
+  adam.Step();
+  EXPECT_NEAR(theta.value()[0], 1.0f - 0.1f, 1e-4f);
+}
+
+TEST(OptimizerTest, ClipGradNormRescales) {
+  ag::Variable a = ag::Variable::Parameter(Tensor::Zeros({2}));
+  Sgd sgd({&a}, 1.0f);
+  a.ZeroGrad();
+  a.mutable_grad() = Tensor::FromVector({2}, {3.0f, 4.0f});  // norm 5.
+  const double pre = sgd.ClipGradNorm(1.0);
+  EXPECT_NEAR(pre, 5.0, 1e-6);
+  EXPECT_NEAR(a.grad()[0], 0.6f, 1e-5f);
+  EXPECT_NEAR(a.grad()[1], 0.8f, 1e-5f);
+}
+
+TEST(OptimizerTest, ClipGradNormNoOpWhenSmall) {
+  ag::Variable a = ag::Variable::Parameter(Tensor::Zeros({2}));
+  Sgd sgd({&a}, 1.0f);
+  a.ZeroGrad();
+  a.mutable_grad() = Tensor::FromVector({2}, {0.3f, 0.4f});
+  sgd.ClipGradNorm(1.0);
+  EXPECT_FLOAT_EQ(a.grad()[0], 0.3f);
+}
+
+TEST(OptimizerTest, SkipsParamsWithoutGrad) {
+  ag::Variable a = ag::Variable::Parameter(Tensor::Scalar(1.0f));
+  Sgd sgd({&a}, 0.1f);
+  sgd.Step();  // No grad accumulated; must not crash or change value.
+  EXPECT_FLOAT_EQ(a.value()[0], 1.0f);
+}
+
+TEST(AdamTest, TrainsSmallClassifier) {
+  // Sanity: Adam drives a logistic-regression loss down on separable data.
+  Rng rng(41);
+  ag::Variable w = ag::Variable::Parameter(Tensor::Zeros({2, 1}));
+  Tensor x_data({8, 2});
+  Tensor y_data({8, 1});
+  for (int64_t i = 0; i < 8; ++i) {
+    const float label = (i % 2 == 0) ? 1.0f : 0.0f;
+    x_data.at(i, 0) = label * 2.0f - 1.0f + 0.1f * (float)rng.Normal();
+    x_data.at(i, 1) = (float)rng.Normal();
+    y_data.at(i, 0) = label;
+  }
+  ag::Variable x = ag::Variable::Constant(x_data);
+  ag::Variable y = ag::Variable::Constant(y_data);
+  Adam adam({&w}, 0.1f);
+  float first_loss = 0.0f;
+  float last_loss = 0.0f;
+  for (int step = 0; step < 50; ++step) {
+    adam.ZeroGrad();
+    ag::Variable loss = ag::BCEWithLogits(ag::MatMul(x, w), y);
+    if (step == 0) first_loss = loss.value()[0];
+    last_loss = loss.value()[0];
+    loss.Backward();
+    adam.Step();
+  }
+  EXPECT_LT(last_loss, first_loss * 0.5f);
+}
+
+}  // namespace
+}  // namespace opt
+}  // namespace alt

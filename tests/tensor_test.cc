@@ -1,0 +1,124 @@
+#include "src/tensor/tensor.h"
+
+#include "gtest/gtest.h"
+
+namespace alt {
+namespace {
+
+TEST(TensorTest, DefaultConstructedIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_EQ(t.ndim(), 0);
+}
+
+TEST(TensorTest, ZerosHasShapeAndZeroData) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.ndim(), 2);
+  EXPECT_EQ(t.size(0), 2);
+  EXPECT_EQ(t.size(1), 3);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, FullFillsValue) {
+  Tensor t = Tensor::Full({4}, 2.5f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(TensorTest, FromVectorKeepsValues) {
+  Tensor t = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(TensorTest, ScalarIsShapeOne) {
+  Tensor t = Tensor::Scalar(7.0f);
+  EXPECT_EQ(t.numel(), 1);
+  EXPECT_EQ(t[0], 7.0f);
+}
+
+TEST(TensorTest, ThreeDimIndexing) {
+  Tensor t = Tensor::FromVector({2, 2, 2}, {0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_EQ(t.at(0, 0, 0), 0.0f);
+  EXPECT_EQ(t.at(0, 1, 1), 3.0f);
+  EXPECT_EQ(t.at(1, 0, 1), 5.0f);
+  EXPECT_EQ(t.at(1, 1, 1), 7.0f);
+}
+
+TEST(TensorTest, AddInPlace) {
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor b = Tensor::FromVector({3}, {10, 20, 30});
+  a.AddInPlace(b);
+  EXPECT_EQ(a[0], 11.0f);
+  EXPECT_EQ(a[2], 33.0f);
+}
+
+TEST(TensorTest, Axpy) {
+  Tensor a = Tensor::FromVector({2}, {1, 1});
+  Tensor b = Tensor::FromVector({2}, {2, 4});
+  a.Axpy(0.5f, b);
+  EXPECT_FLOAT_EQ(a[0], 2.0f);
+  EXPECT_FLOAT_EQ(a[1], 3.0f);
+}
+
+TEST(TensorTest, ScaleInPlace) {
+  Tensor a = Tensor::FromVector({2}, {3, -4});
+  a.ScaleInPlace(2.0f);
+  EXPECT_EQ(a[0], 6.0f);
+  EXPECT_EQ(a[1], -8.0f);
+}
+
+TEST(TensorTest, ReshapeKeepsData) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = a.Reshape({3, 2});
+  EXPECT_EQ(b.ndim(), 2);
+  EXPECT_EQ(b.size(0), 3);
+  EXPECT_EQ(b.at(2, 1), 6.0f);
+}
+
+TEST(TensorTest, Reductions) {
+  Tensor a = Tensor::FromVector({4}, {1, -2, 3, 0});
+  EXPECT_FLOAT_EQ(a.SumAll(), 2.0f);
+  EXPECT_FLOAT_EQ(a.MeanAll(), 0.5f);
+  EXPECT_FLOAT_EQ(a.MaxAll(), 3.0f);
+  EXPECT_FLOAT_EQ(a.MinAll(), -2.0f);
+  EXPECT_EQ(a.ArgMaxAll(), 2);
+  EXPECT_DOUBLE_EQ(a.SquaredNorm(), 14.0);
+}
+
+TEST(TensorTest, RandnIsDeterministicPerSeed) {
+  Rng rng1(7);
+  Rng rng2(7);
+  Tensor a = Tensor::Randn({16}, &rng1);
+  Tensor b = Tensor::Randn({16}, &rng2);
+  for (int64_t i = 0; i < 16; ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(TensorTest, RandUniformWithinBounds) {
+  Rng rng(3);
+  Tensor a = Tensor::RandUniform({128}, &rng, -0.5f, 0.5f);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_GE(a[i], -0.5f);
+    EXPECT_LT(a[i], 0.5f);
+  }
+}
+
+TEST(TensorTest, CopyIsDeep) {
+  Tensor a = Tensor::FromVector({2}, {1, 2});
+  Tensor b = a;
+  b[0] = 99.0f;
+  EXPECT_EQ(a[0], 1.0f);
+}
+
+TEST(TensorTest, ShapeNumelAndToString) {
+  EXPECT_EQ(ShapeNumel({2, 3, 4}), 24);
+  EXPECT_EQ(ShapeNumel({}), 1);
+  EXPECT_EQ(ShapeToString({2, 3}), "[2, 3]");
+  Tensor t = Tensor::FromVector({2}, {1, 2});
+  EXPECT_NE(t.ToString().find("Tensor[2]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace alt
