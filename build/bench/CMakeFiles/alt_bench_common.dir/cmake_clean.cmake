@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libalt_bench_common.a"
+  "../lib/libalt_bench_common.pdb"
+  "CMakeFiles/alt_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/alt_bench_common.dir/bench_common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

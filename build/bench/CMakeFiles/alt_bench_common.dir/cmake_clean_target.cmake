@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libalt_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nas.dir/bench_ablation_nas.cc.o"
+  "CMakeFiles/bench_ablation_nas.dir/bench_ablation_nas.cc.o.d"
+  "bench_ablation_nas"
+  "bench_ablation_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_online.dir/bench_fig11_online.cc.o"
+  "CMakeFiles/bench_fig11_online.dir/bench_fig11_online.cc.o.d"
+  "bench_fig11_online"
+  "bench_fig11_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

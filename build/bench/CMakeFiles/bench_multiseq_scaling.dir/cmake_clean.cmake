@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiseq_scaling.dir/bench_multiseq_scaling.cc.o"
+  "CMakeFiles/bench_multiseq_scaling.dir/bench_multiseq_scaling.cc.o.d"
+  "bench_multiseq_scaling"
+  "bench_multiseq_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiseq_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

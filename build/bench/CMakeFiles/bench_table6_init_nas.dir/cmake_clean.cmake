@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_init_nas.dir/bench_table6_init_nas.cc.o"
+  "CMakeFiles/bench_table6_init_nas.dir/bench_table6_init_nas.cc.o.d"
+  "bench_table6_init_nas"
+  "bench_table6_init_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_init_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

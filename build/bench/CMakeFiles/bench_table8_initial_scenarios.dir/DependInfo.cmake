@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table8_initial_scenarios.cc" "bench/CMakeFiles/bench_table8_initial_scenarios.dir/bench_table8_initial_scenarios.cc.o" "gcc" "bench/CMakeFiles/bench_table8_initial_scenarios.dir/bench_table8_initial_scenarios.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/alt_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/alt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/alt_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/alt_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/feature/CMakeFiles/alt_feature.dir/DependInfo.cmake"
+  "/root/repo/build/src/nas/CMakeFiles/alt_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpo/CMakeFiles/alt_hpo.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/alt_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/alt_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/alt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/alt_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/alt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/alt_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/alt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/alt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

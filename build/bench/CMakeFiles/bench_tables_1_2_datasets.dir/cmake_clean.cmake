@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tables_1_2_datasets.dir/bench_tables_1_2_datasets.cc.o"
+  "CMakeFiles/bench_tables_1_2_datasets.dir/bench_tables_1_2_datasets.cc.o.d"
+  "bench_tables_1_2_datasets"
+  "bench_tables_1_2_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tables_1_2_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

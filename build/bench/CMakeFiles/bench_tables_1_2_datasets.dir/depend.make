@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tables_1_2_datasets.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advertising.dir/advertising.cpp.o"
+  "CMakeFiles/advertising.dir/advertising.cpp.o.d"
+  "advertising"
+  "advertising.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advertising.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_recommendation.dir/online_recommendation.cpp.o"
+  "CMakeFiles/online_recommendation.dir/online_recommendation.cpp.o.d"
+  "online_recommendation"
+  "online_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

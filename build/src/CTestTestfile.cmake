@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("tensor")
+subdirs("autograd")
+subdirs("nn")
+subdirs("opt")
+subdirs("data")
+subdirs("models")
+subdirs("hpo")
+subdirs("nas")
+subdirs("train")
+subdirs("meta")
+subdirs("feature")
+subdirs("serving")
+subdirs("core")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_autograd.dir/ops.cc.o"
+  "CMakeFiles/alt_autograd.dir/ops.cc.o.d"
+  "CMakeFiles/alt_autograd.dir/variable.cc.o"
+  "CMakeFiles/alt_autograd.dir/variable.cc.o.d"
+  "libalt_autograd.a"
+  "libalt_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_core.dir/alt_system.cc.o"
+  "CMakeFiles/alt_core.dir/alt_system.cc.o.d"
+  "libalt_core.a"
+  "libalt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_data.dir/dataset.cc.o"
+  "CMakeFiles/alt_data.dir/dataset.cc.o.d"
+  "CMakeFiles/alt_data.dir/io.cc.o"
+  "CMakeFiles/alt_data.dir/io.cc.o.d"
+  "CMakeFiles/alt_data.dir/metrics.cc.o"
+  "CMakeFiles/alt_data.dir/metrics.cc.o.d"
+  "CMakeFiles/alt_data.dir/synthetic.cc.o"
+  "CMakeFiles/alt_data.dir/synthetic.cc.o.d"
+  "libalt_data.a"
+  "libalt_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

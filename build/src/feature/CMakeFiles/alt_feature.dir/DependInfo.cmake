@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/feature/data_preparation.cc" "src/feature/CMakeFiles/alt_feature.dir/data_preparation.cc.o" "gcc" "src/feature/CMakeFiles/alt_feature.dir/data_preparation.cc.o.d"
+  "/root/repo/src/feature/feature_factory.cc" "src/feature/CMakeFiles/alt_feature.dir/feature_factory.cc.o" "gcc" "src/feature/CMakeFiles/alt_feature.dir/feature_factory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/alt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/alt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/alt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

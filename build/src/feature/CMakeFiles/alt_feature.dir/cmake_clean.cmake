@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_feature.dir/data_preparation.cc.o"
+  "CMakeFiles/alt_feature.dir/data_preparation.cc.o.d"
+  "CMakeFiles/alt_feature.dir/feature_factory.cc.o"
+  "CMakeFiles/alt_feature.dir/feature_factory.cc.o.d"
+  "libalt_feature.a"
+  "libalt_feature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_feature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

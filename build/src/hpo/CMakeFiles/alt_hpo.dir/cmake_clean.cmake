@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_hpo.dir/cmaes.cc.o"
+  "CMakeFiles/alt_hpo.dir/cmaes.cc.o.d"
+  "CMakeFiles/alt_hpo.dir/model_search.cc.o"
+  "CMakeFiles/alt_hpo.dir/model_search.cc.o.d"
+  "CMakeFiles/alt_hpo.dir/search_space.cc.o"
+  "CMakeFiles/alt_hpo.dir/search_space.cc.o.d"
+  "CMakeFiles/alt_hpo.dir/tune_service.cc.o"
+  "CMakeFiles/alt_hpo.dir/tune_service.cc.o.d"
+  "CMakeFiles/alt_hpo.dir/tuner.cc.o"
+  "CMakeFiles/alt_hpo.dir/tuner.cc.o.d"
+  "libalt_hpo.a"
+  "libalt_hpo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_hpo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

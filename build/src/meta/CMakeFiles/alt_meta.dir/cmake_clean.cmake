@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_meta.dir/meta_learner.cc.o"
+  "CMakeFiles/alt_meta.dir/meta_learner.cc.o.d"
+  "libalt_meta.a"
+  "libalt_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

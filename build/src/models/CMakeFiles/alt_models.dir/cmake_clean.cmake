@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_models.dir/base_model.cc.o"
+  "CMakeFiles/alt_models.dir/base_model.cc.o.d"
+  "CMakeFiles/alt_models.dir/model_config.cc.o"
+  "CMakeFiles/alt_models.dir/model_config.cc.o.d"
+  "CMakeFiles/alt_models.dir/multi_sequence_model.cc.o"
+  "CMakeFiles/alt_models.dir/multi_sequence_model.cc.o.d"
+  "libalt_models.a"
+  "libalt_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

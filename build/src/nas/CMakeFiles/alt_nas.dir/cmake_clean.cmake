@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_nas.dir/arch.cc.o"
+  "CMakeFiles/alt_nas.dir/arch.cc.o.d"
+  "CMakeFiles/alt_nas.dir/derived_encoder.cc.o"
+  "CMakeFiles/alt_nas.dir/derived_encoder.cc.o.d"
+  "CMakeFiles/alt_nas.dir/nas_ops.cc.o"
+  "CMakeFiles/alt_nas.dir/nas_ops.cc.o.d"
+  "CMakeFiles/alt_nas.dir/nas_search.cc.o"
+  "CMakeFiles/alt_nas.dir/nas_search.cc.o.d"
+  "CMakeFiles/alt_nas.dir/supernet.cc.o"
+  "CMakeFiles/alt_nas.dir/supernet.cc.o.d"
+  "libalt_nas.a"
+  "libalt_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

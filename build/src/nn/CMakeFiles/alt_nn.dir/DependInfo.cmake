@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/alt_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/alt_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/conv.cc" "src/nn/CMakeFiles/alt_nn.dir/conv.cc.o" "gcc" "src/nn/CMakeFiles/alt_nn.dir/conv.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "src/nn/CMakeFiles/alt_nn.dir/embedding.cc.o" "gcc" "src/nn/CMakeFiles/alt_nn.dir/embedding.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/nn/CMakeFiles/alt_nn.dir/init.cc.o" "gcc" "src/nn/CMakeFiles/alt_nn.dir/init.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/alt_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/alt_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/lstm.cc" "src/nn/CMakeFiles/alt_nn.dir/lstm.cc.o" "gcc" "src/nn/CMakeFiles/alt_nn.dir/lstm.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/nn/CMakeFiles/alt_nn.dir/mlp.cc.o" "gcc" "src/nn/CMakeFiles/alt_nn.dir/mlp.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/alt_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/alt_nn.dir/module.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/alt_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/alt_nn.dir/serialize.cc.o.d"
+  "/root/repo/src/nn/transformer.cc" "src/nn/CMakeFiles/alt_nn.dir/transformer.cc.o" "gcc" "src/nn/CMakeFiles/alt_nn.dir/transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autograd/CMakeFiles/alt_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/alt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/alt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_nn.dir/attention.cc.o"
+  "CMakeFiles/alt_nn.dir/attention.cc.o.d"
+  "CMakeFiles/alt_nn.dir/conv.cc.o"
+  "CMakeFiles/alt_nn.dir/conv.cc.o.d"
+  "CMakeFiles/alt_nn.dir/embedding.cc.o"
+  "CMakeFiles/alt_nn.dir/embedding.cc.o.d"
+  "CMakeFiles/alt_nn.dir/init.cc.o"
+  "CMakeFiles/alt_nn.dir/init.cc.o.d"
+  "CMakeFiles/alt_nn.dir/linear.cc.o"
+  "CMakeFiles/alt_nn.dir/linear.cc.o.d"
+  "CMakeFiles/alt_nn.dir/lstm.cc.o"
+  "CMakeFiles/alt_nn.dir/lstm.cc.o.d"
+  "CMakeFiles/alt_nn.dir/mlp.cc.o"
+  "CMakeFiles/alt_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/alt_nn.dir/module.cc.o"
+  "CMakeFiles/alt_nn.dir/module.cc.o.d"
+  "CMakeFiles/alt_nn.dir/serialize.cc.o"
+  "CMakeFiles/alt_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/alt_nn.dir/transformer.cc.o"
+  "CMakeFiles/alt_nn.dir/transformer.cc.o.d"
+  "libalt_nn.a"
+  "libalt_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

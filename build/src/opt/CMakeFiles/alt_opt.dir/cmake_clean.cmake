@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_opt.dir/optimizer.cc.o"
+  "CMakeFiles/alt_opt.dir/optimizer.cc.o.d"
+  "libalt_opt.a"
+  "libalt_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

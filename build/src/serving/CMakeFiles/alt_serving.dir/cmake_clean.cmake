@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_serving.dir/batch_predictor.cc.o"
+  "CMakeFiles/alt_serving.dir/batch_predictor.cc.o.d"
+  "CMakeFiles/alt_serving.dir/model_server.cc.o"
+  "CMakeFiles/alt_serving.dir/model_server.cc.o.d"
+  "CMakeFiles/alt_serving.dir/model_store.cc.o"
+  "CMakeFiles/alt_serving.dir/model_store.cc.o.d"
+  "CMakeFiles/alt_serving.dir/online_simulator.cc.o"
+  "CMakeFiles/alt_serving.dir/online_simulator.cc.o.d"
+  "libalt_serving.a"
+  "libalt_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

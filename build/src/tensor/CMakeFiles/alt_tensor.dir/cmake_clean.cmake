@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_tensor.dir/kernels.cc.o"
+  "CMakeFiles/alt_tensor.dir/kernels.cc.o.d"
+  "CMakeFiles/alt_tensor.dir/tensor.cc.o"
+  "CMakeFiles/alt_tensor.dir/tensor.cc.o.d"
+  "libalt_tensor.a"
+  "libalt_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_train.dir/trainer.cc.o"
+  "CMakeFiles/alt_train.dir/trainer.cc.o.d"
+  "libalt_train.a"
+  "libalt_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_util.dir/json.cc.o"
+  "CMakeFiles/alt_util.dir/json.cc.o.d"
+  "CMakeFiles/alt_util.dir/logging.cc.o"
+  "CMakeFiles/alt_util.dir/logging.cc.o.d"
+  "CMakeFiles/alt_util.dir/status.cc.o"
+  "CMakeFiles/alt_util.dir/status.cc.o.d"
+  "CMakeFiles/alt_util.dir/table_printer.cc.o"
+  "CMakeFiles/alt_util.dir/table_printer.cc.o.d"
+  "CMakeFiles/alt_util.dir/thread_pool.cc.o"
+  "CMakeFiles/alt_util.dir/thread_pool.cc.o.d"
+  "libalt_util.a"
+  "libalt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

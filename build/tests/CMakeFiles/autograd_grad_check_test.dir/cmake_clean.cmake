@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autograd_grad_check_test.dir/autograd_grad_check_test.cc.o"
+  "CMakeFiles/autograd_grad_check_test.dir/autograd_grad_check_test.cc.o.d"
+  "autograd_grad_check_test"
+  "autograd_grad_check_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autograd_grad_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derive_exact_test.dir/derive_exact_test.cc.o"
+  "CMakeFiles/derive_exact_test.dir/derive_exact_test.cc.o.d"
+  "derive_exact_test"
+  "derive_exact_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derive_exact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

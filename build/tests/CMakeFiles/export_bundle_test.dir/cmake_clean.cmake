@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_bundle_test.dir/export_bundle_test.cc.o"
+  "CMakeFiles/export_bundle_test.dir/export_bundle_test.cc.o.d"
+  "export_bundle_test"
+  "export_bundle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_bundle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_search_test.dir/model_search_test.cc.o"
+  "CMakeFiles/model_search_test.dir/model_search_test.cc.o.d"
+  "model_search_test"
+  "model_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

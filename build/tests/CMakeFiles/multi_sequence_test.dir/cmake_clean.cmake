@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_sequence_test.dir/multi_sequence_test.cc.o"
+  "CMakeFiles/multi_sequence_test.dir/multi_sequence_test.cc.o.d"
+  "multi_sequence_test"
+  "multi_sequence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_sequence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

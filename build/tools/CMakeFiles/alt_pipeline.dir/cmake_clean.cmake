@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_pipeline.dir/alt_pipeline_main.cc.o"
+  "CMakeFiles/alt_pipeline.dir/alt_pipeline_main.cc.o.d"
+  "alt_pipeline"
+  "alt_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
