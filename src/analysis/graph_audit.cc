@@ -1,0 +1,209 @@
+#include "src/analysis/graph_audit.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "src/util/logging.h"
+#include "src/util/table_printer.h"
+
+namespace alt {
+namespace analysis {
+
+namespace {
+
+using ag::Node;
+
+/// Display name for a node in diagnostics: op name, or "leaf"/"param".
+const char* NodeName(const Node* node) {
+  if (node->parents.empty() && node->op_name[0] == '\0') {
+    return node->requires_grad ? "param" : "leaf";
+  }
+  return node->op_name;
+}
+
+/// DFS colors: absent from the map = unvisited, kGray = on the current DFS
+/// path, kBlack = fully explored.
+enum class Color : uint8_t { kGray, kBlack };
+
+}  // namespace
+
+GraphReport AuditModel(const ag::Variable& root,
+                       const std::vector<ag::Variable*>& params) {
+  ALT_CHECK(root.defined()) << "AuditGraph requires a defined root";
+  GraphReport report;
+
+  // Iterative DFS from the root over parent links. The visited map doubles
+  // as the cycle detector: meeting a gray node again is a back edge, i.e. a
+  // shared_ptr cycle that Backward() would mis-handle and that can never be
+  // freed. Traversal stays terminating either way because nodes are entered
+  // at most once.
+  std::unordered_map<Node*, Color> color;
+  struct Frame {
+    Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  std::vector<Node*> post_order;  // Every parent precedes its consumer.
+  stack.push_back({root.node().get(), 0});
+  color[root.node().get()] = Color::kGray;
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      Node* parent = frame.node->parents[frame.next_parent++].get();
+      if (parent == nullptr) {
+        report.errors.push_back(std::string("null parent link under '") +
+                                NodeName(frame.node) + "' node");
+        continue;
+      }
+      auto it = color.find(parent);
+      if (it == color.end()) {
+        color[parent] = Color::kGray;
+        stack.push_back({parent, 0});
+      } else if (it->second == Color::kGray) {
+        if (!report.has_cycle) {
+          report.errors.push_back(
+              std::string("reference cycle detected (back edge from '") +
+              NodeName(frame.node) + "' into '" + NodeName(parent) +
+              "'); the cycle leaks and breaks Backward()");
+        }
+        report.has_cycle = true;
+      }
+    } else {
+      color[frame.node] = Color::kBlack;
+      post_order.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+
+  // Per-node statistics and consistency checks.
+  constexpr int64_t kMaxListed = 5;  // Cap per-node error spam.
+  int64_t shape_mismatches_listed = 0;
+  const Node* example_dead = nullptr;
+  for (Node* node : post_order) {
+    ++report.num_nodes;
+    report.num_edges += static_cast<int64_t>(node->parents.size());
+    const bool is_leaf = node->parents.empty();
+    if (is_leaf) {
+      ++report.num_leaves;
+      if (node->requires_grad) ++report.num_trainable_leaves;
+    } else {
+      if (!node->requires_grad) {
+        ++report.num_dead_nodes;
+        if (example_dead == nullptr) example_dead = node;
+      }
+      report.total_flops += node->flops;
+      OpStat& stat = report.per_op[NodeName(node)];
+      ++stat.count;
+      stat.flops += node->flops;
+    }
+    if (node->grad_allocated && !node->grad.SameShape(node->value)) {
+      ++report.num_shape_mismatches;
+      if (shape_mismatches_listed < kMaxListed) {
+        ++shape_mismatches_listed;
+        report.errors.push_back(
+            std::string("grad/value shape mismatch at '") + NodeName(node) +
+            "': grad " + ShapeToString(node->grad.shape()) + " vs value " +
+            ShapeToString(node->value.shape()));
+      }
+    }
+  }
+  if (report.num_shape_mismatches > kMaxListed) {
+    report.errors.push_back(
+        "... and " + std::to_string(report.num_shape_mismatches - kMaxListed) +
+        " more shape mismatches");
+  }
+  if (report.num_dead_nodes > 0) {
+    report.warnings.push_back(
+        std::to_string(report.num_dead_nodes) +
+        " dead op node(s) (e.g. '" + NodeName(example_dead) +
+        "'): recorded forward work that can never receive gradient");
+  }
+
+  // Longest root-to-leaf path. post_order lists every parent before each of
+  // its consumers, so the reverse is a topological order rooted at `root`;
+  // one relaxation sweep computes longest distances. Undefined on cycles.
+  if (!report.has_cycle) {
+    std::unordered_map<Node*, int64_t> depth;
+    depth.reserve(color.size());
+    for (auto it = post_order.rbegin(); it != post_order.rend(); ++it) {
+      Node* node = *it;
+      const int64_t d = depth[node];  // Root default-initializes to 0.
+      report.max_depth = std::max(report.max_depth, d);
+      for (const auto& parent : node->parents) {
+        if (parent == nullptr) continue;
+        int64_t& pd = depth[parent.get()];
+        pd = std::max(pd, d + 1);
+      }
+    }
+  }
+
+  // Watched-parameter reachability: a trainable leaf the loss cannot reach
+  // keeps its zero gradient forever — the optimizer silently no-ops on it.
+  int64_t unreached_listed = 0;
+  for (size_t i = 0; i < params.size(); ++i) {
+    const ag::Variable* param = params[i];
+    if (param == nullptr || !param->defined()) continue;
+    if (!param->node()->requires_grad) continue;
+    if (color.find(param->node().get()) == color.end()) {
+      ++report.num_unreached_params;
+      if (unreached_listed < kMaxListed) {
+        ++unreached_listed;
+        report.errors.push_back(
+            "trainable leaf #" + std::to_string(i) + " " +
+            ShapeToString(param->value().shape()) +
+            " is unreachable from the root (silent no-grad)");
+      }
+    }
+  }
+  if (report.num_unreached_params > kMaxListed) {
+    report.errors.push_back(
+        "... and " + std::to_string(report.num_unreached_params - kMaxListed) +
+        " more unreached trainable leaves");
+  }
+
+  return report;
+}
+
+GraphReport AuditGraph(const ag::Variable& root) {
+  return AuditModel(root, {});
+}
+
+std::string GraphReport::ToString() const {
+  TablePrinter summary({"metric", "value"});
+  summary.AddRow({"nodes", std::to_string(num_nodes)});
+  summary.AddRow({"edges", std::to_string(num_edges)});
+  summary.AddRow({"max depth", has_cycle ? "n/a (cycle)"
+                                         : std::to_string(max_depth)});
+  summary.AddRow({"leaves", std::to_string(num_leaves)});
+  summary.AddRow({"trainable leaves", std::to_string(num_trainable_leaves)});
+  summary.AddRow({"dead op nodes", std::to_string(num_dead_nodes)});
+  summary.AddRow({"shape mismatches", std::to_string(num_shape_mismatches)});
+  summary.AddRow({"unreached params", std::to_string(num_unreached_params)});
+  summary.AddRow({"cycle", has_cycle ? "YES" : "no"});
+  summary.AddRow({"total flops", std::to_string(total_flops)});
+
+  // Per-op breakdown, most expensive first.
+  std::vector<std::pair<std::string, OpStat>> ops(per_op.begin(),
+                                                  per_op.end());
+  std::sort(ops.begin(), ops.end(), [](const auto& a, const auto& b) {
+    if (a.second.flops != b.second.flops) {
+      return a.second.flops > b.second.flops;
+    }
+    return a.first < b.first;
+  });
+  TablePrinter breakdown({"op", "count", "flops"});
+  for (const auto& [name, stat] : ops) {
+    breakdown.AddRow(
+        {name, std::to_string(stat.count), std::to_string(stat.flops)});
+  }
+
+  std::string out = "GraphAudit\n" + summary.ToString();
+  if (!ops.empty()) out += breakdown.ToString();
+  for (const std::string& e : errors) out += "ERROR: " + e + "\n";
+  for (const std::string& w : warnings) out += "WARNING: " + w + "\n";
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace alt

@@ -1,0 +1,85 @@
+#ifndef ALT_SRC_ANALYSIS_GRAPH_AUDIT_H_
+#define ALT_SRC_ANALYSIS_GRAPH_AUDIT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/autograd/variable.h"
+
+namespace alt {
+namespace analysis {
+
+/// Aggregated statistics for one op kind in an audited graph.
+struct OpStat {
+  int64_t count = 0;
+  int64_t flops = 0;
+};
+
+/// Structured result of a static walk over a recorded autograd graph.
+///
+/// ALT produces models with no human in the loop, so silent graph bugs
+/// (shape drift, parameters that never receive gradients, reference cycles
+/// that leak, FLOPs accounting that diverges from the Eq. 4 budget) must be
+/// machine-checkable. AuditGraph walks the Node DAG reachable from a root
+/// Variable without running backward and reports:
+///
+///  - node/edge counts and the longest root-to-leaf path (max_depth);
+///  - reference cycles (a shared_ptr cycle in `parents` leaks forever and
+///    breaks Backward()'s DAG assumption) — reported as an error;
+///  - per-node value/grad shape consistency (an allocated grad whose shape
+///    differs from its value indicates gradient corruption) — an error;
+///  - trainable leaves in `params` unreachable from the root (a silent
+///    no-grad bug: the optimizer updates them with stale zero grads) — an
+///    error;
+///  - dead subgraphs: op nodes that cannot receive gradient
+///    (requires_grad == false) yet pin their parent chain in memory — a
+///    warning, since constant folding is sometimes intentional;
+///  - a per-op FLOPs estimate (sum of Node::flops over reachable op nodes)
+///    using the same accounting conventions as nas::OpSpec::Flops, so the
+///    graph cost can be cross-checked against the NAS budget model.
+struct GraphReport {
+  int64_t num_nodes = 0;   // Reachable nodes, leaves included.
+  int64_t num_edges = 0;   // Parent links among reachable nodes.
+  int64_t max_depth = 0;   // Longest root-to-leaf path; 0 if has_cycle.
+  int64_t num_leaves = 0;  // Nodes with no parents.
+  int64_t num_trainable_leaves = 0;  // Leaves with requires_grad.
+  int64_t num_dead_nodes = 0;        // Op nodes with requires_grad == false.
+  int64_t num_shape_mismatches = 0;  // Allocated grads with wrong shape.
+  int64_t num_unreached_params = 0;  // Watched params not in the graph.
+  bool has_cycle = false;
+  /// Total forward FLOPs of all reachable op nodes.
+  int64_t total_flops = 0;
+  /// Per-op-kind node counts and FLOPs, keyed by Node::op_name.
+  std::map<std::string, OpStat> per_op;
+  /// Human-readable descriptions of hard failures (cycle, shape mismatch,
+  /// unreached trainable leaf). Empty iff clean().
+  std::vector<std::string> errors;
+  /// Suspicious-but-legal findings (dead subgraphs).
+  std::vector<std::string> warnings;
+
+  /// True when the graph passed every hard check.
+  bool clean() const { return errors.empty(); }
+
+  /// Renders the summary and the per-op breakdown as aligned ASCII tables
+  /// (util/table_printer), followed by any errors and warnings.
+  std::string ToString() const;
+};
+
+/// Audits the graph reachable from `root`. Never runs backward_fn and never
+/// mutates the graph; safe on graphs with cycles (traversal is iterative
+/// and visited-guarded). `root` must be defined.
+GraphReport AuditGraph(const ag::Variable& root);
+
+/// AuditGraph plus reachability checks for `params`: every defined Variable
+/// in `params` with requires_grad that is not reachable from `root` is
+/// reported as an unreached trainable leaf (error). Null entries are
+/// ignored. Typical call: AuditModel(loss, model->Parameters()).
+GraphReport AuditModel(const ag::Variable& root,
+                       const std::vector<ag::Variable*>& params);
+
+}  // namespace analysis
+}  // namespace alt
+
+#endif  // ALT_SRC_ANALYSIS_GRAPH_AUDIT_H_

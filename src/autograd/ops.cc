@@ -21,18 +21,22 @@ void CheckSameShape(const Variable& a, const Variable& b) {
 
 /// Elementwise unary op helper: out = f(x), dx += dOut * dfdx(x, out).
 template <typename FwdFn, typename GradFn>
-Variable UnaryElementwise(const Variable& x, FwdFn fwd, GradFn dfdx) {
+Variable UnaryElementwise(const Variable& x, const char* name, FwdFn fwd,
+                          GradFn dfdx) {
   Tensor out(x.value().shape());
   const Tensor& xv = x.value();
   for (int64_t i = 0; i < xv.numel(); ++i) out[i] = fwd(xv[i]);
   auto xn = x.node();
-  return MakeOpNode(std::move(out), {xn}, [xn, dfdx](Node* self) {
-    if (!xn->requires_grad) return;
-    xn->EnsureGrad();
-    for (int64_t i = 0; i < self->value.numel(); ++i) {
-      xn->grad[i] += self->grad[i] * dfdx(xn->value[i], self->value[i]);
-    }
-  });
+  return MakeOpNode(
+      std::move(out), {xn},
+      [xn, dfdx](Node* self) {
+        if (!xn->requires_grad) return;
+        xn->EnsureGrad();
+        for (int64_t i = 0; i < self->value.numel(); ++i) {
+          xn->grad[i] += self->grad[i] * dfdx(xn->value[i], self->value[i]);
+        }
+      },
+      name);
 }
 
 }  // namespace
@@ -43,14 +47,16 @@ Variable Add(const Variable& a, const Variable& b) {
   out.AddInPlace(b.value());
   auto an = a.node();
   auto bn = b.node();
-  return MakeOpNode(std::move(out), {an, bn}, [an, bn](Node* self) {
-    for (auto& p : {an, bn}) {
-      if (p->requires_grad) {
-        p->EnsureGrad();
-        p->grad.AddInPlace(self->grad);
-      }
-    }
-  });
+  return MakeOpNode(std::move(out), {an, bn},
+                    [an, bn](Node* self) {
+                      for (auto& p : {an, bn}) {
+                        if (p->requires_grad) {
+                          p->EnsureGrad();
+                          p->grad.AddInPlace(self->grad);
+                        }
+                      }
+                    },
+                    "add");
 }
 
 Variable Sub(const Variable& a, const Variable& b) {
@@ -59,16 +65,18 @@ Variable Sub(const Variable& a, const Variable& b) {
   out.Axpy(-1.0f, b.value());
   auto an = a.node();
   auto bn = b.node();
-  return MakeOpNode(std::move(out), {an, bn}, [an, bn](Node* self) {
-    if (an->requires_grad) {
-      an->EnsureGrad();
-      an->grad.AddInPlace(self->grad);
-    }
-    if (bn->requires_grad) {
-      bn->EnsureGrad();
-      bn->grad.Axpy(-1.0f, self->grad);
-    }
-  });
+  return MakeOpNode(std::move(out), {an, bn},
+                    [an, bn](Node* self) {
+                      if (an->requires_grad) {
+                        an->EnsureGrad();
+                        an->grad.AddInPlace(self->grad);
+                      }
+                      if (bn->requires_grad) {
+                        bn->EnsureGrad();
+                        bn->grad.Axpy(-1.0f, self->grad);
+                      }
+                    },
+                    "sub");
 }
 
 Variable Mul(const Variable& a, const Variable& b) {
@@ -79,20 +87,22 @@ Variable Mul(const Variable& a, const Variable& b) {
   }
   auto an = a.node();
   auto bn = b.node();
-  return MakeOpNode(std::move(out), {an, bn}, [an, bn](Node* self) {
-    if (an->requires_grad) {
-      an->EnsureGrad();
-      for (int64_t i = 0; i < self->grad.numel(); ++i) {
-        an->grad[i] += self->grad[i] * bn->value[i];
-      }
-    }
-    if (bn->requires_grad) {
-      bn->EnsureGrad();
-      for (int64_t i = 0; i < self->grad.numel(); ++i) {
-        bn->grad[i] += self->grad[i] * an->value[i];
-      }
-    }
-  });
+  return MakeOpNode(std::move(out), {an, bn},
+                    [an, bn](Node* self) {
+                      if (an->requires_grad) {
+                        an->EnsureGrad();
+                        for (int64_t i = 0; i < self->grad.numel(); ++i) {
+                          an->grad[i] += self->grad[i] * bn->value[i];
+                        }
+                      }
+                      if (bn->requires_grad) {
+                        bn->EnsureGrad();
+                        for (int64_t i = 0; i < self->grad.numel(); ++i) {
+                          bn->grad[i] += self->grad[i] * an->value[i];
+                        }
+                      }
+                    },
+                    "mul");
 }
 
 Variable Neg(const Variable& x) { return ScalarMul(x, -1.0f); }
@@ -101,22 +111,26 @@ Variable ScalarMul(const Variable& x, float c) {
   Tensor out = x.value();
   out.ScaleInPlace(c);
   auto xn = x.node();
-  return MakeOpNode(std::move(out), {xn}, [xn, c](Node* self) {
-    if (!xn->requires_grad) return;
-    xn->EnsureGrad();
-    xn->grad.Axpy(c, self->grad);
-  });
+  return MakeOpNode(std::move(out), {xn},
+                    [xn, c](Node* self) {
+                      if (!xn->requires_grad) return;
+                      xn->EnsureGrad();
+                      xn->grad.Axpy(c, self->grad);
+                    },
+                    "scalar_mul");
 }
 
 Variable ScalarAdd(const Variable& x, float c) {
   Tensor out = x.value();
   for (int64_t i = 0; i < out.numel(); ++i) out[i] += c;
   auto xn = x.node();
-  return MakeOpNode(std::move(out), {xn}, [xn](Node* self) {
-    if (!xn->requires_grad) return;
-    xn->EnsureGrad();
-    xn->grad.AddInPlace(self->grad);
-  });
+  return MakeOpNode(std::move(out), {xn},
+                    [xn](Node* self) {
+                      if (!xn->requires_grad) return;
+                      xn->EnsureGrad();
+                      xn->grad.AddInPlace(self->grad);
+                    },
+                    "scalar_add");
 }
 
 Variable AddBias(const Variable& x, const Variable& bias) {
@@ -131,20 +145,24 @@ Variable AddBias(const Variable& x, const Variable& bias) {
   }
   auto xn = x.node();
   auto bn = bias.node();
-  return MakeOpNode(std::move(out), {xn, bn}, [xn, bn, f](Node* self) {
-    if (xn->requires_grad) {
-      xn->EnsureGrad();
-      xn->grad.AddInPlace(self->grad);
-    }
-    if (bn->requires_grad) {
-      bn->EnsureGrad();
-      const int64_t rows = self->grad.numel() / f;
-      for (int64_t r = 0; r < rows; ++r) {
-        const float* row = self->grad.data() + r * f;
-        for (int64_t j = 0; j < f; ++j) bn->grad[j] += row[j];
-      }
-    }
-  });
+  return MakeOpNode(std::move(out), {xn, bn},
+                    [xn, bn, f](Node* self) {
+                      if (xn->requires_grad) {
+                        xn->EnsureGrad();
+                        xn->grad.AddInPlace(self->grad);
+                      }
+                      if (bn->requires_grad) {
+                        bn->EnsureGrad();
+                        const int64_t rows = self->grad.numel() / f;
+                        for (int64_t r = 0; r < rows; ++r) {
+                          const float* row = self->grad.data() + r * f;
+                          for (int64_t j = 0; j < f; ++j) {
+                            bn->grad[j] += row[j];
+                          }
+                        }
+                      }
+                    },
+                    "add_bias");
 }
 
 Variable MulScalarVar(const Variable& x, const Variable& s) {
@@ -154,21 +172,24 @@ Variable MulScalarVar(const Variable& x, const Variable& s) {
   out.ScaleInPlace(sv);
   auto xn = x.node();
   auto sn = s.node();
-  return MakeOpNode(std::move(out), {xn, sn}, [xn, sn](Node* self) {
-    const float sv = sn->value[0];
-    if (xn->requires_grad) {
-      xn->EnsureGrad();
-      xn->grad.Axpy(sv, self->grad);
-    }
-    if (sn->requires_grad) {
-      sn->EnsureGrad();
-      double acc = 0.0;
-      for (int64_t i = 0; i < self->grad.numel(); ++i) {
-        acc += static_cast<double>(self->grad[i]) * xn->value[i];
-      }
-      sn->grad[0] += static_cast<float>(acc);
-    }
-  });
+  return MakeOpNode(
+      std::move(out), {xn, sn},
+      [xn, sn](Node* self) {
+        const float sv = sn->value[0];
+        if (xn->requires_grad) {
+          xn->EnsureGrad();
+          xn->grad.Axpy(sv, self->grad);
+        }
+        if (sn->requires_grad) {
+          sn->EnsureGrad();
+          double acc = 0.0;
+          for (int64_t i = 0; i < self->grad.numel(); ++i) {
+            acc += static_cast<double>(self->grad[i]) * xn->value[i];
+          }
+          sn->grad[0] += static_cast<float>(acc);
+        }
+      },
+      "mul_scalar_var");
 }
 
 Variable Detach(const Variable& x) { return Variable::Constant(x.value()); }
@@ -179,11 +200,13 @@ Variable IndexSelect(const Variable& v, int64_t index) {
   ALT_CHECK_LT(index, v.value().numel());
   Tensor out = Tensor::Scalar(v.value()[index]);
   auto vn = v.node();
-  return MakeOpNode(std::move(out), {vn}, [vn, index](Node* self) {
-    if (!vn->requires_grad) return;
-    vn->EnsureGrad();
-    vn->grad[index] += self->grad[0];
-  });
+  return MakeOpNode(std::move(out), {vn},
+                    [vn, index](Node* self) {
+                      if (!vn->requires_grad) return;
+                      vn->EnsureGrad();
+                      vn->grad[index] += self->grad[0];
+                    },
+                    "index_select", /*flops=*/0);
 }
 
 Variable MatMul(const Variable& a, const Variable& b) {
@@ -192,19 +215,24 @@ Variable MatMul(const Variable& a, const Variable& b) {
   ALT_CHECK_EQ(a.value().size(1), b.value().size(0));
   Tensor out({a.value().size(0), b.value().size(1)});
   alt::MatMul(a.value(), b.value(), &out);
+  const int64_t mm_flops =
+      2 * a.value().size(0) * a.value().size(1) * b.value().size(1);
   auto an = a.node();
   auto bn = b.node();
-  return MakeOpNode(std::move(out), {an, bn}, [an, bn](Node* self) {
-    // dA += dC * B^T ; dB += A^T * dC.
-    if (an->requires_grad) {
-      an->EnsureGrad();
-      MatMulTransBAcc(self->grad, bn->value, &an->grad);
-    }
-    if (bn->requires_grad) {
-      bn->EnsureGrad();
-      MatMulTransAAcc(an->value, self->grad, &bn->grad);
-    }
-  });
+  return MakeOpNode(
+      std::move(out), {an, bn},
+      [an, bn](Node* self) {
+        // dA += dC * B^T ; dB += A^T * dC.
+        if (an->requires_grad) {
+          an->EnsureGrad();
+          MatMulTransBAcc(self->grad, bn->value, &an->grad);
+        }
+        if (bn->requires_grad) {
+          bn->EnsureGrad();
+          MatMulTransAAcc(an->value, self->grad, &bn->grad);
+        }
+      },
+      "matmul", mm_flops);
 }
 
 Variable BatchedMatMul(const Variable& a, const Variable& b, bool trans_a,
@@ -213,10 +241,12 @@ Variable BatchedMatMul(const Variable& a, const Variable& b, bool trans_a,
   ALT_CHECK_EQ(b.value().ndim(), 3);
   const int64_t batch = a.value().size(0);
   const int64_t m = trans_a ? a.value().size(2) : a.value().size(1);
+  const int64_t k = trans_a ? a.value().size(1) : a.value().size(2);
   const int64_t n = trans_b ? b.value().size(1) : b.value().size(2);
   Tensor out({batch, m, n});
   alt::BatchedMatMul(a.value(), trans_a, b.value(), trans_b, &out,
                      /*accumulate=*/false);
+  const int64_t bmm_flops = 2 * batch * m * k * n;
   auto an = a.node();
   auto bn = b.node();
   return MakeOpNode(
@@ -258,20 +288,23 @@ Variable BatchedMatMul(const Variable& a, const Variable& b, bool trans_a,
                                true);
           }
         }
-      });
+      },
+      "batched_matmul", bmm_flops);
 }
 
 Variable Reshape(const Variable& x, std::vector<int64_t> shape) {
   Tensor out = x.value().Reshape(shape);
   auto xn = x.node();
-  return MakeOpNode(std::move(out), {xn}, [xn](Node* self) {
-    if (!xn->requires_grad) return;
-    xn->EnsureGrad();
-    // Grad has the reshaped shape; data layout is identical.
-    for (int64_t i = 0; i < self->grad.numel(); ++i) {
-      xn->grad[i] += self->grad[i];
-    }
-  });
+  return MakeOpNode(std::move(out), {xn},
+                    [xn](Node* self) {
+                      if (!xn->requires_grad) return;
+                      xn->EnsureGrad();
+                      // Grad has the reshaped shape; layout is identical.
+                      for (int64_t i = 0; i < self->grad.numel(); ++i) {
+                        xn->grad[i] += self->grad[i];
+                      }
+                    },
+                    "reshape", /*flops=*/0);
 }
 
 Variable SliceLastDim(const Variable& x, int64_t start, int64_t len) {
@@ -289,16 +322,18 @@ Variable SliceLastDim(const Variable& x, int64_t start, int64_t len) {
     for (int64_t j = 0; j < len; ++j) dst[j] = src[j];
   }
   auto xn = x.node();
-  return MakeOpNode(std::move(out), {xn}, [xn, start, len, f](Node* self) {
-    if (!xn->requires_grad) return;
-    xn->EnsureGrad();
-    const int64_t rows = self->grad.numel() / len;
-    for (int64_t r = 0; r < rows; ++r) {
-      const float* src = self->grad.data() + r * len;
-      float* dst = xn->grad.data() + r * f + start;
-      for (int64_t j = 0; j < len; ++j) dst[j] += src[j];
-    }
-  });
+  return MakeOpNode(std::move(out), {xn},
+                    [xn, start, len, f](Node* self) {
+                      if (!xn->requires_grad) return;
+                      xn->EnsureGrad();
+                      const int64_t rows = self->grad.numel() / len;
+                      for (int64_t r = 0; r < rows; ++r) {
+                        const float* src = self->grad.data() + r * len;
+                        float* dst = xn->grad.data() + r * f + start;
+                        for (int64_t j = 0; j < len; ++j) dst[j] += src[j];
+                      }
+                    },
+                    "slice_last_dim", /*flops=*/0);
 }
 
 Variable ConcatLastDim(const std::vector<Variable>& xs) {
@@ -350,7 +385,8 @@ Variable ConcatLastDim(const std::vector<Variable>& xs) {
           }
           offset += len;
         }
-      });
+      },
+      "concat_last_dim", /*flops=*/0);
 }
 
 Variable SelectTime(const Variable& x, int64_t t) {
@@ -368,16 +404,18 @@ Variable SelectTime(const Variable& x, int64_t t) {
     for (int64_t j = 0; j < c; ++j) dst[j] = src[j];
   }
   auto xn = x.node();
-  return MakeOpNode(std::move(out), {xn}, [xn, t, seq, c](Node* self) {
-    if (!xn->requires_grad) return;
-    xn->EnsureGrad();
-    const int64_t batch = self->grad.size(0);
-    for (int64_t b = 0; b < batch; ++b) {
-      const float* src = self->grad.data() + b * c;
-      float* dst = xn->grad.data() + (b * seq + t) * c;
-      for (int64_t j = 0; j < c; ++j) dst[j] += src[j];
-    }
-  });
+  return MakeOpNode(std::move(out), {xn},
+                    [xn, t, seq, c](Node* self) {
+                      if (!xn->requires_grad) return;
+                      xn->EnsureGrad();
+                      const int64_t batch = self->grad.size(0);
+                      for (int64_t b = 0; b < batch; ++b) {
+                        const float* src = self->grad.data() + b * c;
+                        float* dst = xn->grad.data() + (b * seq + t) * c;
+                        for (int64_t j = 0; j < c; ++j) dst[j] += src[j];
+                      }
+                    },
+                    "select_time", /*flops=*/0);
 }
 
 Variable StackTime(const std::vector<Variable>& xs) {
@@ -412,12 +450,13 @@ Variable StackTime(const std::vector<Variable>& xs) {
             for (int64_t j = 0; j < c; ++j) dst[j] += src[j];
           }
         }
-      });
+      },
+      "stack_time", /*flops=*/0);
 }
 
 Variable Sigmoid(const Variable& x) {
   return UnaryElementwise(
-      x,
+      x, "sigmoid",
       [](float v) {
         return v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
                          : std::exp(v) / (1.0f + std::exp(v));
@@ -427,19 +466,19 @@ Variable Sigmoid(const Variable& x) {
 
 Variable Tanh(const Variable& x) {
   return UnaryElementwise(
-      x, [](float v) { return std::tanh(v); },
+      x, "tanh", [](float v) { return std::tanh(v); },
       [](float /*xv*/, float yv) { return 1.0f - yv * yv; });
 }
 
 Variable Relu(const Variable& x) {
   return UnaryElementwise(
-      x, [](float v) { return v > 0.0f ? v : 0.0f; },
+      x, "relu", [](float v) { return v > 0.0f ? v : 0.0f; },
       [](float xv, float /*yv*/) { return xv > 0.0f ? 1.0f : 0.0f; });
 }
 
 Variable Gelu(const Variable& x) {
   return UnaryElementwise(
-      x,
+      x, "gelu",
       [](float v) {
         return 0.5f * v * (1.0f + std::erf(v * kInvSqrt2));
       },
@@ -452,13 +491,13 @@ Variable Gelu(const Variable& x) {
 
 Variable Exp(const Variable& x) {
   return UnaryElementwise(
-      x, [](float v) { return std::exp(v); },
+      x, "exp", [](float v) { return std::exp(v); },
       [](float /*xv*/, float yv) { return yv; });
 }
 
 Variable Log(const Variable& x) {
   return UnaryElementwise(
-      x,
+      x, "log",
       [](float v) {
         ALT_CHECK_GT(v, 0.0f);
         return std::log(v);
@@ -484,45 +523,63 @@ Variable SoftmaxLastDim(const Variable& x) {
     const float inv = static_cast<float>(1.0 / total);
     for (int64_t j = 0; j < f; ++j) dst[j] *= inv;
   }
+  // 5 FLOPs per element (max, sub, exp, sum, div) — matches the softmax
+  // accounting of nas::Architecture::Flops.
+  const int64_t sm_flops = 5 * xv.numel();
   auto xn = x.node();
-  return MakeOpNode(std::move(out), {xn}, [xn, f](Node* self) {
-    if (!xn->requires_grad) return;
-    xn->EnsureGrad();
-    const int64_t rows = self->grad.numel() / f;
-    for (int64_t r = 0; r < rows; ++r) {
-      const float* y = self->value.data() + r * f;
-      const float* dy = self->grad.data() + r * f;
-      float* dx = xn->grad.data() + r * f;
-      double dot = 0.0;
-      for (int64_t j = 0; j < f; ++j) dot += static_cast<double>(dy[j]) * y[j];
-      for (int64_t j = 0; j < f; ++j) {
-        dx[j] += (dy[j] - static_cast<float>(dot)) * y[j];
-      }
-    }
-  });
+  return MakeOpNode(
+      std::move(out), {xn},
+      [xn, f](Node* self) {
+        if (!xn->requires_grad) return;
+        xn->EnsureGrad();
+        const int64_t rows = self->grad.numel() / f;
+        for (int64_t r = 0; r < rows; ++r) {
+          const float* y = self->value.data() + r * f;
+          const float* dy = self->grad.data() + r * f;
+          float* dx = xn->grad.data() + r * f;
+          double dot = 0.0;
+          for (int64_t j = 0; j < f; ++j) {
+            dot += static_cast<double>(dy[j]) * y[j];
+          }
+          for (int64_t j = 0; j < f; ++j) {
+            dx[j] += (dy[j] - static_cast<float>(dot)) * y[j];
+          }
+        }
+      },
+      "softmax", sm_flops);
 }
 
 Variable SumAll(const Variable& x) {
   Tensor out = Tensor::Scalar(x.value().SumAll());
+  const int64_t red_flops = x.value().numel();
   auto xn = x.node();
-  return MakeOpNode(std::move(out), {xn}, [xn](Node* self) {
-    if (!xn->requires_grad) return;
-    xn->EnsureGrad();
-    const float g = self->grad[0];
-    for (int64_t i = 0; i < xn->grad.numel(); ++i) xn->grad[i] += g;
-  });
+  return MakeOpNode(std::move(out), {xn},
+                    [xn](Node* self) {
+                      if (!xn->requires_grad) return;
+                      xn->EnsureGrad();
+                      const float g = self->grad[0];
+                      for (int64_t i = 0; i < xn->grad.numel(); ++i) {
+                        xn->grad[i] += g;
+                      }
+                    },
+                    "sum_all", red_flops);
 }
 
 Variable MeanAll(const Variable& x) {
   const float inv = 1.0f / static_cast<float>(x.value().numel());
   Tensor out = Tensor::Scalar(x.value().SumAll() * inv);
+  const int64_t red_flops = x.value().numel() + 1;
   auto xn = x.node();
-  return MakeOpNode(std::move(out), {xn}, [xn, inv](Node* self) {
-    if (!xn->requires_grad) return;
-    xn->EnsureGrad();
-    const float g = self->grad[0] * inv;
-    for (int64_t i = 0; i < xn->grad.numel(); ++i) xn->grad[i] += g;
-  });
+  return MakeOpNode(std::move(out), {xn},
+                    [xn, inv](Node* self) {
+                      if (!xn->requires_grad) return;
+                      xn->EnsureGrad();
+                      const float g = self->grad[0] * inv;
+                      for (int64_t i = 0; i < xn->grad.numel(); ++i) {
+                        xn->grad[i] += g;
+                      }
+                    },
+                    "mean_all", red_flops);
 }
 
 Variable MeanTime(const Variable& x) {
@@ -541,19 +598,23 @@ Variable MeanTime(const Variable& x) {
     }
     for (int64_t j = 0; j < c; ++j) dst[j] *= inv;
   }
+  const int64_t red_flops = xv.numel() + batch * c;
   auto xn = x.node();
-  return MakeOpNode(std::move(out), {xn}, [xn, seq, c, inv](Node* self) {
-    if (!xn->requires_grad) return;
-    xn->EnsureGrad();
-    const int64_t batch = self->grad.size(0);
-    for (int64_t b = 0; b < batch; ++b) {
-      const float* src = self->grad.data() + b * c;
-      for (int64_t t = 0; t < seq; ++t) {
-        float* dst = xn->grad.data() + (b * seq + t) * c;
-        for (int64_t j = 0; j < c; ++j) dst[j] += src[j] * inv;
-      }
-    }
-  });
+  return MakeOpNode(
+      std::move(out), {xn},
+      [xn, seq, c, inv](Node* self) {
+        if (!xn->requires_grad) return;
+        xn->EnsureGrad();
+        const int64_t batch = self->grad.size(0);
+        for (int64_t b = 0; b < batch; ++b) {
+          const float* src = self->grad.data() + b * c;
+          for (int64_t t = 0; t < seq; ++t) {
+            float* dst = xn->grad.data() + (b * seq + t) * c;
+            for (int64_t j = 0; j < c; ++j) dst[j] += src[j] * inv;
+          }
+        }
+      },
+      "mean_time", red_flops);
 }
 
 Variable EmbeddingLookup(const Variable& weight,
@@ -574,16 +635,19 @@ Variable EmbeddingLookup(const Variable& weight,
     for (int64_t j = 0; j < dim; ++j) dst[j] = src[j];
   }
   auto wn = weight.node();
-  return MakeOpNode(std::move(out), {wn}, [wn, ids, dim](Node* self) {
-    if (!wn->requires_grad) return;
-    wn->EnsureGrad();
-    const int64_t n = static_cast<int64_t>(ids.size());
-    for (int64_t i = 0; i < n; ++i) {
-      const float* src = self->grad.data() + i * dim;
-      float* dst = wn->grad.data() + ids[static_cast<size_t>(i)] * dim;
-      for (int64_t j = 0; j < dim; ++j) dst[j] += src[j];
-    }
-  });
+  return MakeOpNode(
+      std::move(out), {wn},
+      [wn, ids, dim](Node* self) {
+        if (!wn->requires_grad) return;
+        wn->EnsureGrad();
+        const int64_t n = static_cast<int64_t>(ids.size());
+        for (int64_t i = 0; i < n; ++i) {
+          const float* src = self->grad.data() + i * dim;
+          float* dst = wn->grad.data() + ids[static_cast<size_t>(i)] * dim;
+          for (int64_t j = 0; j < dim; ++j) dst[j] += src[j];
+        }
+      },
+      "embedding_lookup", /*flops=*/0);
 }
 
 Variable Conv1D(const Variable& x, const Variable& w, const Variable& bias,
@@ -593,6 +657,11 @@ Variable Conv1D(const Variable& x, const Variable& w, const Variable& bias,
   Tensor out({xv.size(0), xv.size(1), wv.size(0)});
   const Tensor* bias_ptr = bias.defined() ? &bias.value() : nullptr;
   alt::Conv1D(xv, wv, bias_ptr, dilation, &out);
+  // out[B,T,Cout]: 2*K*Cin FLOPs per output element plus the bias add;
+  // matches nas::OpSpec::Flops for conv candidates.
+  const int64_t conv_flops =
+      out.numel() * 2 * wv.size(1) * wv.size(2) +
+      (bias_ptr != nullptr ? out.numel() : 0);
   auto xn = x.node();
   auto wn = w.node();
   std::vector<std::shared_ptr<Node>> parents = {xn, wn};
@@ -616,7 +685,8 @@ Variable Conv1D(const Variable& x, const Variable& w, const Variable& bias,
           gb = &bn->grad;
         }
         Conv1DBackward(xn->value, wn->value, self->grad, dilation, gx, gw, gb);
-      });
+      },
+      "conv1d", conv_flops);
 }
 
 Variable AvgPool1D(const Variable& x, int64_t k) {
@@ -624,11 +694,13 @@ Variable AvgPool1D(const Variable& x, int64_t k) {
   Tensor out(xv.shape());
   alt::AvgPool1D(xv, k, &out);
   auto xn = x.node();
-  return MakeOpNode(std::move(out), {xn}, [xn, k](Node* self) {
-    if (!xn->requires_grad) return;
-    xn->EnsureGrad();
-    AvgPool1DBackward(self->grad, k, &xn->grad);
-  });
+  return MakeOpNode(std::move(out), {xn},
+                    [xn, k](Node* self) {
+                      if (!xn->requires_grad) return;
+                      xn->EnsureGrad();
+                      AvgPool1DBackward(self->grad, k, &xn->grad);
+                    },
+                    "avg_pool1d", xv.numel() * k);
 }
 
 Variable MaxPool1D(const Variable& x, int64_t k) {
@@ -637,11 +709,13 @@ Variable MaxPool1D(const Variable& x, int64_t k) {
   auto argmax = std::make_shared<std::vector<int64_t>>();
   alt::MaxPool1D(xv, k, &out, argmax.get());
   auto xn = x.node();
-  return MakeOpNode(std::move(out), {xn}, [xn, argmax](Node* self) {
-    if (!xn->requires_grad) return;
-    xn->EnsureGrad();
-    MaxPool1DBackward(self->grad, *argmax, &xn->grad);
-  });
+  return MakeOpNode(std::move(out), {xn},
+                    [xn, argmax](Node* self) {
+                      if (!xn->requires_grad) return;
+                      xn->EnsureGrad();
+                      MaxPool1DBackward(self->grad, *argmax, &xn->grad);
+                    },
+                    "max_pool1d", xv.numel() * k);
 }
 
 Variable LayerNorm(const Variable& x, const Variable& gamma,
@@ -677,6 +751,8 @@ Variable LayerNorm(const Variable& x, const Variable& gamma,
       dst[j] = xh[j] * gamma.value()[j] + beta.value()[j];
     }
   }
+  // Mean, variance, normalize, affine: ~8 FLOPs per element.
+  const int64_t ln_flops = 8 * xv.numel();
   auto xn = x.node();
   auto gn = gamma.node();
   auto bn = beta.node();
@@ -716,7 +792,8 @@ Variable LayerNorm(const Variable& x, const Variable& gamma,
             }
           }
         }
-      });
+      },
+      "layer_norm", ln_flops);
 }
 
 Variable Dropout(const Variable& x, float p, Rng* rng, bool training) {
@@ -732,13 +809,16 @@ Variable Dropout(const Variable& x, float p, Rng* rng, bool training) {
     out[i] *= m;
   }
   auto xn = x.node();
-  return MakeOpNode(std::move(out), {xn}, [xn, mask](Node* self) {
-    if (!xn->requires_grad) return;
-    xn->EnsureGrad();
-    for (int64_t i = 0; i < self->grad.numel(); ++i) {
-      xn->grad[i] += self->grad[i] * (*mask)[static_cast<size_t>(i)];
-    }
-  });
+  return MakeOpNode(std::move(out), {xn},
+                    [xn, mask](Node* self) {
+                      if (!xn->requires_grad) return;
+                      xn->EnsureGrad();
+                      for (int64_t i = 0; i < self->grad.numel(); ++i) {
+                        xn->grad[i] +=
+                            self->grad[i] * (*mask)[static_cast<size_t>(i)];
+                      }
+                    },
+                    "dropout");
 }
 
 Variable BCEWithLogits(const Variable& logits, const Variable& targets) {
@@ -755,9 +835,13 @@ Variable BCEWithLogits(const Variable& logits, const Variable& targets) {
              std::log1p(std::exp(-std::abs(zi)));
   }
   Tensor out = Tensor::Scalar(static_cast<float>(total / n));
+  // max, mul, sub, abs, exp, log1p, add, final mean: ~8 FLOPs per element.
+  const int64_t bce_flops = 8 * n;
   auto zn = logits.node();
   auto yn = targets.node();
-  return MakeOpNode(std::move(out), {zn, yn}, [zn, yn, n](Node* self) {
+  return MakeOpNode(
+      std::move(out), {zn, yn},
+      [zn, yn, n](Node* self) {
     const float g = self->grad[0] / static_cast<float>(n);
     if (zn->requires_grad) {
       zn->EnsureGrad();
@@ -774,7 +858,8 @@ Variable BCEWithLogits(const Variable& logits, const Variable& targets) {
         yn->grad[i] += g * (-zn->value[i]);
       }
     }
-  });
+      },
+      "bce_with_logits", bce_flops);
 }
 
 }  // namespace ag

@@ -22,9 +22,12 @@ Variable Variable::Constant(Tensor value) {
 }
 
 Variable MakeOpNode(Tensor value, std::vector<std::shared_ptr<Node>> parents,
-                    std::function<void(Node*)> backward_fn) {
+                    std::function<void(Node*)> backward_fn,
+                    const char* op_name, int64_t flops) {
   auto node = std::make_shared<Node>();
   node->value = std::move(value);
+  node->op_name = op_name;
+  node->flops = flops == kFlopsElementwise ? node->value.numel() : flops;
   node->parents = std::move(parents);
   for (const auto& p : node->parents) {
     if (p->requires_grad) {

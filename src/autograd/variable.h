@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/tensor/tensor.h"
+#include "src/util/logging.h"
 
 namespace alt {
 namespace ag {
@@ -17,6 +18,13 @@ struct Node {
   Tensor grad;  // Allocated lazily by EnsureGrad(); same shape as value.
   bool requires_grad = false;
   bool grad_allocated = false;
+  /// Static string naming the recording op ("matmul", "conv1d", ...); empty
+  /// for leaves. Consumed by analysis::AuditGraph.
+  const char* op_name = "";
+  /// Forward-pass FLOPs of this op for the recorded shapes, following the
+  /// same accounting conventions as nas::OpSpec::Flops (2 FLOPs per
+  /// multiply-add; data movement is free). 0 for leaves and pure-layout ops.
+  int64_t flops = 0;
   std::vector<std::shared_ptr<Node>> parents;
   /// Propagates this node's grad into its parents' grads. Null for leaves.
   std::function<void(Node*)> backward_fn;
@@ -45,20 +53,37 @@ class Variable {
   static Variable Constant(Tensor value);
 
   bool defined() const { return node_ != nullptr; }
-  const Tensor& value() const { return node_->value; }
+  const Tensor& value() const {
+    ALT_DCHECK(node_ != nullptr) << "value() on undefined Variable";
+    return node_->value;
+  }
   /// Mutable access for optimizers; never call mid-graph.
-  Tensor& mutable_value() { return node_->value; }
+  Tensor& mutable_value() {
+    ALT_DCHECK(node_ != nullptr) << "mutable_value() on undefined Variable";
+    return node_->value;
+  }
   /// The accumulated gradient. Requires grad storage (after Backward()).
-  const Tensor& grad() const { return node_->grad; }
+  const Tensor& grad() const {
+    ALT_DCHECK(node_ != nullptr) << "grad() on undefined Variable";
+    return node_->grad;
+  }
   Tensor& mutable_grad() {
+    ALT_DCHECK(node_ != nullptr) << "mutable_grad() on undefined Variable";
     node_->EnsureGrad();
     return node_->grad;
   }
-  bool requires_grad() const { return node_->requires_grad; }
-  bool has_grad() const { return node_->grad_allocated; }
+  bool requires_grad() const {
+    ALT_DCHECK(node_ != nullptr) << "requires_grad() on undefined Variable";
+    return node_->requires_grad;
+  }
+  bool has_grad() const {
+    ALT_DCHECK(node_ != nullptr) << "has_grad() on undefined Variable";
+    return node_->grad_allocated;
+  }
 
   /// Zeroes (and allocates) the gradient buffer.
   void ZeroGrad() {
+    ALT_DCHECK(node_ != nullptr) << "ZeroGrad() on undefined Variable";
     node_->EnsureGrad();
     node_->grad.SetZero();
   }
@@ -75,8 +100,14 @@ class Variable {
 
 /// Creates an op node: `value` is the forward result, `parents` its inputs,
 /// `backward_fn` the gradient rule. requires_grad is inherited from parents.
+/// `op_name` must be a static string naming the op; `flops` is the op's
+/// forward cost for the recorded shapes (kFlopsElementwise = one FLOP per
+/// output element, the default for elementwise ops).
+inline constexpr int64_t kFlopsElementwise = -1;
 Variable MakeOpNode(Tensor value, std::vector<std::shared_ptr<Node>> parents,
-                    std::function<void(Node*)> backward_fn);
+                    std::function<void(Node*)> backward_fn,
+                    const char* op_name = "op",
+                    int64_t flops = kFlopsElementwise);
 
 }  // namespace ag
 }  // namespace alt

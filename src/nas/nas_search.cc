@@ -1,7 +1,9 @@
 #include "src/nas/nas_search.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "src/analysis/graph_audit.h"
 #include "src/autograd/ops.h"
 #include "src/nas/derived_encoder.h"
 #include "src/opt/optimizer.h"
@@ -96,9 +98,21 @@ Result<std::unique_ptr<models::BaseModel>> SearchLightModel(
       // Weight step on the train split.
       data::Batch train_batch = MakeBatch(w_train, train_idx);
       model->ZeroGrad();
-      DistillLoss(model.get(), teacher, train_batch, options.distill_delta,
-                  &dropout_rng)
-          .Backward();
+      ag::Variable train_loss = DistillLoss(
+          model.get(), teacher, train_batch, options.distill_delta,
+          &dropout_rng);
+      if (options.audit_graph && step == 1) {
+        // Structural checks only: Gumbel sampling legitimately leaves the
+        // unsampled candidates' weights out of any single step's graph, so
+        // parameter reachability is not a supernet invariant.
+        analysis::GraphReport audit = analysis::AuditGraph(train_loss);
+        ALT_LOG(Info) << "supernet graph audit:\n" << audit.ToString();
+        if (!audit.clean()) {
+          return Status::FailedPrecondition("supernet graph audit failed: " +
+                                            audit.errors.front());
+        }
+      }
+      train_loss.Backward();
       weight_opt.ClipGradNorm(5.0);
       weight_opt.Step();
 
@@ -137,8 +151,36 @@ Result<std::unique_ptr<models::BaseModel>> SearchLightModel(
   final_config.nas_arch = arch.ToJson();
   ALT_ASSIGN_OR_RETURN(std::unique_ptr<models::BaseModel> final_model,
                        BuildModel(final_config, &rng));
+  if (options.audit_graph) {
+    // Cross-check the Eq. 4 budget accounting against the real graph: record
+    // the derived encoder's forward for one sample and compare the audited
+    // FLOPs total with the budget model the search optimized against.
+    ag::Variable probe = ag::Variable::Constant(
+        Tensor::Zeros({1, final_config.seq_len, final_config.hidden_dim}));
+    analysis::GraphReport audit = analysis::AuditGraph(
+        final_model->behavior_encoder()->Encode(probe));
+    if (!audit.clean()) {
+      return Status::FailedPrecondition("derived encoder audit failed: " +
+                                        audit.errors.front());
+    }
+    const int64_t budget_flops = arch.Flops(final_config.seq_len);
+    const double rel_err =
+        budget_flops == 0
+            ? 0.0
+            : std::abs(static_cast<double>(audit.total_flops - budget_flops)) /
+                  static_cast<double>(budget_flops);
+    if (rel_err > 0.01) {
+      ALT_LOG(Warning) << "derived encoder FLOPs drift: graph="
+                       << audit.total_flops << " budget=" << budget_flops
+                       << " rel_err=" << rel_err;
+    } else {
+      ALT_LOG(Info) << "derived encoder FLOPs cross-check ok: graph="
+                    << audit.total_flops << " budget=" << budget_flops;
+    }
+  }
   train::TrainOptions final_train = options.final_train;
   final_train.seed = options.seed * 131 + 7;
+  final_train.audit_graph = options.audit_graph;
   if (teacher != nullptr && options.distill_delta > 0.0f) {
     ALT_RETURN_IF_ERROR(
         TrainWithDistillation(final_model.get(), teacher, train_data,

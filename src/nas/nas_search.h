@@ -38,6 +38,11 @@ struct NasSearchOptions {
   /// Final training of the derived model.
   train::TrainOptions final_train;
   uint64_t seed = 5;
+  /// Debug: audit the supernet loss graph on the first search step, audit
+  /// the derived encoder's graph, and cross-check the graph FLOPs estimate
+  /// against the Eq. 4 budget model (arch.Flops). Hard graph violations
+  /// fail the search; the final training also runs its first-batch audit.
+  bool audit_graph = false;
 };
 
 /// Outcome of one search.

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "src/analysis/graph_audit.h"
 #include "src/autograd/ops.h"
 #include "src/opt/optimizer.h"
 #include "src/util/logging.h"
@@ -31,6 +32,7 @@ Result<TrainReport> RunTraining(models::BaseModel* model,
   TrainReport report;
   double best_loss = std::numeric_limits<double>::infinity();
   int64_t bad_epochs = 0;
+  bool audited = false;
   for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
     double epoch_loss = 0.0;
     int64_t num_batches = 0;
@@ -39,6 +41,16 @@ Result<TrainReport> RunTraining(models::BaseModel* model,
       data::Batch batch = MakeBatch(train_data, indices);
       optimizer.ZeroGrad();
       ag::Variable loss = loss_fn(batch, &dropout_rng);
+      if (options.audit_graph && !audited) {
+        audited = true;
+        analysis::GraphReport audit =
+            analysis::AuditModel(loss, model->Parameters());
+        ALT_LOG(Info) << "first-batch graph audit:\n" << audit.ToString();
+        if (!audit.clean()) {
+          return Status::FailedPrecondition("graph audit failed: " +
+                                            audit.errors.front());
+        }
+      }
       epoch_loss += loss.value()[0];
       ++num_batches;
       loss.Backward();

@@ -26,6 +26,11 @@ struct TrainOptions {
   /// `min_improvement` for `patience` consecutive epochs; 0 disables.
   int64_t patience = 0;
   float min_improvement = 1e-4f;
+  /// Debug: statically audit the recorded loss graph on the first batch
+  /// (analysis::AuditModel) and fail with FailedPrecondition on hard
+  /// violations (cycle, grad-shape mismatch, unreachable trainable
+  /// parameter). The report is logged at Info level.
+  bool audit_graph = false;
 };
 
 /// Summary of one training run.

@@ -65,6 +65,36 @@ class NullStream {
 #define ALT_CHECK_GT(a, b) ALT_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
 #define ALT_CHECK_GE(a, b) ALT_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
 
+/// Debug-only variants of ALT_CHECK for hot-path invariants (null-handle and
+/// index guards in accessors). Active in builds without NDEBUG, and in any
+/// build compiled with -DALT_ENABLE_DCHECKS (tools/check.sh turns this on for
+/// the sanitizer configurations); compiled to nothing otherwise.
+#if !defined(NDEBUG) || defined(ALT_ENABLE_DCHECKS)
+#define ALT_DCHECK_ENABLED 1
+#else
+#define ALT_DCHECK_ENABLED 0
+#endif
+
+#if ALT_DCHECK_ENABLED
+#define ALT_DCHECK(cond) ALT_CHECK(cond)
+#define ALT_DCHECK_EQ(a, b) ALT_CHECK_EQ(a, b)
+#define ALT_DCHECK_NE(a, b) ALT_CHECK_NE(a, b)
+#define ALT_DCHECK_LT(a, b) ALT_CHECK_LT(a, b)
+#define ALT_DCHECK_LE(a, b) ALT_CHECK_LE(a, b)
+#define ALT_DCHECK_GT(a, b) ALT_CHECK_GT(a, b)
+#define ALT_DCHECK_GE(a, b) ALT_CHECK_GE(a, b)
+#else
+/// Disabled: never evaluates the condition, swallows streamed operands.
+#define ALT_DCHECK(cond) \
+  while (false) ::alt::internal_logging::NullStream()
+#define ALT_DCHECK_EQ(a, b) ALT_DCHECK((a) == (b))
+#define ALT_DCHECK_NE(a, b) ALT_DCHECK((a) != (b))
+#define ALT_DCHECK_LT(a, b) ALT_DCHECK((a) < (b))
+#define ALT_DCHECK_LE(a, b) ALT_DCHECK((a) <= (b))
+#define ALT_DCHECK_GT(a, b) ALT_DCHECK((a) > (b))
+#define ALT_DCHECK_GE(a, b) ALT_DCHECK((a) >= (b))
+#endif
+
 }  // namespace alt
 
 #endif  // ALT_SRC_UTIL_LOGGING_H_

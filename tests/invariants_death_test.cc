@@ -7,6 +7,7 @@
 #include "src/data/dataset.h"
 #include "src/hpo/search_space.h"
 #include "src/tensor/tensor.h"
+#include "src/util/logging.h"
 
 namespace alt {
 namespace {
@@ -71,6 +72,21 @@ TEST(DatasetDeathTest, SubsetIndexOutOfRangeAborts) {
   d.labels = {0.0f, 1.0f};
   EXPECT_DEATH(d.Subset({5}), "Check failed");
 }
+
+#if ALT_DCHECK_ENABLED
+// Accessor guards on undefined Variables are ALT_DCHECKs: active in debug
+// and sanitizer builds (-DALT_DCHECKS=ON), compiled out of plain Release.
+TEST(VariableDeathTest, UndefinedAccessAborts) {
+  ag::Variable v;
+  EXPECT_DEATH(v.value(), "undefined");
+  EXPECT_DEATH(v.mutable_value(), "undefined");
+  EXPECT_DEATH(v.grad(), "undefined");
+  EXPECT_DEATH(v.mutable_grad(), "undefined");
+  EXPECT_DEATH(v.requires_grad(), "undefined");
+  EXPECT_DEATH(v.has_grad(), "undefined");
+  EXPECT_DEATH(v.ZeroGrad(), "undefined");
+}
+#endif  // ALT_DCHECK_ENABLED
 
 TEST(HpoDeathTest, TypedAccessorsCheckTypes) {
   hpo::TrialConfig config = {{"x", 0.5}};

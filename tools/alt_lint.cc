@@ -1,0 +1,287 @@
+// alt_lint: repo-specific correctness linter for the ALT codebase.
+//
+// Rules enforced on .h/.cc files under the directories given on the command
+// line (normally <repo>/src):
+//   L001  no `throw` in library code — error handling is Status/Result
+//         (src/util/status.h); programmer errors abort via ALT_CHECK.
+//   L002  include guards must be named ALT_<PATH>_H_, e.g.
+//         src/util/logging.h -> ALT_SRC_UTIL_LOGGING_H_.
+//   L003  banned call rand(): use alt::Rng (deterministic, seedable).
+//   L004  banned call printf(): use ALT_LOG or util/table_printer.
+//   L005  raw assert(): use ALT_CHECK* / ALT_DCHECK* from util/logging.h.
+//
+// Comments, string literals, and char literals are stripped before token
+// scanning, so prose mentions (e.g. "never throws" in a doc comment) do not
+// trip rules, and token boundaries are respected (snprintf/ static_assert/
+// srand do not match printf/assert/rand).
+//
+// Usage:
+//   alt_lint <dir> [<dir>...]   lint all .h/.cc files under the dirs
+//   alt_lint --self-test        run embedded known-bad/known-good snippets
+//                               through the same scanner; exit 0 iff every
+//                               rule fires where expected and nowhere else
+//
+// Standalone by design (standard library only): the linter must stay
+// buildable even when the library it lints does not compile.
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Violation {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Replaces comments and string/char literal contents with spaces, keeping
+// newlines so line numbers survive. Handles //, /* */, "...", '...', and
+// basic raw strings R"( ... )". A ' preceded by an identifier char is a
+// digit separator (1'000'000), not a char literal.
+std::string StripCommentsAndStrings(const std::string& in) {
+  std::string out = in;
+  size_t i = 0;
+  const size_t n = in.size();
+  auto blank = [&](size_t from, size_t to) {
+    for (size_t k = from; k < to && k < n; ++k) {
+      if (out[k] != '\n') out[k] = ' ';
+    }
+  };
+  while (i < n) {
+    const char c = in[i];
+    if (c == '/' && i + 1 < n && in[i + 1] == '/') {
+      size_t end = in.find('\n', i);
+      if (end == std::string::npos) end = n;
+      blank(i, end);
+      i = end;
+    } else if (c == '/' && i + 1 < n && in[i + 1] == '*') {
+      size_t end = in.find("*/", i + 2);
+      end = end == std::string::npos ? n : end + 2;
+      blank(i, end);
+      i = end;
+    } else if (c == 'R' && i + 1 < n && in[i + 1] == '"' &&
+               (i == 0 || !IsIdentChar(in[i - 1]))) {
+      const size_t paren = in.find('(', i + 2);
+      if (paren == std::string::npos) break;
+      const std::string delim = ")" + in.substr(i + 2, paren - i - 2) + "\"";
+      size_t end = in.find(delim, paren + 1);
+      end = end == std::string::npos ? n : end + delim.size();
+      blank(i, end);
+      i = end;
+    } else if (c == '"' || (c == '\'' && (i == 0 || !IsIdentChar(in[i - 1])))) {
+      size_t j = i + 1;
+      while (j < n && in[j] != c) {
+        j += in[j] == '\\' ? 2 : 1;
+      }
+      blank(i + 1, j);  // Keep the quotes; they still delimit tokens.
+      i = j < n ? j + 1 : n;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+int LineOfOffset(const std::string& text, size_t offset) {
+  return 1 + static_cast<int>(std::count(text.begin(),
+                                         text.begin() +
+                                             static_cast<std::ptrdiff_t>(
+                                                 std::min(offset, text.size())),
+                                         '\n'));
+}
+
+// Finds `token` at identifier boundaries in already-stripped text. A token
+// ending in '(' only needs a left boundary (the paren is the right one).
+void FindToken(const std::string& stripped, const std::string& token,
+               const std::string& rule, const std::string& message,
+               const std::string& file, std::vector<Violation>* out) {
+  const bool call_like = !token.empty() && token.back() == '(';
+  for (size_t pos = stripped.find(token); pos != std::string::npos;
+       pos = stripped.find(token, pos + 1)) {
+    if (pos > 0 && IsIdentChar(stripped[pos - 1])) continue;
+    const size_t end = pos + token.size();
+    if (!call_like && end < stripped.size() && IsIdentChar(stripped[end])) {
+      continue;
+    }
+    out->push_back({file, LineOfOffset(stripped, pos), rule, message});
+  }
+}
+
+// Expected include guard for a path like ".../src/util/logging.h":
+// ALT_SRC_UTIL_LOGGING_H_. Empty when the path has no src/ component.
+std::string ExpectedGuard(const std::string& path) {
+  std::string norm = path;
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  size_t start = std::string::npos;
+  if (norm.rfind("src/", 0) == 0) {
+    start = 0;
+  } else {
+    const size_t at = norm.rfind("/src/");
+    if (at != std::string::npos) start = at + 1;
+  }
+  if (start == std::string::npos) return "";
+  std::string guard = "ALT_";
+  for (size_t i = start; i < norm.size(); ++i) {
+    const char c = norm[i];
+    guard += IsIdentChar(c) ? static_cast<char>(std::toupper(
+                                  static_cast<unsigned char>(c)))
+                            : '_';
+  }
+  guard += '_';
+  return guard;
+}
+
+bool IsHeader(const std::string& path) {
+  return path.size() > 2 && path.compare(path.size() - 2, 2, ".h") == 0;
+}
+
+// Lints one file's contents. Exposed separately so --self-test can feed
+// synthetic snippets through the exact production scanner.
+std::vector<Violation> LintContent(const std::string& path,
+                                   const std::string& content) {
+  std::vector<Violation> v;
+  const std::string stripped = StripCommentsAndStrings(content);
+  FindToken(stripped, "throw", "L001",
+            "no exceptions in library code; return Status/Result "
+            "(src/util/status.h) or ALT_CHECK", path, &v);
+  FindToken(stripped, "rand(", "L003",
+            "banned call rand(); use alt::Rng for deterministic seeding",
+            path, &v);
+  FindToken(stripped, "printf(", "L004",
+            "banned call printf(); use ALT_LOG or util/table_printer", path,
+            &v);
+  FindToken(stripped, "assert(", "L005",
+            "raw assert(); use ALT_CHECK*/ALT_DCHECK* (src/util/logging.h)",
+            path, &v);
+  if (IsHeader(path)) {
+    const std::string guard = ExpectedGuard(path);
+    if (!guard.empty() &&
+        (stripped.find("#ifndef " + guard) == std::string::npos ||
+         stripped.find("#define " + guard) == std::string::npos)) {
+      v.push_back({path, 1, "L002",
+                   "include guard must be " + guard +
+                       " (#ifndef/#define pair)"});
+    }
+  }
+  return v;
+}
+
+std::vector<Violation> LintFile(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return {{path.string(), 0, "L000", "cannot read file"}};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return LintContent(path.generic_string(), buf.str());
+}
+
+int RunSelfTest() {
+  struct Case {
+    const char* name;
+    const char* path;
+    const char* content;
+    const char* expect_rule;  // nullptr => must be clean
+  };
+  const Case kCases[] = {
+      {"throw in code", "src/x/bad.cc", "void F() { throw 1; }", "L001"},
+      {"throw in comment ok", "src/x/ok.cc",
+       "// this function never throws; throw is banned\nvoid F();", nullptr},
+      {"throw in string ok", "src/x/ok2.cc",
+       "const char* k = \"do not throw here\";", nullptr},
+      {"rand call", "src/x/bad2.cc", "int R() { return rand(); }", "L003"},
+      {"srand ok (boundary)", "src/x/ok3.cc", "void S() { srand(1); }",
+       nullptr},
+      {"printf call", "src/x/bad3.cc", "void P() { printf(\"x\"); }", "L004"},
+      {"snprintf ok (boundary)", "src/x/ok4.cc",
+       "void P(char* b) { snprintf(b, 2, \"x\"); }", nullptr},
+      {"raw assert", "src/x/bad4.cc", "void A(int x) { assert(x > 0); }",
+       "L005"},
+      {"static_assert ok", "src/x/ok5.cc", "static_assert(1 + 1 == 2);",
+       nullptr},
+      {"bad include guard", "src/x/bad5.h",
+       "#ifndef WRONG_H\n#define WRONG_H\n#endif\n", "L002"},
+      {"good include guard", "src/x/ok6.h",
+       "#ifndef ALT_SRC_X_OK6_H_\n#define ALT_SRC_X_OK6_H_\n"
+       "#endif  // ALT_SRC_X_OK6_H_\n",
+       nullptr},
+      {"digit separator ok", "src/x/ok7.cc", "int k = 1'000'000;", nullptr},
+  };
+  int failures = 0;
+  for (const Case& c : kCases) {
+    const std::vector<Violation> v = LintContent(c.path, c.content);
+    bool ok;
+    if (c.expect_rule == nullptr) {
+      ok = v.empty();
+    } else {
+      ok = v.size() == 1 && v[0].rule == c.expect_rule;
+    }
+    if (!ok) {
+      ++failures;
+      std::cerr << "self-test FAIL: " << c.name << " (expected "
+                << (c.expect_rule ? c.expect_rule : "clean") << ", got "
+                << v.size() << " violation(s)";
+      for (const Violation& x : v) std::cerr << " " << x.rule;
+      std::cerr << ")\n";
+    }
+  }
+  if (failures == 0) {
+    std::cout << "alt_lint self-test: all "
+              << sizeof(kCases) / sizeof(kCases[0]) << " cases passed\n";
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: alt_lint <dir> [<dir>...] | alt_lint --self-test\n";
+    return 2;
+  }
+  if (std::string(argv[1]) == "--self-test") {
+    return RunSelfTest();
+  }
+  std::vector<Violation> all;
+  int files_scanned = 0;
+  for (int a = 1; a < argc; ++a) {
+    const std::filesystem::path root(argv[a]);
+    if (!std::filesystem::exists(root)) {
+      std::cerr << "alt_lint: no such directory: " << root << "\n";
+      return 2;
+    }
+    for (const auto& entry :
+         std::filesystem::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cc") continue;
+      ++files_scanned;
+      std::vector<Violation> v = LintFile(entry.path());
+      all.insert(all.end(), v.begin(), v.end());
+    }
+  }
+  for (const Violation& v : all) {
+    std::cerr << v.file << ":" << v.line << ": [" << v.rule << "] "
+              << v.message << "\n";
+  }
+  if (all.empty()) {
+    std::cout << "alt_lint: " << files_scanned << " files clean\n";
+    return 0;
+  }
+  std::cerr << "alt_lint: " << all.size() << " violation(s) in "
+            << files_scanned << " files\n";
+  return 1;
+}
