@@ -1,0 +1,368 @@
+// Micro-benchmark for the dense compute-kernel layer (src/tensor/kernels.cc).
+//
+// Measures GFLOP/s of the blocked/parallel GEMM, batched matmul, and Conv1D
+// kernels against the frozen pre-optimization baselines in kernels_naive.cc,
+// at 1 thread and at the configured thread count, and writes the results as
+// machine-readable JSON (default: BENCH_kernels.json in the current
+// directory). The JSON is consumed by tooling that tracks the kernel-layer
+// perf trajectory across PRs.
+//
+// Flags:
+//   --smoke       fast mode for CI: tiny rep counts, still checks parity.
+//   --out=PATH    output JSON path (default BENCH_kernels.json).
+//   --threads=N   "N-thread" configuration (default: alt::ComputeThreads()).
+//   --min_time=S  seconds of repetitions per measurement (default 0.25).
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/tensor/kernels.h"
+#include "src/tensor/kernels_naive.h"
+#include "src/tensor/tensor.h"
+#include "src/util/json.h"
+#include "src/util/logging.h"
+#include "src/util/parallel_for.h"
+#include "src/util/rng.h"
+#include "src/util/stopwatch.h"
+
+namespace alt {
+namespace {
+
+std::vector<float> RandomVec(int64_t n, Rng* rng) {
+  std::vector<float> v(static_cast<size_t>(n));
+  for (auto& x : v) x = static_cast<float>(rng->Uniform(-1.0, 1.0));
+  return v;
+}
+
+double Checksum(const std::vector<float>& v) {
+  double s = 0.0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    s += static_cast<double>(v[i]) * static_cast<double>((i % 7) + 1);
+  }
+  return s;
+}
+
+double Checksum(const Tensor& t) {
+  double s = 0.0;
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    s += static_cast<double>(t[i]) * static_cast<double>((i % 7) + 1);
+  }
+  return s;
+}
+
+/// Runs `fn` repeatedly for at least `min_time` seconds (at least once) and
+/// returns the best per-call seconds observed. Best-of is less noisy than
+/// mean on shared machines.
+double TimeBest(double min_time, const std::function<void()>& fn) {
+  double best = 1e30;
+  double total = 0.0;
+  Stopwatch outer;
+  do {
+    Stopwatch sw;
+    fn();
+    const double t = sw.ElapsedSeconds();
+    if (t < best) best = t;
+    total = outer.ElapsedSeconds();
+  } while (total < min_time);
+  return best;
+}
+
+struct BenchResult {
+  std::string name;
+  std::string shape;
+  int threads = 1;
+  double gflops = 0.0;
+  double seconds = 0.0;
+  double checksum = 0.0;
+};
+
+class Reporter {
+ public:
+  void Add(const BenchResult& r) {
+    results_.push_back(r);
+    std::printf("%-28s %-20s threads=%-2d %8.2f GFLOP/s\n", r.name.c_str(),
+                r.shape.c_str(), r.threads, r.gflops);
+    std::fflush(stdout);
+  }
+
+  const BenchResult* Find(const std::string& name, int threads) const {
+    for (const auto& r : results_) {
+      if (r.name == name && r.threads == threads) return &r;
+    }
+    return nullptr;
+  }
+
+  const std::vector<BenchResult>& results() const { return results_; }
+
+ private:
+  std::vector<BenchResult> results_;
+};
+
+/// GEMM flavor under test; `naive` selects the frozen baseline kernel.
+struct GemmVariant {
+  std::string name;
+  bool naive = false;
+  bool trans_a = false;
+  bool trans_b = false;
+};
+
+BenchResult BenchGemm(const GemmVariant& variant, int64_t m, int64_t k,
+                      int64_t n, int threads, double min_time, Rng* rng) {
+  const std::vector<float> a = RandomVec(m * k, rng);
+  const std::vector<float> b = RandomVec(k * n, rng);
+  std::vector<float> c(static_cast<size_t>(m * n), 0.0f);
+
+  // The trans variants accumulate, so reset C before each call to keep the
+  // result (and the checksum) independent of the repetition count.
+  std::vector<int64_t> ashape = variant.trans_a
+                                    ? std::vector<int64_t>{k, m}
+                                    : std::vector<int64_t>{m, k};
+  std::vector<int64_t> bshape = variant.trans_b
+                                    ? std::vector<int64_t>{n, k}
+                                    : std::vector<int64_t>{k, n};
+  Tensor ta = Tensor::FromVector(ashape, a);
+  Tensor tb = Tensor::FromVector(bshape, b);
+  Tensor tc({m, n});
+
+  auto run = [&]() {
+    if (variant.naive) {
+      naive::Gemm(a.data(), b.data(), c.data(), m, k, n, /*accumulate=*/false);
+    } else if (variant.trans_a) {
+      tc.Fill(0.0f);
+      MatMulTransAAcc(ta, tb, &tc);
+    } else if (variant.trans_b) {
+      tc.Fill(0.0f);
+      MatMulTransBAcc(ta, tb, &tc);
+    } else {
+      MatMul(ta, tb, &tc);
+    }
+  };
+
+  SetComputeThreads(threads);
+  BenchResult r;
+  r.seconds = TimeBest(min_time, run);
+  SetComputeThreads(0);
+
+  r.name = variant.name;
+  r.shape = std::to_string(m) + "x" + std::to_string(k) + "x" +
+            std::to_string(n);
+  r.threads = threads;
+  r.gflops = 2.0 * static_cast<double>(m) * k * n / r.seconds * 1e-9;
+  r.checksum = variant.naive ? Checksum(c) : Checksum(tc);
+  return r;
+}
+
+BenchResult BenchBatched(int64_t batch, int64_t m, int64_t k, int64_t n,
+                         int threads, double min_time, Rng* rng) {
+  Tensor a = Tensor::FromVector({batch, m, k}, RandomVec(batch * m * k, rng));
+  Tensor b = Tensor::FromVector({batch, k, n}, RandomVec(batch * k * n, rng));
+  Tensor c({batch, m, n});
+
+  SetComputeThreads(threads);
+  BenchResult r;
+  r.seconds = TimeBest(min_time, [&]() {
+    BatchedMatMul(a, false, b, false, &c, /*accumulate=*/false);
+  });
+  SetComputeThreads(0);
+
+  r.name = "batched_matmul";
+  r.shape = std::to_string(batch) + "x" + std::to_string(m) + "x" +
+            std::to_string(k) + "x" + std::to_string(n);
+  r.threads = threads;
+  r.gflops = 2.0 * static_cast<double>(batch) * m * k * n / r.seconds * 1e-9;
+  r.checksum = Checksum(c);
+  return r;
+}
+
+BenchResult BenchConv(bool use_naive, int64_t batch, int64_t seq, int64_t cin,
+                      int64_t cout, int64_t ksize, int threads,
+                      double min_time, Rng* rng) {
+  Tensor x = Tensor::FromVector({batch, seq, cin},
+                                RandomVec(batch * seq * cin, rng));
+  Tensor w = Tensor::FromVector({cout, ksize, cin},
+                                RandomVec(cout * ksize * cin, rng));
+  Tensor bias = Tensor::FromVector({cout}, RandomVec(cout, rng));
+  Tensor out({batch, seq, cout});
+
+  SetComputeThreads(threads);
+  BenchResult r;
+  r.seconds = TimeBest(min_time, [&]() {
+    if (use_naive) {
+      naive::Conv1D(x, w, &bias, /*dilation=*/1, &out);
+    } else {
+      Conv1D(x, w, &bias, /*dilation=*/1, &out);
+    }
+  });
+  SetComputeThreads(0);
+
+  r.name = use_naive ? "conv1d_naive" : "conv1d";
+  r.shape = std::to_string(batch) + "x" + std::to_string(seq) + "x" +
+            std::to_string(cin) + "->" + std::to_string(cout) + "(k" +
+            std::to_string(ksize) + ")";
+  r.threads = threads;
+  r.gflops =
+      2.0 * static_cast<double>(batch) * seq * cout * ksize * cin /
+      r.seconds * 1e-9;
+  r.checksum = Checksum(out);
+  return r;
+}
+
+BenchResult BenchAxpy(int64_t n, int threads, double min_time, Rng* rng) {
+  const std::vector<float> x = RandomVec(n, rng);
+  std::vector<float> y = RandomVec(n, rng);
+
+  SetComputeThreads(threads);
+  BenchResult r;
+  // alpha == 0 keeps y fixed across repetitions (y += 0*x), so the measured
+  // work is identical every call.
+  r.seconds = TimeBest(min_time, [&]() {
+    VecAxpy(0.0f, x.data(), y.data(), n);
+  });
+  SetComputeThreads(0);
+
+  r.name = "vec_axpy";
+  r.shape = std::to_string(n);
+  r.threads = threads;
+  r.gflops = 2.0 * static_cast<double>(n) / r.seconds * 1e-9;
+  r.checksum = Checksum(y);
+  return r;
+}
+
+int Main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  const bool smoke = flags.GetBool("smoke", false);
+  const std::string out_path = flags.GetString("out", "BENCH_kernels.json");
+  const int max_threads = static_cast<int>(
+      flags.GetInt("threads", ComputeThreads()));
+  const double min_time = flags.GetDouble("min_time", smoke ? 0.01 : 0.25);
+
+  Rng rng(2023);
+  Reporter rep;
+
+  // --- GEMM: frozen naive baseline, then the blocked kernel at 1/N threads.
+  const int64_t headline = smoke ? 64 : 256;
+  rep.Add(BenchGemm({"gemm_naive", /*naive=*/true}, headline, headline,
+                    headline, 1, min_time, &rng));
+  std::vector<int64_t> gemm_sizes = smoke ? std::vector<int64_t>{64}
+                                          : std::vector<int64_t>{64, 128, 256};
+  for (int64_t s : gemm_sizes) {
+    rep.Add(BenchGemm({"gemm_blocked"}, s, s, s, 1, min_time, &rng));
+    if (max_threads > 1) {
+      rep.Add(BenchGemm({"gemm_blocked"}, s, s, s, max_threads, min_time,
+                        &rng));
+    }
+  }
+  rep.Add(BenchGemm({"gemm_trans_a", false, /*trans_a=*/true}, headline,
+                    headline, headline, max_threads, min_time, &rng));
+  rep.Add(BenchGemm({"gemm_trans_b", false, false, /*trans_b=*/true},
+                    headline, headline, headline, max_threads, min_time,
+                    &rng));
+
+  // --- Batched matmul (attention-shaped): batch scaling is the parallel axis.
+  const int64_t bm = smoke ? 16 : 64;
+  rep.Add(BenchBatched(8, bm, 32, bm, 1, min_time, &rng));
+  if (max_threads > 1) {
+    rep.Add(BenchBatched(8, bm, 32, bm, max_threads, min_time, &rng));
+  }
+
+  // --- Conv1D: direct naive loop vs im2col+GEMM.
+  const int64_t seq = smoke ? 32 : 128;
+  rep.Add(BenchConv(/*use_naive=*/true, 8, seq, 32, 32, 3, 1, min_time,
+                    &rng));
+  rep.Add(BenchConv(/*use_naive=*/false, 8, seq, 32, 32, 3, max_threads,
+                    min_time, &rng));
+
+  // --- Axpy (memory bound; sanity number for the elementwise paths).
+  rep.Add(BenchAxpy(smoke ? (1 << 16) : (1 << 22), max_threads, min_time,
+                    &rng));
+
+  // --- Parity guard: the numbers above are only meaningful if the optimized
+  // kernels still compute a GEMM. Compare against the naive kernel once.
+  {
+    const int64_t s = 64;
+    const std::vector<float> a = RandomVec(s * s, &rng);
+    const std::vector<float> b = RandomVec(s * s, &rng);
+    std::vector<float> want(static_cast<size_t>(s * s), 0.0f);
+    naive::Gemm(a.data(), b.data(), want.data(), s, s, s, false);
+    Tensor tc({s, s});
+    MatMul(Tensor::FromVector({s, s}, a), Tensor::FromVector({s, s}, b), &tc);
+    double max_rel = 0.0;
+    for (int64_t i = 0; i < tc.numel(); ++i) {
+      const double diff = std::fabs(static_cast<double>(tc[i]) -
+                                    want[static_cast<size_t>(i)]);
+      const double mag =
+          std::max(1.0, std::fabs(static_cast<double>(
+                            want[static_cast<size_t>(i)])));
+      max_rel = std::max(max_rel, diff / mag);
+    }
+    ALT_CHECK_LT(max_rel, 1e-4) << "blocked GEMM diverged from reference";
+  }
+
+  // --- Derived headline metrics.
+  Json derived = Json::Object{};
+  const BenchResult* naive_g = rep.Find("gemm_naive", 1);
+  const BenchResult* blocked_1t =
+      rep.Find("gemm_blocked", 1);
+  if (naive_g && blocked_1t && naive_g->gflops > 0.0) {
+    derived["gemm_speedup_vs_naive_1t"] =
+        blocked_1t->gflops / naive_g->gflops;
+  }
+  const BenchResult* blocked_nt = rep.Find("gemm_blocked", max_threads);
+  if (blocked_1t && blocked_nt && max_threads > 1 &&
+      blocked_1t->gflops > 0.0) {
+    derived["gemm_thread_scaling"] = blocked_nt->gflops / blocked_1t->gflops;
+  }
+  const BenchResult* batch_1t = rep.Find("batched_matmul", 1);
+  const BenchResult* batch_nt = rep.Find("batched_matmul", max_threads);
+  if (batch_1t && batch_nt && max_threads > 1 && batch_1t->gflops > 0.0) {
+    derived["batched_thread_scaling"] = batch_nt->gflops / batch_1t->gflops;
+  }
+  const BenchResult* conv_naive = rep.Find("conv1d_naive", 1);
+  const BenchResult* conv_new = rep.Find("conv1d", max_threads);
+  if (conv_naive && conv_new && conv_naive->gflops > 0.0) {
+    derived["conv1d_speedup_vs_naive"] = conv_new->gflops / conv_naive->gflops;
+  }
+
+  Json::Array results;
+  for (const auto& r : rep.results()) {
+    Json entry = Json::Object{};
+    entry["name"] = r.name;
+    entry["shape"] = r.shape;
+    entry["threads"] = r.threads;
+    entry["gflops"] = r.gflops;
+    entry["seconds_per_call"] = r.seconds;
+    entry["checksum"] = r.checksum;
+    results.push_back(entry);
+  }
+
+  Json doc = Json::Object{};
+  doc["bench"] = "kernels";
+  doc["smoke"] = smoke;
+  doc["compute_threads"] = max_threads;
+  doc["min_time_s"] = min_time;
+  doc["results"] = results;
+  doc["derived"] = derived;
+
+  std::ofstream out(out_path);
+  ALT_CHECK(out.good()) << "cannot open " << out_path;
+  out << doc.DumpPretty() << "\n";
+  out.close();
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (derived.contains("gemm_speedup_vs_naive_1t")) {
+    std::printf("gemm speedup vs naive (1 thread): %.2fx\n",
+                derived.at("gemm_speedup_vs_naive_1t").as_number());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace alt
+
+int main(int argc, char** argv) { return alt::Main(argc, argv); }

@@ -4,6 +4,7 @@
 
 #include "src/tensor/kernels.h"
 #include "src/util/logging.h"
+#include "src/util/parallel_for.h"
 
 namespace alt {
 namespace ag {
@@ -12,6 +13,13 @@ namespace {
 
 constexpr float kInvSqrt2 = 0.7071067811865476f;
 constexpr float kInvSqrt2Pi = 0.3989422804014327f;
+
+/// Estimated scalar ops per element for the elementwise / per-row hot paths
+/// below; ParallelForWork turns these into fixed-size chunks, so threading
+/// kicks in only above ~32K ops and results stay identical for any thread
+/// count (every chunk writes a disjoint slice).
+constexpr int64_t kMapWork = 4;
+constexpr int64_t kTranscendentalWork = 16;
 
 void CheckSameShape(const Variable& a, const Variable& b) {
   ALT_CHECK(a.value().SameShape(b.value()))
@@ -25,16 +33,24 @@ Variable UnaryElementwise(const Variable& x, const char* name, FwdFn fwd,
                           GradFn dfdx) {
   Tensor out(x.value().shape());
   const Tensor& xv = x.value();
-  for (int64_t i = 0; i < xv.numel(); ++i) out[i] = fwd(xv[i]);
+  ParallelForWork(xv.numel(), kTranscendentalWork,
+                  [&](int64_t lo, int64_t hi) {
+                    for (int64_t i = lo; i < hi; ++i) out[i] = fwd(xv[i]);
+                  });
   auto xn = x.node();
   return MakeOpNode(
       std::move(out), {xn},
       [xn, dfdx](Node* self) {
         if (!xn->requires_grad) return;
         xn->EnsureGrad();
-        for (int64_t i = 0; i < self->value.numel(); ++i) {
-          xn->grad[i] += self->grad[i] * dfdx(xn->value[i], self->value[i]);
-        }
+        ParallelForWork(self->value.numel(), kTranscendentalWork,
+                        [&](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i) {
+                            xn->grad[i] +=
+                                self->grad[i] * dfdx(xn->value[i],
+                                                     self->value[i]);
+                          }
+                        });
       },
       name);
 }
@@ -82,24 +98,32 @@ Variable Sub(const Variable& a, const Variable& b) {
 Variable Mul(const Variable& a, const Variable& b) {
   CheckSameShape(a, b);
   Tensor out(a.value().shape());
-  for (int64_t i = 0; i < out.numel(); ++i) {
-    out[i] = a.value()[i] * b.value()[i];
-  }
+  ParallelForWork(out.numel(), kMapWork, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) out[i] = a.value()[i] * b.value()[i];
+  });
   auto an = a.node();
   auto bn = b.node();
   return MakeOpNode(std::move(out), {an, bn},
                     [an, bn](Node* self) {
                       if (an->requires_grad) {
                         an->EnsureGrad();
-                        for (int64_t i = 0; i < self->grad.numel(); ++i) {
-                          an->grad[i] += self->grad[i] * bn->value[i];
-                        }
+                        ParallelForWork(
+                            self->grad.numel(), kMapWork,
+                            [&](int64_t lo, int64_t hi) {
+                              for (int64_t i = lo; i < hi; ++i) {
+                                an->grad[i] += self->grad[i] * bn->value[i];
+                              }
+                            });
                       }
                       if (bn->requires_grad) {
                         bn->EnsureGrad();
-                        for (int64_t i = 0; i < self->grad.numel(); ++i) {
-                          bn->grad[i] += self->grad[i] * an->value[i];
-                        }
+                        ParallelForWork(
+                            self->grad.numel(), kMapWork,
+                            [&](int64_t lo, int64_t hi) {
+                              for (int64_t i = lo; i < hi; ++i) {
+                                bn->grad[i] += self->grad[i] * an->value[i];
+                              }
+                            });
                       }
                     },
                     "mul");
@@ -510,19 +534,22 @@ Variable SoftmaxLastDim(const Variable& x) {
   const int64_t f = xv.size(xv.ndim() - 1);
   const int64_t rows = xv.numel() / f;
   Tensor out(xv.shape());
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* src = xv.data() + r * f;
-    float* dst = out.data() + r * f;
-    float max_v = src[0];
-    for (int64_t j = 1; j < f; ++j) max_v = std::max(max_v, src[j]);
-    double total = 0.0;
-    for (int64_t j = 0; j < f; ++j) {
-      dst[j] = std::exp(src[j] - max_v);
-      total += dst[j];
+  // Rows are independent; parallel chunks over rows write disjoint slices.
+  ParallelForWork(rows, f * kTranscendentalWork, [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const float* src = xv.data() + r * f;
+      float* dst = out.data() + r * f;
+      float max_v = src[0];
+      for (int64_t j = 1; j < f; ++j) max_v = std::max(max_v, src[j]);
+      double total = 0.0;
+      for (int64_t j = 0; j < f; ++j) {
+        dst[j] = std::exp(src[j] - max_v);
+        total += dst[j];
+      }
+      const float inv = static_cast<float>(1.0 / total);
+      for (int64_t j = 0; j < f; ++j) dst[j] *= inv;
     }
-    const float inv = static_cast<float>(1.0 / total);
-    for (int64_t j = 0; j < f; ++j) dst[j] *= inv;
-  }
+  });
   // 5 FLOPs per element (max, sub, exp, sum, div) — matches the softmax
   // accounting of nas::Architecture::Flops.
   const int64_t sm_flops = 5 * xv.numel();
@@ -533,18 +560,20 @@ Variable SoftmaxLastDim(const Variable& x) {
         if (!xn->requires_grad) return;
         xn->EnsureGrad();
         const int64_t rows = self->grad.numel() / f;
-        for (int64_t r = 0; r < rows; ++r) {
-          const float* y = self->value.data() + r * f;
-          const float* dy = self->grad.data() + r * f;
-          float* dx = xn->grad.data() + r * f;
-          double dot = 0.0;
-          for (int64_t j = 0; j < f; ++j) {
-            dot += static_cast<double>(dy[j]) * y[j];
+        ParallelForWork(rows, f * kMapWork, [&](int64_t lo, int64_t hi) {
+          for (int64_t r = lo; r < hi; ++r) {
+            const float* y = self->value.data() + r * f;
+            const float* dy = self->grad.data() + r * f;
+            float* dx = xn->grad.data() + r * f;
+            double dot = 0.0;
+            for (int64_t j = 0; j < f; ++j) {
+              dot += static_cast<double>(dy[j]) * y[j];
+            }
+            for (int64_t j = 0; j < f; ++j) {
+              dx[j] += (dy[j] - static_cast<float>(dot)) * y[j];
+            }
           }
-          for (int64_t j = 0; j < f; ++j) {
-            dx[j] += (dy[j] - static_cast<float>(dot)) * y[j];
-          }
-        }
+        });
       },
       "softmax", sm_flops);
 }
@@ -731,26 +760,28 @@ Variable LayerNorm(const Variable& x, const Variable& gamma,
   auto inv_std = std::make_shared<std::vector<float>>(
       static_cast<size_t>(rows));
   auto xhat = std::make_shared<Tensor>(xv.shape());
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* src = xv.data() + r * f;
-    double mean = 0.0;
-    for (int64_t j = 0; j < f; ++j) mean += src[j];
-    mean /= static_cast<double>(f);
-    double var = 0.0;
-    for (int64_t j = 0; j < f; ++j) {
-      const double d = src[j] - mean;
-      var += d * d;
+  ParallelForWork(rows, f * 10, [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const float* src = xv.data() + r * f;
+      double mean = 0.0;
+      for (int64_t j = 0; j < f; ++j) mean += src[j];
+      mean /= static_cast<double>(f);
+      double var = 0.0;
+      for (int64_t j = 0; j < f; ++j) {
+        const double d = src[j] - mean;
+        var += d * d;
+      }
+      var /= static_cast<double>(f);
+      const float istd = static_cast<float>(1.0 / std::sqrt(var + eps));
+      (*inv_std)[static_cast<size_t>(r)] = istd;
+      float* xh = xhat->data() + r * f;
+      float* dst = out.data() + r * f;
+      for (int64_t j = 0; j < f; ++j) {
+        xh[j] = (src[j] - static_cast<float>(mean)) * istd;
+        dst[j] = xh[j] * gamma.value()[j] + beta.value()[j];
+      }
     }
-    var /= static_cast<double>(f);
-    const float istd = static_cast<float>(1.0 / std::sqrt(var + eps));
-    (*inv_std)[static_cast<size_t>(r)] = istd;
-    float* xh = xhat->data() + r * f;
-    float* dst = out.data() + r * f;
-    for (int64_t j = 0; j < f; ++j) {
-      xh[j] = (src[j] - static_cast<float>(mean)) * istd;
-      dst[j] = xh[j] * gamma.value()[j] + beta.value()[j];
-    }
-  }
+  });
   // Mean, variance, normalize, affine: ~8 FLOPs per element.
   const int64_t ln_flops = 8 * xv.numel();
   auto xn = x.node();
@@ -762,35 +793,43 @@ Variable LayerNorm(const Variable& x, const Variable& gamma,
         if (gn->requires_grad) gn->EnsureGrad();
         if (bn->requires_grad) bn->EnsureGrad();
         if (xn->requires_grad) xn->EnsureGrad();
-        for (int64_t r = 0; r < rows; ++r) {
-          const float* dy = self->grad.data() + r * f;
-          const float* xh = xhat->data() + r * f;
-          if (gn->requires_grad || bn->requires_grad) {
+        // dgamma/dbeta reduce over rows into shared accumulators, so that
+        // pass stays serial; dx writes disjoint rows and runs in parallel.
+        if (gn->requires_grad || bn->requires_grad) {
+          for (int64_t r = 0; r < rows; ++r) {
+            const float* dy = self->grad.data() + r * f;
+            const float* xh = xhat->data() + r * f;
             for (int64_t j = 0; j < f; ++j) {
               if (gn->requires_grad) gn->grad[j] += dy[j] * xh[j];
               if (bn->requires_grad) bn->grad[j] += dy[j];
             }
           }
-          if (xn->requires_grad) {
-            // dxhat = dy * gamma;
-            // dx = istd * (dxhat - mean(dxhat) - xhat * mean(dxhat*xhat)).
-            double mean_dxhat = 0.0;
-            double mean_dxhat_xhat = 0.0;
-            for (int64_t j = 0; j < f; ++j) {
-              const double dxh = static_cast<double>(dy[j]) * gn->value[j];
-              mean_dxhat += dxh;
-              mean_dxhat_xhat += dxh * xh[j];
+        }
+        if (xn->requires_grad) {
+          ParallelForWork(rows, f * 10, [&](int64_t lo, int64_t hi) {
+            for (int64_t r = lo; r < hi; ++r) {
+              const float* dy = self->grad.data() + r * f;
+              const float* xh = xhat->data() + r * f;
+              // dxhat = dy * gamma;
+              // dx = istd * (dxhat - mean(dxhat) - xhat * mean(dxhat*xhat)).
+              double mean_dxhat = 0.0;
+              double mean_dxhat_xhat = 0.0;
+              for (int64_t j = 0; j < f; ++j) {
+                const double dxh = static_cast<double>(dy[j]) * gn->value[j];
+                mean_dxhat += dxh;
+                mean_dxhat_xhat += dxh * xh[j];
+              }
+              mean_dxhat /= static_cast<double>(f);
+              mean_dxhat_xhat /= static_cast<double>(f);
+              const float istd = (*inv_std)[static_cast<size_t>(r)];
+              float* dx = xn->grad.data() + r * f;
+              for (int64_t j = 0; j < f; ++j) {
+                const double dxh = static_cast<double>(dy[j]) * gn->value[j];
+                dx[j] += static_cast<float>(
+                    istd * (dxh - mean_dxhat - xh[j] * mean_dxhat_xhat));
+              }
             }
-            mean_dxhat /= static_cast<double>(f);
-            mean_dxhat_xhat /= static_cast<double>(f);
-            const float istd = (*inv_std)[static_cast<size_t>(r)];
-            float* dx = xn->grad.data() + r * f;
-            for (int64_t j = 0; j < f; ++j) {
-              const double dxh = static_cast<double>(dy[j]) * gn->value[j];
-              dx[j] += static_cast<float>(
-                  istd * (dxh - mean_dxhat - xh[j] * mean_dxhat_xhat));
-            }
-          }
+          });
         }
       },
       "layer_norm", ln_flops);

@@ -27,7 +27,11 @@ ag::Variable MultiHeadSelfAttention::Forward(const ag::Variable& x) {
   ag::Variable k = wk_->Forward(x);
   ag::Variable v = wv_->Forward(x);
 
+  // Applying 1/sqrt(d) to q ([B, T, D]) instead of each head's score matrix
+  // ([B, T, T] per head) computes the same scores with T*D multiplies in
+  // place of H*T*T, and drops H score-sized graph nodes.
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  q = ag::ScalarMul(q, scale);
   std::vector<ag::Variable> head_outputs;
   head_outputs.reserve(static_cast<size_t>(num_heads_));
   for (int64_t h = 0; h < num_heads_; ++h) {
@@ -35,8 +39,8 @@ ag::Variable MultiHeadSelfAttention::Forward(const ag::Variable& x) {
     ag::Variable kh = ag::SliceLastDim(k, h * head_dim_, head_dim_);
     ag::Variable vh = ag::SliceLastDim(v, h * head_dim_, head_dim_);
     // scores: [B, T, T]
-    ag::Variable scores = ag::ScalarMul(
-        ag::BatchedMatMul(qh, kh, /*trans_a=*/false, /*trans_b=*/true), scale);
+    ag::Variable scores =
+        ag::BatchedMatMul(qh, kh, /*trans_a=*/false, /*trans_b=*/true);
     ag::Variable attn = ag::SoftmaxLastDim(scores);
     // context: [B, T, head_dim]
     head_outputs.push_back(

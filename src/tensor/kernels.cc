@@ -2,60 +2,207 @@
 
 #include <algorithm>
 #include <limits>
+#include <vector>
 
 #include "src/util/logging.h"
+#include "src/util/parallel_for.h"
 
 namespace alt {
 
 namespace {
 
-/// Inner 2-D gemm on raw pointers: C[m,n] (+)= A[m,k] * B[k,n].
+/// Cache/register blocking parameters ----------------------------------------
+///
+/// The GEMMs are structured as: parallel row panels (kRowGrain rows of C per
+/// ParallelFor chunk) x column blocks (kNC columns of B/C) x k blocks (kKC
+/// reduction steps), with a kMR-row register tile whose inner j loop is a
+/// branch-free multiply-add stream the compiler auto-vectorizes. The k
+/// dimension is additionally unrolled by 4 inside the register tile so each
+/// load/store of a C row amortizes four fused multiply-adds.
+///
+/// Determinism: every row of C accumulates its k products in exactly the same
+/// order (quads of k in pairwise order, then the k tail sequentially) no
+/// matter how rows are grouped into panels, and ParallelFor chunk boundaries
+/// are fixed multiples of the grain. Results are therefore bit-identical for
+/// any thread count. kRowGrain is a multiple of kMR so register-tile
+/// boundaries also never depend on the partition.
+constexpr int64_t kKC = 256;
+constexpr int64_t kNC = 1024;
+constexpr int64_t kMR = 4;
+constexpr int64_t kRowGrain = 32;
+static_assert(kRowGrain % kMR == 0, "panels must preserve register tiling");
+static_assert(kKC % 4 == 0, "k blocks must preserve the quad unroll");
+
+/// Approximate scalar ops per C element per unit k, for grain derivation.
+constexpr int64_t kGemmWorkPerRow = 2;
+
+/// Per-thread scratch for packed B^T panels and im2col buffers. ParallelFor
+/// is synchronous, so a buffer owned by the calling thread outlives every
+/// worker that reads it.
+thread_local std::vector<float> tls_pack;
+thread_local std::vector<float> tls_im2col;
+
+template <bool kTransA>
+inline float LoadA(const float* a, int64_t lda, int64_t i, int64_t p) {
+  return kTransA ? a[p * lda + i] : a[i * lda + p];
+}
+
+/// C[i, j] += sum_p A(i, p) * B[p, j] over the given i/p/j sub-block.
+/// A is indexed [i, p] with leading dimension lda (or [p, i] if kTransA).
+template <bool kTransA>
+void MicroPanel(const float* __restrict__ a, int64_t lda,
+                const float* __restrict__ b, int64_t ldb,
+                float* __restrict__ c, int64_t ldc, int64_t i_begin,
+                int64_t i_end, int64_t p_begin, int64_t p_end, int64_t j_begin,
+                int64_t j_end) {
+  int64_t i = i_begin;
+  for (; i + kMR <= i_end; i += kMR) {
+    float* __restrict__ c0 = c + (i + 0) * ldc;
+    float* __restrict__ c1 = c + (i + 1) * ldc;
+    float* __restrict__ c2 = c + (i + 2) * ldc;
+    float* __restrict__ c3 = c + (i + 3) * ldc;
+    int64_t p = p_begin;
+    for (; p + 4 <= p_end; p += 4) {
+      const float* __restrict__ b0 = b + (p + 0) * ldb;
+      const float* __restrict__ b1 = b + (p + 1) * ldb;
+      const float* __restrict__ b2 = b + (p + 2) * ldb;
+      const float* __restrict__ b3 = b + (p + 3) * ldb;
+      const float a00 = LoadA<kTransA>(a, lda, i + 0, p);
+      const float a01 = LoadA<kTransA>(a, lda, i + 0, p + 1);
+      const float a02 = LoadA<kTransA>(a, lda, i + 0, p + 2);
+      const float a03 = LoadA<kTransA>(a, lda, i + 0, p + 3);
+      const float a10 = LoadA<kTransA>(a, lda, i + 1, p);
+      const float a11 = LoadA<kTransA>(a, lda, i + 1, p + 1);
+      const float a12 = LoadA<kTransA>(a, lda, i + 1, p + 2);
+      const float a13 = LoadA<kTransA>(a, lda, i + 1, p + 3);
+      const float a20 = LoadA<kTransA>(a, lda, i + 2, p);
+      const float a21 = LoadA<kTransA>(a, lda, i + 2, p + 1);
+      const float a22 = LoadA<kTransA>(a, lda, i + 2, p + 2);
+      const float a23 = LoadA<kTransA>(a, lda, i + 2, p + 3);
+      const float a30 = LoadA<kTransA>(a, lda, i + 3, p);
+      const float a31 = LoadA<kTransA>(a, lda, i + 3, p + 1);
+      const float a32 = LoadA<kTransA>(a, lda, i + 3, p + 2);
+      const float a33 = LoadA<kTransA>(a, lda, i + 3, p + 3);
+      for (int64_t j = j_begin; j < j_end; ++j) {
+        c0[j] += (a00 * b0[j] + a01 * b1[j]) + (a02 * b2[j] + a03 * b3[j]);
+        c1[j] += (a10 * b0[j] + a11 * b1[j]) + (a12 * b2[j] + a13 * b3[j]);
+        c2[j] += (a20 * b0[j] + a21 * b1[j]) + (a22 * b2[j] + a23 * b3[j]);
+        c3[j] += (a30 * b0[j] + a31 * b1[j]) + (a32 * b2[j] + a33 * b3[j]);
+      }
+    }
+    for (; p < p_end; ++p) {
+      const float* __restrict__ bp = b + p * ldb;
+      const float a0 = LoadA<kTransA>(a, lda, i + 0, p);
+      const float a1 = LoadA<kTransA>(a, lda, i + 1, p);
+      const float a2 = LoadA<kTransA>(a, lda, i + 2, p);
+      const float a3 = LoadA<kTransA>(a, lda, i + 3, p);
+      for (int64_t j = j_begin; j < j_end; ++j) {
+        c0[j] += a0 * bp[j];
+        c1[j] += a1 * bp[j];
+        c2[j] += a2 * bp[j];
+        c3[j] += a3 * bp[j];
+      }
+    }
+  }
+  // Row tail (< kMR rows): identical k order — quads pairwise, then the
+  // sequential k tail — so a row computes the same bits whichever path
+  // handles it.
+  for (; i < i_end; ++i) {
+    float* __restrict__ ci = c + i * ldc;
+    int64_t p = p_begin;
+    for (; p + 4 <= p_end; p += 4) {
+      const float* __restrict__ b0 = b + (p + 0) * ldb;
+      const float* __restrict__ b1 = b + (p + 1) * ldb;
+      const float* __restrict__ b2 = b + (p + 2) * ldb;
+      const float* __restrict__ b3 = b + (p + 3) * ldb;
+      const float a0 = LoadA<kTransA>(a, lda, i, p);
+      const float a1 = LoadA<kTransA>(a, lda, i, p + 1);
+      const float a2 = LoadA<kTransA>(a, lda, i, p + 2);
+      const float a3 = LoadA<kTransA>(a, lda, i, p + 3);
+      for (int64_t j = j_begin; j < j_end; ++j) {
+        ci[j] += (a0 * b0[j] + a1 * b1[j]) + (a2 * b2[j] + a3 * b3[j]);
+      }
+    }
+    for (; p < p_end; ++p) {
+      const float* __restrict__ bp = b + p * ldb;
+      const float av = LoadA<kTransA>(a, lda, i, p);
+      for (int64_t j = j_begin; j < j_end; ++j) ci[j] += av * bp[j];
+    }
+  }
+}
+
+/// Shared driver: C[m,n] += op(A) * B with blocking and row-panel
+/// parallelism. B is [k, n] with leading dimension ldb.
+template <bool kTransA>
+void BlockedGemm(const float* a, int64_t lda, const float* b, int64_t ldb,
+                 float* c, int64_t m, int64_t k, int64_t n) {
+  ParallelFor(0, m, kRowGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t j0 = 0; j0 < n; j0 += kNC) {
+      const int64_t j1 = std::min<int64_t>(n, j0 + kNC);
+      for (int64_t p0 = 0; p0 < k; p0 += kKC) {
+        const int64_t p1 = std::min<int64_t>(k, p0 + kKC);
+        MicroPanel<kTransA>(a, lda, b, ldb, c, n, i0, i1, p0, p1, j0, j1);
+      }
+    }
+  });
+}
+
+/// C[m,n] (+)= A[m,k] * B[k,n].
 void GemmImpl(const float* a, const float* b, float* c, int64_t m, int64_t k,
               int64_t n, bool accumulate) {
   if (!accumulate) std::fill(c, c + m * n, 0.0f);
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  BlockedGemm<false>(a, k, b, n, c, m, k, n);
 }
 
 /// C[m,n] += A[k,m]^T B[k,n].
 void GemmTransAImpl(const float* a, const float* b, float* c, int64_t m,
                     int64_t k, int64_t n) {
-  for (int64_t p = 0; p < k; ++p) {
-    const float* arow = a + p * m;
-    const float* brow = b + p * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  BlockedGemm<true>(a, m, b, n, c, m, k, n);
 }
 
-/// C[m,n] += A[m,k] B[n,k]^T.
+/// C[m,n] += A[m,k] B[n,k]^T. B is repacked as B^T so the inner loops stream
+/// contiguously; the pack is O(kn) against O(mkn) compute. For very small m
+/// the pack does not amortize, so fall back to sequential dot products.
 void GemmTransBImpl(const float* a, const float* b, float* c, int64_t m,
                     int64_t k, int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      float acc = 0.0f;
-      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] += acc;
+  if (m < kMR) {
+    for (int64_t i = 0; i < m; ++i) {
+      const float* __restrict__ arow = a + i * k;
+      float* __restrict__ crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* __restrict__ brow = b + j * k;
+        float acc = 0.0f;
+        for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        crow[j] += acc;
+      }
     }
+    return;
   }
+  std::vector<float>& bt = tls_pack;
+  bt.resize(static_cast<size_t>(k * n));
+  for (int64_t j = 0; j < n; ++j) {
+    const float* __restrict__ brow = b + j * k;
+    for (int64_t p = 0; p < k; ++p) bt[static_cast<size_t>(p * n + j)] = brow[p];
+  }
+  BlockedGemm<false>(a, k, bt.data(), n, c, m, k, n);
 }
 
 }  // namespace
+
+void VecAxpy(float alpha, const float* x, float* y, int64_t n) {
+  ParallelForWork(n, kGemmWorkPerRow, [&](int64_t lo, int64_t hi) {
+    const float* __restrict__ xs = x;
+    float* __restrict__ ys = y;
+    for (int64_t i = lo; i < hi; ++i) ys[i] += alpha * xs[i];
+  });
+}
+
+void VecScale(float alpha, float* y, int64_t n) {
+  ParallelForWork(n, 1, [&](int64_t lo, int64_t hi) {
+    float* __restrict__ ys = y;
+    for (int64_t i = lo; i < hi; ++i) ys[i] *= alpha;
+  });
+}
 
 void MatMul(const Tensor& a, const Tensor& b, Tensor* c) {
   ALT_CHECK_EQ(a.ndim(), 2);
@@ -104,28 +251,34 @@ void BatchedMatMul(const Tensor& a, bool trans_a, const Tensor& b,
   const int64_t a_stride = a.size(1) * a.size(2);
   const int64_t b_stride = b.size(1) * b.size(2);
   const int64_t c_stride = m * n;
-  for (int64_t bi = 0; bi < batch; ++bi) {
-    const float* ap = a.data() + bi * a_stride;
-    const float* bp = b.data() + bi * b_stride;
-    float* cp = c->data() + bi * c_stride;
-    if (!accumulate) std::fill(cp, cp + c_stride, 0.0f);
-    if (!trans_a && !trans_b) {
-      GemmImpl(ap, bp, cp, m, k, n, /*accumulate=*/true);
-    } else if (trans_a && !trans_b) {
-      GemmTransAImpl(ap, bp, cp, m, k, n);
-    } else if (!trans_a && trans_b) {
-      GemmTransBImpl(ap, bp, cp, m, k, n);
-    } else {
-      // (A^T B^T): rarely needed; do it elementwise.
-      for (int64_t i = 0; i < m; ++i) {
-        for (int64_t j = 0; j < n; ++j) {
-          float acc = 0.0f;
-          for (int64_t p = 0; p < k; ++p) acc += ap[p * m + i] * bp[j * k + p];
-          cp[i * n + j] += acc;
+  // Parallel over the batch; with batch == 1 the outer loop collapses and
+  // the per-matrix GEMM parallelizes over row panels instead.
+  ParallelFor(0, batch, /*grain=*/1, [&](int64_t b0, int64_t b1) {
+    for (int64_t bi = b0; bi < b1; ++bi) {
+      const float* ap = a.data() + bi * a_stride;
+      const float* bp = b.data() + bi * b_stride;
+      float* cp = c->data() + bi * c_stride;
+      if (!accumulate) std::fill(cp, cp + c_stride, 0.0f);
+      if (!trans_a && !trans_b) {
+        GemmImpl(ap, bp, cp, m, k, n, /*accumulate=*/true);
+      } else if (trans_a && !trans_b) {
+        GemmTransAImpl(ap, bp, cp, m, k, n);
+      } else if (!trans_a && trans_b) {
+        GemmTransBImpl(ap, bp, cp, m, k, n);
+      } else {
+        // (A^T B^T): rarely needed; do it elementwise.
+        for (int64_t i = 0; i < m; ++i) {
+          for (int64_t j = 0; j < n; ++j) {
+            float acc = 0.0f;
+            for (int64_t p = 0; p < k; ++p) {
+              acc += ap[p * m + i] * bp[j * k + p];
+            }
+            cp[i * n + j] += acc;
+          }
         }
       }
     }
-  }
+  });
 }
 
 void Conv1D(const Tensor& input, const Tensor& weight, const Tensor* bias,
@@ -143,30 +296,45 @@ void Conv1D(const Tensor& input, const Tensor& weight, const Tensor* bias,
   ALT_CHECK_EQ(out->size(2), cout);
   ALT_CHECK_GE(dilation, 1);
 
-  // SAME padding: output position t reads input positions
-  // t + (j - (k-1)/2) * dilation for tap j in [0, k).
+  // im2col + GEMM: each output row [t, :] is X2[t, :] * W^T where
+  // X2[t, j*cin + ci] holds input[t + (j - half)*dilation, ci] under SAME
+  // padding (zeros outside the sequence). The repacked weight Wt[p, co] is
+  // shared read-only across the batch; the im2col buffer is per-thread.
   const int64_t half = (k - 1) / 2;
-  out->SetZero();
-  for (int64_t b = 0; b < batch; ++b) {
-    for (int64_t t = 0; t < seq; ++t) {
-      float* orow = out->data() + (b * seq + t) * cout;
-      for (int64_t j = 0; j < k; ++j) {
-        const int64_t ti = t + (j - half) * dilation;
-        if (ti < 0 || ti >= seq) continue;
-        const float* irow = input.data() + (b * seq + ti) * cin;
-        const float* wtap = weight.data() + j * cin;  // [cout, k, cin]
-        for (int64_t co = 0; co < cout; ++co) {
-          const float* w = wtap + co * k * cin;
-          float acc = 0.0f;
-          for (int64_t ci = 0; ci < cin; ++ci) acc += irow[ci] * w[ci];
-          orow[co] += acc;
-        }
-      }
-      if (bias != nullptr) {
-        for (int64_t co = 0; co < cout; ++co) orow[co] += (*bias)[co];
-      }
+  const int64_t cols = k * cin;
+  std::vector<float> wt(static_cast<size_t>(cols * cout));
+  for (int64_t co = 0; co < cout; ++co) {
+    const float* __restrict__ w = weight.data() + co * cols;
+    for (int64_t p = 0; p < cols; ++p) {
+      wt[static_cast<size_t>(p * cout + co)] = w[p];
     }
   }
+
+  ParallelFor(0, batch, /*grain=*/1, [&](int64_t b0, int64_t b1) {
+    for (int64_t b = b0; b < b1; ++b) {
+      std::vector<float>& x2 = tls_im2col;
+      x2.assign(static_cast<size_t>(seq * cols), 0.0f);
+      for (int64_t t = 0; t < seq; ++t) {
+        float* __restrict__ xrow = x2.data() + t * cols;
+        for (int64_t j = 0; j < k; ++j) {
+          const int64_t ti = t + (j - half) * dilation;
+          if (ti < 0 || ti >= seq) continue;
+          const float* __restrict__ irow = input.data() + (b * seq + ti) * cin;
+          float* __restrict__ dst = xrow + j * cin;
+          for (int64_t ci = 0; ci < cin; ++ci) dst[ci] = irow[ci];
+        }
+      }
+      float* cp = out->data() + b * seq * cout;
+      GemmImpl(x2.data(), wt.data(), cp, seq, cols, cout,
+               /*accumulate=*/false);
+      if (bias != nullptr) {
+        for (int64_t t = 0; t < seq; ++t) {
+          float* __restrict__ orow = cp + t * cout;
+          for (int64_t co = 0; co < cout; ++co) orow[co] += (*bias)[co];
+        }
+      }
+    }
+  });
 }
 
 void Conv1DBackward(const Tensor& input, const Tensor& weight,
@@ -180,6 +348,9 @@ void Conv1DBackward(const Tensor& input, const Tensor& weight,
   const int64_t k = weight.size(1);
   const int64_t half = (k - 1) / 2;
 
+  // Sequential: grad_weight/grad_bias accumulate across the whole batch and
+  // grad_input rows overlap across taps, so naive loop parallelism would
+  // race. Backward cost is dominated by the forward GEMMs elsewhere.
   for (int64_t b = 0; b < batch; ++b) {
     for (int64_t t = 0; t < seq; ++t) {
       const float* grow = grad_out.data() + (b * seq + t) * cout;
@@ -195,13 +366,12 @@ void Conv1DBackward(const Tensor& input, const Tensor& weight,
                            : nullptr;
         for (int64_t co = 0; co < cout; ++co) {
           const float g = grow[co];
-          if (g == 0.0f) continue;
-          const float* w = weight.data() + (co * k + j) * cin;
+          const float* __restrict__ w = weight.data() + (co * k + j) * cin;
           if (girow != nullptr) {
             for (int64_t ci = 0; ci < cin; ++ci) girow[ci] += g * w[ci];
           }
           if (grad_weight != nullptr) {
-            float* gw = grad_weight->data() + (co * k + j) * cin;
+            float* __restrict__ gw = grad_weight->data() + (co * k + j) * cin;
             for (int64_t ci = 0; ci < cin; ++ci) gw[ci] += g * irow[ci];
           }
         }

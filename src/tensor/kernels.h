@@ -11,6 +11,20 @@ namespace alt {
 /// All kernels operate on pre-shaped tensors; shape validation happens at the
 /// op layer. Accumulating variants (suffix `Acc`) add into the output, which
 /// is what backward passes need for gradient accumulation.
+///
+/// The GEMM-family kernels are cache-blocked and register-tiled, and
+/// parallelize over row panels (or the batch dimension) through
+/// src/util/parallel_for.h. Reduction order per output element is fixed by
+/// the blocking constants alone, so results are bit-identical for every
+/// thread count (ALT_THREADS / alt::SetComputeThreads). The original scalar
+/// kernels are preserved in kernels_naive.h as the parity/benchmark baseline.
+
+/// y[i] += alpha * x[i]. The shared axpy primitive behind
+/// Tensor::AddInPlace / Tensor::Axpy, optimizer updates, and gradient
+/// accumulation; threaded above a fixed size cutoff.
+void VecAxpy(float alpha, const float* x, float* y, int64_t n);
+/// y[i] *= alpha.
+void VecScale(float alpha, float* y, int64_t n);
 
 /// C = A[m,k] * B[k,n]. Overwrites C.
 void MatMul(const Tensor& a, const Tensor& b, Tensor* c);

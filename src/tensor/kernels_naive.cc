@@ -1,0 +1,118 @@
+#include "src/tensor/kernels_naive.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace alt {
+namespace naive {
+
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n, bool accumulate) {
+  if (!accumulate) std::fill(c, c + m * n, 0.0f);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmTransA(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                int64_t n) {
+  for (int64_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmTransB(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+void BatchedMatMul(const Tensor& a, bool trans_a, const Tensor& b,
+                   bool trans_b, Tensor* c, bool accumulate) {
+  const int64_t batch = a.size(0);
+  const int64_t m = trans_a ? a.size(2) : a.size(1);
+  const int64_t k = trans_a ? a.size(1) : a.size(2);
+  const int64_t n = trans_b ? b.size(1) : b.size(2);
+  const int64_t a_stride = a.size(1) * a.size(2);
+  const int64_t b_stride = b.size(1) * b.size(2);
+  const int64_t c_stride = m * n;
+  for (int64_t bi = 0; bi < batch; ++bi) {
+    const float* ap = a.data() + bi * a_stride;
+    const float* bp = b.data() + bi * b_stride;
+    float* cp = c->data() + bi * c_stride;
+    if (!accumulate) std::fill(cp, cp + c_stride, 0.0f);
+    if (!trans_a && !trans_b) {
+      Gemm(ap, bp, cp, m, k, n, /*accumulate=*/true);
+    } else if (trans_a && !trans_b) {
+      GemmTransA(ap, bp, cp, m, k, n);
+    } else if (!trans_a && trans_b) {
+      GemmTransB(ap, bp, cp, m, k, n);
+    } else {
+      for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+          float acc = 0.0f;
+          for (int64_t p = 0; p < k; ++p) acc += ap[p * m + i] * bp[j * k + p];
+          cp[i * n + j] += acc;
+        }
+      }
+    }
+  }
+}
+
+void Conv1D(const Tensor& input, const Tensor& weight, const Tensor* bias,
+            int64_t dilation, Tensor* out) {
+  const int64_t batch = input.size(0);
+  const int64_t seq = input.size(1);
+  const int64_t cin = input.size(2);
+  const int64_t cout = weight.size(0);
+  const int64_t k = weight.size(1);
+  ALT_CHECK_EQ(weight.size(2), cin);
+  const int64_t half = (k - 1) / 2;
+  out->SetZero();
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t t = 0; t < seq; ++t) {
+      float* orow = out->data() + (b * seq + t) * cout;
+      for (int64_t j = 0; j < k; ++j) {
+        const int64_t ti = t + (j - half) * dilation;
+        if (ti < 0 || ti >= seq) continue;
+        const float* irow = input.data() + (b * seq + ti) * cin;
+        const float* wtap = weight.data() + j * cin;  // [cout, k, cin]
+        for (int64_t co = 0; co < cout; ++co) {
+          const float* w = wtap + co * k * cin;
+          float acc = 0.0f;
+          for (int64_t ci = 0; ci < cin; ++ci) acc += irow[ci] * w[ci];
+          orow[co] += acc;
+        }
+      }
+      if (bias != nullptr) {
+        for (int64_t co = 0; co < cout; ++co) orow[co] += (*bias)[co];
+      }
+    }
+  }
+}
+
+}  // namespace naive
+}  // namespace alt

@@ -1,0 +1,45 @@
+#ifndef ALT_SRC_TENSOR_KERNELS_NAIVE_H_
+#define ALT_SRC_TENSOR_KERNELS_NAIVE_H_
+
+#include <cstdint>
+
+#include "src/tensor/tensor.h"
+
+namespace alt {
+namespace naive {
+
+/// Reference implementations of the dense kernels, byte-for-byte the scalar
+/// triple loops the library shipped with before the blocked/parallel kernel
+/// layer landed. They are compiled with the default optimization flags (no
+/// per-file -O3 override), so they measure exactly what the pre-kernel-layer
+/// build would do. Kept for two purposes:
+///   1. the kernel parity test suite checks the optimized kernels against
+///      them over randomized shapes, and
+///   2. bench_kernels reports the optimized/naive GFLOP/s ratio so the perf
+///      trajectory is tracked from the PR that introduced the layer onward.
+/// Do not "optimize" these: their value is being the frozen baseline.
+
+/// C[m,n] (+)= A[m,k] * B[k,n].
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n, bool accumulate);
+
+/// C[m,n] += A[k,m]^T B[k,n].
+void GemmTransA(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                int64_t n);
+
+/// C[m,n] += A[m,k] B[n,k]^T.
+void GemmTransB(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                int64_t n);
+
+/// Batched C[b] (+)= op(A[b]) op(B[b]); same contract as alt::BatchedMatMul.
+void BatchedMatMul(const Tensor& a, bool trans_a, const Tensor& b,
+                   bool trans_b, Tensor* c, bool accumulate);
+
+/// Direct 1-D convolution; same contract as alt::Conv1D.
+void Conv1D(const Tensor& input, const Tensor& weight, const Tensor* bias,
+            int64_t dilation, Tensor* out);
+
+}  // namespace naive
+}  // namespace alt
+
+#endif  // ALT_SRC_TENSOR_KERNELS_NAIVE_H_

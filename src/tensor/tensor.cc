@@ -5,6 +5,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "src/tensor/kernels.h"
 #include "src/util/logging.h"
 
 namespace alt {
@@ -108,17 +109,19 @@ void Tensor::Fill(float value) {
 void Tensor::AddInPlace(const Tensor& other) {
   ALT_CHECK(SameShape(other)) << ShapeToString(shape_) << " vs "
                               << ShapeToString(other.shape_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  // alpha == 1.0f multiplies exactly, so this shares the axpy kernel
+  // bit-for-bit with Axpy.
+  VecAxpy(1.0f, other.data(), data(), numel());
 }
 
 void Tensor::Axpy(float alpha, const Tensor& other) {
   ALT_CHECK(SameShape(other)) << ShapeToString(shape_) << " vs "
                               << ShapeToString(other.shape_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+  VecAxpy(alpha, other.data(), data(), numel());
 }
 
 void Tensor::ScaleInPlace(float alpha) {
-  for (float& v : data_) v *= alpha;
+  VecScale(alpha, data(), numel());
 }
 
 Tensor Tensor::Reshape(std::vector<int64_t> new_shape) const {

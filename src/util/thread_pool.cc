@@ -21,6 +21,19 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
+void ThreadPool::EnsureWorkers(size_t num_threads) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ALT_CHECK(!shutdown_);
+  while (workers_.size() < num_threads) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+size_t ThreadPool::num_threads() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return workers_.size();
+}
+
 void ThreadPool::WaitIdle() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_cv_.wait(lock, [this]() { return queue_.empty() && active_ == 0; });

@@ -11,9 +11,11 @@
 
 namespace alt {
 
-/// A fixed-size worker pool. Tasks are arbitrary callables; Submit returns a
-/// future for the task's result. Used by the AntTune-style trial scheduler
-/// and for parallel scenario handling.
+/// A worker pool. Tasks are arbitrary callables; Submit returns a future for
+/// the task's result. Used by the AntTune-style trial scheduler, for parallel
+/// scenario handling, and as the backing pool of the compute-kernel layer
+/// (see src/util/parallel_for.h). The pool can grow (EnsureWorkers) but never
+/// shrinks before destruction.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -40,14 +42,18 @@ class ThreadPool {
   /// Blocks until every queued and running task has finished.
   void WaitIdle();
 
-  size_t num_threads() const { return workers_.size(); }
+  /// Grows the pool to at least `num_threads` workers. No-op if the pool is
+  /// already that large; safe to call while tasks are running.
+  void EnsureWorkers(size_t num_threads);
+
+  size_t num_threads() const;
 
  private:
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
   size_t active_ = 0;

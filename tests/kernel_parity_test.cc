@@ -1,0 +1,340 @@
+// Parity suite for the blocked/parallel kernel layer: checks the optimized
+// kernels in src/tensor/kernels.cc against the frozen naive baselines in
+// kernels_naive.cc over randomized shapes (including degenerate and
+// non-tile-multiple ones), and asserts that every kernel is bit-identical
+// across compute thread counts {1, 2, hardware}.
+
+#include "src/tensor/kernels.h"
+
+#include <cmath>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/tensor/kernels_naive.h"
+#include "src/util/parallel_for.h"
+#include "src/util/rng.h"
+
+namespace alt {
+namespace {
+
+/// Restores the default thread configuration when a test exits.
+struct ThreadOverrideGuard {
+  ~ThreadOverrideGuard() { SetComputeThreads(0); }
+};
+
+std::vector<int> TestThreadCounts() {
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw < 1) hw = 1;
+  std::vector<int> counts = {1, 2};
+  if (hw != 1 && hw != 2) counts.push_back(hw);
+  // One count above the hardware limit exercises the chunk-capping path.
+  counts.push_back(hw + 3);
+  return counts;
+}
+
+Tensor RandTensor(std::vector<int64_t> shape, Rng* rng) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng->Uniform(-2.0, 2.0));
+  }
+  return t;
+}
+
+/// Relative comparison: the blocked kernels use a different (but fixed)
+/// reduction order than the naive baseline, so values agree to rounding.
+void ExpectClose(const Tensor& got, const Tensor& want, const char* what) {
+  ASSERT_EQ(got.numel(), want.numel()) << what;
+  for (int64_t i = 0; i < got.numel(); ++i) {
+    const double g = got[i];
+    const double w = want[i];
+    const double tol = 1e-4 * std::max(1.0, std::fabs(w));
+    ASSERT_NEAR(g, w, tol) << what << " at " << i;
+  }
+}
+
+void ExpectBitIdentical(const Tensor& got, const Tensor& want,
+                        const char* what, int threads) {
+  ASSERT_EQ(got.numel(), want.numel());
+  ASSERT_EQ(0, std::memcmp(got.data(), want.data(),
+                           sizeof(float) * static_cast<size_t>(got.numel())))
+      << what << " differs between 1 thread and " << threads << " threads";
+}
+
+// Shapes covering m/n/k == 1, sub-tile, non-tile-multiple, and
+// several-chunks-per-shard cases (register tile kMR=4, row grain 32).
+struct GemmShape {
+  int64_t m, k, n;
+};
+
+const GemmShape kGemmShapes[] = {
+    {1, 1, 1},  {1, 5, 3},   {7, 1, 9},    {5, 7, 1},   {4, 4, 4},
+    {3, 9, 2},  {33, 17, 9}, {31, 32, 33}, {64, 64, 64}, {65, 33, 129},
+    {97, 5, 7}, {128, 3, 1},
+};
+
+TEST(KernelParityTest, GemmMatchesNaive) {
+  ThreadOverrideGuard guard;
+  Rng rng(11);
+  for (const auto& s : kGemmShapes) {
+    Tensor a = RandTensor({s.m, s.k}, &rng);
+    Tensor b = RandTensor({s.k, s.n}, &rng);
+    Tensor got({s.m, s.n});
+    MatMul(a, b, &got);
+    Tensor want({s.m, s.n});
+    naive::Gemm(a.data(), b.data(), want.data(), s.m, s.k, s.n, false);
+    ExpectClose(got, want, "gemm");
+  }
+}
+
+TEST(KernelParityTest, GemmAccumulateMatchesNaive) {
+  ThreadOverrideGuard guard;
+  Rng rng(12);
+  for (const auto& s : kGemmShapes) {
+    Tensor a = RandTensor({s.m, s.k}, &rng);
+    Tensor b = RandTensor({s.k, s.n}, &rng);
+    Tensor base = RandTensor({s.m, s.n}, &rng);
+    Tensor got = base;
+    MatMulAcc(a, b, &got);
+    Tensor want = base;
+    naive::Gemm(a.data(), b.data(), want.data(), s.m, s.k, s.n, true);
+    ExpectClose(got, want, "gemm_acc");
+  }
+}
+
+TEST(KernelParityTest, GemmTransAMatchesNaive) {
+  ThreadOverrideGuard guard;
+  Rng rng(13);
+  for (const auto& s : kGemmShapes) {
+    Tensor a = RandTensor({s.k, s.m}, &rng);
+    Tensor b = RandTensor({s.k, s.n}, &rng);
+    Tensor got({s.m, s.n});
+    MatMulTransAAcc(a, b, &got);
+    Tensor want({s.m, s.n});
+    naive::GemmTransA(a.data(), b.data(), want.data(), s.m, s.k, s.n);
+    ExpectClose(got, want, "gemm_trans_a");
+  }
+}
+
+TEST(KernelParityTest, GemmTransBMatchesNaive) {
+  ThreadOverrideGuard guard;
+  Rng rng(14);
+  for (const auto& s : kGemmShapes) {
+    Tensor a = RandTensor({s.m, s.k}, &rng);
+    Tensor b = RandTensor({s.n, s.k}, &rng);
+    Tensor got({s.m, s.n});
+    MatMulTransBAcc(a, b, &got);
+    Tensor want({s.m, s.n});
+    naive::GemmTransB(a.data(), b.data(), want.data(), s.m, s.k, s.n);
+    ExpectClose(got, want, "gemm_trans_b");
+  }
+}
+
+TEST(KernelParityTest, GemmSparseInputMatchesNaive) {
+  // The old kernels special-cased zero A entries; the blocked ones must not
+  // change results on sparse inputs where that branch used to fire.
+  ThreadOverrideGuard guard;
+  Rng rng(15);
+  Tensor a = RandTensor({37, 29}, &rng);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    if (rng.Bernoulli(0.7)) a[i] = 0.0f;
+  }
+  Tensor b = RandTensor({29, 23}, &rng);
+  Tensor got({37, 23});
+  MatMul(a, b, &got);
+  Tensor want({37, 23});
+  naive::Gemm(a.data(), b.data(), want.data(), 37, 29, 23, false);
+  ExpectClose(got, want, "gemm_sparse");
+}
+
+TEST(KernelParityTest, BatchedMatMulMatchesNaiveAllTransposes) {
+  ThreadOverrideGuard guard;
+  Rng rng(16);
+  const int64_t batch = 5, m = 9, k = 6, n = 11;
+  for (bool trans_a : {false, true}) {
+    for (bool trans_b : {false, true}) {
+      Tensor a = trans_a ? RandTensor({batch, k, m}, &rng)
+                         : RandTensor({batch, m, k}, &rng);
+      Tensor b = trans_b ? RandTensor({batch, n, k}, &rng)
+                         : RandTensor({batch, k, n}, &rng);
+      for (bool accumulate : {false, true}) {
+        Tensor base = RandTensor({batch, m, n}, &rng);
+        Tensor got = base;
+        BatchedMatMul(a, trans_a, b, trans_b, &got, accumulate);
+        Tensor want = base;
+        naive::BatchedMatMul(a, trans_a, b, trans_b, &want, accumulate);
+        ExpectClose(got, want, "batched_matmul");
+      }
+    }
+  }
+}
+
+TEST(KernelParityTest, Conv1DMatchesNaive) {
+  ThreadOverrideGuard guard;
+  Rng rng(17);
+  for (int64_t kernel : {1, 3, 5}) {
+    for (int64_t dilation : {1, 2}) {
+      for (int64_t seq : {1, 7, 33}) {
+        Tensor input = RandTensor({3, seq, 5}, &rng);
+        Tensor weight = RandTensor({4, kernel, 5}, &rng);
+        Tensor bias = RandTensor({4}, &rng);
+        Tensor got({3, seq, 4});
+        Conv1D(input, weight, &bias, dilation, &got);
+        Tensor want({3, seq, 4});
+        naive::Conv1D(input, weight, &bias, dilation, &want);
+        ExpectClose(got, want, "conv1d");
+      }
+    }
+  }
+}
+
+TEST(KernelParityTest, Conv1DNoBiasMatchesNaive) {
+  ThreadOverrideGuard guard;
+  Rng rng(18);
+  Tensor input = RandTensor({2, 9, 3}, &rng);
+  Tensor weight = RandTensor({5, 3, 3}, &rng);
+  Tensor got({2, 9, 5});
+  Conv1D(input, weight, nullptr, 1, &got);
+  Tensor want({2, 9, 5});
+  naive::Conv1D(input, weight, nullptr, 1, &want);
+  ExpectClose(got, want, "conv1d_nobias");
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identical determinism across thread counts. The single-thread result is
+// the reference; every other thread count must reproduce it byte for byte.
+
+TEST(KernelParityTest, GemmBitIdenticalAcrossThreadCounts) {
+  ThreadOverrideGuard guard;
+  Rng rng(21);
+  for (const auto& s : kGemmShapes) {
+    Tensor a = RandTensor({s.m, s.k}, &rng);
+    Tensor b = RandTensor({s.k, s.n}, &rng);
+    SetComputeThreads(1);
+    Tensor ref({s.m, s.n});
+    MatMul(a, b, &ref);
+    for (int threads : TestThreadCounts()) {
+      SetComputeThreads(threads);
+      Tensor got({s.m, s.n});
+      MatMul(a, b, &got);
+      ExpectBitIdentical(got, ref, "gemm", threads);
+    }
+  }
+}
+
+TEST(KernelParityTest, GemmTransVariantsBitIdenticalAcrossThreadCounts) {
+  ThreadOverrideGuard guard;
+  Rng rng(22);
+  const int64_t m = 65, k = 37, n = 41;
+  Tensor at = RandTensor({k, m}, &rng);
+  Tensor bt = RandTensor({n, k}, &rng);
+  Tensor a = RandTensor({m, k}, &rng);
+  Tensor b = RandTensor({k, n}, &rng);
+
+  SetComputeThreads(1);
+  Tensor ref_ta({m, n}), ref_tb({m, n});
+  MatMulTransAAcc(at, b, &ref_ta);
+  MatMulTransBAcc(a, bt, &ref_tb);
+  for (int threads : TestThreadCounts()) {
+    SetComputeThreads(threads);
+    Tensor got_ta({m, n}), got_tb({m, n});
+    MatMulTransAAcc(at, b, &got_ta);
+    MatMulTransBAcc(a, bt, &got_tb);
+    ExpectBitIdentical(got_ta, ref_ta, "gemm_trans_a", threads);
+    ExpectBitIdentical(got_tb, ref_tb, "gemm_trans_b", threads);
+  }
+}
+
+TEST(KernelParityTest, BatchedMatMulBitIdenticalAcrossThreadCounts) {
+  ThreadOverrideGuard guard;
+  Rng rng(23);
+  for (bool trans_a : {false, true}) {
+    for (bool trans_b : {false, true}) {
+      const int64_t batch = 7, m = 13, k = 9, n = 17;
+      Tensor a = trans_a ? RandTensor({batch, k, m}, &rng)
+                         : RandTensor({batch, m, k}, &rng);
+      Tensor b = trans_b ? RandTensor({batch, n, k}, &rng)
+                         : RandTensor({batch, k, n}, &rng);
+      SetComputeThreads(1);
+      Tensor ref({batch, m, n});
+      BatchedMatMul(a, trans_a, b, trans_b, &ref, false);
+      for (int threads : TestThreadCounts()) {
+        SetComputeThreads(threads);
+        Tensor got({batch, m, n});
+        BatchedMatMul(a, trans_a, b, trans_b, &got, false);
+        ExpectBitIdentical(got, ref, "batched_matmul", threads);
+      }
+    }
+  }
+}
+
+TEST(KernelParityTest, Conv1DBitIdenticalAcrossThreadCounts) {
+  ThreadOverrideGuard guard;
+  Rng rng(24);
+  Tensor input = RandTensor({6, 29, 7}, &rng);
+  Tensor weight = RandTensor({11, 3, 7}, &rng);
+  Tensor bias = RandTensor({11}, &rng);
+  SetComputeThreads(1);
+  Tensor ref({6, 29, 11});
+  Conv1D(input, weight, &bias, 1, &ref);
+  for (int threads : TestThreadCounts()) {
+    SetComputeThreads(threads);
+    Tensor got({6, 29, 11});
+    Conv1D(input, weight, &bias, 1, &got);
+    ExpectBitIdentical(got, ref, "conv1d", threads);
+  }
+}
+
+TEST(KernelParityTest, VecAxpyBitIdenticalAcrossThreadCounts) {
+  ThreadOverrideGuard guard;
+  Rng rng(25);
+  const int64_t n = 100003;  // Prime: chunk boundaries never align with n.
+  std::vector<float> x(static_cast<size_t>(n));
+  std::vector<float> y0(static_cast<size_t>(n));
+  for (auto& v : x) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  for (auto& v : y0) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+
+  SetComputeThreads(1);
+  std::vector<float> ref = y0;
+  VecAxpy(0.3f, x.data(), ref.data(), n);
+  for (int threads : TestThreadCounts()) {
+    SetComputeThreads(threads);
+    std::vector<float> got = y0;
+    VecAxpy(0.3f, x.data(), got.data(), n);
+    ASSERT_EQ(0, std::memcmp(got.data(), ref.data(),
+                             sizeof(float) * static_cast<size_t>(n)))
+        << "vec_axpy differs at " << threads << " threads";
+  }
+}
+
+TEST(KernelParityTest, VecAxpyAndScaleValues) {
+  ThreadOverrideGuard guard;
+  std::vector<float> x = {1.0f, 2.0f, 3.0f};
+  std::vector<float> y = {10.0f, 20.0f, 30.0f};
+  VecAxpy(2.0f, x.data(), y.data(), 3);
+  EXPECT_FLOAT_EQ(y[0], 12.0f);
+  EXPECT_FLOAT_EQ(y[1], 24.0f);
+  EXPECT_FLOAT_EQ(y[2], 36.0f);
+  VecScale(0.5f, y.data(), 3);
+  EXPECT_FLOAT_EQ(y[0], 6.0f);
+  EXPECT_FLOAT_EQ(y[1], 12.0f);
+  EXPECT_FLOAT_EQ(y[2], 18.0f);
+}
+
+TEST(KernelParityTest, AddInPlaceMatchesPlainAdd) {
+  // Tensor::AddInPlace routes through VecAxpy(1.0f, ...); multiplying by
+  // exactly 1.0f must reproduce a plain += bit for bit.
+  ThreadOverrideGuard guard;
+  Rng rng(26);
+  Tensor a = RandTensor({513}, &rng);
+  Tensor b = RandTensor({513}, &rng);
+  Tensor want = a;
+  for (int64_t i = 0; i < want.numel(); ++i) want[i] += b[i];
+  Tensor got = a;
+  got.AddInPlace(b);
+  ExpectBitIdentical(got, want, "add_in_place", 1);
+}
+
+}  // namespace
+}  // namespace alt

@@ -10,6 +10,8 @@
 #   build        Release (tier-1)
 #   build-asan   Release + -fsanitize=address   + ALT_DCHECKS=ON
 #   build-ubsan  Release + -fsanitize=undefined + ALT_DCHECKS=ON
+#   build-tsan   Release + -fsanitize=thread    + ALT_DCHECKS=ON
+#                (threading-related tests only; see below)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -41,5 +43,18 @@ ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
 
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
   run_config build-ubsan -DALT_SANITIZE=undefined -DALT_DCHECKS=ON
+
+# TSan covers the compute-kernel layer (ParallelFor, the shared compute pool,
+# and the parallel GEMM/conv/elementwise kernels). Only the threading-related
+# targets are built and run: TSan slows everything ~10x and the rest of the
+# suite is single-threaded.
+TSAN_TARGETS=(parallel_for_test kernel_parity_test util_test hpo_test)
+echo "==> configuring build-tsan (-DALT_SANITIZE=thread -DALT_DCHECKS=ON)"
+cmake -B build-tsan -S . -DALT_SANITIZE=thread -DALT_DCHECKS=ON >/dev/null
+echo "==> building build-tsan (${TSAN_TARGETS[*]})"
+cmake --build build-tsan -j --target "${TSAN_TARGETS[@]}" >/dev/null
+echo "==> testing build-tsan"
+ctest --test-dir build-tsan --output-on-failure \
+  -R "^($(IFS='|'; echo "${TSAN_TARGETS[*]}"))$"
 
 echo "==> all configurations passed"
