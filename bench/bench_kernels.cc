@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/obs/metrics.h"
 #include "src/tensor/kernels.h"
 #include "src/tensor/kernels_naive.h"
 #include "src/tensor/tensor.h"
@@ -348,6 +349,9 @@ int Main(int argc, char** argv) {
   doc["min_time_s"] = min_time;
   doc["results"] = results;
   doc["derived"] = derived;
+  // Observability snapshot of the run itself (kernel call counts + time
+  // histograms recorded by the instrumented kernels; empty when ALT_OBS=off).
+  doc["obs"] = obs::MetricsRegistry::Global().ToJson();
 
   std::ofstream out(out_path);
   ALT_CHECK(out.good()) << "cannot open " << out_path;

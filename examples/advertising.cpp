@@ -11,11 +11,14 @@
 // Build & run:  ./build/examples/advertising
 
 #include <cstdio>
+#include <fstream>
+#include <memory>
 
 #include "src/core/alt_system.h"
 #include "src/data/synthetic.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/serving/model_store.h"
-#include "src/util/stopwatch.h"
 
 int main() {
   using namespace alt;
@@ -79,15 +82,19 @@ int main() {
   }
   std::printf("[arrival] 4 new advertisers; processing %lld in parallel\n",
               static_cast<long long>(options.parallel_scenarios));
-  Stopwatch watch;
+  // TraceSpan instead of a raw stopwatch: the same interval both feeds the
+  // printf below and lands in the trace exported at the end of the run.
+  auto arrival_span =
+      std::make_unique<obs::TraceSpan>("example/advertising/arrival");
   auto artifacts = system.OnScenariosArrival(arriving);
+  const double arrival_seconds = arrival_span->ElapsedMillis() / 1e3;
+  arrival_span.reset();  // Completes the span so the export below sees it.
   if (!artifacts.ok()) {
     std::printf("pipeline failed: %s\n",
                 artifacts.status().ToString().c_str());
     return 1;
   }
-  std::printf("[arrival] all pipelines finished in %.1fs\n",
-              watch.ElapsedSeconds());
+  std::printf("[arrival] all pipelines finished in %.1fs\n", arrival_seconds);
 
   for (const core::ScenarioArtifacts& a : artifacts.value()) {
     std::printf("  advertiser %lld: heavy AUC %.3f -> light AUC %.3f, "
@@ -111,5 +118,21 @@ int main() {
 
   std::printf("[server] %zu advertiser models deployed\n",
               system.server()->Scenarios().size());
+
+  // Observability snapshot of the whole run: every layer (trainer, NAS,
+  // meta, serving, kernels) reported into the same registry/recorder.
+  std::printf("\n[obs] metrics snapshot:\n%s",
+              obs::MetricsRegistry::Global().ToString().c_str());
+  std::printf("\n[obs] trace tree:\n%s",
+              obs::TraceRecorder::Global().ToTextTree().c_str());
+  const std::string trace_path = "/tmp/alt_advertising_trace.json";
+  std::ofstream trace_out(trace_path);
+  if (trace_out.good()) {
+    trace_out << obs::TraceRecorder::Global().ToChromeJson().DumpPretty()
+              << "\n";
+    std::printf("[obs] Chrome trace written to %s "
+                "(load in chrome://tracing or Perfetto)\n",
+                trace_path.c_str());
+  }
   return 0;
 }

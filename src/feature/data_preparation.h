@@ -12,7 +12,7 @@ namespace feature {
 
 /// Per-column standardization statistics, fit on training data only and
 /// reused at serving time so online features get identical processing.
-struct NormalizerStats {
+struct NormalizerStats {  // alt_lint: allow(L007): model state (fit parameters), not telemetry
   std::vector<float> mean;
   std::vector<float> stddev;  // Floored at 1e-6 to avoid division by zero.
 };

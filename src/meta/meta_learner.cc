@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "src/autograd/ops.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/logging.h"
 
 namespace alt {
@@ -20,6 +22,7 @@ Status MetaLearner::Initialize(
   if (initial_scenarios.empty()) {
     return Status::InvalidArgument("need at least one initial scenario");
   }
+  ALT_TRACE_SPAN(init_span, "meta/initialize");
   data::ScenarioData pooled = data::ConcatScenarios(initial_scenarios);
   std::unique_ptr<models::BaseModel> model;
   {
@@ -67,6 +70,12 @@ Result<std::unique_ptr<models::BaseModel>> MetaLearner::AdaptToScenario(
   if (scenario_train.num_samples() < 4) {
     return Status::InvalidArgument("scenario has too few samples");
   }
+  // Per-scenario adapt time: the latency a long-tail scenario pays between
+  // arrival and having a usable specialized model.
+  ALT_TRACE_SPAN(adapt_span, "meta/adapt");
+  obs::ScopedTimerMs adapt_timer(
+      obs::MetricsRegistry::Global().histogram("meta/meta_learner/adapt_time_ms"));
+  ALT_OBS_COUNTER_ADD("meta/meta_learner/adaptations_total", 1);
   // theta_u <- copy of theta_0.
   ALT_ASSIGN_OR_RETURN(std::unique_ptr<models::BaseModel> adapted,
                        CloneAgnostic());

@@ -6,6 +6,8 @@
 #include "src/analysis/graph_audit.h"
 #include "src/autograd/ops.h"
 #include "src/nas/derived_encoder.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/opt/optimizer.h"
 #include "src/util/logging.h"
 
@@ -42,6 +44,10 @@ Result<std::unique_ptr<models::BaseModel>> SearchLightModel(
   if (train_data.num_samples() < 8) {
     return Status::InvalidArgument("too few samples for NAS search");
   }
+  ALT_TRACE_SPAN(search_span, "nas/search");
+  ALT_OBS_COUNTER_ADD("nas/nas_search/searches_total", 1);
+  obs::Histogram* step_time =
+      obs::MetricsRegistry::Global().histogram("nas/nas_search/step_time_ms");
   Rng rng(options.seed);
   Rng dropout_rng = rng.Fork();
 
@@ -88,6 +94,7 @@ Result<std::unique_ptr<models::BaseModel>> SearchLightModel(
     size_t val_cursor = 0;
     for (const auto& train_idx : data::ShuffledBatchIndices(
              w_train.num_samples(), options.batch_size, &batch_rng)) {
+      obs::ScopedTimerMs step_timer(step_time);
       // Anneal the Gumbel temperature from tau_start to tau_end.
       const double progress =
           static_cast<double>(step) / static_cast<double>(total_steps);
@@ -136,9 +143,15 @@ Result<std::unique_ptr<models::BaseModel>> SearchLightModel(
   model->SetTraining(false);
 
   // 3. Derive the max-joint-probability architecture under the budget.
-  ALT_ASSIGN_OR_RETURN(
-      Architecture arch,
-      supernet_ptr->Derive(options.flops_budget, supernet_config.seq_len));
+  ALT_ASSIGN_OR_RETURN(Architecture arch, [&]() {
+    ALT_TRACE_SPAN(derive_span, "nas/derive");
+    return supernet_ptr->Derive(options.flops_budget, supernet_config.seq_len);
+  }());
+  // Sampled-architecture cost vs the Eq. 4 budget the search optimized for.
+  ALT_OBS_GAUGE_SET("nas/nas_search/derived_flops",
+                    static_cast<double>(arch.Flops(supernet_config.seq_len)));
+  ALT_OBS_GAUGE_SET("nas/nas_search/flops_budget",
+                    static_cast<double>(options.flops_budget));
   if (report != nullptr) {
     report->arch = arch;
     report->encoder_flops = arch.Flops(supernet_config.seq_len);
@@ -181,14 +194,17 @@ Result<std::unique_ptr<models::BaseModel>> SearchLightModel(
   train::TrainOptions final_train = options.final_train;
   final_train.seed = options.seed * 131 + 7;
   final_train.audit_graph = options.audit_graph;
-  if (teacher != nullptr && options.distill_delta > 0.0f) {
-    ALT_RETURN_IF_ERROR(
-        TrainWithDistillation(final_model.get(), teacher, train_data,
-                              options.distill_delta, final_train)
-            .status());
-  } else {
-    ALT_RETURN_IF_ERROR(
-        TrainModel(final_model.get(), train_data, final_train).status());
+  {
+    ALT_TRACE_SPAN(final_train_span, "nas/final_train");
+    if (teacher != nullptr && options.distill_delta > 0.0f) {
+      ALT_RETURN_IF_ERROR(
+          TrainWithDistillation(final_model.get(), teacher, train_data,
+                                options.distill_delta, final_train)
+              .status());
+    } else {
+      ALT_RETURN_IF_ERROR(
+          TrainModel(final_model.get(), train_data, final_train).status());
+    }
   }
   return final_model;
 }

@@ -1,0 +1,319 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <thread>
+
+#include "src/util/logging.h"
+#include "src/util/parallel_for.h"
+#include "src/util/table_printer.h"
+
+namespace alt {
+namespace obs {
+
+namespace internal {
+
+/// Shared ALT_OBS switch for the metrics and trace layers.
+bool ObsEnabledFromEnv() {
+  const char* env = std::getenv("ALT_OBS");
+  if (env == nullptr) return true;
+  return std::strcmp(env, "off") != 0 && std::strcmp(env, "0") != 0 &&
+         std::strcmp(env, "false") != 0;
+}
+
+}  // namespace internal
+
+namespace {
+
+/// Shard index for the calling thread, cached per thread.
+int ThreadShard() {
+  thread_local const int shard = static_cast<int>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      static_cast<size_t>(Histogram::kShards));
+  return shard;
+}
+
+/// Ratio-shaped bounds for the ParallelFor shard-imbalance histogram
+/// (max shard time / mean shard time; 1.0 is a perfectly balanced region).
+std::vector<double> ImbalanceBounds() {
+  return {1.0, 1.05, 1.1, 1.2, 1.35, 1.5, 1.75, 2.0,
+          2.5, 3.0,  4.0, 6.0, 8.0,  12.0, 16.0};
+}
+
+/// Feeds ParallelFor per-shard timings into the global registry. Installed
+/// by MetricsRegistry::Global() only when observability is enabled, so a
+/// disabled process never pays the per-shard clock reads.
+void ParallelForMetricsObserver(int64_t shards, double max_shard_seconds,
+                                double total_shard_seconds) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static Counter* regions =
+      registry.counter("util/parallel_for/regions_total");
+  static Histogram* imbalance = registry.histogram(
+      "util/parallel_for/shard_imbalance", ImbalanceBounds());
+  regions->Add(1);
+  const double mean = total_shard_seconds / static_cast<double>(shards);
+  if (mean > 0.0) imbalance->Observe(max_shard_seconds / mean);
+}
+
+}  // namespace
+
+void Gauge::Add(double delta) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<double> Histogram::DefaultLatencyBoundsMs() {
+  std::vector<double> bounds;
+  for (double decade = 1e-3; decade < 1e5; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2.0);
+    bounds.push_back(decade * 5.0);
+  }
+  return bounds;
+}
+
+Histogram::Histogram(const std::atomic<bool>* enabled,
+                     std::vector<double> bounds)
+    : enabled_(enabled), bounds_(std::move(bounds)) {
+  ALT_CHECK(!bounds_.empty()) << "histogram needs at least one bucket bound";
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    ALT_CHECK_LT(bounds_[i - 1], bounds_[i])
+        << "histogram bounds must be strictly increasing";
+  }
+  for (Shard& shard : shards_) {
+    shard.bucket_counts.assign(bounds_.size() + 1, 0);
+  }
+}
+
+void Histogram::Observe(double v) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  // lower_bound: bucket i counts v in (bounds[i-1], bounds[i]], matching the
+  // (lo, hi] interpolation in Summarize.
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  Shard& shard = shards_[ThreadShard()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.bucket_counts[bucket];
+  if (shard.count == 0) {
+    shard.min = v;
+    shard.max = v;
+  } else {
+    shard.min = std::min(shard.min, v);
+    shard.max = std::max(shard.max, v);
+  }
+  ++shard.count;
+  shard.sum += v;
+}
+
+HistogramSummary Histogram::Summarize() const {
+  std::vector<int64_t> merged(bounds_.size() + 1, 0);
+  HistogramSummary s;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.count == 0) continue;
+    if (s.count == 0) {
+      s.min = shard.min;
+      s.max = shard.max;
+    } else {
+      s.min = std::min(s.min, shard.min);
+      s.max = std::max(s.max, shard.max);
+    }
+    s.count += shard.count;
+    s.sum += shard.sum;
+    for (size_t i = 0; i < merged.size(); ++i) {
+      merged[i] += shard.bucket_counts[i];
+    }
+  }
+  if (s.count == 0) return s;
+  s.mean = s.sum / static_cast<double>(s.count);
+
+  // Interpolated percentile from the merged bucket counts. Bucket i spans
+  // (lower_i, bounds_[i]] with lower_0 = min(0, min observed); the overflow
+  // bucket's upper edge is the exact observed max.
+  auto percentile = [&](double q) {
+    const double rank = q * static_cast<double>(s.count);
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < merged.size(); ++i) {
+      if (merged[i] == 0) continue;
+      const double next = static_cast<double>(cumulative + merged[i]);
+      if (next >= rank) {
+        const double lo = i == 0 ? std::min(0.0, s.min) : bounds_[i - 1];
+        const double hi = i < bounds_.size() ? bounds_[i] : s.max;
+        const double within =
+            (rank - static_cast<double>(cumulative)) /
+            static_cast<double>(merged[i]);
+        return std::min(s.max, lo + (hi - lo) * within);
+      }
+      cumulative += merged[i];
+    }
+    return s.max;
+  };
+  s.p50 = percentile(0.50);
+  s.p95 = percentile(0.95);
+  s.p99 = percentile(0.99);
+  return s;
+}
+
+double Histogram::SummarizePercentile(double q) const {
+  HistogramSummary s = Summarize();
+  if (q <= 0.50) return s.p50;
+  if (q <= 0.95) return s.p95;
+  return s.p99;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Heap-allocated and never destroyed: worker threads may record metrics
+  // during static destruction, and the registry must outlive them.
+  static MetricsRegistry* global = []() {
+    auto* registry = new MetricsRegistry();
+    registry->set_enabled(internal::ObsEnabledFromEnv());
+    if (registry->enabled()) {
+      SetParallelForObserver(&ParallelForMetricsObserver);
+    }
+    return registry;
+  }();
+  return *global;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(name, std::unique_ptr<Counter>(new Counter(&enabled_)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(&enabled_)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (bounds.empty()) bounds = Histogram::DefaultLatencyBoundsMs();
+    it = histograms_
+             .emplace(name, std::unique_ptr<Histogram>(
+                                new Histogram(&enabled_, std::move(bounds))))
+             .first;
+  }
+  return it->second.get();
+}
+
+int64_t MetricsRegistry::counter_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+double MetricsRegistry::gauge_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second->value();
+}
+
+HistogramSummary MetricsRegistry::histogram_summary(
+    const std::string& name) const {
+  const Histogram* hist = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = histograms_.find(name);
+    if (it != histograms_.end()) hist = it->second.get();
+  }
+  return hist == nullptr ? HistogramSummary{} : hist->Summarize();
+}
+
+Json MetricsRegistry::ToJson() const {
+  // Copy the handle maps under the lock, then summarize without it:
+  // histogram summaries take the shard locks and must not nest inside mu_.
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const Histogram*>> histograms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, c] : counters_) counters.emplace_back(name, c.get());
+    for (const auto& [name, g] : gauges_) gauges.emplace_back(name, g.get());
+    for (const auto& [name, h] : histograms_) {
+      histograms.emplace_back(name, h.get());
+    }
+  }
+
+  Json counters_json = Json::Object{};
+  for (const auto& [name, c] : counters) counters_json[name] = c->value();
+  Json gauges_json = Json::Object{};
+  for (const auto& [name, g] : gauges) gauges_json[name] = g->value();
+  Json histograms_json = Json::Object{};
+  for (const auto& [name, h] : histograms) {
+    const HistogramSummary s = h->Summarize();
+    Json entry = Json::Object{};
+    entry["count"] = s.count;
+    entry["sum"] = s.sum;
+    entry["mean"] = s.mean;
+    entry["min"] = s.min;
+    entry["max"] = s.max;
+    entry["p50"] = s.p50;
+    entry["p95"] = s.p95;
+    entry["p99"] = s.p99;
+    histograms_json[name] = entry;
+  }
+
+  Json doc = Json::Object{};
+  doc["enabled"] = enabled();
+  doc["counters"] = counters_json;
+  doc["gauges"] = gauges_json;
+  doc["histograms"] = histograms_json;
+  return doc;
+}
+
+std::string MetricsRegistry::ToString() const {
+  const Json snapshot = ToJson();
+  std::string out;
+
+  const Json::Object& counters = snapshot.at("counters").as_object();
+  const Json::Object& gauges = snapshot.at("gauges").as_object();
+  if (!counters.empty() || !gauges.empty()) {
+    TablePrinter scalars({"metric", "kind", "value"});
+    for (const auto& [name, value] : counters) {
+      scalars.AddRow({name, "counter", TablePrinter::Num(value.as_number(), 0)});
+    }
+    for (const auto& [name, value] : gauges) {
+      scalars.AddRow({name, "gauge", TablePrinter::Num(value.as_number(), 3)});
+    }
+    out += scalars.ToString();
+  }
+
+  const Json::Object& histograms = snapshot.at("histograms").as_object();
+  if (!histograms.empty()) {
+    if (!out.empty()) out += "\n";
+    TablePrinter table(
+        {"histogram", "count", "mean", "p50", "p95", "p99", "max"});
+    for (const auto& [name, s] : histograms) {
+      table.AddRow({name, TablePrinter::Num(s.at("count").as_number(), 0),
+                    TablePrinter::Num(s.at("mean").as_number()),
+                    TablePrinter::Num(s.at("p50").as_number()),
+                    TablePrinter::Num(s.at("p95").as_number()),
+                    TablePrinter::Num(s.at("p99").as_number()),
+                    TablePrinter::Num(s.at("max").as_number())});
+    }
+    out += table.ToString();
+  }
+  return out.empty() ? "(no metrics recorded)\n" : out;
+}
+
+}  // namespace obs
+}  // namespace alt

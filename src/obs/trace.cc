@@ -1,0 +1,202 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/util/table_printer.h"
+
+namespace alt {
+namespace obs {
+
+namespace {
+
+std::atomic<uint64_t> g_next_recorder_id{1};
+
+/// Nesting depth of active spans on the current thread. A single counter is
+/// enough: spans are strictly scoped, so interleaved recorders still nest.
+thread_local int tls_span_depth = 0;
+
+}  // namespace
+
+namespace internal {
+bool ObsEnabledFromEnv();  // Defined in metrics.cc.
+}  // namespace internal
+
+TraceRecorder::TraceRecorder()
+    : id_(g_next_recorder_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder& TraceRecorder::Global() {
+  // Never destroyed: threads may finish spans during static destruction.
+  static TraceRecorder* global = []() {
+    auto* recorder = new TraceRecorder();
+    recorder->set_enabled(internal::ObsEnabledFromEnv());
+    return recorder;
+  }();
+  return *global;
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
+  struct Entry {
+    uint64_t recorder_id;
+    std::shared_ptr<ThreadBuffer> buffer;
+  };
+  // Per-thread cache over all recorders this thread has recorded into.
+  // Recorder ids are never reused, so a stale entry can never alias a new
+  // recorder; the shared_ptr keeps the buffer alive independently of the
+  // recorder's own lifetime.
+  thread_local std::vector<Entry> cache;
+  for (const Entry& entry : cache) {
+    if (entry.recorder_id == id_) return entry.buffer.get();
+  }
+  auto buffer = std::make_shared<ThreadBuffer>();
+  buffer->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(buffer);
+  }
+  cache.push_back({id_, buffer});
+  return buffer.get();
+}
+
+void TraceRecorder::Record(TraceEvent event) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  event.tid = buffer->tid;
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  if (buffer->events.size() >= kMaxEventsPerThread) {
+    ++buffer->dropped;
+    return;
+  }
+  buffer->events.push_back(std::move(event));
+}
+
+size_t TraceRecorder::event_count() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  size_t total = 0;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+int64_t TraceRecorder::dropped_count() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  int64_t total = 0;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+void TraceRecorder::Clear() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    buffer->events.clear();
+    buffer->dropped = 0;
+  }
+}
+
+std::vector<TraceEvent> TraceRecorder::SortedEvents() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> events;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    events.insert(events.end(), buffer->events.begin(), buffer->events.end());
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              return a.dur_us > b.dur_us;  // Parent before its children.
+            });
+  return events;
+}
+
+Json TraceRecorder::ToChromeJson() const {
+  Json::Array trace_events;
+  for (const TraceEvent& event : SortedEvents()) {
+    Json entry = Json::Object{};
+    entry["name"] = event.name;
+    entry["cat"] = "alt";
+    entry["ph"] = "X";
+    entry["ts"] = event.ts_us;
+    entry["dur"] = event.dur_us;
+    entry["pid"] = 1;
+    entry["tid"] = event.tid;
+    trace_events.push_back(std::move(entry));
+  }
+  Json doc = Json::Object{};
+  doc["traceEvents"] = std::move(trace_events);
+  doc["displayTimeUnit"] = "ms";
+  doc["droppedEvents"] = dropped_count();
+  return doc;
+}
+
+std::string TraceRecorder::ToTextTree() const {
+  std::map<int, std::vector<TraceEvent>> by_tid;
+  for (TraceEvent& event : SortedEvents()) {
+    by_tid[event.tid].push_back(std::move(event));
+  }
+  if (by_tid.empty()) return "(no spans recorded)\n";
+  TablePrinter table({"tid", "span", "start_ms", "dur_ms"});
+  for (const auto& [tid, events] : by_tid) {
+    for (const TraceEvent& event : events) {
+      table.AddRow({std::to_string(tid),
+                    std::string(static_cast<size_t>(event.depth) * 2, ' ') +
+                        event.name,
+                    TablePrinter::Num(event.ts_us / 1e3),
+                    TablePrinter::Num(event.dur_us / 1e3)});
+    }
+  }
+  return table.ToString();
+}
+
+TraceSpan::TraceSpan(std::string name, TraceRecorder* recorder)
+    : name_(std::move(name)),
+      recorder_(recorder != nullptr ? recorder : &TraceRecorder::Global()) {
+  if (!recorder_->enabled()) {
+    recorder_ = nullptr;  // Inactive: no clock reads, nothing recorded.
+    return;
+  }
+  depth_ = tls_span_depth++;
+  start_us_ = recorder_->NowMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (recorder_ == nullptr) return;
+  --tls_span_depth;
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.ts_us = start_us_;
+  event.dur_us = recorder_->NowMicros() - start_us_;
+  event.depth = depth_;
+  recorder_->Record(std::move(event));
+}
+
+double TraceSpan::ElapsedMillis() const {
+  if (recorder_ == nullptr) return 0.0;
+  return (recorder_->NowMicros() - start_us_) / 1e3;
+}
+
+}  // namespace obs
+}  // namespace alt

@@ -1,0 +1,139 @@
+#ifndef ALT_SRC_OBS_TRACE_H_
+#define ALT_SRC_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/json.h"
+
+namespace alt {
+namespace obs {
+
+/// Trace layer ----------------------------------------------------------------
+///
+/// `TraceSpan` is an RAII scope that records a named wall-time interval into
+/// a `TraceRecorder`. Spans are cheap and thread-safe: each thread appends
+/// completed spans to its own buffer (one short uncontended lock per span),
+/// and export merges the per-thread buffers. Exports:
+///   - `ToChromeJson()`: Chrome `trace_event` format (load in
+///     chrome://tracing or Perfetto) — {"traceEvents": [{ph:"X", ...}]};
+///   - `ToTextTree()`: indented per-thread text tree via util/table_printer.
+///
+/// The recorder obeys the same switch as the metrics layer: `ALT_OBS=off`
+/// disables the global recorder at startup, `set_enabled(false)` per
+/// instance; a span against a disabled recorder never reads the clock.
+/// Per-thread buffers are capped (kMaxEventsPerThread); beyond the cap
+/// events are counted as dropped instead of recorded.
+
+/// One completed span. Timestamps are microseconds since the recorder's
+/// construction (its epoch), as required by the Chrome trace format.
+struct TraceEvent {
+  std::string name;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  int tid = 0;
+  int depth = 0;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder();
+  ~TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// The process-wide recorder used by ALT_TRACE_SPAN and the wired
+  /// subsystems. Enabled unless ALT_OBS is off (same env switch as
+  /// MetricsRegistry::Global).
+  static TraceRecorder& Global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Appends one completed event to the calling thread's buffer.
+  void Record(TraceEvent event);
+
+  /// Total events currently buffered / dropped over the cap.
+  size_t event_count() const;
+  int64_t dropped_count() const;
+
+  /// Removes all buffered events (keeps thread buffer registrations).
+  void Clear();
+
+  /// Chrome trace_event JSON: {"traceEvents": [...], "displayTimeUnit":
+  /// "ms"}. Events are sorted by start time (ties: longer span first, so a
+  /// parent precedes the children it encloses).
+  Json ToChromeJson() const;
+
+  /// Indented per-thread span tree (depth = nesting at record time).
+  std::string ToTextTree() const;
+
+  /// Microseconds since this recorder's epoch.
+  double NowMicros() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  static constexpr size_t kMaxEventsPerThread = size_t{1} << 16;
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mu;
+    std::vector<TraceEvent> events;
+    int64_t dropped = 0;
+    int tid = 0;
+  };
+
+  ThreadBuffer* BufferForThisThread();
+  std::vector<TraceEvent> SortedEvents() const;
+
+  const uint64_t id_;  // Unique per recorder; keys the thread-local cache.
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{true};
+  std::atomic<int> next_tid_{1};
+  mutable std::mutex mu_;  // Guards buffers_ (the list, not the contents).
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII trace scope. Records into `recorder` (default: the global recorder)
+/// when that recorder is enabled at construction time; otherwise the span is
+/// inactive and free of clock reads.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name, TraceRecorder* recorder = nullptr);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool active() const { return recorder_ != nullptr; }
+  /// Wall time since construction; 0 when inactive.
+  double ElapsedMillis() const;
+
+ private:
+  std::string name_;
+  TraceRecorder* recorder_;  // Null when inactive.
+  double start_us_ = 0.0;
+  int depth_ = 0;
+};
+
+}  // namespace obs
+}  // namespace alt
+
+/// Convenience macro: `ALT_TRACE_SPAN(span, "layer/component/what");`
+/// declares an RAII span named `span` against the global recorder. Compiles
+/// away entirely under -DALT_OBS_DISABLED.
+#if defined(ALT_OBS_DISABLED)
+#define ALT_TRACE_SPAN(var, name)
+#else
+#define ALT_TRACE_SPAN(var, name) ::alt::obs::TraceSpan var(name)
+#endif
+
+#endif  // ALT_SRC_OBS_TRACE_H_

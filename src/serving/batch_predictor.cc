@@ -1,16 +1,60 @@
 #include "src/serving/batch_predictor.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "src/obs/trace.h"
 #include "src/util/logging.h"
 
 namespace alt {
 namespace serving {
 
-BatchPredictor::BatchPredictor(ModelServer* server, Options options)
+namespace {
+
+std::vector<double> BatchSizeBounds(int64_t max_batch_size) {
+  // Powers of two up to (at least) the configured maximum batch size.
+  std::vector<double> bounds;
+  for (double b = 1.0; b < static_cast<double>(max_batch_size); b *= 2.0) {
+    bounds.push_back(b);
+  }
+  bounds.push_back(static_cast<double>(max_batch_size));
+  return bounds;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<BatchPredictor>> BatchPredictor::Create(
+    ModelServer* server, Options options, obs::MetricsRegistry* registry) {
+  if (server == nullptr) {
+    return Status::InvalidArgument("BatchPredictor: null server");
+  }
+  if (options.max_batch_size <= 0) {
+    return Status::InvalidArgument(
+        "BatchPredictor: max_batch_size must be >= 1, got " +
+        std::to_string(options.max_batch_size));
+  }
+  if (options.max_delay_ms < 0.0) {
+    return Status::InvalidArgument(
+        "BatchPredictor: max_delay_ms must be >= 0, got " +
+        std::to_string(options.max_delay_ms));
+  }
+  return std::make_unique<BatchPredictor>(server, options, registry);
+}
+
+BatchPredictor::BatchPredictor(ModelServer* server, Options options,
+                               obs::MetricsRegistry* registry)
     : server_(server), options_(options) {
   ALT_CHECK(server != nullptr);
   ALT_CHECK_GE(options_.max_batch_size, 1);
+  ALT_CHECK(options_.max_delay_ms >= 0.0);
+  registry_ = registry != nullptr ? registry : server_->registry();
+  queue_depth_ = registry_->gauge("serving/batch_predictor/queue_depth");
+  batches_dispatched_ =
+      registry_->counter("serving/batch_predictor/batches_dispatched");
+  batch_size_ = registry_->histogram("serving/batch_predictor/batch_size",
+                                     BatchSizeBounds(options_.max_batch_size));
+  request_latency_ =
+      registry_->histogram("serving/batch_predictor/request_latency_ms");
   dispatcher_ = std::thread([this]() { DispatcherLoop(); });
 }
 
@@ -30,24 +74,24 @@ std::future<Result<float>> BatchPredictor::Enqueue(
   request.scenario = scenario;
   request.profile = std::move(profile);
   request.behavior = std::move(behavior);
-  request.enqueue_time = std::chrono::steady_clock::now();
+  // Control-flow timestamp (batching deadline), not telemetry.
+  request.enqueue_time = std::chrono::steady_clock::now();  // alt_lint: allow(L006)
   std::future<Result<float>> future = request.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(request));
+    queue_depth_->Set(static_cast<double>(queue_.size()));
   }
   cv_.notify_one();
   return future;
 }
 
 size_t BatchPredictor::QueueDepth() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  return static_cast<size_t>(queue_depth_->value());
 }
 
 int64_t BatchPredictor::BatchesDispatched() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return batches_dispatched_;
+  return batches_dispatched_->value();
 }
 
 void BatchPredictor::DispatcherLoop() {
@@ -81,15 +125,31 @@ void BatchPredictor::DispatcherLoop() {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
-      ++batches_dispatched_;
+      queue_depth_->Set(static_cast<double>(queue_.size()));
+      batches_dispatched_->Add(1);
     }
+    batch_size_->Observe(static_cast<double>(batch.size()));
     Flush(std::move(batch));
   }
 }
 
+void BatchPredictor::Resolve(Request* request, Result<float> result) {
+  // Request latency covers the full queue→reply path; measured from the
+  // control-flow enqueue timestamp so no extra clock read is needed on the
+  // hot enqueue path.
+  if (request_latency_->enabled()) {
+    const double latency_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - request->enqueue_time)  // alt_lint: allow(L006)
+            .count();
+    request_latency_->Observe(latency_ms);
+  }
+  request->promise.set_value(std::move(result));
+}
+
 void BatchPredictor::Flush(std::vector<Request> batch) {
   ALT_CHECK(!batch.empty());
-  const int64_t n = static_cast<int64_t>(batch.size());
+  ALT_TRACE_SPAN(span, "serving/batch_predictor/flush");
   const int64_t profile_dim = batch[0].profile.numel();
   const int64_t seq_len = static_cast<int64_t>(batch[0].behavior.size());
 
@@ -101,8 +161,8 @@ void BatchPredictor::Flush(std::vector<Request> batch) {
   for (size_t i = 0; i < batch.size(); ++i) {
     if (batch[i].profile.numel() != profile_dim ||
         static_cast<int64_t>(batch[i].behavior.size()) != seq_len) {
-      batch[i].promise.set_value(
-          Status::InvalidArgument("inconsistent request shape"));
+      Resolve(&batch[i],
+              Status::InvalidArgument("inconsistent request shape"));
       continue;
     }
     accepted.push_back(i);
@@ -129,12 +189,11 @@ void BatchPredictor::Flush(std::vector<Request> batch) {
   for (int64_t r = 0; r < merged.batch_size; ++r) {
     Request& request = batch[accepted[static_cast<size_t>(r)]];
     if (scores.ok()) {
-      request.promise.set_value(scores.value()[static_cast<size_t>(r)]);
+      Resolve(&request, scores.value()[static_cast<size_t>(r)]);
     } else {
-      request.promise.set_value(scores.status());
+      Resolve(&request, scores.status());
     }
   }
-  (void)n;
 }
 
 }  // namespace serving

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/data/dataset.h"
+#include "src/obs/metrics.h"
 #include "src/serving/model_server.h"
 
 namespace alt {
@@ -23,6 +24,15 @@ namespace serving {
 /// A dedicated dispatcher thread drains the queue; a batch is flushed when
 /// it reaches `max_batch_size` or when the oldest queued request has waited
 /// `max_delay_ms`. Results are delivered through futures.
+///
+/// Observability: the predictor reports through `registry()` (default: the
+/// owning server's registry) —
+///   serving/batch_predictor/queue_depth          gauge
+///   serving/batch_predictor/batches_dispatched   counter
+///   serving/batch_predictor/batch_size           histogram
+///   serving/batch_predictor/request_latency_ms   histogram (enqueue→reply)
+/// QueueDepth()/BatchesDispatched() are thin views over these metrics, so
+/// they read as zero when observability is disabled (ALT_OBS=off).
 class BatchPredictor {
  public:
   struct Options {
@@ -30,8 +40,17 @@ class BatchPredictor {
     double max_delay_ms = 2.0;
   };
 
-  /// `server` must outlive this object.
-  BatchPredictor(ModelServer* server, Options options);
+  /// Validating factory: rejects null `server`, `max_batch_size <= 0`, and
+  /// negative `max_delay_ms` with InvalidArgument.
+  static Result<std::unique_ptr<BatchPredictor>> Create(
+      ModelServer* server, Options options,
+      obs::MetricsRegistry* registry = nullptr);
+
+  /// `server` must outlive this object. Invalid options are programmer
+  /// errors here (ALT_CHECK); use Create() for recoverable validation.
+  /// `registry == nullptr` selects `server->registry()`.
+  BatchPredictor(ModelServer* server, Options options,
+                 obs::MetricsRegistry* registry = nullptr);
   ~BatchPredictor();
 
   BatchPredictor(const BatchPredictor&) = delete;
@@ -43,11 +62,14 @@ class BatchPredictor {
                                      Tensor profile,
                                      std::vector<int64_t> behavior);
 
-  /// Requests queued but not yet dispatched.
+  /// Requests queued but not yet dispatched (registry gauge view).
   size_t QueueDepth() const;
 
-  /// Total number of model invocations (micro-batches) so far.
+  /// Total number of model invocations (micro-batches) so far (registry
+  /// counter view).
   int64_t BatchesDispatched() const;
+
+  obs::MetricsRegistry* registry() const { return registry_; }
 
  private:
   struct Request {
@@ -60,14 +82,19 @@ class BatchPredictor {
 
   void DispatcherLoop();
   void Flush(std::vector<Request> batch);
+  void Resolve(Request* request, Result<float> result);
 
   ModelServer* server_;
   Options options_;
+  obs::MetricsRegistry* registry_;
+  obs::Gauge* queue_depth_;            // Owned by the registry.
+  obs::Counter* batches_dispatched_;   // Owned by the registry.
+  obs::Histogram* batch_size_;         // Owned by the registry.
+  obs::Histogram* request_latency_;    // Owned by the registry.
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Request> queue_;
   bool shutdown_ = false;
-  int64_t batches_dispatched_ = 0;
   std::thread dispatcher_;
 };
 

@@ -1,12 +1,18 @@
 #include "src/serving/model_server.h"
 
-#include <algorithm>
-
+#include "src/obs/trace.h"
 #include "src/serving/model_store.h"
-#include "src/util/stopwatch.h"
 
 namespace alt {
 namespace serving {
+
+ModelServer::ModelServer(obs::MetricsRegistry* registry)
+    : registry_(registry != nullptr ? registry
+                                    : &obs::MetricsRegistry::Global()) {}
+
+std::string ModelServer::LatencyMetricName(const std::string& scenario) {
+  return "serving/model_server/latency_ms/" + scenario;
+}
 
 Status ModelServer::Deploy(const std::string& scenario,
                            std::unique_ptr<models::BaseModel> model) {
@@ -18,6 +24,8 @@ Status ModelServer::Deploy(const std::string& scenario,
     auto it = deployments_.find(scenario);
     if (it == deployments_.end()) {
       deployment = std::make_shared<Deployment>();
+      deployment->latency_ms =
+          registry_->histogram(LatencyMetricName(scenario));
       deployments_[scenario] = deployment;
     } else {
       deployment = it->second;
@@ -65,45 +73,28 @@ Result<std::vector<float>> ModelServer::Predict(const std::string& scenario,
   if (deployment->model == nullptr) {
     return Status::NotFound("scenario " + scenario + " has no model");
   }
-  Stopwatch watch;
-  std::vector<float> probs = deployment->model->PredictProbs(batch);
-  deployment->latencies_ms.push_back(watch.ElapsedMillis());
-  return probs;
+  ALT_TRACE_SPAN(span, "serving/model_server/predict");
+  obs::ScopedTimerMs timer(deployment->latency_ms);
+  return deployment->model->PredictProbs(batch);
 }
 
 Result<LatencyStats> ModelServer::GetLatencyStats(
     const std::string& scenario) const {
-  std::shared_ptr<Deployment> deployment;
   {
     std::lock_guard<std::mutex> lock(registry_mu_);
-    auto it = deployments_.find(scenario);
-    if (it == deployments_.end()) {
+    if (deployments_.find(scenario) == deployments_.end()) {
       return Status::NotFound("scenario " + scenario);
     }
-    deployment = it->second;
   }
-  std::vector<double> latencies;
-  {
-    std::lock_guard<std::mutex> model_lock(deployment->mu);
-    latencies = deployment->latencies_ms;
-  }
+  const obs::HistogramSummary summary =
+      registry_->histogram_summary(LatencyMetricName(scenario));
   LatencyStats stats;
-  stats.num_requests = static_cast<int64_t>(latencies.size());
-  if (latencies.empty()) return stats;
-  std::sort(latencies.begin(), latencies.end());
-  double total = 0.0;
-  for (double l : latencies) total += l;
-  stats.mean_ms = total / static_cast<double>(latencies.size());
-  auto percentile = [&](double p) {
-    const size_t idx = std::min(
-        latencies.size() - 1,
-        static_cast<size_t>(p * static_cast<double>(latencies.size())));
-    return latencies[idx];
-  };
-  stats.p50_ms = percentile(0.50);
-  stats.p95_ms = percentile(0.95);
-  stats.p99_ms = percentile(0.99);
-  stats.max_ms = latencies.back();
+  stats.num_requests = summary.count;
+  stats.mean_ms = summary.mean;
+  stats.p50_ms = summary.p50;
+  stats.p95_ms = summary.p95;
+  stats.p99_ms = summary.p99;
+  stats.max_ms = summary.max;
   return stats;
 }
 

@@ -9,13 +9,17 @@
 
 #include "src/data/dataset.h"
 #include "src/models/base_model.h"
+#include "src/obs/metrics.h"
 #include "src/util/status.h"
 
 namespace alt {
 namespace serving {
 
-/// Online latency distribution of one deployed model.
-struct LatencyStats {
+/// Online latency distribution of one deployed model. Since ISSUE 3 this is
+/// a thin read-view computed from the obs::MetricsRegistry histogram
+/// `serving/model_server/latency_ms/<scenario>` — the registry is the
+/// single source of truth; no serving-side latency buffers exist.
+struct LatencyStats {  // alt_lint: allow(L007): read-view over obs::MetricsRegistry, not an ad-hoc store
   int64_t num_requests = 0;
   double mean_ms = 0.0;
   double p50_ms = 0.0;
@@ -27,9 +31,17 @@ struct LatencyStats {
 /// The Model Serving module (Sec. IV-E): per-scenario model registry with
 /// thread-safe prediction and per-scenario latency accounting. Deploys are
 /// atomic swaps, so scenarios can be re-deployed while serving.
+///
+/// Observability: every Predict records into `registry()` (default: the
+/// process-global obs::MetricsRegistry) under
+/// `serving/model_server/latency_ms/<scenario>`. With ALT_OBS=off nothing
+/// is recorded and GetLatencyStats reports zeros.
 class ModelServer {
  public:
-  ModelServer() = default;
+  /// `registry == nullptr` selects obs::MetricsRegistry::Global(). Tests
+  /// pass a private registry for isolation; the registry must outlive the
+  /// server.
+  explicit ModelServer(obs::MetricsRegistry* registry = nullptr);
 
   /// Installs (or replaces) the serving model of `scenario`.
   Status Deploy(const std::string& scenario,
@@ -45,7 +57,7 @@ class ModelServer {
                                      const data::Batch& batch);
 
   /// Latency distribution of past Predict calls (per request, not per
-  /// sample).
+  /// sample), computed from the metrics registry histogram.
   Result<LatencyStats> GetLatencyStats(const std::string& scenario) const;
 
   /// Inference FLOPs per sample of the deployed model.
@@ -55,15 +67,21 @@ class ModelServer {
   Status ExportBundle(const std::string& scenario,
                       const std::string& path) const;
 
+  obs::MetricsRegistry* registry() const { return registry_; }
+
+  /// Registry name of the per-scenario request latency histogram.
+  static std::string LatencyMetricName(const std::string& scenario);
+
  private:
   struct Deployment {
     std::unique_ptr<models::BaseModel> model;
     std::mutex mu;
-    std::vector<double> latencies_ms;
+    obs::Histogram* latency_ms = nullptr;  // Owned by the registry.
   };
 
   /// Deployments are shared_ptrs so an in-flight Predict keeps its
   /// deployment alive across a concurrent Undeploy.
+  obs::MetricsRegistry* registry_;
   mutable std::mutex registry_mu_;
   std::map<std::string, std::shared_ptr<Deployment>> deployments_;
 };

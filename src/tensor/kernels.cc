@@ -4,6 +4,7 @@
 #include <limits>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/util/logging.h"
 #include "src/util/parallel_for.h"
 
@@ -210,6 +211,10 @@ void MatMul(const Tensor& a, const Tensor& b, Tensor* c) {
   ALT_CHECK_EQ(a.size(1), b.size(0));
   ALT_CHECK_EQ(c->size(0), a.size(0));
   ALT_CHECK_EQ(c->size(1), b.size(1));
+  // Handle cached per call site; disabled-mode cost is one relaxed load and
+  // zero clock reads (the < 3% bench_kernels budget, see DESIGN.md).
+  obs::ScopedTimerMs timer(ALT_OBS_HISTOGRAM_HANDLE("tensor/gemm/time_ms"));
+  ALT_OBS_COUNTER_ADD("tensor/gemm/calls_total", 1);
   GemmImpl(a.data(), b.data(), c->data(), a.size(0), a.size(1), b.size(1),
            /*accumulate=*/false);
 }
@@ -247,6 +252,9 @@ void BatchedMatMul(const Tensor& a, bool trans_a, const Tensor& b,
   ALT_CHECK_EQ(k, kb);
   ALT_CHECK_EQ(c->size(1), m);
   ALT_CHECK_EQ(c->size(2), n);
+
+  obs::ScopedTimerMs timer(
+      ALT_OBS_HISTOGRAM_HANDLE("tensor/batched_matmul/time_ms"));
 
   const int64_t a_stride = a.size(1) * a.size(2);
   const int64_t b_stride = b.size(1) * b.size(2);
@@ -295,6 +303,8 @@ void Conv1D(const Tensor& input, const Tensor& weight, const Tensor* bias,
   ALT_CHECK_EQ(out->size(1), seq);
   ALT_CHECK_EQ(out->size(2), cout);
   ALT_CHECK_GE(dilation, 1);
+
+  obs::ScopedTimerMs timer(ALT_OBS_HISTOGRAM_HANDLE("tensor/conv1d/time_ms"));
 
   // im2col + GEMM: each output row [t, :] is X2[t, :] * W^T where
   // X2[t, j*cin + ci] holds input[t + (j - half)*dilation, ci] under SAME

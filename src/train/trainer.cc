@@ -5,6 +5,8 @@
 
 #include "src/analysis/graph_audit.h"
 #include "src/autograd/ops.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/opt/optimizer.h"
 #include "src/util/logging.h"
 
@@ -33,11 +35,20 @@ Result<TrainReport> RunTraining(models::BaseModel* model,
   double best_loss = std::numeric_limits<double>::infinity();
   int64_t bad_epochs = 0;
   bool audited = false;
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::Histogram* epoch_time = metrics.histogram("train/trainer/epoch_time_ms");
+  obs::Histogram* step_time = metrics.histogram("train/trainer/step_time_ms");
+  obs::Counter* steps_total = metrics.counter("train/trainer/steps_total");
+  obs::Gauge* last_epoch_loss = metrics.gauge("train/trainer/last_epoch_loss");
   for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    ALT_TRACE_SPAN(epoch_span, "train/epoch");
+    obs::ScopedTimerMs epoch_timer(epoch_time);
     double epoch_loss = 0.0;
     int64_t num_batches = 0;
     for (const auto& indices : data::ShuffledBatchIndices(
              train_data.num_samples(), options.batch_size, &rng)) {
+      obs::ScopedTimerMs step_timer(step_time);
+      steps_total->Add(1);
       data::Batch batch = MakeBatch(train_data, indices);
       optimizer.ZeroGrad();
       ag::Variable loss = loss_fn(batch, &dropout_rng);
@@ -60,6 +71,8 @@ Result<TrainReport> RunTraining(models::BaseModel* model,
       optimizer.Step();
     }
     epoch_loss /= static_cast<double>(num_batches);
+    last_epoch_loss->Set(epoch_loss);
+    ALT_OBS_COUNTER_ADD("train/trainer/epochs_total", 1);
     if (epoch == 0) report.first_epoch_loss = epoch_loss;
     report.final_epoch_loss = epoch_loss;
     ++report.epochs_run;

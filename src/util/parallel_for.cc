@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <future>
@@ -39,6 +40,14 @@ int DefaultThreads() {
 
 std::atomic<int> g_thread_override{0};
 
+std::atomic<ParallelForObserver> g_parallel_for_observer{nullptr};
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 int ComputeThreads() {
@@ -59,6 +68,10 @@ ThreadPool* ComputePool(size_t min_workers) {
 }
 
 bool InParallelRegion() { return tls_parallel_depth > 0; }
+
+void SetParallelForObserver(ParallelForObserver observer) {
+  g_parallel_for_observer.store(observer, std::memory_order_relaxed);
+}
 
 void ParallelFor(int64_t begin, int64_t end, int64_t grain,
                  const std::function<void(int64_t, int64_t)>& body) {
@@ -100,21 +113,37 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
     return s * per + std::min<int64_t>(s, extra);
   };
 
+  // Shard-imbalance observability: only time shards when an observer is
+  // installed (i.e. when obs is enabled), so the default path has no clock
+  // reads. Each shard writes its own slot; the join orders the reads.
+  const ParallelForObserver observer =
+      g_parallel_for_observer.load(std::memory_order_relaxed);
+  std::vector<double> shard_seconds(
+      observer != nullptr ? static_cast<size_t>(shards) : 0, 0.0);
+  auto run_shard = [&run_chunks, &shard_seconds, observer](
+                       int64_t shard, int64_t cb, int64_t ce) {
+    ParallelRegionGuard guard;
+    if (observer == nullptr) {
+      run_chunks(cb, ce);
+      return;
+    }
+    const double t0 = NowSeconds();
+    run_chunks(cb, ce);
+    shard_seconds[static_cast<size_t>(shard)] = NowSeconds() - t0;
+  };
+
   std::vector<std::future<void>> futures;
   futures.reserve(static_cast<size_t>(shards - 1));
   for (int64_t s = 1; s < shards; ++s) {
     const int64_t cb = shard_begin(s);
     const int64_t ce = shard_begin(s + 1);
-    futures.push_back(pool->Submit([&run_chunks, cb, ce]() {
-      ParallelRegionGuard guard;
-      run_chunks(cb, ce);
-    }));
+    futures.push_back(
+        pool->Submit([&run_shard, s, cb, ce]() { run_shard(s, cb, ce); }));
   }
 
   std::exception_ptr first_error;
   try {
-    ParallelRegionGuard guard;
-    run_chunks(shard_begin(0), shard_begin(1));
+    run_shard(0, shard_begin(0), shard_begin(1));
   } catch (...) {
     first_error = std::current_exception();
   }
@@ -126,6 +155,15 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
     }
   }
   if (first_error) std::rethrow_exception(first_error);
+  if (observer != nullptr) {
+    double max_s = 0.0;
+    double total_s = 0.0;
+    for (double s : shard_seconds) {
+      max_s = std::max(max_s, s);
+      total_s += s;
+    }
+    observer(shards, max_s, total_s);
+  }
 }
 
 void ParallelForWork(int64_t n, int64_t work_per_item,

@@ -55,6 +55,20 @@ bool InParallelRegion();
 void ParallelFor(int64_t begin, int64_t end, int64_t grain,
                  const std::function<void(int64_t, int64_t)>& body);
 
+/// Observability hook ------------------------------------------------------
+///
+/// When an observer is installed, each multi-shard ParallelFor times its
+/// shards and reports (shard count, slowest shard seconds, summed shard
+/// seconds) after the join — the raw material for shard-imbalance metrics.
+/// With no observer installed (the default, and always when ALT_OBS=off)
+/// the per-shard clock reads are skipped entirely, so the hook costs one
+/// relaxed atomic load per parallel region. Installed by
+/// obs::MetricsRegistry::Global(); src/util stays independent of src/obs.
+using ParallelForObserver = void (*)(int64_t shards,
+                                     double max_shard_seconds,
+                                     double total_shard_seconds);
+void SetParallelForObserver(ParallelForObserver observer);
+
 /// Convenience wrapper deriving the grain from the approximate number of
 /// scalar operations each item costs, so every task gets a meaningful amount
 /// of work (~32K scalar ops). The grain depends only on `work_per_item`,

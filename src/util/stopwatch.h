@@ -5,8 +5,15 @@
 
 namespace alt {
 
-/// Monotonic wall-clock stopwatch used for trial time limits and inference
-/// latency measurements.
+/// Monotonic wall-clock stopwatch.
+///
+/// DEPRECATED for telemetry (ISSUE 3): production instrumentation must go
+/// through the observability layer — `obs::ScopedTimerMs` for metric
+/// histograms and `obs::TraceSpan` / `ALT_TRACE_SPAN` for trace timing — so
+/// wall-time reporting has one source of truth (and one off switch,
+/// ALT_OBS). Stopwatch remains for tests, benchmarks, and control-flow
+/// timeouts (e.g. hpo::TuneService trial budgets), where the measured time
+/// *is* program logic rather than an observation.
 class Stopwatch {
  public:
   Stopwatch() : start_(Clock::now()) {}

@@ -6,6 +6,7 @@
 
 #include "gtest/gtest.h"
 #include "src/data/synthetic.h"
+#include "src/obs/metrics.h"
 #include "src/serving/batch_predictor.h"
 #include "src/serving/model_server.h"
 #include "src/serving/model_store.h"
@@ -92,7 +93,10 @@ TEST(BatchPredictorTest, MixedScenariosAreRoutedCorrectly) {
 }
 
 TEST(BatchPredictorTest, HighVolumeDrainsCompletely) {
-  ModelServer server;
+  // Private registry: QueueDepth/BatchesDispatched are registry views, so
+  // counts must not leak in from other tests in this binary.
+  obs::MetricsRegistry registry;
+  ModelServer server(&registry);
   ASSERT_TRUE(server.Deploy("s", TinyModel(5)).ok());
   BatchPredictor::Options options;
   options.max_batch_size = 16;

@@ -10,6 +10,7 @@
 #include "src/core/alt_system.h"
 #include "src/data/synthetic.h"
 #include "src/hpo/cmaes.h"
+#include "src/obs/metrics.h"
 #include "src/opt/lr_schedule.h"
 #include "src/opt/optimizer.h"
 #include "src/serving/batch_predictor.h"
@@ -173,7 +174,10 @@ std::unique_ptr<models::BaseModel> SmallServingModel() {
 }
 
 TEST(BatchPredictorTest, CoalescesAndMatchesDirectPredict) {
-  serving::ModelServer server;
+  // Private registry: BatchesDispatched is a registry view and must count
+  // only this test's batches.
+  obs::MetricsRegistry registry;
+  serving::ModelServer server(&registry);
   ASSERT_TRUE(server.Deploy("s", SmallServingModel()).ok());
   serving::BatchPredictor::Options options;
   options.max_batch_size = 8;

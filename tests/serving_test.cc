@@ -5,6 +5,7 @@
 #include "gtest/gtest.h"
 #include "src/data/synthetic.h"
 #include "src/nas/nas_search.h"
+#include "src/obs/metrics.h"
 #include "src/serving/model_server.h"
 #include "src/serving/model_store.h"
 #include "src/serving/online_simulator.h"
@@ -103,7 +104,10 @@ TEST(ModelStoreTest, GarbageRejected) {
 // ---------------------------------------------------------------------------
 
 TEST(ModelServerTest, DeployPredictUndeploy) {
-  ModelServer server;
+  // Private registry so latency counts are exact regardless of what other
+  // tests in this binary record into the global one.
+  obs::MetricsRegistry registry;
+  ModelServer server(&registry);
   ASSERT_TRUE(server.Deploy("bank_a", MakeModel(5)).ok());
   EXPECT_TRUE(server.IsDeployed("bank_a"));
   EXPECT_EQ(server.Scenarios().size(), 1u);
@@ -150,7 +154,8 @@ TEST(ModelServerTest, RedeployReplacesModel) {
 }
 
 TEST(ModelServerTest, ConcurrentPredictsAreSafe) {
-  ModelServer server;
+  obs::MetricsRegistry registry;
+  ModelServer server(&registry);
   ASSERT_TRUE(server.Deploy("s", MakeModel(7)).ok());
   data::SyntheticGenerator gen(ServingDataConfig());
   data::Batch batch = MakeFullBatch(gen.GenerateScenario(0));

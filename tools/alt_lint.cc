@@ -9,6 +9,18 @@
 //   L003  banned call rand(): use alt::Rng (deterministic, seedable).
 //   L004  banned call printf(): use ALT_LOG or util/table_printer.
 //   L005  raw assert(): use ALT_CHECK* / ALT_DCHECK* from util/logging.h.
+//   L006  raw std::chrono clock reads (steady_clock::now() etc.): telemetry
+//         must go through the observability layer (obs::ScopedTimerMs /
+//         obs::TraceSpan). src/obs and src/util (which implement the
+//         primitives) are exempt.
+//   L007  ad-hoc `*Stats` structs/classes outside src/obs: per-component
+//         stats stores fragment observability; report through
+//         obs::MetricsRegistry instead.
+//
+// A violation can be waived by a comment on the same line:
+//   `alt_lint: allow(L006): <reason>`
+// Waivers are matched against the original (unstripped) line, so they live
+// in normal comments.
 //
 // Comments, string literals, and char literals are stripped before token
 // scanning, so prose mentions (e.g. "never throws" in a doc comment) do not
@@ -119,6 +131,65 @@ void FindToken(const std::string& stripped, const std::string& token,
   }
 }
 
+// Finds `struct`/`class` declarations whose name ends in "Stats" (L007).
+void FindStatsTypes(const std::string& stripped, const std::string& file,
+                    std::vector<Violation>* out) {
+  for (const char* kw : {"struct", "class"}) {
+    const std::string token(kw);
+    for (size_t pos = stripped.find(token); pos != std::string::npos;
+         pos = stripped.find(token, pos + 1)) {
+      if (pos > 0 && IsIdentChar(stripped[pos - 1])) continue;
+      size_t j = pos + token.size();
+      if (j < stripped.size() && IsIdentChar(stripped[j])) continue;
+      while (j < stripped.size() &&
+             std::isspace(static_cast<unsigned char>(stripped[j])) != 0) {
+        ++j;
+      }
+      size_t name_end = j;
+      while (name_end < stripped.size() && IsIdentChar(stripped[name_end])) {
+        ++name_end;
+      }
+      const std::string name = stripped.substr(j, name_end - j);
+      if (name.size() > 5 &&
+          name.compare(name.size() - 5, 5, "Stats") == 0) {
+        out->push_back(
+            {file, LineOfOffset(stripped, pos), "L007",
+             "ad-hoc stats type " + name +
+                 "; report through obs::MetricsRegistry (src/obs/metrics.h)"});
+      }
+    }
+  }
+}
+
+// True for directories exempt from the observability rules L006/L007: the
+// obs layer itself and src/util, which implement the timing primitives.
+bool InObsExemptDir(const std::string& path) {
+  std::string norm = path;
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  for (const char* dir : {"src/obs/", "src/util/"}) {
+    if (norm.rfind(dir, 0) == 0 ||
+        norm.find(std::string("/") + dir) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// True when line `line` (1-based) of the original, unstripped content
+// carries a same-line waiver comment for `rule`.
+bool HasWaiver(const std::string& content, int line, const std::string& rule) {
+  size_t start = 0;
+  for (int l = 1; l < line; ++l) {
+    start = content.find('\n', start);
+    if (start == std::string::npos) return false;
+    ++start;
+  }
+  size_t end = content.find('\n', start);
+  if (end == std::string::npos) end = content.size();
+  return content.substr(start, end - start)
+             .find("alt_lint: allow(" + rule + ")") != std::string::npos;
+}
+
 // Expected include guard for a path like ".../src/util/logging.h":
 // ALT_SRC_UTIL_LOGGING_H_. Empty when the path has no src/ component.
 std::string ExpectedGuard(const std::string& path) {
@@ -165,6 +236,23 @@ std::vector<Violation> LintContent(const std::string& path,
   FindToken(stripped, "assert(", "L005",
             "raw assert(); use ALT_CHECK*/ALT_DCHECK* (src/util/logging.h)",
             path, &v);
+  if (!InObsExemptDir(path)) {
+    for (const char* clock : {"steady_clock::now(", "system_clock::now(",
+                              "high_resolution_clock::now("}) {
+      FindToken(stripped, clock, "L006",
+                "raw std::chrono timing; use obs::ScopedTimerMs or "
+                "obs::TraceSpan (src/obs) so wall time has one source of "
+                "truth",
+                path, &v);
+    }
+    FindStatsTypes(stripped, path, &v);
+  }
+  // Same-line `alt_lint: allow(LXXX)` comments waive individual findings.
+  v.erase(std::remove_if(v.begin(), v.end(),
+                         [&](const Violation& x) {
+                           return HasWaiver(content, x.line, x.rule);
+                         }),
+          v.end());
   if (IsHeader(path)) {
     const std::string guard = ExpectedGuard(path);
     if (!guard.empty() &&
@@ -218,6 +306,23 @@ int RunSelfTest() {
        "#endif  // ALT_SRC_X_OK6_H_\n",
        nullptr},
       {"digit separator ok", "src/x/ok7.cc", "int k = 1'000'000;", nullptr},
+      {"raw clock read", "src/x/bad6.cc",
+       "auto t = std::chrono::steady_clock::now();", "L006"},
+      {"clock read waived", "src/x/ok8.cc",
+       "auto t = std::chrono::steady_clock::now();  "
+       "// alt_lint: allow(L006): control-flow deadline\n",
+       nullptr},
+      {"clock read in src/util ok", "src/util/ok9.cc",
+       "auto t = std::chrono::steady_clock::now();", nullptr},
+      {"clock read in src/obs ok", "src/obs/ok10.cc",
+       "auto t = std::chrono::high_resolution_clock::now();", nullptr},
+      {"ad-hoc stats struct", "src/x/bad7.cc", "struct QueueStats { int n; };",
+       "L007"},
+      {"stats class waived", "src/x/ok11.cc",
+       "class LatencyStats {  // alt_lint: allow(L007): thin view\n};\n",
+       nullptr},
+      {"stats-prefix name ok", "src/x/ok12.cc",
+       "struct StatsCollector { int n; };", nullptr},
   };
   int failures = 0;
   for (const Case& c : kCases) {

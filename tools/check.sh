@@ -45,10 +45,11 @@ UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
   run_config build-ubsan -DALT_SANITIZE=undefined -DALT_DCHECKS=ON
 
 # TSan covers the compute-kernel layer (ParallelFor, the shared compute pool,
-# and the parallel GEMM/conv/elementwise kernels). Only the threading-related
-# targets are built and run: TSan slows everything ~10x and the rest of the
-# suite is single-threaded.
-TSAN_TARGETS=(parallel_for_test kernel_parity_test util_test hpo_test)
+# and the parallel GEMM/conv/elementwise kernels) plus the observability
+# layer (concurrent metric updates and trace spans). Only the
+# threading-related targets are built and run: TSan slows everything ~10x and
+# the rest of the suite is single-threaded.
+TSAN_TARGETS=(parallel_for_test kernel_parity_test util_test hpo_test obs_test)
 echo "==> configuring build-tsan (-DALT_SANITIZE=thread -DALT_DCHECKS=ON)"
 cmake -B build-tsan -S . -DALT_SANITIZE=thread -DALT_DCHECKS=ON >/dev/null
 echo "==> building build-tsan (${TSAN_TARGETS[*]})"
