@@ -123,10 +123,34 @@ Result<ScenarioArtifacts> AltSystem::OnScenarioArrival(
     artifacts.light_test_auc = train::EvaluateAuc(light.get(), prepared.test);
   }
 
-  // Deploy the light model for online serving.
+  // Deploy the light model for online serving (with retry: a transient
+  // deploy failure should not discard the scenario's NAS + training work).
   ALT_RETURN_IF_ERROR(
-      server_.Deploy(artifacts.deployment_name, std::move(light)));
+      DeployWithRetry(artifacts.deployment_name, std::move(light)));
   return artifacts;
+}
+
+Status AltSystem::DeployWithRetry(const std::string& scenario,
+                                  std::unique_ptr<models::BaseModel> model) {
+  resilience::RetryPolicy policy(options_.deploy_retry);
+  return policy.Run("deploy " + scenario, [&]() {
+    return server_.TryDeploy(scenario, &model);
+  });
+}
+
+Status AltSystem::EnableResilientServing(
+    serving::ServingResilienceOptions options) {
+  if (!initialized()) {
+    return Status::FailedPrecondition("AltSystem::Initialize first");
+  }
+  if (options.fallback_scenario.empty()) options.fallback_scenario = "f0";
+  if (!server_.IsDeployed(options.fallback_scenario)) {
+    ALT_ASSIGN_OR_RETURN(auto agnostic, meta_->CloneAgnostic());
+    ALT_RETURN_IF_ERROR(
+        DeployWithRetry(options.fallback_scenario, std::move(agnostic)));
+  }
+  server_.SetResilience(std::move(options));
+  return Status::OK();
 }
 
 Result<std::vector<ScenarioArtifacts>> AltSystem::OnScenariosArrival(

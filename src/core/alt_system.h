@@ -10,6 +10,7 @@
 #include "src/hpo/model_search.h"
 #include "src/meta/meta_learner.h"
 #include "src/nas/nas_search.h"
+#include "src/resilience/retry.h"
 #include "src/serving/model_server.h"
 
 namespace alt {
@@ -36,6 +37,10 @@ struct AltSystemOptions {
   int64_t parallel_scenarios = 2;
   /// Use distillation when building the light model (Eq. 5).
   bool distill = true;
+  /// Backoff schedule for light-model deployment: transient deploy
+  /// failures (e.g. injected serving/deploy faults) retry before the
+  /// scenario pipeline surfaces an error.
+  resilience::RetryOptions deploy_retry;
   uint64_t seed = 123;
 };
 
@@ -78,6 +83,12 @@ class AltSystem {
 
   serving::ModelServer* server() { return &server_; }
 
+  /// Turns on graceful degradation for the model server. Ensures the
+  /// scenario-agnostic heavy model f0 is deployed under
+  /// `options.fallback_scenario` (default "f0") so degraded traffic is
+  /// answered by f0 rather than a constant prior. Requires Initialize().
+  Status EnableResilientServing(serving::ServingResilienceOptions options);
+
   /// Persists the system state (agnostic heavy model + every deployed light
   /// model + a manifest) into `directory`, creating it if needed.
   Status SaveState(const std::string& directory);
@@ -94,6 +105,11 @@ class AltSystem {
   int64_t LightEncoderFlopsBudget() const { return flops_budget_; }
 
  private:
+  /// Deploys via ModelServer::TryDeploy under the deploy_retry policy; the
+  /// model survives failed attempts and is consumed only on success.
+  Status DeployWithRetry(const std::string& scenario,
+                         std::unique_ptr<models::BaseModel> model);
+
   AltSystemOptions options_;
   int64_t flops_budget_ = 0;
   std::unique_ptr<meta::MetaLearner> meta_;

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/resilience/fault_injection.h"
 #include "src/util/logging.h"
 
 namespace alt {
@@ -41,6 +42,7 @@ Status WriteCsv(const ScenarioData& scenario_data, std::ostream* out) {
 
 Status WriteCsvFile(const ScenarioData& scenario_data,
                     const std::string& path) {
+  ALT_FAULT_RETURN_IF("data/io/write_csv");
   std::ofstream out(path);
   if (!out.is_open()) return Status::IOError("cannot open " + path);
   return WriteCsv(scenario_data, &out);
@@ -135,6 +137,7 @@ Result<ScenarioData> ReadCsv(std::istream* in, int64_t scenario_id) {
 
 Result<ScenarioData> ReadCsvFile(const std::string& path,
                                  int64_t scenario_id) {
+  ALT_FAULT_RETURN_IF("data/io/read_csv");
   std::ifstream in(path);
   if (!in.is_open()) return Status::IOError("cannot open " + path);
   return ReadCsv(&in, scenario_id);
@@ -165,6 +168,7 @@ Status WriteBinary(const ScenarioData& scenario_data, std::ostream* out) {
 
 Status WriteBinaryFile(const ScenarioData& scenario_data,
                        const std::string& path) {
+  ALT_FAULT_RETURN_IF("data/io/write_binary");
   std::ofstream out(path, std::ios::binary);
   if (!out.is_open()) return Status::IOError("cannot open " + path);
   return WriteBinary(scenario_data, &out);
@@ -211,6 +215,7 @@ Result<ScenarioData> ReadBinary(std::istream* in) {
 }
 
 Result<ScenarioData> ReadBinaryFile(const std::string& path) {
+  ALT_FAULT_RETURN_IF("data/io/read_binary");
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) return Status::IOError("cannot open " + path);
   return ReadBinary(&in);

@@ -4,6 +4,7 @@
 #include <memory>
 #include <mutex>
 
+#include "src/resilience/fault_injection.h"
 #include "src/util/logging.h"
 #include "src/util/stopwatch.h"
 #include "src/util/thread_pool.h"
@@ -103,7 +104,12 @@ Result<TuneReport> RunTuneJob(const SearchSpace& space, Objective objective,
 
   auto run_trial = [&](int64_t trial_id, TrialConfig config) {
     TrialContextImpl context(&tracker, options);
-    Result<double> result = objective(config, &context);
+    // An injected trial fault takes the existing failed-trial path: the
+    // record is marked failed and the sweep carries on without it.
+    Result<double> result = [&]() -> Result<double> {
+      ALT_FAULT_RETURN_IF("hpo/tune_service/trial");
+      return objective(config, &context);
+    }();
 
     TrialRecord record;
     record.trial_id = trial_id;

@@ -9,6 +9,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/opt/optimizer.h"
+#include "src/resilience/checkpoint.h"
 #include "src/util/logging.h"
 
 namespace alt {
@@ -88,7 +89,52 @@ Result<std::unique_ptr<models::BaseModel>> SearchLightModel(
       1, options.search_epochs *
              ((w_train.num_samples() + options.batch_size - 1) /
               options.batch_size));
-  for (int64_t epoch = 0; epoch < options.search_epochs; ++epoch) {
+
+  // Checkpoint/resume: the advancing state of the bilevel loop is the
+  // supernet weights (arch logits included), both Adam moments, and the
+  // three RNG streams the loop consumes (batch shuffling, dropout, Gumbel
+  // sampling). The outer `rng` is not part of it: its remaining use — the
+  // final model build — happens after forking and is epoch-independent.
+  const bool checkpointing = !options.checkpoint_path.empty();
+  const int64_t checkpoint_every =
+      std::max<int64_t>(1, options.checkpoint_every_epochs);
+  int64_t start_epoch = 0;
+  if (checkpointing && options.resume) {
+    Result<resilience::CheckpointReader> loaded =
+        resilience::CheckpointReader::ReadFromFile(options.checkpoint_path);
+    if (loaded.ok()) {
+      const resilience::CheckpointReader& ckpt = loaded.value();
+      if (!ckpt.meta().contains("kind") ||
+          ckpt.meta().at("kind").as_string() != "nas_search") {
+        return Status::InvalidArgument("not a nas_search checkpoint");
+      }
+      ALT_ASSIGN_OR_RETURN(std::string weights, ckpt.blob("weights"));
+      ALT_RETURN_IF_ERROR(
+          resilience::RestoreModuleWeights(model.get(), weights));
+      ALT_ASSIGN_OR_RETURN(std::string w_opt, ckpt.blob("weight_opt"));
+      ALT_RETURN_IF_ERROR(resilience::RestoreAdamState(&weight_opt, w_opt));
+      ALT_ASSIGN_OR_RETURN(std::string a_opt, ckpt.blob("arch_opt"));
+      ALT_RETURN_IF_ERROR(resilience::RestoreAdamState(&arch_opt, a_opt));
+      ALT_ASSIGN_OR_RETURN(std::string batch_state, ckpt.blob("batch_rng"));
+      ALT_ASSIGN_OR_RETURN(std::string dropout_state,
+                           ckpt.blob("dropout_rng"));
+      ALT_ASSIGN_OR_RETURN(std::string sample_state, ckpt.blob("sample_rng"));
+      if (!batch_rng.LoadState(batch_state) ||
+          !dropout_rng.LoadState(dropout_state) ||
+          !supernet_ptr->sample_rng().LoadState(sample_state)) {
+        return Status::InvalidArgument("corrupt RNG state in checkpoint");
+      }
+      start_epoch = ckpt.meta().at("next_epoch").as_int();
+      step = ckpt.meta().at("step").as_int();
+      ALT_LOG(Info) << "resumed NAS search from " << options.checkpoint_path
+                    << " at epoch " << start_epoch;
+    } else if (loaded.status().code() != StatusCode::kNotFound) {
+      // A missing checkpoint means a clean start; a corrupt one is an error.
+      return loaded.status();
+    }
+  }
+
+  for (int64_t epoch = start_epoch; epoch < options.search_epochs; ++epoch) {
     auto val_batches = data::ShuffledBatchIndices(
         w_val.num_samples(), options.batch_size, &batch_rng);
     size_t val_cursor = 0;
@@ -138,6 +184,37 @@ Result<std::unique_ptr<models::BaseModel>> SearchLightModel(
       val_loss.Backward();
       arch_opt.ClipGradNorm(5.0);
       arch_opt.Step();
+    }
+
+    if (checkpointing && ((epoch + 1) % checkpoint_every == 0 ||
+                          epoch + 1 == options.search_epochs)) {
+      const Status saved = [&]() -> Status {
+        resilience::CheckpointBuilder builder;
+        Json& meta = builder.mutable_meta();
+        meta["kind"] = "nas_search";
+        meta["next_epoch"] = epoch + 1;
+        meta["step"] = step;
+        ALT_ASSIGN_OR_RETURN(std::string weights,
+                             resilience::ModuleWeightsBlob(model.get()));
+        builder.AddBlob("weights", std::move(weights));
+        ALT_ASSIGN_OR_RETURN(std::string w_opt,
+                             resilience::AdamStateBlob(weight_opt));
+        builder.AddBlob("weight_opt", std::move(w_opt));
+        ALT_ASSIGN_OR_RETURN(std::string a_opt,
+                             resilience::AdamStateBlob(arch_opt));
+        builder.AddBlob("arch_opt", std::move(a_opt));
+        builder.AddBlob("batch_rng", batch_rng.SaveState());
+        builder.AddBlob("dropout_rng", dropout_rng.SaveState());
+        builder.AddBlob("sample_rng",
+                        supernet_ptr->sample_rng().SaveState());
+        return builder.WriteToFile(options.checkpoint_path);
+      }();
+      // A failed save must not kill the search; the previous checkpoint
+      // (if any) is still whole on disk thanks to the atomic write.
+      if (!saved.ok()) {
+        ALT_LOG(Warning) << "NAS checkpoint save failed (continuing): "
+                         << saved.ToString();
+      }
     }
   }
   model->SetTraining(false);

@@ -37,6 +37,15 @@ struct NasSearchOptions {
   double tau_end = 0.3;
   /// Final training of the derived model.
   train::TrainOptions final_train;
+  /// Checkpoint/resume of the supernet search (same contract as
+  /// train::TrainOptions): with a non-empty `checkpoint_path`, the search
+  /// atomically overwrites that file (supernet weights, both Adam states,
+  /// all RNG streams, progress) every `checkpoint_every_epochs` search
+  /// epochs; with `resume` true an existing checkpoint is restored and the
+  /// resumed search derives the same architecture as an uninterrupted run.
+  std::string checkpoint_path;
+  int64_t checkpoint_every_epochs = 1;
+  bool resume = false;
   uint64_t seed = 5;
   /// Debug: audit the supernet loss graph on the first search step, audit
   /// the derived encoder's graph, and cross-check the graph FLOPs estimate

@@ -64,6 +64,10 @@ class SupernetEncoder : public models::BehaviorEncoder {
   /// architecture when nothing fits, with a warning.
   Result<Architecture> Derive(int64_t flops_budget, int64_t seq_len) const;
 
+  /// Gumbel sampling stream; exposed so search checkpoints can persist and
+  /// restore it for bit-exact resume.
+  Rng& sample_rng() { return sample_rng_; }
+
  protected:
   std::vector<std::pair<std::string, ag::Variable*>> LocalParameters()
       override;

@@ -1,6 +1,9 @@
 #include "src/opt/optimizer.h"
 
 #include <cmath>
+#include <cstdint>
+#include <istream>
+#include <ostream>
 
 #include "src/util/logging.h"
 
@@ -67,6 +70,70 @@ void Adam::Step() {
       theta[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
     }
   }
+}
+
+namespace {
+constexpr char kAdamMagic[4] = {'A', 'L', 'T', 'O'};
+constexpr uint32_t kAdamVersion = 1;
+}  // namespace
+
+Status Adam::SaveState(std::ostream* out) const {
+  out->write(kAdamMagic, sizeof(kAdamMagic));
+  const uint32_t version = kAdamVersion;
+  out->write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out->write(reinterpret_cast<const char*>(&t_), sizeof(t_));
+  const uint64_t nparams = m_.size();
+  out->write(reinterpret_cast<const char*>(&nparams), sizeof(nparams));
+  for (size_t i = 0; i < m_.size(); ++i) {
+    const uint64_t numel = static_cast<uint64_t>(m_[i].numel());
+    out->write(reinterpret_cast<const char*>(&numel), sizeof(numel));
+    out->write(reinterpret_cast<const char*>(m_[i].data()),
+               static_cast<std::streamsize>(numel * sizeof(float)));
+    out->write(reinterpret_cast<const char*>(v_[i].data()),
+               static_cast<std::streamsize>(numel * sizeof(float)));
+  }
+  if (!out->good()) return Status::IOError("Adam state write failed");
+  return Status::OK();
+}
+
+Status Adam::LoadState(std::istream* in) {
+  char magic[4];
+  in->read(magic, sizeof(magic));
+  if (!in->good() ||
+      std::string(magic, 4) != std::string(kAdamMagic, 4)) {
+    return Status::InvalidArgument("not an Adam state blob");
+  }
+  uint32_t version = 0;
+  in->read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in->good() || version != kAdamVersion) {
+    return Status::InvalidArgument("unsupported Adam state version");
+  }
+  int64_t t = 0;
+  in->read(reinterpret_cast<char*>(&t), sizeof(t));
+  uint64_t nparams = 0;
+  in->read(reinterpret_cast<char*>(&nparams), sizeof(nparams));
+  if (!in->good()) return Status::IOError("truncated Adam state header");
+  if (nparams != m_.size()) {
+    return Status::InvalidArgument(
+        "Adam state parameter count mismatch: blob has " +
+        std::to_string(nparams) + ", optimizer has " +
+        std::to_string(m_.size()));
+  }
+  for (size_t i = 0; i < m_.size(); ++i) {
+    uint64_t numel = 0;
+    in->read(reinterpret_cast<char*>(&numel), sizeof(numel));
+    if (!in->good() || numel != static_cast<uint64_t>(m_[i].numel())) {
+      return Status::InvalidArgument(
+          "Adam state size mismatch at parameter " + std::to_string(i));
+    }
+    in->read(reinterpret_cast<char*>(m_[i].data()),
+             static_cast<std::streamsize>(numel * sizeof(float)));
+    in->read(reinterpret_cast<char*>(v_[i].data()),
+             static_cast<std::streamsize>(numel * sizeof(float)));
+    if (!in->good()) return Status::IOError("truncated Adam state body");
+  }
+  t_ = t;
+  return Status::OK();
 }
 
 void AdamW::Step() {

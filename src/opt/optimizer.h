@@ -1,10 +1,12 @@
 #ifndef ALT_SRC_OPT_OPTIMIZER_H_
 #define ALT_SRC_OPT_OPTIMIZER_H_
 
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
 #include "src/autograd/variable.h"
+#include "src/util/status.h"
 
 namespace alt {
 namespace opt {
@@ -59,6 +61,15 @@ class Adam : public Optimizer {
 
   float lr() const { return lr_; }
   void set_lr(float lr) { lr_ = lr; }
+
+  /// Moment (de)serialization for checkpoint/resume. Format:
+  ///   "ALTO" | u32 version | i64 t | u64 nparams |
+  ///   per param: u64 numel | f32 m[] | f32 v[].
+  /// LoadState requires the same parameter list (count and sizes) the
+  /// optimizer was constructed with; a restored optimizer continues the
+  /// exact update sequence of the saved run.
+  Status SaveState(std::ostream* out) const;
+  Status LoadState(std::istream* in);
 
  private:
   float lr_;

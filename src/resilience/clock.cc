@@ -1,0 +1,35 @@
+#include "src/resilience/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace alt {
+namespace resilience {
+
+namespace {
+
+class SteadyClock : public Clock {
+ public:
+  double NowMs() override {
+    // Control-flow time for deadlines/backoff, not telemetry.
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now()  // alt_lint: allow(L006): resilience clock primitive, not telemetry
+                   .time_since_epoch())
+        .count();
+  }
+
+  void SleepMs(double ms) override {
+    if (ms <= 0.0) return;
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  }
+};
+
+}  // namespace
+
+Clock* RealClock() {
+  static SteadyClock* clock = new SteadyClock();
+  return clock;
+}
+
+}  // namespace resilience
+}  // namespace alt

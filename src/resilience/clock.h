@@ -1,0 +1,80 @@
+#ifndef ALT_SRC_RESILIENCE_CLOCK_H_
+#define ALT_SRC_RESILIENCE_CLOCK_H_
+
+#include <mutex>
+#include <vector>
+
+namespace alt {
+namespace resilience {
+
+/// Time source injected into the resilience primitives (RetryPolicy,
+/// CircuitBreaker, deadline checks) so their timing behavior is testable:
+/// production code uses RealClock(), tests a FakeClock whose time only moves
+/// when the test says so — a full backoff schedule then runs in
+/// microseconds and asserts exact sleep durations.
+///
+/// This is control-flow time (deadlines, cooldowns, backoff), not
+/// telemetry; wall-time measurement for reporting stays on the obs layer
+/// (obs::ScopedTimerMs / TraceSpan).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic milliseconds since an arbitrary epoch.
+  virtual double NowMs() = 0;
+
+  /// Blocks the calling thread for `ms` milliseconds (no-op for ms <= 0).
+  virtual void SleepMs(double ms) = 0;
+};
+
+/// The process-wide monotonic clock (std::chrono::steady_clock).
+Clock* RealClock();
+
+/// Manually-advanced clock for tests. SleepMs does not block: it records
+/// the request and advances time, so retry/backoff tests run instantly and
+/// can assert the exact schedule.
+class FakeClock : public Clock {
+ public:
+  double NowMs() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    const double now = now_ms_;
+    now_ms_ += auto_advance_ms_;
+    return now;
+  }
+
+  void SleepMs(double ms) override {
+    if (ms <= 0.0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    sleeps_ms_.push_back(ms);
+    now_ms_ += ms;
+  }
+
+  void Advance(double ms) {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_ms_ += ms;
+  }
+
+  /// Every NowMs() call additionally advances time by `ms` — simulates work
+  /// taking a fixed duration between consecutive clock reads (deadline
+  /// tests).
+  void set_auto_advance_ms(double ms) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto_advance_ms_ = ms;
+  }
+
+  std::vector<double> sleeps_ms() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sleeps_ms_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  double now_ms_ = 0.0;
+  double auto_advance_ms_ = 0.0;
+  std::vector<double> sleeps_ms_;
+};
+
+}  // namespace resilience
+}  // namespace alt
+
+#endif  // ALT_SRC_RESILIENCE_CLOCK_H_

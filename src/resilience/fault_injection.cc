@@ -1,0 +1,176 @@
+#include "src/resilience/fault_injection.h"
+
+#include <cstdlib>
+
+#include "src/obs/metrics.h"
+#include "src/util/logging.h"
+
+namespace alt {
+namespace resilience {
+
+namespace {
+
+/// splitmix64 — cheap, well-distributed mixer for the firing decision.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashPoint(const char* point) {
+  // FNV-1a over the point name.
+  uint64_t h = 1469598103934665603ull;
+  for (const char* p = point; *p != '\0'; ++p) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(*p));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Uniform double in [0, 1) from (seed, point, call index).
+double FireDraw(uint64_t seed, const char* point, int64_t call_index) {
+  const uint64_t h =
+      Mix64(seed ^ Mix64(HashPoint(point) ^
+                         Mix64(static_cast<uint64_t>(call_index))));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = []() {
+    auto* instance = new FaultInjector();
+    if (const char* seed_env = std::getenv("ALT_FAULTS_SEED")) {
+      instance->SetSeed(std::strtoull(seed_env, nullptr, 10));
+    }
+    if (const char* spec = std::getenv("ALT_FAULTS")) {
+      const Status armed = instance->ArmFromSpec(spec);
+      if (!armed.ok()) {
+        ALT_LOG(Warning) << "ignoring malformed ALT_FAULTS: "
+                         << armed.ToString();
+      } else if (instance->armed()) {
+        ALT_LOG(Warning) << "fault injection armed from ALT_FAULTS=" << spec;
+      }
+    }
+    return instance;
+  }();
+  return *injector;
+}
+
+void FaultInjector::Arm(const std::string& point_prefix, FaultRule rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_[point_prefix] = std::move(rule);
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(const std::string& point_prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.erase(point_prefix);
+  armed_.store(!rules_.empty(), std::memory_order_relaxed);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.clear();
+  points_.clear();
+  total_injected_ = 0;
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+void FaultInjector::SetSeed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+}
+
+Status FaultInjector::ArmFromSpec(const std::string& spec) {
+  size_t start = 0;
+  while (start < spec.size()) {
+    size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= entry.size()) {
+      return Status::InvalidArgument("bad ALT_FAULTS entry: " + entry);
+    }
+    const std::string prefix = entry.substr(0, eq);
+    const std::string trigger = entry.substr(eq + 1);
+    char* parse_end = nullptr;
+    const double value = std::strtod(trigger.c_str(), &parse_end);
+    if (parse_end == trigger.c_str() || *parse_end != '\0' || value <= 0.0) {
+      return Status::InvalidArgument("bad ALT_FAULTS trigger: " + entry);
+    }
+    FaultRule rule;
+    if (trigger.find('.') != std::string::npos || value <= 1.0) {
+      if (value > 1.0) {
+        return Status::InvalidArgument("probability > 1 in: " + entry);
+      }
+      rule.probability = value;
+    } else {
+      rule.every_nth = static_cast<int64_t>(value);
+    }
+    Arm(prefix, rule);
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::Check(const char* point) {
+  if (!armed_.load(std::memory_order_relaxed)) return Status::OK();
+  FaultRule rule;
+  bool matched = false;
+  int64_t call_index = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::string name(point);
+    // Longest armed prefix wins; std::map orders prefixes lexicographically,
+    // so walk all rules (the set is tiny — a handful of chaos entries).
+    size_t best_len = 0;
+    for (const auto& [prefix, armed_rule] : rules_) {
+      if (name.rfind(prefix, 0) == 0 && prefix.size() >= best_len) {
+        best_len = prefix.size();
+        rule = armed_rule;
+        matched = true;
+      }
+    }
+    if (!matched) return Status::OK();
+    PointState& state = points_[name];
+    call_index = ++state.calls;
+    const bool fire =
+        rule.every_nth > 0
+            ? (call_index % rule.every_nth == 0)
+            : (FireDraw(seed_, point, call_index) < rule.probability);
+    if (!fire) return Status::OK();
+    ++state.injected;
+    ++total_injected_;
+  }
+  ALT_OBS_COUNTER_ADD("resilience/faults/injected", 1);
+  obs::MetricsRegistry::Global()
+      .counter(std::string("resilience/faults/injected/") + point)
+      ->Add(1);
+  const std::string message =
+      rule.message.empty() ? std::string("injected fault at ") + point
+                           : rule.message;
+  return Status(rule.code, message);
+}
+
+int64_t FaultInjector::call_count(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.calls;
+}
+
+int64_t FaultInjector::injected_count(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.injected;
+}
+
+int64_t FaultInjector::total_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_injected_;
+}
+
+}  // namespace resilience
+}  // namespace alt

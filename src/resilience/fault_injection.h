@@ -1,0 +1,127 @@
+#ifndef ALT_SRC_RESILIENCE_FAULT_INJECTION_H_
+#define ALT_SRC_RESILIENCE_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "src/util/status.h"
+
+namespace alt {
+namespace resilience {
+
+/// Deterministic fault injection ---------------------------------------------
+///
+/// Production code marks failure-prone operations with named injection
+/// points (`ALT_FAULT_POINT("serving/predict")`). By default every point is
+/// a no-op costing one relaxed atomic load; chaos tests (and operators, via
+/// the `ALT_FAULTS` environment variable) arm rules that make points fail
+/// with a configurable Status.
+///
+/// Determinism: firing decisions are a pure function of (seed, point name,
+/// per-point call index) — no wall clock, no global RNG stream — so a chaos
+/// run replays exactly under the same seed, which makes chaos failures
+/// debuggable.
+///
+/// Point naming follows the metric scheme `layer/component[/operation]`,
+/// e.g. `data/io/read_binary`, `serving/predict`, `hpo/tune_service/trial`.
+/// Rules are prefix-matched (longest armed prefix wins), so
+/// `Arm("serving/", rule)` covers every serving-layer point.
+///
+/// Compiling with -DALT_FAULTS_DISABLED removes the call sites entirely.
+
+/// What an armed injection point does. Exactly one trigger is used:
+/// `every_nth > 0` fires on every nth call (deterministic count-based),
+/// otherwise `probability` fires pseudo-randomly per call (seeded hash).
+struct FaultRule {
+  double probability = 0.0;  // In [0, 1]; per-call firing chance.
+  int64_t every_nth = 0;     // > 0: fire when call_index % every_nth == 0.
+  StatusCode code = StatusCode::kInternal;
+  std::string message;       // Optional; defaults to "injected fault at <point>".
+};
+
+/// Process-global registry of fault rules and per-point counters. Individual
+/// instances can be constructed for tests, but the `ALT_FAULT_POINT` macros
+/// always consult Global().
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// The registry the ALT_FAULT_POINT macros consult. On first use it arms
+  /// itself from the `ALT_FAULTS` environment variable (see ArmFromSpec) and
+  /// seeds from `ALT_FAULTS_SEED` (default 1).
+  static FaultInjector& Global();
+
+  /// Arms `rule` for every point whose name starts with `point_prefix`.
+  /// Re-arming a prefix replaces its rule.
+  void Arm(const std::string& point_prefix, FaultRule rule);
+
+  void Disarm(const std::string& point_prefix);
+
+  /// Disarms everything and clears all per-point counters.
+  void Reset();
+
+  /// Seed of the per-call firing hash. Changing the seed replays a
+  /// different deterministic fault schedule.
+  void SetSeed(uint64_t seed);
+
+  /// Arms rules from a spec string, the `ALT_FAULTS` format:
+  ///   spec     := entry ("," entry)*
+  ///   entry    := point_prefix "=" trigger
+  ///   trigger  := probability in (0,1] with a '.' (e.g. "0.05"), or an
+  ///               integer n >= 2 meaning every-nth-call, or "1" (always).
+  /// Example: ALT_FAULTS="serving/=0.05,data/io/=0.02,hpo/=20".
+  Status ArmFromSpec(const std::string& spec);
+
+  /// True when at least one rule is armed (the macro fast path).
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// The injection point primitive: returns OK, or the armed fault when the
+  /// matched rule fires for this call. Fires are counted per point and in
+  /// the obs registry (`resilience/faults/injected[/<point>]`).
+  Status Check(const char* point);
+
+  /// Total calls / injected failures observed at `point` since Reset().
+  int64_t call_count(const std::string& point) const;
+  int64_t injected_count(const std::string& point) const;
+
+  /// Injected failures across all points since Reset().
+  int64_t total_injected() const;
+
+ private:
+  struct PointState {
+    int64_t calls = 0;
+    int64_t injected = 0;
+  };
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mu_;
+  uint64_t seed_ = 1;
+  std::map<std::string, FaultRule> rules_;       // Keyed by point prefix.
+  std::map<std::string, PointState> points_;     // Keyed by full point name.
+  int64_t total_injected_ = 0;
+};
+
+}  // namespace resilience
+}  // namespace alt
+
+/// Injection-point macros. `ALT_FAULT_POINT(name)` evaluates to a Status
+/// (OK unless an armed rule fires); `ALT_FAULT_RETURN_IF(name)` propagates
+/// the injected fault out of the enclosing function. Compiled out entirely
+/// under -DALT_FAULTS_DISABLED.
+#if defined(ALT_FAULTS_DISABLED)
+#define ALT_FAULT_POINT(point) (::alt::Status::OK())
+#define ALT_FAULT_RETURN_IF(point) \
+  do {                             \
+  } while (false)
+#else
+#define ALT_FAULT_POINT(point) \
+  (::alt::resilience::FaultInjector::Global().Check(point))
+#define ALT_FAULT_RETURN_IF(point) ALT_RETURN_IF_ERROR(ALT_FAULT_POINT(point))
+#endif  // ALT_FAULTS_DISABLED
+
+#endif  // ALT_SRC_RESILIENCE_FAULT_INJECTION_H_

@@ -1,0 +1,58 @@
+#include "src/resilience/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/obs/metrics.h"
+
+namespace alt {
+namespace resilience {
+
+RetryPolicy::RetryPolicy(RetryOptions options, Clock* clock)
+    : options_(std::move(options)),
+      clock_(clock != nullptr ? clock : RealClock()),
+      jitter_rng_(options_.seed) {}
+
+Status RetryPolicy::Run(const std::string& op,
+                        const std::function<Status()>& fn) {
+  Result<char> result = RunResult<char>(op, [&fn]() -> Result<char> {
+    Status status = fn();
+    if (!status.ok()) return status;
+    return '\0';
+  });
+  return result.status();
+}
+
+bool RetryPolicy::IsRetryable(StatusCode code) const {
+  return std::find(options_.retryable_codes.begin(),
+                   options_.retryable_codes.end(),
+                   code) != options_.retryable_codes.end();
+}
+
+double RetryPolicy::NextBackoffMs(int64_t attempt) {
+  double backoff = options_.initial_backoff_ms *
+                   std::pow(options_.backoff_multiplier,
+                            static_cast<double>(attempt - 1));
+  backoff = std::min(backoff, options_.max_backoff_ms);
+  if (options_.jitter_fraction > 0.0) {
+    std::lock_guard<std::mutex> lock(jitter_mu_);
+    const double u = jitter_rng_.Uniform(-1.0, 1.0);
+    backoff *= 1.0 + options_.jitter_fraction * u;
+  }
+  return std::max(backoff, 0.0);
+}
+
+void RetryPolicy::CountAttempt() {
+  ALT_OBS_COUNTER_ADD("resilience/retry/attempts_total", 1);
+}
+
+void RetryPolicy::CountRetry() {
+  ALT_OBS_COUNTER_ADD("resilience/retry/retries_total", 1);
+}
+
+void RetryPolicy::CountExhausted() {
+  ALT_OBS_COUNTER_ADD("resilience/retry/exhausted_total", 1);
+}
+
+}  // namespace resilience
+}  // namespace alt

@@ -1,0 +1,124 @@
+#ifndef ALT_SRC_RESILIENCE_RETRY_H_
+#define ALT_SRC_RESILIENCE_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/resilience/clock.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace alt {
+namespace resilience {
+
+/// Retry schedule and eligibility. Defaults: 3 attempts, exponential
+/// backoff 10ms -> 20ms (x2, capped at 1s) with 20% multiplicative jitter,
+/// retrying transient codes (Internal, IOError, DeadlineExceeded,
+/// FailedPrecondition stays fatal).
+struct RetryOptions {
+  int64_t max_attempts = 3;
+  double initial_backoff_ms = 10.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 1000.0;
+  /// Multiplicative jitter: each backoff is scaled by a factor uniform in
+  /// [1 - jitter_fraction, 1 + jitter_fraction], drawn from a seeded Rng so
+  /// schedules are reproducible. 0 disables.
+  double jitter_fraction = 0.2;
+  /// Per-attempt deadline; > 0 turns an attempt that took longer into
+  /// DeadlineExceeded (even a nominally-successful one — by then the caller
+  /// has degraded, matching serving semantics). Checked post hoc via the
+  /// injected clock; the attempt itself is not interrupted.
+  double attempt_deadline_ms = 0.0;
+  /// Whole-call budget; > 0 stops retrying (keeping the last error) when
+  /// the next backoff would exceed it.
+  double overall_deadline_ms = 0.0;
+  /// Status codes worth retrying; everything else fails fast.
+  std::vector<StatusCode> retryable_codes = {StatusCode::kInternal,
+                                             StatusCode::kIOError,
+                                             StatusCode::kDeadlineExceeded};
+  /// Jitter stream seed (determinism for tests and replayable chaos runs).
+  uint64_t seed = 1;
+};
+
+/// Executes fallible operations under RetryOptions. Thread-safe; one policy
+/// instance can serve many call sites. Time (backoff sleeps, deadlines)
+/// flows through the injected Clock, so tests with a FakeClock run the full
+/// schedule instantly and assert the exact sleep sequence.
+///
+/// Obs wiring (process registry):
+///   resilience/retry/attempts_total    every attempt
+///   resilience/retry/retries_total     attempts after the first
+///   resilience/retry/exhausted_total   calls that gave up
+class RetryPolicy {
+ public:
+  /// `clock == nullptr` selects RealClock().
+  explicit RetryPolicy(RetryOptions options, Clock* clock = nullptr);
+
+  /// Runs `fn` until it succeeds, a non-retryable error occurs, or the
+  /// attempt/deadline budget is spent. Returns the last error on failure.
+  /// `op` names the operation in error messages.
+  Status Run(const std::string& op, const std::function<Status()>& fn);
+
+  /// Result-returning variant.
+  template <typename T>
+  Result<T> RunResult(const std::string& op,
+                      const std::function<Result<T>()>& fn) {
+    const double start_ms = clock_->NowMs();
+    Status last = Status::Internal(op + ": no attempts run");
+    for (int64_t attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+      CountAttempt();
+      const double attempt_start_ms = clock_->NowMs();
+      Result<T> result = fn();
+      const double attempt_ms = clock_->NowMs() - attempt_start_ms;
+      Status status = result.status();
+      if (status.ok() && options_.attempt_deadline_ms > 0.0 &&
+          attempt_ms > options_.attempt_deadline_ms) {
+        status = Status::DeadlineExceeded(
+            op + ": attempt exceeded deadline (" +
+            std::to_string(attempt_ms) + "ms)");
+      }
+      if (status.ok()) return result;
+      last = status;
+      if (!IsRetryable(status.code()) || attempt == options_.max_attempts) {
+        break;
+      }
+      const double backoff_ms = NextBackoffMs(attempt);
+      if (options_.overall_deadline_ms > 0.0 &&
+          (clock_->NowMs() - start_ms) + backoff_ms >
+              options_.overall_deadline_ms) {
+        break;
+      }
+      CountRetry();
+      clock_->SleepMs(backoff_ms);
+    }
+    CountExhausted();
+    return last;
+  }
+
+  bool IsRetryable(StatusCode code) const;
+
+  /// The backoff before retry number `attempt` (1-based: the sleep after
+  /// the first failed attempt is NextBackoffMs(1)). Applies jitter, so
+  /// consecutive calls advance the jitter stream.
+  double NextBackoffMs(int64_t attempt);
+
+  const RetryOptions& options() const { return options_; }
+
+ private:
+  void CountAttempt();
+  void CountRetry();
+  void CountExhausted();
+
+  RetryOptions options_;
+  Clock* clock_;
+  std::mutex jitter_mu_;
+  Rng jitter_rng_;
+};
+
+}  // namespace resilience
+}  // namespace alt
+
+#endif  // ALT_SRC_RESILIENCE_RETRY_H_

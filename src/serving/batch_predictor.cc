@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/obs/trace.h"
+#include "src/resilience/fault_injection.h"
 #include "src/util/logging.h"
 
 namespace alt {
@@ -184,8 +185,12 @@ void BatchPredictor::Flush(std::vector<Request> batch) {
     }
   }
 
-  Result<std::vector<float>> scores =
-      server_->Predict(batch[accepted[0]].scenario, merged);
+  // An injected flush fault fails the whole merged batch the same way a
+  // failed Predict does: every accepted request resolves with the error.
+  Result<std::vector<float>> scores = [&]() -> Result<std::vector<float>> {
+    ALT_FAULT_RETURN_IF("serving/batch_predictor/flush");
+    return server_->Predict(batch[accepted[0]].scenario, merged);
+  }();
   for (int64_t r = 0; r < merged.batch_size; ++r) {
     Request& request = batch[accepted[static_cast<size_t>(r)]];
     if (scores.ok()) {

@@ -1,6 +1,7 @@
 #include "src/serving/model_server.h"
 
 #include "src/obs/trace.h"
+#include "src/resilience/fault_injection.h"
 #include "src/serving/model_store.h"
 
 namespace alt {
@@ -16,8 +17,16 @@ std::string ModelServer::LatencyMetricName(const std::string& scenario) {
 
 Status ModelServer::Deploy(const std::string& scenario,
                            std::unique_ptr<models::BaseModel> model) {
-  if (model == nullptr) return Status::InvalidArgument("null model");
-  model->SetTraining(false);
+  return TryDeploy(scenario, &model);
+}
+
+Status ModelServer::TryDeploy(const std::string& scenario,
+                              std::unique_ptr<models::BaseModel>* model) {
+  if (model == nullptr || *model == nullptr) {
+    return Status::InvalidArgument("null model");
+  }
+  ALT_FAULT_RETURN_IF("serving/deploy");
+  (*model)->SetTraining(false);
   std::shared_ptr<Deployment> deployment;
   {
     std::lock_guard<std::mutex> lock(registry_mu_);
@@ -32,8 +41,46 @@ Status ModelServer::Deploy(const std::string& scenario,
     }
   }
   std::lock_guard<std::mutex> model_lock(deployment->mu);
-  deployment->model = std::move(model);
+  deployment->model = std::move(*model);
   return Status::OK();
+}
+
+void ModelServer::SetResilience(ServingResilienceOptions options,
+                                resilience::Clock* clock) {
+  std::lock_guard<std::mutex> lock(breakers_mu_);
+  resilience_ = std::move(options);
+  clock_ = clock != nullptr ? clock : resilience::RealClock();
+  fallbacks_total_ = registry_->counter("serving/fallbacks");
+  unknown_fallbacks_total_ =
+      registry_->counter("serving/unknown_scenario_fallbacks");
+  deadline_exceeded_total_ =
+      registry_->counter("serving/predict_deadline_exceeded");
+  breakers_.clear();
+  resilience_enabled_ = true;
+}
+
+Result<resilience::BreakerState> ModelServer::GetBreakerState(
+    const std::string& scenario) const {
+  std::lock_guard<std::mutex> lock(breakers_mu_);
+  auto it = breakers_.find(scenario);
+  if (it == breakers_.end()) {
+    return Status::NotFound("no breaker for scenario " + scenario);
+  }
+  return it->second->state();
+}
+
+resilience::CircuitBreaker* ModelServer::BreakerFor(
+    const std::string& scenario) {
+  std::lock_guard<std::mutex> lock(breakers_mu_);
+  auto it = breakers_.find(scenario);
+  if (it == breakers_.end()) {
+    it = breakers_
+             .emplace(scenario, std::make_unique<resilience::CircuitBreaker>(
+                                    "serving/" + scenario, resilience_.breaker,
+                                    clock_, registry_))
+             .first;
+  }
+  return it->second.get();
 }
 
 Status ModelServer::Undeploy(const std::string& scenario) {
@@ -56,26 +103,80 @@ std::vector<std::string> ModelServer::Scenarios() const {
   return out;
 }
 
-Result<std::vector<float>> ModelServer::Predict(const std::string& scenario,
-                                                const data::Batch& batch) {
-  std::shared_ptr<Deployment> deployment;
-  {
-    std::lock_guard<std::mutex> lock(registry_mu_);
-    auto it = deployments_.find(scenario);
-    if (it == deployments_.end()) {
-      return Status::NotFound("scenario " + scenario + " not deployed");
-    }
-    deployment = it->second;
-  }
+std::shared_ptr<ModelServer::Deployment> ModelServer::FindDeployment(
+    const std::string& scenario) const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = deployments_.find(scenario);
+  return it == deployments_.end() ? nullptr : it->second;
+}
+
+Result<std::vector<float>> ModelServer::PredictOn(
+    const std::shared_ptr<Deployment>& deployment, const data::Batch& batch) {
   // Per-deployment lock: the model's forward pass mutates training-mode
   // state, so concurrent requests to one scenario serialize here.
   std::lock_guard<std::mutex> model_lock(deployment->mu);
   if (deployment->model == nullptr) {
-    return Status::NotFound("scenario " + scenario + " has no model");
+    return Status::NotFound("deployment has no model");
   }
+  ALT_FAULT_RETURN_IF("serving/predict");
   ALT_TRACE_SPAN(span, "serving/model_server/predict");
   obs::ScopedTimerMs timer(deployment->latency_ms);
   return deployment->model->PredictProbs(batch);
+}
+
+Result<std::vector<float>> ModelServer::FallbackPredict(
+    const std::string& scenario, const data::Batch& batch) {
+  fallbacks_total_->Add(1);
+  if (!resilience_.fallback_scenario.empty() &&
+      resilience_.fallback_scenario != scenario) {
+    std::shared_ptr<Deployment> fallback =
+        FindDeployment(resilience_.fallback_scenario);
+    if (fallback != nullptr) {
+      Result<std::vector<float>> result = PredictOn(fallback, batch);
+      if (result.ok()) return result;
+      // The heavy model failed too (possibly an injected fault); degrade
+      // one more step to the constant prior rather than surface an error.
+    }
+  }
+  return std::vector<float>(static_cast<size_t>(batch.batch_size),
+                            resilience_.fallback_prior);
+}
+
+Result<std::vector<float>> ModelServer::Predict(const std::string& scenario,
+                                                const data::Batch& batch) {
+  std::shared_ptr<Deployment> deployment = FindDeployment(scenario);
+  std::string target = scenario;
+  if (deployment == nullptr && resilience_enabled_ &&
+      !resilience_.default_scenario.empty() &&
+      scenario != resilience_.default_scenario) {
+    deployment = FindDeployment(resilience_.default_scenario);
+    if (deployment != nullptr) {
+      unknown_fallbacks_total_->Add(1);
+      target = resilience_.default_scenario;
+    }
+  }
+  if (deployment == nullptr) {
+    return Status::NotFound("scenario " + scenario + " not deployed");
+  }
+  if (!resilience_enabled_) return PredictOn(deployment, batch);
+
+  resilience::CircuitBreaker* breaker = BreakerFor(target);
+  if (!breaker->AllowRequest()) return FallbackPredict(target, batch);
+  const double start_ms = clock_->NowMs();
+  Result<std::vector<float>> result = PredictOn(deployment, batch);
+  const double elapsed_ms = clock_->NowMs() - start_ms;
+  bool healthy = result.ok();
+  if (healthy && resilience_.predict_deadline_ms > 0.0 &&
+      elapsed_ms > resilience_.predict_deadline_ms) {
+    deadline_exceeded_total_->Add(1);
+    healthy = false;
+  }
+  if (healthy) {
+    breaker->RecordSuccess();
+    return result;
+  }
+  breaker->RecordFailure();
+  return FallbackPredict(target, batch);
 }
 
 Result<LatencyStats> ModelServer::GetLatencyStats(

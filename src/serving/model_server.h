@@ -10,6 +10,7 @@
 #include "src/data/dataset.h"
 #include "src/models/base_model.h"
 #include "src/obs/metrics.h"
+#include "src/resilience/circuit_breaker.h"
 #include "src/util/status.h"
 
 namespace alt {
@@ -26,6 +27,30 @@ struct LatencyStats {  // alt_lint: allow(L007): read-view over obs::MetricsRegi
   double p95_ms = 0.0;
   double p99_ms = 0.0;
   double max_ms = 0.0;
+};
+
+/// Graceful-degradation policy for Predict. Off by default; enable with
+/// ModelServer::SetResilience. With it on, each scenario gets a circuit
+/// breaker over its Predict outcomes: while the breaker is open — or when a
+/// call fails or overruns `predict_deadline_ms` — the answer comes from the
+/// fallback path (the scenario-agnostic f0 deployment named by
+/// `fallback_scenario`, else the constant `fallback_prior` score) instead
+/// of propagating the error to the caller.
+struct ServingResilienceOptions {
+  resilience::CircuitBreakerOptions breaker;
+  /// When > 0, a Predict slower than this counts as a breaker failure and
+  /// the fallback answer is served in its place.
+  double predict_deadline_ms = 0.0;
+  /// Deployed scenario that serves degraded traffic (conventionally "f0",
+  /// the meta-learner's scenario-agnostic snapshot). Empty: skip straight
+  /// to the constant prior.
+  std::string fallback_scenario;
+  /// Score served when no fallback deployment is available.
+  float fallback_prior = 0.5f;
+  /// When non-empty, Predict on an unknown scenario degrades to this
+  /// deployed scenario (counted in serving/unknown_scenario_fallbacks)
+  /// instead of returning NotFound.
+  std::string default_scenario;
 };
 
 /// The Model Serving module (Sec. IV-E): per-scenario model registry with
@@ -46,6 +71,23 @@ class ModelServer {
   /// Installs (or replaces) the serving model of `scenario`.
   Status Deploy(const std::string& scenario,
                 std::unique_ptr<models::BaseModel> model);
+
+  /// Retry-friendly Deploy: consumes `*model` only on success, so a failed
+  /// attempt (e.g. an injected serving/deploy fault) leaves the model with
+  /// the caller for the next attempt.
+  Status TryDeploy(const std::string& scenario,
+                   std::unique_ptr<models::BaseModel>* model);
+
+  /// Enables graceful degradation for Predict. `clock == nullptr` selects
+  /// resilience::RealClock(); tests inject a FakeClock to drive deadlines
+  /// and breaker cooldowns.
+  void SetResilience(ServingResilienceOptions options,
+                     resilience::Clock* clock = nullptr);
+
+  /// Breaker state of a scenario that has served resilient traffic;
+  /// NotFound before its first Predict or with resilience off.
+  Result<resilience::BreakerState> GetBreakerState(
+      const std::string& scenario) const;
 
   Status Undeploy(const std::string& scenario);
   bool IsDeployed(const std::string& scenario) const;
@@ -79,11 +121,34 @@ class ModelServer {
     obs::Histogram* latency_ms = nullptr;  // Owned by the registry.
   };
 
+  std::shared_ptr<Deployment> FindDeployment(const std::string& scenario) const;
+  /// The primary (non-degraded) Predict path; hosts the serving/predict
+  /// fault point.
+  Result<std::vector<float>> PredictOn(
+      const std::shared_ptr<Deployment>& deployment, const data::Batch& batch);
+  /// Degraded answer for `scenario`: the fallback deployment's prediction
+  /// when available, else a constant-prior vector. Always counts
+  /// serving/fallbacks.
+  Result<std::vector<float>> FallbackPredict(const std::string& scenario,
+                                             const data::Batch& batch);
+  /// Lazily creates the scenario's breaker (callers must not hold
+  /// registry_mu_).
+  resilience::CircuitBreaker* BreakerFor(const std::string& scenario);
+
   /// Deployments are shared_ptrs so an in-flight Predict keeps its
   /// deployment alive across a concurrent Undeploy.
   obs::MetricsRegistry* registry_;
   mutable std::mutex registry_mu_;
   std::map<std::string, std::shared_ptr<Deployment>> deployments_;
+
+  bool resilience_enabled_ = false;
+  ServingResilienceOptions resilience_;
+  resilience::Clock* clock_ = nullptr;
+  mutable std::mutex breakers_mu_;
+  std::map<std::string, std::unique_ptr<resilience::CircuitBreaker>> breakers_;
+  obs::Counter* fallbacks_total_ = nullptr;         // Owned by the registry.
+  obs::Counter* unknown_fallbacks_total_ = nullptr; // Owned by the registry.
+  obs::Counter* deadline_exceeded_total_ = nullptr; // Owned by the registry.
 };
 
 }  // namespace serving

@@ -5,6 +5,8 @@
 
 #include "src/nas/nas_search.h"
 #include "src/nn/serialize.h"
+#include "src/resilience/fault_injection.h"
+#include "src/util/atomic_file.h"
 #include "src/util/json.h"
 
 namespace alt {
@@ -29,9 +31,12 @@ Status SaveModelBundle(models::BaseModel* model, std::ostream* out) {
 
 Status SaveModelBundleToFile(models::BaseModel* model,
                              const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out.is_open()) return Status::IOError("cannot open " + path);
-  return SaveModelBundle(model, &out);
+  ALT_FAULT_RETURN_IF("serving/model_store/save");
+  // Temp-file + rename so a crash or short write mid-save never leaves a
+  // torn bundle at `path`: readers see the old bundle or the new one.
+  return AtomicWriteFile(path, [model](std::ostream* out) {
+    return SaveModelBundle(model, out);
+  });
 }
 
 Result<std::unique_ptr<models::BaseModel>> LoadModelBundle(std::istream* in) {

@@ -1,5 +1,6 @@
 #include "src/train/trainer.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -8,12 +9,72 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/opt/optimizer.h"
+#include "src/resilience/checkpoint.h"
 #include "src/util/logging.h"
 
 namespace alt {
 namespace train {
 
 namespace {
+
+/// Everything a resumed run must restore for bit-exact continuation:
+/// weights, Adam moments, both RNG streams, and the progress counters.
+Status SaveTrainerCheckpoint(const std::string& path,
+                             models::BaseModel* model,
+                             const opt::Adam& optimizer, const Rng& rng,
+                             const Rng& dropout_rng, int64_t next_epoch,
+                             const TrainReport& report, double best_loss,
+                             int64_t bad_epochs) {
+  resilience::CheckpointBuilder builder;
+  Json& meta = builder.mutable_meta();
+  meta["kind"] = "trainer";
+  meta["next_epoch"] = next_epoch;
+  meta["epochs_run"] = report.epochs_run;
+  meta["first_epoch_loss"] = report.first_epoch_loss;
+  meta["final_epoch_loss"] = report.final_epoch_loss;
+  meta["bad_epochs"] = bad_epochs;
+  // Infinity (no finite loss yet) is not representable in JSON; absence
+  // of the key means "still infinite".
+  if (std::isfinite(best_loss)) meta["best_loss"] = best_loss;
+  ALT_ASSIGN_OR_RETURN(std::string weights,
+                       resilience::ModuleWeightsBlob(model));
+  builder.AddBlob("weights", std::move(weights));
+  ALT_ASSIGN_OR_RETURN(std::string adam, resilience::AdamStateBlob(optimizer));
+  builder.AddBlob("adam", std::move(adam));
+  builder.AddBlob("rng", rng.SaveState());
+  builder.AddBlob("dropout_rng", dropout_rng.SaveState());
+  return builder.WriteToFile(path);
+}
+
+Status RestoreTrainerCheckpoint(const resilience::CheckpointReader& ckpt,
+                                models::BaseModel* model,
+                                opt::Adam* optimizer, Rng* rng,
+                                Rng* dropout_rng, int64_t* next_epoch,
+                                TrainReport* report, double* best_loss,
+                                int64_t* bad_epochs) {
+  if (!ckpt.meta().contains("kind") ||
+      ckpt.meta().at("kind").as_string() != "trainer") {
+    return Status::InvalidArgument("not a trainer checkpoint");
+  }
+  ALT_ASSIGN_OR_RETURN(std::string weights, ckpt.blob("weights"));
+  ALT_RETURN_IF_ERROR(resilience::RestoreModuleWeights(model, weights));
+  ALT_ASSIGN_OR_RETURN(std::string adam, ckpt.blob("adam"));
+  ALT_RETURN_IF_ERROR(resilience::RestoreAdamState(optimizer, adam));
+  ALT_ASSIGN_OR_RETURN(std::string rng_state, ckpt.blob("rng"));
+  ALT_ASSIGN_OR_RETURN(std::string dropout_state, ckpt.blob("dropout_rng"));
+  if (!rng->LoadState(rng_state) || !dropout_rng->LoadState(dropout_state)) {
+    return Status::InvalidArgument("corrupt RNG state in checkpoint");
+  }
+  *next_epoch = ckpt.meta().at("next_epoch").as_int();
+  report->epochs_run = ckpt.meta().at("epochs_run").as_int();
+  report->first_epoch_loss = ckpt.meta().at("first_epoch_loss").as_number();
+  report->final_epoch_loss = ckpt.meta().at("final_epoch_loss").as_number();
+  *bad_epochs = ckpt.meta().at("bad_epochs").as_int();
+  if (ckpt.meta().contains("best_loss")) {
+    *best_loss = ckpt.meta().at("best_loss").as_number();
+  }
+  return Status::OK();
+}
 
 /// Shared epoch loop; `loss_fn` maps a batch to the scalar training loss.
 template <typename LossFn>
@@ -35,12 +96,34 @@ Result<TrainReport> RunTraining(models::BaseModel* model,
   double best_loss = std::numeric_limits<double>::infinity();
   int64_t bad_epochs = 0;
   bool audited = false;
+  const bool checkpointing = !options.checkpoint_path.empty();
+  const int64_t checkpoint_every = std::max<int64_t>(
+      1, options.checkpoint_every_epochs);
+  int64_t start_epoch = 0;
+  if (checkpointing && options.resume) {
+    Result<resilience::CheckpointReader> loaded =
+        resilience::CheckpointReader::ReadFromFile(options.checkpoint_path);
+    if (loaded.ok()) {
+      ALT_RETURN_IF_ERROR(RestoreTrainerCheckpoint(
+          loaded.value(), model, &optimizer, &rng, &dropout_rng, &start_epoch,
+          &report, &best_loss, &bad_epochs));
+      ALT_LOG(Info) << "resumed training from " << options.checkpoint_path
+                    << " at epoch " << start_epoch;
+      if (start_epoch >= options.epochs) {
+        model->SetTraining(false);
+        return report;
+      }
+    } else if (loaded.status().code() != StatusCode::kNotFound) {
+      // A missing checkpoint means a clean start; a corrupt one is an error.
+      return loaded.status();
+    }
+  }
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   obs::Histogram* epoch_time = metrics.histogram("train/trainer/epoch_time_ms");
   obs::Histogram* step_time = metrics.histogram("train/trainer/step_time_ms");
   obs::Counter* steps_total = metrics.counter("train/trainer/steps_total");
   obs::Gauge* last_epoch_loss = metrics.gauge("train/trainer/last_epoch_loss");
-  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+  for (int64_t epoch = start_epoch; epoch < options.epochs; ++epoch) {
     ALT_TRACE_SPAN(epoch_span, "train/epoch");
     obs::ScopedTimerMs epoch_timer(epoch_time);
     double epoch_loss = 0.0;
@@ -76,14 +159,28 @@ Result<TrainReport> RunTraining(models::BaseModel* model,
     if (epoch == 0) report.first_epoch_loss = epoch_loss;
     report.final_epoch_loss = epoch_loss;
     ++report.epochs_run;
+    bool stop_early = false;
     if (options.patience > 0) {
       if (epoch_loss < best_loss - options.min_improvement) {
         best_loss = epoch_loss;
         bad_epochs = 0;
       } else if (++bad_epochs >= options.patience) {
-        break;
+        stop_early = true;
       }
     }
+    if (checkpointing && ((epoch + 1) % checkpoint_every == 0 ||
+                          epoch + 1 == options.epochs || stop_early)) {
+      const Status saved = SaveTrainerCheckpoint(
+          options.checkpoint_path, model, optimizer, rng, dropout_rng,
+          epoch + 1, report, best_loss, bad_epochs);
+      // A failed save must not kill the run: training state is intact and
+      // the previous checkpoint (if any) is still whole on disk.
+      if (!saved.ok()) {
+        ALT_LOG(Warning) << "checkpoint save failed (continuing): "
+                         << saved.ToString();
+      }
+    }
+    if (stop_early) break;
   }
   model->SetTraining(false);
   return report;

@@ -31,6 +31,15 @@ struct TrainOptions {
   /// violations (cycle, grad-shape mismatch, unreachable trainable
   /// parameter). The report is logged at Info level.
   bool audit_graph = false;
+  /// Checkpoint/resume for long runs. A non-empty `checkpoint_path` makes
+  /// the run atomically overwrite that file with weights + Adam moments +
+  /// RNG streams + progress every `checkpoint_every_epochs` completed
+  /// epochs. With `resume` true, a run finding a checkpoint at that path
+  /// restores it and continues to `epochs` total — bitwise identical to
+  /// the uninterrupted run with the same seed (no checkpoint: clean start).
+  std::string checkpoint_path;
+  int64_t checkpoint_every_epochs = 1;
+  bool resume = false;
 };
 
 /// Summary of one training run.

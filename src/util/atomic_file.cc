@@ -1,0 +1,64 @@
+#include "src/util/atomic_file.h"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+
+namespace alt {
+
+namespace {
+
+/// Distinct temp names for concurrent writers targeting the same path from
+/// one process; cross-process collisions are avoided by the pid-free rename
+/// semantics (last rename wins, both contents are complete).
+std::string TempPathFor(const std::string& path) {
+  static std::atomic<uint64_t> counter{0};
+  return path + ".tmp." +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path,
+                       const std::function<Status(std::ostream*)>& writer) {
+  const std::string tmp = TempPathFor(path);
+  Status result = Status::OK();
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      return Status::IOError("cannot open temp file " + tmp);
+    }
+    result = writer(&out);
+    if (result.ok()) {
+      out.flush();
+      if (!out.good()) {
+        result = Status::IOError("short write to " + tmp);
+      }
+    }
+  }
+  if (result.ok()) {
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+      result = Status::IOError("rename " + tmp + " -> " + path + ": " +
+                               ec.message());
+    }
+  }
+  if (!result.ok()) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);  // Best effort; the error wins.
+  }
+  return result;
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& contents) {
+  return AtomicWriteFile(path, [&contents](std::ostream* out) {
+    out->write(contents.data(),
+               static_cast<std::streamsize>(contents.size()));
+    if (!out->good()) return Status::IOError("short write");
+    return Status::OK();
+  });
+}
+
+}  // namespace alt

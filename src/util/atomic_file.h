@@ -1,0 +1,28 @@
+#ifndef ALT_SRC_UTIL_ATOMIC_FILE_H_
+#define ALT_SRC_UTIL_ATOMIC_FILE_H_
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "src/util/status.h"
+
+namespace alt {
+
+/// Crash-safe file replacement: `writer` streams into a temporary file in
+/// the target's directory, which is renamed over `path` only after every
+/// write succeeded. Readers therefore never observe a partially-written
+/// file — they see either the previous content or the complete new one.
+///
+/// Any short write (a writer error, a failed flush, or a failed rename)
+/// aborts the replacement, removes the temporary file, and surfaces as
+/// kIOError (or the writer's own error status); `path` is left untouched.
+Status AtomicWriteFile(const std::string& path,
+                       const std::function<Status(std::ostream*)>& writer);
+
+/// Convenience overload for ready-made contents.
+Status AtomicWriteFile(const std::string& path, const std::string& contents);
+
+}  // namespace alt
+
+#endif  // ALT_SRC_UTIL_ATOMIC_FILE_H_

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdint>
 #include <random>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "src/util/logging.h"
@@ -86,6 +88,22 @@ class Rng {
   }
 
   std::mt19937_64& engine() { return engine_; }
+
+  /// Serialized engine state (text), for checkpoint/resume: restoring the
+  /// state continues the exact random stream of the saved run.
+  std::string SaveState() const {
+    std::ostringstream out;
+    out << engine_;
+    return out.str();
+  }
+
+  /// Restores a SaveState() snapshot. Returns false (engine untouched on
+  /// parse failure is not guaranteed; reseed on false) for malformed input.
+  bool LoadState(const std::string& state) {
+    std::istringstream in(state);
+    in >> engine_;
+    return !in.fail();
+  }
 
  private:
   std::mt19937_64 engine_;

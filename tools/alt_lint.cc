@@ -16,6 +16,14 @@
 //   L007  ad-hoc `*Stats` structs/classes outside src/obs: per-component
 //         stats stores fragment observability; report through
 //         obs::MetricsRegistry instead.
+//   L008  discarded Status/Result return value: a statement consisting
+//         solely of a call to a function declared as returning Status or
+//         Result<...> silently drops the error. Handle it, return it
+//         (ALT_RETURN_IF_ERROR), or waive the line. Function names are
+//         collected from declarations across every scanned file, so a
+//         call in one file is checked against a declaration in another.
+//         Heuristic: calls used inside a larger expression (arguments,
+//         conditions, assignments, member chains) are never flagged.
 //
 // A violation can be waived by a comment on the same line:
 //   `alt_lint: allow(L006): <reason>`
@@ -41,8 +49,10 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace {
@@ -161,6 +171,125 @@ void FindStatsTypes(const std::string& stripped, const std::string& file,
   }
 }
 
+// L008 pass 1: records the names of functions declared (or defined) with a
+// `Status name(` / `Result<...> name(` return type in already-stripped
+// text. Variable declarations (`Status s = ...`) don't match: the token
+// after the name must be '('.
+void CollectStatusReturning(const std::string& stripped,
+                            std::set<std::string>* names) {
+  const size_t n = stripped.size();
+  auto skip_ws = [&](size_t j) {
+    while (j < n && std::isspace(static_cast<unsigned char>(stripped[j])) != 0)
+      ++j;
+    return j;
+  };
+  for (const char* ret : {"Status", "Result"}) {
+    const std::string token(ret);
+    const bool templated = token == "Result";
+    for (size_t pos = stripped.find(token); pos != std::string::npos;
+         pos = stripped.find(token, pos + 1)) {
+      if (pos > 0 && IsIdentChar(stripped[pos - 1])) continue;
+      size_t j = pos + token.size();
+      if (j < n && IsIdentChar(stripped[j])) continue;  // e.g. StatusCode
+      if (templated) {
+        j = skip_ws(j);
+        if (j >= n || stripped[j] != '<') continue;
+        int depth = 0;
+        for (; j < n; ++j) {
+          if (stripped[j] == '<') ++depth;
+          if (stripped[j] == '>' && --depth == 0) {
+            ++j;
+            break;
+          }
+        }
+        if (depth != 0) continue;
+      }
+      j = skip_ws(j);
+      size_t name_end = j;
+      while (name_end < n && IsIdentChar(stripped[name_end])) ++name_end;
+      if (name_end == j) continue;  // `Status::OK()`, `std::function<Status(`
+      const size_t after = skip_ws(name_end);
+      if (after < n && stripped[after] == '(') {
+        names->insert(stripped.substr(j, name_end - j));
+      }
+    }
+  }
+}
+
+// L008 pass 2: flags statements that consist solely of a call to a
+// Status/Result-returning function — `Foo(x);`, `obj.Foo(x);`,
+// `ns::Foo(x);` — i.e. the returned status is discarded. The scan is
+// deliberately conservative: anything between the last statement boundary
+// (';', '{', '}') and the call other than an identifier/receiver chain
+// (idents, whitespace, '.', '->', '::') disqualifies the site, as does a
+// leading `return`/`co_return` or a preceding identifier (that shape is
+// the function's own declaration).
+void FindDiscardedStatusCalls(const std::string& stripped,
+                              const std::set<std::string>& names,
+                              const std::string& file,
+                              std::vector<Violation>* out) {
+  const size_t n = stripped.size();
+  for (const std::string& name : names) {
+    const std::string token = name + "(";
+    for (size_t pos = stripped.find(token); pos != std::string::npos;
+         pos = stripped.find(token, pos + 1)) {
+      if (pos > 0 && IsIdentChar(stripped[pos - 1])) continue;
+      // Forward: the statement must end right after the call's ')'.
+      size_t j = pos + name.size();
+      int depth = 0;
+      for (; j < n; ++j) {
+        if (stripped[j] == '(') ++depth;
+        if (stripped[j] == ')' && --depth == 0) {
+          ++j;
+          break;
+        }
+      }
+      if (depth != 0) continue;
+      while (j < n &&
+             std::isspace(static_cast<unsigned char>(stripped[j])) != 0) {
+        ++j;
+      }
+      if (j >= n || stripped[j] != ';') continue;
+      // Backward: previous identifier means `Status Foo(`-style declaration.
+      size_t p = pos;
+      while (p > 0 &&
+             std::isspace(static_cast<unsigned char>(stripped[p - 1])) != 0) {
+        --p;
+      }
+      if (p > 0 && IsIdentChar(stripped[p - 1])) continue;
+      // Walk to the statement boundary; only receiver-chain characters may
+      // appear, and none of the statement's tokens may be a return keyword.
+      bool discarded = true;
+      std::string tokens;
+      while (p > 0 && discarded) {
+        const char c = stripped[p - 1];
+        if (c == ';' || c == '{' || c == '}') break;
+        if (IsIdentChar(c) || c == '.' || c == '-' || c == '>' || c == ':' ||
+            std::isspace(static_cast<unsigned char>(c)) != 0) {
+          tokens.insert(tokens.begin(), c);
+          --p;
+        } else {
+          discarded = false;  // Part of a larger expression.
+        }
+      }
+      if (!discarded) continue;
+      std::istringstream words(tokens);
+      std::string word;
+      while (words >> word) {
+        if (word == "return" || word == "co_return" || word == "co_await") {
+          discarded = false;
+          break;
+        }
+      }
+      if (!discarded) continue;
+      out->push_back(
+          {file, LineOfOffset(stripped, pos), "L008",
+           "discarded Status/Result value from call to " + name +
+               "(); handle it, ALT_RETURN_IF_ERROR it, or waive the line"});
+    }
+  }
+}
+
 // True for directories exempt from the observability rules L006/L007: the
 // obs layer itself and src/util, which implement the timing primitives.
 bool InObsExemptDir(const std::string& path) {
@@ -219,11 +348,21 @@ bool IsHeader(const std::string& path) {
 }
 
 // Lints one file's contents. Exposed separately so --self-test can feed
-// synthetic snippets through the exact production scanner.
+// synthetic snippets through the exact production scanner. `status_fns` is
+// the cross-file set of Status/Result-returning function names for L008;
+// nullptr means "collect from this file alone" (self-test mode).
 std::vector<Violation> LintContent(const std::string& path,
-                                   const std::string& content) {
+                                   const std::string& content,
+                                   const std::set<std::string>* status_fns =
+                                       nullptr) {
   std::vector<Violation> v;
   const std::string stripped = StripCommentsAndStrings(content);
+  std::set<std::string> local_fns;
+  if (status_fns == nullptr) {
+    CollectStatusReturning(stripped, &local_fns);
+    status_fns = &local_fns;
+  }
+  FindDiscardedStatusCalls(stripped, *status_fns, path, &v);
   FindToken(stripped, "throw", "L001",
             "no exceptions in library code; return Status/Result "
             "(src/util/status.h) or ALT_CHECK", path, &v);
@@ -264,16 +403,6 @@ std::vector<Violation> LintContent(const std::string& path,
     }
   }
   return v;
-}
-
-std::vector<Violation> LintFile(const std::filesystem::path& path) {
-  std::ifstream in(path);
-  if (!in) {
-    return {{path.string(), 0, "L000", "cannot read file"}};
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return LintContent(path.generic_string(), buf.str());
 }
 
 int RunSelfTest() {
@@ -323,6 +452,27 @@ int RunSelfTest() {
        nullptr},
       {"stats-prefix name ok", "src/x/ok12.cc",
        "struct StatsCollector { int n; };", nullptr},
+      {"discarded status call", "src/x/bad8.cc",
+       "Status Save(int x);\nvoid F() { Save(1); }", "L008"},
+      {"discarded result call", "src/x/bad9.cc",
+       "Result<std::vector<int>> Load();\nvoid F() { Load(); }", "L008"},
+      {"discarded via receiver chain", "src/x/bad10.cc",
+       "struct S { Status Save(); };\nvoid F(S* s) { s->Save(); }", "L008"},
+      {"returned status ok", "src/x/ok13.cc",
+       "Status Save(int x);\nStatus F() { return Save(1); }", nullptr},
+      {"assigned status ok", "src/x/ok14.cc",
+       "Status Save(int x);\nvoid F() { Status s = Save(1); s.ok(); }",
+       nullptr},
+      {"macro-wrapped status ok", "src/x/ok15.cc",
+       "Status Save(int x);\n"
+       "Status F() { ALT_RETURN_IF_ERROR(Save(1)); return Save(2); }",
+       nullptr},
+      {"condition status ok", "src/x/ok16.cc",
+       "Status Save(int x);\nvoid F() { if (!Save(1).ok()) { } }", nullptr},
+      {"discarded call waived", "src/x/ok17.cc",
+       "Status Save(int x);\n"
+       "void F() { Save(1); }  // alt_lint: allow(L008): best-effort save\n",
+       nullptr},
   };
   int failures = 0;
   for (const Case& c : kCases) {
@@ -360,8 +510,12 @@ int main(int argc, char** argv) {
   if (std::string(argv[1]) == "--self-test") {
     return RunSelfTest();
   }
+  // Pass 1: read every file and collect the cross-file set of
+  // Status/Result-returning function names (L008). Pass 2: lint each file
+  // against that shared set.
   std::vector<Violation> all;
-  int files_scanned = 0;
+  std::vector<std::pair<std::string, std::string>> files;  // path, content
+  std::set<std::string> status_fns;
   for (int a = 1; a < argc; ++a) {
     const std::filesystem::path root(argv[a]);
     if (!std::filesystem::exists(root)) {
@@ -373,10 +527,22 @@ int main(int argc, char** argv) {
       if (!entry.is_regular_file()) continue;
       const std::string ext = entry.path().extension().string();
       if (ext != ".h" && ext != ".cc") continue;
-      ++files_scanned;
-      std::vector<Violation> v = LintFile(entry.path());
-      all.insert(all.end(), v.begin(), v.end());
+      std::ifstream in(entry.path());
+      if (!in) {
+        all.push_back({entry.path().string(), 0, "L000", "cannot read file"});
+        continue;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      files.emplace_back(entry.path().generic_string(), buf.str());
+      CollectStatusReturning(StripCommentsAndStrings(files.back().second),
+                             &status_fns);
     }
+  }
+  const int files_scanned = static_cast<int>(files.size());
+  for (const auto& [path, content] : files) {
+    std::vector<Violation> v = LintContent(path, content, &status_fns);
+    all.insert(all.end(), v.begin(), v.end());
   }
   for (const Violation& v : all) {
     std::cerr << v.file << ":" << v.line << ": [" << v.rule << "] "

@@ -41,6 +41,16 @@ fi
 ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
   run_config build-asan -DALT_SANITIZE=address -DALT_DCHECKS=ON
 
+# Chaos stage: rerun the end-to-end chaos test in the ASan tree with a much
+# hotter fault schedule than its built-in default. The pipeline must still
+# complete (degrading instead of crashing) with faults firing at every
+# armed point, and ASan must observe no leaks/UB on the error paths.
+echo "==> chaos stage (build-asan, elevated ALT_FAULTS)"
+ALT_FAULTS="serving/predict=0.05,serving/deploy=5,data/io/=0.05,hpo/tune_service/trial=3" \
+ALT_FAULTS_SEED=7 \
+ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+  ctest --test-dir build-asan --output-on-failure -R "^resilience_chaos_test$"
+
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
   run_config build-ubsan -DALT_SANITIZE=undefined -DALT_DCHECKS=ON
 
