@@ -1,6 +1,7 @@
 #include "bench/bench_common.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/meta/meta_learner.h"
 #include "src/nas/nas_search.h"
@@ -245,6 +246,12 @@ StrategyResults RunStrategies(const BenchOptions& options,
     if (set.run_ours) results.ours_flops = ours_flops_total / flops_count;
   }
   return results;
+}
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace bench

@@ -110,6 +110,11 @@ StrategyResults RunStrategies(const BenchOptions& options,
 /// Mean of a vector (0 when empty).
 double Mean(const std::vector<double>& values);
 
+/// Monotonic wall-clock seconds since an arbitrary epoch. Benchmark timing
+/// only — production telemetry must go through src/obs (ScopedTimerMs /
+/// TraceSpan), which has one off switch (ALT_OBS).
+double MonotonicSeconds();
+
 }  // namespace bench
 }  // namespace alt
 

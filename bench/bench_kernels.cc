@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/obs/memory_tracker.h"
 #include "src/obs/metrics.h"
 #include "src/tensor/kernels.h"
 #include "src/tensor/kernels_naive.h"
@@ -30,7 +31,6 @@
 #include "src/util/logging.h"
 #include "src/util/parallel_for.h"
 #include "src/util/rng.h"
-#include "src/util/stopwatch.h"
 
 namespace alt {
 namespace {
@@ -63,13 +63,13 @@ double Checksum(const Tensor& t) {
 double TimeBest(double min_time, const std::function<void()>& fn) {
   double best = 1e30;
   double total = 0.0;
-  Stopwatch outer;
+  const double outer_start = bench::MonotonicSeconds();
   do {
-    Stopwatch sw;
+    const double start = bench::MonotonicSeconds();
     fn();
-    const double t = sw.ElapsedSeconds();
+    const double t = bench::MonotonicSeconds() - start;
     if (t < best) best = t;
-    total = outer.ElapsedSeconds();
+    total = bench::MonotonicSeconds() - outer_start;
   } while (total < min_time);
   return best;
 }
@@ -352,6 +352,9 @@ int Main(int argc, char** argv) {
   // Observability snapshot of the run itself (kernel call counts + time
   // histograms recorded by the instrumented kernels; empty when ALT_OBS=off).
   doc["obs"] = obs::MetricsRegistry::Global().ToJson();
+  // Tensor-memory accounting of the run (live/peak bytes, alloc counts;
+  // zeros when ALT_OBS=off).
+  doc["memory"] = obs::MemoryTracker::Global().ToJson();
 
   std::ofstream out(out_path);
   ALT_CHECK(out.good()) << "cannot open " << out_path;

@@ -9,7 +9,6 @@
 
 #include "bench/bench_common.h"
 #include "src/models/multi_sequence_model.h"
-#include "src/util/stopwatch.h"
 #include "src/util/table_printer.h"
 
 namespace alt {
@@ -20,9 +19,9 @@ double MedianMs(models::MultiSequenceModel* model,
                 const models::MultiSequenceBatch& batch, int reps) {
   std::vector<double> times;
   for (int r = 0; r < reps; ++r) {
-    Stopwatch watch;
+    const double start = MonotonicSeconds();
     model->PredictProbs(batch);
-    times.push_back(watch.ElapsedMillis());
+    times.push_back((MonotonicSeconds() - start) * 1e3);
   }
   std::sort(times.begin(), times.end());
   return times[times.size() / 2];

@@ -13,7 +13,6 @@
 #include "src/meta/meta_learner.h"
 #include "src/nas/nas_search.h"
 #include "src/train/trainer.h"
-#include "src/util/stopwatch.h"
 #include "src/util/table_printer.h"
 
 namespace alt {
@@ -26,9 +25,9 @@ double MedianInferenceMs(models::BaseModel* model,
   for (int r = 0; r < reps; ++r) {
     data::Batch one = MakeBatch(
         dataset, {static_cast<size_t>(r % dataset.num_samples())});
-    Stopwatch watch;
+    const double start = MonotonicSeconds();
     model->PredictProbs(one);
-    times.push_back(watch.ElapsedMillis());
+    times.push_back((MonotonicSeconds() - start) * 1e3);
   }
   std::sort(times.begin(), times.end());
   return times[times.size() / 2];

@@ -30,6 +30,37 @@ AltSystem::AltSystem(AltSystemOptions options)
       [](const models::ModelConfig& config, Rng* build_rng) {
         return nas::BuildModel(config, build_rng);
       });
+
+  if (options_.telemetry_port >= 0) {
+    obs::TelemetryServer::Options telemetry;
+    telemetry.port = options_.telemetry_port;
+    // Liveness: unhealthy while any serving circuit breaker is open.
+    telemetry.health_fn = [this]() {
+      Json body = Json::Object{};
+      Json breakers = Json::Object{};
+      bool healthy = true;
+      for (const auto& [scenario, state] : server_.BreakerStates()) {
+        breakers[scenario] = resilience::BreakerStateName(state);
+        if (state == resilience::BreakerState::kOpen) healthy = false;
+      }
+      body["healthy"] = healthy;
+      body["breakers"] = std::move(breakers);
+      return body;
+    };
+    // Readiness: the scenario-agnostic model exists.
+    telemetry.ready_fn = [this]() {
+      Json body = Json::Object{};
+      body["ready"] = initialized();
+      return body;
+    };
+    auto started = obs::TelemetryServer::Start(std::move(telemetry));
+    if (started.ok()) {
+      telemetry_ = std::move(started.value());
+    } else {
+      ALT_LOG(Warning) << "telemetry server disabled: "
+                       << started.status().ToString();
+    }
+  }
 }
 
 Status AltSystem::Initialize(

@@ -10,6 +10,7 @@
 #include "src/hpo/model_search.h"
 #include "src/meta/meta_learner.h"
 #include "src/nas/nas_search.h"
+#include "src/obs/http_server.h"
 #include "src/resilience/retry.h"
 #include "src/serving/model_server.h"
 
@@ -41,6 +42,12 @@ struct AltSystemOptions {
   /// failures (e.g. injected serving/deploy faults) retry before the
   /// scenario pipeline surfaces an error.
   resilience::RetryOptions deploy_retry;
+  /// Telemetry exposition server (obs::TelemetryServer) on 127.0.0.1.
+  /// Negative: disabled (default). 0: an ephemeral port (see
+  /// AltSystem::telemetry()->port()). Positive: that port. Started by the
+  /// constructor; /healthz reports unhealthy while any serving circuit
+  /// breaker is open, /readyz reports ready once Initialize() succeeded.
+  int telemetry_port = -1;
   uint64_t seed = 123;
 };
 
@@ -100,6 +107,10 @@ class AltSystem {
   meta::MetaLearner* meta_learner() { return meta_.get(); }
   const AltSystemOptions& options() const { return options_; }
 
+  /// The telemetry server when AltSystemOptions::telemetry_port >= 0 and
+  /// startup succeeded; nullptr otherwise.
+  obs::TelemetryServer* telemetry() { return telemetry_.get(); }
+
   /// Encoder FLOPs budget used for the NAS (from the predefined light
   /// architecture).
   int64_t LightEncoderFlopsBudget() const { return flops_budget_; }
@@ -114,6 +125,7 @@ class AltSystem {
   int64_t flops_budget_ = 0;
   std::unique_ptr<meta::MetaLearner> meta_;
   serving::ModelServer server_;
+  std::unique_ptr<obs::TelemetryServer> telemetry_;
   std::mutex artifacts_mu_;
 };
 

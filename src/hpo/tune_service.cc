@@ -4,9 +4,9 @@
 #include <memory>
 #include <mutex>
 
+#include "src/resilience/clock.h"
 #include "src/resilience/fault_injection.h"
 #include "src/util/logging.h"
-#include "src/util/stopwatch.h"
 #include "src/util/thread_pool.h"
 
 namespace alt {
@@ -48,7 +48,10 @@ class MedianTracker {
 class TrialContextImpl : public TrialContext {
  public:
   TrialContextImpl(MedianTracker* tracker, const TuneJobOptions& options)
-      : tracker_(tracker), options_(options) {}
+      : tracker_(tracker),
+        options_(options),
+        clock_(resilience::RealClock()),
+        start_ms_(clock_->NowMs()) {}
 
   Status ReportIntermediate(int64_t step, double value) override {
     step_values_[step] = value;
@@ -67,17 +70,20 @@ class TrialContextImpl : public TrialContext {
   bool ShouldStop() const override {
     if (early_stopped_) return true;
     return options_.trial_timeout_seconds > 0.0 &&
-           watch_.ElapsedSeconds() > options_.trial_timeout_seconds;
+           elapsed_seconds() > options_.trial_timeout_seconds;
   }
 
   bool early_stopped() const { return early_stopped_; }
-  double elapsed_seconds() const { return watch_.ElapsedSeconds(); }
+  double elapsed_seconds() const {
+    return (clock_->NowMs() - start_ms_) * 1e-3;
+  }
   const std::map<int64_t, double>& step_values() const { return step_values_; }
 
  private:
   MedianTracker* tracker_;
   const TuneJobOptions& options_;
-  Stopwatch watch_;
+  resilience::Clock* clock_;
+  double start_ms_;
   std::map<int64_t, double> step_values_;
   bool early_stopped_ = false;
 };
@@ -96,7 +102,8 @@ Result<TuneReport> RunTuneJob(const SearchSpace& space, Objective objective,
   ALT_ASSIGN_OR_RETURN(std::unique_ptr<Tuner> tuner,
                        MakeTuner(options.algorithm, space, options.seed));
 
-  Stopwatch job_watch;
+  resilience::Clock* clock = resilience::RealClock();
+  const double job_start_ms = clock->NowMs();
   MedianTracker tracker;
   std::mutex mu;  // Guards tuner and report.
   TuneReport report;
@@ -141,7 +148,7 @@ Result<TuneReport> RunTuneJob(const SearchSpace& space, Objective objective,
   std::vector<std::future<void>> futures;
   for (int64_t trial_id = 0; trial_id < options.max_trials; ++trial_id) {
     if (options.job_timeout_seconds > 0.0 &&
-        job_watch.ElapsedSeconds() > options.job_timeout_seconds) {
+        (clock->NowMs() - job_start_ms) * 1e-3 > options.job_timeout_seconds) {
       ALT_LOG(Warning) << "tune job timeout after " << trial_id << " trials";
       break;
     }
@@ -168,7 +175,7 @@ Result<TuneReport> RunTuneJob(const SearchSpace& space, Objective objective,
   }
   for (auto& f : futures) f.get();
 
-  report.total_seconds = job_watch.ElapsedSeconds();
+  report.total_seconds = (clock->NowMs() - job_start_ms) * 1e-3;
   if (report.trials.empty()) {
     return Status::DeadlineExceeded("no trials completed");
   }

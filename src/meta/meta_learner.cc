@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/autograd/ops.h"
+#include "src/obs/memory_tracker.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/util/logging.h"
@@ -23,6 +24,7 @@ Status MetaLearner::Initialize(
     return Status::InvalidArgument("need at least one initial scenario");
   }
   ALT_TRACE_SPAN(init_span, "meta/initialize");
+  obs::ScopedMemoryTag memory_tag("meta");
   data::ScenarioData pooled = data::ConcatScenarios(initial_scenarios);
   std::unique_ptr<models::BaseModel> model;
   {
@@ -73,6 +75,7 @@ Result<std::unique_ptr<models::BaseModel>> MetaLearner::AdaptToScenario(
   // Per-scenario adapt time: the latency a long-tail scenario pays between
   // arrival and having a usable specialized model.
   ALT_TRACE_SPAN(adapt_span, "meta/adapt");
+  obs::ScopedMemoryTag memory_tag("meta");
   obs::ScopedTimerMs adapt_timer(
       obs::MetricsRegistry::Global().histogram("meta/meta_learner/adapt_time_ms"));
   ALT_OBS_COUNTER_ADD("meta/meta_learner/adaptations_total", 1);

@@ -6,6 +6,7 @@
 #include "src/analysis/graph_audit.h"
 #include "src/autograd/ops.h"
 #include "src/nas/derived_encoder.h"
+#include "src/obs/memory_tracker.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/opt/optimizer.h"
@@ -46,6 +47,7 @@ Result<std::unique_ptr<models::BaseModel>> SearchLightModel(
     return Status::InvalidArgument("too few samples for NAS search");
   }
   ALT_TRACE_SPAN(search_span, "nas/search");
+  obs::ScopedMemoryTag memory_tag("nas");
   ALT_OBS_COUNTER_ADD("nas/nas_search/searches_total", 1);
   obs::Histogram* step_time =
       obs::MetricsRegistry::Global().histogram("nas/nas_search/step_time_ms");

@@ -1,0 +1,172 @@
+#include "src/obs/export.h"
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/obs/memory_tracker.h"
+
+namespace alt {
+namespace obs {
+
+namespace {
+
+/// Shortest round-trippable decimal for a sample value. Integral values
+/// (counts, byte gauges) print without an exponent or trailing zeros.
+std::string FormatValue(double v) {
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      v >= -9.2e18 && v <= 9.2e18) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+std::string SanitizeNameChars(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::vector<std::string> SplitPath(const std::string& name) {
+  std::vector<std::string> segments;
+  size_t start = 0;
+  while (start <= name.size()) {
+    const size_t slash = name.find('/', start);
+    if (slash == std::string::npos) {
+      segments.push_back(name.substr(start));
+      break;
+    }
+    segments.push_back(name.substr(start, slash - start));
+    start = slash + 1;
+  }
+  return segments;
+}
+
+/// The registry name split into (family, instance id); id is empty when the
+/// name has no instance segments.
+std::pair<std::string, std::string> SplitFamily(const std::string& name) {
+  const std::vector<std::string> segments = SplitPath(name);
+  constexpr size_t kFamilySegments = 3;
+  std::string family;
+  std::string id;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    std::string& out = i < kFamilySegments ? family : id;
+    if (!out.empty()) out += i < kFamilySegments ? "_" : "/";
+    out += i < kFamilySegments ? SanitizeNameChars(segments[i]) : segments[i];
+  }
+  return {"alt_" + family, id};
+}
+
+std::string LabelClause(const std::string& id) {
+  if (id.empty()) return "";
+  return "{id=\"" + EscapeLabelValue(id) + "\"}";
+}
+
+/// One family block: HELP + TYPE once, then every instance's samples.
+template <typename Sample, typename RenderFn>
+void RenderFamilies(
+    const std::vector<std::pair<std::string, Sample>>& metrics,
+    const char* type, std::string* out, const RenderFn& render_samples) {
+  // Group by family; registry snapshots are name-sorted, so instances of a
+  // family are adjacent, but grouping via map is robust to sanitization
+  // collapsing distinct names.
+  std::map<std::string, std::vector<std::pair<std::string, const Sample*>>>
+      families;
+  std::map<std::string, std::string> help_name;  // family -> registry name.
+  for (const auto& [name, sample] : metrics) {
+    auto [family, id] = SplitFamily(name);
+    families[family].emplace_back(id, &sample);
+    if (help_name.find(family) == help_name.end()) {
+      std::string help = name;
+      // Trim instance segments so the HELP line names the family, not one
+      // arbitrary instance.
+      if (!families[family].back().first.empty()) {
+        help = name.substr(0, name.size() - id.size() - 1);
+      }
+      help_name[family] = help;
+    }
+  }
+  for (const auto& [family, instances] : families) {
+    *out += "# HELP " + family + " ALT registry metric " +
+            EscapeLabelValue(help_name[family]) + "\n";
+    *out += "# TYPE " + family + " " + type + "\n";
+    for (const auto& [id, sample] : instances) {
+      render_samples(family, id, *sample, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string PrometheusFamilyName(const std::string& registry_name) {
+  return SplitFamily(registry_name).first;
+}
+
+std::string RenderPrometheus(const MetricsRegistry::Snapshot& snapshot) {
+  std::string out;
+  RenderFamilies(
+      snapshot.counters, "counter", &out,
+      [](const std::string& family, const std::string& id, int64_t value,
+         std::string* text) {
+        *text += family + LabelClause(id) + " " + std::to_string(value) + "\n";
+      });
+  RenderFamilies(
+      snapshot.gauges, "gauge", &out,
+      [](const std::string& family, const std::string& id, double value,
+         std::string* text) {
+        *text += family + LabelClause(id) + " " + FormatValue(value) + "\n";
+      });
+  RenderFamilies(
+      snapshot.histograms, "histogram", &out,
+      [](const std::string& family, const std::string& id,
+         const HistogramBuckets& buckets, std::string* text) {
+        std::string labels = id.empty() ? "" : "id=\"" +
+                                               EscapeLabelValue(id) + "\",";
+        int64_t cumulative = 0;
+        for (size_t i = 0; i < buckets.bounds.size(); ++i) {
+          cumulative += buckets.counts[i];
+          *text += family + "_bucket{" + labels + "le=\"" +
+                   FormatValue(buckets.bounds[i]) + "\"} " +
+                   std::to_string(cumulative) + "\n";
+        }
+        cumulative += buckets.counts.back();
+        *text += family + "_bucket{" + labels + "le=\"+Inf\"} " +
+                 std::to_string(cumulative) + "\n";
+        *text += family + "_sum" + LabelClause(id) + " " +
+                 FormatValue(buckets.sum) + "\n";
+        *text += family + "_count" + LabelClause(id) + " " +
+                 std::to_string(buckets.count) + "\n";
+      });
+  return out;
+}
+
+std::string RenderPrometheus(MetricsRegistry* registry) {
+  MemoryTracker::Global().PublishTo(registry);
+  return RenderPrometheus(registry->TakeSnapshot());
+}
+
+}  // namespace obs
+}  // namespace alt

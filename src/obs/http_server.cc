@@ -1,0 +1,230 @@
+#include "src/obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/obs/export.h"
+#include "src/obs/memory_tracker.h"
+#include "src/util/logging.h"
+
+namespace alt {
+namespace obs {
+
+namespace {
+
+constexpr int kPollIntervalMs = 100;   // Stop-flag check cadence.
+constexpr int kRequestTimeoutMs = 2000;
+constexpr size_t kMaxRequestBytes = 8192;
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+/// First line "GET /path HTTP/1.1" -> "/path"; empty on parse failure.
+std::string RequestPath(const std::string& request) {
+  const size_t line_end = request.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos || line.substr(0, sp1) != "GET") return "";
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return "";
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t query = path.find('?');
+  if (query != std::string::npos) path = path.substr(0, query);
+  return path;
+}
+
+void WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;  // Peer went away; nothing to salvage.
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+TelemetryServer::TelemetryServer(Options options)
+    : options_(std::move(options)) {
+  if (options_.registry == nullptr) {
+    options_.registry = &MetricsRegistry::Global();
+  }
+  if (options_.recorder == nullptr) {
+    options_.recorder = &TraceRecorder::Global();
+  }
+}
+
+Result<std::unique_ptr<TelemetryServer>> TelemetryServer::Start(
+    Options options) {
+  std::unique_ptr<TelemetryServer> server(
+      new TelemetryServer(std::move(options)));
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("telemetry: socket(): ") +
+                               std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(server->options_.port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError(
+        "telemetry: cannot bind 127.0.0.1:" +
+        std::to_string(server->options_.port) + ": " + err);
+  }
+  if (::listen(fd, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError(std::string("telemetry: listen(): ") + err);
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError(std::string("telemetry: getsockname(): ") +
+                               err);
+  }
+  server->listen_fd_ = fd;
+  server->port_ = static_cast<int>(ntohs(addr.sin_port));
+  server->pool_ = std::make_unique<ThreadPool>(1);
+  TelemetryServer* raw = server.get();
+  raw->pool_->Submit([raw]() { raw->AcceptLoop(); });
+  ALT_LOG(Info) << "telemetry server listening on 127.0.0.1:" << server->port_;
+  return server;
+}
+
+TelemetryServer::~TelemetryServer() { Stop(); }
+
+void TelemetryServer::Stop() {
+  if (stop_.exchange(true)) return;
+  if (pool_ != nullptr) {
+    pool_->WaitIdle();
+    pool_.reset();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void TelemetryServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollIntervalMs);
+    if (ready <= 0) continue;  // Timeout or EINTR: recheck the stop flag.
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    ServeConnection(conn);
+    ::close(conn);
+  }
+}
+
+void TelemetryServer::ServeConnection(int fd) const {
+  std::string request;
+  int waited_ms = 0;
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < kMaxRequestBytes &&
+         waited_ms < kRequestTimeoutMs) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollIntervalMs);
+    if (ready < 0) return;
+    if (ready == 0) {
+      waited_ms += kPollIntervalMs;
+      continue;
+    }
+    char buf[2048];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<size_t>(n));
+  }
+
+  const std::string path = RequestPath(request);
+  const Response response = Handle(path);
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    StatusText(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  WriteAll(fd, out);
+}
+
+TelemetryServer::Response TelemetryServer::Handle(
+    const std::string& path) const {
+  Response response;
+  // Known endpoints only; arbitrary request paths must not mint metrics.
+  const char* endpoint = path == "/metrics"    ? "metrics"
+                         : path == "/trace"    ? "trace"
+                         : path == "/healthz"  ? "healthz"
+                         : path == "/readyz"   ? "readyz"
+                         : path == "/snapshot" ? "snapshot"
+                                               : "other";
+  options_.registry
+      ->counter(std::string("obs/telemetry_server/requests/") + endpoint)
+      ->Add(1);
+  if (path == "/metrics") {
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = RenderPrometheus(options_.registry);
+    return response;
+  }
+  if (path == "/trace") {
+    response.content_type = "application/json";
+    response.body = options_.recorder->ToChromeJson().Dump() + "\n";
+    return response;
+  }
+  if (path == "/healthz" || path == "/readyz") {
+    const bool liveness = path == "/healthz";
+    const std::function<Json()>& fn =
+        liveness ? options_.health_fn : options_.ready_fn;
+    Json body = Json::Object{};
+    body[liveness ? "healthy" : "ready"] = true;
+    if (fn) body = fn();
+    const char* key = liveness ? "healthy" : "ready";
+    const bool ok = body.contains(key) && body.at(key).is_bool() &&
+                    body.at(key).as_bool();
+    response.status = ok ? 200 : 503;
+    response.content_type = "application/json";
+    response.body = body.Dump() + "\n";
+    return response;
+  }
+  if (path == "/snapshot") {
+    MemoryTracker::Global().PublishTo(options_.registry);
+    Json doc = Json::Object{};
+    doc["metrics"] = options_.registry->ToJson();
+    doc["memory"] = MemoryTracker::Global().ToJson();
+    doc["trace_events"] = static_cast<int64_t>(
+        options_.recorder->event_count());
+    response.content_type = "application/json";
+    response.body = doc.DumpPretty() + "\n";
+    return response;
+  }
+  response.status = 404;
+  response.content_type = "text/plain; charset=utf-8";
+  response.body = "not found: " + (path.empty() ? "(bad request)" : path) +
+                  "\nendpoints: /metrics /trace /healthz /readyz /snapshot\n";
+  return response;
+}
+
+}  // namespace obs
+}  // namespace alt

@@ -1,0 +1,91 @@
+#ifndef ALT_SRC_OBS_HTTP_SERVER_H_
+#define ALT_SRC_OBS_HTTP_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/json.h"
+#include "src/util/status.h"
+#include "src/util/thread_pool.h"
+
+namespace alt {
+namespace obs {
+
+/// Telemetry exposition server ------------------------------------------------
+///
+/// A small dependency-free blocking HTTP/1.1 server (POSIX sockets, loopback
+/// only) that makes a running ALT process observable from outside:
+///
+///   GET /metrics   Prometheus text exposition of the registry (export.h),
+///                  memory gauges included
+///   GET /trace     Chrome trace_event JSON from the TraceRecorder
+///   GET /healthz   liveness: 200 {"healthy": true, ...} or 503; wired by
+///                  the owner (e.g. AltSystem: no open serving breaker)
+///   GET /readyz    readiness: 200/503, e.g. "system initialized"
+///   GET /snapshot  full registry + memory JSON
+///
+/// The accept loop runs on a dedicated util::ThreadPool thread; requests
+/// are handled synchronously (each render is cheap), so the server costs
+/// one mostly-idle thread. Health/readiness semantics are injected as
+/// callbacks so this layer stays below serving in the dependency order.
+class TelemetryServer {
+ public:
+  struct Options {
+    /// TCP port on 127.0.0.1; 0 picks an ephemeral port (see port()).
+    int port = 0;
+    /// nullptr selects MetricsRegistry::Global().
+    MetricsRegistry* registry = nullptr;
+    /// nullptr selects TraceRecorder::Global().
+    TraceRecorder* recorder = nullptr;
+    /// Liveness probe; must return an object with a boolean `healthy` key
+    /// (503 when false). Unset: always healthy.
+    std::function<Json()> health_fn;
+    /// Readiness probe; object with a boolean `ready` key (503 when
+    /// false). Unset: always ready.
+    std::function<Json()> ready_fn;
+  };
+
+  /// Binds, listens, and starts the accept thread. Fails with IOError
+  /// when the port cannot be bound.
+  static Result<std::unique_ptr<TelemetryServer>> Start(Options options);
+
+  ~TelemetryServer();
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// The bound port (the chosen one when Options::port was 0).
+  int port() const { return port_; }
+
+  /// Stops accepting and joins the accept thread. Idempotent.
+  void Stop();
+
+  /// Handles one request path and returns (status code, content type,
+  /// body). Exposed for tests; the socket loop calls exactly this.
+  struct Response {
+    int status = 200;
+    std::string content_type;
+    std::string body;
+  };
+  Response Handle(const std::string& path) const;
+
+ private:
+  explicit TelemetryServer(Options options);
+
+  void AcceptLoop();
+  void ServeConnection(int fd) const;
+
+  Options options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::unique_ptr<ThreadPool> pool_;  // One thread: the accept loop.
+};
+
+}  // namespace obs
+}  // namespace alt
+
+#endif  // ALT_SRC_OBS_HTTP_SERVER_H_

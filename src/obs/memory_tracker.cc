@@ -1,0 +1,130 @@
+#include "src/obs/memory_tracker.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/obs/metrics.h"
+
+namespace alt {
+namespace obs {
+
+namespace internal {
+bool ObsEnabledFromEnv();  // metrics.cc
+}  // namespace internal
+
+namespace {
+
+/// Innermost active phase tag of the calling thread.
+thread_local const char* g_current_tag = nullptr;
+
+}  // namespace
+
+MemoryTracker::MemoryTracker() = default;
+
+MemoryTracker& MemoryTracker::Global() {
+  // Heap-allocated and never destroyed: tensor buffers may be freed during
+  // static destruction and still report here.
+  static MemoryTracker* global = []() {
+    auto* tracker = new MemoryTracker();
+    tracker->enabled_.store(internal::ObsEnabledFromEnv(),
+                            std::memory_order_relaxed);
+    return tracker;
+  }();
+  return *global;
+}
+
+void MemoryTracker::RecordAlloc(size_t bytes) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  const int64_t delta = static_cast<int64_t>(bytes);
+  const int64_t live =
+      live_bytes_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  alloc_count_.fetch_add(1, std::memory_order_relaxed);
+  allocated_bytes_.fetch_add(delta, std::memory_order_relaxed);
+  int64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+  while (live > peak &&
+         !peak_bytes_.compare_exchange_weak(peak, live,
+                                            std::memory_order_relaxed)) {
+  }
+  const char* tag = g_current_tag;
+  if (tag != nullptr) {
+    std::lock_guard<std::mutex> lock(tags_mu_);
+    TagUsage& usage = tags_[tag];
+    usage.allocated_bytes += delta;
+    ++usage.allocs;
+    usage.peak_bytes = std::max(usage.peak_bytes, live);
+  }
+}
+
+void MemoryTracker::RecordFree(size_t bytes) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  live_bytes_.fetch_sub(static_cast<int64_t>(bytes),
+                        std::memory_order_relaxed);
+  free_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::string, MemoryTracker::TagUsage>>
+MemoryTracker::TagSnapshot() const {
+  std::lock_guard<std::mutex> lock(tags_mu_);
+  return {tags_.begin(), tags_.end()};
+}
+
+void MemoryTracker::ResetPeak() {
+  peak_bytes_.store(live_bytes_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+}
+
+void MemoryTracker::PublishTo(MetricsRegistry* registry) const {
+  if (registry == nullptr || !registry->enabled()) return;
+  registry->gauge("memory/live_bytes")->Set(
+      static_cast<double>(live_bytes()));
+  registry->gauge("memory/peak_bytes")->Set(
+      static_cast<double>(peak_bytes()));
+  registry->gauge("memory/alloc_count")->Set(
+      static_cast<double>(alloc_count()));
+  registry->gauge("memory/free_count")->Set(
+      static_cast<double>(free_count()));
+  registry->gauge("memory/allocated_bytes_total")
+      ->Set(static_cast<double>(allocated_bytes_total()));
+  // Four segments so the tag lands in the exposition `id` label
+  // (alt_memory_phase_allocated_bytes{id="train"}), one family per metric
+  // rather than one per tag.
+  for (const auto& [tag, usage] : TagSnapshot()) {
+    registry->gauge("memory/phase/allocated_bytes/" + tag)
+        ->Set(static_cast<double>(usage.allocated_bytes));
+    registry->gauge("memory/phase/peak_bytes/" + tag)
+        ->Set(static_cast<double>(usage.peak_bytes));
+    registry->gauge("memory/phase/allocs/" + tag)
+        ->Set(static_cast<double>(usage.allocs));
+  }
+}
+
+Json MemoryTracker::ToJson() const {
+  Json doc = Json::Object{};
+  doc["enabled"] = enabled();
+  doc["live_bytes"] = live_bytes();
+  doc["peak_bytes"] = peak_bytes();
+  doc["alloc_count"] = alloc_count();
+  doc["free_count"] = free_count();
+  doc["allocated_bytes_total"] = allocated_bytes_total();
+  Json tags = Json::Object{};
+  for (const auto& [tag, usage] : TagSnapshot()) {
+    Json entry = Json::Object{};
+    entry["allocated_bytes"] = usage.allocated_bytes;
+    entry["allocs"] = usage.allocs;
+    entry["peak_bytes"] = usage.peak_bytes;
+    tags[tag] = entry;
+  }
+  doc["tags"] = tags;
+  return doc;
+}
+
+ScopedMemoryTag::ScopedMemoryTag(const char* tag) : previous_(g_current_tag) {
+  g_current_tag = tag;
+}
+
+ScopedMemoryTag::~ScopedMemoryTag() { g_current_tag = previous_; }
+
+const char* ScopedMemoryTag::CurrentTag() { return g_current_tag; }
+
+}  // namespace obs
+}  // namespace alt

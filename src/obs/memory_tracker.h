@@ -1,0 +1,160 @@
+#ifndef ALT_SRC_OBS_MEMORY_TRACKER_H_
+#define ALT_SRC_OBS_MEMORY_TRACKER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/json.h"
+
+namespace alt {
+namespace obs {
+
+class MetricsRegistry;
+
+/// Tensor memory accounting --------------------------------------------------
+///
+/// The FLOPs budget of Eq. 4 bounds compute; this layer gives RAM the same
+/// treatment. Every tensor storage allocation in the library flows through
+/// `TrackingAllocator` (the allocator of `Tensor`'s buffer, see
+/// src/tensor/tensor.h), which reports to the process-wide `MemoryTracker`:
+///   - live bytes / peak live bytes / allocation + free counts, globally;
+///   - per-phase attribution: a `ScopedMemoryTag` names the current pipeline
+///     phase ("train", "nas", "meta", "serving", ...) on the calling thread,
+///     and allocations made while the tag is active are charged to it.
+///
+/// Per-phase semantics: a tag accumulates the bytes and allocation count of
+/// allocations performed under it, plus `peak_bytes` — the maximum *global*
+/// live size observed while the tag was current. Frees are accounted
+/// globally only (a buffer may outlive the phase that allocated it), so tag
+/// byte counts are cumulative allocation volume, not live set.
+///
+/// Overhead: one relaxed atomic load per alloc/free when disabled
+/// (ALT_OBS=off at startup; the switch is latched once so alloc/free
+/// accounting stays symmetric), a handful of relaxed atomics when enabled,
+/// plus one uncontended mutex when a phase tag is active. Compiling with
+/// -DALT_OBS_DISABLED removes the accounting calls from the allocator
+/// entirely.
+class MemoryTracker {
+ public:
+  MemoryTracker();
+  MemoryTracker(const MemoryTracker&) = delete;
+  MemoryTracker& operator=(const MemoryTracker&) = delete;
+
+  /// The process-wide tracker fed by TrackingAllocator. Enabled unless the
+  /// ALT_OBS environment variable is off at first use (latched; not
+  /// runtime-togglable so alloc/free pairs always balance).
+  static MemoryTracker& Global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void RecordAlloc(size_t bytes);
+  void RecordFree(size_t bytes);
+
+  int64_t live_bytes() const {
+    return live_bytes_.load(std::memory_order_relaxed);
+  }
+  int64_t peak_bytes() const {
+    return peak_bytes_.load(std::memory_order_relaxed);
+  }
+  int64_t alloc_count() const {
+    return alloc_count_.load(std::memory_order_relaxed);
+  }
+  int64_t free_count() const {
+    return free_count_.load(std::memory_order_relaxed);
+  }
+  /// Cumulative bytes ever allocated (monotone).
+  int64_t allocated_bytes_total() const {
+    return allocated_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Accounting of one phase tag.
+  struct TagUsage {
+    int64_t allocated_bytes = 0;  // Cumulative bytes allocated under the tag.
+    int64_t allocs = 0;
+    int64_t peak_bytes = 0;  // Max global live bytes seen under the tag.
+  };
+  /// Snapshot of every tag seen so far (empty when no tag was ever active).
+  std::vector<std::pair<std::string, TagUsage>> TagSnapshot() const;
+
+  /// Resets the peak to the current live size (bench/test epoch marker).
+  void ResetPeak();
+
+  /// Writes the current totals (and per-tag usage) into `registry` as
+  /// `memory/*` gauges, which the exposition layer renders as
+  /// `alt_memory_*`. Call before snapshotting the registry.
+  void PublishTo(MetricsRegistry* registry) const;
+
+  /// {"live_bytes": ..., "peak_bytes": ..., "allocs": ..., "frees": ...,
+  ///  "allocated_bytes_total": ..., "tags": {tag: {...}}} — embedded into
+  /// checkpoint meta and BENCH_*.json documents.
+  Json ToJson() const;
+
+ private:
+  friend class ScopedMemoryTag;
+
+  std::atomic<bool> enabled_{true};
+  std::atomic<int64_t> live_bytes_{0};
+  std::atomic<int64_t> peak_bytes_{0};
+  std::atomic<int64_t> alloc_count_{0};
+  std::atomic<int64_t> free_count_{0};
+  std::atomic<int64_t> allocated_bytes_{0};
+
+  mutable std::mutex tags_mu_;
+  std::map<std::string, TagUsage> tags_;
+};
+
+/// RAII phase tag: allocations on this thread are attributed to `tag` until
+/// the scope ends. Nests; the innermost tag wins. Tags must be string
+/// literals or otherwise outlive the scope.
+class ScopedMemoryTag {
+ public:
+  explicit ScopedMemoryTag(const char* tag);
+  ~ScopedMemoryTag();
+  ScopedMemoryTag(const ScopedMemoryTag&) = delete;
+  ScopedMemoryTag& operator=(const ScopedMemoryTag&) = delete;
+
+  /// The tag active on the calling thread (null when none).
+  static const char* CurrentTag();
+
+ private:
+  const char* previous_;
+};
+
+/// std::vector allocator that routes every allocation through the global
+/// MemoryTracker. Stateless; interchangeable with std::allocator.
+template <typename T>
+struct TrackingAllocator {
+  using value_type = T;
+
+  TrackingAllocator() = default;
+  template <typename U>
+  TrackingAllocator(const TrackingAllocator<U>&) {}  // NOLINT
+
+  T* allocate(size_t n) {
+#if !defined(ALT_OBS_DISABLED)
+    MemoryTracker::Global().RecordAlloc(n * sizeof(T));
+#endif
+    return std::allocator<T>{}.allocate(n);
+  }
+
+  void deallocate(T* p, size_t n) {
+    std::allocator<T>{}.deallocate(p, n);
+#if !defined(ALT_OBS_DISABLED)
+    MemoryTracker::Global().RecordFree(n * sizeof(T));
+#endif
+  }
+
+  bool operator==(const TrackingAllocator&) const { return true; }
+  bool operator!=(const TrackingAllocator&) const { return false; }
+};
+
+}  // namespace obs
+}  // namespace alt
+
+#endif  // ALT_SRC_OBS_MEMORY_TRACKER_H_

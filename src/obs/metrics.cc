@@ -110,6 +110,21 @@ void Histogram::Observe(double v) {
   shard.sum += v;
 }
 
+HistogramBuckets Histogram::SnapshotBuckets() const {
+  HistogramBuckets b;
+  b.bounds = bounds_;
+  b.counts.assign(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    b.count += shard.count;
+    b.sum += shard.sum;
+    for (size_t i = 0; i < b.counts.size(); ++i) {
+      b.counts[i] += shard.bucket_counts[i];
+    }
+  }
+  return b;
+}
+
 HistogramSummary Histogram::Summarize() const {
   std::vector<int64_t> merged(bounds_.size() + 1, 0);
   HistogramSummary s;
@@ -236,6 +251,34 @@ HistogramSummary MetricsRegistry::histogram_summary(
     if (it != histograms_.end()) hist = it->second.get();
   }
   return hist == nullptr ? HistogramSummary{} : hist->Summarize();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
+  // Handle pointers are copied under the lock, values read without it:
+  // histogram snapshots take the shard locks and must not nest inside mu_.
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const Histogram*>> histograms;
+  Snapshot snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.enabled = enabled();
+    for (const auto& [name, c] : counters_) counters.emplace_back(name, c.get());
+    for (const auto& [name, g] : gauges_) gauges.emplace_back(name, g.get());
+    for (const auto& [name, h] : histograms_) {
+      histograms.emplace_back(name, h.get());
+    }
+  }
+  for (const auto& [name, c] : counters) {
+    snapshot.counters.emplace_back(name, c->value());
+  }
+  for (const auto& [name, g] : gauges) {
+    snapshot.gauges.emplace_back(name, g->value());
+  }
+  for (const auto& [name, h] : histograms) {
+    snapshot.histograms.emplace_back(name, h->SnapshotBuckets());
+  }
+  return snapshot;
 }
 
 Json MetricsRegistry::ToJson() const {

@@ -93,6 +93,15 @@ struct HistogramSummary {
   double p99 = 0.0;
 };
 
+/// Raw merged bucket state of one histogram, the exposition layer's view
+/// (Prometheus `_bucket`/`_sum`/`_count` series, see src/obs/export.h).
+struct HistogramBuckets {
+  std::vector<double> bounds;   // Upper bounds; the overflow bucket is +Inf.
+  std::vector<int64_t> counts;  // Per-bucket counts, size bounds.size() + 1.
+  int64_t count = 0;
+  double sum = 0.0;
+};
+
 /// Fixed-bucket histogram with exact count/sum/min/max tracking. Bucket `i`
 /// counts observations `v <= bounds[i]` (first matching bound); values above
 /// the last bound land in an overflow bucket whose upper edge is the
@@ -101,6 +110,8 @@ class Histogram {
  public:
   void Observe(double v);
   HistogramSummary Summarize() const;
+  /// Merged per-bucket counts (non-cumulative; exposition accumulates).
+  HistogramBuckets SnapshotBuckets() const;
   double Percentile(double q) const { return SummarizePercentile(q); }
   const std::vector<double>& bounds() const { return bounds_; }
   bool enabled() const { return enabled_->load(std::memory_order_relaxed); }
@@ -162,6 +173,16 @@ class MetricsRegistry {
   int64_t counter_value(const std::string& name) const;
   double gauge_value(const std::string& name) const;
   HistogramSummary histogram_summary(const std::string& name) const;
+
+  /// Typed full-registry snapshot (name-sorted), the input of the
+  /// Prometheus exposition renderer (src/obs/export.h).
+  struct Snapshot {
+    bool enabled = true;
+    std::vector<std::pair<std::string, int64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, HistogramBuckets>> histograms;
+  };
+  Snapshot TakeSnapshot() const;
 
   /// Serializes a full snapshot:
   ///   {"counters": {...}, "gauges": {...}, "histograms": {name: summary}}.

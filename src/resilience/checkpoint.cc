@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "src/nn/serialize.h"
+#include "src/obs/memory_tracker.h"
 #include "src/util/atomic_file.h"
 
 namespace alt {
@@ -34,7 +35,13 @@ Status CheckpointBuilder::WriteToFile(const std::string& path) const {
     out->write(kMagic, sizeof(kMagic));
     const uint32_t version = kVersion;
     out->write(reinterpret_cast<const char*>(&version), sizeof(version));
-    const std::string meta_text = meta_.Dump();
+    // Stamp tensor-memory accounting at write time so every checkpoint
+    // records the footprint of the run that produced it.
+    Json meta = meta_;
+    if (obs::MemoryTracker::Global().enabled()) {
+      meta["memory"] = obs::MemoryTracker::Global().ToJson();
+    }
+    const std::string meta_text = meta.Dump();
     WriteU64(out, meta_text.size());
     out->write(meta_text.data(),
                static_cast<std::streamsize>(meta_text.size()));

@@ -54,6 +54,11 @@ BatchPredictor::BatchPredictor(ModelServer* server, Options options,
       registry_->counter("serving/batch_predictor/batches_dispatched");
   batch_size_ = registry_->histogram("serving/batch_predictor/batch_size",
                                      BatchSizeBounds(options_.max_batch_size));
+  queue_high_watermark_ =
+      registry_->histogram("serving/batch_predictor/queue_high_watermark",
+                           BatchSizeBounds(4 * options_.max_batch_size));
+  flush_drain_ms_ =
+      registry_->histogram("serving/batch_predictor/flush_drain_ms");
   request_latency_ =
       registry_->histogram("serving/batch_predictor/request_latency_ms");
   dispatcher_ = std::thread([this]() { DispatcherLoop(); });
@@ -81,7 +86,11 @@ std::future<Result<float>> BatchPredictor::Enqueue(
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(request));
-    queue_depth_->Set(static_cast<double>(queue_.size()));
+    high_watermark_ = std::max(high_watermark_,
+                               static_cast<int64_t>(queue_.size()));
+    // Queued + in-flight; the matching decrement happens in Resolve so a
+    // failed flush releases the gauge exactly like a successful one.
+    queue_depth_->Add(1.0);
   }
   cv_.notify_one();
   return future;
@@ -126,10 +135,12 @@ void BatchPredictor::DispatcherLoop() {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
-      queue_depth_->Set(static_cast<double>(queue_.size()));
+      queue_high_watermark_->Observe(static_cast<double>(high_watermark_));
+      high_watermark_ = static_cast<int64_t>(queue_.size());
       batches_dispatched_->Add(1);
     }
     batch_size_->Observe(static_cast<double>(batch.size()));
+    obs::ScopedTimerMs drain_timer(flush_drain_ms_);
     Flush(std::move(batch));
   }
 }
@@ -145,6 +156,10 @@ void BatchPredictor::Resolve(Request* request, Result<float> result) {
             .count();
     request_latency_->Observe(latency_ms);
   }
+  // Every terminal path for a request funnels through here — success,
+  // Predict failure, injected flush fault, shape rejection — so the gauge
+  // can never leak on errors.
+  queue_depth_->Add(-1.0);
   request->promise.set_value(std::move(result));
 }
 

@@ -27,10 +27,19 @@ namespace serving {
 ///
 /// Observability: the predictor reports through `registry()` (default: the
 /// owning server's registry) —
-///   serving/batch_predictor/queue_depth          gauge
-///   serving/batch_predictor/batches_dispatched   counter
-///   serving/batch_predictor/batch_size           histogram
-///   serving/batch_predictor/request_latency_ms   histogram (enqueue→reply)
+///   serving/batch_predictor/queue_depth           gauge: queued + in-flight
+///                                                 requests; decremented as
+///                                                 each request resolves, on
+///                                                 success AND failure paths
+///   serving/batch_predictor/batches_dispatched    counter
+///   serving/batch_predictor/batch_size            histogram
+///   serving/batch_predictor/queue_high_watermark  histogram: deepest queue
+///                                                 seen since the previous
+///                                                 flush, observed per flush
+///   serving/batch_predictor/flush_drain_ms        histogram: wall time of
+///                                                 one Flush (merge + predict
+///                                                 + resolve)
+///   serving/batch_predictor/request_latency_ms    histogram (enqueue→reply)
 /// QueueDepth()/BatchesDispatched() are thin views over these metrics, so
 /// they read as zero when observability is disabled (ALT_OBS=off).
 class BatchPredictor {
@@ -62,7 +71,8 @@ class BatchPredictor {
                                      Tensor profile,
                                      std::vector<int64_t> behavior);
 
-  /// Requests queued but not yet dispatched (registry gauge view).
+  /// Requests enqueued but not yet resolved — queued plus in-flight
+  /// (registry gauge view).
   size_t QueueDepth() const;
 
   /// Total number of model invocations (micro-batches) so far (registry
@@ -90,10 +100,13 @@ class BatchPredictor {
   obs::Gauge* queue_depth_;            // Owned by the registry.
   obs::Counter* batches_dispatched_;   // Owned by the registry.
   obs::Histogram* batch_size_;         // Owned by the registry.
+  obs::Histogram* queue_high_watermark_;  // Owned by the registry.
+  obs::Histogram* flush_drain_ms_;     // Owned by the registry.
   obs::Histogram* request_latency_;    // Owned by the registry.
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Request> queue_;
+  int64_t high_watermark_ = 0;  // Deepest queue_ since the last flush.
   bool shutdown_ = false;
   std::thread dispatcher_;
 };

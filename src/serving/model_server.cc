@@ -1,5 +1,6 @@
 #include "src/serving/model_server.h"
 
+#include "src/obs/memory_tracker.h"
 #include "src/obs/trace.h"
 #include "src/resilience/fault_injection.h"
 #include "src/serving/model_store.h"
@@ -69,6 +70,16 @@ Result<resilience::BreakerState> ModelServer::GetBreakerState(
   return it->second->state();
 }
 
+std::map<std::string, resilience::BreakerState> ModelServer::BreakerStates()
+    const {
+  std::lock_guard<std::mutex> lock(breakers_mu_);
+  std::map<std::string, resilience::BreakerState> states;
+  for (const auto& [scenario, breaker] : breakers_) {
+    states.emplace(scenario, breaker->state());
+  }
+  return states;
+}
+
 resilience::CircuitBreaker* ModelServer::BreakerFor(
     const std::string& scenario) {
   std::lock_guard<std::mutex> lock(breakers_mu_);
@@ -120,6 +131,7 @@ Result<std::vector<float>> ModelServer::PredictOn(
   }
   ALT_FAULT_RETURN_IF("serving/predict");
   ALT_TRACE_SPAN(span, "serving/model_server/predict");
+  obs::ScopedMemoryTag memory_tag("serving");
   obs::ScopedTimerMs timer(deployment->latency_ms);
   return deployment->model->PredictProbs(batch);
 }

@@ -89,6 +89,10 @@ class ModelServer {
   Result<resilience::BreakerState> GetBreakerState(
       const std::string& scenario) const;
 
+  /// Breaker states of every scenario that has served resilient traffic
+  /// (empty with resilience off). Drives the telemetry /healthz probe.
+  std::map<std::string, resilience::BreakerState> BreakerStates() const;
+
   Status Undeploy(const std::string& scenario);
   bool IsDeployed(const std::string& scenario) const;
   std::vector<std::string> Scenarios() const;

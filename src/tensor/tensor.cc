@@ -53,7 +53,9 @@ Tensor Tensor::FromVector(std::vector<int64_t> shape,
   ALT_CHECK_EQ(ShapeNumel(shape), static_cast<int64_t>(values.size()));
   Tensor t;
   t.shape_ = std::move(shape);
-  t.data_ = std::move(values);
+  // Copy (not move): `values` uses the default allocator while tensor
+  // storage is tracked, so the buffer must enter the accounted arena.
+  t.data_.assign(values.begin(), values.end());
   return t;
 }
 

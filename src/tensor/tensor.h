@@ -6,9 +6,16 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/memory_tracker.h"
 #include "src/util/rng.h"
 
 namespace alt {
+
+/// Tensor storage buffer: every allocation and free is accounted by the
+/// process-wide obs::MemoryTracker (live/peak bytes, per-phase attribution).
+/// Code that needs a raw float buffer should hold a Tensor (or this vector
+/// type) so the accounting stays complete — alt_lint L009 flags bypasses.
+using TensorStorage = std::vector<float, obs::TrackingAllocator<float>>;
 
 /// A dense, row-major, float32 n-dimensional array. Value semantics: copies
 /// copy the buffer. This is the storage type for model parameters,
@@ -86,7 +93,7 @@ class Tensor {
 
  private:
   std::vector<int64_t> shape_;
-  std::vector<float> data_;
+  TensorStorage data_;
 };
 
 /// Returns the product of `shape` entries; checks non-negativity.

@@ -6,6 +6,7 @@
 
 #include "src/analysis/graph_audit.h"
 #include "src/autograd/ops.h"
+#include "src/obs/memory_tracker.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/opt/optimizer.h"
@@ -87,6 +88,7 @@ Result<TrainReport> RunTraining(models::BaseModel* model,
   if (options.epochs <= 0 || options.batch_size <= 0) {
     return Status::InvalidArgument("epochs and batch_size must be positive");
   }
+  obs::ScopedMemoryTag memory_tag("train");
   model->SetTraining(true);
   opt::Adam optimizer(model->Parameters(), options.learning_rate);
   Rng rng(options.seed);

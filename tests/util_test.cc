@@ -5,7 +5,6 @@
 #include "src/util/json.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
-#include "src/util/stopwatch.h"
 #include "src/util/table_printer.h"
 #include "src/util/thread_pool.h"
 
@@ -215,7 +214,7 @@ TEST(JsonTest, PrettyDumpHasNewlines) {
 }
 
 // ---------------------------------------------------------------------------
-// TablePrinter / Stopwatch
+// TablePrinter
 // ---------------------------------------------------------------------------
 
 TEST(TablePrinterTest, AlignsColumns) {
@@ -230,14 +229,6 @@ TEST(TablePrinterTest, AlignsColumns) {
 TEST(TablePrinterTest, NumFormatsPrecision) {
   EXPECT_EQ(TablePrinter::Num(0.12345, 3), "0.123");
   EXPECT_EQ(TablePrinter::Num(2.0, 1), "2.0");
-}
-
-TEST(StopwatchTest, MeasuresElapsedTime) {
-  Stopwatch sw;
-  std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  EXPECT_GE(sw.ElapsedMillis(), 5.0);
-  sw.Restart();
-  EXPECT_LT(sw.ElapsedMillis(), 5.0);
 }
 
 }  // namespace

@@ -24,6 +24,10 @@
 //         call in one file is checked against a declaration in another.
 //         Heuristic: calls used inside a larger expression (arguments,
 //         conditions, assignments, member chains) are never flagged.
+//   L009  raw float-buffer allocation (`new float[...]` or `malloc(`)
+//         outside src/tensor: float storage must live in Tensor/
+//         TensorStorage so the obs memory tracker accounts for it.
+//         src/tensor (the accounted arena) and src/util are exempt.
 //
 // A violation can be waived by a comment on the same line:
 //   `alt_lint: allow(L006): <reason>`
@@ -290,6 +294,49 @@ void FindDiscardedStatusCalls(const std::string& stripped,
   }
 }
 
+// L009: `new float [` with any whitespace between the tokens — a raw float
+// buffer the obs memory tracker can never see.
+void FindRawFloatNew(const std::string& stripped, const std::string& file,
+                     std::vector<Violation>* out) {
+  const size_t n = stripped.size();
+  auto skip_ws = [&](size_t j) {
+    while (j < n && std::isspace(static_cast<unsigned char>(stripped[j])) != 0)
+      ++j;
+    return j;
+  };
+  const std::string token = "new";
+  for (size_t pos = stripped.find(token); pos != std::string::npos;
+       pos = stripped.find(token, pos + 1)) {
+    if (pos > 0 && IsIdentChar(stripped[pos - 1])) continue;
+    size_t j = pos + token.size();
+    if (j < n && IsIdentChar(stripped[j])) continue;  // e.g. newline_count
+    j = skip_ws(j);
+    if (stripped.compare(j, 5, "float") != 0) continue;
+    j += 5;
+    if (j < n && IsIdentChar(stripped[j])) continue;  // e.g. new FloatBufT
+    j = skip_ws(j);
+    if (j >= n || stripped[j] != '[') continue;
+    out->push_back(
+        {file, LineOfOffset(stripped, pos), "L009",
+         "raw float buffer (new float[]); use Tensor/TensorStorage "
+         "(src/tensor) so the obs memory tracker accounts for it"});
+  }
+}
+
+// True for directories exempt from the raw-allocation rule L009: the
+// accounted tensor arena itself and src/util.
+bool InRawAllocExemptDir(const std::string& path) {
+  std::string norm = path;
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  for (const char* dir : {"src/tensor/", "src/util/"}) {
+    if (norm.rfind(dir, 0) == 0 ||
+        norm.find(std::string("/") + dir) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
 // True for directories exempt from the observability rules L006/L007: the
 // obs layer itself and src/util, which implement the timing primitives.
 bool InObsExemptDir(const std::string& path) {
@@ -386,6 +433,13 @@ std::vector<Violation> LintContent(const std::string& path,
     }
     FindStatsTypes(stripped, path, &v);
   }
+  if (!InRawAllocExemptDir(path)) {
+    FindToken(stripped, "malloc(", "L009",
+              "raw malloc(); float storage belongs in Tensor/TensorStorage "
+              "(src/tensor) so the obs memory tracker accounts for it", path,
+              &v);
+    FindRawFloatNew(stripped, path, &v);
+  }
   // Same-line `alt_lint: allow(LXXX)` comments waive individual findings.
   v.erase(std::remove_if(v.begin(), v.end(),
                          [&](const Violation& x) {
@@ -473,6 +527,22 @@ int RunSelfTest() {
        "Status Save(int x);\n"
        "void F() { Save(1); }  // alt_lint: allow(L008): best-effort save\n",
        nullptr},
+      {"raw float new", "src/x/bad11.cc",
+       "float* F(int n) { return new float[n]; }", "L009"},
+      {"raw float new spaced", "src/x/bad12.cc",
+       "float* F(int n) { return new float [n]; }", "L009"},
+      {"raw malloc", "src/x/bad13.cc",
+       "void* F(int n) { return malloc(n); }", "L009"},
+      {"float new in src/tensor ok", "src/tensor/ok18.cc",
+       "float* F(int n) { return new float[n]; }", nullptr},
+      {"float new waived", "src/x/ok19.cc",
+       "float* F(int n) { return new float[n]; }  "
+       "// alt_lint: allow(L009): interop buffer\n",
+       nullptr},
+      {"scalar float new ok", "src/x/ok20.cc",
+       "float* F() { return new float(0.0f); }", nullptr},
+      {"newline_count ident ok", "src/x/ok21.cc",
+       "int newline_count = 0; int f = newline_count;", nullptr},
   };
   int failures = 0;
   for (const Case& c : kCases) {

@@ -18,6 +18,7 @@
 // the tool runs out of the box.
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -41,6 +42,7 @@ Result<data::ScenarioData> LoadScenarioFile(const std::string& path,
 int Run(int argc, char** argv) {
   std::string config_path;
   bool demo = false;
+  int telemetry_port = -1;  // Negative: telemetry server off.
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--demo") {
@@ -49,8 +51,16 @@ int Run(int argc, char** argv) {
       config_path = arg.substr(9);
     } else if (arg == "--config" && i + 1 < argc) {
       config_path = argv[++i];
+    } else if (arg.rfind("--telemetry_port=", 0) == 0) {
+      telemetry_port = std::atoi(arg.c_str() + 17);
+    } else if (arg == "--telemetry_port" && i + 1 < argc) {
+      telemetry_port = std::atoi(argv[++i]);
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: alt_pipeline --config job.json | --demo\n");
+      std::printf(
+          "usage: alt_pipeline (--config job.json | --demo) "
+          "[--telemetry_port N]\n"
+          "  --telemetry_port N  serve /metrics, /trace, /healthz, /readyz,\n"
+          "                      /snapshot on 127.0.0.1:N (0 = ephemeral)\n");
       return 0;
     }
   }
@@ -156,7 +166,13 @@ int Run(int argc, char** argv) {
   options.nas.final_train.learning_rate = lr;
   options.nas.weight_lr = lr;
 
+  options.telemetry_port = telemetry_port;
+
   core::AltSystem system(options);
+  if (system.telemetry() != nullptr) {
+    std::printf("[telemetry] http://127.0.0.1:%d/metrics\n",
+                system.telemetry()->port());
+  }
 
   // Optionally restore an existing state; otherwise initialize.
   const std::string state_dir =

@@ -1,0 +1,251 @@
+// bench_compare: regression gate over two benchmark JSON artifacts.
+//
+// Loads a baseline and a head BENCH_*.json (as written by bench_kernels and
+// friends: a top-level "results" array of {name, threads, gflops, ...}),
+// reduces each file to per-benchmark medians, and compares head against
+// baseline:
+//
+//   bench_compare --baseline=BENCH_old.json --head=BENCH_new.json \
+//                 [--threshold=0.20] [--metric=gflops]
+//
+// A benchmark regresses when its head median drops more than `threshold`
+// (fraction) below its baseline median. Benchmarks present in only one file
+// are reported but never fail the gate (the suite is allowed to grow).
+//
+// Exit codes: 0 = no regression, 1 = at least one regression, 2 = usage or
+// unreadable/invalid input. `--self-test` runs the comparator on synthetic
+// documents (identical inputs must pass, a 20% slowdown must fail) and
+// exits accordingly — used by CTest to gate the gate.
+//
+// Median entries are grouped by (name, threads): one benchmark measured at
+// several shapes contributes one median per thread configuration, which
+// keeps the gate robust to single-shape noise while still catching a
+// kernel-wide slowdown.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <utility>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/json.h"
+#include "src/util/status.h"
+
+namespace alt {
+namespace {
+
+struct CompareOptions {
+  std::string baseline_path;
+  std::string head_path;
+  double threshold = 0.20;     // Allowed fractional drop before failing.
+  std::string metric = "gflops";
+  bool higher_is_better = true;
+};
+
+/// (benchmark name, thread count) -> median metric value.
+using Medians = std::map<std::pair<std::string, int64_t>, double>;
+
+double Median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  return n % 2 == 1 ? values[n / 2]
+                    : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+Result<Medians> ReduceDocument(const Json& doc, const std::string& metric) {
+  if (!doc.contains("results") || !doc.at("results").is_array()) {
+    return Status::InvalidArgument("no \"results\" array in bench document");
+  }
+  std::map<std::pair<std::string, int64_t>, std::vector<double>> samples;
+  for (const Json& entry : doc.at("results").as_array()) {
+    if (!entry.contains("name") || !entry.contains(metric)) {
+      return Status::InvalidArgument(
+          "results entry lacks \"name\" or \"" + metric + "\"");
+    }
+    const int64_t threads =
+        entry.contains("threads") ? entry.at("threads").as_int() : 1;
+    samples[{entry.at("name").as_string(), threads}].push_back(
+        entry.at(metric).as_number());
+  }
+  if (samples.empty()) {
+    return Status::InvalidArgument("bench document has no results");
+  }
+  Medians medians;
+  for (auto& [key, values] : samples) {
+    medians[key] = Median(std::move(values));
+  }
+  return medians;
+}
+
+Result<Json> LoadDocument(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::NotFound("cannot open " + path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return Json::Parse(text);
+}
+
+/// Core gate: 0 clean, 1 regression. Prints one line per benchmark.
+int Compare(const Medians& baseline, const Medians& head,
+            const CompareOptions& options) {
+  int regressions = 0;
+  for (const auto& [key, base_value] : baseline) {
+    const auto& [name, threads] = key;
+    auto it = head.find(key);
+    if (it == head.end()) {
+      std::printf("  %-28s threads=%-2lld MISSING in head (not a failure)\n",
+                  name.c_str(), static_cast<long long>(threads));
+      continue;
+    }
+    const double head_value = it->second;
+    // Signed fractional change, oriented so negative == worse.
+    const double change =
+        base_value != 0.0
+            ? (options.higher_is_better ? (head_value - base_value)
+                                        : (base_value - head_value)) /
+                  std::fabs(base_value)
+            : 0.0;
+    const bool regressed = change < -options.threshold;
+    std::printf("  %-28s threads=%-2lld base=%-10.3f head=%-10.3f %+6.1f%%%s\n",
+                name.c_str(), static_cast<long long>(threads), base_value,
+                head_value, change * 100.0,
+                regressed ? "  REGRESSION" : "");
+    if (regressed) ++regressions;
+  }
+  for (const auto& [key, value] : head) {
+    if (baseline.find(key) == baseline.end()) {
+      std::printf("  %-28s threads=%-2lld NEW (head only, %.3f)\n",
+                  key.first.c_str(), static_cast<long long>(key.second),
+                  value);
+    }
+  }
+  if (regressions > 0) {
+    std::printf("bench_compare: %d regression(s) beyond %.0f%% threshold\n",
+                regressions, options.threshold * 100.0);
+    return 1;
+  }
+  std::printf("bench_compare: no regressions (threshold %.0f%%)\n",
+              options.threshold * 100.0);
+  return 0;
+}
+
+Json SyntheticDoc(double scale) {
+  Json doc = Json::Object{};
+  Json::Array results;
+  const char* names[] = {"gemm_blocked", "conv1d", "vec_axpy"};
+  for (const char* name : names) {
+    for (int rep = 0; rep < 3; ++rep) {
+      Json entry = Json::Object{};
+      entry["name"] = name;
+      entry["threads"] = 1;
+      entry["gflops"] = (10.0 + rep) * scale;
+      results.push_back(entry);
+    }
+  }
+  doc["results"] = results;
+  return doc;
+}
+
+int RunSelfTest() {
+  CompareOptions options;
+  int failures = 0;
+  const Json base = SyntheticDoc(1.0);
+  auto reduce = [&](const Json& doc) {
+    return ReduceDocument(doc, options.metric).value();
+  };
+  // Identical inputs: must pass.
+  if (Compare(reduce(base), reduce(base), options) != 0) {
+    std::fprintf(stderr, "self-test FAIL: identical inputs flagged\n");
+    ++failures;
+  }
+  // 20% slowdown with a 20% threshold (strict inequality boundary) plus a
+  // clearly-over 25% slowdown: the boundary must pass, the slowdown fail.
+  if (Compare(reduce(base), reduce(SyntheticDoc(0.80)), options) != 0) {
+    std::fprintf(stderr, "self-test FAIL: exact-threshold drop flagged\n");
+    ++failures;
+  }
+  if (Compare(reduce(base), reduce(SyntheticDoc(0.75)), options) != 1) {
+    std::fprintf(stderr, "self-test FAIL: 25%% slowdown not flagged\n");
+    ++failures;
+  }
+  // Tighter gate: the same 20% slowdown must now fail.
+  CompareOptions tight = options;
+  tight.threshold = 0.10;
+  if (Compare(reduce(base), reduce(SyntheticDoc(0.80)), tight) != 1) {
+    std::fprintf(stderr,
+                 "self-test FAIL: 20%% slowdown passed a 10%% threshold\n");
+    ++failures;
+  }
+  if (failures == 0) {
+    std::printf("bench_compare self-test: all cases passed\n");
+    return 0;
+  }
+  return 1;
+}
+
+int Run(int argc, char** argv) {
+  CompareOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      const std::string prefix = std::string(flag) + "=";
+      return arg.rfind(prefix, 0) == 0 ? arg.substr(prefix.size()) : "";
+    };
+    if (arg == "--self-test") return RunSelfTest();
+    if (!value("--baseline").empty()) {
+      options.baseline_path = value("--baseline");
+    } else if (!value("--head").empty()) {
+      options.head_path = value("--head");
+    } else if (!value("--threshold").empty()) {
+      options.threshold = std::atof(value("--threshold").c_str());
+    } else if (!value("--metric").empty()) {
+      options.metric = value("--metric");
+      // seconds-style metrics regress upward.
+      options.higher_is_better =
+          options.metric.find("seconds") == std::string::npos &&
+          options.metric.find("_ms") == std::string::npos;
+    } else {
+      std::fprintf(stderr, "bench_compare: unknown argument %s\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (options.baseline_path.empty() || options.head_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_compare --baseline=OLD.json --head=NEW.json "
+                 "[--threshold=0.20] [--metric=gflops] | --self-test\n");
+    return 2;
+  }
+  auto base_doc = LoadDocument(options.baseline_path);
+  if (!base_doc.ok()) {
+    std::fprintf(stderr, "bench_compare: %s\n",
+                 base_doc.status().ToString().c_str());
+    return 2;
+  }
+  auto head_doc = LoadDocument(options.head_path);
+  if (!head_doc.ok()) {
+    std::fprintf(stderr, "bench_compare: %s\n",
+                 head_doc.status().ToString().c_str());
+    return 2;
+  }
+  auto base = ReduceDocument(base_doc.value(), options.metric);
+  auto head = ReduceDocument(head_doc.value(), options.metric);
+  if (!base.ok() || !head.ok()) {
+    std::fprintf(stderr, "bench_compare: %s\n",
+                 (!base.ok() ? base : head).status().ToString().c_str());
+    return 2;
+  }
+  std::printf("bench_compare: %s (baseline) vs %s (head), metric=%s\n",
+              options.baseline_path.c_str(), options.head_path.c_str(),
+              options.metric.c_str());
+  return Compare(base.value(), head.value(), options);
+}
+
+}  // namespace
+}  // namespace alt
+
+int main(int argc, char** argv) { return alt::Run(argc, argv); }

@@ -51,6 +51,25 @@ ALT_FAULTS_SEED=7 \
 ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
   ctest --test-dir build-asan --output-on-failure -R "^resilience_chaos_test$"
 
+# Bench-regression stage: run the kernel bench twice in smoke mode and gate
+# the second run against the first with bench_compare. Identical machines
+# back to back should be nowhere near the threshold; the generous 50% bound
+# (vs the 20% default used when comparing real baselines) absorbs smoke-mode
+# noise while still catching an order-of-magnitude kernel regression.
+echo "==> bench-regress stage (bench_kernels --smoke x2 through bench_compare)"
+./build/bench/bench_kernels --smoke --out=build/BENCH_smoke_base.json >/dev/null
+./build/bench/bench_kernels --smoke --out=build/BENCH_smoke_head.json >/dev/null
+./build/tools/bench_compare --baseline=build/BENCH_smoke_base.json \
+  --head=build/BENCH_smoke_head.json --threshold=0.5
+
+# Telemetry stage: /healthz must flip to 503 when injected serving faults
+# open a circuit breaker. The test honors an external ALT_FAULTS, so this
+# exercises the same env-driven arming path operators use.
+echo "==> telemetry stage (build-asan, ALT_FAULTS opens a serving breaker)"
+ALT_FAULTS="serving/predict=1" \
+ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+  ./build-asan/tests/obs_export_test --gtest_filter='*Healthz*'
+
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
   run_config build-ubsan -DALT_SANITIZE=undefined -DALT_DCHECKS=ON
 
@@ -59,7 +78,8 @@ UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
 # layer (concurrent metric updates and trace spans). Only the
 # threading-related targets are built and run: TSan slows everything ~10x and
 # the rest of the suite is single-threaded.
-TSAN_TARGETS=(parallel_for_test kernel_parity_test util_test hpo_test obs_test)
+TSAN_TARGETS=(parallel_for_test kernel_parity_test util_test hpo_test obs_test
+              obs_export_test)
 echo "==> configuring build-tsan (-DALT_SANITIZE=thread -DALT_DCHECKS=ON)"
 cmake -B build-tsan -S . -DALT_SANITIZE=thread -DALT_DCHECKS=ON >/dev/null
 echo "==> building build-tsan (${TSAN_TARGETS[*]})"
