@@ -2,7 +2,6 @@
 #define ALT_SRC_CORE_ALT_SYSTEM_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -121,12 +120,16 @@ class AltSystem {
   Status DeployWithRetry(const std::string& scenario,
                          std::unique_ptr<models::BaseModel> model);
 
+  // Thread safety: AltSystem owns no mutex of its own. options_,
+  // flops_budget_ and the component pointers are written once during
+  // construction; all concurrent state lives inside the internally
+  // synchronized members (meta_, server_, telemetry_), and concurrent
+  // scenario arrivals coordinate through their futures.
   AltSystemOptions options_;
   int64_t flops_budget_ = 0;
   std::unique_ptr<meta::MetaLearner> meta_;
   serving::ModelServer server_;
   std::unique_ptr<obs::TelemetryServer> telemetry_;
-  std::mutex artifacts_mu_;
 };
 
 }  // namespace core

@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <memory>
-#include <mutex>
 
 #include "src/resilience/clock.h"
 #include "src/resilience/fault_injection.h"
 #include "src/util/logging.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 #include "src/util/thread_pool.h"
 
 namespace alt {
@@ -18,7 +19,7 @@ namespace {
 class MedianTracker {
  public:
   void RecordCompleted(const std::map<int64_t, double>& step_values) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++completed_;
     for (const auto& [step, value] : step_values) {
       by_step_[step].push_back(value);
@@ -28,7 +29,7 @@ class MedianTracker {
   /// True when `value` at `step` is strictly below the median of completed
   /// trials' values at the same step.
   bool BelowMedian(int64_t step, double value, int64_t min_trials) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (completed_ < min_trials) return false;
     auto it = by_step_.find(step);
     if (it == by_step_.end() || it->second.empty()) return false;
@@ -40,9 +41,9 @@ class MedianTracker {
   }
 
  private:
-  std::mutex mu_;
-  int64_t completed_ = 0;
-  std::map<int64_t, std::vector<double>> by_step_;
+  Mutex mu_;
+  int64_t completed_ ALT_GUARDED_BY(mu_) = 0;
+  std::map<int64_t, std::vector<double>> by_step_ ALT_GUARDED_BY(mu_);
 };
 
 class TrialContextImpl : public TrialContext {
@@ -105,7 +106,7 @@ Result<TuneReport> RunTuneJob(const SearchSpace& space, Objective objective,
   resilience::Clock* clock = resilience::RealClock();
   const double job_start_ms = clock->NowMs();
   MedianTracker tracker;
-  std::mutex mu;  // Guards tuner and report.
+  Mutex mu;  // Guards tuner and report.
   TuneReport report;
   ThreadPool pool(static_cast<size_t>(options.parallelism));
 
@@ -131,7 +132,7 @@ Result<TuneReport> RunTuneJob(const SearchSpace& space, Objective objective,
     }
     tracker.RecordCompleted(context.step_values());
 
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     if (!record.failed) {
       tuner->Tell(config, record.objective);
       if (record.objective > report.best_objective) {
@@ -154,7 +155,7 @@ Result<TuneReport> RunTuneJob(const SearchSpace& space, Objective objective,
     }
     TrialConfig config;
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       config = tuner->Ask();
     }
     const Status valid = space.Validate(config);

@@ -28,14 +28,14 @@ Status MetaLearner::Initialize(
   data::ScenarioData pooled = data::ConcatScenarios(initial_scenarios);
   std::unique_ptr<models::BaseModel> model;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ALT_ASSIGN_OR_RETURN(model, builder_(config_, &rng_));
   }
   train::TrainOptions init = options_.init_train;
   init.learning_rate = config_.learning_rate;
   init.seed = options_.seed * 17 + 1;
   ALT_RETURN_IF_ERROR(train::TrainModel(model.get(), pooled, init).status());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   agnostic_ = std::move(model);
   return Status::OK();
 }
@@ -51,14 +51,14 @@ Status MetaLearner::AdoptInitialModel(
     return Status::InvalidArgument(
         "adopted model's input schema does not match");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   config_ = model->config();
   agnostic_ = std::move(model);
   return Status::OK();
 }
 
 Result<std::unique_ptr<models::BaseModel>> MetaLearner::CloneAgnostic() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (agnostic_ == nullptr) {
     return Status::FailedPrecondition("meta learner not initialized");
   }
@@ -131,7 +131,7 @@ Status MetaLearner::ApplyQueryFeedback(models::BaseModel* adapted,
 
   // theta_0 <- theta_0 - eta * grad, serialized across scenarios (Eq. 3's
   // asynchronous accumulation).
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (agnostic_ == nullptr) {
     return Status::FailedPrecondition("meta learner not initialized");
   }
@@ -165,7 +165,7 @@ Status MetaLearner::PeriodicRefresh(
                        CloneAgnostic());
   ALT_RETURN_IF_ERROR(
       train::TrainModel(refreshed.get(), pooled, options).status());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   agnostic_ = std::move(refreshed);
   return Status::OK();
 }

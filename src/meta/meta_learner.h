@@ -3,12 +3,13 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "src/data/dataset.h"
 #include "src/models/base_model.h"
 #include "src/train/trainer.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace alt {
 namespace meta {
@@ -63,7 +64,10 @@ class MetaLearner {
   /// schema; its config replaces the learner's).
   Status AdoptInitialModel(std::unique_ptr<models::BaseModel> model);
 
-  bool initialized() const { return agnostic_ != nullptr; }
+  bool initialized() const {
+    MutexLock lock(mu_);
+    return agnostic_ != nullptr;
+  }
 
   /// The full Eq. 1 + Eq. 2 step for one scenario. Thread-safe. When
   /// `send_feedback` is false, only the fine-tuned copy is produced (used
@@ -74,8 +78,11 @@ class MetaLearner {
   /// Thread-safe snapshot of f0.
   Result<std::unique_ptr<models::BaseModel>> CloneAgnostic();
 
-  /// Direct access for evaluation (not synchronized with adapt threads).
-  models::BaseModel* agnostic_model() { return agnostic_.get(); }
+  /// Direct access for evaluation (not synchronized with adapt threads —
+  /// callers must ensure no adaptation is in flight).
+  models::BaseModel* agnostic_model() ALT_NO_THREAD_SAFETY_ANALYSIS {
+    return agnostic_.get();  // alt_analyze: allow(A101): unsynchronized eval-only view, see contract above
+  }
 
   /// Periodically retrain f0 on all stored scenario data (the "Meta-Train
   /// like" refresh extension the paper mentions in Sec. III-C).
@@ -95,8 +102,8 @@ class MetaLearner {
   MetaOptions options_;
   ModelBuilder builder_;
   Rng rng_;
-  std::mutex mu_;  // Guards agnostic_ parameter reads/writes.
-  std::unique_ptr<models::BaseModel> agnostic_;
+  mutable Mutex mu_;  // Guards agnostic_ parameter reads/writes.
+  std::unique_ptr<models::BaseModel> agnostic_ ALT_GUARDED_BY(mu_);
 };
 
 }  // namespace meta

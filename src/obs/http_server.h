@@ -78,6 +78,12 @@ class TelemetryServer {
   void AcceptLoop();
   void ServeConnection(int fd) const;
 
+  // Thread safety: no mutex. options_/listen_fd_/port_/pool_ are written
+  // by Start() before the accept thread exists and are read-only
+  // afterwards; stop_ is the only cross-thread signal. Stop() flips stop_,
+  // pokes the listener with a loopback connect, waits for the accept loop
+  // to drain (pool WaitIdle), and only then closes the fd — so the accept
+  // thread never reads a closed descriptor.
   Options options_;
   int listen_fd_ = -1;
   int port_ = 0;

@@ -47,7 +47,7 @@ void MemoryTracker::RecordAlloc(size_t bytes) {
   }
   const char* tag = g_current_tag;
   if (tag != nullptr) {
-    std::lock_guard<std::mutex> lock(tags_mu_);
+    MutexLock lock(tags_mu_);
     TagUsage& usage = tags_[tag];
     usage.allocated_bytes += delta;
     ++usage.allocs;
@@ -64,7 +64,7 @@ void MemoryTracker::RecordFree(size_t bytes) {
 
 std::vector<std::pair<std::string, MemoryTracker::TagUsage>>
 MemoryTracker::TagSnapshot() const {
-  std::lock_guard<std::mutex> lock(tags_mu_);
+  MutexLock lock(tags_mu_);
   return {tags_.begin(), tags_.end()};
 }
 

@@ -6,11 +6,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/util/json.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace alt {
 namespace obs {
@@ -105,8 +106,8 @@ class MemoryTracker {
   std::atomic<int64_t> free_count_{0};
   std::atomic<int64_t> allocated_bytes_{0};
 
-  mutable std::mutex tags_mu_;
-  std::map<std::string, TagUsage> tags_;
+  mutable Mutex tags_mu_;
+  std::map<std::string, TagUsage> tags_ ALT_GUARDED_BY(tags_mu_);
 };
 
 /// RAII phase tag: allocations on this thread are attributed to `tag` until

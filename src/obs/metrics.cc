@@ -97,7 +97,7 @@ void Histogram::Observe(double v) {
   const size_t bucket = static_cast<size_t>(
       std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
   Shard& shard = shards_[ThreadShard()];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   ++shard.bucket_counts[bucket];
   if (shard.count == 0) {
     shard.min = v;
@@ -115,7 +115,7 @@ HistogramBuckets Histogram::SnapshotBuckets() const {
   b.bounds = bounds_;
   b.counts.assign(bounds_.size() + 1, 0);
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     b.count += shard.count;
     b.sum += shard.sum;
     for (size_t i = 0; i < b.counts.size(); ++i) {
@@ -129,7 +129,7 @@ HistogramSummary Histogram::Summarize() const {
   std::vector<int64_t> merged(bounds_.size() + 1, 0);
   HistogramSummary s;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     if (shard.count == 0) continue;
     if (s.count == 0) {
       s.min = shard.min;
@@ -196,7 +196,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_
@@ -207,7 +207,7 @@ Counter* MetricsRegistry::counter(const std::string& name) {
 }
 
 Gauge* MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(&enabled_)))
@@ -218,7 +218,7 @@ Gauge* MetricsRegistry::gauge(const std::string& name) {
 
 Histogram* MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     if (bounds.empty()) bounds = Histogram::DefaultLatencyBoundsMs();
@@ -231,13 +231,13 @@ Histogram* MetricsRegistry::histogram(const std::string& name,
 }
 
 int64_t MetricsRegistry::counter_value(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second->value();
 }
 
 double MetricsRegistry::gauge_value(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? 0.0 : it->second->value();
 }
@@ -246,7 +246,7 @@ HistogramSummary MetricsRegistry::histogram_summary(
     const std::string& name) const {
   const Histogram* hist = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = histograms_.find(name);
     if (it != histograms_.end()) hist = it->second.get();
   }
@@ -261,7 +261,7 @@ MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
   std::vector<std::pair<std::string, const Histogram*>> histograms;
   Snapshot snapshot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     snapshot.enabled = enabled();
     for (const auto& [name, c] : counters_) counters.emplace_back(name, c.get());
     for (const auto& [name, g] : gauges_) gauges.emplace_back(name, g.get());
@@ -288,7 +288,7 @@ Json MetricsRegistry::ToJson() const {
   std::vector<std::pair<std::string, const Gauge*>> gauges;
   std::vector<std::pair<std::string, const Histogram*>> histograms;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [name, c] : counters_) counters.emplace_back(name, c.get());
     for (const auto& [name, g] : gauges_) gauges.emplace_back(name, g.get());
     for (const auto& [name, h] : histograms_) {

@@ -6,11 +6,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/util/json.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace alt {
 namespace obs {
@@ -125,12 +126,13 @@ class Histogram {
   friend class MetricsRegistry;
   Histogram(const std::atomic<bool>* enabled, std::vector<double> bounds);
   struct Shard {
-    mutable std::mutex mu;
-    std::vector<int64_t> bucket_counts;  // bounds.size() + 1 (overflow last).
-    int64_t count = 0;
-    double sum = 0.0;
-    double min = 0.0;
-    double max = 0.0;
+    mutable Mutex mu;
+    // bounds.size() + 1 entries (overflow last).
+    std::vector<int64_t> bucket_counts ALT_GUARDED_BY(mu);
+    int64_t count ALT_GUARDED_BY(mu) = 0;
+    double sum ALT_GUARDED_BY(mu) = 0.0;
+    double min ALT_GUARDED_BY(mu) = 0.0;
+    double max ALT_GUARDED_BY(mu) = 0.0;
   };
 
   double SummarizePercentile(double q) const;
@@ -193,10 +195,12 @@ class MetricsRegistry {
 
  private:
   std::atomic<bool> enabled_{true};
-  mutable std::mutex mu_;  // Guards the maps, not the metric values.
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;  // Guards the maps, not the metric values.
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      ALT_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ ALT_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      ALT_GUARDED_BY(mu_);
 };
 
 /// RAII wall-time recorder: observes the elapsed milliseconds into `h` on

@@ -54,7 +54,7 @@ TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
   auto buffer = std::make_shared<ThreadBuffer>();
   buffer->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     buffers_.push_back(buffer);
   }
   cache.push_back({id_, buffer});
@@ -64,7 +64,7 @@ TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
 void TraceRecorder::Record(TraceEvent event) {
   ThreadBuffer* buffer = BufferForThisThread();
   event.tid = buffer->tid;
-  std::lock_guard<std::mutex> lock(buffer->mu);
+  MutexLock lock(buffer->mu);
   if (buffer->events.size() >= kMaxEventsPerThread) {
     ++buffer->dropped;
     return;
@@ -75,12 +75,12 @@ void TraceRecorder::Record(TraceEvent event) {
 size_t TraceRecorder::event_count() const {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     buffers = buffers_;
   }
   size_t total = 0;
   for (const auto& buffer : buffers) {
-    std::lock_guard<std::mutex> lock(buffer->mu);
+    MutexLock lock(buffer->mu);
     total += buffer->events.size();
   }
   return total;
@@ -89,12 +89,12 @@ size_t TraceRecorder::event_count() const {
 int64_t TraceRecorder::dropped_count() const {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     buffers = buffers_;
   }
   int64_t total = 0;
   for (const auto& buffer : buffers) {
-    std::lock_guard<std::mutex> lock(buffer->mu);
+    MutexLock lock(buffer->mu);
     total += buffer->dropped;
   }
   return total;
@@ -103,11 +103,11 @@ int64_t TraceRecorder::dropped_count() const {
 void TraceRecorder::Clear() {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     buffers = buffers_;
   }
   for (const auto& buffer : buffers) {
-    std::lock_guard<std::mutex> lock(buffer->mu);
+    MutexLock lock(buffer->mu);
     buffer->events.clear();
     buffer->dropped = 0;
   }
@@ -116,12 +116,12 @@ void TraceRecorder::Clear() {
 std::vector<TraceEvent> TraceRecorder::SortedEvents() const {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     buffers = buffers_;
   }
   std::vector<TraceEvent> events;
   for (const auto& buffer : buffers) {
-    std::lock_guard<std::mutex> lock(buffer->mu);
+    MutexLock lock(buffer->mu);
     events.insert(events.end(), buffer->events.begin(), buffer->events.end());
   }
   std::sort(events.begin(), events.end(),

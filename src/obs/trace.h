@@ -5,11 +5,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/util/json.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace alt {
 namespace obs {
@@ -86,10 +87,10 @@ class TraceRecorder {
 
  private:
   struct ThreadBuffer {
-    std::mutex mu;
-    std::vector<TraceEvent> events;
-    int64_t dropped = 0;
-    int tid = 0;
+    Mutex mu;
+    std::vector<TraceEvent> events ALT_GUARDED_BY(mu);
+    int64_t dropped ALT_GUARDED_BY(mu) = 0;
+    int tid = 0;  // Written once before the buffer is published.
   };
 
   ThreadBuffer* BufferForThisThread();
@@ -99,8 +100,8 @@ class TraceRecorder {
   std::chrono::steady_clock::time_point epoch_;
   std::atomic<bool> enabled_{true};
   std::atomic<int> next_tid_{1};
-  mutable std::mutex mu_;  // Guards buffers_ (the list, not the contents).
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  mutable Mutex mu_;  // Guards buffers_ (the list, not the contents).
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_ ALT_GUARDED_BY(mu_);
 };
 
 /// RAII trace scope. Records into `recorder` (default: the global recorder)

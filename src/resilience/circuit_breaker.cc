@@ -38,7 +38,7 @@ void CircuitBreaker::TransitionLocked(BreakerState next) {
 }
 
 bool CircuitBreaker::AllowRequest() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   switch (state_) {
     case BreakerState::kClosed:
     case BreakerState::kHalfOpen:
@@ -55,7 +55,7 @@ bool CircuitBreaker::AllowRequest() {
 }
 
 void CircuitBreaker::RecordSuccess() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   switch (state_) {
     case BreakerState::kClosed:
       consecutive_failures_ = 0;
@@ -73,7 +73,7 @@ void CircuitBreaker::RecordSuccess() {
 }
 
 void CircuitBreaker::RecordFailure() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   switch (state_) {
     case BreakerState::kClosed:
       if (++consecutive_failures_ >= options_.failure_threshold) {
@@ -90,7 +90,7 @@ void CircuitBreaker::RecordFailure() {
 }
 
 BreakerState CircuitBreaker::state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return state_;
 }
 

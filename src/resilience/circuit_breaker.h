@@ -2,11 +2,12 @@
 #define ALT_SRC_RESILIENCE_CIRCUIT_BREAKER_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 #include "src/obs/metrics.h"
 #include "src/resilience/clock.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace alt {
 namespace resilience {
@@ -62,7 +63,7 @@ class CircuitBreaker {
 
  private:
   /// Sets state + gauge; callers hold mu_.
-  void TransitionLocked(BreakerState next);
+  void TransitionLocked(BreakerState next) ALT_REQUIRES(mu_);
 
   const std::string name_;
   const CircuitBreakerOptions options_;
@@ -70,11 +71,11 @@ class CircuitBreaker {
   obs::Gauge* state_gauge_;    // Owned by the registry.
   obs::Counter* opens_total_;  // Owned by the registry.
 
-  mutable std::mutex mu_;
-  BreakerState state_ = BreakerState::kClosed;
-  int64_t consecutive_failures_ = 0;
-  int64_t half_open_successes_ = 0;
-  double opened_at_ms_ = 0.0;
+  mutable Mutex mu_;
+  BreakerState state_ ALT_GUARDED_BY(mu_) = BreakerState::kClosed;
+  int64_t consecutive_failures_ ALT_GUARDED_BY(mu_) = 0;
+  int64_t half_open_successes_ ALT_GUARDED_BY(mu_) = 0;
+  double opened_at_ms_ ALT_GUARDED_BY(mu_) = 0.0;
 };
 
 }  // namespace resilience

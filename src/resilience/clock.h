@@ -1,8 +1,10 @@
 #ifndef ALT_SRC_RESILIENCE_CLOCK_H_
 #define ALT_SRC_RESILIENCE_CLOCK_H_
 
-#include <mutex>
 #include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace alt {
 namespace resilience {
@@ -36,7 +38,7 @@ Clock* RealClock();
 class FakeClock : public Clock {
  public:
   double NowMs() override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const double now = now_ms_;
     now_ms_ += auto_advance_ms_;
     return now;
@@ -44,13 +46,13 @@ class FakeClock : public Clock {
 
   void SleepMs(double ms) override {
     if (ms <= 0.0) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     sleeps_ms_.push_back(ms);
     now_ms_ += ms;
   }
 
   void Advance(double ms) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     now_ms_ += ms;
   }
 
@@ -58,20 +60,20 @@ class FakeClock : public Clock {
   /// taking a fixed duration between consecutive clock reads (deadline
   /// tests).
   void set_auto_advance_ms(double ms) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto_advance_ms_ = ms;
   }
 
   std::vector<double> sleeps_ms() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return sleeps_ms_;
   }
 
  private:
-  mutable std::mutex mu_;
-  double now_ms_ = 0.0;
-  double auto_advance_ms_ = 0.0;
-  std::vector<double> sleeps_ms_;
+  mutable Mutex mu_;
+  double now_ms_ ALT_GUARDED_BY(mu_) = 0.0;
+  double auto_advance_ms_ ALT_GUARDED_BY(mu_) = 0.0;
+  std::vector<double> sleeps_ms_ ALT_GUARDED_BY(mu_);
 };
 
 }  // namespace resilience

@@ -59,19 +59,19 @@ FaultInjector& FaultInjector::Global() {
 }
 
 void FaultInjector::Arm(const std::string& point_prefix, FaultRule rule) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   rules_[point_prefix] = std::move(rule);
   armed_.store(true, std::memory_order_relaxed);
 }
 
 void FaultInjector::Disarm(const std::string& point_prefix) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   rules_.erase(point_prefix);
   armed_.store(!rules_.empty(), std::memory_order_relaxed);
 }
 
 void FaultInjector::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   rules_.clear();
   points_.clear();
   total_injected_ = 0;
@@ -79,7 +79,7 @@ void FaultInjector::Reset() {
 }
 
 void FaultInjector::SetSeed(uint64_t seed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   seed_ = seed;
 }
 
@@ -122,7 +122,7 @@ Status FaultInjector::Check(const char* point) {
   bool matched = false;
   int64_t call_index = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const std::string name(point);
     // Longest armed prefix wins; std::map orders prefixes lexicographically,
     // so walk all rules (the set is tiny — a handful of chaos entries).
@@ -156,19 +156,19 @@ Status FaultInjector::Check(const char* point) {
 }
 
 int64_t FaultInjector::call_count(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.calls;
 }
 
 int64_t FaultInjector::injected_count(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.injected;
 }
 
 int64_t FaultInjector::total_injected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return total_injected_;
 }
 

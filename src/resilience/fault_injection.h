@@ -4,10 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "src/util/mutex.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace alt {
 namespace resilience {
@@ -99,11 +100,13 @@ class FaultInjector {
   };
 
   std::atomic<bool> armed_{false};
-  mutable std::mutex mu_;
-  uint64_t seed_ = 1;
-  std::map<std::string, FaultRule> rules_;       // Keyed by point prefix.
-  std::map<std::string, PointState> points_;     // Keyed by full point name.
-  int64_t total_injected_ = 0;
+  mutable Mutex mu_;
+  uint64_t seed_ ALT_GUARDED_BY(mu_) = 1;
+  // Keyed by point prefix.
+  std::map<std::string, FaultRule> rules_ ALT_GUARDED_BY(mu_);
+  // Keyed by full point name.
+  std::map<std::string, PointState> points_ ALT_GUARDED_BY(mu_);
+  int64_t total_injected_ ALT_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace resilience

@@ -35,7 +35,7 @@ double RetryPolicy::NextBackoffMs(int64_t attempt) {
                             static_cast<double>(attempt - 1));
   backoff = std::min(backoff, options_.max_backoff_ms);
   if (options_.jitter_fraction > 0.0) {
-    std::lock_guard<std::mutex> lock(jitter_mu_);
+    MutexLock lock(jitter_mu_);
     const double u = jitter_rng_.Uniform(-1.0, 1.0);
     backoff *= 1.0 + options_.jitter_fraction * u;
   }

@@ -3,13 +3,14 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/resilience/clock.h"
+#include "src/util/mutex.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace alt {
 namespace resilience {
@@ -114,8 +115,8 @@ class RetryPolicy {
 
   RetryOptions options_;
   Clock* clock_;
-  std::mutex jitter_mu_;
-  Rng jitter_rng_;
+  Mutex jitter_mu_;
+  Rng jitter_rng_ ALT_GUARDED_BY(jitter_mu_);
 };
 
 }  // namespace resilience

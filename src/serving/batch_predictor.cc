@@ -66,10 +66,10 @@ BatchPredictor::BatchPredictor(ModelServer* server, Options options,
 
 BatchPredictor::~BatchPredictor() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   dispatcher_.join();
 }
 
@@ -81,10 +81,10 @@ std::future<Result<float>> BatchPredictor::Enqueue(
   request.profile = std::move(profile);
   request.behavior = std::move(behavior);
   // Control-flow timestamp (batching deadline), not telemetry.
-  request.enqueue_time = std::chrono::steady_clock::now();  // alt_lint: allow(L006)
+  request.enqueue_time = std::chrono::steady_clock::now();  // alt_lint: allow(L006): batching deadline, not telemetry
   std::future<Result<float>> future = request.promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(request));
     high_watermark_ = std::max(high_watermark_,
                                static_cast<int64_t>(queue_.size()));
@@ -92,7 +92,7 @@ std::future<Result<float>> BatchPredictor::Enqueue(
     // failed flush releases the gauge exactly like a successful one.
     queue_depth_->Add(1.0);
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return future;
 }
 
@@ -110,21 +110,21 @@ void BatchPredictor::DispatcherLoop() {
   for (;;) {
     std::vector<Request> batch;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this]() { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) cv_.Wait(mu_);
       if (shutdown_ && queue_.empty()) return;
-      // Wait (bounded) for more requests to coalesce.
+      // Wait (bounded) for more requests to coalesce. Explicit while loops
+      // instead of predicate lambdas: see src/util/mutex.h.
       if (!shutdown_ &&
           static_cast<int64_t>(queue_.size()) < options_.max_batch_size) {
         const auto deadline = queue_.front().enqueue_time +
                               std::chrono::duration_cast<
                                   std::chrono::steady_clock::duration>(
                                   max_delay);
-        cv_.wait_until(lock, deadline, [this]() {
-          return shutdown_ ||
-                 static_cast<int64_t>(queue_.size()) >=
-                     options_.max_batch_size;
-        });
+        while (!shutdown_ &&
+               static_cast<int64_t>(queue_.size()) < options_.max_batch_size) {
+          if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) break;
+        }
       }
       // Pull a same-scenario run from the queue front (batches must share a
       // model).
@@ -152,7 +152,7 @@ void BatchPredictor::Resolve(Request* request, Result<float> result) {
   if (request_latency_->enabled()) {
     const double latency_ms =
         std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - request->enqueue_time)  // alt_lint: allow(L006)
+            std::chrono::steady_clock::now() - request->enqueue_time)  // alt_lint: allow(L006): pairs with the enqueue timestamp
             .count();
     request_latency_->Observe(latency_ms);
   }

@@ -1,11 +1,9 @@
 #ifndef ALT_SRC_SERVING_BATCH_PREDICTOR_H_
 #define ALT_SRC_SERVING_BATCH_PREDICTOR_H_
 
-#include <condition_variable>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -13,6 +11,8 @@
 #include "src/data/dataset.h"
 #include "src/obs/metrics.h"
 #include "src/serving/model_server.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace alt {
 namespace serving {
@@ -69,7 +69,8 @@ class BatchPredictor {
   /// (or an error status, e.g. scenario not deployed).
   std::future<Result<float>> Enqueue(const std::string& scenario,
                                      Tensor profile,
-                                     std::vector<int64_t> behavior);
+                                     std::vector<int64_t> behavior)
+      ALT_EXCLUDES(mu_);
 
   /// Requests enqueued but not yet resolved — queued plus in-flight
   /// (registry gauge view).
@@ -90,7 +91,7 @@ class BatchPredictor {
     std::chrono::steady_clock::time_point enqueue_time;
   };
 
-  void DispatcherLoop();
+  void DispatcherLoop() ALT_EXCLUDES(mu_);
   void Flush(std::vector<Request> batch);
   void Resolve(Request* request, Result<float> result);
 
@@ -103,11 +104,12 @@ class BatchPredictor {
   obs::Histogram* queue_high_watermark_;  // Owned by the registry.
   obs::Histogram* flush_drain_ms_;     // Owned by the registry.
   obs::Histogram* request_latency_;    // Owned by the registry.
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Request> queue_;
-  int64_t high_watermark_ = 0;  // Deepest queue_ since the last flush.
-  bool shutdown_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<Request> queue_ ALT_GUARDED_BY(mu_);
+  // Deepest queue_ since the last flush.
+  int64_t high_watermark_ ALT_GUARDED_BY(mu_) = 0;
+  bool shutdown_ ALT_GUARDED_BY(mu_) = false;
   std::thread dispatcher_;
 };
 

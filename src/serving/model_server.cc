@@ -30,7 +30,7 @@ Status ModelServer::TryDeploy(const std::string& scenario,
   (*model)->SetTraining(false);
   std::shared_ptr<Deployment> deployment;
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(registry_mu_);
     auto it = deployments_.find(scenario);
     if (it == deployments_.end()) {
       deployment = std::make_shared<Deployment>();
@@ -41,14 +41,14 @@ Status ModelServer::TryDeploy(const std::string& scenario,
       deployment = it->second;
     }
   }
-  std::lock_guard<std::mutex> model_lock(deployment->mu);
+  MutexLock model_lock(deployment->mu);
   deployment->model = std::move(*model);
   return Status::OK();
 }
 
 void ModelServer::SetResilience(ServingResilienceOptions options,
                                 resilience::Clock* clock) {
-  std::lock_guard<std::mutex> lock(breakers_mu_);
+  MutexLock lock(breakers_mu_);
   resilience_ = std::move(options);
   clock_ = clock != nullptr ? clock : resilience::RealClock();
   fallbacks_total_ = registry_->counter("serving/fallbacks");
@@ -62,7 +62,7 @@ void ModelServer::SetResilience(ServingResilienceOptions options,
 
 Result<resilience::BreakerState> ModelServer::GetBreakerState(
     const std::string& scenario) const {
-  std::lock_guard<std::mutex> lock(breakers_mu_);
+  MutexLock lock(breakers_mu_);
   auto it = breakers_.find(scenario);
   if (it == breakers_.end()) {
     return Status::NotFound("no breaker for scenario " + scenario);
@@ -72,7 +72,7 @@ Result<resilience::BreakerState> ModelServer::GetBreakerState(
 
 std::map<std::string, resilience::BreakerState> ModelServer::BreakerStates()
     const {
-  std::lock_guard<std::mutex> lock(breakers_mu_);
+  MutexLock lock(breakers_mu_);
   std::map<std::string, resilience::BreakerState> states;
   for (const auto& [scenario, breaker] : breakers_) {
     states.emplace(scenario, breaker->state());
@@ -82,7 +82,7 @@ std::map<std::string, resilience::BreakerState> ModelServer::BreakerStates()
 
 resilience::CircuitBreaker* ModelServer::BreakerFor(
     const std::string& scenario) {
-  std::lock_guard<std::mutex> lock(breakers_mu_);
+  MutexLock lock(breakers_mu_);
   auto it = breakers_.find(scenario);
   if (it == breakers_.end()) {
     it = breakers_
@@ -95,7 +95,7 @@ resilience::CircuitBreaker* ModelServer::BreakerFor(
 }
 
 Status ModelServer::Undeploy(const std::string& scenario) {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(registry_mu_);
   if (deployments_.erase(scenario) == 0) {
     return Status::NotFound("scenario " + scenario);
   }
@@ -103,12 +103,12 @@ Status ModelServer::Undeploy(const std::string& scenario) {
 }
 
 bool ModelServer::IsDeployed(const std::string& scenario) const {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(registry_mu_);
   return deployments_.count(scenario) > 0;
 }
 
 std::vector<std::string> ModelServer::Scenarios() const {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(registry_mu_);
   std::vector<std::string> out;
   for (const auto& [name, deployment] : deployments_) out.push_back(name);
   return out;
@@ -116,7 +116,7 @@ std::vector<std::string> ModelServer::Scenarios() const {
 
 std::shared_ptr<ModelServer::Deployment> ModelServer::FindDeployment(
     const std::string& scenario) const {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(registry_mu_);
   auto it = deployments_.find(scenario);
   return it == deployments_.end() ? nullptr : it->second;
 }
@@ -125,7 +125,7 @@ Result<std::vector<float>> ModelServer::PredictOn(
     const std::shared_ptr<Deployment>& deployment, const data::Batch& batch) {
   // Per-deployment lock: the model's forward pass mutates training-mode
   // state, so concurrent requests to one scenario serialize here.
-  std::lock_guard<std::mutex> model_lock(deployment->mu);
+  MutexLock model_lock(deployment->mu);
   if (deployment->model == nullptr) {
     return Status::NotFound("deployment has no model");
   }
@@ -194,7 +194,7 @@ Result<std::vector<float>> ModelServer::Predict(const std::string& scenario,
 Result<LatencyStats> ModelServer::GetLatencyStats(
     const std::string& scenario) const {
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(registry_mu_);
     if (deployments_.find(scenario) == deployments_.end()) {
       return Status::NotFound("scenario " + scenario);
     }
@@ -215,14 +215,14 @@ Result<int64_t> ModelServer::FlopsPerSample(
     const std::string& scenario) const {
   std::shared_ptr<Deployment> deployment;
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(registry_mu_);
     auto it = deployments_.find(scenario);
     if (it == deployments_.end()) {
       return Status::NotFound("scenario " + scenario);
     }
     deployment = it->second;
   }
-  std::lock_guard<std::mutex> model_lock(deployment->mu);
+  MutexLock model_lock(deployment->mu);
   if (deployment->model == nullptr) {
     return Status::NotFound("scenario " + scenario + " has no model");
   }
@@ -233,14 +233,14 @@ Status ModelServer::ExportBundle(const std::string& scenario,
                                  const std::string& path) const {
   std::shared_ptr<Deployment> deployment;
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(registry_mu_);
     auto it = deployments_.find(scenario);
     if (it == deployments_.end()) {
       return Status::NotFound("scenario " + scenario);
     }
     deployment = it->second;
   }
-  std::lock_guard<std::mutex> model_lock(deployment->mu);
+  MutexLock model_lock(deployment->mu);
   if (deployment->model == nullptr) {
     return Status::NotFound("scenario " + scenario + " has no model");
   }

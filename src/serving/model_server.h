@@ -3,7 +3,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,7 +10,9 @@
 #include "src/models/base_model.h"
 #include "src/obs/metrics.h"
 #include "src/resilience/circuit_breaker.h"
+#include "src/util/mutex.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace alt {
 namespace serving {
@@ -120,8 +121,10 @@ class ModelServer {
 
  private:
   struct Deployment {
-    std::unique_ptr<models::BaseModel> model;
-    std::mutex mu;
+    Mutex mu;
+    /// The serving model; swapped atomically by TryDeploy, serialized per
+    /// scenario by PredictOn.
+    std::unique_ptr<models::BaseModel> model ALT_GUARDED_BY(mu);
     obs::Histogram* latency_ms = nullptr;  // Owned by the registry.
   };
 
@@ -136,20 +139,28 @@ class ModelServer {
   Result<std::vector<float>> FallbackPredict(const std::string& scenario,
                                              const data::Batch& batch);
   /// Lazily creates the scenario's breaker (callers must not hold
-  /// registry_mu_).
-  resilience::CircuitBreaker* BreakerFor(const std::string& scenario);
+  /// registry_mu_: breaker construction registers metrics, and the two
+  /// locks must never nest).
+  resilience::CircuitBreaker* BreakerFor(const std::string& scenario)
+      ALT_EXCLUDES(registry_mu_, breakers_mu_);
 
   /// Deployments are shared_ptrs so an in-flight Predict keeps its
   /// deployment alive across a concurrent Undeploy.
   obs::MetricsRegistry* registry_;
-  mutable std::mutex registry_mu_;
-  std::map<std::string, std::shared_ptr<Deployment>> deployments_;
+  mutable Mutex registry_mu_;
+  std::map<std::string, std::shared_ptr<Deployment>> deployments_
+      ALT_GUARDED_BY(registry_mu_);
 
+  // Resilience configuration (resilience_enabled_, resilience_, clock_ and
+  // the counter handles below) is written once by SetResilience before the
+  // server takes resilient traffic, then read without locking on the
+  // Predict path; it is deliberately not lock-guarded.
   bool resilience_enabled_ = false;
   ServingResilienceOptions resilience_;
   resilience::Clock* clock_ = nullptr;
-  mutable std::mutex breakers_mu_;
-  std::map<std::string, std::unique_ptr<resilience::CircuitBreaker>> breakers_;
+  mutable Mutex breakers_mu_;
+  std::map<std::string, std::unique_ptr<resilience::CircuitBreaker>> breakers_
+      ALT_GUARDED_BY(breakers_mu_);
   obs::Counter* fallbacks_total_ = nullptr;         // Owned by the registry.
   obs::Counter* unknown_fallbacks_total_ = nullptr; // Owned by the registry.
   obs::Counter* deadline_exceeded_total_ = nullptr; // Owned by the registry.

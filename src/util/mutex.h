@@ -1,0 +1,97 @@
+#ifndef ALT_SRC_UTIL_MUTEX_H_
+#define ALT_SRC_UTIL_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "src/util/thread_annotations.h"
+
+/// Annotated synchronization primitives --------------------------------------
+///
+/// `alt::Mutex` wraps std::mutex and carries the `capability` attribute that
+/// Clang's thread-safety analysis needs: `ALT_GUARDED_BY(mu)` is only legal
+/// when `mu` is a capability-annotated type, so guarded state must hang off
+/// an alt::Mutex, never a bare std::mutex. `alt::MutexLock` is the RAII
+/// holder (scoped capability) and `alt::CondVar` wraps
+/// std::condition_variable_any so waits can be expressed against an
+/// alt::Mutex directly — Mutex satisfies BasicLockable, and the wait methods
+/// are `ALT_REQUIRES(mu)` so both Clang and tools/alt_analyze see the lock
+/// contract.
+///
+/// Style note: condition waits use explicit `while (!pred) cv.Wait(mu);`
+/// loops rather than lambda predicates. Clang's analysis cannot see the held
+/// capability inside a lambda body, so predicate closures over guarded
+/// fields would produce false positives under -Werror=thread-safety.
+
+namespace alt {
+
+/// A std::mutex with Clang capability annotations. Satisfies Lockable, so it
+/// works with std::lock_guard / std::unique_lock as well as alt::MutexLock.
+class ALT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ALT_ACQUIRE() { mu_.lock(); }
+  void unlock() ALT_RELEASE() { mu_.unlock(); }
+  bool try_lock() ALT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock over alt::Mutex. Equivalent to std::lock_guard but visible to
+/// the thread-safety analysis as a scoped capability.
+class ALT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ALT_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() ALT_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable usable with alt::Mutex. The Wait* methods require the
+/// mutex to be held on entry (and hold it again on return), exactly like
+/// std::condition_variable::wait with a unique_lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and reacquires `mu` before returning.
+  void Wait(Mutex& mu) ALT_REQUIRES(mu) { cv_.wait(mu); }
+
+  /// As Wait, but returns std::cv_status::timeout once `deadline` passes.
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(Mutex& mu,
+                           const std::chrono::time_point<Clock, Duration>&
+                               deadline) ALT_REQUIRES(mu) {
+    return cv_.wait_until(mu, deadline);
+  }
+
+  /// As Wait, but returns std::cv_status::timeout after `rel_time`.
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& rel_time)
+      ALT_REQUIRES(mu) {
+    return cv_.wait_for(mu, rel_time);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace alt
+
+#endif  // ALT_SRC_UTIL_MUTEX_H_

@@ -1,0 +1,78 @@
+#ifndef ALT_SRC_UTIL_THREAD_ANNOTATIONS_H_
+#define ALT_SRC_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Thread-safety annotation macros -------------------------------------------
+///
+/// Wrappers over Clang's thread-safety attributes
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), spelled with an
+/// ALT_ prefix so the repo builds on any compiler:
+///
+///   - under Clang with the `ALT_THREAD_SAFETY` CMake option ON
+///     (`-DALT_THREAD_SAFETY=ON`, which also adds `-Wthread-safety
+///     -Werror=thread-safety`), the macros expand to the real attributes and
+///     the compiler proves lock discipline;
+///   - everywhere else they expand to nothing.
+///
+/// Independently of the compiler, `tools/alt_analyze` parses these
+/// annotations lexically and enforces the same discipline (rules A101-A103),
+/// so GCC-only builds still get a checked contract.
+///
+/// Usage rules (see DESIGN.md "Static analysis"):
+///   - every mutable field shared between threads is `ALT_GUARDED_BY(mu)`
+///     (atomics excepted: they synchronize themselves);
+///   - private helpers called with the lock held are `ALT_REQUIRES(mu)`
+///     and carry the `Locked` name suffix;
+///   - public entry points that take the lock themselves may declare
+///     `ALT_EXCLUDES(mu)` to document (and check) non-reentrancy;
+///   - the annotated capability type is `alt::Mutex` (src/util/mutex.h) —
+///     Clang rejects `guarded_by` on a plain std::mutex, which carries no
+///     capability attribute.
+
+#if defined(ALT_THREAD_SAFETY) && defined(__clang__)
+#define ALT_TS_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define ALT_TS_ATTRIBUTE_(x)
+#endif
+
+/// Class attribute: the type is a lockable capability ("mutex").
+#define ALT_CAPABILITY(x) ALT_TS_ATTRIBUTE_(capability(x))
+
+/// Class attribute: RAII object that holds a capability for its lifetime.
+#define ALT_SCOPED_CAPABILITY ALT_TS_ATTRIBUTE_(scoped_lockable)
+
+/// Field attribute: reads/writes require holding `x`.
+#define ALT_GUARDED_BY(x) ALT_TS_ATTRIBUTE_(guarded_by(x))
+
+/// Field attribute: the pointed-to data requires holding `x`.
+#define ALT_PT_GUARDED_BY(x) ALT_TS_ATTRIBUTE_(pt_guarded_by(x))
+
+/// Function attribute: the caller must hold the capability on entry.
+#define ALT_REQUIRES(...) ALT_TS_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+/// Function attribute: the caller must NOT hold the capability (the
+/// function acquires it itself; calling it with the lock held deadlocks).
+#define ALT_EXCLUDES(...) ALT_TS_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+/// Function attribute: acquires the capability (held on return).
+#define ALT_ACQUIRE(...) ALT_TS_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+
+/// Function attribute: releases the capability (not held on return).
+#define ALT_RELEASE(...) ALT_TS_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+/// Function attribute: acquires the capability when returning `value`.
+#define ALT_TRY_ACQUIRE(...) \
+  ALT_TS_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+/// Function attribute: asserts the capability is held (runtime-checked
+/// elsewhere; informs the static analysis only).
+#define ALT_ASSERT_CAPABILITY(x) ALT_TS_ATTRIBUTE_(assert_capability(x))
+
+/// Function attribute: returns a reference to the named capability.
+#define ALT_RETURN_CAPABILITY(x) ALT_TS_ATTRIBUTE_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Use with a
+/// comment explaining why the discipline cannot be expressed.
+#define ALT_NO_THREAD_SAFETY_ANALYSIS \
+  ALT_TS_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // ALT_SRC_UTIL_THREAD_ANNOTATIONS_H_

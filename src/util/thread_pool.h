@@ -1,13 +1,14 @@
 #ifndef ALT_SRC_UTIL_THREAD_POOL_H_
 #define ALT_SRC_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace alt {
 
@@ -16,6 +17,11 @@ namespace alt {
 /// scenario handling, and as the backing pool of the compute-kernel layer
 /// (see src/util/parallel_for.h). The pool can grow (EnsureWorkers) but never
 /// shrinks before destruction.
+///
+/// Thread safety: all state is guarded by `mutex_`; every public method is
+/// safe to call from any thread, including from inside running tasks
+/// (Submit/EnsureWorkers re-acquire the lock only briefly). WaitIdle must
+/// not be called from a pool task — it would wait for itself.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -26,38 +32,39 @@ class ThreadPool {
 
   /// Enqueues `fn` and returns a future for its result.
   template <typename Fn>
-  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>>
+      ALT_EXCLUDES(mutex_) {
     using R = std::invoke_result_t<Fn>;
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> result = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       queue_.emplace_back([task]() { (*task)(); });
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return result;
   }
 
   /// Blocks until every queued and running task has finished.
-  void WaitIdle();
+  void WaitIdle() ALT_EXCLUDES(mutex_);
 
   /// Grows the pool to at least `num_threads` workers. No-op if the pool is
   /// already that large; safe to call while tasks are running.
-  void EnsureWorkers(size_t num_threads);
+  void EnsureWorkers(size_t num_threads) ALT_EXCLUDES(mutex_);
 
-  size_t num_threads() const;
+  size_t num_threads() const ALT_EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() ALT_EXCLUDES(mutex_);
 
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  size_t active_ = 0;
-  bool shutdown_ = false;
+  mutable Mutex mutex_;
+  std::vector<std::thread> workers_ ALT_GUARDED_BY(mutex_);
+  std::deque<std::function<void()>> queue_ ALT_GUARDED_BY(mutex_);
+  CondVar cv_;
+  CondVar idle_cv_;
+  size_t active_ ALT_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ ALT_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace alt

@@ -1,0 +1,1424 @@
+// alt_analyze: static analyzer for the ALT codebase — lock discipline and
+// architecture layering. Sibling of alt_lint (same waiver syntax, same
+// standalone-by-design build) but a different concern: alt_lint polices
+// local idiom; alt_analyze checks cross-file structural invariants.
+//
+// Pass 1 — lock discipline. The thread-safety annotation macros
+// (src/util/thread_annotations.h) expand to Clang attributes under
+// -DALT_THREAD_SAFETY with Clang; this pass re-parses them lexically so the
+// same contract is enforced on every compiler, GCC-only CI included:
+//   A101  a member annotated ALT_GUARDED_BY(mu) is used inside one of its
+//         class's function bodies outside a lexical lock scope naming mu.
+//         Lock scopes: `MutexLock l(mu)`, `std::lock_guard/unique_lock/
+//         scoped_lock<...> l(mu)` (to the end of the enclosing block), and
+//         `mu.lock()` ... `mu.unlock()` (to the unlock or block end).
+//   A102  a method annotated ALT_REQUIRES(mu) is called from its own class
+//         without mu held.
+//   A103  a method annotated ALT_EXCLUDES(mu) is called from its own class
+//         while mu is held (lexical deadlock).
+// Deliberate limits of the lexical pass (the Clang build has none of them):
+//   - only members whose names end in '_' are enforced — bare identifiers
+//     of other spellings (nested-struct fields like Histogram::Shard::count)
+//     collide with locals and std:: names too often to match textually;
+//   - constructors and destructors are exempt, mirroring Clang's thread
+//     safety analysis (the object is not yet / no longer shared);
+//   - lambda bodies are skipped: a lambda defined under a lock usually
+//     *escapes* the lock (worker loops, deferred tasks), so neither lock
+//     context nor guarded-member uses inside lambdas are attributed;
+//   - mutexes are compared by their final name component (`shard.mu` and
+//     `other.mu` both normalize to `mu`).
+//
+// Pass 2 — architecture layering, driven by tools/layers.conf (see the
+// grammar there):
+//   A001  a src/<A>/ file includes a src/<B>/ header with rank(B) > rank(A),
+//         a forbidden (A, B) edge, or a layer directory missing from the
+//         spec entirely.
+//   A002  include cycle among scanned files (one violation per cycle).
+//   A003  orphan public header: a src/ header that no scanned file
+//         includes. Waivable file-wide (an A003 waiver anywhere in the
+//         header counts, since "the" offending line does not exist).
+//
+// Waivers: a comment on the offending line —
+//   `alt_analyze: allow(A101): <reason>`
+// (same syntax as alt_lint). A003 accepts the waiver anywhere in the file.
+//
+// Usage:
+//   alt_analyze [--json] [--layers <file>] <dir> [<dir>...]
+//   alt_analyze --self-test
+// Exit codes: 0 clean, 1 violations, 2 usage/config error.
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+struct Violation {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+
+// Replaces comments and string/char literal contents with spaces, keeping
+// newlines so line numbers survive (same routine as alt_lint).
+std::string StripCommentsAndStrings(const std::string& in) {
+  std::string out = in;
+  size_t i = 0;
+  const size_t n = in.size();
+  auto blank = [&](size_t from, size_t to) {
+    for (size_t k = from; k < to && k < n; ++k) {
+      if (out[k] != '\n') out[k] = ' ';
+    }
+  };
+  while (i < n) {
+    const char c = in[i];
+    if (c == '/' && i + 1 < n && in[i + 1] == '/') {
+      size_t end = in.find('\n', i);
+      if (end == std::string::npos) end = n;
+      blank(i, end);
+      i = end;
+    } else if (c == '/' && i + 1 < n && in[i + 1] == '*') {
+      size_t end = in.find("*/", i + 2);
+      end = end == std::string::npos ? n : end + 2;
+      blank(i, end);
+      i = end;
+    } else if (c == 'R' && i + 1 < n && in[i + 1] == '"' &&
+               (i == 0 || !IsIdentChar(in[i - 1]))) {
+      const size_t paren = in.find('(', i + 2);
+      if (paren == std::string::npos) break;
+      const std::string delim = ")" + in.substr(i + 2, paren - i - 2) + "\"";
+      size_t end = in.find(delim, paren + 1);
+      end = end == std::string::npos ? n : end + delim.size();
+      blank(i, end);
+      i = end;
+    } else if (c == '"' || (c == '\'' && (i == 0 || !IsIdentChar(in[i - 1])))) {
+      size_t j = i + 1;
+      while (j < n && in[j] != c) {
+        j += in[j] == '\\' ? 2 : 1;
+      }
+      blank(i + 1, j);  // Keep the quotes; they still delimit tokens.
+      i = j < n ? j + 1 : n;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+int LineOfOffset(const std::string& text, size_t offset) {
+  return 1 + static_cast<int>(std::count(text.begin(),
+                                         text.begin() +
+                                             static_cast<std::ptrdiff_t>(
+                                                 std::min(offset, text.size())),
+                                         '\n'));
+}
+
+// True when line `line` (1-based) of the original content carries a
+// same-line `alt_analyze: allow(<rule>)` comment.
+bool HasWaiver(const std::string& content, int line, const std::string& rule) {
+  size_t start = 0;
+  for (int l = 1; l < line; ++l) {
+    start = content.find('\n', start);
+    if (start == std::string::npos) return false;
+    ++start;
+  }
+  size_t end = content.find('\n', start);
+  if (end == std::string::npos) end = content.size();
+  return content.substr(start, end - start)
+             .find("alt_analyze: allow(" + rule + ")") != std::string::npos;
+}
+
+bool HasFileWaiver(const std::string& content, const std::string& rule) {
+  return content.find("alt_analyze: allow(" + rule + ")") != std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Layer spec
+
+struct LayerSpec {
+  std::map<std::string, int> rank;                       // layer -> rank
+  std::set<std::pair<std::string, std::string>> forbid;  // (from, to)
+  std::string error;  // Non-empty: parse failure.
+};
+
+LayerSpec ParseLayers(const std::string& text) {
+  LayerSpec spec;
+  std::istringstream in(text);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const size_t hash = raw.find('#');
+    std::istringstream line(hash == std::string::npos ? raw
+                                                      : raw.substr(0, hash));
+    std::string directive;
+    if (!(line >> directive)) continue;
+    if (directive == "layer") {
+      std::string name;
+      int r = 0;
+      if (!(line >> name >> r)) {
+        spec.error = "line " + std::to_string(lineno) +
+                     ": expected `layer <name> <rank>`";
+        return spec;
+      }
+      spec.rank[name] = r;
+    } else if (directive == "forbid") {
+      std::string from, to;
+      if (!(line >> from >> to)) {
+        spec.error = "line " + std::to_string(lineno) +
+                     ": expected `forbid <from> <to>`";
+        return spec;
+      }
+      spec.forbid.emplace(from, to);
+    } else {
+      spec.error = "line " + std::to_string(lineno) +
+                   ": unknown directive `" + directive + "`";
+      return spec;
+    }
+  }
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Per-file lexical structure
+
+struct ClassBody {
+  std::string name;
+  size_t open = 0;   // Offset of '{'.
+  size_t close = 0;  // Offset of matching '}'.
+};
+
+struct LockRegion {
+  size_t begin = 0;
+  size_t end = 0;
+  std::set<std::string> mutexes;  // Normalized names held in [begin, end).
+};
+
+struct FunctionDef {
+  std::string owner;  // Enclosing/qualifying class name ("" = free function).
+  std::string name;
+  size_t body_open = 0;   // Offset of '{' (0/0 for pure declarations).
+  size_t body_close = 0;
+  bool is_ctor_dtor = false;
+  std::vector<std::string> requires_mutexes;  // From ALT_REQUIRES.
+  std::vector<std::string> excludes_mutexes;  // From ALT_EXCLUDES.
+};
+
+struct FileData {
+  std::string path;      // As given (for messages).
+  std::string rel;       // Repo-relative key ("src/util/mutex.h").
+  std::string content;   // Original.
+  std::string stripped;  // Comments/strings blanked.
+  std::map<size_t, size_t> brace_match;            // '{' offset -> '}' offset.
+  std::vector<std::pair<size_t, size_t>> lambdas;  // Lambda body ranges.
+  std::vector<ClassBody> classes;
+  std::vector<FunctionDef> functions;
+  std::vector<std::pair<std::string, size_t>> includes;  // (target, offset)
+};
+
+// Repo-relative path: the suffix starting at the last known root component
+// (src/tests/bench/tools/examples); the path itself when none matches.
+std::string RelPath(const std::string& path) {
+  std::string norm = path;
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  size_t best = std::string::npos;
+  for (const char* root : {"src/", "tests/", "bench/", "tools/", "examples/"}) {
+    const std::string needle = std::string("/") + root;
+    const size_t at = norm.rfind(needle);
+    if (at != std::string::npos && (best == std::string::npos || at > best)) {
+      best = at + 1;
+    }
+    if (norm.rfind(root, 0) == 0 && best == std::string::npos) best = 0;
+  }
+  return best == std::string::npos ? norm : norm.substr(best);
+}
+
+// Layer of a repo-relative path: "util" for "src/util/x.h", "" outside src/.
+std::string LayerOf(const std::string& rel) {
+  if (rel.rfind("src/", 0) != 0) return "";
+  const size_t slash = rel.find('/', 4);
+  if (slash == std::string::npos) return "";
+  return rel.substr(4, slash - 4);
+}
+
+size_t SkipWs(const std::string& s, size_t j) {
+  while (j < s.size() && IsSpace(s[j])) ++j;
+  return j;
+}
+
+size_t SkipWsBack(const std::string& s, size_t j) {
+  while (j > 0 && IsSpace(s[j - 1])) --j;
+  return j;
+}
+
+// Matches a bracketed region starting at `open` (one of ( [ { <) and
+// returns the offset of the closing bracket, or npos. '<' matching is
+// naive (no shift-operator awareness) but only used on template argument
+// lists in declarations.
+size_t MatchBracket(const std::string& s, size_t open) {
+  const char oc = s[open];
+  const char cc = oc == '(' ? ')' : oc == '[' ? ']' : oc == '{' ? '}' : '>';
+  int depth = 0;
+  for (size_t j = open; j < s.size(); ++j) {
+    if (s[j] == oc) ++depth;
+    if (s[j] == cc && --depth == 0) return j;
+  }
+  return std::string::npos;
+}
+
+// Normalizes a mutex expression to its final name component: "shard.mu" ->
+// "mu", "&obj->mu_" -> "mu_", "ns::m" -> "m". Whitespace is dropped.
+std::string NormalizeMutex(const std::string& expr) {
+  std::string flat;
+  for (char c : expr) {
+    if (!IsSpace(c)) flat += c;
+  }
+  size_t start = 0;
+  for (size_t j = 0; j < flat.size(); ++j) {
+    if (!IsIdentChar(flat[j])) start = j + 1;
+  }
+  return flat.substr(start);
+}
+
+const std::set<std::string>& ControlKeywords() {
+  static const std::set<std::string> kw = {
+      "if",     "for",     "while",  "switch", "return", "catch",
+      "sizeof", "alignof", "do",     "else",   "new",    "delete",
+      "case",   "defined", "static_assert", "decltype", "throw",
+      "co_return", "co_await", "co_yield", "using", "typedef",
+      "alignas", "noexcept", "assert", "operator"};
+  return kw;
+}
+
+// Reads the identifier ending at `end` (exclusive); empty when none.
+std::string IdentEndingAt(const std::string& s, size_t end, size_t* start_out) {
+  size_t start = end;
+  while (start > 0 && IsIdentChar(s[start - 1])) --start;
+  if (start_out != nullptr) *start_out = start;
+  return s.substr(start, end - start);
+}
+
+void ComputeBraces(FileData* f) {
+  std::vector<size_t> stack;
+  for (size_t j = 0; j < f->stripped.size(); ++j) {
+    if (f->stripped[j] == '{') stack.push_back(j);
+    if (f->stripped[j] == '}' && !stack.empty()) {
+      f->brace_match[stack.back()] = j;
+      stack.pop_back();
+    }
+  }
+}
+
+// Innermost brace block containing `pos`, as its (open, close) pair;
+// (npos, npos) when outside every block.
+std::pair<size_t, size_t> EnclosingBlock(const FileData& f, size_t pos) {
+  std::pair<size_t, size_t> best{std::string::npos, std::string::npos};
+  for (const auto& [open, close] : f.brace_match) {
+    if (open < pos && pos < close &&
+        (best.first == std::string::npos || open > best.first)) {
+      best = {open, close};
+    }
+  }
+  return best;
+}
+
+// Lambda body ranges: `[captures] (params)? specifiers? -> type? {`.
+// A '[' preceded by an identifier, ')' or ']' is a subscript, not a lambda.
+void ComputeLambdas(FileData* f) {
+  const std::string& s = f->stripped;
+  for (size_t j = 0; j < s.size(); ++j) {
+    if (s[j] != '[') continue;
+    const size_t before = SkipWsBack(s, j);
+    if (before > 0) {
+      const char prev = s[before - 1];
+      if (IsIdentChar(prev) || prev == ')' || prev == ']') continue;
+    }
+    const size_t close = MatchBracket(s, j);
+    if (close == std::string::npos) continue;
+    size_t k = SkipWs(s, close + 1);
+    if (k < s.size() && s[k] == '(') {
+      const size_t pclose = MatchBracket(s, k);
+      if (pclose == std::string::npos) continue;
+      k = SkipWs(s, pclose + 1);
+    }
+    // Specifiers / trailing return type: identifiers, template args, refs.
+    while (k < s.size() &&
+           (IsIdentChar(s[k]) || IsSpace(s[k]) || s[k] == ':' || s[k] == '<' ||
+            s[k] == '>' || s[k] == ',' || s[k] == '&' || s[k] == '*' ||
+            s[k] == '-')) {
+      ++k;
+    }
+    if (k >= s.size() || s[k] != '{') continue;
+    const auto body_close = f->brace_match.find(k);
+    if (body_close == f->brace_match.end()) continue;
+    f->lambdas.emplace_back(k, body_close->second);
+  }
+}
+
+bool InLambda(const FileData& f, size_t pos) {
+  for (const auto& [open, close] : f.lambdas) {
+    if (open < pos && pos < close) return true;
+  }
+  return false;
+}
+
+// Class/struct bodies. Skips forward declarations, `enum class`, and the
+// ALT_CAPABILITY(...)-style attribute macros between keyword and name.
+void ComputeClasses(FileData* f) {
+  const std::string& s = f->stripped;
+  for (const char* kw : {"class", "struct"}) {
+    const std::string token(kw);
+    for (size_t pos = s.find(token); pos != std::string::npos;
+         pos = s.find(token, pos + 1)) {
+      if (pos > 0 && IsIdentChar(s[pos - 1])) continue;
+      size_t j = pos + token.size();
+      if (j < s.size() && IsIdentChar(s[j])) continue;
+      const size_t prev_end = SkipWsBack(s, pos);
+      size_t prev_start = 0;
+      if (IdentEndingAt(s, prev_end, &prev_start) == "enum") continue;
+      j = SkipWs(s, j);
+      // Skip ALT_* attribute macros (ALT_CAPABILITY("mutex"), ...).
+      while (s.compare(j, 4, "ALT_") == 0) {
+        while (j < s.size() && IsIdentChar(s[j])) ++j;
+        j = SkipWs(s, j);
+        if (j < s.size() && s[j] == '(') {
+          const size_t close = MatchBracket(s, j);
+          if (close == std::string::npos) break;
+          j = SkipWs(s, close + 1);
+        }
+      }
+      size_t name_end = j;
+      while (name_end < s.size() && IsIdentChar(s[name_end])) ++name_end;
+      if (name_end == j) continue;  // Anonymous or not a declaration.
+      const std::string name = s.substr(j, name_end - j);
+      // Scan to '{' (definition) or ';' (forward declaration / variable).
+      size_t k = name_end;
+      int angle = 0;
+      for (; k < s.size(); ++k) {
+        if (s[k] == '<') ++angle;
+        if (s[k] == '>' && angle > 0) --angle;
+        if (angle == 0 && (s[k] == '{' || s[k] == ';' || s[k] == '(')) break;
+      }
+      if (k >= s.size() || s[k] != '{') continue;
+      const auto close = f->brace_match.find(k);
+      if (close == f->brace_match.end()) continue;
+      f->classes.push_back({name, k, close->second});
+    }
+  }
+}
+
+// Innermost class body containing `pos`; "" when none.
+std::string EnclosingClass(const FileData& f, size_t pos) {
+  const ClassBody* best = nullptr;
+  for (const ClassBody& c : f.classes) {
+    if (c.open < pos && pos < c.close &&
+        (best == nullptr || c.open > best->open)) {
+      best = &c;
+    }
+  }
+  return best == nullptr ? "" : best->name;
+}
+
+// Parses an ALT_REQUIRES/ALT_EXCLUDES argument list into normalized names.
+std::vector<std::string> SplitMutexArgs(const std::string& args) {
+  std::vector<std::string> out;
+  std::string cur;
+  int depth = 0;
+  for (char c : args) {
+    if (c == '(' || c == '<') ++depth;
+    if (c == ')' || c == '>') --depth;
+    if (c == ',' && depth == 0) {
+      if (!NormalizeMutex(cur).empty()) out.push_back(NormalizeMutex(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!NormalizeMutex(cur).empty()) out.push_back(NormalizeMutex(cur));
+  return out;
+}
+
+// Function definitions and annotated declarations. For every `name(...)`
+// followed by qualifiers and a '{' (definition) or ';' (declaration),
+// records owner class, ALT_REQUIRES/ALT_EXCLUDES annotations, and the body
+// range. Control-flow keywords and lambdas never match (no identifier
+// directly before their '(').
+void ComputeFunctions(FileData* f) {
+  const std::string& s = f->stripped;
+  for (size_t j = 0; j < s.size(); ++j) {
+    if (s[j] != '(') continue;
+    const size_t name_end = SkipWsBack(s, j);
+    size_t name_start = 0;
+    std::string name = IdentEndingAt(s, name_end, &name_start);
+    if (name.empty()) continue;
+    if (ControlKeywords().count(name) != 0) continue;
+    if (name.rfind("ALT_", 0) == 0) continue;  // Annotation macro, not a def.
+    // Qualification chain: A::B::name — owner is the last qualifier.
+    std::string owner;
+    bool dtor = false;
+    size_t chain = name_start;
+    if (chain > 0 && s[chain - 1] == '~') {
+      dtor = true;
+      --chain;
+    }
+    while (chain >= 2 && s[chain - 1] == ':' && s[chain - 2] == ':') {
+      size_t qual_start = 0;
+      const std::string qual = IdentEndingAt(s, chain - 2, &qual_start);
+      if (qual.empty()) break;
+      if (owner.empty()) owner = qual;  // Innermost qualifier wins.
+      chain = qual_start;
+    }
+    const size_t close = MatchBracket(s, j);
+    if (close == std::string::npos) continue;
+    // Scan qualifiers between ')' and '{'/';'.
+    size_t k = close + 1;
+    FunctionDef def;
+    bool parsed = false;
+    while (k < s.size()) {
+      k = SkipWs(s, k);
+      if (k >= s.size()) break;
+      const char c = s[k];
+      if (c == '{') {
+        def.body_open = k;
+        const auto it = f->brace_match.find(k);
+        if (it == f->brace_match.end()) break;
+        def.body_close = it->second;
+        parsed = true;
+        break;
+      }
+      if (c == ';') {
+        parsed = true;  // Declaration: keep annotations, no body.
+        break;
+      }
+      if (c == ':') {  // Constructor initializer list.
+        ++k;
+        bool init_ok = true;
+        while (init_ok) {
+          k = SkipWs(s, k);
+          size_t ident_end = k;
+          while (ident_end < s.size() && IsIdentChar(s[ident_end])) ++ident_end;
+          if (ident_end == k) {
+            init_ok = false;
+            break;
+          }
+          k = SkipWs(s, ident_end);
+          if (k < s.size() && (s[k] == '(' || s[k] == '{')) {
+            const size_t bclose = MatchBracket(s, k);
+            if (bclose == std::string::npos) {
+              init_ok = false;
+              break;
+            }
+            k = SkipWs(s, bclose + 1);
+          }
+          if (k < s.size() && s[k] == ',') {
+            ++k;
+            continue;
+          }
+          break;
+        }
+        if (!init_ok) break;
+        continue;  // Expect '{' next.
+      }
+      if (s.compare(k, 2, "->") == 0) {  // Trailing return type.
+        k += 2;
+        while (k < s.size()) {
+          if (IsSpace(s[k]) || s[k] == ':' || s[k] == '<' || s[k] == '>' ||
+              s[k] == ',' || s[k] == '&' || s[k] == '*') {
+            ++k;
+            continue;
+          }
+          if (IsIdentChar(s[k])) {
+            size_t ident_end = k;
+            while (ident_end < s.size() && IsIdentChar(s[ident_end])) {
+              ++ident_end;
+            }
+            const std::string ident = s.substr(k, ident_end - k);
+            if (ident.rfind("ALT_", 0) == 0) break;  // Annotation macro.
+            k = ident_end;
+            continue;
+          }
+          break;
+        }
+        continue;
+      }
+      if (IsIdentChar(c)) {
+        size_t ident_end = k;
+        while (ident_end < s.size() && IsIdentChar(s[ident_end])) ++ident_end;
+        const std::string ident = s.substr(k, ident_end - k);
+        if (ident == "const" || ident == "override" || ident == "final" ||
+            ident == "mutable" || ident == "try" || ident == "noexcept") {
+          k = SkipWs(s, ident_end);
+          if (k < s.size() && s[k] == '(') {  // noexcept(...)
+            const size_t nclose = MatchBracket(s, k);
+            if (nclose == std::string::npos) break;
+            k = nclose + 1;
+          }
+          continue;
+        }
+        if (ident.rfind("ALT_", 0) == 0) {
+          k = SkipWs(s, ident_end);
+          std::string args;
+          if (k < s.size() && s[k] == '(') {
+            const size_t aclose = MatchBracket(s, k);
+            if (aclose == std::string::npos) break;
+            args = s.substr(k + 1, aclose - k - 1);
+            k = aclose + 1;
+          }
+          if (ident == "ALT_REQUIRES") {
+            for (std::string& m : SplitMutexArgs(args)) {
+              def.requires_mutexes.push_back(std::move(m));
+            }
+          } else if (ident == "ALT_EXCLUDES") {
+            for (std::string& m : SplitMutexArgs(args)) {
+              def.excludes_mutexes.push_back(std::move(m));
+            }
+          }
+          continue;
+        }
+        break;  // Some other identifier: not a function definition.
+      }
+      if (c == '=') {  // `= 0;`, `= default;`, `= delete;`
+        size_t semi = s.find(';', k);
+        if (semi == std::string::npos) break;
+        k = semi;
+        continue;
+      }
+      break;  // Operator or punctuation: a call expression, not a def.
+    }
+    if (!parsed) continue;
+    if (owner.empty()) owner = EnclosingClass(*f, j);
+    if (owner.empty() && def.body_open == 0) continue;  // Free declaration.
+    def.owner = owner;
+    def.name = dtor ? "~" + name : name;
+    def.is_ctor_dtor = dtor || name == owner;
+    f->functions.push_back(std::move(def));
+  }
+}
+
+// `#include "..."` targets with offsets (from stripped text for comment
+// safety; the quoted path is read from the original).
+void ComputeIncludes(FileData* f) {
+  const std::string& s = f->stripped;
+  const std::string token = "#include";
+  for (size_t pos = s.find(token); pos != std::string::npos;
+       pos = s.find(token, pos + token.size())) {
+    size_t j = SkipWs(s, pos + token.size());
+    if (j >= s.size() || s[j] != '"') continue;
+    const size_t close = s.find('"', j + 1);
+    if (close == std::string::npos) continue;
+    f->includes.emplace_back(f->content.substr(j + 1, close - j - 1), pos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lock-discipline pass (A101-A103)
+
+struct Annotations {
+  // class -> member -> normalized mutex name.
+  std::map<std::string, std::map<std::string, std::string>> guarded;
+  // class -> method -> normalized mutex names.
+  std::map<std::string, std::map<std::string, std::vector<std::string>>>
+      requires_map;
+  std::map<std::string, std::map<std::string, std::vector<std::string>>>
+      excludes_map;
+};
+
+void CollectGuardedMembers(const FileData& f, Annotations* ann) {
+  const std::string& s = f.stripped;
+  const std::string token = "ALT_GUARDED_BY";
+  for (size_t pos = s.find(token); pos != std::string::npos;
+       pos = s.find(token, pos + 1)) {
+    if (pos > 0 && IsIdentChar(s[pos - 1])) continue;
+    size_t j = SkipWs(s, pos + token.size());
+    if (j >= s.size() || s[j] != '(') continue;
+    const size_t close = MatchBracket(s, j);
+    if (close == std::string::npos) continue;
+    const std::string mutex_name =
+        NormalizeMutex(s.substr(j + 1, close - j - 1));
+    size_t member_start = 0;
+    const std::string member =
+        IdentEndingAt(s, SkipWsBack(s, pos), &member_start);
+    const std::string owner = EnclosingClass(f, pos);
+    if (member.empty() || mutex_name.empty() || owner.empty()) continue;
+    ann->guarded[owner][member] = mutex_name;
+  }
+}
+
+void CollectMethodAnnotations(const FileData& f, Annotations* ann) {
+  for (const FunctionDef& def : f.functions) {
+    if (def.owner.empty()) continue;
+    for (const std::string& m : def.requires_mutexes) {
+      ann->requires_map[def.owner][def.name].push_back(m);
+    }
+    for (const std::string& m : def.excludes_mutexes) {
+      ann->excludes_map[def.owner][def.name].push_back(m);
+    }
+  }
+}
+
+// Lock scopes inside one function body.
+std::vector<LockRegion> ComputeLockRegions(const FileData& f,
+                                           const FunctionDef& def) {
+  std::vector<LockRegion> regions;
+  const std::string& s = f.stripped;
+  // RAII guards: MutexLock / std::lock_guard / unique_lock / scoped_lock.
+  for (const char* guard :
+       {"MutexLock", "lock_guard", "unique_lock", "scoped_lock"}) {
+    const std::string token(guard);
+    const bool scoped_multi = token == "scoped_lock";
+    const bool raii_first_arg_only = !scoped_multi;
+    for (size_t pos = s.find(token, def.body_open);
+         pos != std::string::npos && pos < def.body_close;
+         pos = s.find(token, pos + 1)) {
+      if (pos > 0 && IsIdentChar(s[pos - 1])) continue;
+      size_t j = pos + token.size();
+      if (j < s.size() && IsIdentChar(s[j])) continue;
+      j = SkipWs(s, j);
+      if (j < s.size() && s[j] == '<') {  // Template arguments.
+        const size_t aclose = MatchBracket(s, j);
+        if (aclose == std::string::npos) continue;
+        j = SkipWs(s, aclose + 1);
+      }
+      size_t var_end = j;
+      while (var_end < s.size() && IsIdentChar(s[var_end])) ++var_end;
+      if (var_end == j) continue;  // No variable name: a type mention.
+      j = SkipWs(s, var_end);
+      if (j >= s.size() || s[j] != '(') continue;
+      const size_t aclose = MatchBracket(s, j);
+      if (aclose == std::string::npos) continue;
+      std::vector<std::string> args =
+          SplitMutexArgs(s.substr(j + 1, aclose - j - 1));
+      if (args.empty()) continue;
+      if (raii_first_arg_only) args.resize(1);
+      const auto block = EnclosingBlock(f, pos);
+      if (block.first == std::string::npos) continue;
+      LockRegion region;
+      region.begin = aclose + 1;
+      region.end = block.second;
+      region.mutexes.insert(args.begin(), args.end());
+      regions.push_back(std::move(region));
+    }
+  }
+  // Manual lock()/unlock() pairs.
+  const std::string lock_token = "lock";
+  for (size_t pos = s.find(lock_token, def.body_open);
+       pos != std::string::npos && pos < def.body_close;
+       pos = s.find(lock_token, pos + 1)) {
+    if (pos > 0 && IsIdentChar(s[pos - 1])) continue;
+    const size_t after = pos + lock_token.size();
+    if (after < s.size() && IsIdentChar(s[after])) continue;
+    if (SkipWs(s, after) >= s.size() || s[SkipWs(s, after)] != '(') continue;
+    // Receiver: `expr.lock()` or `expr->lock()`.
+    size_t recv_end = pos;
+    if (recv_end >= 1 && s[recv_end - 1] == '.') {
+      recv_end -= 1;
+    } else if (recv_end >= 2 && s.compare(recv_end - 2, 2, "->") == 0) {
+      recv_end -= 2;
+    } else {
+      continue;
+    }
+    size_t recv_start = 0;
+    const std::string receiver = IdentEndingAt(s, recv_end, &recv_start);
+    if (receiver.empty()) continue;
+    const auto block = EnclosingBlock(f, pos);
+    if (block.first == std::string::npos) continue;
+    // Until the matching `receiver.unlock()` (or block end).
+    size_t end = block.second;
+    for (size_t u = s.find("unlock", pos); u != std::string::npos;
+         u = s.find("unlock", u + 1)) {
+      if (u > def.body_close) break;
+      size_t u_recv_end = u;
+      if (u_recv_end >= 1 && s[u_recv_end - 1] == '.') {
+        u_recv_end -= 1;
+      } else if (u_recv_end >= 2 && s.compare(u_recv_end - 2, 2, "->") == 0) {
+        u_recv_end -= 2;
+      } else {
+        continue;
+      }
+      if (IdentEndingAt(s, u_recv_end, nullptr) == receiver) {
+        end = std::min(end, u);
+        break;
+      }
+    }
+    LockRegion region;
+    region.begin = after;
+    region.end = end;
+    region.mutexes.insert(receiver);
+    regions.push_back(std::move(region));
+  }
+  return regions;
+}
+
+bool Held(const std::vector<LockRegion>& regions,
+          const std::vector<std::string>& fn_requires, size_t pos,
+          const std::string& mutex_name) {
+  for (const std::string& m : fn_requires) {
+    if (m == mutex_name) return true;
+  }
+  for (const LockRegion& r : regions) {
+    if (r.begin <= pos && pos < r.end && r.mutexes.count(mutex_name) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CheckLockDiscipline(const FileData& f, const Annotations& ann,
+                         std::vector<Violation>* out) {
+  const std::string& s = f.stripped;
+  for (const FunctionDef& def : f.functions) {
+    if (def.body_open == 0 || def.is_ctor_dtor || def.owner.empty()) continue;
+    const auto guarded_it = ann.guarded.find(def.owner);
+    const auto requires_it = ann.requires_map.find(def.owner);
+    const auto excludes_it = ann.excludes_map.find(def.owner);
+    if (guarded_it == ann.guarded.end() &&
+        requires_it == ann.requires_map.end() &&
+        excludes_it == ann.excludes_map.end()) {
+      continue;
+    }
+    // Effective REQUIRES set: annotations at the definition plus the ones
+    // collected from the in-class declaration.
+    std::vector<std::string> fn_requires = def.requires_mutexes;
+    if (requires_it != ann.requires_map.end()) {
+      const auto by_name = requires_it->second.find(def.name);
+      if (by_name != requires_it->second.end()) {
+        fn_requires.insert(fn_requires.end(), by_name->second.begin(),
+                           by_name->second.end());
+      }
+    }
+    const std::vector<LockRegion> regions = ComputeLockRegions(f, def);
+
+    // A101: guarded members (only '_'-suffixed names — see file comment).
+    if (guarded_it != ann.guarded.end()) {
+      for (const auto& [member, mutex_name] : guarded_it->second) {
+        if (member.empty() || member.back() != '_') continue;
+        for (size_t pos = s.find(member, def.body_open);
+             pos != std::string::npos && pos < def.body_close;
+             pos = s.find(member, pos + 1)) {
+          if (pos > 0 && IsIdentChar(s[pos - 1])) continue;
+          const size_t end = pos + member.size();
+          if (end < s.size() && IsIdentChar(s[end])) continue;
+          // Qualified access (obj.member, ptr->member, Class::member) is
+          // skipped unless the receiver is `this`.
+          const size_t before = SkipWsBack(s, pos);
+          if (before > 0) {
+            const char prev = s[before - 1];
+            if (prev == '.' || prev == ':') continue;
+            if (prev == '>' && before >= 2 && s[before - 2] == '-') {
+              const std::string recv =
+                  IdentEndingAt(s, SkipWsBack(s, before - 2), nullptr);
+              if (recv != "this") continue;
+            }
+          }
+          if (InLambda(f, pos)) continue;
+          if (Held(regions, fn_requires, pos, mutex_name)) continue;
+          out->push_back(
+              {f.path, LineOfOffset(s, pos), "A101",
+               def.owner + "::" + member + " (ALT_GUARDED_BY(" + mutex_name +
+                   ")) used in " + def.name +
+                   " outside a lock scope naming " + mutex_name});
+        }
+      }
+    }
+
+    // A102/A103: bare same-class calls of annotated methods.
+    auto for_each_call = [&](const std::string& method,
+                             const std::function<void(size_t)>& fn) {
+      const std::string token = method;
+      for (size_t pos = s.find(token, def.body_open);
+           pos != std::string::npos && pos < def.body_close;
+           pos = s.find(token, pos + 1)) {
+        if (pos > 0 && IsIdentChar(s[pos - 1])) continue;
+        size_t j = pos + token.size();
+        if (j < s.size() && IsIdentChar(s[j])) continue;
+        if (SkipWs(s, j) >= s.size() || s[SkipWs(s, j)] != '(') continue;
+        const size_t before = SkipWsBack(s, pos);
+        if (before > 0) {
+          const char prev = s[before - 1];
+          if (prev == '.' || prev == ':') continue;  // Other receiver.
+          if (prev == '>' && before >= 2 && s[before - 2] == '-') {
+            const std::string recv =
+                IdentEndingAt(s, SkipWsBack(s, before - 2), nullptr);
+            if (recv != "this") continue;
+          }
+          if (prev == '~') continue;  // Destructor mention.
+        }
+        if (InLambda(f, pos)) continue;
+        if (method == def.name && def.body_open == 0) continue;
+        fn(pos);
+      }
+    };
+    if (requires_it != ann.requires_map.end()) {
+      for (const auto& [method, mutexes] : requires_it->second) {
+        if (method == def.name) continue;  // Own body, handled via regions.
+        for_each_call(method, [&](size_t pos) {
+          for (const std::string& m : mutexes) {
+            if (!Held(regions, fn_requires, pos, m)) {
+              out->push_back({f.path, LineOfOffset(s, pos), "A102",
+                              def.owner + "::" + method + " (ALT_REQUIRES(" +
+                                  m + ")) called from " + def.name +
+                                  " without holding " + m});
+            }
+          }
+        });
+      }
+    }
+    if (excludes_it != ann.excludes_map.end()) {
+      for (const auto& [method, mutexes] : excludes_it->second) {
+        if (method == def.name) continue;
+        for_each_call(method, [&](size_t pos) {
+          for (const std::string& m : mutexes) {
+            if (Held(regions, fn_requires, pos, m)) {
+              out->push_back({f.path, LineOfOffset(s, pos), "A103",
+                              def.owner + "::" + method + " (ALT_EXCLUDES(" +
+                                  m + ")) called from " + def.name +
+                                  " while holding " + m +
+                                  " (lexical deadlock)"});
+            }
+          }
+        });
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Layering pass (A001-A003)
+
+void CheckLayering(const std::vector<FileData>& files, const LayerSpec& spec,
+                   std::vector<Violation>* out) {
+  std::map<std::string, const FileData*> by_rel;
+  for (const FileData& f : files) by_rel[f.rel] = &f;
+
+  // A001: rank/forbid violations on every `#include "src/..."` edge.
+  for (const FileData& f : files) {
+    const std::string from_layer = LayerOf(f.rel);
+    if (!from_layer.empty() && spec.rank.count(from_layer) == 0) {
+      out->push_back({f.path, 1, "A001",
+                      "layer `" + from_layer +
+                          "` is not declared in layers.conf; add a `layer " +
+                          from_layer + " <rank>` entry"});
+      continue;
+    }
+    for (const auto& [target, offset] : f.includes) {
+      const std::string to_layer = LayerOf(target);
+      if (to_layer.empty()) continue;
+      const int line = LineOfOffset(f.stripped, offset);
+      if (spec.rank.count(to_layer) == 0) {
+        if (!from_layer.empty()) {
+          out->push_back({f.path, line, "A001",
+                          "included layer `" + to_layer +
+                              "` is not declared in layers.conf"});
+        }
+        continue;
+      }
+      if (from_layer.empty()) continue;  // tests/bench/tools: unconstrained.
+      if (spec.forbid.count({from_layer, to_layer}) != 0) {
+        out->push_back({f.path, line, "A001",
+                        "forbidden include: layer `" + from_layer +
+                            "` must not include `" + to_layer + "` (" +
+                            target + ")"});
+        continue;
+      }
+      if (spec.rank.at(to_layer) > spec.rank.at(from_layer)) {
+        out->push_back(
+            {f.path, line, "A001",
+             "layering violation: `" + from_layer + "` (rank " +
+                 std::to_string(spec.rank.at(from_layer)) + ") includes `" +
+                 to_layer + "` (rank " +
+                 std::to_string(spec.rank.at(to_layer)) + "): " + target});
+      }
+    }
+  }
+
+  // A002: include cycles via Tarjan SCC over scanned files.
+  std::map<std::string, int> index, lowlink;
+  std::vector<std::string> stack;
+  std::set<std::string> on_stack;
+  int next_index = 0;
+  std::function<void(const std::string&)> strongconnect =
+      [&](const std::string& v) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack.insert(v);
+        for (const auto& [target, offset] : by_rel.at(v)->includes) {
+          (void)offset;
+          if (by_rel.count(target) == 0) continue;
+          if (index.count(target) == 0) {
+            strongconnect(target);
+            lowlink[v] = std::min(lowlink[v], lowlink[target]);
+          } else if (on_stack.count(target) != 0) {
+            lowlink[v] = std::min(lowlink[v], index[target]);
+          }
+        }
+        if (lowlink[v] == index[v]) {
+          std::vector<std::string> scc;
+          for (;;) {
+            const std::string w = stack.back();
+            stack.pop_back();
+            on_stack.erase(w);
+            scc.push_back(w);
+            if (w == v) break;
+          }
+          bool self_loop = false;
+          for (const auto& [target, offset] : by_rel.at(v)->includes) {
+            (void)offset;
+            if (target == v) self_loop = true;
+          }
+          if (scc.size() > 1 || self_loop) {
+            std::sort(scc.begin(), scc.end());
+            std::string members;
+            for (const std::string& m : scc) {
+              if (!members.empty()) members += " -> ";
+              members += m;
+            }
+            out->push_back({by_rel.at(scc.front())->path, 1, "A002",
+                            "include cycle: " + members});
+          }
+        }
+      };
+  for (const FileData& f : files) {
+    if (index.count(f.rel) == 0) strongconnect(f.rel);
+  }
+
+  // A003: src/ headers included by no scanned file.
+  std::set<std::string> included;
+  for (const FileData& f : files) {
+    for (const auto& [target, offset] : f.includes) {
+      (void)offset;
+      included.insert(target);
+    }
+  }
+  for (const FileData& f : files) {
+    if (f.rel.rfind("src/", 0) != 0) continue;
+    if (f.rel.size() < 2 || f.rel.compare(f.rel.size() - 2, 2, ".h") != 0) {
+      continue;
+    }
+    if (included.count(f.rel) != 0) continue;
+    out->push_back({f.path, 1, "A003",
+                    "orphan public header: no scanned TU includes " + f.rel});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+
+FileData MakeFileData(std::string path, std::string content) {
+  FileData f;
+  f.path = std::move(path);
+  f.rel = RelPath(f.path);
+  f.content = std::move(content);
+  f.stripped = StripCommentsAndStrings(f.content);
+  ComputeBraces(&f);
+  ComputeLambdas(&f);
+  ComputeClasses(&f);
+  ComputeFunctions(&f);
+  ComputeIncludes(&f);
+  return f;
+}
+
+// Full analysis of an in-memory file set (the production path and
+// --self-test both land here).
+std::vector<Violation> Analyze(const std::vector<FileData>& files,
+                               const LayerSpec& spec) {
+  std::vector<Violation> v;
+  Annotations ann;
+  for (const FileData& f : files) {
+    CollectGuardedMembers(f, &ann);
+    CollectMethodAnnotations(f, &ann);
+  }
+  for (const FileData& f : files) {
+    CheckLockDiscipline(f, ann, &v);
+  }
+  CheckLayering(files, spec, &v);
+  // Waivers: same-line for everything; file-level for A003 (no natural
+  // offending line inside the orphan header itself).
+  std::map<std::string, const FileData*> by_path;
+  for (const FileData& f : files) by_path[f.path] = &f;
+  v.erase(std::remove_if(v.begin(), v.end(),
+                         [&](const Violation& x) {
+                           const auto it = by_path.find(x.file);
+                           if (it == by_path.end()) return false;
+                           if (x.rule == "A003") {
+                             return HasFileWaiver(it->second->content, x.rule);
+                           }
+                           return HasWaiver(it->second->content, x.line,
+                                            x.rule);
+                         }),
+          v.end());
+  std::sort(v.begin(), v.end(), [](const Violation& a, const Violation& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return v;
+}
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  for (char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void PrintViolations(const std::vector<Violation>& v, bool json,
+                     int files_scanned) {
+  if (json) {
+    std::cout << "{\"files_scanned\": " << files_scanned
+              << ", \"violations\": [";
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (i != 0) std::cout << ", ";
+      std::cout << "{\"file\": \"" << JsonEscape(v[i].file)
+                << "\", \"line\": " << v[i].line << ", \"rule\": \""
+                << v[i].rule << "\", \"message\": \""
+                << JsonEscape(v[i].message) << "\"}";
+    }
+    std::cout << "]}\n";
+    return;
+  }
+  for (const Violation& x : v) {
+    std::cerr << x.file << ":" << x.line << ": [" << x.rule << "] "
+              << x.message << "\n";
+  }
+  if (v.empty()) {
+    std::cout << "alt_analyze: " << files_scanned << " files clean\n";
+  } else {
+    std::cerr << "alt_analyze: " << v.size() << " violation(s) in "
+              << files_scanned << " files\n";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Self-test
+
+int RunSelfTest() {
+  const char* kConf =
+      "layer util 0\n"
+      "layer obs 5\n"
+      "layer tensor 10\n"
+      "layer nn 20\n"
+      "layer serving 30\n"
+      "forbid obs serving\n";
+  struct VFile {
+    const char* path;
+    const char* content;
+  };
+  struct Case {
+    const char* name;
+    std::vector<VFile> files;
+    std::vector<const char*> expect;  // Rule multiset; empty => clean.
+  };
+  const char* kMutexStub =
+      "#ifndef ALT_SRC_UTIL_M_H_\n#define ALT_SRC_UTIL_M_H_\n"
+      "namespace alt { class Mutex {}; class MutexLock {}; }\n#endif\n";
+  const std::vector<Case> kCases = {
+      // --- Layering ---
+      {"up-include violation",
+       {{"src/tensor/a.h", "#include \"src/nn/b.h\"\n"},
+        {"src/tensor/a.cc", "#include \"src/tensor/a.h\"\n"},
+        {"src/nn/b.h", "int B();\n"},
+        {"src/nn/b.cc", "#include \"src/nn/b.h\"\n"}},
+       {"A001"}},
+      {"forbidden edge",
+       {{"src/obs/o.cc", "#include \"src/serving/s.h\"\n"},
+        {"src/serving/s.h", "int S();\n"},
+        {"src/serving/s.cc", "#include \"src/serving/s.h\"\n"}},
+       {"A001"}},
+      {"clean layering",
+       {{"src/nn/n.h", "#include \"src/tensor/t.h\"\n"},
+        {"src/nn/n.cc", "#include \"src/nn/n.h\"\n"},
+        {"src/tensor/t.h", "int T();\n"},
+        {"src/tensor/t.cc", "#include \"src/tensor/t.h\"\n"}},
+       {}},
+      {"undeclared layer",
+       {{"src/zzz/q.cc", "int q;\n"}},
+       {"A001"}},
+      {"waived up-include",
+       {{"src/tensor/a.h",
+         "#include \"src/nn/b.h\"  // alt_analyze: allow(A001): migration\n"},
+        {"src/tensor/a.cc", "#include \"src/tensor/a.h\"\n"},
+        {"src/nn/b.h", "int B();\n"},
+        {"src/nn/b.cc", "#include \"src/nn/b.h\"\n"}},
+       {}},
+      {"include cycle",
+       {{"src/nn/x.h", "#include \"src/nn/y.h\"\n"},
+        {"src/nn/y.h", "#include \"src/nn/x.h\"\n"},
+        {"src/nn/x.cc", "#include \"src/nn/x.h\"\n"}},
+       {"A002"}},
+      {"orphan header",
+       {{"src/nn/z.h", "int Z();\n"}},
+       {"A003"}},
+      {"orphan header waived",
+       {{"src/nn/z.h",
+         "// alt_analyze: allow(A003): public API surface, included by "
+         "downstream repos\nint Z();\n"}},
+       {}},
+      // --- Lock discipline ---
+      {"guarded member unlocked",
+       {{"src/util/c.h",
+         "class C {\n public:\n  void F() { ++x_; }\n"
+         " private:\n  alt::Mutex mu_;\n  int x_ ALT_GUARDED_BY(mu_);\n};\n"}},
+       {"A101"}},
+      {"guarded member under MutexLock",
+       {{"src/util/c.h",
+         "class C {\n public:\n  void F() { alt::MutexLock lock(mu_); ++x_; "
+         "}\n private:\n  alt::Mutex mu_;\n  int x_ ALT_GUARDED_BY(mu_);\n};"
+         "\n"}},
+       {}},
+      {"guarded member under std::lock_guard",
+       {{"src/util/c.h",
+         "class C {\n public:\n  void F() { std::lock_guard<std::mutex> "
+         "lock(mu_); ++x_; }\n private:\n  std::mutex mu_;\n  int x_ "
+         "ALT_GUARDED_BY(mu_);\n};\n"}},
+       {}},
+      {"guarded member under manual lock/unlock",
+       {{"src/util/c.h",
+         "class C {\n public:\n  void F() { mu_.lock(); ++x_; mu_.unlock(); "
+         "}\n private:\n  alt::Mutex mu_;\n  int x_ ALT_GUARDED_BY(mu_);\n};"
+         "\n"}},
+       {}},
+      {"guarded member after manual unlock",
+       {{"src/util/c.h",
+         "class C {\n public:\n  void F() { mu_.lock(); mu_.unlock(); ++x_; "
+         "}\n private:\n  alt::Mutex mu_;\n  int x_ ALT_GUARDED_BY(mu_);\n};"
+         "\n"}},
+       {"A101"}},
+      {"wrong mutex locked",
+       {{"src/util/c.h",
+         "class C {\n public:\n  void F() { alt::MutexLock lock(other_mu_); "
+         "++x_; }\n private:\n  alt::Mutex mu_;\n  alt::Mutex other_mu_;\n"
+         "  int x_ ALT_GUARDED_BY(mu_);\n};\n"}},
+       {"A101"}},
+      {"lock scope ends with block",
+       {{"src/util/c.h",
+         "class C {\n public:\n  void F() { { alt::MutexLock lock(mu_); } "
+         "++x_; }\n private:\n  alt::Mutex mu_;\n  int x_ "
+         "ALT_GUARDED_BY(mu_);\n};\n"}},
+       {"A101"}},
+      {"ctor and dtor exempt",
+       {{"src/util/c.h",
+         "class C {\n public:\n  C() { x_ = 1; }\n  ~C() { x_ = 0; }\n"
+         " private:\n  alt::Mutex mu_;\n  int x_ ALT_GUARDED_BY(mu_);\n};\n"}},
+       {}},
+      {"cross-file out-of-line definition",
+       {{"src/util/c.h",
+         "#ifndef ALT_SRC_UTIL_C_H_\n#define ALT_SRC_UTIL_C_H_\n"
+         "class C {\n public:\n  void F();\n private:\n  alt::Mutex mu_;\n"
+         "  int x_ ALT_GUARDED_BY(mu_);\n};\n#endif\n"},
+        {"src/util/c.cc", "#include \"src/util/c.h\"\nvoid C::F() { ++x_; }\n"}},
+       {"A101"}},
+      {"requires method body counts as held",
+       {{"src/util/c.h",
+         "class C {\n private:\n  void BumpLocked() ALT_REQUIRES(mu_) { ++x_;"
+         " }\n  alt::Mutex mu_;\n  int x_ ALT_GUARDED_BY(mu_);\n};\n"}},
+       {}},
+      {"requires method called without lock",
+       {{"src/util/c.h",
+         "#ifndef ALT_SRC_UTIL_C_H_\n#define ALT_SRC_UTIL_C_H_\n"
+         "class C {\n public:\n  void F();\n private:\n"
+         "  void BumpLocked() ALT_REQUIRES(mu_);\n  alt::Mutex mu_;\n};\n"
+         "#endif\n"},
+        {"src/util/c.cc",
+         "#include \"src/util/c.h\"\nvoid C::F() { BumpLocked(); }\n"}},
+       {"A102"}},
+      {"requires method called with lock",
+       {{"src/util/c.h",
+         "#ifndef ALT_SRC_UTIL_C_H_\n#define ALT_SRC_UTIL_C_H_\n"
+         "class C {\n public:\n  void F();\n private:\n"
+         "  void BumpLocked() ALT_REQUIRES(mu_);\n  alt::Mutex mu_;\n};\n"
+         "#endif\n"},
+        {"src/util/c.cc",
+         "#include \"src/util/c.h\"\n"
+         "void C::F() { alt::MutexLock lock(mu_); BumpLocked(); }\n"}},
+       {}},
+      {"excludes method called while holding",
+       {{"src/util/c.h",
+         "class C {\n public:\n  void Recheck() ALT_EXCLUDES(mu_);\n"
+         "  void F() { alt::MutexLock lock(mu_); Recheck(); }\n"
+         " private:\n  alt::Mutex mu_;\n};\n"}},
+       {"A103"}},
+      {"excludes method called without holding",
+       {{"src/util/c.h",
+         "class C {\n public:\n  void Recheck() ALT_EXCLUDES(mu_);\n"
+         "  void F() { Recheck(); }\n private:\n  alt::Mutex mu_;\n};\n"}},
+       {}},
+      {"waived guarded use",
+       {{"src/util/c.h",
+         "class C {\n public:\n  int Peek() { return x_; }  "
+         "// alt_analyze: allow(A101): racy stats read, documented\n"
+         " private:\n  alt::Mutex mu_;\n  int x_ ALT_GUARDED_BY(mu_);\n};\n"}},
+       {}},
+      {"lambda body is skipped",
+       {{"src/util/c.h",
+         "class C {\n public:\n  void F() { auto fn = [this]() { ++x_; }; "
+         "fn(); }\n private:\n  alt::Mutex mu_;\n  int x_ "
+         "ALT_GUARDED_BY(mu_);\n};\n"}},
+       {}},
+      {"member in comment and string ignored",
+       {{"src/util/c.h",
+         "class C {\n public:\n  const char* F() { /* ++x_ */ return "
+         "\"x_\"; }\n private:\n  alt::Mutex mu_;\n  int x_ "
+         "ALT_GUARDED_BY(mu_);\n};\n"}},
+       {}},
+  };
+
+  LayerSpec spec = ParseLayers(kConf);
+  if (!spec.error.empty()) {
+    std::cerr << "self-test FAIL: fixture layers.conf: " << spec.error << "\n";
+    return 1;
+  }
+  int failures = 0;
+  for (const Case& c : kCases) {
+    std::vector<FileData> files;
+    // The mutex stub joins every lock-discipline fixture so util-layer
+    // includes resolve; layering fixtures are self-contained.
+    for (const VFile& vf : c.files) {
+      files.push_back(MakeFileData(vf.path, vf.content));
+    }
+    (void)kMutexStub;
+    std::vector<Violation> got = Analyze(files, spec);
+    // Orphan-header noise is not what most fixtures are about: drop A003
+    // unless the case expects it.
+    const bool expects_orphan =
+        std::find_if(c.expect.begin(), c.expect.end(), [](const char* r) {
+          return std::string(r) == "A003";
+        }) != c.expect.end();
+    if (!expects_orphan) {
+      got.erase(std::remove_if(got.begin(), got.end(),
+                               [](const Violation& x) {
+                                 return x.rule == "A003";
+                               }),
+                got.end());
+    }
+    std::vector<std::string> got_rules, want_rules;
+    for (const Violation& x : got) got_rules.push_back(x.rule);
+    for (const char* r : c.expect) want_rules.emplace_back(r);
+    std::sort(got_rules.begin(), got_rules.end());
+    std::sort(want_rules.begin(), want_rules.end());
+    if (got_rules != want_rules) {
+      ++failures;
+      std::cerr << "self-test FAIL: " << c.name << " (expected [";
+      for (const std::string& r : want_rules) std::cerr << " " << r;
+      std::cerr << " ], got [";
+      for (const Violation& x : got) {
+        std::cerr << " " << x.rule << "@" << x.file << ":" << x.line;
+      }
+      std::cerr << " ])\n";
+      for (const Violation& x : got) {
+        std::cerr << "    " << x.file << ":" << x.line << ": [" << x.rule
+                  << "] " << x.message << "\n";
+      }
+    }
+  }
+  if (failures == 0) {
+    std::cout << "alt_analyze self-test: all " << kCases.size()
+              << " cases passed\n";
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string layers_path;
+  std::vector<std::string> dirs;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--self-test") return RunSelfTest();
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--layers") {
+      if (a + 1 >= argc) {
+        std::cerr << "alt_analyze: --layers needs a file argument\n";
+        return 2;
+      }
+      layers_path = argv[++a];
+    } else if (arg.rfind("--layers=", 0) == 0) {
+      layers_path = arg.substr(9);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "alt_analyze: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      dirs.push_back(arg);
+    }
+  }
+  if (dirs.empty()) {
+    std::cerr << "usage: alt_analyze [--json] [--layers <file>] <dir> "
+                 "[<dir>...] | alt_analyze --self-test\n";
+    return 2;
+  }
+  LayerSpec spec;
+  if (!layers_path.empty()) {
+    std::ifstream in(layers_path);
+    if (!in) {
+      std::cerr << "alt_analyze: cannot read layer spec " << layers_path
+                << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    spec = ParseLayers(buf.str());
+    if (!spec.error.empty()) {
+      std::cerr << "alt_analyze: " << layers_path << ": " << spec.error
+                << "\n";
+      return 2;
+    }
+  }
+  std::vector<FileData> files;
+  for (const std::string& dir : dirs) {
+    const std::filesystem::path root(dir);
+    if (!std::filesystem::exists(root)) {
+      std::cerr << "alt_analyze: no such directory: " << root << "\n";
+      return 2;
+    }
+    for (const auto& entry :
+         std::filesystem::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cc") continue;
+      std::ifstream in(entry.path());
+      if (!in) {
+        std::cerr << "alt_analyze: cannot read " << entry.path() << "\n";
+        return 2;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      files.push_back(MakeFileData(entry.path().generic_string(), buf.str()));
+    }
+  }
+  const std::vector<Violation> v = Analyze(files, spec);
+  PrintViolations(v, json, static_cast<int>(files.size()));
+  return v.empty() ? 0 : 1;
+}

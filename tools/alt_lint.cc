@@ -398,10 +398,13 @@ bool IsHeader(const std::string& path) {
 // synthetic snippets through the exact production scanner. `status_fns` is
 // the cross-file set of Status/Result-returning function names for L008;
 // nullptr means "collect from this file alone" (self-test mode).
+// `apply_waivers=false` keeps waived findings in the result — the --waivers
+// report needs the pre-waiver list to detect stale waivers.
 std::vector<Violation> LintContent(const std::string& path,
                                    const std::string& content,
                                    const std::set<std::string>* status_fns =
-                                       nullptr) {
+                                       nullptr,
+                                   bool apply_waivers = true) {
   std::vector<Violation> v;
   const std::string stripped = StripCommentsAndStrings(content);
   std::set<std::string> local_fns;
@@ -441,11 +444,13 @@ std::vector<Violation> LintContent(const std::string& path,
     FindRawFloatNew(stripped, path, &v);
   }
   // Same-line `alt_lint: allow(LXXX)` comments waive individual findings.
-  v.erase(std::remove_if(v.begin(), v.end(),
-                         [&](const Violation& x) {
-                           return HasWaiver(content, x.line, x.rule);
-                         }),
-          v.end());
+  if (apply_waivers) {
+    v.erase(std::remove_if(v.begin(), v.end(),
+                           [&](const Violation& x) {
+                             return HasWaiver(content, x.line, x.rule);
+                           }),
+            v.end());
+  }
   if (IsHeader(path)) {
     const std::string guard = ExpectedGuard(path);
     if (!guard.empty() &&
@@ -457,6 +462,82 @@ std::vector<Violation> LintContent(const std::string& path,
     }
   }
   return v;
+}
+
+// One `alt_lint: allow(Lxxx): reason` comment found in a file.
+struct WaiverEntry {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string reason;
+};
+
+// Scans the original (unstripped) content for waiver comments. Multiple
+// waivers on one line are all reported.
+std::vector<WaiverEntry> CollectWaivers(const std::string& path,
+                                        const std::string& content) {
+  std::vector<WaiverEntry> out;
+  const std::string token = "alt_lint: allow(";
+  for (size_t pos = content.find(token); pos != std::string::npos;
+       pos = content.find(token, pos + token.size())) {
+    const size_t rule_start = pos + token.size();
+    const size_t rule_end = content.find(')', rule_start);
+    if (rule_end == std::string::npos) continue;
+    WaiverEntry w;
+    w.file = path;
+    w.line = 1 + static_cast<int>(std::count(
+                     content.begin(),
+                     content.begin() + static_cast<std::ptrdiff_t>(pos), '\n'));
+    w.rule = content.substr(rule_start, rule_end - rule_start);
+    size_t reason_start = rule_end + 1;
+    if (reason_start < content.size() && content[reason_start] == ':') {
+      ++reason_start;
+    }
+    while (reason_start < content.size() && content[reason_start] == ' ') {
+      ++reason_start;
+    }
+    size_t reason_end = content.find('\n', reason_start);
+    if (reason_end == std::string::npos) reason_end = content.size();
+    w.reason = content.substr(reason_start, reason_end - reason_start);
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+// --waivers: lists every waiver with its location and reason, and fails on
+// stale ones — a waiver whose rule no longer fires on that exact line. The
+// match is line-level on purpose: if the offending statement moved, the
+// waiver moved with it or it is stale; a file-level match would let dead
+// waivers suppress future regressions elsewhere in the file.
+int RunWaiversReport(
+    const std::vector<std::pair<std::string, std::string>>& files,
+    const std::set<std::string>& status_fns) {
+  std::vector<WaiverEntry> stale;
+  int total = 0;
+  for (const auto& [path, content] : files) {
+    const std::vector<WaiverEntry> waivers = CollectWaivers(path, content);
+    if (waivers.empty()) continue;
+    const std::vector<Violation> raw =
+        LintContent(path, content, &status_fns, /*apply_waivers=*/false);
+    for (const WaiverEntry& w : waivers) {
+      ++total;
+      const bool fires = std::any_of(
+          raw.begin(), raw.end(), [&](const Violation& x) {
+            return x.line == w.line && x.rule == w.rule;
+          });
+      std::cout << w.file << ":" << w.line << ": [" << w.rule << "] "
+                << (fires ? "" : "STALE ") << w.reason << "\n";
+      if (!fires) stale.push_back(w);
+    }
+  }
+  if (stale.empty()) {
+    std::cout << "alt_lint: " << total << " waiver(s), none stale\n";
+    return 0;
+  }
+  std::cerr << "alt_lint: " << stale.size() << " of " << total
+            << " waiver(s) stale — the waived rule no longer fires on that "
+               "line; delete the waiver or re-anchor it\n";
+  return 1;
 }
 
 int RunSelfTest() {
@@ -543,6 +624,46 @@ int RunSelfTest() {
        "float* F() { return new float(0.0f); }", nullptr},
       {"newline_count ident ok", "src/x/ok21.cc",
        "int newline_count = 0; int f = newline_count;", nullptr},
+      // Banned tokens inside string literals and block comments must never
+      // fire — the scanner works on stripped text.
+      {"rand in string ok", "src/x/ok22.cc",
+       "const char* k = \"seed with rand() is banned\";", nullptr},
+      {"rand in block comment ok", "src/x/ok23.cc",
+       "/* never call rand( ) here; rand() drifts */\nint F();", nullptr},
+      {"printf in string ok", "src/x/ok24.cc",
+       "const char* k = \"printf(%d) style\";", nullptr},
+      {"printf in block comment ok", "src/x/ok25.cc",
+       "/* printf(\"x\") would bypass ALT_LOG */\nint F();", nullptr},
+      {"assert in string ok", "src/x/ok26.cc",
+       "const char* k = \"assert(x) considered harmful\";", nullptr},
+      {"assert in block comment ok", "src/x/ok27.cc",
+       "/* assert(ptr) loses the message; use ALT_CHECK */\nint F();",
+       nullptr},
+      {"clock read in block comment ok", "src/x/ok28.cc",
+       "/* std::chrono::steady_clock::now() is the raw form */\nint F();",
+       nullptr},
+      {"clock read in string ok", "src/x/ok29.cc",
+       "const char* k = \"steady_clock::now( value\";", nullptr},
+      {"stats struct in string ok", "src/x/ok30.cc",
+       "const char* k = \"struct QueueStats is deprecated\";", nullptr},
+      {"stats struct in block comment ok", "src/x/ok31.cc",
+       "/* struct LatencyStats { int n; }; was removed */\nint F();", nullptr},
+      {"discarded status call in comment ok", "src/x/ok32.cc",
+       "Status Save(int x);\n/* plain Save(1); discards the status */\n"
+       "Status F() { return Save(1); }",
+       nullptr},
+      {"discarded status call in string ok", "src/x/ok33.cc",
+       "Status Save(int x);\nconst char* k = \"call Save(1); and check\";\n"
+       "Status F() { return Save(1); }",
+       nullptr},
+      {"malloc in string ok", "src/x/ok34.cc",
+       "const char* k = \"malloc(n) bypasses the tracker\";", nullptr},
+      {"malloc in block comment ok", "src/x/ok35.cc",
+       "/* malloc(64) would not be tracked */\nint F();", nullptr},
+      {"float new in block comment ok", "src/x/ok36.cc",
+       "/* new float[n] must go through TensorStorage */\nint F();", nullptr},
+      {"float new in string ok", "src/x/ok37.cc",
+       "const char* k = \"new float[8] is banned\";", nullptr},
   };
   int failures = 0;
   for (const Case& c : kCases) {
@@ -574,11 +695,22 @@ int RunSelfTest() {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: alt_lint <dir> [<dir>...] | alt_lint --self-test\n";
+    std::cerr << "usage: alt_lint [--waivers] <dir> [<dir>...] | "
+                 "alt_lint --self-test\n";
     return 2;
   }
   if (std::string(argv[1]) == "--self-test") {
     return RunSelfTest();
+  }
+  bool waivers_mode = false;
+  int first_dir = 1;
+  if (std::string(argv[1]) == "--waivers") {
+    waivers_mode = true;
+    first_dir = 2;
+    if (argc < 3) {
+      std::cerr << "usage: alt_lint --waivers <dir> [<dir>...]\n";
+      return 2;
+    }
   }
   // Pass 1: read every file and collect the cross-file set of
   // Status/Result-returning function names (L008). Pass 2: lint each file
@@ -586,7 +718,7 @@ int main(int argc, char** argv) {
   std::vector<Violation> all;
   std::vector<std::pair<std::string, std::string>> files;  // path, content
   std::set<std::string> status_fns;
-  for (int a = 1; a < argc; ++a) {
+  for (int a = first_dir; a < argc; ++a) {
     const std::filesystem::path root(argv[a]);
     if (!std::filesystem::exists(root)) {
       std::cerr << "alt_lint: no such directory: " << root << "\n";
@@ -608,6 +740,9 @@ int main(int argc, char** argv) {
       CollectStatusReturning(StripCommentsAndStrings(files.back().second),
                              &status_fns);
     }
+  }
+  if (waivers_mode) {
+    return RunWaiversReport(files, status_fns);
   }
   const int files_scanned = static_cast<int>(files.size());
   for (const auto& [path, content] : files) {

@@ -1,25 +1,74 @@
 #!/usr/bin/env bash
-# Tier-2 correctness gate: lint + full test suite under ASan and UBSan,
-# with ALT_DCHECK* guards compiled in. The plain Release tree ("build") is
-# the tier-1 gate; this script adds the instrumented configurations.
+# Tier-2 correctness gate: static analysis + full test suite under ASan and
+# UBSan, with ALT_DCHECK* guards compiled in. The plain Release tree
+# ("build") is the tier-1 gate; this script adds the analysis stages and the
+# instrumented configurations.
 #
-# Usage: tools/check.sh [--skip-release]
-#   --skip-release  only build/run the sanitizer trees
+# Usage: tools/check.sh [--skip-release] [stage ...]
+#   --skip-release  legacy alias for selecting every stage except `release`
+#   stage ...       run only the named stages, in the canonical order below;
+#                   default is all of them
 #
-# Build trees:
-#   build        Release (tier-1)
-#   build-asan   Release + -fsanitize=address   + ALT_DCHECKS=ON
-#   build-ubsan  Release + -fsanitize=undefined + ALT_DCHECKS=ON
-#   build-tsan   Release + -fsanitize=thread    + ALT_DCHECKS=ON
-#                (threading-related tests only; see below)
+# Stages (canonical order):
+#   release    Release build + full ctest (tier-1; also builds the tools)
+#   lint       alt_lint over src/ + stale-waiver report
+#   analyze    alt_analyze lock-discipline + layering over the whole repo
+#   tidy       clang-tidy over src/ (skipped with a notice when not installed)
+#   asan       Release + -fsanitize=address   + ALT_DCHECKS=ON, full ctest
+#   chaos      chaos test in the ASan tree with a hot fault schedule
+#   bench      kernel bench smoke x2 gated by bench_compare
+#   telemetry  /healthz flips to 503 under injected serving faults
+#   ubsan      Release + -fsanitize=undefined + ALT_DCHECKS=ON, full ctest
+#   tsan       Release + -fsanitize=thread, threading-related targets only
+#
+# Build trees: build, build-asan, build-ubsan, build-tsan. Stages that need
+# a tree build it on demand, so `tools/check.sh analyze` works standalone.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-SKIP_RELEASE=0
-if [[ "${1:-}" == "--skip-release" ]]; then
-  SKIP_RELEASE=1
+ALL_STAGES=(release lint analyze tidy asan chaos bench telemetry ubsan tsan)
+
+SELECTED=()
+for arg in "$@"; do
+  case "${arg}" in
+    --skip-release)
+      for s in "${ALL_STAGES[@]}"; do
+        [[ "${s}" == "release" ]] || SELECTED+=("${s}")
+      done
+      ;;
+    -h|--help)
+      sed -n '2,26p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    -*)
+      echo "check.sh: unknown flag ${arg}" >&2
+      exit 2
+      ;;
+    *)
+      found=0
+      for s in "${ALL_STAGES[@]}"; do
+        [[ "${s}" == "${arg}" ]] && found=1
+      done
+      if [[ "${found}" -eq 0 ]]; then
+        echo "check.sh: unknown stage '${arg}' (stages: ${ALL_STAGES[*]})" >&2
+        exit 2
+      fi
+      SELECTED+=("${arg}")
+      ;;
+  esac
+done
+if [[ "${#SELECTED[@]}" -eq 0 ]]; then
+  SELECTED=("${ALL_STAGES[@]}")
 fi
+
+wants() {
+  local stage="$1"
+  for s in "${SELECTED[@]}"; do
+    [[ "${s}" == "${stage}" ]] && return 0
+  done
+  return 1
+}
 
 run_config() {
   local dir="$1"
@@ -32,60 +81,122 @@ run_config() {
   ctest --test-dir "${dir}" --output-on-failure
 }
 
-if [[ "${SKIP_RELEASE}" -eq 0 ]]; then
+# Builds the Release tree (tools included) without running its tests; the
+# lint/analyze/bench stages run binaries out of it.
+ensure_release_build() {
+  if [[ ! -d build ]]; then
+    echo "==> configuring build (on demand)"
+    cmake -B build -S . >/dev/null
+  fi
+  echo "==> building build"
+  cmake --build build -j >/dev/null
+}
+
+ensure_asan_build() {
+  if [[ ! -f build-asan/CMakeCache.txt ]]; then
+    echo "==> configuring build-asan (on demand)"
+    cmake -B build-asan -S . -DALT_SANITIZE=address -DALT_DCHECKS=ON \
+      >/dev/null
+  fi
+  echo "==> building build-asan"
+  cmake --build build-asan -j >/dev/null
+}
+
+if wants release; then
   run_config build
 fi
 
-# ASAN_OPTIONS: the analysis cycle test intentionally builds and then breaks
-# a shared_ptr cycle, so leaks indicate a real bug; keep detect_leaks on.
-ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
-  run_config build-asan -DALT_SANITIZE=address -DALT_DCHECKS=ON
+if wants lint; then
+  ensure_release_build
+  echo "==> lint stage (alt_lint src/ + waiver report)"
+  ./build/tools/alt_lint src
+  ./build/tools/alt_lint --waivers src
+fi
 
-# Chaos stage: rerun the end-to-end chaos test in the ASan tree with a much
-# hotter fault schedule than its built-in default. The pipeline must still
-# complete (degrading instead of crashing) with faults firing at every
-# armed point, and ASan must observe no leaks/UB on the error paths.
-echo "==> chaos stage (build-asan, elevated ALT_FAULTS)"
-ALT_FAULTS="serving/predict=0.05,serving/deploy=5,data/io/=0.05,hpo/tune_service/trial=3" \
-ALT_FAULTS_SEED=7 \
-ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
-  ctest --test-dir build-asan --output-on-failure -R "^resilience_chaos_test$"
+if wants analyze; then
+  ensure_release_build
+  echo "==> analyze stage (alt_analyze: lock discipline + layering)"
+  ./build/tools/alt_analyze --layers tools/layers.conf \
+    src tests bench tools examples
+fi
 
-# Bench-regression stage: run the kernel bench twice in smoke mode and gate
-# the second run against the first with bench_compare. Identical machines
-# back to back should be nowhere near the threshold; the generous 50% bound
-# (vs the 20% default used when comparing real baselines) absorbs smoke-mode
-# noise while still catching an order-of-magnitude kernel regression.
-echo "==> bench-regress stage (bench_kernels --smoke x2 through bench_compare)"
-./build/bench/bench_kernels --smoke --out=build/BENCH_smoke_base.json >/dev/null
-./build/bench/bench_kernels --smoke --out=build/BENCH_smoke_head.json >/dev/null
-./build/tools/bench_compare --baseline=build/BENCH_smoke_base.json \
-  --head=build/BENCH_smoke_head.json --threshold=0.5
+if wants tidy; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    ensure_release_build
+    echo "==> tidy stage (clang-tidy over src/)"
+    cmake --build build --target alt_tidy
+  else
+    echo "==> tidy stage skipped: clang-tidy not found on PATH"
+  fi
+fi
 
-# Telemetry stage: /healthz must flip to 503 when injected serving faults
-# open a circuit breaker. The test honors an external ALT_FAULTS, so this
-# exercises the same env-driven arming path operators use.
-echo "==> telemetry stage (build-asan, ALT_FAULTS opens a serving breaker)"
-ALT_FAULTS="serving/predict=1" \
-ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
-  ./build-asan/tests/obs_export_test --gtest_filter='*Healthz*'
+if wants asan; then
+  # ASAN_OPTIONS: the analysis cycle test intentionally builds and then
+  # breaks a shared_ptr cycle, so leaks indicate a real bug; keep
+  # detect_leaks on.
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+    run_config build-asan -DALT_SANITIZE=address -DALT_DCHECKS=ON
+fi
 
-UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
-  run_config build-ubsan -DALT_SANITIZE=undefined -DALT_DCHECKS=ON
+if wants chaos; then
+  ensure_asan_build
+  # Chaos stage: rerun the end-to-end chaos test in the ASan tree with a
+  # much hotter fault schedule than its built-in default. The pipeline must
+  # still complete (degrading instead of crashing) with faults firing at
+  # every armed point, and ASan must observe no leaks/UB on the error paths.
+  echo "==> chaos stage (build-asan, elevated ALT_FAULTS)"
+  ALT_FAULTS="serving/predict=0.05,serving/deploy=5,data/io/=0.05,hpo/tune_service/trial=3" \
+  ALT_FAULTS_SEED=7 \
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+    ctest --test-dir build-asan --output-on-failure -R "^resilience_chaos_test$"
+fi
 
-# TSan covers the compute-kernel layer (ParallelFor, the shared compute pool,
-# and the parallel GEMM/conv/elementwise kernels) plus the observability
-# layer (concurrent metric updates and trace spans). Only the
-# threading-related targets are built and run: TSan slows everything ~10x and
-# the rest of the suite is single-threaded.
-TSAN_TARGETS=(parallel_for_test kernel_parity_test util_test hpo_test obs_test
-              obs_export_test)
-echo "==> configuring build-tsan (-DALT_SANITIZE=thread -DALT_DCHECKS=ON)"
-cmake -B build-tsan -S . -DALT_SANITIZE=thread -DALT_DCHECKS=ON >/dev/null
-echo "==> building build-tsan (${TSAN_TARGETS[*]})"
-cmake --build build-tsan -j --target "${TSAN_TARGETS[@]}" >/dev/null
-echo "==> testing build-tsan"
-ctest --test-dir build-tsan --output-on-failure \
-  -R "^($(IFS='|'; echo "${TSAN_TARGETS[*]}"))$"
+if wants bench; then
+  ensure_release_build
+  # Bench-regression stage: run the kernel bench twice in smoke mode and
+  # gate the second run against the first with bench_compare. Identical
+  # machines back to back should be nowhere near the threshold; the generous
+  # 50% bound (vs the 20% default used when comparing real baselines)
+  # absorbs smoke-mode noise while still catching an order-of-magnitude
+  # kernel regression.
+  echo "==> bench stage (bench_kernels --smoke x2 through bench_compare)"
+  ./build/bench/bench_kernels --smoke --out=build/BENCH_smoke_base.json >/dev/null
+  ./build/bench/bench_kernels --smoke --out=build/BENCH_smoke_head.json >/dev/null
+  ./build/tools/bench_compare --baseline=build/BENCH_smoke_base.json \
+    --head=build/BENCH_smoke_head.json --threshold=0.5
+fi
 
-echo "==> all configurations passed"
+if wants telemetry; then
+  ensure_asan_build
+  # Telemetry stage: /healthz must flip to 503 when injected serving faults
+  # open a circuit breaker. The test honors an external ALT_FAULTS, so this
+  # exercises the same env-driven arming path operators use.
+  echo "==> telemetry stage (build-asan, ALT_FAULTS opens a serving breaker)"
+  ALT_FAULTS="serving/predict=1" \
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+    ./build-asan/tests/obs_export_test --gtest_filter='*Healthz*'
+fi
+
+if wants ubsan; then
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+    run_config build-ubsan -DALT_SANITIZE=undefined -DALT_DCHECKS=ON
+fi
+
+if wants tsan; then
+  # TSan covers the compute-kernel layer (ParallelFor, the shared compute
+  # pool, and the parallel GEMM/conv/elementwise kernels) plus the
+  # observability layer (concurrent metric updates and trace spans). Only
+  # the threading-related targets are built and run: TSan slows everything
+  # ~10x and the rest of the suite is single-threaded.
+  TSAN_TARGETS=(parallel_for_test kernel_parity_test util_test hpo_test
+                obs_test obs_export_test)
+  echo "==> configuring build-tsan (-DALT_SANITIZE=thread -DALT_DCHECKS=ON)"
+  cmake -B build-tsan -S . -DALT_SANITIZE=thread -DALT_DCHECKS=ON >/dev/null
+  echo "==> building build-tsan (${TSAN_TARGETS[*]})"
+  cmake --build build-tsan -j --target "${TSAN_TARGETS[@]}" >/dev/null
+  echo "==> testing build-tsan"
+  ctest --test-dir build-tsan --output-on-failure \
+    -R "^($(IFS='|'; echo "${TSAN_TARGETS[*]}"))$"
+fi
+
+echo "==> selected stages passed (${SELECTED[*]})"
