@@ -7,12 +7,19 @@
 // directory). The JSON is consumed by tooling that tracks the kernel-layer
 // perf trajectory across PRs.
 //
+// Every entry records the SIMD level ("isa") it ran at. The serving-shape
+// section additionally measures the same GEMM forced to the scalar tier and
+// through the int8 quantized path, deriving
+// simd_gemm_speedup_vs_scalar_serving and int8_gemm_speedup_vs_fp32_simd
+// (worst case over the serving shapes).
+//
 // Flags:
 //   --smoke       fast mode for CI: tiny rep counts, still checks parity.
 //   --out=PATH    output JSON path (default BENCH_kernels.json).
 //   --threads=N   "N-thread" configuration (default: alt::ComputeThreads()).
 //   --min_time=S  seconds of repetitions per measurement (default 0.25).
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -24,8 +31,10 @@
 #include "bench/bench_common.h"
 #include "src/obs/memory_tracker.h"
 #include "src/obs/metrics.h"
+#include "src/tensor/cpu_features.h"
 #include "src/tensor/kernels.h"
 #include "src/tensor/kernels_naive.h"
+#include "src/tensor/quant.h"
 #include "src/tensor/tensor.h"
 #include "src/util/json.h"
 #include "src/util/logging.h"
@@ -77,6 +86,7 @@ double TimeBest(double min_time, const std::function<void()>& fn) {
 struct BenchResult {
   std::string name;
   std::string shape;
+  std::string isa;  ///< SIMD level active while measuring.
   int threads = 1;
   double gflops = 0.0;
   double seconds = 0.0;
@@ -85,11 +95,13 @@ struct BenchResult {
 
 class Reporter {
  public:
-  void Add(const BenchResult& r) {
-    results_.push_back(r);
-    std::printf("%-28s %-20s threads=%-2d %8.2f GFLOP/s\n", r.name.c_str(),
-                r.shape.c_str(), r.threads, r.gflops);
+  void Add(BenchResult r) {
+    if (r.isa.empty()) r.isa = ActiveSimdName();
+    std::printf("%-28s %-20s threads=%-2d isa=%-7s %8.2f GFLOP/s\n",
+                r.name.c_str(), r.shape.c_str(), r.threads, r.isa.c_str(),
+                r.gflops);
     std::fflush(stdout);
+    results_.push_back(std::move(r));
   }
 
   const BenchResult* Find(const std::string& name, int threads) const {
@@ -214,6 +226,33 @@ BenchResult BenchConv(bool use_naive, int64_t batch, int64_t seq, int64_t cin,
   return r;
 }
 
+/// The int8 quantized serving GEMM (weight quantized once up front,
+/// activations quantized per call, exactly like the Linear serving path).
+/// GFLOP/s counts the fp32-equivalent 2*m*k*n so the number is directly
+/// comparable to the fp32 entries at the same shape.
+BenchResult BenchInt8Gemm(int64_t m, int64_t k, int64_t n, int threads,
+                          double min_time, Rng* rng) {
+  const std::vector<float> x = RandomVec(m * k, rng);
+  const Tensor w = Tensor::FromVector({k, n}, RandomVec(k * n, rng));
+  const quant::QuantizedMatrix qw = quant::QuantizeWeight(w);
+  std::vector<float> c(static_cast<size_t>(m * n), 0.0f);
+
+  SetComputeThreads(threads);
+  BenchResult r;
+  r.seconds = TimeBest(min_time, [&]() {
+    quant::Int8MatMul(x.data(), m, qw, c.data());
+  });
+  SetComputeThreads(0);
+
+  r.name = "gemm_serving_int8";
+  r.shape = std::to_string(m) + "x" + std::to_string(k) + "x" +
+            std::to_string(n);
+  r.threads = threads;
+  r.gflops = 2.0 * static_cast<double>(m) * k * n / r.seconds * 1e-9;
+  r.checksum = Checksum(c);
+  return r;
+}
+
 BenchResult BenchAxpy(int64_t n, int threads, double min_time, Rng* rng) {
   const std::vector<float> x = RandomVec(n, rng);
   std::vector<float> y = RandomVec(n, rng);
@@ -283,6 +322,35 @@ int Main(int argc, char** argv) {
   rep.Add(BenchAxpy(smoke ? (1 << 16) : (1 << 22), max_threads, min_time,
                     &rng));
 
+  // --- SIMD dispatch at serving shapes (small-m row panels, the online
+  // Predict profile): the same GEMM forced to the scalar tier, at the
+  // host's active tier, and through the int8 quantized serving path.
+  struct ServingShape {
+    int64_t m, k, n;
+  };
+  const ServingShape serving_shapes[] = {{8, 256, 256}, {64, 256, 256}};
+  std::vector<double> simd_speedups, int8_speedups;
+  const SimdLevel active_level = ActiveSimdLevel();
+  for (const auto& s : serving_shapes) {
+    SetSimdLevel(SimdLevel::kScalar);
+    BenchResult scalar_r = BenchGemm({"gemm_serving_scalar"}, s.m, s.k, s.n,
+                                     1, min_time, &rng);
+    scalar_r.isa = "scalar";
+    rep.Add(scalar_r);
+    SetSimdLevel(active_level);
+    BenchResult simd_r = BenchGemm({"gemm_serving_simd"}, s.m, s.k, s.n, 1,
+                                   min_time, &rng);
+    rep.Add(simd_r);
+    BenchResult int8_r = BenchInt8Gemm(s.m, s.k, s.n, 1, min_time, &rng);
+    rep.Add(int8_r);
+    if (scalar_r.gflops > 0.0) {
+      simd_speedups.push_back(simd_r.gflops / scalar_r.gflops);
+    }
+    if (simd_r.gflops > 0.0) {
+      int8_speedups.push_back(int8_r.gflops / simd_r.gflops);
+    }
+  }
+
   // --- Parity guard: the numbers above are only meaningful if the optimized
   // kernels still compute a GEMM. Compare against the naive kernel once.
   {
@@ -329,12 +397,23 @@ int Main(int argc, char** argv) {
   if (conv_naive && conv_new && conv_naive->gflops > 0.0) {
     derived["conv1d_speedup_vs_naive"] = conv_new->gflops / conv_naive->gflops;
   }
+  // Worst case over the serving shapes: the conservative number for both
+  // dispatch-tier claims (SIMD over forced-scalar, int8 over fp32 SIMD).
+  if (!simd_speedups.empty()) {
+    derived["simd_gemm_speedup_vs_scalar_serving"] =
+        *std::min_element(simd_speedups.begin(), simd_speedups.end());
+  }
+  if (!int8_speedups.empty()) {
+    derived["int8_gemm_speedup_vs_fp32_simd"] =
+        *std::min_element(int8_speedups.begin(), int8_speedups.end());
+  }
 
   Json::Array results;
   for (const auto& r : rep.results()) {
     Json entry = Json::Object{};
     entry["name"] = r.name;
     entry["shape"] = r.shape;
+    entry["isa"] = r.isa;
     entry["threads"] = r.threads;
     entry["gflops"] = r.gflops;
     entry["seconds_per_call"] = r.seconds;
@@ -345,6 +424,7 @@ int Main(int argc, char** argv) {
   Json doc = Json::Object{};
   doc["bench"] = "kernels";
   doc["smoke"] = smoke;
+  doc["isa"] = ActiveSimdName();
   doc["compute_threads"] = max_threads;
   doc["min_time_s"] = min_time;
   doc["results"] = results;
@@ -365,6 +445,17 @@ int Main(int argc, char** argv) {
   if (derived.contains("gemm_speedup_vs_naive_1t")) {
     std::printf("gemm speedup vs naive (1 thread): %.2fx\n",
                 derived.at("gemm_speedup_vs_naive_1t").as_number());
+  }
+  if (derived.contains("simd_gemm_speedup_vs_scalar_serving")) {
+    std::printf("simd gemm speedup vs scalar (serving shapes, worst): "
+                "%.2fx\n",
+                derived.at("simd_gemm_speedup_vs_scalar_serving").as_number());
+  }
+  if (derived.contains("int8_gemm_speedup_vs_fp32_simd")) {
+    std::printf("int8 gemm speedup vs fp32 %s (serving shapes, worst): "
+                "%.2fx\n",
+                ActiveSimdName(),
+                derived.at("int8_gemm_speedup_vs_fp32_simd").as_number());
   }
   return 0;
 }

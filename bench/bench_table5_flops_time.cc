@@ -42,7 +42,17 @@ struct Row {
   double ours_ms = 0.0;
 };
 
-Row Measure(BenchOptions options, models::EncoderKind kind, int64_t reps) {
+/// With --quant=int8, every model is post-training quantized (eval-mode
+/// Linear layers take the int8 GEMM) before its inference time is measured;
+/// FLOPs columns still report the fp32-equivalent count.
+void MaybeQuantize(models::BaseModel* model, bool quantize) {
+  if (!quantize) return;
+  model->SetTraining(false);
+  model->QuantizeForServing();
+}
+
+Row Measure(BenchOptions options, models::EncoderKind kind, int64_t reps,
+            bool quantize) {
   Row row;
   auto scenarios = PrepareWorkload(options);
   Rng rng(options.seed);
@@ -51,6 +61,8 @@ Row Measure(BenchOptions options, models::EncoderKind kind, int64_t reps) {
   ALT_CHECK(heavy.ok() && light.ok());
   row.heavy_flops = static_cast<double>(heavy.value()->FlopsPerSample());
   row.light_flops = static_cast<double>(light.value()->FlopsPerSample());
+  MaybeQuantize(heavy.value().get(), quantize);
+  MaybeQuantize(light.value().get(), quantize);
   row.heavy_ms =
       MedianInferenceMs(heavy.value().get(), scenarios[0].test, reps);
   row.light_ms =
@@ -77,6 +89,7 @@ Row Measure(BenchOptions options, models::EncoderKind kind, int64_t reps) {
                                       nullptr);
     ALT_CHECK(ours.ok()) << ours.status().ToString();
     flops_total += static_cast<double>(ours.value()->FlopsPerSample());
+    MaybeQuantize(ours.value().get(), quantize);
     ms_total += MedianInferenceMs(ours.value().get(), scenarios[pick].test,
                                   static_cast<int>(reps));
   }
@@ -101,12 +114,17 @@ int main(int argc, char** argv) {
   bench::BenchOptions base;
   base.ApplyFlags(flags);
   const int64_t reps = flags.GetInt("reps", 201);
+  const std::string quant = flags.GetString("quant", "");
+  ALT_CHECK(quant.empty() || quant == "int8")
+      << "unknown --quant value '" << quant << "' (expected int8)";
+  const bool quantize = quant == "int8";
 
   std::printf("=== Table V: averaged FLOPs and inference time ===\n");
   std::printf("seq_len=%lld (paper: 128), single-sample inference, median "
-              "of %lld reps\n\n",
+              "of %lld reps%s\n\n",
               static_cast<long long>(base.seq_len),
-              static_cast<long long>(reps));
+              static_cast<long long>(reps),
+              quantize ? ", int8-quantized serving path" : "");
 
   TablePrinter table({"metric", "dataset", "encoder", "Heavy", "Light",
                       "Ours"});
@@ -119,7 +137,7 @@ int main(int argc, char** argv) {
       bench::BenchOptions options = base;
       options.workload = workload;
       options.scale = scale;
-      bench::Row row = bench::Measure(options, kind, reps);
+      bench::Row row = bench::Measure(options, kind, reps, quantize);
       table.AddRow({"FLOPs", wname, kname, bench::FlopsStr(row.heavy_flops),
                     bench::FlopsStr(row.light_flops),
                     bench::FlopsStr(row.ours_flops)});

@@ -495,9 +495,27 @@ Variable Tanh(const Variable& x) {
 }
 
 Variable Relu(const Variable& x) {
-  return UnaryElementwise(
-      x, "relu", [](float v) { return v > 0.0f ? v : 0.0f; },
-      [](float xv, float /*yv*/) { return xv > 0.0f ? 1.0f : 0.0f; });
+  // Forward goes through the dispatched VecRelu kernel (max against zero is
+  // exact, so SIMD and scalar agree bit-for-bit); backward keeps the
+  // generic masked pass.
+  const Tensor& xv = x.value();
+  Tensor out(xv.shape());
+  VecRelu(xv.data(), out.data(), xv.numel());
+  auto xn = x.node();
+  return MakeOpNode(
+      std::move(out), {xn},
+      [xn](Node* self) {
+        if (!xn->requires_grad) return;
+        xn->EnsureGrad();
+        ParallelForWork(self->value.numel(), kMapWork,
+                        [&](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i) {
+                            xn->grad[i] += self->grad[i] *
+                                           (xn->value[i] > 0.0f ? 1.0f : 0.0f);
+                          }
+                        });
+      },
+      "relu");
 }
 
 Variable Gelu(const Variable& x) {
@@ -539,15 +557,15 @@ Variable SoftmaxLastDim(const Variable& x) {
     for (int64_t r = lo; r < hi; ++r) {
       const float* src = xv.data() + r * f;
       float* dst = out.data() + r * f;
-      float max_v = src[0];
-      for (int64_t j = 1; j < f; ++j) max_v = std::max(max_v, src[j]);
-      double total = 0.0;
-      for (int64_t j = 0; j < f; ++j) {
-        dst[j] = std::exp(src[j] - max_v);
-        total += dst[j];
-      }
-      const float inv = static_cast<float>(1.0 / total);
-      for (int64_t j = 0; j < f; ++j) dst[j] *= inv;
+      // Max, sum, and scale go through the dispatched row kernels
+      // (src/tensor/kernels.h); exp stays scalar — there is no vector
+      // libm here and the transcendental dominates this loop anyway. The
+      // kernels' scalar fallbacks reproduce the original sequential
+      // double-accumulation numerics exactly.
+      const float max_v = RowMax(src, f);
+      for (int64_t j = 0; j < f; ++j) dst[j] = std::exp(src[j] - max_v);
+      const double total = RowSumDouble(dst, f);
+      RowScale(static_cast<float>(1.0 / total), dst, f);
     }
   });
   // 5 FLOPs per element (max, sub, exp, sum, div) — matches the softmax
@@ -763,23 +781,16 @@ Variable LayerNorm(const Variable& x, const Variable& gamma,
   ParallelForWork(rows, f * 10, [&](int64_t lo, int64_t hi) {
     for (int64_t r = lo; r < hi; ++r) {
       const float* src = xv.data() + r * f;
-      double mean = 0.0;
-      for (int64_t j = 0; j < f; ++j) mean += src[j];
-      mean /= static_cast<double>(f);
-      double var = 0.0;
-      for (int64_t j = 0; j < f; ++j) {
-        const double d = src[j] - mean;
-        var += d * d;
-      }
-      var /= static_cast<double>(f);
+      // Statistics and the normalize+affine pass go through the dispatched
+      // row kernels; their scalar fallbacks reproduce the original
+      // sequential double accumulation exactly.
+      double mean, var;
+      RowMeanVar(src, f, &mean, &var);
       const float istd = static_cast<float>(1.0 / std::sqrt(var + eps));
       (*inv_std)[static_cast<size_t>(r)] = istd;
-      float* xh = xhat->data() + r * f;
-      float* dst = out.data() + r * f;
-      for (int64_t j = 0; j < f; ++j) {
-        xh[j] = (src[j] - static_cast<float>(mean)) * istd;
-        dst[j] = xh[j] * gamma.value()[j] + beta.value()[j];
-      }
+      RowNormalizeAffine(src, static_cast<float>(mean), istd,
+                         gamma.value().data(), beta.value().data(),
+                         xhat->data() + r * f, out.data() + r * f, f);
     }
   });
   // Mean, variance, normalize, affine: ~8 FLOPs per element.

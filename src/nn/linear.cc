@@ -21,6 +21,7 @@ Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng,
 ag::Variable Linear::Forward(const ag::Variable& x) {
   const Tensor& xv = x.value();
   ALT_CHECK_EQ(xv.size(xv.ndim() - 1), in_features_);
+  if (qweight_ != nullptr && !training_) return ForwardInt8(xv);
   ag::Variable out;
   if (xv.ndim() == 2) {
     out = ag::MatMul(x, weight_);
@@ -33,6 +34,31 @@ ag::Variable Linear::Forward(const ag::Variable& x) {
   }
   if (use_bias_) out = ag::AddBias(out, bias_);
   return out;
+}
+
+ag::Variable Linear::ForwardInt8(const Tensor& xv) {
+  // Keep a local ref so a concurrent QuantizeForServing cannot free the
+  // matrix mid-GEMM.
+  const std::shared_ptr<quant::QuantizedMatrix> qw = qweight_;
+  const int64_t rows = xv.numel() / in_features_;
+  Tensor out2({rows, out_features_});
+  quant::Int8MatMul(xv.data(), rows, *qw, out2.data());
+  ag::Variable out;
+  if (xv.ndim() == 2) {
+    out = ag::Variable::Constant(std::move(out2));
+  } else {
+    ALT_CHECK_EQ(xv.ndim(), 3);
+    out = ag::Variable::Constant(
+        out2.Reshape({xv.size(0), xv.size(1), out_features_}));
+  }
+  if (use_bias_) out = ag::AddBias(out, bias_);
+  return out;
+}
+
+int64_t Linear::QuantizeForServing() {
+  qweight_ = std::make_shared<quant::QuantizedMatrix>(
+      quant::QuantizeWeight(weight_.value()));
+  return 1;
 }
 
 int64_t Linear::Flops(int64_t rows) const {

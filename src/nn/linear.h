@@ -1,18 +1,25 @@
 #ifndef ALT_SRC_NN_LINEAR_H_
 #define ALT_SRC_NN_LINEAR_H_
 
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/autograd/ops.h"
 #include "src/nn/module.h"
+#include "src/tensor/quant.h"
 
 namespace alt {
 namespace nn {
 
 /// Fully-connected layer: y = x W + b. Accepts rank-2 [N, in] or rank-3
 /// [B, T, in] inputs (rank-3 is flattened to rows internally).
+///
+/// After QuantizeForServing(), eval-mode Forward runs the int8 GEMM
+/// (quant::Int8MatMul) against a quantized snapshot of the weight and
+/// returns a constant (non-differentiable) activation; training-mode
+/// Forward always uses the intact fp32 weight.
 class Linear : public Module {
  public:
   /// Xavier-uniform initialized weights; zero bias.
@@ -24,6 +31,10 @@ class Linear : public Module {
   int64_t in_features() const { return in_features_; }
   int64_t out_features() const { return out_features_; }
 
+  /// Snapshots the fp32 weight into an int8 QuantizedMatrix; returns 1.
+  int64_t QuantizeForServing() override;
+  bool quantized() const { return qweight_ != nullptr; }
+
   /// FLOPs for `rows` input rows (2 * in * out MACs + bias adds).
   int64_t Flops(int64_t rows) const;
 
@@ -31,11 +42,18 @@ class Linear : public Module {
   std::vector<std::pair<std::string, ag::Variable*>> LocalParameters() override;
 
  private:
+  /// Eval-mode int8 path: dynamic activation quantization + int8 GEMM.
+  ag::Variable ForwardInt8(const Tensor& xv);
+
   int64_t in_features_;
   int64_t out_features_;
   bool use_bias_;
   ag::Variable weight_;  // [in, out]
   ag::Variable bias_;    // [out]
+  /// Int8 serving snapshot of weight_ ([out, in] transposed layout); null
+  /// until QuantizeForServing(). Shared so concurrent eval forwards can
+  /// hold it across a re-quantize.
+  std::shared_ptr<quant::QuantizedMatrix> qweight_;
 };
 
 }  // namespace nn

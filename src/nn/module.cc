@@ -37,6 +37,14 @@ void Module::SetTraining(bool training) {
   for (auto& [name, child] : Children()) child->SetTraining(training);
 }
 
+int64_t Module::QuantizeForServing() {
+  int64_t quantized = 0;
+  for (auto& [name, child] : Children()) {
+    quantized += child->QuantizeForServing();
+  }
+  return quantized;
+}
+
 void Module::ZeroGrad() {
   for (ag::Variable* p : Parameters()) p->ZeroGrad();
 }

@@ -33,6 +33,14 @@ class Module {
   virtual void SetTraining(bool training);
   bool training() const { return training_; }
 
+  /// Post-training int8 quantization for serving (src/tensor/quant.h):
+  /// recursively quantizes every quantizable layer in the subtree (today,
+  /// Linear weights) and returns how many layers were quantized. Quantized
+  /// layers take the int8 kernel only in eval mode; the fp32 weights stay
+  /// intact, so switching back to training mode restores exact fp32
+  /// behavior. Idempotent (re-quantizing replaces the int8 copies).
+  virtual int64_t QuantizeForServing();
+
   /// Zeroes every parameter gradient.
   void ZeroGrad();
 

@@ -1,5 +1,8 @@
 #include "src/serving/model_server.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "src/obs/memory_tracker.h"
 #include "src/obs/trace.h"
 #include "src/resilience/fault_injection.h"
@@ -17,17 +20,43 @@ std::string ModelServer::LatencyMetricName(const std::string& scenario) {
 }
 
 Status ModelServer::Deploy(const std::string& scenario,
-                           std::unique_ptr<models::BaseModel> model) {
-  return TryDeploy(scenario, &model);
+                           std::unique_ptr<models::BaseModel> model,
+                           const DeployOptions& options) {
+  return TryDeploy(scenario, &model, options);
 }
 
 Status ModelServer::TryDeploy(const std::string& scenario,
-                              std::unique_ptr<models::BaseModel>* model) {
+                              std::unique_ptr<models::BaseModel>* model,
+                              const DeployOptions& options) {
   if (model == nullptr || *model == nullptr) {
     return Status::InvalidArgument("null model");
   }
   ALT_FAULT_RETURN_IF("serving/deploy");
   (*model)->SetTraining(false);
+  if (options.quantize_int8) {
+    // Score the calibration batch with the fp32 weights first: those probs
+    // are the distillation soft labels the quantized model is checked
+    // against.
+    std::vector<float> soft_labels;
+    if (options.calibration != nullptr) {
+      soft_labels = (*model)->PredictProbs(*options.calibration);
+    }
+    (*model)->QuantizeForServing();
+    registry_->counter("serving/quantized_deploys")->Add();
+    if (options.calibration != nullptr) {
+      const std::vector<float> int8_probs =
+          (*model)->PredictProbs(*options.calibration);
+      double max_delta = 0.0;
+      for (size_t i = 0; i < soft_labels.size(); ++i) {
+        max_delta = std::max(
+            max_delta, std::fabs(static_cast<double>(int8_probs[i]) -
+                                 static_cast<double>(soft_labels[i])));
+      }
+      registry_
+          ->gauge("serving/quantization/max_prob_delta/" + scenario)
+          ->Set(max_delta);
+    }
+  }
   std::shared_ptr<Deployment> deployment;
   {
     MutexLock lock(registry_mu_);

@@ -54,6 +54,23 @@ struct ServingResilienceOptions {
   std::string default_scenario;
 };
 
+/// Per-deploy configuration (plain Deploy == all defaults).
+struct DeployOptions {
+  /// Post-training int8 quantization of the model's Linear layers at
+  /// deploy time (symmetric scheme, src/tensor/quant.h). The serving
+  /// Predict path then runs the int8 GEMM; the fp32 weights stay intact
+  /// inside the model. Counted in `serving/quantized_deploys`.
+  bool quantize_int8 = false;
+  /// Optional calibration batch, scored with the fp32 model right before
+  /// quantization — its fp32 probabilities are the distillation soft
+  /// labels the int8 model is compared against. The maximum
+  /// |p_int8 - p_fp32| over the batch lands in the gauge
+  /// `serving/quantization/max_prob_delta/<scenario>`, so the accuracy
+  /// cost of every quantized deploy is measured, not assumed. Ignored
+  /// unless quantize_int8 is set. Must outlive the Deploy call only.
+  const data::Batch* calibration = nullptr;
+};
+
 /// The Model Serving module (Sec. IV-E): per-scenario model registry with
 /// thread-safe prediction and per-scenario latency accounting. Deploys are
 /// atomic swaps, so scenarios can be re-deployed while serving.
@@ -71,13 +88,15 @@ class ModelServer {
 
   /// Installs (or replaces) the serving model of `scenario`.
   Status Deploy(const std::string& scenario,
-                std::unique_ptr<models::BaseModel> model);
+                std::unique_ptr<models::BaseModel> model,
+                const DeployOptions& options = {});
 
   /// Retry-friendly Deploy: consumes `*model` only on success, so a failed
   /// attempt (e.g. an injected serving/deploy fault) leaves the model with
   /// the caller for the next attempt.
   Status TryDeploy(const std::string& scenario,
-                   std::unique_ptr<models::BaseModel>* model);
+                   std::unique_ptr<models::BaseModel>* model,
+                   const DeployOptions& options = {});
 
   /// Enables graceful degradation for Predict. `clock == nullptr` selects
   /// resilience::RealClock(); tests inject a FakeClock to drive deadlines

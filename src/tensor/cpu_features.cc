@@ -1,0 +1,143 @@
+#include "src/tensor/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/tensor/kernels_simd.h"
+#include "src/util/logging.h"
+
+namespace alt {
+
+namespace {
+
+constexpr int kUnresolved = -1;
+
+/// Resolved dispatch level; kUnresolved until the first ActiveSimdLevel().
+/// Resolution is idempotent, so a benign first-use race costs at most a
+/// duplicate probe.
+std::atomic<int> g_level{kUnresolved};
+
+bool HostHasAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool HostHasAvx512() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512bw") &&
+         __builtin_cpu_supports("avx512vl");
+#else
+  return false;
+#endif
+}
+
+bool HostHasAvx512Vnni() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx512vnni");
+#else
+  return false;
+#endif
+}
+
+SimdLevel BestSupported() {
+  if (Avx512Supported()) return SimdLevel::kAvx512;
+  if (Avx2Supported()) return SimdLevel::kAvx2;
+  return SimdLevel::kScalar;
+}
+
+SimdLevel Resolve() {
+  const char* env = std::getenv("ALT_SIMD");
+  if (env != nullptr) {
+    if (std::strcmp(env, "off") == 0 || std::strcmp(env, "scalar") == 0) {
+      return SimdLevel::kScalar;
+    }
+    if (std::strcmp(env, "avx2") == 0) {
+      if (Avx2Supported()) return SimdLevel::kAvx2;
+      ALT_LOG(Warning) << "ALT_SIMD=avx2 requested but "
+                       << (simd::Avx2CompiledIn() ? "the host CPU"
+                                                  : "this build")
+                       << " lacks AVX2+FMA; using the scalar kernels";
+      return SimdLevel::kScalar;
+    }
+    if (std::strcmp(env, "avx512") == 0) {
+      if (Avx512Supported()) return SimdLevel::kAvx512;
+      ALT_LOG(Warning) << "ALT_SIMD=avx512 requested but "
+                       << (simd::Avx512CompiledIn() ? "the host CPU"
+                                                    : "this build")
+                       << " lacks AVX-512 F+BW+VL; using the "
+                       << SimdLevelName(BestSupported()) << " kernels";
+      return BestSupported();
+    }
+    if (std::strcmp(env, "auto") != 0) {
+      ALT_LOG(Warning) << "unknown ALT_SIMD value '" << env
+                       << "' (expected off|scalar|avx2|avx512|auto); "
+                          "using auto";
+    }
+  }
+  return BestSupported();
+}
+
+bool Supported(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return true;
+    case SimdLevel::kAvx2:
+      return Avx2Supported();
+    case SimdLevel::kAvx512:
+      return Avx512Supported();
+  }
+  return false;
+}
+
+}  // namespace
+
+SimdLevel ActiveSimdLevel() {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level == kUnresolved) {
+    level = static_cast<int>(Resolve());
+    g_level.store(level, std::memory_order_relaxed);
+  }
+  return static_cast<SimdLevel>(level);
+}
+
+bool Avx2Supported() { return simd::Avx2CompiledIn() && HostHasAvx2(); }
+
+bool Avx512Supported() {
+  return simd::Avx512CompiledIn() && HostHasAvx512();
+}
+
+bool Avx512VnniSupported() {
+  return Avx512Supported() && simd::Avx512VnniCompiledIn() &&
+         HostHasAvx512Vnni();
+}
+
+bool SetSimdLevel(SimdLevel level) {
+  if (!Supported(level)) {
+    g_level.store(static_cast<int>(BestSupported()),
+                  std::memory_order_relaxed);
+    return false;
+  }
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  return true;
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx512:
+      return "avx512";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kScalar:
+      return "scalar";
+  }
+  return "scalar";
+}
+
+const char* ActiveSimdName() { return SimdLevelName(ActiveSimdLevel()); }
+
+}  // namespace alt

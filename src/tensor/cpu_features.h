@@ -1,0 +1,64 @@
+#ifndef ALT_SRC_TENSOR_CPU_FEATURES_H_
+#define ALT_SRC_TENSOR_CPU_FEATURES_H_
+
+namespace alt {
+
+/// Runtime CPU-feature dispatch for the kernel layer ------------------------
+///
+/// The blocked scalar kernels in kernels.cc are the guaranteed-identical
+/// contract; the AVX2+FMA micro-kernels in kernels_avx2.cc and the AVX-512
+/// micro-kernels in kernels_avx512.cc are drop-in accelerations selected
+/// once per process. Selection order:
+///
+///   1. ALT_SIMD environment variable: "off"/"scalar" forces the scalar
+///      path, "avx2" pins AVX2 (no 512-bit code even on capable hosts —
+///      useful to avoid AVX-512 frequency licensing on mixed fleets),
+///      "avx512" requests the widest tier, "auto"/unset picks the best
+///      level the host supports. A request the host or build cannot satisfy
+///      falls back to the best available level with a warning.
+///   2. Hardware probe: __builtin_cpu_supports on avx2+fma, and
+///      avx512f+avx512bw+avx512vl for the 512-bit tier, gated on the
+///      matching translation unit actually having been compiled (non-x86
+///      builds always resolve to scalar).
+///
+/// The resolved level is cached in an atomic; SetSimdLevel overrides it at
+/// runtime so tests and benchmarks can compare the paths in one process.
+/// Kernels re-read ActiveSimdLevel() per call (one relaxed load), so an
+/// override takes effect immediately on all threads.
+///
+/// Levels are ordered: every AVX-512 host also dispatches the 256-bit row
+/// primitives (kAvx512 implies AVX2+FMA are usable), so kernels may test
+/// `level >= kAvx2` for those and reserve `== kAvx512` for the wide GEMM.
+enum class SimdLevel {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+/// The level kernels dispatch on right now (env/probe resolution happens on
+/// first call; later calls are one relaxed atomic load).
+SimdLevel ActiveSimdLevel();
+
+/// True when the AVX2 backend is usable: compiled in AND supported by the
+/// host CPU. Independent of ALT_SIMD / SetSimdLevel.
+bool Avx2Supported();
+/// Same for the AVX-512 (F+BW+VL) backend.
+bool Avx512Supported();
+/// True when the int8 path may use the VNNI dot-product instructions:
+/// Avx512Supported() plus compile/host avx512vnni. Not a dispatch level of
+/// its own — it refines the kAvx512 int8 GEMM only.
+bool Avx512VnniSupported();
+
+/// Forces the dispatch level. Requesting a level the host/build cannot run
+/// is ignored (the level is left at the best supported one) and returns
+/// false; otherwise returns true. Test/bench hook — not meant for production
+/// configuration, which should use ALT_SIMD.
+bool SetSimdLevel(SimdLevel level);
+
+/// "avx512", "avx2" or "scalar".
+const char* SimdLevelName(SimdLevel level);
+const char* ActiveSimdName();
+
+}  // namespace alt
+
+#endif  // ALT_SRC_TENSOR_CPU_FEATURES_H_

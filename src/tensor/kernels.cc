@@ -1,10 +1,14 @@
 #include "src/tensor/kernels.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <vector>
 
 #include "src/obs/metrics.h"
+#include "src/tensor/cpu_features.h"
+#include "src/tensor/kernels_simd.h"
+#include "src/tensor/scratch.h"
 #include "src/util/logging.h"
 #include "src/util/parallel_for.h"
 
@@ -37,11 +41,12 @@ static_assert(kKC % 4 == 0, "k blocks must preserve the quad unroll");
 /// Approximate scalar ops per C element per unit k, for grain derivation.
 constexpr int64_t kGemmWorkPerRow = 2;
 
-/// Per-thread scratch for packed B^T panels and im2col buffers. ParallelFor
-/// is synchronous, so a buffer owned by the calling thread outlives every
-/// worker that reads it.
-thread_local std::vector<float> tls_pack;
-thread_local std::vector<float> tls_im2col;
+/// One relaxed atomic load; re-read per kernel call so SetSimdLevel (tests,
+/// benchmarks) takes effect immediately. The AVX-512 tier only replaces the
+/// GEMM micro-panels and long dot products; every other vector primitive
+/// uses the 256-bit implementations whenever the level is at least kAvx2
+/// (an AVX-512 host always supports them).
+inline bool UseAvx2() { return ActiveSimdLevel() >= SimdLevel::kAvx2; }
 
 template <bool kTransA>
 inline float LoadA(const float* a, int64_t lda, int64_t i, int64_t p) {
@@ -133,16 +138,27 @@ void MicroPanel(const float* __restrict__ a, int64_t lda,
 }
 
 /// Shared driver: C[m,n] += op(A) * B with blocking and row-panel
-/// parallelism. B is [k, n] with leading dimension ldb.
+/// parallelism. B is [k, n] with leading dimension ldb. The SIMD level is
+/// sampled once per call so a mid-call SetSimdLevel from another thread
+/// cannot mix micro-kernels within one GEMM.
 template <bool kTransA>
 void BlockedGemm(const float* a, int64_t lda, const float* b, int64_t ldb,
                  float* c, int64_t m, int64_t k, int64_t n) {
+  const SimdLevel level = ActiveSimdLevel();
   ParallelFor(0, m, kRowGrain, [&](int64_t i0, int64_t i1) {
     for (int64_t j0 = 0; j0 < n; j0 += kNC) {
       const int64_t j1 = std::min<int64_t>(n, j0 + kNC);
       for (int64_t p0 = 0; p0 < k; p0 += kKC) {
         const int64_t p1 = std::min<int64_t>(k, p0 + kKC);
-        MicroPanel<kTransA>(a, lda, b, ldb, c, n, i0, i1, p0, p1, j0, j1);
+        if (level == SimdLevel::kAvx512) {
+          simd::GemmMicroPanelAvx512(a, lda, b, ldb, c, n, i0, i1, p0, p1,
+                                     j0, j1, kTransA);
+        } else if (level == SimdLevel::kAvx2) {
+          simd::GemmMicroPanelAvx2(a, lda, b, ldb, c, n, i0, i1, p0, p1, j0,
+                                   j1, kTransA);
+        } else {
+          MicroPanel<kTransA>(a, lda, b, ldb, c, n, i0, i1, p0, p1, j0, j1);
+        }
       }
     }
   });
@@ -167,31 +183,43 @@ void GemmTransAImpl(const float* a, const float* b, float* c, int64_t m,
 void GemmTransBImpl(const float* a, const float* b, float* c, int64_t m,
                     int64_t k, int64_t n) {
   if (m < kMR) {
+    const SimdLevel level = ActiveSimdLevel();
     for (int64_t i = 0; i < m; ++i) {
       const float* __restrict__ arow = a + i * k;
       float* __restrict__ crow = c + i * n;
       for (int64_t j = 0; j < n; ++j) {
         const float* __restrict__ brow = b + j * k;
-        float acc = 0.0f;
-        for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-        crow[j] += acc;
+        if (level == SimdLevel::kAvx512) {
+          crow[j] += simd::DotAvx512(arow, brow, k);
+        } else if (level == SimdLevel::kAvx2) {
+          crow[j] += simd::DotAvx2(arow, brow, k);
+        } else {
+          float acc = 0.0f;
+          for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+          crow[j] += acc;
+        }
       }
     }
     return;
   }
-  std::vector<float>& bt = tls_pack;
-  bt.resize(static_cast<size_t>(k * n));
+  ScratchFrame frame;
+  float* bt = frame.Floats(k * n);
   for (int64_t j = 0; j < n; ++j) {
     const float* __restrict__ brow = b + j * k;
-    for (int64_t p = 0; p < k; ++p) bt[static_cast<size_t>(p * n + j)] = brow[p];
+    for (int64_t p = 0; p < k; ++p) bt[p * n + j] = brow[p];
   }
-  BlockedGemm<false>(a, k, bt.data(), n, c, m, k, n);
+  BlockedGemm<false>(a, k, bt, n, c, m, k, n);
 }
 
 }  // namespace
 
 void VecAxpy(float alpha, const float* x, float* y, int64_t n) {
+  const bool avx2 = UseAvx2();
   ParallelForWork(n, kGemmWorkPerRow, [&](int64_t lo, int64_t hi) {
+    if (avx2) {
+      simd::VecAxpyAvx2(alpha, x + lo, y + lo, hi - lo);
+      return;
+    }
     const float* __restrict__ xs = x;
     float* __restrict__ ys = y;
     for (int64_t i = lo; i < hi; ++i) ys[i] += alpha * xs[i];
@@ -199,10 +227,77 @@ void VecAxpy(float alpha, const float* x, float* y, int64_t n) {
 }
 
 void VecScale(float alpha, float* y, int64_t n) {
+  const bool avx2 = UseAvx2();
   ParallelForWork(n, 1, [&](int64_t lo, int64_t hi) {
+    if (avx2) {
+      simd::VecScaleAvx2(alpha, y + lo, hi - lo);
+      return;
+    }
     float* __restrict__ ys = y;
     for (int64_t i = lo; i < hi; ++i) ys[i] *= alpha;
   });
+}
+
+void VecRelu(const float* x, float* y, int64_t n) {
+  if (UseAvx2()) {
+    simd::VecReluAvx2(x, y, n);
+    return;
+  }
+  for (int64_t i = 0; i < n; ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void RowScale(float alpha, float* y, int64_t n) {
+  if (UseAvx2()) {
+    simd::VecScaleAvx2(alpha, y, n);
+    return;
+  }
+  for (int64_t i = 0; i < n; ++i) y[i] *= alpha;
+}
+
+float RowMax(const float* x, int64_t n) {
+  ALT_DCHECK_GE(n, 1);
+  if (UseAvx2()) return simd::RowMaxAvx2(x, n);
+  float best = x[0];
+  for (int64_t i = 1; i < n; ++i) best = std::max(best, x[i]);
+  return best;
+}
+
+double RowSumDouble(const float* x, int64_t n) {
+  if (UseAvx2()) return simd::RowSumAvx2(x, n);
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) total += static_cast<double>(x[i]);
+  return total;
+}
+
+void RowMeanVar(const float* x, int64_t n, double* mean, double* var) {
+  if (UseAvx2()) {
+    simd::RowMeanVarAvx2(x, n, mean, var);
+    return;
+  }
+  double m = 0.0;
+  for (int64_t i = 0; i < n; ++i) m += x[i];
+  m /= static_cast<double>(n);
+  double v = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double d = x[i] - m;
+    v += d * d;
+  }
+  *mean = m;
+  *var = v / static_cast<double>(n);
+}
+
+void RowNormalizeAffine(const float* src, float mean, float istd,
+                        const float* gamma, const float* beta, float* xhat,
+                        float* dst, int64_t n) {
+  if (UseAvx2()) {
+    simd::RowNormalizeAffineAvx2(src, mean, istd, gamma, beta, xhat, dst, n);
+    return;
+  }
+  for (int64_t j = 0; j < n; ++j) {
+    const float xh = (src[j] - mean) * istd;
+    xhat[j] = xh;
+    dst[j] = xh * gamma[j] + beta[j];
+  }
 }
 
 void MatMul(const Tensor& a, const Tensor& b, Tensor* c) {
@@ -211,9 +306,17 @@ void MatMul(const Tensor& a, const Tensor& b, Tensor* c) {
   ALT_CHECK_EQ(a.size(1), b.size(0));
   ALT_CHECK_EQ(c->size(0), a.size(0));
   ALT_CHECK_EQ(c->size(1), b.size(1));
-  // Handle cached per call site; disabled-mode cost is one relaxed load and
-  // zero clock reads (the < 3% bench_kernels budget, see DESIGN.md).
-  obs::ScopedTimerMs timer(ALT_OBS_HISTOGRAM_HANDLE("tensor/gemm/time_ms"));
+  // Handles cached per call site; disabled-mode cost is one relaxed load and
+  // zero clock reads (the < 3% bench_kernels budget, see DESIGN.md). The
+  // per-ISA split needs both handles pre-resolved because the macro latches
+  // its name on first use — a runtime-built name would pin the first ISA.
+  const SimdLevel timer_level = ActiveSimdLevel();
+  obs::ScopedTimerMs timer(
+      timer_level == SimdLevel::kAvx512
+          ? ALT_OBS_HISTOGRAM_HANDLE("tensor/gemm/time_ms/avx512")
+          : timer_level == SimdLevel::kAvx2
+                ? ALT_OBS_HISTOGRAM_HANDLE("tensor/gemm/time_ms/avx2")
+                : ALT_OBS_HISTOGRAM_HANDLE("tensor/gemm/time_ms/scalar"));
   ALT_OBS_COUNTER_ADD("tensor/gemm/calls_total", 1);
   GemmImpl(a.data(), b.data(), c->data(), a.size(0), a.size(1), b.size(1),
            /*accumulate=*/false);
@@ -253,8 +356,14 @@ void BatchedMatMul(const Tensor& a, bool trans_a, const Tensor& b,
   ALT_CHECK_EQ(c->size(1), m);
   ALT_CHECK_EQ(c->size(2), n);
 
+  const SimdLevel timer_level = ActiveSimdLevel();
   obs::ScopedTimerMs timer(
-      ALT_OBS_HISTOGRAM_HANDLE("tensor/batched_matmul/time_ms"));
+      timer_level == SimdLevel::kAvx512
+          ? ALT_OBS_HISTOGRAM_HANDLE("tensor/batched_matmul/time_ms/avx512")
+          : timer_level == SimdLevel::kAvx2
+                ? ALT_OBS_HISTOGRAM_HANDLE("tensor/batched_matmul/time_ms/avx2")
+                : ALT_OBS_HISTOGRAM_HANDLE(
+                      "tensor/batched_matmul/time_ms/scalar"));
 
   const int64_t a_stride = a.size(1) * a.size(2);
   const int64_t b_stride = b.size(1) * b.size(2);
@@ -304,12 +413,20 @@ void Conv1D(const Tensor& input, const Tensor& weight, const Tensor* bias,
   ALT_CHECK_EQ(out->size(2), cout);
   ALT_CHECK_GE(dilation, 1);
 
-  obs::ScopedTimerMs timer(ALT_OBS_HISTOGRAM_HANDLE("tensor/conv1d/time_ms"));
+  const SimdLevel timer_level = ActiveSimdLevel();
+  obs::ScopedTimerMs timer(
+      timer_level == SimdLevel::kAvx512
+          ? ALT_OBS_HISTOGRAM_HANDLE("tensor/conv1d/time_ms/avx512")
+          : timer_level == SimdLevel::kAvx2
+                ? ALT_OBS_HISTOGRAM_HANDLE("tensor/conv1d/time_ms/avx2")
+                : ALT_OBS_HISTOGRAM_HANDLE("tensor/conv1d/time_ms/scalar"));
 
   // im2col + GEMM: each output row [t, :] is X2[t, :] * W^T where
   // X2[t, j*cin + ci] holds input[t + (j - half)*dilation, ci] under SAME
   // padding (zeros outside the sequence). The repacked weight Wt[p, co] is
-  // shared read-only across the batch; the im2col buffer is per-thread.
+  // shared read-only across the batch; the im2col buffer comes from the
+  // worker thread's scratch arena (tracked, reused across calls) instead of
+  // an untracked per-call thread_local vector.
   const int64_t half = (k - 1) / 2;
   const int64_t cols = k * cin;
   std::vector<float> wt(static_cast<size_t>(cols * cout));
@@ -321,11 +438,14 @@ void Conv1D(const Tensor& input, const Tensor& weight, const Tensor* bias,
   }
 
   ParallelFor(0, batch, /*grain=*/1, [&](int64_t b0, int64_t b1) {
+    ScratchFrame frame;
+    float* x2 = frame.Floats(seq * cols);
     for (int64_t b = b0; b < b1; ++b) {
-      std::vector<float>& x2 = tls_im2col;
-      x2.assign(static_cast<size_t>(seq * cols), 0.0f);
+      // Zero-fill so the SAME-padding taps that skip out-of-range time
+      // steps read zeros.
+      std::fill(x2, x2 + seq * cols, 0.0f);
       for (int64_t t = 0; t < seq; ++t) {
-        float* __restrict__ xrow = x2.data() + t * cols;
+        float* __restrict__ xrow = x2 + t * cols;
         for (int64_t j = 0; j < k; ++j) {
           const int64_t ti = t + (j - half) * dilation;
           if (ti < 0 || ti >= seq) continue;
@@ -335,7 +455,7 @@ void Conv1D(const Tensor& input, const Tensor& weight, const Tensor* bias,
         }
       }
       float* cp = out->data() + b * seq * cout;
-      GemmImpl(x2.data(), wt.data(), cp, seq, cols, cout,
+      GemmImpl(x2, wt.data(), cp, seq, cols, cout,
                /*accumulate=*/false);
       if (bias != nullptr) {
         for (int64_t t = 0; t < seq; ++t) {

@@ -18,6 +18,12 @@ namespace alt {
 /// the blocking constants alone, so results are bit-identical for every
 /// thread count (ALT_THREADS / alt::SetComputeThreads). The original scalar
 /// kernels are preserved in kernels_naive.h as the parity/benchmark baseline.
+///
+/// SIMD dispatch (src/tensor/cpu_features.h): on AVX2+FMA hosts the micro
+/// panels and the row primitives below run the AVX2 implementations from
+/// kernels_avx2.cc unless ALT_SIMD=off forces the scalar path. The two
+/// levels agree to rounding (different but fixed reduction orders); within
+/// one level results remain bit-identical across thread counts.
 
 /// y[i] += alpha * x[i]. The shared axpy primitive behind
 /// Tensor::AddInPlace / Tensor::Axpy, optimizer updates, and gradient
@@ -25,6 +31,26 @@ namespace alt {
 void VecAxpy(float alpha, const float* x, float* y, int64_t n);
 /// y[i] *= alpha.
 void VecScale(float alpha, float* y, int64_t n);
+
+/// Sequential row primitives for the hot elementwise/softmax/layer-norm
+/// loops in src/autograd/ops.cc. Unlike VecAxpy/VecScale these never spawn
+/// parallel work — callers invoke them per row inside their own ParallelFor
+/// chunks — but they do dispatch to the AVX2 backend.
+/// y[i] = max(x[i], 0).
+void VecRelu(const float* x, float* y, int64_t n);
+/// y[i] *= alpha (sequential flavor of VecScale).
+void RowScale(float alpha, float* y, int64_t n);
+/// max_i x[i]; requires n >= 1. Exact at any SIMD level.
+float RowMax(const float* x, int64_t n);
+/// Double-precision sum; the SIMD level fixes the accumulation grouping.
+double RowSumDouble(const float* x, int64_t n);
+/// Two-pass population mean/variance in double precision.
+void RowMeanVar(const float* x, int64_t n, double* mean, double* var);
+/// Layer-norm inner loop: xhat[j] = (src[j] - mean) * istd;
+/// dst[j] = xhat[j] * gamma[j] + beta[j].
+void RowNormalizeAffine(const float* src, float mean, float istd,
+                        const float* gamma, const float* beta, float* xhat,
+                        float* dst, int64_t n);
 
 /// C = A[m,k] * B[k,n]. Overwrites C.
 void MatMul(const Tensor& a, const Tensor& b, Tensor* c);

@@ -1,0 +1,254 @@
+#include "src/tensor/quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/obs/metrics.h"
+#include "src/tensor/cpu_features.h"
+#include "src/tensor/kernels_simd.h"
+#include "src/tensor/scratch.h"
+#include "src/util/logging.h"
+#include "src/util/parallel_for.h"
+
+namespace alt {
+namespace quant {
+namespace {
+
+// Clamp to +-127 (not -128) to keep the grid symmetric around zero.
+inline int8_t QuantizeValue(float v, float inv_scale) {
+  const long q = std::lrintf(v * inv_scale);
+  return static_cast<int8_t>(
+      std::max<long>(-127, std::min<long>(127, q)));
+}
+
+/// Output-column chunk size for the int8 GEMMs: wide enough that the SIMD
+/// panels run with full vectors and the per-chunk weight slice is reused
+/// across all m activation rows.
+constexpr int64_t kColGrain = 64;
+
+int32_t Int8DotScalar(const int8_t* a, const int8_t* b, int64_t k) {
+  int32_t acc = 0;
+  for (int64_t p = 0; p < k; ++p) {
+    acc += static_cast<int32_t>(a[p]) * static_cast<int32_t>(b[p]);
+  }
+  return acc;
+}
+
+}  // namespace
+
+QuantizedMatrix QuantizeWeight(const Tensor& w) {
+  ALT_CHECK_EQ(w.ndim(), 2) << "QuantizeWeight expects a [k, n] matrix ";
+  const int64_t k = w.size(0);
+  const int64_t n = w.size(1);
+  QuantizedMatrix q;
+  q.rows = n;
+  q.cols = k;
+  q.data.resize(static_cast<size_t>(n * k));
+  q.scales.resize(static_cast<size_t>(n));
+  q.row_sums.resize(static_cast<size_t>(n));
+  const float* src = w.data();
+  for (int64_t j = 0; j < n; ++j) {
+    float maxabs = 0.0f;
+    for (int64_t p = 0; p < k; ++p) {
+      maxabs = std::max(maxabs, std::fabs(src[p * n + j]));
+    }
+    const float scale = maxabs / 127.0f;
+    const float inv_scale = maxabs > 0.0f ? 127.0f / maxabs : 0.0f;
+    q.scales[static_cast<size_t>(j)] = scale;
+    int8_t* dst = q.data.data() + j * k;
+    int32_t sum = 0;
+    for (int64_t p = 0; p < k; ++p) {
+      dst[p] = QuantizeValue(src[p * n + j], inv_scale);
+      sum += dst[p];
+    }
+    q.row_sums[static_cast<size_t>(j)] = sum;
+  }
+  if (Avx512VnniSupported()) {
+    const int64_t k4 = (k + 3) & ~int64_t{3};
+    q.vnni_data.assign(static_cast<size_t>(k4 * n), 0);
+    for (int64_t j = 0; j < n; ++j) {
+      const int8_t* row = q.data.data() + j * k;
+      for (int64_t p = 0; p < k; ++p) {
+        q.vnni_data[static_cast<size_t>((p / 4) * n * 4 + j * 4 + p % 4)] =
+            row[p];
+      }
+    }
+  }
+  return q;
+}
+
+Tensor DequantizeWeight(const QuantizedMatrix& q) {
+  Tensor w({q.cols, q.rows});
+  float* dst = w.data();
+  for (int64_t j = 0; j < q.rows; ++j) {
+    const float scale = q.scales[static_cast<size_t>(j)];
+    const int8_t* row = q.data.data() + j * q.cols;
+    for (int64_t p = 0; p < q.cols; ++p) {
+      dst[p * q.rows + j] = scale * static_cast<float>(row[p]);
+    }
+  }
+  return w;
+}
+
+void QuantizeRows(const float* x, int64_t m, int64_t k, int8_t* xq,
+                  float* scales) {
+  // The AVX2 row quantizer produces the same int8 codes bit-for-bit (same
+  // IEEE multiply; cvtps2dq and lrintf both round to nearest-even under the
+  // default modes), so this dispatch cannot change results.
+  if (ActiveSimdLevel() >= SimdLevel::kAvx2) {
+    for (int64_t i = 0; i < m; ++i) {
+      simd::Int8QuantizeRowAvx2(x + i * k, k, xq + i * k, scales + i);
+    }
+    return;
+  }
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = x + i * k;
+    float maxabs = 0.0f;
+    for (int64_t p = 0; p < k; ++p) {
+      maxabs = std::max(maxabs, std::fabs(row[p]));
+    }
+    scales[i] = maxabs / 127.0f;
+    const float inv_scale = maxabs > 0.0f ? 127.0f / maxabs : 0.0f;
+    int8_t* dst = xq + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      dst[p] = QuantizeValue(row[p], inv_scale);
+    }
+  }
+}
+
+void Int8Gemm(const int8_t* xq, const float* sx, const QuantizedMatrix& w,
+              int64_t m, float* c) {
+  const int64_t n = w.rows;
+  const int64_t k = w.cols;
+  const int8_t* wq = w.data.data();
+  const float* sw = w.scales.data();
+  const SimdLevel level = ActiveSimdLevel();
+  if (level == SimdLevel::kAvx512 && !w.vnni_data.empty() &&
+      Avx512VnniSupported()) {
+    // vpdpbusd path: activations are offset to u8 (q + 128) once, outside
+    // the parallel region; the per-column bias 128 * row_sums[j] is
+    // subtracted from the exact int32 accumulator, so bits still match the
+    // madd/scalar arms below.
+    const int64_t k4 = (k + 3) & ~int64_t{3};
+    ScratchFrame frame;
+    uint8_t* au = reinterpret_cast<uint8_t*>(frame.Int8(m * k4));
+    for (int64_t i = 0; i < m; ++i) {
+      const int8_t* srcrow = xq + i * k;
+      uint8_t* dstrow = au + i * k4;
+      for (int64_t p = 0; p < k; ++p) {
+        dstrow[p] = static_cast<uint8_t>(srcrow[p] ^ 0x80);
+      }
+      for (int64_t p = k; p < k4; ++p) dstrow[p] = 0;
+    }
+    const int8_t* wv = w.vnni_data.data();
+    const int32_t* rs = w.row_sums.data();
+    // Fixed 64-column chunks: full zmm lanes per panel call, and a chunk's
+    // weight slice (64 * k4 bytes) stays cache-resident across the m rows.
+    // The kernel fuses the 128-offset correction and the dequantizing store,
+    // so accumulators never round-trip through memory.
+    ParallelFor(0, n, kColGrain, [&](int64_t j0, int64_t j1) {
+      simd::Int8GemmVnniAvx512(au, m, k4, wv, n, j0, j1, sx, sw, rs, c);
+    });
+    return;
+  }
+  // Parallel over output columns: every c[i, j] is produced by exactly one
+  // chunk, and the int32 dot is exact, so neither the partition nor the
+  // SIMD level can change bits.
+  ParallelFor(0, n, kColGrain, [&](int64_t j0, int64_t j1) {
+    for (int64_t i = 0; i < m; ++i) {
+      const int8_t* arow = xq + i * k;
+      const float sa = sx[i];
+      float* crow = c + i * n;
+      int64_t j = j0;
+      if (level == SimdLevel::kAvx512) {
+        for (; j + 4 <= j1; j += 4) {
+          int32_t acc[4];
+          simd::Int8DotX4Avx512(arow, wq + j * k, k, k, acc);
+          for (int64_t t = 0; t < 4; ++t) {
+            crow[j + t] = sa * sw[j + t] * static_cast<float>(acc[t]);
+          }
+        }
+        for (; j < j1; ++j) {
+          crow[j] = sa * sw[j] * static_cast<float>(
+                                     simd::Int8DotAvx512(arow, wq + j * k, k));
+        }
+      } else if (level == SimdLevel::kAvx2) {
+        for (; j + 4 <= j1; j += 4) {
+          int32_t acc[4];
+          simd::Int8DotX4Avx2(arow, wq + j * k, k, k, acc);
+          for (int64_t t = 0; t < 4; ++t) {
+            crow[j + t] = sa * sw[j + t] * static_cast<float>(acc[t]);
+          }
+        }
+        for (; j < j1; ++j) {
+          crow[j] = sa * sw[j] *
+                    static_cast<float>(simd::Int8DotAvx2(arow, wq + j * k, k));
+        }
+      } else {
+        for (; j < j1; ++j) {
+          crow[j] = sa * sw[j] *
+                    static_cast<float>(Int8DotScalar(arow, wq + j * k, k));
+        }
+      }
+    }
+  });
+}
+
+void Int8MatMul(const float* x, int64_t m, const QuantizedMatrix& w,
+                float* out) {
+  const SimdLevel timer_level = ActiveSimdLevel();
+  obs::ScopedTimerMs timer(
+      timer_level == SimdLevel::kAvx512
+          ? ALT_OBS_HISTOGRAM_HANDLE("tensor/int8_gemm/time_ms/avx512")
+          : timer_level == SimdLevel::kAvx2
+                ? ALT_OBS_HISTOGRAM_HANDLE("tensor/int8_gemm/time_ms/avx2")
+                : ALT_OBS_HISTOGRAM_HANDLE("tensor/int8_gemm/time_ms/scalar"));
+  const int64_t k = w.cols;
+  ScratchFrame frame;
+  if (timer_level == SimdLevel::kAvx512 && !w.vnni_data.empty() &&
+      Avx512VnniSupported()) {
+    // Fast path: quantize each row straight into the VNNI GEMM's
+    // offset-binary layout, skipping the int8 intermediate and the
+    // separate +128 pass. The u8 codes carry the same integer values the
+    // generic path feeds Int8Gemm, so the fp32 output bits are unchanged.
+    const int64_t k4 = (k + 3) & ~int64_t{3};
+    uint8_t* au = reinterpret_cast<uint8_t*>(frame.Int8(m * k4));
+    float* sx = frame.Floats(m);
+    for (int64_t i = 0; i < m; ++i) {
+      simd::Int8QuantizeRowVnniAvx512(x + i * k, k, k4, au + i * k4, sx + i);
+    }
+    const int64_t n = w.rows;
+    const int8_t* wv = w.vnni_data.data();
+    const float* sw = w.scales.data();
+    const int32_t* rs = w.row_sums.data();
+    ParallelFor(0, n, kColGrain, [&](int64_t j0, int64_t j1) {
+      simd::Int8GemmVnniAvx512(au, m, k4, wv, n, j0, j1, sx, sw, rs, out);
+    });
+    return;
+  }
+  int8_t* xq = frame.Int8(m * k);
+  float* sx = frame.Floats(m);
+  QuantizeRows(x, m, k, xq, sx);
+  Int8Gemm(xq, sx, w, m, out);
+}
+
+double MaxRoundTripError(const Tensor& w, const QuantizedMatrix& q) {
+  ALT_CHECK_EQ(w.ndim(), 2) << "MaxRoundTripError expects a [k, n] matrix ";
+  ALT_CHECK_EQ(w.size(0), q.cols);
+  ALT_CHECK_EQ(w.size(1), q.rows);
+  const float* src = w.data();
+  double worst = 0.0;
+  for (int64_t j = 0; j < q.rows; ++j) {
+    const double scale = q.scales[static_cast<size_t>(j)];
+    const int8_t* row = q.data.data() + j * q.cols;
+    for (int64_t p = 0; p < q.cols; ++p) {
+      const double back = scale * static_cast<double>(row[p]);
+      worst = std::max(
+          worst, std::fabs(static_cast<double>(src[p * q.rows + j]) - back));
+    }
+  }
+  return worst;
+}
+
+}  // namespace quant
+}  // namespace alt

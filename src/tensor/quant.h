@@ -1,0 +1,75 @@
+#ifndef ALT_SRC_TENSOR_QUANT_H_
+#define ALT_SRC_TENSOR_QUANT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/obs/memory_tracker.h"
+#include "src/tensor/tensor.h"
+
+namespace alt {
+namespace quant {
+
+/// Post-training int8 quantization for the serving path ---------------------
+///
+/// Scheme: symmetric linear quantization with
+///   - static per-output-column weight scales, computed once at deploy time
+///     (`QuantizeWeight`): scale_w[j] = maxabs(W[:, j]) / 127;
+///   - dynamic per-row activation scales, computed per request
+///     (`QuantizeRows`): scale_x[i] = maxabs(X[i, :]) / 127.
+///
+/// The int8 GEMM accumulates in int32 — exactly, since |q| <= 127 keeps any
+/// realistic reduction depth far below 2^31 — and dequantizes with
+/// C[i, j] = scale_x[i] * scale_w[j] * acc32. Integer accumulation is
+/// order-independent, so the int8 path is bit-identical between the AVX2
+/// and scalar backends (unlike the fp32 kernels, which only agree to
+/// rounding). Round-trip error per weight is bounded by scale_w[j] / 2.
+///
+/// Weights are stored transposed ([n, k] for a [k, n] Linear weight) so the
+/// per-output dot products stream k contiguously on both operands.
+
+struct QuantizedMatrix {
+  int64_t rows = 0;  ///< Output features n; data is row-major [rows, cols].
+  int64_t cols = 0;  ///< Reduction depth k.
+  std::vector<int8_t, obs::TrackingAllocator<int8_t>> data;
+  std::vector<float> scales;    ///< [rows] dequantization scale per output.
+  std::vector<int32_t> row_sums;  ///< [rows] sum of q values (VNNI bias fix).
+  /// Optional repack of `data` in the vpdpbusd-friendly "[k4/4, n, 4]"
+  /// layout, zero-padded to k4 = RoundUp(cols, 4) depths. Populated at
+  /// quantize time only when cpu_features' Avx512VnniSupported() — the only
+  /// consumer. The VNNI GEMM computes with activations offset by +128
+  /// (u8 x s8), then subtracts 128 * row_sums[j]; all integer math, so its
+  /// results are bit-identical to the madd/scalar int8 kernels.
+  std::vector<int8_t, obs::TrackingAllocator<int8_t>> vnni_data;
+};
+
+/// Quantizes a [k, n] fp32 weight symmetric per output column into the
+/// transposed int8 layout above. All-zero columns get scale 0.
+QuantizedMatrix QuantizeWeight(const Tensor& w);
+
+/// Reconstructs the [k, n] fp32 weight (diagnostics/tests).
+Tensor DequantizeWeight(const QuantizedMatrix& q);
+
+/// Symmetric per-row activation quantization of X [m, k]:
+/// scales[i] = maxabs(X[i, :]) / 127, xq = clamp(round(x / scale), +-127).
+void QuantizeRows(const float* x, int64_t m, int64_t k, int8_t* xq,
+                  float* scales);
+
+/// C[m, n] = dequant(Xq * Wq^T). Overwrites C. Parallel over output
+/// columns; exact int32 accumulation makes the result independent of the
+/// partition and of the SIMD level.
+void Int8Gemm(const int8_t* xq, const float* sx, const QuantizedMatrix& w,
+              int64_t m, float* c);
+
+/// The serving matmul: dynamically quantizes X [m, k] (scratch-arena
+/// buffers), then Int8Gemm into out [m, w.rows].
+void Int8MatMul(const float* x, int64_t m, const QuantizedMatrix& w,
+                float* out);
+
+/// Largest |W - dequant(quant(W))| over all elements, for error-bound tests.
+double MaxRoundTripError(const Tensor& w, const QuantizedMatrix& q);
+
+}  // namespace quant
+}  // namespace alt
+
+#endif  // ALT_SRC_TENSOR_QUANT_H_

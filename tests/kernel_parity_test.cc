@@ -1,18 +1,24 @@
 // Parity suite for the blocked/parallel kernel layer: checks the optimized
 // kernels in src/tensor/kernels.cc against the frozen naive baselines in
 // kernels_naive.cc over randomized shapes (including degenerate and
-// non-tile-multiple ones), and asserts that every kernel is bit-identical
-// across compute thread counts {1, 2, hardware}.
+// non-tile-multiple ones), asserts that every kernel is bit-identical
+// across compute thread counts {1, 2, hardware}, and checks every SIMD
+// dispatch level the host can run (scalar / AVX2 / AVX-512) against a
+// double-precision reference plus int8 bit-identity across levels.
 
 #include "src/tensor/kernels.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "src/tensor/cpu_features.h"
 #include "src/tensor/kernels_naive.h"
+#include "src/tensor/quant.h"
 #include "src/util/parallel_for.h"
 #include "src/util/rng.h"
 
@@ -334,6 +340,263 @@ TEST(KernelParityTest, AddInPlaceMatchesPlainAdd) {
   Tensor got = a;
   got.AddInPlace(b);
   ExpectBitIdentical(got, want, "add_in_place", 1);
+}
+
+// ---------------------------------------------------------------------------
+// SIMD dispatch parity. Every level the host can run must agree with a
+// double-precision reference within the forward error bound of a length-k
+// fp32 reduction; the int8 kernels must be bit-identical across all levels,
+// thread counts, and the VNNI fast path.
+
+/// Restores the dispatch level that was active at construction.
+struct SimdLevelGuard {
+  SimdLevel saved = ActiveSimdLevel();
+  ~SimdLevelGuard() { SetSimdLevel(saved); }
+};
+
+/// Scalar always; AVX2 / AVX-512 when SetSimdLevel accepts them on this
+/// host+build.
+std::vector<SimdLevel> AvailableSimdLevels() {
+  SimdLevelGuard guard;
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  if (SetSimdLevel(SimdLevel::kAvx2)) levels.push_back(SimdLevel::kAvx2);
+  if (SetSimdLevel(SimdLevel::kAvx512)) levels.push_back(SimdLevel::kAvx512);
+  return levels;
+}
+
+/// Error bound for one output of a length-k fp32 dot with magnitude sum
+/// `sum_abs`: a small multiple of gamma_k = k * eps covers any fixed
+/// re-association (tiles, FMA) the backends use.
+double DotTol(int64_t k, double sum_abs) {
+  const double eps = static_cast<double>(std::numeric_limits<float>::epsilon());
+  return 4.0 * static_cast<double>(k + 2) * eps * sum_abs + 1e-12;
+}
+
+// Every m/k/n covers a different lane/tail split for the 8- and 16-wide
+// kernels: below one lane, one lane exactly, one past, and tile edges.
+const int64_t kSimdDims[] = {1, 3, 7, 8, 9, 31, 33};
+
+TEST(SimdParityTest, GemmAllVariantsMatchDoubleReferenceAtEveryLevel) {
+  ThreadOverrideGuard tguard;
+  SimdLevelGuard sguard;
+  SetComputeThreads(2);
+  const std::vector<SimdLevel> levels = AvailableSimdLevels();
+  Rng rng(41);
+  for (int64_t m : kSimdDims) {
+    for (int64_t k : kSimdDims) {
+      for (int64_t n : kSimdDims) {
+        Tensor a = RandTensor({m, k}, &rng);
+        Tensor b = RandTensor({k, n}, &rng);
+        Tensor at({k, m});
+        Tensor bt({n, k});
+        for (int64_t i = 0; i < m; ++i) {
+          for (int64_t p = 0; p < k; ++p) at[p * m + i] = a[i * k + p];
+        }
+        for (int64_t p = 0; p < k; ++p) {
+          for (int64_t j = 0; j < n; ++j) bt[j * k + p] = b[p * n + j];
+        }
+        std::vector<double> ref(static_cast<size_t>(m * n), 0.0);
+        std::vector<double> mag(static_cast<size_t>(m * n), 0.0);
+        for (int64_t i = 0; i < m; ++i) {
+          for (int64_t p = 0; p < k; ++p) {
+            const double av = a[i * k + p];
+            for (int64_t j = 0; j < n; ++j) {
+              ref[i * n + j] += av * b[p * n + j];
+              mag[i * n + j] += std::fabs(av * b[p * n + j]);
+            }
+          }
+        }
+        for (SimdLevel level : levels) {
+          ASSERT_TRUE(SetSimdLevel(level));
+          Tensor c({m, n});
+          MatMul(a, b, &c);
+          Tensor cta = Tensor::Zeros({m, n});
+          MatMulTransAAcc(at, b, &cta);
+          Tensor ctb = Tensor::Zeros({m, n});
+          MatMulTransBAcc(a, bt, &ctb);
+          for (int64_t i = 0; i < m * n; ++i) {
+            const double tol = DotTol(k, mag[i]);
+            ASSERT_NEAR(c[i], ref[i], tol)
+                << "gemm " << SimdLevelName(level) << " m=" << m << " k=" << k
+                << " n=" << n << " at " << i;
+            ASSERT_NEAR(cta[i], ref[i], tol)
+                << "gemm_trans_a " << SimdLevelName(level) << " m=" << m
+                << " k=" << k << " n=" << n << " at " << i;
+            ASSERT_NEAR(ctb[i], ref[i], tol)
+                << "gemm_trans_b " << SimdLevelName(level) << " m=" << m
+                << " k=" << k << " n=" << n << " at " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdParityTest, RowPrimitivesUnalignedMatchScalarAtEveryLevel) {
+  // The row kernels take raw pointers with no alignment contract; offsetting
+  // by 1/3 floats forces every vector load down the unaligned path. The
+  // scalar level is the reference; RowMax, VecRelu and RowScale must match
+  // it exactly, the reductions to double and the affine loop to rounding.
+  SimdLevelGuard sguard;
+  const std::vector<SimdLevel> levels = AvailableSimdLevels();
+  Rng rng(42);
+  for (int64_t n : {1, 3, 7, 8, 9, 15, 16, 17, 31, 33, 100, 1027}) {
+    for (int64_t offset : {0, 1, 3}) {
+      const size_t len = static_cast<size_t>(n + offset);
+      std::vector<float> xbuf(len), gbuf(len), bbuf(len);
+      for (auto& v : xbuf) v = static_cast<float>(rng.Uniform(-2.0, 2.0));
+      for (auto& v : gbuf) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+      for (auto& v : bbuf) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+      const float* x = xbuf.data() + offset;
+      const float* gamma = gbuf.data() + offset;
+      const float* beta = bbuf.data() + offset;
+
+      // Scalar-level reference for every primitive.
+      ASSERT_TRUE(SetSimdLevel(SimdLevel::kScalar));
+      std::vector<float> relu_ref(static_cast<size_t>(n));
+      VecRelu(x, relu_ref.data(), n);
+      const float max_ref = RowMax(x, n);
+      const double sum_ref = RowSumDouble(x, n);
+      double mean_ref = 0.0, var_ref = 0.0;
+      RowMeanVar(x, n, &mean_ref, &var_ref);
+      const float istd_ref =
+          1.0f / std::sqrt(static_cast<float>(var_ref) + 1e-5f);
+      std::vector<float> xhat_ref(static_cast<size_t>(n));
+      std::vector<float> norm_ref(static_cast<size_t>(n));
+      RowNormalizeAffine(x, static_cast<float>(mean_ref), istd_ref, gamma,
+                         beta, xhat_ref.data(), norm_ref.data(), n);
+      std::vector<float> axpy_ref(xbuf.begin() + offset, xbuf.end());
+      VecAxpy(0.37f, x, axpy_ref.data(), n);
+      std::vector<float> scale_ref(xbuf.begin() + offset, xbuf.end());
+      RowScale(1.7f, scale_ref.data(), n);
+
+      for (SimdLevel level : levels) {
+        ASSERT_TRUE(SetSimdLevel(level));
+        const char* lname = SimdLevelName(level);
+        std::vector<float> relu(static_cast<size_t>(n), -1.0f);
+        VecRelu(x, relu.data(), n);
+        for (int64_t i = 0; i < n; ++i) {
+          ASSERT_EQ(relu[i], relu_ref[i]) << "vec_relu " << lname;
+        }
+        ASSERT_EQ(RowMax(x, n), max_ref) << "row_max " << lname << " n=" << n;
+        ASSERT_NEAR(RowSumDouble(x, n), sum_ref,
+                    1e-12 * (1.0 + std::fabs(sum_ref)))
+            << "row_sum " << lname << " n=" << n;
+        double mean = 0.0, var = 0.0;
+        RowMeanVar(x, n, &mean, &var);
+        ASSERT_NEAR(mean, mean_ref, 1e-12 * (1.0 + std::fabs(mean_ref)))
+            << "row_mean " << lname << " n=" << n;
+        ASSERT_NEAR(var, var_ref, 1e-10 * (1.0 + std::fabs(var_ref)))
+            << "row_var " << lname << " n=" << n;
+        std::vector<float> xhat(static_cast<size_t>(n), -1.0f);
+        std::vector<float> norm(static_cast<size_t>(n), -1.0f);
+        RowNormalizeAffine(x, static_cast<float>(mean_ref), istd_ref, gamma,
+                           beta, xhat.data(), norm.data(), n);
+        for (int64_t i = 0; i < n; ++i) {
+          ASSERT_NEAR(xhat[i], xhat_ref[i],
+                      1e-6 * (1.0 + std::fabs(xhat_ref[i])))
+              << "row_norm_xhat " << lname << " n=" << n << " at " << i;
+          ASSERT_NEAR(norm[i], norm_ref[i],
+                      1e-6 * (1.0 + std::fabs(norm_ref[i])))
+              << "row_norm " << lname << " n=" << n << " at " << i;
+        }
+        std::vector<float> axpy(xbuf.begin() + offset, xbuf.end());
+        VecAxpy(0.37f, x, axpy.data(), n);
+        for (int64_t i = 0; i < n; ++i) {
+          ASSERT_NEAR(axpy[i], axpy_ref[i], 1e-6 * (1.0 + std::fabs(axpy_ref[i])))
+              << "vec_axpy " << lname << " n=" << n << " at " << i;
+        }
+        std::vector<float> scale(xbuf.begin() + offset, xbuf.end());
+        RowScale(1.7f, scale.data(), n);
+        for (int64_t i = 0; i < n; ++i) {
+          ASSERT_EQ(scale[i], scale_ref[i])
+              << "row_scale " << lname << " n=" << n << " at " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdParityTest, Int8MatMulBitIdenticalAcrossLevelsAndThreads) {
+  // Exact int32 accumulation: the int8 GEMM result must not depend on the
+  // SIMD level (scalar / madd / VNNI fast path), the column partition, or
+  // the thread count — byte-for-byte.
+  ThreadOverrideGuard tguard;
+  SimdLevelGuard sguard;
+  Rng rng(43);
+  struct Shape {
+    int64_t m, k, n;
+  };
+  const Shape shapes[] = {
+      {1, 1, 1}, {1, 64, 64}, {7, 33, 31}, {9, 127, 65}, {64, 256, 64}};
+  for (const auto& s : shapes) {
+    Tensor w = RandTensor({s.k, s.n}, &rng);
+    Tensor x = RandTensor({s.m, s.k}, &rng);
+    const quant::QuantizedMatrix q = quant::QuantizeWeight(w);
+    ASSERT_TRUE(SetSimdLevel(SimdLevel::kScalar));
+    SetComputeThreads(1);
+    std::vector<float> ref(static_cast<size_t>(s.m * s.n));
+    quant::Int8MatMul(x.data(), s.m, q, ref.data());
+    for (SimdLevel level : AvailableSimdLevels()) {
+      ASSERT_TRUE(SetSimdLevel(level));
+      for (int threads : {1, 2, 5}) {
+        SetComputeThreads(threads);
+        std::vector<float> got(static_cast<size_t>(s.m * s.n), -1.0f);
+        quant::Int8MatMul(x.data(), s.m, q, got.data());
+        ASSERT_EQ(0, std::memcmp(got.data(), ref.data(),
+                                 sizeof(float) * got.size()))
+            << "int8 gemm " << SimdLevelName(level) << " threads=" << threads
+            << " m=" << s.m << " k=" << s.k << " n=" << s.n;
+      }
+    }
+  }
+}
+
+TEST(SimdParityTest, QuantizeRowsBitIdenticalAcrossLevels) {
+  SimdLevelGuard sguard;
+  Rng rng(44);
+  const int64_t m = 9, k = 133;
+  Tensor x = RandTensor({m, k}, &rng);
+  x[5] = 0.0f;  // Exercise an exact-zero entry.
+  ASSERT_TRUE(SetSimdLevel(SimdLevel::kScalar));
+  std::vector<int8_t> qref(static_cast<size_t>(m * k));
+  std::vector<float> sref(static_cast<size_t>(m));
+  quant::QuantizeRows(x.data(), m, k, qref.data(), sref.data());
+  for (SimdLevel level : AvailableSimdLevels()) {
+    ASSERT_TRUE(SetSimdLevel(level));
+    std::vector<int8_t> qgot(static_cast<size_t>(m * k), 99);
+    std::vector<float> sgot(static_cast<size_t>(m), -1.0f);
+    quant::QuantizeRows(x.data(), m, k, qgot.data(), sgot.data());
+    ASSERT_EQ(0, std::memcmp(qgot.data(), qref.data(), qgot.size()))
+        << "quantize_rows values " << SimdLevelName(level);
+    ASSERT_EQ(0, std::memcmp(sgot.data(), sref.data(),
+                             sizeof(float) * sgot.size()))
+        << "quantize_rows scales " << SimdLevelName(level);
+  }
+}
+
+TEST(SimdParityTest, Int8WeightRoundTripWithinHalfScale) {
+  Rng rng(45);
+  const int64_t k = 37, n = 29;
+  Tensor w = RandTensor({k, n}, &rng);
+  for (int64_t i = 0; i < k; ++i) w[i * n + 4] = 0.0f;  // All-zero column.
+  const quant::QuantizedMatrix q = quant::QuantizeWeight(w);
+  ASSERT_EQ(q.rows, n);
+  ASSERT_EQ(q.cols, k);
+  const Tensor deq = quant::DequantizeWeight(q);
+  EXPECT_EQ(q.scales[4], 0.0f);
+  for (int64_t j = 0; j < n; ++j) {
+    // Symmetric round-to-nearest: per-element error is at most half the
+    // column's quantization step (slop covers the fp32 scale division).
+    const double bound = 0.5 * q.scales[j] * (1.0 + 1e-5) + 1e-12;
+    for (int64_t i = 0; i < k; ++i) {
+      ASSERT_LE(std::fabs(static_cast<double>(w[i * n + j]) - deq[i * n + j]),
+                bound)
+          << "round-trip col " << j << " row " << i;
+    }
+  }
+  const float max_scale = *std::max_element(q.scales.begin(), q.scales.end());
+  EXPECT_LE(quant::MaxRoundTripError(w, q), 0.5 * max_scale * (1.0 + 1e-5));
 }
 
 }  // namespace

@@ -28,6 +28,10 @@
 //         outside src/tensor: float storage must live in Tensor/
 //         TensorStorage so the obs memory tracker accounts for it.
 //         src/tensor (the accounted arena) and src/util are exempt.
+//   L010  raw SIMD intrinsics (`_mm*` identifiers or
+//         `#include <immintrin.h>`) outside src/tensor: ISA-specific code
+//         must stay behind the dispatched kernel layer (cpu_features.h),
+//         where the scalar contract and the ALT_SIMD override keep holding.
 //
 // A violation can be waived by a comment on the same line:
 //   `alt_lint: allow(L006): <reason>`
@@ -323,6 +327,37 @@ void FindRawFloatNew(const std::string& stripped, const std::string& file,
   }
 }
 
+// L010: SIMD intrinsics outside the kernel backend. Flags any identifier
+// starting with `_mm` (covers _mm_/_mm256_/_mm512_ and the mask forms) and
+// any <immintrin.h> include. Works on stripped text, so intrinsic names in
+// comments or strings never fire.
+void FindRawSimd(const std::string& stripped, const std::string& file,
+                 std::vector<Violation>* out) {
+  for (size_t pos = stripped.find("immintrin.h"); pos != std::string::npos;
+       pos = stripped.find("immintrin.h", pos + 1)) {
+    out->push_back(
+        {file, LineOfOffset(stripped, pos), "L010",
+         "<immintrin.h> outside src/tensor; ISA-specific code belongs in "
+         "the dispatched kernel backend (src/tensor/cpu_features.h)"});
+  }
+  for (size_t pos = stripped.find("_mm"); pos != std::string::npos;
+       pos = stripped.find("_mm", pos + 1)) {
+    if (pos > 0 && IsIdentChar(stripped[pos - 1])) continue;
+    out->push_back(
+        {file, LineOfOffset(stripped, pos), "L010",
+         "raw SIMD intrinsic (_mm*) outside src/tensor; call the "
+         "dispatched kernels (src/tensor/kernels.h) instead"});
+  }
+}
+
+// True for directories exempt from the SIMD rule L010: the kernel backend.
+bool InSimdExemptDir(const std::string& path) {
+  std::string norm = path;
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  return norm.rfind("src/tensor/", 0) == 0 ||
+         norm.find("/src/tensor/") != std::string::npos;
+}
+
 // True for directories exempt from the raw-allocation rule L009: the
 // accounted tensor arena itself and src/util.
 bool InRawAllocExemptDir(const std::string& path) {
@@ -442,6 +477,9 @@ std::vector<Violation> LintContent(const std::string& path,
               "(src/tensor) so the obs memory tracker accounts for it", path,
               &v);
     FindRawFloatNew(stripped, path, &v);
+  }
+  if (!InSimdExemptDir(path)) {
+    FindRawSimd(stripped, path, &v);
   }
   // Same-line `alt_lint: allow(LXXX)` comments waive individual findings.
   if (apply_waivers) {
@@ -624,6 +662,23 @@ int RunSelfTest() {
        "float* F() { return new float(0.0f); }", nullptr},
       {"newline_count ident ok", "src/x/ok21.cc",
        "int newline_count = 0; int f = newline_count;", nullptr},
+      {"raw intrinsic outside tensor", "src/nn/bad14.cc",
+       "void F(float* y) { *y = _mm_cvtss_f32(v); }", "L010"},
+      {"immintrin include outside tensor", "src/serving/bad15.cc",
+       "#include <immintrin.h>\n", "L010"},
+      {"intrinsic in src/tensor ok", "src/tensor/ok28.cc",
+       "#include <immintrin.h>\n"
+       "void F(float* y) { _mm256_storeu_ps(y, _mm256_setzero_ps()); }",
+       nullptr},
+      {"intrinsic waived", "src/x/ok29.cc",
+       "void F() { _mm_pause(); }  "
+       "// alt_lint: allow(L010): spin-wait hint, not compute\n",
+       nullptr},
+      {"intrinsic in comment ok", "src/x/ok30.cc",
+       "// the _mm256_fmadd_ps path lives in src/tensor\nint F();",
+       nullptr},
+      {"mm-suffixed ident ok", "src/x/ok31.cc",
+       "int latency_mm = 0; int f = latency_mm;", nullptr},
       // Banned tokens inside string literals and block comments must never
       // fire — the scanner works on stripped text.
       {"rand in string ok", "src/x/ok22.cc",

@@ -10,16 +10,22 @@
 #                   default is all of them
 #
 # Stages (canonical order):
-#   release    Release build + full ctest (tier-1; also builds the tools)
-#   lint       alt_lint over src/ + stale-waiver report
-#   analyze    alt_analyze lock-discipline + layering over the whole repo
-#   tidy       clang-tidy over src/ (skipped with a notice when not installed)
-#   asan       Release + -fsanitize=address   + ALT_DCHECKS=ON, full ctest
-#   chaos      chaos test in the ASan tree with a hot fault schedule
-#   bench      kernel bench smoke x2 gated by bench_compare
-#   telemetry  /healthz flips to 503 under injected serving faults
-#   ubsan      Release + -fsanitize=undefined + ALT_DCHECKS=ON, full ctest
-#   tsan       Release + -fsanitize=thread, threading-related targets only
+#   release      Release build + full ctest (tier-1; also builds the tools)
+#   lint         alt_lint over src/ + stale-waiver report
+#   analyze      alt_analyze lock-discipline + layering over the whole repo
+#   tidy         clang-tidy over src/ (skipped when not installed)
+#   asan         Release + -fsanitize=address + ALT_DCHECKS=ON, full ctest
+#   chaos        chaos test in the ASan tree with a hot fault schedule
+#   bench        kernel bench smoke x2 gated by bench_compare
+#   simd-parity  kernel/parity/quant tests rerun with ALT_SIMD=off (the
+#                guaranteed scalar contract) in the release tree
+#   telemetry    /healthz flips to 503 under injected serving faults
+#   ubsan        Release + -fsanitize=undefined + ALT_DCHECKS=ON, full ctest
+#   tsan         Release + -fsanitize=thread, threading-related targets only
+#
+# ALT_SIMD set in the environment is inherited by every stage (including the
+# asan/tsan ctest runs), so e.g. `ALT_SIMD=off tools/check.sh asan` sweeps
+# the sanitizers over the scalar kernels.
 #
 # Build trees: build, build-asan, build-ubsan, build-tsan. Stages that need
 # a tree build it on demand, so `tools/check.sh analyze` works standalone.
@@ -27,7 +33,8 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-ALL_STAGES=(release lint analyze tidy asan chaos bench telemetry ubsan tsan)
+ALL_STAGES=(release lint analyze tidy asan chaos bench simd-parity telemetry
+            ubsan tsan)
 
 SELECTED=()
 for arg in "$@"; do
@@ -38,7 +45,7 @@ for arg in "$@"; do
       done
       ;;
     -h|--help)
-      sed -n '2,26p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,31p' "$0" | sed 's/^# \{0,1\}//'
       exit 0
       ;;
     -*)
@@ -164,6 +171,19 @@ if wants bench; then
   ./build/bench/bench_kernels --smoke --out=build/BENCH_smoke_head.json >/dev/null
   ./build/tools/bench_compare --baseline=build/BENCH_smoke_base.json \
     --head=build/BENCH_smoke_head.json --threshold=0.5
+fi
+
+if wants simd-parity; then
+  ensure_release_build
+  # SIMD-parity stage: rerun the kernel-layer tests with the dispatcher
+  # forced to the scalar contract. The parity suites inside compare the
+  # levels against each other; this stage additionally proves the whole
+  # kernel/quant/autograd surface still passes when SIMD is off entirely
+  # (the fallback every non-x86 or ALT_SIMD=off deployment runs).
+  SIMD_PARITY_TESTS="kernels_test|kernel_parity_test|quant_test|autograd_test"
+  echo "==> simd-parity stage (ALT_SIMD=off over kernel-layer tests)"
+  ALT_SIMD=off ctest --test-dir build --output-on-failure \
+    -R "^(${SIMD_PARITY_TESTS})$"
 fi
 
 if wants telemetry; then
