@@ -1,0 +1,261 @@
+// Scale benchmark of the sharded serving plane (ServingClient over
+// ShardCoordinator + WorkerShards).
+//
+// Drives >= 1M Zipf-distributed predict requests over >= 200 deployed
+// scenarios on >= 4 worker shards (replication 2, hot head scenarios at 3),
+// through the micro-batching EnqueuePredict path in bursts that preserve
+// coalescing. Halfway through, one shard is killed: the run asserts the
+// breaker-driven rebalance fires (serving/rebalance_events >= 1) and that
+// ZERO requests are lost — every future must resolve ok, before, during and
+// after the failover.
+//
+// Results go to BENCH_serving.json as a "results" array of
+// {name, threads, throughput_rps, p99_ms} entries consumed by
+// tools/bench_compare (--metric=throughput_rps); check.sh's serving-scale
+// stage runs this in --smoke mode twice and gates head against base.
+//
+// Flags:
+//   --smoke        CI mode: 20k requests over 24 scenarios (still kills a
+//                  shard and enforces the zero-loss + rebalance contract).
+//   --out=PATH     output JSON path (default BENCH_serving.json).
+//   --shards=N     worker shards (default 4).
+//   --scenarios=N  deployed scenarios (default 200).
+//   --requests=N   total requests (default 1000000).
+//   --burst=N      consecutive same-scenario requests (default 16).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/obs/metrics.h"
+#include "src/serving/serving_client.h"
+#include "src/util/json.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace alt {
+namespace {
+
+std::unique_ptr<models::BaseModel> ScenarioModel(uint64_t seed) {
+  Rng rng(seed);
+  models::ModelConfig config = models::ModelConfig::Light(
+      models::EncoderKind::kLstm, 4, 5, 8);
+  config.encoder_layers = 1;
+  auto model = models::BuildBaseModel(config, &rng);
+  ALT_CHECK(model.ok()) << model.status().ToString();
+  return std::move(model).value();
+}
+
+/// Zipf(s = 1.07) cumulative distribution over `n` ranks; sampled by binary
+/// search so the head scenarios dominate the traffic like production long
+/// tails do.
+std::vector<double> ZipfCdf(int n) {
+  std::vector<double> cdf(static_cast<size_t>(n));
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), 1.07);
+    cdf[static_cast<size_t>(i)] = total;
+  }
+  for (double& c : cdf) c /= total;
+  return cdf;
+}
+
+struct PhaseStats {
+  int64_t requests = 0;
+  double seconds = 0.0;
+  double throughput() const {
+    return seconds > 0.0 ? static_cast<double>(requests) / seconds : 0.0;
+  }
+};
+
+int Run(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const bool smoke = flags.GetBool("smoke", false);
+  const std::string out_path =
+      flags.GetString("out", "BENCH_serving.json");
+  const int shards = static_cast<int>(flags.GetInt("shards", 4));
+  const int scenarios =
+      static_cast<int>(flags.GetInt("scenarios", smoke ? 24 : 200));
+  const int64_t requests = flags.GetInt("requests", smoke ? 20000 : 1000000);
+  const int burst = static_cast<int>(flags.GetInt("burst", 16));
+  ALT_CHECK_GE(shards, 2);  // The run kills one shard and keeps serving.
+
+  obs::MetricsRegistry registry;
+  serving::ServingClient::Options options;
+  options.num_shards = shards;
+  options.replication = 2;
+  options.hot_replication = 3;
+  options.batching.max_batch_size = 32;
+  options.batching.max_delay_ms = 0.2;
+  serving::ServingClient client(options, &registry);
+
+  std::printf("deploying %d scenarios over %d shards (replication 2)...\n",
+              scenarios, shards);
+  for (int s = 0; s < scenarios; ++s) {
+    serving::DeployOptions deploy;
+    deploy.hot = s < 4;  // Zipf head: wider replica group.
+    const Status status =
+        client.Deploy("scenario_" + std::to_string(s),
+                      ScenarioModel(1000 + static_cast<uint64_t>(s)), deploy);
+    ALT_CHECK(status.ok()) << status.ToString();
+  }
+
+  // Request pool: a handful of distinct inputs is enough — the bench
+  // measures the serving plane, not the model.
+  Rng rng(2023);
+  std::vector<Tensor> profiles;
+  for (int i = 0; i < 64; ++i) {
+    profiles.push_back(Tensor::Randn({1, 4}, &rng));
+  }
+  const std::vector<int64_t> behavior = {0, 1, 2, 3, 4};
+  const std::vector<double> cdf = ZipfCdf(scenarios);
+
+  const std::string victim = "shard-" + std::to_string(shards - 1);
+  const int64_t kill_at = requests / 2;
+  constexpr int64_t kWindow = 8192;  // Outstanding-futures bound.
+
+  std::printf("driving %lld Zipf requests in bursts of %d "
+              "(killing %s at %lld)...\n",
+              static_cast<long long>(requests), burst, victim.c_str(),
+              static_cast<long long>(kill_at));
+  std::vector<std::future<Result<float>>> window;
+  window.reserve(static_cast<size_t>(kWindow));
+  int64_t sent = 0, completed = 0, lost = 0;
+  bool killed = false;
+  PhaseStats pre, post, total;
+  double phase_start = bench::MonotonicSeconds();
+  const double run_start = phase_start;
+
+  auto drain = [&]() {
+    for (auto& future : window) {
+      if (future.get().ok()) {
+        completed++;
+      } else {
+        lost++;
+      }
+    }
+    window.clear();
+  };
+
+  while (sent < requests) {
+    if (!killed && sent >= kill_at) {
+      // Phase boundary: drain so pre-kill numbers are clean, then pull the
+      // shard out from under the live traffic.
+      drain();
+      const double now = bench::MonotonicSeconds();
+      pre.requests = sent;
+      pre.seconds = now - run_start;
+      ALT_CHECK(client.KillShard(victim).ok());
+      killed = true;
+      phase_start = now;
+    }
+    const double u = rng.Uniform(0.0, 1.0);
+    const int scenario_rank = static_cast<int>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    const std::string scenario =
+        "scenario_" + std::to_string(std::min(scenario_rank, scenarios - 1));
+    for (int b = 0; b < burst && sent < requests; ++b, ++sent) {
+      window.push_back(client.EnqueuePredict(
+          scenario, profiles[static_cast<size_t>(sent) % profiles.size()],
+          behavior));
+      if (static_cast<int64_t>(window.size()) >= kWindow) drain();
+    }
+  }
+  drain();
+  client.DrainBatchQueues();
+  const double run_end = bench::MonotonicSeconds();
+  post.requests = sent - pre.requests;
+  post.seconds = run_end - phase_start;
+  total.requests = sent;
+  total.seconds = run_end - run_start;
+
+  const obs::HistogramSummary latency = registry.histogram_summary(
+      "serving/batch_predictor/request_latency_ms");
+  const int64_t rebalances =
+      registry.counter_value("serving/rebalance_events");
+  const int64_t failovers =
+      registry.counter_value("serving/coordinator/failovers");
+  const serving::ServingClient::Stats stats = client.GetStats();
+
+  std::printf("total:     %lld requests in %.2fs -> %.0f req/s\n",
+              static_cast<long long>(total.requests), total.seconds,
+              total.throughput());
+  std::printf("pre-kill:  %.0f req/s, post-kill: %.0f req/s\n",
+              pre.throughput(), post.throughput());
+  std::printf("latency:   p50 %.3f ms, p99 %.3f ms over %lld requests\n",
+              latency.p50, latency.p99,
+              static_cast<long long>(latency.count));
+  std::printf("failover:  rebalance_events=%lld failovers=%lld "
+              "live_shards=%d/%d imbalance=%.3f lost=%lld\n",
+              static_cast<long long>(rebalances),
+              static_cast<long long>(failovers), stats.live_shards,
+              stats.num_shards, stats.routing_imbalance,
+              static_cast<long long>(lost));
+
+  Json::Array results;
+  auto add = [&](const std::string& name, const PhaseStats& phase) {
+    Json entry = Json::Object{};
+    entry["name"] = name;
+    entry["threads"] = shards;
+    entry["requests"] = phase.requests;
+    entry["throughput_rps"] = phase.throughput();
+    entry["p99_ms"] = latency.p99;  // Cumulative over the whole run.
+    entry["p50_ms"] = latency.p50;
+    results.push_back(entry);
+  };
+  add("serving_scale_e2e", total);
+  add("serving_scale_prekill", pre);
+  add("serving_scale_postkill", post);
+
+  Json doc = Json::Object{};
+  doc["bench"] = "serving_scale";
+  doc["smoke"] = smoke;
+  doc["shards"] = shards;
+  doc["scenarios"] = scenarios;
+  doc["results"] = results;
+  Json derived = Json::Object{};
+  derived["lost_requests"] = lost;
+  derived["completed_requests"] = completed;
+  derived["rebalance_events"] = rebalances;
+  derived["failovers"] = failovers;
+  derived["routing_imbalance"] = stats.routing_imbalance;
+  derived["live_shards"] = stats.live_shards;
+  doc["derived"] = derived;
+  doc["obs"] = registry.ToJson();
+
+  std::ofstream out(out_path);
+  ALT_CHECK(out.good()) << "cannot open " << out_path;
+  out << doc.DumpPretty() << "\n";
+  out.close();
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // The scale contract, enforced: the kill must have triggered the
+  // rebalance, and no request may be lost across it.
+  if (lost != 0) {
+    std::printf("FAIL: %lld requests lost across the shard kill\n",
+                static_cast<long long>(lost));
+    return 1;
+  }
+  if (rebalances < 1) {
+    std::printf("FAIL: shard kill did not trigger a rebalance event\n");
+    return 1;
+  }
+  if (completed != requests) {
+    std::printf("FAIL: completed %lld of %lld requests\n",
+                static_cast<long long>(completed),
+                static_cast<long long>(requests));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace alt
+
+int main(int argc, char** argv) { return alt::Run(argc, argv); }

@@ -117,7 +117,7 @@ int main() {
   }
 
   std::printf("[server] %zu advertiser models deployed\n",
-              system.server()->Scenarios().size());
+              system.serving()->Scenarios().size());
 
   // Observability snapshot of the whole run: every layer (trainer, NAS,
   // meta, serving, kernels) reported into the same registry/recorder.

@@ -14,7 +14,7 @@
 #include "src/data/synthetic.h"
 #include "src/meta/meta_learner.h"
 #include "src/nas/nas_search.h"
-#include "src/serving/model_server.h"
+#include "src/serving/serving_client.h"
 #include "src/serving/online_simulator.h"
 #include "src/train/trainer.h"
 
@@ -124,13 +124,13 @@ int main() {
               100.0 * (alt_ctr.mean_ctr / base_ctr.mean_ctr - 1.0));
 
   // Deploy the ALT model and show serving latency.
-  serving::ModelServer server;
-  server.Deploy("recs", std::move(alt_model).value()).ok();
+  serving::ServingClient client;
+  client.Deploy("recs", std::move(alt_model).value()).ok();
   for (int i = 0; i < 50; ++i) {
     data::ScenarioData users = generator.GenerateExtra(target, 1, 5000 + i);
-    server.Predict("recs", MakeFullBatch(users)).ok();
+    client.Predict("recs", MakeFullBatch(users)).ok();
   }
-  auto stats = server.GetLatencyStats("recs").value();
+  auto stats = client.GetLatencyStats("recs").value();
   std::printf("serving latency over %lld requests: p50 %.3f ms, p99 %.3f "
               "ms\n",
               static_cast<long long>(stats.num_requests), stats.p50_ms,

@@ -135,7 +135,7 @@ int main() {
   request.profiles = joined.value().profiles;
   request.behaviors = joined.value().behaviors;
   request.labels = Tensor({request.batch_size, 1});
-  auto scores = system.server()->Predict(a.deployment_name, request);
+  auto scores = system.serving()->Predict(a.deployment_name, request);
   if (!scores.ok()) {
     std::printf("serving failed: %s\n", scores.status().ToString().c_str());
     return 1;
@@ -144,7 +144,7 @@ int main() {
     std::printf("[serving] %s -> default risk %.3f\n",
                 joined.value().user_ids[i].c_str(), scores.value()[i]);
   }
-  auto latency = system.server()->GetLatencyStats(a.deployment_name);
+  auto latency = system.serving()->GetLatencyStats(a.deployment_name);
   std::printf("[serving] request latency: %.3f ms (budget: milliseconds)\n",
               latency.value().p50_ms);
   return 0;

@@ -13,7 +13,7 @@ namespace alt {
 namespace core {
 
 AltSystem::AltSystem(AltSystemOptions options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)), client_(options_.serving) {
   // The NAS budget equals the predefined light model's encoder FLOPs.
   Rng rng(options_.seed);
   auto light = models::BuildBaseModel(options_.light_config, &rng);
@@ -39,7 +39,7 @@ AltSystem::AltSystem(AltSystemOptions options)
       Json body = Json::Object{};
       Json breakers = Json::Object{};
       bool healthy = true;
-      for (const auto& [scenario, state] : server_.BreakerStates()) {
+      for (const auto& [scenario, state] : client_.BreakerStates()) {
         breakers[scenario] = resilience::BreakerStateName(state);
         if (state == resilience::BreakerState::kOpen) healthy = false;
       }
@@ -163,25 +163,46 @@ Result<ScenarioArtifacts> AltSystem::OnScenarioArrival(
 
 Status AltSystem::DeployWithRetry(const std::string& scenario,
                                   std::unique_ptr<models::BaseModel> model) {
-  resilience::RetryPolicy policy(options_.deploy_retry);
-  return policy.Run("deploy " + scenario, [&]() {
-    return server_.TryDeploy(scenario, &model);
-  });
+  serving::DeployOptions deploy;
+  deploy.retry_transient = true;
+  deploy.retry = options_.deploy_retry;
+  return client_.Deploy(scenario, std::move(model), deploy);
+}
+
+serving::ModelServer* AltSystem::server() {
+  serving::shard::WorkerShard* worker =
+      client_.coordinator()->shard("shard-0");
+  ALT_CHECK(worker != nullptr);
+  return worker->engine();
+}
+
+Status AltSystem::StartResilientServing() {
+  if (!initialized()) {
+    return Status::FailedPrecondition("AltSystem::Initialize first");
+  }
+  serving::ServingResilienceOptions resilience = options_.serving.resilience;
+  if (resilience.fallback_scenario.empty()) {
+    resilience.fallback_scenario = "f0";
+  }
+  if (!client_.IsDeployed(resilience.fallback_scenario)) {
+    // The fallback must be answerable by every shard locally: degraded
+    // traffic cannot afford a cross-shard failover hop.
+    ALT_ASSIGN_OR_RETURN(auto agnostic, meta_->CloneAgnostic());
+    serving::DeployOptions deploy;
+    deploy.retry_transient = true;
+    deploy.retry = options_.deploy_retry;
+    ALT_RETURN_IF_ERROR(client_.DeployEverywhere(
+        resilience.fallback_scenario, std::move(agnostic), deploy));
+  }
+  client_.EnableResilience(resilience);
+  options_.serving.resilience = resilience;
+  return Status::OK();
 }
 
 Status AltSystem::EnableResilientServing(
     serving::ServingResilienceOptions options) {
-  if (!initialized()) {
-    return Status::FailedPrecondition("AltSystem::Initialize first");
-  }
-  if (options.fallback_scenario.empty()) options.fallback_scenario = "f0";
-  if (!server_.IsDeployed(options.fallback_scenario)) {
-    ALT_ASSIGN_OR_RETURN(auto agnostic, meta_->CloneAgnostic());
-    ALT_RETURN_IF_ERROR(
-        DeployWithRetry(options.fallback_scenario, std::move(agnostic)));
-  }
-  server_.SetResilience(std::move(options));
-  return Status::OK();
+  options_.serving.resilience = std::move(options);
+  return StartResilientServing();
 }
 
 Result<std::vector<ScenarioArtifacts>> AltSystem::OnScenariosArrival(
@@ -223,10 +244,10 @@ Status AltSystem::SaveState(const std::string& directory) {
   Json manifest;
   manifest["version"] = 1;
   Json::Array deployments;
-  for (const std::string& scenario : server_.Scenarios()) {
+  for (const std::string& scenario : client_.Scenarios()) {
     const std::string file = scenario + ".altm";
     ALT_RETURN_IF_ERROR(
-        server_.ExportBundle(scenario, directory + "/" + file));
+        client_.ExportBundle(scenario, directory + "/" + file));
     Json entry;
     entry["scenario"] = scenario;
     entry["file"] = file;
@@ -259,7 +280,7 @@ Status AltSystem::LoadState(const std::string& directory) {
       ALT_ASSIGN_OR_RETURN(
           auto model, serving::LoadModelBundleFromFile(
                           directory + "/" + entry.at("file").as_string()));
-      ALT_RETURN_IF_ERROR(server_.Deploy(scenario, std::move(model)));
+      ALT_RETURN_IF_ERROR(client_.Deploy(scenario, std::move(model)));
     }
   }
   return Status::OK();

@@ -11,7 +11,7 @@
 #include "src/nas/nas_search.h"
 #include "src/obs/http_server.h"
 #include "src/resilience/retry.h"
-#include "src/serving/model_server.h"
+#include "src/serving/serving_client.h"
 
 namespace alt {
 namespace core {
@@ -41,6 +41,10 @@ struct AltSystemOptions {
   /// failures (e.g. injected serving/deploy faults) retry before the
   /// scenario pipeline surfaces an error.
   resilience::RetryOptions deploy_retry;
+  /// Serving plane configuration (sharding topology, batching, resilience
+  /// policy). The default is the classic single-shard layout;
+  /// `serving.resilience` is what StartResilientServing() applies.
+  serving::ServingClient::Options serving;
   /// Telemetry exposition server (obs::TelemetryServer) on 127.0.0.1.
   /// Negative: disabled (default). 0: an ephemeral port (see
   /// AltSystem::telemetry()->port()). Positive: that port. Started by the
@@ -87,12 +91,27 @@ class AltSystem {
   Result<std::vector<ScenarioArtifacts>> OnScenariosArrival(
       const std::vector<data::ScenarioData>& raw_scenarios);
 
-  serving::ModelServer* server() { return &server_; }
+  /// The serving plane: deploy/predict/batch-predict/undeploy/stats.
+  serving::ServingClient* serving() { return &client_; }
 
-  /// Turns on graceful degradation for the model server. Ensures the
-  /// scenario-agnostic heavy model f0 is deployed under
-  /// `options.fallback_scenario` (default "f0") so degraded traffic is
+  /// Deprecated shim (one release): the single ModelServer is now shard 0's
+  /// engine behind ServingClient. Only meaningful with the default
+  /// single-shard layout; use serving() instead.
+  [[deprecated("use serving() — the ServingClient facade")]]
+  serving::ModelServer* server();
+
+  /// Turns on graceful degradation for the serving plane using
+  /// `options().serving.resilience`. Ensures the scenario-agnostic heavy
+  /// model f0 is deployed on every shard under
+  /// `resilience.fallback_scenario` (default "f0") so degraded traffic is
   /// answered by f0 rather than a constant prior. Requires Initialize().
+  Status StartResilientServing();
+
+  /// Deprecated shim (one release) for StartResilientServing: the policy
+  /// now lives in AltSystemOptions::serving.resilience.
+  [[deprecated(
+      "set AltSystemOptions::serving.resilience and call "
+      "StartResilientServing()")]]
   Status EnableResilientServing(serving::ServingResilienceOptions options);
 
   /// Persists the system state (agnostic heavy model + every deployed light
@@ -115,20 +134,20 @@ class AltSystem {
   int64_t LightEncoderFlopsBudget() const { return flops_budget_; }
 
  private:
-  /// Deploys via ModelServer::TryDeploy under the deploy_retry policy; the
-  /// model survives failed attempts and is consumed only on success.
+  /// Deploys under the deploy_retry policy (DeployOptions::retry_transient:
+  /// the model survives failed attempts, consumed only on success).
   Status DeployWithRetry(const std::string& scenario,
                          std::unique_ptr<models::BaseModel> model);
 
   // Thread safety: AltSystem owns no mutex of its own. options_,
   // flops_budget_ and the component pointers are written once during
   // construction; all concurrent state lives inside the internally
-  // synchronized members (meta_, server_, telemetry_), and concurrent
+  // synchronized members (meta_, client_, telemetry_), and concurrent
   // scenario arrivals coordinate through their futures.
   AltSystemOptions options_;
   int64_t flops_budget_ = 0;
   std::unique_ptr<meta::MetaLearner> meta_;
-  serving::ModelServer server_;
+  serving::ServingClient client_;
   std::unique_ptr<obs::TelemetryServer> telemetry_;
 };
 

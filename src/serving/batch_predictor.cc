@@ -22,12 +22,20 @@ std::vector<double> BatchSizeBounds(int64_t max_batch_size) {
   return bounds;
 }
 
+/// Adapts the legacy ModelServer backend to the PredictFn interface.
+BatchPredictor::PredictFn WrapServer(ModelServer* server) {
+  ALT_CHECK(server != nullptr);
+  return [server](const std::string& scenario, const data::Batch& batch) {
+    return server->Predict(scenario, batch);
+  };
+}
+
 }  // namespace
 
 Result<std::unique_ptr<BatchPredictor>> BatchPredictor::Create(
-    ModelServer* server, Options options, obs::MetricsRegistry* registry) {
-  if (server == nullptr) {
-    return Status::InvalidArgument("BatchPredictor: null server");
+    PredictFn predict, Options options, obs::MetricsRegistry* registry) {
+  if (predict == nullptr) {
+    return Status::InvalidArgument("BatchPredictor: null predict fn");
   }
   if (options.max_batch_size <= 0) {
     return Status::InvalidArgument(
@@ -39,17 +47,34 @@ Result<std::unique_ptr<BatchPredictor>> BatchPredictor::Create(
         "BatchPredictor: max_delay_ms must be >= 0, got " +
         std::to_string(options.max_delay_ms));
   }
-  return std::make_unique<BatchPredictor>(server, options, registry);
+  return std::make_unique<BatchPredictor>(std::move(predict), options,
+                                          registry);
+}
+
+Result<std::unique_ptr<BatchPredictor>> BatchPredictor::Create(
+    ModelServer* server, Options options, obs::MetricsRegistry* registry) {
+  if (server == nullptr) {
+    return Status::InvalidArgument("BatchPredictor: null server");
+  }
+  return Create(WrapServer(server), options,
+                registry != nullptr ? registry : server->registry());
 }
 
 BatchPredictor::BatchPredictor(ModelServer* server, Options options,
                                obs::MetricsRegistry* registry)
-    : server_(server), options_(options) {
-  ALT_CHECK(server != nullptr);
+    : BatchPredictor(WrapServer(server), options,
+                     registry != nullptr ? registry : server->registry()) {}
+
+BatchPredictor::BatchPredictor(PredictFn predict, Options options,
+                               obs::MetricsRegistry* registry)
+    : predict_(std::move(predict)), options_(options) {
+  ALT_CHECK(predict_ != nullptr);
   ALT_CHECK_GE(options_.max_batch_size, 1);
   ALT_CHECK(options_.max_delay_ms >= 0.0);
-  registry_ = registry != nullptr ? registry : server_->registry();
+  registry_ =
+      registry != nullptr ? registry : &obs::MetricsRegistry::Global();
   queue_depth_ = registry_->gauge("serving/batch_predictor/queue_depth");
+  shard_unavailable_ = registry_->counter("serving/shard_unavailable");
   batches_dispatched_ =
       registry_->counter("serving/batch_predictor/batches_dispatched");
   batch_size_ = registry_->histogram("serving/batch_predictor/batch_size",
@@ -91,6 +116,7 @@ std::future<Result<float>> BatchPredictor::Enqueue(
     // Queued + in-flight; the matching decrement happens in Resolve so a
     // failed flush releases the gauge exactly like a successful one.
     queue_depth_->Add(1.0);
+    pending_.fetch_add(1, std::memory_order_relaxed);
   }
   cv_.NotifyOne();
   return future;
@@ -158,8 +184,13 @@ void BatchPredictor::Resolve(Request* request, Result<float> result) {
   }
   // Every terminal path for a request funnels through here — success,
   // Predict failure, injected flush fault, shape rejection — so the gauge
-  // can never leak on errors.
+  // can never leak on errors. A request stranded by its shard vanishing
+  // mid-flush surfaces as kUnavailable and is counted distinctly.
+  if (!result.ok() && result.status().code() == StatusCode::kUnavailable) {
+    shard_unavailable_->Add(1);
+  }
   queue_depth_->Add(-1.0);
+  pending_.fetch_sub(1, std::memory_order_relaxed);
   request->promise.set_value(std::move(result));
 }
 
@@ -204,7 +235,7 @@ void BatchPredictor::Flush(std::vector<Request> batch) {
   // failed Predict does: every accepted request resolves with the error.
   Result<std::vector<float>> scores = [&]() -> Result<std::vector<float>> {
     ALT_FAULT_RETURN_IF("serving/batch_predictor/flush");
-    return server_->Predict(batch[accepted[0]].scenario, merged);
+    return predict_(batch[accepted[0]].scenario, merged);
   }();
   for (int64_t r = 0; r < merged.batch_size; ++r) {
     Request& request = batch[accepted[static_cast<size_t>(r)]];

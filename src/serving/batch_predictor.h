@@ -1,7 +1,9 @@
 #ifndef ALT_SRC_SERVING_BATCH_PREDICTOR_H_
 #define ALT_SRC_SERVING_BATCH_PREDICTOR_H_
 
+#include <atomic>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <string>
@@ -17,9 +19,12 @@
 namespace alt {
 namespace serving {
 
-/// Asynchronous request front-end for a ModelServer: single-user requests
-/// are queued and coalesced into micro-batches before hitting the model —
-/// the standard throughput optimization for online inference services.
+/// Asynchronous request front-end for a serving backend: single-user
+/// requests are queued and coalesced into micro-batches before hitting the
+/// model — the standard throughput optimization for online inference
+/// services. The backend is an injected PredictFn — the sharded plane wires
+/// one BatchPredictor per shard whose fn routes through the coordinator
+/// (with failover), while the legacy path wraps a ModelServer directly.
 ///
 /// A dedicated dispatcher thread drains the queue; a batch is flushed when
 /// it reaches `max_batch_size` or when the oldest queued request has waited
@@ -40,8 +45,14 @@ namespace serving {
 ///                                                 one Flush (merge + predict
 ///                                                 + resolve)
 ///   serving/batch_predictor/request_latency_ms    histogram (enqueue→reply)
+///   serving/shard_unavailable                     counter: requests failed
+///                                                 because the backend shard
+///                                                 vanished mid-flight
+///                                                 (Status kUnavailable)
 /// QueueDepth()/BatchesDispatched() are thin views over these metrics, so
-/// they read as zero when observability is disabled (ALT_OBS=off).
+/// they read as zero when observability is disabled (ALT_OBS=off);
+/// PendingRequests() is an obs-independent per-instance count (the shared
+/// registry aggregates the gauge across all predictors).
 class BatchPredictor {
  public:
   struct Options {
@@ -49,15 +60,36 @@ class BatchPredictor {
     double max_delay_ms = 2.0;
   };
 
-  /// Validating factory: rejects null `server`, `max_batch_size <= 0`, and
-  /// negative `max_delay_ms` with InvalidArgument.
+  /// The serving backend: scores a merged micro-batch for one scenario.
+  /// Must be thread-safe (called from the dispatcher thread).
+  using PredictFn = std::function<Result<std::vector<float>>(
+      const std::string& scenario, const data::Batch& batch)>;
+
+  /// Validating factory: rejects a null `predict`, `max_batch_size <= 0`,
+  /// and negative `max_delay_ms` with InvalidArgument.
+  static Result<std::unique_ptr<BatchPredictor>> Create(
+      PredictFn predict, Options options,
+      obs::MetricsRegistry* registry = nullptr);
+
+  /// Deprecated shim (one release): wrap the server in a PredictFn, or —
+  /// better — go through ServingClient, which owns the batching front-end.
+  [[deprecated(
+      "use ServingClient for batch predictions, or Create(PredictFn, ...)")]]
   static Result<std::unique_ptr<BatchPredictor>> Create(
       ModelServer* server, Options options,
       obs::MetricsRegistry* registry = nullptr);
 
-  /// `server` must outlive this object. Invalid options are programmer
-  /// errors here (ALT_CHECK); use Create() for recoverable validation.
-  /// `registry == nullptr` selects `server->registry()`.
+  /// `predict` outlives this object (it is copied; anything it captures
+  /// must stay alive). Invalid options are programmer errors here
+  /// (ALT_CHECK); use Create() for recoverable validation.
+  /// `registry == nullptr` selects the process-global registry.
+  BatchPredictor(PredictFn predict, Options options,
+                 obs::MetricsRegistry* registry = nullptr);
+
+  /// Deprecated shim (one release): see Create(ModelServer*, ...).
+  [[deprecated(
+      "use ServingClient for batch predictions, or the PredictFn "
+      "constructor")]]
   BatchPredictor(ModelServer* server, Options options,
                  obs::MetricsRegistry* registry = nullptr);
   ~BatchPredictor();
@@ -80,6 +112,14 @@ class BatchPredictor {
   /// counter view).
   int64_t BatchesDispatched() const;
 
+  /// Requests enqueued on THIS predictor and not yet resolved. Unlike
+  /// QueueDepth() it neither aggregates across predictors sharing a
+  /// registry nor reads zero under ALT_OBS=off — the load signal for
+  /// balancing and drain loops.
+  int64_t PendingRequests() const {
+    return pending_.load(std::memory_order_relaxed);
+  }
+
   obs::MetricsRegistry* registry() const { return registry_; }
 
  private:
@@ -95,10 +135,12 @@ class BatchPredictor {
   void Flush(std::vector<Request> batch);
   void Resolve(Request* request, Result<float> result);
 
-  ModelServer* server_;
+  PredictFn predict_;
   Options options_;
   obs::MetricsRegistry* registry_;
+  std::atomic<int64_t> pending_{0};
   obs::Gauge* queue_depth_;            // Owned by the registry.
+  obs::Counter* shard_unavailable_;    // Owned by the registry.
   obs::Counter* batches_dispatched_;   // Owned by the registry.
   obs::Histogram* batch_size_;         // Owned by the registry.
   obs::Histogram* queue_high_watermark_;  // Owned by the registry.

@@ -22,12 +22,25 @@ std::string ModelServer::LatencyMetricName(const std::string& scenario) {
 Status ModelServer::Deploy(const std::string& scenario,
                            std::unique_ptr<models::BaseModel> model,
                            const DeployOptions& options) {
-  return TryDeploy(scenario, &model, options);
+  if (!options.retry_transient) return DeployAttempt(scenario, &model, options);
+  resilience::RetryPolicy policy(options.retry);
+  return policy.Run("serving deploy " + scenario, [this, &scenario, &model,
+                                                   &options]() {
+    // DeployAttempt consumes the model only on success, so every retry
+    // attempt still has it.
+    return DeployAttempt(scenario, &model, options);
+  });
 }
 
 Status ModelServer::TryDeploy(const std::string& scenario,
                               std::unique_ptr<models::BaseModel>* model,
                               const DeployOptions& options) {
+  return DeployAttempt(scenario, model, options);
+}
+
+Status ModelServer::DeployAttempt(const std::string& scenario,
+                                  std::unique_ptr<models::BaseModel>* model,
+                                  const DeployOptions& options) {
   if (model == nullptr || *model == nullptr) {
     return Status::InvalidArgument("null model");
   }
@@ -77,6 +90,11 @@ Status ModelServer::TryDeploy(const std::string& scenario,
 
 void ModelServer::SetResilience(ServingResilienceOptions options,
                                 resilience::Clock* clock) {
+  ConfigureResilience(std::move(options), clock);
+}
+
+void ModelServer::ConfigureResilience(ServingResilienceOptions options,
+                                      resilience::Clock* clock) {
   MutexLock lock(breakers_mu_);
   resilience_ = std::move(options);
   clock_ = clock != nullptr ? clock : resilience::RealClock();

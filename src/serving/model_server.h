@@ -10,6 +10,7 @@
 #include "src/models/base_model.h"
 #include "src/obs/metrics.h"
 #include "src/resilience/circuit_breaker.h"
+#include "src/resilience/retry.h"
 #include "src/util/mutex.h"
 #include "src/util/status.h"
 #include "src/util/thread_annotations.h"
@@ -69,6 +70,16 @@ struct DeployOptions {
   /// cost of every quantized deploy is measured, not assumed. Ignored
   /// unless quantize_int8 is set. Must outlive the Deploy call only.
   const data::Batch* calibration = nullptr;
+  /// Hot scenario: the sharded serving plane (ServingClient/ShardCoordinator)
+  /// deploys it to the larger `hot_replication` replica group so head
+  /// traffic fans out over more workers. A plain ModelServer ignores it.
+  bool hot = false;
+  /// Retry transient deploy failures (e.g. injected serving/deploy faults)
+  /// under `retry` before giving up. The model survives failed attempts and
+  /// is consumed only on success or once the schedule is exhausted — this
+  /// subsumes the old TryDeploy-plus-external-RetryPolicy idiom.
+  bool retry_transient = false;
+  resilience::RetryOptions retry;
 };
 
 /// The Model Serving module (Sec. IV-E): per-scenario model registry with
@@ -86,21 +97,36 @@ class ModelServer {
   /// server.
   explicit ModelServer(obs::MetricsRegistry* registry = nullptr);
 
-  /// Installs (or replaces) the serving model of `scenario`.
+  /// Installs (or replaces) the serving model of `scenario`. The one deploy
+  /// entry point: retry behavior (the old TryDeploy idiom) is selected via
+  /// DeployOptions::retry_transient / DeployOptions::retry.
   Status Deploy(const std::string& scenario,
                 std::unique_ptr<models::BaseModel> model,
                 const DeployOptions& options = {});
 
-  /// Retry-friendly Deploy: consumes `*model` only on success, so a failed
-  /// attempt (e.g. an injected serving/deploy fault) leaves the model with
-  /// the caller for the next attempt.
+  /// Deprecated shim (one release): Deploy with
+  /// `DeployOptions::retry_transient` subsumes the keep-the-model-on-failure
+  /// contract; a single no-retry attempt is what this forwards to.
+  [[deprecated(
+      "use Deploy(scenario, std::move(model), options) with "
+      "DeployOptions::retry_transient for retries")]]
   Status TryDeploy(const std::string& scenario,
                    std::unique_ptr<models::BaseModel>* model,
                    const DeployOptions& options = {});
 
   /// Enables graceful degradation for Predict. `clock == nullptr` selects
   /// resilience::RealClock(); tests inject a FakeClock to drive deadlines
-  /// and breaker cooldowns.
+  /// and breaker cooldowns. Internal wiring: ServingClient::Options /
+  /// ServingClient::EnableResilience is the public way to configure
+  /// resilience; the sharded plane calls this on every shard engine.
+  void ConfigureResilience(ServingResilienceOptions options,
+                           resilience::Clock* clock = nullptr);
+
+  /// Deprecated shim (one release) for ConfigureResilience; resilience is
+  /// now configured in one place, on the ServingClient.
+  [[deprecated(
+      "configure resilience via ServingClient::Options or "
+      "ServingClient::EnableResilience")]]
   void SetResilience(ServingResilienceOptions options,
                      resilience::Clock* clock = nullptr);
 
@@ -148,6 +174,11 @@ class ModelServer {
   };
 
   std::shared_ptr<Deployment> FindDeployment(const std::string& scenario) const;
+  /// One deploy attempt; consumes `*model` only on success (the TryDeploy
+  /// contract, now an implementation detail of Deploy's retry loop).
+  Status DeployAttempt(const std::string& scenario,
+                       std::unique_ptr<models::BaseModel>* model,
+                       const DeployOptions& options);
   /// The primary (non-degraded) Predict path; hosts the serving/predict
   /// fault point.
   Result<std::vector<float>> PredictOn(

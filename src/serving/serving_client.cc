@@ -1,0 +1,167 @@
+#include "src/serving/serving_client.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "src/serving/shard/hash_ring.h"
+#include "src/util/logging.h"
+
+namespace alt {
+namespace serving {
+
+namespace {
+
+shard::CoordinatorOptions ToCoordinatorOptions(
+    const ServingClient::Options& options) {
+  shard::CoordinatorOptions out;
+  out.num_shards = options.num_shards;
+  out.vnodes_per_shard = options.vnodes_per_shard;
+  out.replication = options.replication;
+  out.hot_replication = options.hot_replication;
+  out.shard_breaker = options.shard_breaker;
+  out.max_queue_depth_per_shard = options.max_queue_depth_per_shard;
+  return out;
+}
+
+}  // namespace
+
+ServingClient::ServingClient(Options options, obs::MetricsRegistry* registry)
+    : options_(std::move(options)),
+      registry_(registry != nullptr ? registry
+                                    : &obs::MetricsRegistry::Global()),
+      coordinator_(ToCoordinatorOptions(options_), registry_) {
+  for (const std::string& id : coordinator_.ShardIds()) {
+    // Per-shard batchers keep micro-batch locality; the preferred-shard
+    // flush path falls back to replicas when the shard dies.
+    batchers_[id] = std::make_unique<BatchPredictor>(
+        [this, id](const std::string& scenario, const data::Batch& batch) {
+          return coordinator_.PredictPreferring(id, scenario, batch);
+        },
+        options_.batching, registry_);
+  }
+  if (options_.enable_resilience) {
+    coordinator_.EnableResilience(options_.resilience);
+  }
+}
+
+ServingClient::ServingClient() : ServingClient(Options()) {}
+
+ServingClient::~ServingClient() = default;
+
+Status ServingClient::Deploy(const std::string& scenario,
+                             std::unique_ptr<models::BaseModel> model,
+                             const DeployOptions& options) {
+  return coordinator_.Deploy(scenario, std::move(model), options);
+}
+
+Status ServingClient::DeployEverywhere(const std::string& scenario,
+                                       std::unique_ptr<models::BaseModel> model,
+                                       const DeployOptions& options) {
+  return coordinator_.DeployEverywhere(scenario, std::move(model), options);
+}
+
+Status ServingClient::Undeploy(const std::string& scenario) {
+  return coordinator_.Undeploy(scenario);
+}
+
+bool ServingClient::IsDeployed(const std::string& scenario) const {
+  return coordinator_.IsDeployed(scenario);
+}
+
+std::vector<std::string> ServingClient::Scenarios() const {
+  return coordinator_.Scenarios();
+}
+
+Result<std::vector<float>> ServingClient::Predict(const std::string& scenario,
+                                                  const data::Batch& batch) {
+  return coordinator_.Predict(scenario, batch);
+}
+
+BatchPredictor* ServingClient::BatcherFor(const std::string& scenario) {
+  // Owner-shard affinity keeps one scenario's requests coalescing in one
+  // queue; unknown scenarios hash deterministically so resilience-default
+  // traffic still batches.
+  std::vector<std::string> replicas = coordinator_.ReplicasOf(scenario);
+  std::string id;
+  if (!replicas.empty()) {
+    id = replicas.front();
+  } else {
+    const uint64_t hash = shard::HashRing::KeyHash(scenario);
+    id = "shard-" +
+         std::to_string(hash % static_cast<uint64_t>(batchers_.size()));
+  }
+  auto it = batchers_.find(id);
+  ALT_CHECK(it != batchers_.end());
+  return it->second.get();
+}
+
+std::future<Result<float>> ServingClient::EnqueuePredict(
+    const std::string& scenario, Tensor profile,
+    std::vector<int64_t> behavior) {
+  return BatcherFor(scenario)->Enqueue(scenario, std::move(profile),
+                                       std::move(behavior));
+}
+
+void ServingClient::DrainBatchQueues() const {
+  for (const auto& [id, batcher] : batchers_) {
+    while (batcher->PendingRequests() > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+void ServingClient::EnableResilience(const ServingResilienceOptions& options,
+                                     resilience::Clock* clock) {
+  coordinator_.EnableResilience(options, clock);
+}
+
+std::map<std::string, resilience::BreakerState> ServingClient::BreakerStates()
+    const {
+  return coordinator_.BreakerStates();
+}
+
+ServingClient::Stats ServingClient::GetStats() const {
+  Stats stats;
+  stats.num_shards = options_.num_shards;
+  stats.live_shards = coordinator_.NumLiveShards();
+  stats.routing_imbalance = coordinator_.RoutingImbalance();
+  for (const std::string& id : coordinator_.ShardIds()) {
+    const shard::WorkerShard* worker = coordinator_.shard(id);
+    if (worker != nullptr) stats.requests_served += worker->RequestsServed();
+  }
+  for (const auto& [id, batcher] : batchers_) {
+    stats.pending_batch_requests += batcher->PendingRequests();
+  }
+  return stats;
+}
+
+Result<LatencyStats> ServingClient::GetLatencyStats(
+    const std::string& scenario) const {
+  return coordinator_.GetLatencyStats(scenario);
+}
+
+Result<int64_t> ServingClient::FlopsPerSample(
+    const std::string& scenario) const {
+  return coordinator_.FlopsPerSample(scenario);
+}
+
+Status ServingClient::ExportBundle(const std::string& scenario,
+                                   const std::string& path) const {
+  return coordinator_.ExportBundle(scenario, path);
+}
+
+std::vector<std::string> ServingClient::ShardIds() const {
+  return coordinator_.ShardIds();
+}
+
+int ServingClient::NumLiveShards() const {
+  return coordinator_.NumLiveShards();
+}
+
+Status ServingClient::KillShard(const std::string& shard_id) {
+  return coordinator_.KillShard(shard_id);
+}
+
+}  // namespace serving
+}  // namespace alt

@@ -1,0 +1,166 @@
+#ifndef ALT_SRC_SERVING_SERVING_CLIENT_H_
+#define ALT_SRC_SERVING_SERVING_CLIENT_H_
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/models/base_model.h"
+#include "src/obs/metrics.h"
+#include "src/resilience/circuit_breaker.h"
+#include "src/serving/batch_predictor.h"
+#include "src/serving/model_server.h"
+#include "src/serving/shard/coordinator.h"
+#include "src/util/status.h"
+
+namespace alt {
+namespace serving {
+
+/// The public serving API: one facade over the sharded serving plane for
+/// deploy, predict, batch-predict, undeploy, and stats. Subsumes direct
+/// ModelServer / BatchPredictor use and AltSystem::EnableResilientServing —
+/// those entry points survive one release as thin deprecated shims.
+///
+/// Topology: `Options::num_shards` WorkerShards (each a ModelServer on its
+/// own thread) behind a ShardCoordinator — consistent-hash routing with
+/// virtual nodes, replica groups (power-of-two-choices balancing, wider
+/// groups for DeployOptions::hot scenarios), breaker-driven rebalancing on
+/// shard failure, and version-gated deploy broadcast. `num_shards = 1`
+/// (the default) reproduces the classic single-server layout through the
+/// same API.
+///
+/// Batch path: one BatchPredictor per shard, each flushing through the
+/// coordinator with that shard preferred — micro-batching locality is kept
+/// while a vanished shard's queued requests fail over to replicas instead
+/// of being lost; only when no replica remains do they fail with
+/// Status kUnavailable (counted in serving/shard_unavailable).
+class ServingClient {
+ public:
+  struct Options {
+    /// Worker shards. 1 = classic single-server serving.
+    int num_shards = 1;
+    /// Virtual nodes per shard on the consistent-hash ring.
+    int vnodes_per_shard = 128;
+    /// Replicas per scenario; hot scenarios get `hot_replication`.
+    int replication = 1;
+    int hot_replication = 2;
+    /// Shard-health breakers watched by the coordinator; an open breaker
+    /// (or a dead shard) triggers the rebalance.
+    resilience::CircuitBreakerOptions shard_breaker =
+        shard::CoordinatorOptions::DefaultShardBreaker();
+    /// SubmitPredict backpressure per shard; 0 = unbounded.
+    int64_t max_queue_depth_per_shard = 0;
+    /// Micro-batching knobs of the EnqueuePredict path.
+    BatchPredictor::Options batching;
+    /// Graceful degradation (breakers + fallback predictions) on every
+    /// shard engine, enabled at construction. EnableResilience() turns it
+    /// on later (e.g. with a test clock). This is where the old
+    /// ServingResilienceOptions plumbing now lives.
+    bool enable_resilience = false;
+    ServingResilienceOptions resilience;
+  };
+
+  /// Aggregate serving-plane stats (per-scenario latency distributions come
+  /// from GetLatencyStats).
+  struct Stats {
+    int num_shards = 0;
+    int live_shards = 0;
+    /// max/mean scenario-ownership share across live shards (1.0 = even).
+    double routing_imbalance = 1.0;
+    int64_t requests_served = 0;
+    /// Batch-path requests enqueued but not yet resolved.
+    int64_t pending_batch_requests = 0;
+  };
+
+  /// `registry == nullptr` selects the process-global registry; all shards
+  /// and batchers share it, so per-scenario metrics aggregate fleet-wide.
+  explicit ServingClient(Options options,
+                         obs::MetricsRegistry* registry = nullptr);
+  /// Default topology: one shard, global registry. (A separate constructor
+  /// because a `= {}` default argument cannot name the nested Options
+  /// before its member initializers are parsed.)
+  ServingClient();
+  ~ServingClient();
+
+  ServingClient(const ServingClient&) = delete;
+  ServingClient& operator=(const ServingClient&) = delete;
+
+  /// Deploys `model` to the scenario's replica group (broadcast, version
+  /// gated). DeployOptions selects quantization, hot replication, and
+  /// transient-failure retries.
+  Status Deploy(const std::string& scenario,
+                std::unique_ptr<models::BaseModel> model,
+                const DeployOptions& options = {});
+
+  /// Deploys to every shard — for the resilience fallback/default
+  /// scenarios any shard must answer locally.
+  Status DeployEverywhere(const std::string& scenario,
+                          std::unique_ptr<models::BaseModel> model,
+                          const DeployOptions& options = {});
+
+  Status Undeploy(const std::string& scenario);
+  bool IsDeployed(const std::string& scenario) const;
+  std::vector<std::string> Scenarios() const;
+
+  /// Synchronous batch predict: routed to the scenario's replica group with
+  /// load balancing and failover.
+  Result<std::vector<float>> Predict(const std::string& scenario,
+                                     const data::Batch& batch);
+
+  /// Asynchronous single-request predict: coalesced into micro-batches on
+  /// the scenario's owner shard, flushed through the coordinator.
+  std::future<Result<float>> EnqueuePredict(const std::string& scenario,
+                                            Tensor profile,
+                                            std::vector<int64_t> behavior);
+
+  /// Blocks until every enqueued batch request has resolved.
+  void DrainBatchQueues() const;
+
+  /// Enables graceful degradation on every shard engine and deploys
+  /// nothing — pair with DeployEverywhere for the fallback scenario.
+  /// `clock == nullptr` selects the real clock.
+  void EnableResilience(const ServingResilienceOptions& options,
+                        resilience::Clock* clock = nullptr);
+
+  /// Shard-health breakers ("shard:<id>") plus worst per-scenario engine
+  /// breaker — drives the telemetry /healthz probe.
+  std::map<std::string, resilience::BreakerState> BreakerStates() const;
+
+  Stats GetStats() const;
+  Result<LatencyStats> GetLatencyStats(const std::string& scenario) const;
+  Result<int64_t> FlopsPerSample(const std::string& scenario) const;
+  Status ExportBundle(const std::string& scenario,
+                      const std::string& path) const;
+
+  std::vector<std::string> ShardIds() const;
+  int NumLiveShards() const;
+  /// Chaos hook: kills a shard; traffic fails over and the coordinator
+  /// rebalances on the next requests against it.
+  Status KillShard(const std::string& shard_id);
+
+  /// The underlying control plane — white-box access for tests and tools.
+  shard::ShardCoordinator* coordinator() { return &coordinator_; }
+  const shard::ShardCoordinator* coordinator() const { return &coordinator_; }
+
+  obs::MetricsRegistry* registry() const { return registry_; }
+  const Options& options() const { return options_; }
+
+ private:
+  BatchPredictor* BatcherFor(const std::string& scenario);
+
+  Options options_;
+  obs::MetricsRegistry* registry_;
+  shard::ShardCoordinator coordinator_;
+  /// One batcher per shard id; declared after the coordinator so their
+  /// dispatcher threads shut down first.
+  std::map<std::string, std::unique_ptr<BatchPredictor>> batchers_;
+};
+
+}  // namespace serving
+}  // namespace alt
+
+#endif  // ALT_SRC_SERVING_SERVING_CLIENT_H_

@@ -1,0 +1,566 @@
+#include "src/serving/shard/coordinator.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "src/serving/model_store.h"
+#include "src/util/logging.h"
+
+namespace alt {
+namespace serving {
+namespace shard {
+
+namespace {
+
+/// splitmix64: spreads the pick counter into well-distributed sample
+/// indices for power-of-two-choices (cheap, deterministic, lock-free).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+bool Contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+}  // namespace
+
+ShardCoordinator::ShardCoordinator(CoordinatorOptions options,
+                                   obs::MetricsRegistry* registry)
+    : options_(options),
+      registry_(registry != nullptr ? registry
+                                    : &obs::MetricsRegistry::Global()),
+      ring_(options.vnodes_per_shard),
+      rebalance_events_(registry_->counter("serving/rebalance_events")),
+      failovers_(registry_->counter("serving/coordinator/failovers")),
+      no_replica_available_(
+          registry_->counter("serving/coordinator/no_replica_available")),
+      routing_imbalance_(
+          registry_->gauge("serving/coordinator/routing_imbalance")),
+      broadcast_ms_(registry_->histogram("serving/coordinator/broadcast_ms")) {
+  ALT_CHECK_GE(options_.num_shards, 1);
+  if (options_.replication < 1) options_.replication = 1;
+  if (options_.hot_replication < options_.replication) {
+    options_.hot_replication = options_.replication;
+  }
+  MutexLock state(state_mu_);
+  for (int i = 0; i < options_.num_shards; ++i) {
+    const std::string id = "shard-" + std::to_string(i);
+    auto worker = std::make_unique<WorkerShard>(id, registry_);
+    worker->set_max_queue_depth(options_.max_queue_depth_per_shard);
+    shards_by_id_[id] = worker.get();
+    shards_.push_back(std::move(worker));
+    breakers_[id] = std::make_unique<resilience::CircuitBreaker>(
+        "shard:" + id, options_.shard_breaker, /*clock=*/nullptr, registry_);
+    ring_.AddShard(id);
+  }
+  PublishImbalanceLocked();
+}
+
+ShardCoordinator::~ShardCoordinator() = default;
+
+WorkerShard* ShardCoordinator::LiveShard(const std::string& shard_id) const {
+  auto it = shards_by_id_.find(shard_id);
+  if (it == shards_by_id_.end() || it->second->dead()) return nullptr;
+  return it->second;
+}
+
+resilience::CircuitBreaker* ShardCoordinator::BreakerOf(
+    const std::string& shard_id) const {
+  auto it = breakers_.find(shard_id);
+  return it == breakers_.end() ? nullptr : it->second.get();
+}
+
+Status ShardCoordinator::Deploy(const std::string& scenario,
+                                std::unique_ptr<models::BaseModel> model,
+                                const DeployOptions& options) {
+  if (model == nullptr) return Status::InvalidArgument("null model");
+  MutexLock control(control_mu_);
+  ScenarioEntry entry;
+  entry.options = options;
+  entry.options.calibration = nullptr;  // Dangling after this call.
+  {
+    std::ostringstream out;
+    ALT_RETURN_IF_ERROR(SaveModelBundle(model.get(), &out));
+    entry.bundle = out.str();
+  }
+  std::vector<std::string> targets;
+  {
+    MutexLock state(state_mu_);
+    auto it = table_.find(scenario);
+    entry.version = (it != table_.end() ? it->second.version : 0) + 1;
+    const int want =
+        options.hot ? options_.hot_replication : options_.replication;
+    targets = ring_.RouteReplicas(scenario, want);
+  }
+  if (targets.empty()) {
+    return Status::Unavailable("no live shards to deploy " + scenario);
+  }
+  return BroadcastLocked(scenario, &entry, std::move(model), options, targets);
+}
+
+Status ShardCoordinator::DeployEverywhere(
+    const std::string& scenario, std::unique_ptr<models::BaseModel> model,
+    const DeployOptions& options) {
+  if (model == nullptr) return Status::InvalidArgument("null model");
+  MutexLock control(control_mu_);
+  ScenarioEntry entry;
+  entry.options = options;
+  entry.options.calibration = nullptr;
+  entry.everywhere = true;
+  {
+    std::ostringstream out;
+    ALT_RETURN_IF_ERROR(SaveModelBundle(model.get(), &out));
+    entry.bundle = out.str();
+  }
+  std::vector<std::string> targets;
+  {
+    MutexLock state(state_mu_);
+    auto it = table_.find(scenario);
+    entry.version = (it != table_.end() ? it->second.version : 0) + 1;
+    targets = ring_.Shards();
+  }
+  if (targets.empty()) {
+    return Status::Unavailable("no live shards to deploy " + scenario);
+  }
+  return BroadcastLocked(scenario, &entry, std::move(model), options, targets);
+}
+
+Status ShardCoordinator::BroadcastLocked(
+    const std::string& scenario, ScenarioEntry* entry,
+    std::unique_ptr<models::BaseModel> original,
+    const DeployOptions& deploy_options,
+    const std::vector<std::string>& targets) {
+  obs::ScopedTimerMs timer(broadcast_ms_);
+  Status first_error;
+  std::vector<std::string> deployed;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    auto it = shards_by_id_.find(targets[i]);
+    if (it == shards_by_id_.end()) continue;
+    std::unique_ptr<models::BaseModel> model;
+    if (i == 0) {
+      model = std::move(original);
+    } else {
+      // Replica fan-out: clone from the bundle serialized once above —
+      // serialize-once, deserialize-per-replica is the broadcast protocol.
+      std::istringstream in(entry->bundle);
+      Result<std::unique_ptr<models::BaseModel>> loaded = LoadModelBundle(&in);
+      if (!loaded.ok()) {
+        if (first_error.ok()) first_error = loaded.status();
+        continue;
+      }
+      model = std::move(loaded).value();
+    }
+    Status status = it->second->Deploy(scenario, std::move(model),
+                                       deploy_options, entry->version);
+    if (status.ok()) {
+      deployed.push_back(targets[i]);
+    } else if (first_error.ok()) {
+      first_error = status;
+    }
+  }
+  if (!first_error.ok()) {
+    // Partial broadcast: replicas that swapped keep the new model at this
+    // version, but the authoritative table stays at the previous version —
+    // the next successful Deploy (same version number again) supersedes.
+    return first_error;
+  }
+  if (deployed.empty()) {
+    return Status::Unavailable("no shard accepted deploy of " + scenario);
+  }
+  entry->replicas = std::move(deployed);
+  MutexLock state(state_mu_);
+  table_[scenario] = std::move(*entry);
+  PublishImbalanceLocked();
+  return Status::OK();
+}
+
+Status ShardCoordinator::Undeploy(const std::string& scenario) {
+  MutexLock control(control_mu_);
+  std::vector<std::string> targets;
+  {
+    MutexLock state(state_mu_);
+    auto it = table_.find(scenario);
+    if (it == table_.end()) {
+      return Status::NotFound("scenario " + scenario + " not deployed");
+    }
+    if (it->second.everywhere) {
+      for (const auto& [id, worker] : shards_by_id_) targets.push_back(id);
+    } else {
+      targets = it->second.replicas;
+    }
+    table_.erase(it);
+    PublishImbalanceLocked();
+  }
+  for (const std::string& id : targets) {
+    auto it = shards_by_id_.find(id);
+    if (it == shards_by_id_.end()) continue;
+    // A replica that never finished its deploy reports NotFound; that is
+    // the desired end state, not an error.
+    Status status = it->second->Undeploy(scenario);
+    if (!status.ok() && status.code() != StatusCode::kNotFound) {
+      ALT_LOG(Warning) << "undeploy of " << scenario << " on " << id
+                       << " failed: " << status.ToString();
+    }
+  }
+  return Status::OK();
+}
+
+bool ShardCoordinator::IsDeployed(const std::string& scenario) const {
+  MutexLock state(state_mu_);
+  return table_.count(scenario) > 0;
+}
+
+std::vector<std::string> ShardCoordinator::Scenarios() const {
+  MutexLock state(state_mu_);
+  std::vector<std::string> out;
+  out.reserve(table_.size());
+  for (const auto& [scenario, entry] : table_) out.push_back(scenario);
+  return out;
+}
+
+std::vector<std::string> ShardCoordinator::RankedReplicas(
+    const std::string& scenario) {
+  std::vector<std::string> candidates;
+  {
+    MutexLock state(state_mu_);
+    auto it = table_.find(scenario);
+    if (it != table_.end()) {
+      candidates =
+          it->second.everywhere ? ring_.Shards() : it->second.replicas;
+    } else if (resilience_enabled_ && !resilience_.default_scenario.empty()) {
+      // Unknown scenario under resilience: route by ring hash anyway so the
+      // shard engine's default-scenario degradation answers.
+      candidates = ring_.RouteReplicas(scenario, options_.replication);
+    }
+  }
+  if (candidates.size() >= 2) {
+    const uint64_t ticket =
+        pick_counter_.fetch_add(1, std::memory_order_relaxed);
+    const size_t n = candidates.size();
+    size_t a = static_cast<size_t>(Mix64(ticket) % n);
+    size_t b = static_cast<size_t>(Mix64(ticket ^ 0x5851f42d4c957f2dull) % n);
+    if (a == b) b = (b + 1) % n;
+    const WorkerShard* sa = shards_by_id_.at(candidates[a]);
+    const WorkerShard* sb = shards_by_id_.at(candidates[b]);
+    const size_t best = sa->QueueDepth() <= sb->QueueDepth() ? a : b;
+    std::swap(candidates[0], candidates[best]);
+  }
+  return candidates;
+}
+
+Result<std::vector<float>> ShardCoordinator::Predict(
+    const std::string& scenario, const data::Batch& batch) {
+  return PredictPreferring("", scenario, batch);
+}
+
+Result<std::vector<float>> ShardCoordinator::PredictPreferring(
+    const std::string& preferred_shard, const std::string& scenario,
+    const data::Batch& batch) {
+  Status last = Status::NotFound("scenario " + scenario + " not deployed");
+  // Each extra round is only taken after a rebalance (a shard left the
+  // ring), so num_shards rounds bound the loop while guaranteeing a request
+  // that keeps finding dead shards still reaches the re-routed replicas —
+  // the zero-lost-requests contract of the scale bench.
+  for (int round = 0; round <= options_.num_shards; ++round) {
+    std::vector<std::string> candidates = RankedReplicas(scenario);
+    if (!preferred_shard.empty()) {
+      // Shard affinity (BatchPredictor locality): only honored while the
+      // preferred shard is still in the replica group — after a rebalance
+      // it may no longer hold the model.
+      auto it = std::find(candidates.begin(), candidates.end(),
+                          preferred_shard);
+      if (it != candidates.end()) std::swap(candidates.front(), *it);
+    }
+    if (candidates.empty()) break;
+    bool rebalanced = false;
+    for (const std::string& id : candidates) {
+      WorkerShard* worker = shards_by_id_.at(id);
+      if (worker->dead()) {
+        HandleShardDeath(id);
+        rebalanced = true;
+        last = Status::Unavailable("shard " + id + " is dead");
+        continue;
+      }
+      resilience::CircuitBreaker* breaker = BreakerOf(id);
+      if (breaker != nullptr && !breaker->AllowRequest()) {
+        last = Status::Unavailable("shard " + id + " breaker open");
+        continue;
+      }
+      Result<std::vector<float>> result =
+          worker->SubmitPredict(scenario, batch).get();
+      if (result.ok()) {
+        if (breaker != nullptr) breaker->RecordSuccess();
+        return result;
+      }
+      const Status status = result.status();
+      if (status.code() == StatusCode::kNotFound) {
+        // Deploy-state error, identical on every replica — not a shard
+        // health signal, and failing over would only repeat it.
+        return result;
+      }
+      if (breaker != nullptr) breaker->RecordFailure();
+      failovers_->Add(1);
+      last = status;
+      if (worker->dead() ||
+          (breaker != nullptr &&
+           breaker->state() == resilience::BreakerState::kOpen)) {
+        HandleShardDeath(id);
+        rebalanced = true;
+      }
+    }
+    // Without a rebalance the candidate set cannot change; with one, the
+    // next round re-routes against the shrunken ring.
+    if (!rebalanced) break;
+  }
+  if (last.code() != StatusCode::kNotFound) no_replica_available_->Add(1);
+  return last;
+}
+
+void ShardCoordinator::EnableResilience(
+    const ServingResilienceOptions& options, resilience::Clock* clock) {
+  MutexLock control(control_mu_);
+  for (auto& worker : shards_) {
+    worker->engine()->ConfigureResilience(options, clock);
+  }
+  MutexLock state(state_mu_);
+  resilience_ = options;
+  resilience_enabled_ = true;
+}
+
+Status ShardCoordinator::KillShard(const std::string& shard_id) {
+  auto it = shards_by_id_.find(shard_id);
+  if (it == shards_by_id_.end()) {
+    return Status::NotFound("unknown shard " + shard_id);
+  }
+  it->second->Kill();
+  return Status::OK();
+}
+
+void ShardCoordinator::HandleShardDeath(const std::string& shard_id) {
+  MutexLock control(control_mu_);
+  struct Affected {
+    std::string scenario;
+    ScenarioEntry snapshot;
+    std::vector<std::string> new_replicas;
+    std::vector<std::string> add_targets;
+  };
+  std::vector<Affected> affected;
+  {
+    MutexLock state(state_mu_);
+    if (!ring_.HasShard(shard_id)) return;  // Already rebalanced away.
+    ring_.RemoveShard(shard_id);
+    for (const auto& [scenario, entry] : table_) {
+      if (!entry.everywhere && !Contains(entry.replicas, shard_id)) continue;
+      Affected item;
+      item.scenario = scenario;
+      item.snapshot.version = entry.version;
+      item.snapshot.options = entry.options;
+      item.snapshot.everywhere = entry.everywhere;
+      if (entry.everywhere) {
+        // Every remaining shard already holds it; just shrink the group.
+        item.new_replicas = ring_.Shards();
+      } else {
+        const int want = entry.options.hot ? options_.hot_replication
+                                           : options_.replication;
+        item.new_replicas = ring_.RouteReplicas(scenario, want);
+        for (const std::string& id : item.new_replicas) {
+          if (!Contains(entry.replicas, id)) item.add_targets.push_back(id);
+        }
+        if (!item.add_targets.empty()) item.snapshot.bundle = entry.bundle;
+      }
+      affected.push_back(std::move(item));
+    }
+  }
+  rebalance_events_->Add(1);
+  // The shard is leaving the ring for good (the plane has no re-join), so
+  // park its worker even when the trigger was an open breaker rather than
+  // an explicit Kill: queued requests drain with Unavailable and fail over.
+  auto worker_it = shards_by_id_.find(shard_id);
+  if (worker_it != shards_by_id_.end()) worker_it->second->Kill();
+  // Re-deploys run outside state_mu_ so routing stays readable; control_mu_
+  // keeps the table stable meanwhile.
+  for (Affected& item : affected) {
+    for (const std::string& target : item.add_targets) {
+      WorkerShard* worker = LiveShard(target);
+      if (worker == nullptr) continue;
+      std::istringstream in(item.snapshot.bundle);
+      Result<std::unique_ptr<models::BaseModel>> loaded = LoadModelBundle(&in);
+      Status status = loaded.ok()
+                          ? worker->Deploy(item.scenario,
+                                           std::move(loaded).value(),
+                                           item.snapshot.options,
+                                           item.snapshot.version)
+                          : loaded.status();
+      if (!status.ok()) {
+        ALT_LOG(Warning) << "rebalance re-deploy of " << item.scenario
+                         << " onto " << target
+                         << " failed: " << status.ToString();
+      }
+    }
+  }
+  MutexLock state(state_mu_);
+  for (Affected& item : affected) {
+    auto it = table_.find(item.scenario);
+    // Version check: a Deploy cannot have raced (control_mu_ is held), but
+    // an Undeploy-then-Deploy sequence is impossible for the same reason;
+    // the guard is belt-and-braces against future concurrent writers.
+    if (it != table_.end() && it->second.version == item.snapshot.version) {
+      it->second.replicas = std::move(item.new_replicas);
+    }
+  }
+  PublishImbalanceLocked();
+}
+
+std::vector<std::string> ShardCoordinator::ShardIds() const {
+  std::vector<std::string> out;
+  out.reserve(shards_by_id_.size());
+  for (const auto& [id, worker] : shards_by_id_) out.push_back(id);
+  return out;
+}
+
+int ShardCoordinator::NumLiveShards() const {
+  int live = 0;
+  for (const auto& worker : shards_) {
+    if (!worker->dead()) ++live;
+  }
+  return live;
+}
+
+const WorkerShard* ShardCoordinator::shard(const std::string& shard_id) const {
+  auto it = shards_by_id_.find(shard_id);
+  return it == shards_by_id_.end() ? nullptr : it->second;
+}
+
+WorkerShard* ShardCoordinator::shard(const std::string& shard_id) {
+  auto it = shards_by_id_.find(shard_id);
+  return it == shards_by_id_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> ShardCoordinator::ReplicasOf(
+    const std::string& scenario) const {
+  MutexLock state(state_mu_);
+  auto it = table_.find(scenario);
+  if (it == table_.end()) return {};
+  return it->second.everywhere ? ring_.Shards() : it->second.replicas;
+}
+
+uint64_t ShardCoordinator::VersionOf(const std::string& scenario) const {
+  MutexLock state(state_mu_);
+  auto it = table_.find(scenario);
+  return it == table_.end() ? 0 : it->second.version;
+}
+
+std::map<std::string, resilience::BreakerState>
+ShardCoordinator::BreakerStates() const {
+  std::map<std::string, resilience::BreakerState> out;
+  for (const auto& [id, breaker] : breakers_) {
+    out["shard:" + id] = breaker->state();
+  }
+  for (const auto& worker : shards_) {
+    for (const auto& [scenario, state] : worker->engine()->BreakerStates()) {
+      auto it = out.find(scenario);
+      // Worst state wins across shards (kOpen > kHalfOpen > kClosed).
+      if (it == out.end() ||
+          static_cast<int>(state) > static_cast<int>(it->second)) {
+        out[scenario] = state;
+      }
+    }
+  }
+  return out;
+}
+
+double ShardCoordinator::ImbalanceLocked() const {
+  if (ring_.NumShards() == 0) return 1.0;
+  std::map<std::string, int64_t> owned;
+  for (const std::string& id : ring_.Shards()) owned[id] = 0;
+  int64_t total = 0;
+  for (const auto& [scenario, entry] : table_) {
+    if (entry.everywhere || entry.replicas.empty()) continue;
+    auto it = owned.find(entry.replicas.front());
+    if (it == owned.end()) continue;
+    ++it->second;
+    ++total;
+  }
+  if (total == 0) return 1.0;
+  int64_t max_owned = 0;
+  for (const auto& [id, count] : owned) {
+    max_owned = std::max(max_owned, count);
+  }
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(owned.size());
+  return static_cast<double>(max_owned) / mean;
+}
+
+void ShardCoordinator::PublishImbalanceLocked() const {
+  routing_imbalance_->Set(ImbalanceLocked());
+}
+
+double ShardCoordinator::RoutingImbalance() const {
+  MutexLock state(state_mu_);
+  PublishImbalanceLocked();
+  return ImbalanceLocked();
+}
+
+Result<LatencyStats> ShardCoordinator::GetLatencyStats(
+    const std::string& scenario) const {
+  {
+    MutexLock state(state_mu_);
+    if (table_.count(scenario) == 0) {
+      return Status::NotFound("scenario " + scenario + " not deployed");
+    }
+  }
+  // All shard engines share the coordinator registry, so the per-scenario
+  // histogram already aggregates latencies across the whole fleet.
+  const obs::HistogramSummary summary = registry_->histogram_summary(
+      ModelServer::LatencyMetricName(scenario));
+  LatencyStats stats;
+  stats.num_requests = summary.count;
+  stats.mean_ms = summary.mean;
+  stats.p50_ms = summary.p50;
+  stats.p95_ms = summary.p95;
+  stats.p99_ms = summary.p99;
+  stats.max_ms = summary.max;
+  return stats;
+}
+
+Result<int64_t> ShardCoordinator::FlopsPerSample(
+    const std::string& scenario) const {
+  for (const std::string& id : ReplicasOf(scenario)) {
+    const WorkerShard* worker = LiveShard(id);
+    if (worker == nullptr) continue;
+    Result<int64_t> flops = worker->engine()->FlopsPerSample(scenario);
+    if (flops.ok()) return flops;
+  }
+  return Status::NotFound("scenario " + scenario +
+                          " has no live replica with a model");
+}
+
+Status ShardCoordinator::ExportBundle(const std::string& scenario,
+                                      const std::string& path) const {
+  std::string bundle;
+  {
+    MutexLock state(state_mu_);
+    auto it = table_.find(scenario);
+    if (it == table_.end()) {
+      return Status::NotFound("scenario " + scenario + " not deployed");
+    }
+    bundle = it->second.bundle;
+  }
+  // The cached broadcast bundle is byte-identical to SaveModelBundleToFile
+  // output (same serializer), so exporting is a plain write.
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path);
+  out.write(bundle.data(), static_cast<std::streamsize>(bundle.size()));
+  out.flush();
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace shard
+}  // namespace serving
+}  // namespace alt

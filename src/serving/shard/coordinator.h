@@ -1,0 +1,233 @@
+#ifndef ALT_SRC_SERVING_SHARD_COORDINATOR_H_
+#define ALT_SRC_SERVING_SHARD_COORDINATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/models/base_model.h"
+#include "src/obs/metrics.h"
+#include "src/resilience/circuit_breaker.h"
+#include "src/serving/model_server.h"
+#include "src/serving/shard/hash_ring.h"
+#include "src/serving/shard/shard.h"
+#include "src/util/mutex.h"
+#include "src/util/status.h"
+#include "src/util/thread_annotations.h"
+
+namespace alt {
+namespace serving {
+namespace shard {
+
+struct CoordinatorOptions {
+  /// Worker shards (each a ModelServer on its own thread). Ids are
+  /// "shard-0".."shard-(n-1)".
+  int num_shards = 4;
+  /// Virtual nodes per shard on the consistent-hash ring.
+  int vnodes_per_shard = 128;
+  /// Replicas per scenario (1 = owner only).
+  int replication = 1;
+  /// Replicas for scenarios deployed with DeployOptions::hot — head
+  /// scenarios whose traffic justifies wider fan-out.
+  int hot_replication = 2;
+  /// Shard-health breakers: predict outcomes against each shard feed a
+  /// resilience::CircuitBreaker; an open breaker (or a dead shard) triggers
+  /// the rebalance path. The serving default is deliberately twitchier than
+  /// the library default — a dead shard fails every request, so three
+  /// consecutive failures is already a strong signal.
+  static resilience::CircuitBreakerOptions DefaultShardBreaker() {
+    resilience::CircuitBreakerOptions breaker;
+    breaker.failure_threshold = 3;
+    breaker.open_cooldown_ms = 1000.0;
+    breaker.close_successes = 2;
+    return breaker;
+  }
+  resilience::CircuitBreakerOptions shard_breaker = DefaultShardBreaker();
+  /// SubmitPredict backpressure per shard; 0 = unbounded.
+  int64_t max_queue_depth_per_shard = 0;
+};
+
+/// Control plane of the sharded serving plane. Owns N WorkerShards, the
+/// consistent-hash ring that maps scenario ids to shards, and the scenario
+/// table (version, replica group, cached fp32 bundle) that makes
+/// rebalancing possible.
+///
+/// Deploy is a broadcast: the model is serialized once, the original lands
+/// on the owner shard and bundle-clones on the other replicas, all gated by
+/// a monotonically increasing per-scenario version so a rebalance re-deploy
+/// can never clobber a newer model (no torn reads: each request is served
+/// whole by one replica, and each replica swaps atomically).
+///
+/// Predict balances over the scenario's live replicas with
+/// power-of-two-choices on shard queue depth, records per-shard breaker
+/// outcomes, and fails over to the remaining replicas on shard errors. A
+/// dead shard (Kill, or breaker forced open by consecutive failures)
+/// triggers HandleShardDeath: the shard leaves the ring and its scenarios
+/// re-deploy from cached bundles onto their new ring owners — only keys the
+/// ring moved, which is the consistent-hash minimal-disruption guarantee.
+///
+/// Locking: `control_mu_` serializes control-plane operations
+/// (Deploy/Undeploy/rebalance) and is never held while scoring; `state_mu_`
+/// guards brief ring/table reads on the data plane. Order: control_mu_
+/// before state_mu_; bundle (de)serialization and engine deploys run
+/// outside state_mu_ so routing stays readable during a rebalance.
+///
+/// Obs (shared registry):
+///   serving/rebalance_events                    counter
+///   serving/coordinator/failovers               counter: replica fail-overs
+///   serving/coordinator/no_replica_available    counter: exhausted groups
+///   serving/coordinator/routing_imbalance       gauge: max/mean owner share
+///   serving/coordinator/broadcast_ms            histogram: deploy fan-out
+///   (plus per-shard queue depth / request counters from WorkerShard and
+///   breaker state gauges from resilience/circuit_breaker/state/shard:<id>)
+class ShardCoordinator {
+ public:
+  explicit ShardCoordinator(CoordinatorOptions options = {},
+                            obs::MetricsRegistry* registry = nullptr);
+  ~ShardCoordinator();
+
+  ShardCoordinator(const ShardCoordinator&) = delete;
+  ShardCoordinator& operator=(const ShardCoordinator&) = delete;
+
+  /// Broadcasts `model` to the scenario's replica group (ring owner first).
+  /// DeployOptions::hot widens the group to hot_replication;
+  /// DeployOptions::retry_transient retries each replica's deploy attempt.
+  Status Deploy(const std::string& scenario,
+                std::unique_ptr<models::BaseModel> model,
+                const DeployOptions& options = {});
+
+  /// Deploys to every live shard (and to newcomers on rebalance) — for the
+  /// resilience fallback/default scenarios that any shard must be able to
+  /// answer locally.
+  Status DeployEverywhere(const std::string& scenario,
+                          std::unique_ptr<models::BaseModel> model,
+                          const DeployOptions& options = {});
+
+  Status Undeploy(const std::string& scenario);
+  bool IsDeployed(const std::string& scenario) const;
+  std::vector<std::string> Scenarios() const;
+
+  /// Routes to the scenario's replica group (power-of-two-choices over
+  /// queue depth), failing over on shard errors. With resilience enabled an
+  /// unknown scenario still routes by ring hash so the shard engine's
+  /// default-scenario degradation applies.
+  Result<std::vector<float>> Predict(const std::string& scenario,
+                                     const data::Batch& batch);
+
+  /// Predict with shard affinity: tries `preferred_shard` first (the
+  /// BatchPredictor keeps per-shard queues to preserve batching locality),
+  /// failing over to the normal replica path when it is gone.
+  Result<std::vector<float>> PredictPreferring(
+      const std::string& preferred_shard, const std::string& scenario,
+      const data::Batch& batch);
+
+  /// Configures graceful degradation on every shard engine. The caller is
+  /// responsible for deploying `options.fallback_scenario` /
+  /// `options.default_scenario` via DeployEverywhere.
+  void EnableResilience(const ServingResilienceOptions& options,
+                        resilience::Clock* clock = nullptr);
+
+  /// Chaos hook: kills the worker (its queue drains with Unavailable and
+  /// in-flight callers fail over). The rebalance itself triggers on the
+  /// next predicts against the dead shard, exactly as a real crash would.
+  Status KillShard(const std::string& shard_id);
+
+  std::vector<std::string> ShardIds() const;
+  int NumLiveShards() const;
+  const WorkerShard* shard(const std::string& shard_id) const;
+  WorkerShard* shard(const std::string& shard_id);
+
+  /// The scenario's current replica group (empty when unknown).
+  std::vector<std::string> ReplicasOf(const std::string& scenario) const;
+  /// The scenario's broadcast version; 0 when unknown.
+  uint64_t VersionOf(const std::string& scenario) const;
+
+  /// Shard-health breakers ("shard:<id>") plus the worst per-scenario
+  /// engine breaker state across shards — the telemetry /healthz view.
+  std::map<std::string, resilience::BreakerState> BreakerStates() const;
+
+  /// max/mean share of ring ownership over live shards (1.0 = perfectly
+  /// uniform), sampled over the deployed scenarios; also published to the
+  /// routing_imbalance gauge.
+  double RoutingImbalance() const;
+
+  Result<LatencyStats> GetLatencyStats(const std::string& scenario) const;
+  Result<int64_t> FlopsPerSample(const std::string& scenario) const;
+  Status ExportBundle(const std::string& scenario,
+                      const std::string& path) const;
+
+  obs::MetricsRegistry* registry() const { return registry_; }
+  const CoordinatorOptions& options() const { return options_; }
+
+ private:
+  struct ScenarioEntry {
+    uint64_t version = 0;
+    /// Serialized fp32 bundle; rebalance re-deploys clone from this.
+    std::string bundle;
+    /// Deploy options minus the calibration pointer (dangling after the
+    /// original call; re-deploys re-quantize without re-calibrating).
+    DeployOptions options;
+    bool everywhere = false;
+    std::vector<std::string> replicas;
+  };
+
+  WorkerShard* LiveShard(const std::string& shard_id) const;
+  resilience::CircuitBreaker* BreakerOf(const std::string& shard_id) const;
+  /// The scenario's candidate replica ids in failover order: the
+  /// least-loaded of two sampled candidates first (power-of-two-choices on
+  /// queue depth). Dead shards stay in the list so the predict loop can
+  /// detect them and trigger the rebalance.
+  std::vector<std::string> RankedReplicas(const std::string& scenario)
+      ALT_EXCLUDES(state_mu_);
+  /// Removes a failed shard from the ring and re-deploys its scenarios onto
+  /// their new owners. Idempotent; serialized by control_mu_.
+  void HandleShardDeath(const std::string& shard_id)
+      ALT_EXCLUDES(control_mu_, state_mu_);
+  /// Deploys `original` (owner) + bundle clones (other targets) and commits
+  /// the entry into the table on success. `deploy_options` is the caller's
+  /// options (still carrying the calibration pointer); `entry->options` is
+  /// the calibration-free copy cached for rebalances.
+  Status BroadcastLocked(const std::string& scenario, ScenarioEntry* entry,
+                         std::unique_ptr<models::BaseModel> original,
+                         const DeployOptions& deploy_options,
+                         const std::vector<std::string>& targets)
+      ALT_REQUIRES(control_mu_) ALT_EXCLUDES(state_mu_);
+  double ImbalanceLocked() const ALT_REQUIRES(state_mu_);
+  void PublishImbalanceLocked() const ALT_REQUIRES(state_mu_);
+
+  CoordinatorOptions options_;
+  obs::MetricsRegistry* registry_;
+
+  /// Shards are constructed once and never destroyed before the
+  /// coordinator: a dead shard stays allocated (parked) so in-flight
+  /// submits resolve safely. Unguarded after the constructor.
+  std::vector<std::unique_ptr<WorkerShard>> shards_;
+  std::map<std::string, WorkerShard*> shards_by_id_;
+  /// Shard-health breakers, one per shard, created in the constructor.
+  std::map<std::string, std::unique_ptr<resilience::CircuitBreaker>> breakers_;
+
+  mutable Mutex control_mu_;
+  mutable Mutex state_mu_;
+  HashRing ring_ ALT_GUARDED_BY(state_mu_);
+  std::map<std::string, ScenarioEntry> table_ ALT_GUARDED_BY(state_mu_);
+  bool resilience_enabled_ ALT_GUARDED_BY(state_mu_) = false;
+  ServingResilienceOptions resilience_ ALT_GUARDED_BY(state_mu_);
+
+  std::atomic<uint64_t> pick_counter_{0};
+
+  obs::Counter* rebalance_events_ = nullptr;       // Owned by the registry.
+  obs::Counter* failovers_ = nullptr;              // Owned by the registry.
+  obs::Counter* no_replica_available_ = nullptr;   // Owned by the registry.
+  obs::Gauge* routing_imbalance_ = nullptr;        // Owned by the registry.
+  obs::Histogram* broadcast_ms_ = nullptr;         // Owned by the registry.
+};
+
+}  // namespace shard
+}  // namespace serving
+}  // namespace alt
+
+#endif  // ALT_SRC_SERVING_SHARD_COORDINATOR_H_

@@ -1,0 +1,145 @@
+#include "src/serving/shard/shard.h"
+
+#include <utility>
+
+namespace alt {
+namespace serving {
+namespace shard {
+
+WorkerShard::WorkerShard(std::string id, obs::MetricsRegistry* registry)
+    : id_(std::move(id)),
+      registry_(registry != nullptr ? registry
+                                    : &obs::MetricsRegistry::Global()),
+      engine_(registry_),
+      queue_depth_gauge_(
+          registry_->gauge("serving/shard/queue_depth/" + id_)),
+      requests_total_(registry_->counter("serving/shard/requests/" + id_)),
+      worker_([this] { WorkerLoop(); }) {}
+
+WorkerShard::~WorkerShard() {
+  {
+    MutexLock lock(mu_);
+    stopping_ = true;
+  }
+  cv_.NotifyAll();
+  worker_.join();
+  // Anything still queued (submits racing destruction) resolves as
+  // Unavailable rather than a broken promise.
+  MutexLock lock(mu_);
+  for (Task& task : queue_) {
+    task.promise.set_value(
+        Status::Unavailable("shard " + id_ + " shutting down"));
+  }
+  queue_.clear();
+}
+
+Status WorkerShard::Deploy(const std::string& scenario,
+                           std::unique_ptr<models::BaseModel> model,
+                           const DeployOptions& options, uint64_t version) {
+  if (dead()) {
+    return Status::Unavailable("shard " + id_ + " is dead");
+  }
+  {
+    MutexLock lock(versions_mu_);
+    auto it = versions_.find(scenario);
+    if (it != versions_.end() && version < it->second) {
+      return Status::FailedPrecondition(
+          "stale deploy of " + scenario + " v" + std::to_string(version) +
+          " on shard " + id_ + " (have v" + std::to_string(it->second) + ")");
+    }
+  }
+  ALT_RETURN_IF_ERROR(engine_.Deploy(scenario, std::move(model), options));
+  MutexLock lock(versions_mu_);
+  uint64_t& current = versions_[scenario];
+  // Re-check under the lock: a concurrent newer deploy may have landed
+  // between the gate above and the engine swap; versions only move forward.
+  if (version > current) current = version;
+  return Status::OK();
+}
+
+Status WorkerShard::Undeploy(const std::string& scenario) {
+  {
+    MutexLock lock(versions_mu_);
+    versions_.erase(scenario);
+  }
+  return engine_.Undeploy(scenario);
+}
+
+uint64_t WorkerShard::DeployedVersion(const std::string& scenario) const {
+  MutexLock lock(versions_mu_);
+  auto it = versions_.find(scenario);
+  return it == versions_.end() ? 0 : it->second;
+}
+
+std::future<Result<std::vector<float>>> WorkerShard::SubmitPredict(
+    const std::string& scenario, const data::Batch& batch) {
+  Task task;
+  task.scenario = scenario;
+  task.batch = &batch;
+  std::future<Result<std::vector<float>>> future = task.promise.get_future();
+  if (dead()) {
+    task.promise.set_value(Status::Unavailable("shard " + id_ + " is dead"));
+    return future;
+  }
+  if (max_queue_depth_ > 0 &&
+      queue_depth_.load(std::memory_order_relaxed) >= max_queue_depth_) {
+    task.promise.set_value(
+        Status::Unavailable("shard " + id_ + " queue full"));
+    return future;
+  }
+  {
+    MutexLock lock(mu_);
+    if (stopping_) {
+      task.promise.set_value(
+          Status::Unavailable("shard " + id_ + " shutting down"));
+      return future;
+    }
+    queue_.push_back(std::move(task));
+  }
+  queue_depth_gauge_->Set(
+      static_cast<double>(queue_depth_.fetch_add(1) + 1));
+  cv_.NotifyOne();
+  return future;
+}
+
+void WorkerShard::Kill() {
+  std::deque<Task> orphaned;
+  {
+    MutexLock lock(mu_);
+    dead_.store(true, std::memory_order_release);
+    orphaned.swap(queue_);
+  }
+  cv_.NotifyAll();
+  for (Task& task : orphaned) {
+    task.promise.set_value(Status::Unavailable("shard " + id_ + " is dead"));
+    queue_depth_gauge_->Set(
+        static_cast<double>(queue_depth_.fetch_sub(1) - 1));
+  }
+}
+
+void WorkerShard::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      MutexLock lock(mu_);
+      while (queue_.empty() && !stopping_) cv_.Wait(mu_);
+      if (queue_.empty()) return;  // stopping_ with a drained queue.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    if (dead()) {
+      task.promise.set_value(
+          Status::Unavailable("shard " + id_ + " is dead"));
+    } else {
+      task.promise.set_value(engine_.Predict(task.scenario, *task.batch));
+      requests_total_->Add(1);
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+    }
+    queue_depth_gauge_->Set(
+        static_cast<double>(queue_depth_.fetch_sub(1) - 1));
+  }
+}
+
+}  // namespace shard
+}  // namespace serving
+}  // namespace alt

@@ -1,0 +1,134 @@
+#ifndef ALT_SRC_SERVING_SHARD_SHARD_H_
+#define ALT_SRC_SERVING_SHARD_SHARD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/models/base_model.h"
+#include "src/obs/metrics.h"
+#include "src/serving/model_server.h"
+#include "src/util/mutex.h"
+#include "src/util/status.h"
+#include "src/util/thread_annotations.h"
+
+namespace alt {
+namespace serving {
+namespace shard {
+
+/// One worker of the sharded serving plane: a ModelServer engine owned by a
+/// dedicated serving thread. The coordinator talks to a shard through two
+/// planes:
+///   - control plane: Deploy/Undeploy, version-gated so a stale broadcast
+///     (a rebalance racing a newer Deploy) can never overwrite a newer
+///     model — the swap itself is the engine's per-scenario atomic swap, so
+///     readers see the old model or the new one, never a torn mix;
+///   - data plane: SubmitPredict enqueues onto the shard's queue; the worker
+///     thread scores batches in arrival order on its own engine.
+///
+/// Kill() simulates shard failure for chaos tests and the scale bench: the
+/// queue drains with Status::Unavailable (callers fail over to replicas —
+/// no request is silently lost) and every later submit fails fast.
+///
+/// Obs (shared registry, instance-labelled by shard id):
+///   serving/shard/queue_depth/<id>   gauge: requests queued + in flight
+///   serving/shard/requests/<id>      counter: requests served by the engine
+class WorkerShard {
+ public:
+  /// `registry == nullptr` selects the process-global registry. All shards
+  /// of one coordinator share a registry, so per-scenario latency
+  /// histograms aggregate across the fleet for free.
+  WorkerShard(std::string id, obs::MetricsRegistry* registry = nullptr);
+  ~WorkerShard();
+
+  WorkerShard(const WorkerShard&) = delete;
+  WorkerShard& operator=(const WorkerShard&) = delete;
+
+  const std::string& id() const { return id_; }
+
+  /// Version-gated deploy onto this shard's engine. `version` must be >= the
+  /// scenario's current version on this shard (equal re-deploys are
+  /// idempotent rebalance copies); a stale version is rejected with
+  /// FailedPrecondition and a dead shard with Unavailable.
+  Status Deploy(const std::string& scenario,
+                std::unique_ptr<models::BaseModel> model,
+                const DeployOptions& options, uint64_t version);
+
+  Status Undeploy(const std::string& scenario);
+
+  /// The scenario's deployed version on this shard; 0 when never deployed.
+  uint64_t DeployedVersion(const std::string& scenario) const;
+
+  /// Enqueues a predict for the worker thread. `batch` must stay alive until
+  /// the future resolves (the coordinator blocks on it). A dead shard — or a
+  /// full queue, when `max_queue_depth` > 0 — resolves immediately with
+  /// Status::Unavailable.
+  std::future<Result<std::vector<float>>> SubmitPredict(
+      const std::string& scenario, const data::Batch& batch);
+
+  /// Marks the shard dead: pending queue entries resolve with Unavailable,
+  /// later submits fail fast, the worker thread parks. Idempotent.
+  void Kill();
+  bool dead() const { return dead_.load(std::memory_order_acquire); }
+
+  /// Requests queued or in flight — the load signal the coordinator's
+  /// power-of-two-choices balancer compares.
+  int64_t QueueDepth() const {
+    return queue_depth_.load(std::memory_order_relaxed);
+  }
+  int64_t RequestsServed() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+  /// Backpressure limit for SubmitPredict; 0 (default) = unbounded.
+  void set_max_queue_depth(int64_t depth) { max_queue_depth_ = depth; }
+
+  /// The shard-local engine. Exposed for control-plane wiring only
+  /// (ConfigureResilience, breaker states, bundle export) — predictions go
+  /// through SubmitPredict so they run on the shard's thread.
+  ModelServer* engine() { return &engine_; }
+  const ModelServer* engine() const { return &engine_; }
+
+ private:
+  struct Task {
+    std::string scenario;
+    const data::Batch* batch = nullptr;
+    std::promise<Result<std::vector<float>>> promise;
+  };
+
+  void WorkerLoop();
+
+  const std::string id_;
+  obs::MetricsRegistry* registry_;
+  ModelServer engine_;
+
+  std::atomic<bool> dead_{false};
+  std::atomic<int64_t> queue_depth_{0};
+  std::atomic<int64_t> requests_served_{0};
+  int64_t max_queue_depth_ = 0;
+  obs::Gauge* queue_depth_gauge_ = nullptr;  // Owned by the registry.
+  obs::Counter* requests_total_ = nullptr;   // Owned by the registry.
+
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<Task> queue_ ALT_GUARDED_BY(mu_);
+  bool stopping_ ALT_GUARDED_BY(mu_) = false;
+
+  mutable Mutex versions_mu_;
+  std::map<std::string, uint64_t> versions_ ALT_GUARDED_BY(versions_mu_);
+
+  std::thread worker_;  // Last member: joins in ~WorkerShard after state.
+};
+
+}  // namespace shard
+}  // namespace serving
+}  // namespace alt
+
+#endif  // ALT_SRC_SERVING_SHARD_SHARD_H_

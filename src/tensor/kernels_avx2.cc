@@ -488,7 +488,7 @@ namespace alt {
 namespace simd {
 
 namespace {
-[[noreturn]] void Unavailable() {
+[[noreturn]] void AbortUnavailable() {
   ALT_CHECK(false) << "AVX2 kernel called but not compiled in; "
                       "cpu_features dispatch is broken";
   __builtin_unreachable();
@@ -500,25 +500,25 @@ bool Avx2CompiledIn() { return false; }
 void GemmMicroPanelAvx2(const float*, int64_t, const float*, int64_t, float*,
                         int64_t, int64_t, int64_t, int64_t, int64_t, int64_t,
                         int64_t, bool) {
-  Unavailable();
+  AbortUnavailable();
 }
-float DotAvx2(const float*, const float*, int64_t) { Unavailable(); }
-void VecAxpyAvx2(float, const float*, float*, int64_t) { Unavailable(); }
-void VecScaleAvx2(float, float*, int64_t) { Unavailable(); }
-void VecReluAvx2(const float*, float*, int64_t) { Unavailable(); }
-float RowMaxAvx2(const float*, int64_t) { Unavailable(); }
-double RowSumAvx2(const float*, int64_t) { Unavailable(); }
-void RowMeanVarAvx2(const float*, int64_t, double*, double*) { Unavailable(); }
+float DotAvx2(const float*, const float*, int64_t) { AbortUnavailable(); }
+void VecAxpyAvx2(float, const float*, float*, int64_t) { AbortUnavailable(); }
+void VecScaleAvx2(float, float*, int64_t) { AbortUnavailable(); }
+void VecReluAvx2(const float*, float*, int64_t) { AbortUnavailable(); }
+float RowMaxAvx2(const float*, int64_t) { AbortUnavailable(); }
+double RowSumAvx2(const float*, int64_t) { AbortUnavailable(); }
+void RowMeanVarAvx2(const float*, int64_t, double*, double*) { AbortUnavailable(); }
 void RowNormalizeAffineAvx2(const float*, float, float, const float*,
                             const float*, float*, float*, int64_t) {
-  Unavailable();
+  AbortUnavailable();
 }
-int32_t Int8DotAvx2(const int8_t*, const int8_t*, int64_t) { Unavailable(); }
+int32_t Int8DotAvx2(const int8_t*, const int8_t*, int64_t) { AbortUnavailable(); }
 void Int8DotX4Avx2(const int8_t*, const int8_t*, int64_t, int64_t, int32_t*) {
-  Unavailable();
+  AbortUnavailable();
 }
 void Int8QuantizeRowAvx2(const float*, int64_t, int8_t*, float*) {
-  Unavailable();
+  AbortUnavailable();
 }
 
 }  // namespace simd

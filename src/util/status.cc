@@ -26,6 +26,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Cancelled";
     case StatusCode::kIOError:
       return "IOError";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

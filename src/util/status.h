@@ -21,6 +21,9 @@ enum class StatusCode {
   kUnimplemented,
   kCancelled,
   kIOError,
+  /// A required backend (e.g. a serving shard) is gone or unreachable;
+  /// retrying against a different replica may succeed.
+  kUnavailable,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -64,6 +67,9 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

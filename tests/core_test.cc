@@ -79,9 +79,9 @@ TEST(AltSystemTest, EndToEndScenarioArrival) {
   EXPECT_GT(a.heavy_test_auc, 0.5);
   EXPECT_GT(a.light_test_auc, 0.5);
   // The light model is deployed and serving.
-  EXPECT_TRUE(system.server()->IsDeployed(a.deployment_name));
+  EXPECT_TRUE(system.serving()->IsDeployed(a.deployment_name));
   data::Batch batch = MakeFullBatch(gen.GenerateScenario(2));
-  EXPECT_TRUE(system.server()->Predict(a.deployment_name, batch).ok());
+  EXPECT_TRUE(system.serving()->Predict(a.deployment_name, batch).ok());
 }
 
 TEST(AltSystemTest, ParallelScenarioArrivals) {
@@ -94,7 +94,7 @@ TEST(AltSystemTest, ParallelScenarioArrivals) {
   auto artifacts = system.OnScenariosArrival(arriving);
   ASSERT_TRUE(artifacts.ok()) << artifacts.status().ToString();
   EXPECT_EQ(artifacts.value().size(), 3u);
-  EXPECT_EQ(system.server()->Scenarios().size(), 3u);
+  EXPECT_EQ(system.serving()->Scenarios().size(), 3u);
 }
 
 TEST(AltSystemTest, HpoInitializationPath) {

@@ -69,7 +69,11 @@ TEST(BatchPredictorTest, MixedScenariosAreRoutedCorrectly) {
   BatchPredictor::Options options;
   options.max_batch_size = 4;
   options.max_delay_ms = 5.0;
-  BatchPredictor predictor(&server, options);
+  BatchPredictor predictor(
+      [&server](const std::string& s, const data::Batch& b) {
+        return server.Predict(s, b);
+      },
+      options);
 
   Rng rng(4);
   Tensor profile = Tensor::Randn({1, 4}, &rng);
@@ -101,7 +105,11 @@ TEST(BatchPredictorTest, HighVolumeDrainsCompletely) {
   BatchPredictor::Options options;
   options.max_batch_size = 16;
   options.max_delay_ms = 1.0;
-  BatchPredictor predictor(&server, options);
+  BatchPredictor predictor(
+      [&server](const std::string& s, const data::Batch& b) {
+        return server.Predict(s, b);
+      },
+      options, &registry);
   Rng rng(6);
   std::vector<std::future<Result<float>>> futures;
   for (int i = 0; i < 200; ++i) {

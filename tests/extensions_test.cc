@@ -182,7 +182,11 @@ TEST(BatchPredictorTest, CoalescesAndMatchesDirectPredict) {
   serving::BatchPredictor::Options options;
   options.max_batch_size = 8;
   options.max_delay_ms = 20.0;
-  serving::BatchPredictor predictor(&server, options);
+  serving::BatchPredictor predictor(
+      [&server](const std::string& scenario, const data::Batch& batch) {
+        return server.Predict(scenario, batch);
+      },
+      options, &registry);
 
   Rng rng(4);
   std::vector<std::future<Result<float>>> futures;
@@ -216,8 +220,11 @@ TEST(BatchPredictorTest, CoalescesAndMatchesDirectPredict) {
 
 TEST(BatchPredictorTest, UnknownScenarioErrorsThroughFuture) {
   serving::ModelServer server;
-  serving::BatchPredictor predictor(&server,
-                                    serving::BatchPredictor::Options{});
+  serving::BatchPredictor predictor(
+      [&server](const std::string& scenario, const data::Batch& batch) {
+        return server.Predict(scenario, batch);
+      },
+      serving::BatchPredictor::Options{});
   auto future = predictor.Enqueue("ghost", Tensor::Zeros({1, 4}),
                                   {0, 0, 0, 0, 0});
   Result<float> result = future.get();
@@ -231,7 +238,11 @@ TEST(BatchPredictorTest, ShapeMismatchRejectedPerRequest) {
   serving::BatchPredictor::Options options;
   options.max_batch_size = 2;
   options.max_delay_ms = 5.0;
-  serving::BatchPredictor predictor(&server, options);
+  serving::BatchPredictor predictor(
+      [&server](const std::string& scenario, const data::Batch& batch) {
+        return server.Predict(scenario, batch);
+      },
+      options);
   Rng rng(5);
   auto good = predictor.Enqueue("s", Tensor::Randn({1, 4}, &rng),
                                 {0, 1, 2, 3, 4});
@@ -282,7 +293,7 @@ TEST(PersistenceTest, SaveLoadRoundTrip) {
     ASSERT_TRUE(artifacts.ok());
     deployment = artifacts.value().deployment_name;
     data::Batch probe = MakeFullBatch(gen.GenerateScenario(2));
-    saved_probs = system.server()->Predict(deployment, probe).value();
+    saved_probs = system.serving()->Predict(deployment, probe).value();
     ASSERT_TRUE(system.SaveState(dir).ok());
   }
   {
@@ -290,9 +301,9 @@ TEST(PersistenceTest, SaveLoadRoundTrip) {
     EXPECT_FALSE(restored.initialized());
     ASSERT_TRUE(restored.LoadState(dir).ok());
     EXPECT_TRUE(restored.initialized());
-    ASSERT_TRUE(restored.server()->IsDeployed(deployment));
+    ASSERT_TRUE(restored.serving()->IsDeployed(deployment));
     data::Batch probe = MakeFullBatch(gen.GenerateScenario(2));
-    auto probs = restored.server()->Predict(deployment, probe);
+    auto probs = restored.serving()->Predict(deployment, probe);
     ASSERT_TRUE(probs.ok());
     ASSERT_EQ(probs.value().size(), saved_probs.size());
     for (size_t i = 0; i < saved_probs.size(); ++i) {

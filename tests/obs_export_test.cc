@@ -311,7 +311,7 @@ TEST(TelemetryServerTest, HealthzFlipsWhenBreakerOpens) {
   ASSERT_TRUE(model_server.Deploy("s0", TinyModel(3)).ok());
   serving::ServingResilienceOptions resilience_options;
   resilience_options.breaker.failure_threshold = 3;
-  model_server.SetResilience(resilience_options);
+  model_server.ConfigureResilience(resilience_options);
 
   // Health probe wired exactly like core::AltSystem: unhealthy while any
   // serving breaker is open.

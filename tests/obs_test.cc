@@ -366,16 +366,23 @@ TEST(WiringTest, ModelServerLatencyStatsViewsRegistryHistogram) {
 TEST(WiringTest, BatchPredictorCreateValidatesOptions) {
   MetricsRegistry registry;
   serving::ModelServer server(&registry);
+  serving::BatchPredictor::PredictFn predict =
+      [&server](const std::string& scenario, const data::Batch& batch) {
+        return server.Predict(scenario, batch);
+      };
   serving::BatchPredictor::Options options;
 
-  EXPECT_FALSE(serving::BatchPredictor::Create(nullptr, options).ok());
+  EXPECT_FALSE(serving::BatchPredictor::Create(
+                   serving::BatchPredictor::PredictFn(), options)
+                   .ok());
   options.max_batch_size = 0;
-  EXPECT_FALSE(serving::BatchPredictor::Create(&server, options).ok());
+  EXPECT_FALSE(serving::BatchPredictor::Create(predict, options).ok());
   options.max_batch_size = 4;
   options.max_delay_ms = -1.0;
-  EXPECT_FALSE(serving::BatchPredictor::Create(&server, options).ok());
+  EXPECT_FALSE(serving::BatchPredictor::Create(predict, options).ok());
   options.max_delay_ms = 1.0;
-  auto predictor = serving::BatchPredictor::Create(&server, options);
+  auto predictor =
+      serving::BatchPredictor::Create(predict, options, &registry);
   ASSERT_TRUE(predictor.ok());
   EXPECT_NE(predictor.value().get(), nullptr);
   EXPECT_EQ(predictor.value()->registry(), &registry);
@@ -394,7 +401,11 @@ TEST(WiringTest, BatchPredictorReportsThroughRegistryAndTraces) {
 
   constexpr int kRequests = 32;
   {
-    serving::BatchPredictor predictor(&server, options, &registry);
+    serving::BatchPredictor predictor(
+        [&server](const std::string& scenario, const data::Batch& batch) {
+          return server.Predict(scenario, batch);
+        },
+        options, &registry);
     Rng rng(22);
     std::vector<std::future<Result<float>>> futures;
     for (int i = 0; i < kRequests; ++i) {

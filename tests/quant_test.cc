@@ -261,7 +261,11 @@ TEST(QuantTest, BatchPredictorServesQuantizedDeployment) {
   serving::BatchPredictor::Options popts;
   popts.max_batch_size = 4;
   popts.max_delay_ms = 1.0;
-  serving::BatchPredictor predictor(&server, popts, &registry);
+  serving::BatchPredictor predictor(
+      [&server](const std::string& s, const data::Batch& b) {
+        return server.Predict(s, b);
+      },
+      popts, &registry);
 
   const int64_t probe = std::min<int64_t>(batch.batch_size, 12);
   std::vector<std::future<Result<float>>> futures;

@@ -73,19 +73,18 @@ TEST(ResilienceChaosTest, PipelineCompletesUnderFaults) {
   }
 
   data::SyntheticGenerator gen(ChaosDataConfig());
-  AltSystem system(ChaosOptions());
+  AltSystemOptions options = ChaosOptions();
+  options.serving.resilience.breaker.failure_threshold = 3;
+  options.serving.resilience.breaker.open_cooldown_ms = 10.0;
+  options.serving.resilience.breaker.close_successes = 1;
+  options.serving.resilience.fallback_scenario = "f0";
+  options.serving.resilience.default_scenario = "f0";
+  AltSystem system(std::move(options));
   ASSERT_TRUE(
       system.Initialize({gen.GenerateScenario(0), gen.GenerateScenario(1)})
           .ok());
-
-  serving::ServingResilienceOptions resilience;
-  resilience.breaker.failure_threshold = 3;
-  resilience.breaker.open_cooldown_ms = 10.0;
-  resilience.breaker.close_successes = 1;
-  resilience.fallback_scenario = "f0";
-  resilience.default_scenario = "f0";
-  ASSERT_TRUE(system.EnableResilientServing(resilience).ok());
-  ASSERT_TRUE(system.server()->IsDeployed("f0"));
+  ASSERT_TRUE(system.StartResilientServing().ok());
+  ASSERT_TRUE(system.serving()->IsDeployed("f0"));
 
   auto artifacts = system.OnScenariosArrival(
       {gen.GenerateScenario(2), gen.GenerateScenario(3)});
@@ -100,7 +99,8 @@ TEST(ResilienceChaosTest, PipelineCompletesUnderFaults) {
     const data::Batch batch = MakeFullBatch(scenario);
     std::vector<float> last_scores;
     for (int call = 0; call < 60; ++call) {
-      auto scores = system.server()->Predict(artifact.deployment_name, batch);
+      auto scores =
+          system.serving()->Predict(artifact.deployment_name, batch);
       ASSERT_TRUE(scores.ok()) << scores.status().ToString();
       ASSERT_EQ(scores.value().size(),
                 static_cast<size_t>(batch.batch_size));
@@ -116,13 +116,14 @@ TEST(ResilienceChaosTest, PipelineCompletesUnderFaults) {
     EXPECT_GE(auc, 0.0);
     EXPECT_LE(auc, 1.0);
     // Resilient serving created a breaker for this scenario.
-    EXPECT_TRUE(
-        system.server()->GetBreakerState(artifact.deployment_name).ok());
+    EXPECT_EQ(
+        system.serving()->BreakerStates().count(artifact.deployment_name),
+        1u);
   }
 
   // Unknown scenarios degrade to f0 instead of erroring.
   const data::Batch batch = MakeFullBatch(gen.GenerateScenario(0));
-  EXPECT_TRUE(system.server()->Predict("never_deployed", batch).ok());
+  EXPECT_TRUE(system.serving()->Predict("never_deployed", batch).ok());
 
   // Faults actually fired, and the resilience machinery showed up in the
   // metrics snapshot: retried deploys, degraded predicts.

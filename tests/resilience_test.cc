@@ -477,7 +477,7 @@ TEST(ServingResilienceTest, PredictDegradesAndBreakerRecovers) {
   ASSERT_TRUE(server.Deploy("s1", SmallModel(1)).ok());
   ASSERT_TRUE(server.Deploy("f0", SmallModel(2)).ok());
   FakeClock clock;
-  server.SetResilience(SmallResilience(), &clock);
+  server.ConfigureResilience(SmallResilience(), &clock);
   data::SyntheticGenerator gen(SmallDataConfig());
   const data::Batch batch = MakeFullBatch(gen.GenerateScenario(0));
 
@@ -517,19 +517,24 @@ TEST(ServingResilienceTest, PredictDegradesAndBreakerRecovers) {
   }
 }
 
-TEST(ServingResilienceTest, TryDeployKeepsModelAcrossFaultedAttempts) {
+TEST(ServingResilienceTest, DeployRetriesTransientFaults) {
   serving::ModelServer server(&obs::MetricsRegistry::Global());
   FaultInjector& faults = FaultInjector::Global();
   faults.Reset();
-  FaultRule always;
-  always.every_nth = 1;
-  faults.Arm("serving/deploy", always);
-  std::unique_ptr<models::BaseModel> model = SmallModel(3);
-  EXPECT_FALSE(server.TryDeploy("s1", &model).ok());
-  EXPECT_NE(model, nullptr);  // Failed attempt leaves the model with us.
+  FaultRule every_other;
+  every_other.every_nth = 2;  // Attempt 2 (and 4, ...) faults.
+  faults.Arm("serving/deploy", every_other);
+  serving::DeployOptions options;
+  options.retry_transient = true;
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff_ms = 0.1;
+  options.retry.max_backoff_ms = 0.5;
+  // The first deploy consumes the injector's non-faulting slot; the second
+  // starts on a faulting attempt and must retry its way through.
+  EXPECT_TRUE(server.Deploy("s0", SmallModel(2), options).ok());
+  EXPECT_TRUE(server.Deploy("s1", SmallModel(3), options).ok());
   faults.Reset();
-  EXPECT_TRUE(server.TryDeploy("s1", &model).ok());
-  EXPECT_EQ(model, nullptr);  // Consumed on success.
+  EXPECT_TRUE(server.IsDeployed("s0"));
   EXPECT_TRUE(server.IsDeployed("s1"));
 }
 #endif  // !ALT_FAULTS_DISABLED
@@ -547,7 +552,7 @@ TEST(ServingResilienceTest, UnknownScenarioFallsBackToDefault) {
   serving::ServingResilienceOptions options = SmallResilience();
   options.default_scenario = "f0";
   FakeClock clock;
-  server.SetResilience(options, &clock);
+  server.ConfigureResilience(options, &clock);
   auto scores = server.Predict("nope", batch);
   ASSERT_TRUE(scores.ok()) << scores.status().ToString();
   EXPECT_EQ(scores.value().size(), static_cast<size_t>(batch.batch_size));
@@ -562,7 +567,7 @@ TEST(ServingResilienceTest, PredictDeadlineCountsAndDegrades) {
   options.fallback_scenario.clear();  // Straight to the constant prior.
   options.predict_deadline_ms = 5.0;
   FakeClock clock;
-  server.SetResilience(options, &clock);
+  server.ConfigureResilience(options, &clock);
   clock.set_auto_advance_ms(10.0);  // Every Predict appears to take 10ms.
   data::SyntheticGenerator gen(SmallDataConfig());
   const data::Batch batch = MakeFullBatch(gen.GenerateScenario(0));

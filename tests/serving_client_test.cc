@@ -1,0 +1,234 @@
+// Tests of the ServingClient facade — the public serving API over the
+// sharded plane — plus one compatibility test that exercises the deprecated
+// single-server entry points (TryDeploy, SetResilience, the
+// ModelServer-backed BatchPredictor) which survive one release as shims.
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/obs/metrics.h"
+#include "src/serving/model_store.h"
+#include "src/serving/serving_client.h"
+
+namespace alt {
+namespace serving {
+namespace {
+
+std::unique_ptr<models::BaseModel> TinyModel(uint64_t seed) {
+  Rng rng(seed);
+  models::ModelConfig config = models::ModelConfig::Light(
+      models::EncoderKind::kLstm, 4, 5, 8);
+  config.encoder_layers = 1;
+  auto model = models::BuildBaseModel(config, &rng);
+  EXPECT_TRUE(model.ok());
+  return std::move(model).value();
+}
+
+data::Batch OneSample(uint64_t seed) {
+  Rng rng(seed);
+  data::Batch batch;
+  batch.batch_size = 1;
+  batch.seq_len = 5;
+  batch.profiles = Tensor::Randn({1, 4}, &rng);
+  batch.behaviors = {0, 1, 2, 3, 4};
+  batch.labels = Tensor({1, 1});
+  return batch;
+}
+
+ServingClient::Options SmallTopology(int shards, int replication) {
+  ServingClient::Options options;
+  options.num_shards = shards;
+  options.replication = replication;
+  options.vnodes_per_shard = 64;
+  options.batching.max_batch_size = 4;
+  options.batching.max_delay_ms = 1.0;
+  return options;
+}
+
+TEST(ServingClientTest, DeployPredictUndeployRoundTrip) {
+  obs::MetricsRegistry registry;
+  ServingClient client(SmallTopology(4, 2), &registry);
+  ASSERT_TRUE(client.Deploy("s", TinyModel(1)).ok());
+  EXPECT_TRUE(client.IsDeployed("s"));
+  EXPECT_EQ(client.Scenarios(), std::vector<std::string>{"s"});
+
+  const data::Batch batch = OneSample(2);
+  auto scores = client.Predict("s", batch);
+  ASSERT_TRUE(scores.ok()) << scores.status().ToString();
+  EXPECT_EQ(scores.value().size(), static_cast<size_t>(batch.batch_size));
+
+  auto latency = client.GetLatencyStats("s");
+  ASSERT_TRUE(latency.ok());
+  EXPECT_GE(latency.value().num_requests, 1);
+  EXPECT_TRUE(client.FlopsPerSample("s").ok());
+
+  ASSERT_TRUE(client.Undeploy("s").ok());
+  EXPECT_FALSE(client.IsDeployed("s"));
+  EXPECT_EQ(client.Predict("s", batch).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ServingClientTest, SingleShardDefaultMatchesClassicServing) {
+  obs::MetricsRegistry registry;
+  ServingClient client(ServingClient::Options{}, &registry);
+  EXPECT_EQ(client.ShardIds(), std::vector<std::string>{"shard-0"});
+  ASSERT_TRUE(client.Deploy("s", TinyModel(3)).ok());
+  const data::Batch batch = OneSample(4);
+  EXPECT_TRUE(client.Predict("s", batch).ok());
+  ServingClient::Stats stats = client.GetStats();
+  EXPECT_EQ(stats.num_shards, 1);
+  EXPECT_EQ(stats.live_shards, 1);
+  EXPECT_GE(stats.requests_served, 1);
+  EXPECT_EQ(stats.pending_batch_requests, 0);
+}
+
+TEST(ServingClientTest, EnqueuePredictCoalescesAndMatchesSyncPath) {
+  obs::MetricsRegistry registry;
+  ServingClient client(SmallTopology(2, 1), &registry);
+  ASSERT_TRUE(client.Deploy("s", TinyModel(5)).ok());
+
+  Rng rng(6);
+  std::vector<Tensor> profiles;
+  std::vector<std::future<Result<float>>> futures;
+  const std::vector<int64_t> behavior = {0, 1, 2, 3, 4};
+  for (int i = 0; i < 8; ++i) {
+    profiles.push_back(Tensor::Randn({1, 4}, &rng));
+    futures.push_back(client.EnqueuePredict("s", profiles.back(), behavior));
+  }
+  for (int i = 0; i < 8; ++i) {
+    Result<float> result = futures[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    data::Batch one = OneSample(7);
+    one.profiles = profiles[static_cast<size_t>(i)];
+    one.behaviors = behavior;
+    auto direct = client.Predict("s", one);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_NEAR(result.value(), direct.value()[0], 1e-5f);
+  }
+  client.DrainBatchQueues();
+  EXPECT_EQ(client.GetStats().pending_batch_requests, 0);
+}
+
+TEST(ServingClientTest, ShardDeathFailsBatchRequestsDistinctly) {
+  // Satellite contract: a shard disappearing mid-flight fails the pending
+  // batch requests with kUnavailable (not a generic error) and bumps the
+  // serving/shard_unavailable counter — with no replica left to absorb.
+  obs::MetricsRegistry registry;
+  ServingClient client(SmallTopology(1, 1), &registry);
+  ASSERT_TRUE(client.Deploy("s", TinyModel(8)).ok());
+  ASSERT_TRUE(client.KillShard("shard-0").ok());
+
+  Rng rng(9);
+  auto future =
+      client.EnqueuePredict("s", Tensor::Randn({1, 4}, &rng), {0, 1, 2, 3, 4});
+  Result<float> result = future.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_GE(registry.counter_value("serving/shard_unavailable"), 1);
+  EXPECT_EQ(client.NumLiveShards(), 0);
+}
+
+TEST(ServingClientTest, ShardDeathWithReplicasLosesNoBatchRequests) {
+  obs::MetricsRegistry registry;
+  ServingClient client(SmallTopology(3, 2), &registry);
+  ASSERT_TRUE(client.Deploy("s", TinyModel(10)).ok());
+  const std::string owner = client.coordinator()->ReplicasOf("s").front();
+  ASSERT_TRUE(client.KillShard(owner).ok());
+
+  Rng rng(11);
+  std::vector<std::future<Result<float>>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(client.EnqueuePredict("s", Tensor::Randn({1, 4}, &rng),
+                                            {0, 1, 2, 3, 4}));
+  }
+  for (auto& future : futures) {
+    Result<float> result = future.get();
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+  }
+  EXPECT_GE(registry.counter_value("serving/rebalance_events"), 1);
+  EXPECT_EQ(client.NumLiveShards(), 2);
+  EXPECT_EQ(registry.counter_value("serving/shard_unavailable"), 0);
+}
+
+TEST(ServingClientTest, ResilienceDegradesUnknownScenarios) {
+  obs::MetricsRegistry registry;
+  ServingClient::Options options = SmallTopology(2, 1);
+  options.enable_resilience = true;
+  options.resilience.fallback_scenario = "f0";
+  options.resilience.default_scenario = "f0";
+  ServingClient client(options, &registry);
+  ASSERT_TRUE(client.DeployEverywhere("f0", TinyModel(12)).ok());
+
+  const data::Batch batch = OneSample(13);
+  // Unknown scenario: ring-routed, answered by the engine's f0 default.
+  auto scores = client.Predict("brand_new_scenario", batch);
+  ASSERT_TRUE(scores.ok()) << scores.status().ToString();
+  auto states = client.BreakerStates();
+  EXPECT_EQ(states.count("shard:shard-0"), 1u);
+  EXPECT_EQ(states.count("shard:shard-1"), 1u);
+}
+
+TEST(ServingClientTest, ExportBundleWritesServableArtifact) {
+  obs::MetricsRegistry registry;
+  ServingClient client(SmallTopology(2, 1), &registry);
+  ASSERT_TRUE(client.Deploy("s", TinyModel(14)).ok());
+  const std::string path = ::testing::TempDir() + "/serving_client_s.altm";
+  ASSERT_TRUE(client.ExportBundle("s", path).ok());
+  auto reloaded = LoadModelBundleFromFile(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  const data::Batch batch = OneSample(15);
+  auto direct = client.Predict("s", batch);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_FLOAT_EQ(reloaded.value()->PredictProbs(batch)[0],
+                  direct.value()[0]);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated-shim compatibility (one release of source compatibility).
+// Each call below intentionally targets a [[deprecated]] entry point; the
+// build warns here, and that is the point — the shims must keep compiling
+// and behaving until the next release removes them.
+// ---------------------------------------------------------------------------
+
+TEST(DeprecatedShimCompatTest, LegacyEntryPointsStillServe) {
+  obs::MetricsRegistry registry;
+  ModelServer server(&registry);
+
+  // TryDeploy keeps the model across failed attempts and consumes it on
+  // success — the contract DeployOptions::retry_transient now wraps.
+  std::unique_ptr<models::BaseModel> model = TinyModel(16);
+  ASSERT_TRUE(server.TryDeploy("s", &model).ok());
+  EXPECT_EQ(model, nullptr);
+
+  // SetResilience forwards to ConfigureResilience.
+  ServingResilienceOptions resilience;
+  resilience.default_scenario = "s";
+  server.SetResilience(resilience);
+  const data::Batch batch = OneSample(17);
+  EXPECT_TRUE(server.Predict("unknown", batch).ok());
+
+  // The ModelServer-backed BatchPredictor constructor and factory wrap the
+  // server into the PredictFn backend.
+  BatchPredictor::Options options;
+  options.max_batch_size = 2;
+  options.max_delay_ms = 1.0;
+  BatchPredictor predictor(&server, options);
+  Rng rng(18);
+  auto future =
+      predictor.Enqueue("s", Tensor::Randn({1, 4}, &rng), {0, 1, 2, 3, 4});
+  EXPECT_TRUE(future.get().ok());
+
+  auto created = BatchPredictor::Create(&server, options);
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(created.value()->registry(), &registry);
+  EXPECT_FALSE(BatchPredictor::Create(static_cast<ModelServer*>(nullptr),
+                                      options)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace serving
+}  // namespace alt

@@ -1,0 +1,338 @@
+// Tests of the sharded serving plane's building blocks: the consistent-hash
+// ring (uniformity, minimal disruption, determinism), the version-gated
+// worker shard, and the ShardCoordinator (broadcast deploys, replica
+// failover, breaker-driven rebalance with zero lost requests).
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/data/synthetic.h"
+#include "src/obs/metrics.h"
+#include "src/serving/shard/coordinator.h"
+#include "src/serving/shard/hash_ring.h"
+#include "src/serving/shard/shard.h"
+
+namespace alt {
+namespace serving {
+namespace shard {
+namespace {
+
+// ---------------------------------------------------------------------------
+// HashRing
+// ---------------------------------------------------------------------------
+
+constexpr int kKeys = 10000;
+
+std::string Key(int i) { return "scenario_" + std::to_string(i); }
+
+std::map<std::string, int> OwnerCounts(const HashRing& ring) {
+  std::map<std::string, int> counts;
+  for (int i = 0; i < kKeys; ++i) {
+    auto owner = ring.Route(Key(i));
+    EXPECT_TRUE(owner.ok());
+    counts[owner.value()]++;
+  }
+  return counts;
+}
+
+TEST(HashRingTest, UniformWithin15PercentAt128Vnodes) {
+  HashRing ring(128);
+  const int n = 4;
+  for (int s = 0; s < n; ++s) ring.AddShard("shard-" + std::to_string(s));
+  std::map<std::string, int> counts = OwnerCounts(ring);
+  ASSERT_EQ(counts.size(), static_cast<size_t>(n));
+  const double mean = static_cast<double>(kKeys) / n;
+  for (const auto& [shard_id, count] : counts) {
+    EXPECT_GE(count, 0.85 * mean) << shard_id;
+    EXPECT_LE(count, 1.15 * mean) << shard_id;
+  }
+}
+
+TEST(HashRingTest, JoinMovesAtMostTwoOverNKeys) {
+  const int n = 4;
+  HashRing ring(128);
+  for (int s = 0; s < n; ++s) ring.AddShard("shard-" + std::to_string(s));
+  std::map<int, std::string> before;
+  for (int i = 0; i < kKeys; ++i) before[i] = ring.Route(Key(i)).value();
+
+  ring.AddShard("shard-" + std::to_string(n));
+  int moved = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string owner = ring.Route(Key(i)).value();
+    if (owner != before[i]) {
+      moved++;
+      // A moved key must have moved onto the newcomer, nowhere else.
+      EXPECT_EQ(owner, "shard-" + std::to_string(n));
+    }
+  }
+  EXPECT_GT(moved, 0);  // The newcomer takes ownership of some keys...
+  EXPECT_LE(moved, 2 * kKeys / n);  // ...but no wholesale reshuffle.
+}
+
+TEST(HashRingTest, LeaveMovesOnlyTheDepartedShardsKeys) {
+  const int n = 5;
+  HashRing ring(128);
+  for (int s = 0; s < n; ++s) ring.AddShard("shard-" + std::to_string(s));
+  std::map<int, std::string> before;
+  for (int i = 0; i < kKeys; ++i) before[i] = ring.Route(Key(i)).value();
+
+  ring.RemoveShard("shard-2");
+  int moved = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string owner = ring.Route(Key(i)).value();
+    if (owner != before[i]) {
+      moved++;
+      // Only keys the departed shard owned may move.
+      EXPECT_EQ(before[i], "shard-2");
+    }
+  }
+  EXPECT_GT(moved, 0);
+  EXPECT_LE(moved, 2 * kKeys / n);
+}
+
+TEST(HashRingTest, DeterministicAcrossInstancesAndInsertionOrder) {
+  HashRing forward(128);
+  HashRing reverse(128);
+  const std::vector<std::string> ids = {"shard-0", "shard-1", "shard-2",
+                                        "shard-3"};
+  for (const std::string& id : ids) forward.AddShard(id);
+  for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
+    reverse.AddShard(*it);
+  }
+  for (int i = 0; i < kKeys; ++i) {
+    EXPECT_EQ(forward.Route(Key(i)).value(), reverse.Route(Key(i)).value());
+  }
+  // The hash function itself is pinned (finalized FNV-1a of the empty
+  // string), so routing can never drift between builds.
+  EXPECT_EQ(HashRing::KeyHash(""), 17665956581633026203ull);
+}
+
+TEST(HashRingTest, RouteReplicasDistinctOwnerFirst) {
+  HashRing ring(64);
+  for (int s = 0; s < 4; ++s) ring.AddShard("shard-" + std::to_string(s));
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<std::string> replicas =
+        ring.RouteReplicas(Key(i), 3);
+    ASSERT_EQ(replicas.size(), 3u);
+    EXPECT_EQ(replicas.front(), ring.Route(Key(i)).value());
+    std::set<std::string> distinct(replicas.begin(), replicas.end());
+    EXPECT_EQ(distinct.size(), replicas.size());
+  }
+  // Asking for more replicas than shards returns every shard.
+  EXPECT_EQ(ring.RouteReplicas(Key(0), 9).size(), 4u);
+  HashRing empty;
+  EXPECT_FALSE(empty.Route("x").ok());
+  EXPECT_TRUE(empty.RouteReplicas("x", 2).empty());
+}
+
+// ---------------------------------------------------------------------------
+// WorkerShard / ShardCoordinator
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<models::BaseModel> TinyModel(uint64_t seed) {
+  Rng rng(seed);
+  models::ModelConfig config = models::ModelConfig::Light(
+      models::EncoderKind::kLstm, 4, 5, 8);
+  config.encoder_layers = 1;
+  auto model = models::BuildBaseModel(config, &rng);
+  EXPECT_TRUE(model.ok());
+  return std::move(model).value();
+}
+
+data::Batch OneSample(uint64_t seed) {
+  Rng rng(seed);
+  data::Batch batch;
+  batch.batch_size = 1;
+  batch.seq_len = 5;
+  batch.profiles = Tensor::Randn({1, 4}, &rng);
+  batch.behaviors = {0, 1, 2, 3, 4};
+  batch.labels = Tensor({1, 1});
+  return batch;
+}
+
+TEST(WorkerShardTest, VersionGateRejectsStaleAcceptsEqual) {
+  obs::MetricsRegistry registry;
+  WorkerShard shard("shard-0", &registry);
+  DeployOptions options;
+  ASSERT_TRUE(shard.Deploy("s", TinyModel(1), options, 5).ok());
+  EXPECT_EQ(shard.DeployedVersion("s"), 5u);
+  // A stale broadcast (rebalance racing a newer deploy) must not clobber.
+  Status stale = shard.Deploy("s", TinyModel(2), options, 4);
+  EXPECT_EQ(stale.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(shard.DeployedVersion("s"), 5u);
+  // Equal versions are idempotent rebalance copies.
+  EXPECT_TRUE(shard.Deploy("s", TinyModel(3), options, 5).ok());
+  EXPECT_TRUE(shard.Deploy("s", TinyModel(4), options, 7).ok());
+  EXPECT_EQ(shard.DeployedVersion("s"), 7u);
+}
+
+TEST(WorkerShardTest, KillDrainsQueueWithUnavailable) {
+  obs::MetricsRegistry registry;
+  WorkerShard shard("shard-0", &registry);
+  ASSERT_TRUE(shard.Deploy("s", TinyModel(1), DeployOptions{}, 1).ok());
+  const data::Batch batch = OneSample(2);
+  EXPECT_TRUE(shard.SubmitPredict("s", batch).get().ok());
+  shard.Kill();
+  EXPECT_TRUE(shard.dead());
+  auto result = shard.SubmitPredict("s", batch).get();
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  // Deploys against a dead shard fail fast too.
+  EXPECT_EQ(shard.Deploy("t", TinyModel(2), DeployOptions{}, 1).code(),
+            StatusCode::kUnavailable);
+  shard.Kill();  // Idempotent.
+}
+
+CoordinatorOptions SmallCoordinator(int shards, int replication) {
+  CoordinatorOptions options;
+  options.num_shards = shards;
+  options.replication = replication;
+  options.vnodes_per_shard = 64;
+  return options;
+}
+
+TEST(ShardCoordinatorTest, BroadcastDeploysIdenticalReplicas) {
+  obs::MetricsRegistry registry;
+  ShardCoordinator coordinator(SmallCoordinator(4, 2), &registry);
+  ASSERT_TRUE(coordinator.Deploy("s", TinyModel(7)).ok());
+  EXPECT_EQ(coordinator.VersionOf("s"), 1u);
+  std::vector<std::string> replicas = coordinator.ReplicasOf("s");
+  ASSERT_EQ(replicas.size(), 2u);
+
+  // Every replica serves the same scores: the bundle clone is exact.
+  const data::Batch batch = OneSample(3);
+  std::vector<float> expected;
+  for (const std::string& id : replicas) {
+    auto scores = coordinator.shard(id)->SubmitPredict("s", batch).get();
+    ASSERT_TRUE(scores.ok()) << scores.status().ToString();
+    if (expected.empty()) {
+      expected = scores.value();
+    } else {
+      ASSERT_EQ(scores.value().size(), expected.size());
+      for (size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_FLOAT_EQ(scores.value()[i], expected[i]);
+      }
+    }
+  }
+  // Redeploying bumps the version on both the table and the shards.
+  ASSERT_TRUE(coordinator.Deploy("s", TinyModel(8)).ok());
+  EXPECT_EQ(coordinator.VersionOf("s"), 2u);
+  for (const std::string& id : coordinator.ReplicasOf("s")) {
+    EXPECT_EQ(coordinator.shard(id)->DeployedVersion("s"), 2u);
+  }
+}
+
+TEST(ShardCoordinatorTest, HotScenarioGetsWiderReplicaGroup) {
+  obs::MetricsRegistry registry;
+  CoordinatorOptions options = SmallCoordinator(4, 1);
+  options.hot_replication = 3;
+  ShardCoordinator coordinator(options, &registry);
+  ASSERT_TRUE(coordinator.Deploy("cold", TinyModel(1)).ok());
+  DeployOptions hot;
+  hot.hot = true;
+  ASSERT_TRUE(coordinator.Deploy("hot", TinyModel(2), hot).ok());
+  EXPECT_EQ(coordinator.ReplicasOf("cold").size(), 1u);
+  EXPECT_EQ(coordinator.ReplicasOf("hot").size(), 3u);
+}
+
+TEST(ShardCoordinatorTest, KillTriggersRebalanceWithZeroLostRequests) {
+  obs::MetricsRegistry registry;
+  ShardCoordinator coordinator(SmallCoordinator(4, 2), &registry);
+  const int kScenarios = 12;
+  for (int s = 0; s < kScenarios; ++s) {
+    ASSERT_TRUE(
+        coordinator.Deploy("scenario_" + std::to_string(s), TinyModel(10 + s))
+            .ok());
+  }
+  const data::Batch batch = OneSample(4);
+  for (int s = 0; s < kScenarios; ++s) {
+    ASSERT_TRUE(
+        coordinator.Predict("scenario_" + std::to_string(s), batch).ok());
+  }
+
+  ASSERT_TRUE(coordinator.KillShard("shard-1").ok());
+  EXPECT_FALSE(coordinator.KillShard("no-such-shard").ok());
+
+  // Every request after the kill still succeeds: replicas answer while the
+  // coordinator rebalances the dead shard's scenarios onto new owners.
+  for (int round = 0; round < 3; ++round) {
+    for (int s = 0; s < kScenarios; ++s) {
+      auto scores =
+          coordinator.Predict("scenario_" + std::to_string(s), batch);
+      ASSERT_TRUE(scores.ok()) << scores.status().ToString();
+    }
+  }
+  EXPECT_EQ(coordinator.NumLiveShards(), 3);
+  EXPECT_GE(registry.counter_value("serving/rebalance_events"), 1);
+  // After the rebalance no scenario lists the dead shard as a replica, and
+  // every scenario is back at full replication.
+  for (int s = 0; s < kScenarios; ++s) {
+    std::vector<std::string> replicas =
+        coordinator.ReplicasOf("scenario_" + std::to_string(s));
+    ASSERT_EQ(replicas.size(), 2u);
+    for (const std::string& id : replicas) EXPECT_NE(id, "shard-1");
+  }
+  EXPECT_GE(coordinator.RoutingImbalance(), 1.0);
+}
+
+TEST(ShardCoordinatorTest, NotFoundIsTerminalNotAFailover) {
+  obs::MetricsRegistry registry;
+  ShardCoordinator coordinator(SmallCoordinator(3, 2), &registry);
+  ASSERT_TRUE(coordinator.Deploy("s", TinyModel(1)).ok());
+  const data::Batch batch = OneSample(5);
+  auto result = coordinator.Predict("ghost", batch);
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  // An unknown scenario is a deploy-state error, not a shard health signal:
+  // no failover, no breaker damage, no rebalance.
+  EXPECT_EQ(registry.counter_value("serving/coordinator/failovers"), 0);
+  EXPECT_EQ(registry.counter_value("serving/rebalance_events"), 0);
+  EXPECT_EQ(coordinator.NumLiveShards(), 3);
+}
+
+TEST(ShardCoordinatorTest, DeployEverywhereServesFromEveryShard) {
+  obs::MetricsRegistry registry;
+  ShardCoordinator coordinator(SmallCoordinator(3, 1), &registry);
+  ASSERT_TRUE(coordinator.DeployEverywhere("f0", TinyModel(2)).ok());
+  const data::Batch batch = OneSample(6);
+  for (const std::string& id : coordinator.ShardIds()) {
+    auto scores = coordinator.shard(id)->SubmitPredict("f0", batch).get();
+    EXPECT_TRUE(scores.ok()) << id << ": " << scores.status().ToString();
+  }
+  EXPECT_EQ(coordinator.ReplicasOf("f0").size(), 3u);
+  ASSERT_TRUE(coordinator.Undeploy("f0").ok());
+  EXPECT_FALSE(coordinator.IsDeployed("f0"));
+  EXPECT_EQ(coordinator.Undeploy("f0").code(), StatusCode::kNotFound);
+}
+
+TEST(ShardCoordinatorTest, AllReplicasDeadReportsUnavailable) {
+  obs::MetricsRegistry registry;
+  ShardCoordinator coordinator(SmallCoordinator(2, 2), &registry);
+  ASSERT_TRUE(coordinator.Deploy("s", TinyModel(3)).ok());
+  ASSERT_TRUE(coordinator.KillShard("shard-0").ok());
+  ASSERT_TRUE(coordinator.KillShard("shard-1").ok());
+  const data::Batch batch = OneSample(7);
+  auto result = coordinator.Predict("s", batch);
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(coordinator.NumLiveShards(), 0);
+  EXPECT_GE(registry.counter_value("serving/coordinator/no_replica_available"),
+            1);
+}
+
+TEST(ShardCoordinatorTest, BreakerStatesCoverShardsAndScenarios) {
+  obs::MetricsRegistry registry;
+  ShardCoordinator coordinator(SmallCoordinator(2, 1), &registry);
+  ASSERT_TRUE(coordinator.Deploy("s", TinyModel(4)).ok());
+  auto states = coordinator.BreakerStates();
+  EXPECT_EQ(states.count("shard:shard-0"), 1u);
+  EXPECT_EQ(states.count("shard:shard-1"), 1u);
+  for (const auto& [name, state] : states) {
+    EXPECT_EQ(state, resilience::BreakerState::kClosed) << name;
+  }
+}
+
+}  // namespace
+}  // namespace shard
+}  // namespace serving
+}  // namespace alt

@@ -32,6 +32,12 @@
 //         `#include <immintrin.h>`) outside src/tensor: ISA-specific code
 //         must stay behind the dispatched kernel layer (cpu_features.h),
 //         where the scalar contract and the ALT_SIMD override keep holding.
+//   L011  direct ModelServer/BatchPredictor construction (stack instance,
+//         `new`, or make_unique/make_shared) outside src/serving: serving
+//         goes through the ServingClient facade (src/serving/
+//         serving_client.h), which owns sharding, replication, failover and
+//         batching. The serving layer itself (including the deprecated
+//         compatibility shims it keeps for one release) is exempt.
 //
 // A violation can be waived by a comment on the same line:
 //   `alt_lint: allow(L006): <reason>`
@@ -350,6 +356,85 @@ void FindRawSimd(const std::string& stripped, const std::string& file,
   }
 }
 
+// L011: direct construction of the serving internals outside the serving
+// layer. Flags, for `ModelServer` and `BatchPredictor`:
+//   - stack instances:      `serving::ModelServer server(&registry);`
+//   - heap instances:       `new serving::BatchPredictor(...)`
+//   - factory helpers:      `std::make_unique<serving::ModelServer>(...)`
+// Pointer/reference uses (parameters, return types, members handed out by
+// the facade) are deliberately not construction and never fire.
+void FindDirectServingConstruction(const std::string& stripped,
+                                   const std::string& file,
+                                   std::vector<Violation>* out) {
+  const size_t n = stripped.size();
+  auto skip_ws = [&](size_t j) {
+    while (j < n && std::isspace(static_cast<unsigned char>(stripped[j])) != 0)
+      ++j;
+    return j;
+  };
+  // The identifier token (word-wise) immediately before offset `pos`.
+  auto prev_word = [&](size_t pos) {
+    size_t e = pos;
+    while (e > 0 &&
+           std::isspace(static_cast<unsigned char>(stripped[e - 1])) != 0)
+      --e;
+    size_t b = e;
+    while (b > 0 && IsIdentChar(stripped[b - 1])) --b;
+    return stripped.substr(b, e - b);
+  };
+  for (const char* type : {"ModelServer", "BatchPredictor"}) {
+    const std::string token = type;
+    const std::string advice =
+        std::string("direct ") + type +
+        " construction outside src/serving; serve through the "
+        "serving::ServingClient facade (src/serving/serving_client.h)";
+    for (size_t pos = stripped.find(token); pos != std::string::npos;
+         pos = stripped.find(token, pos + 1)) {
+      if (pos > 0 && IsIdentChar(stripped[pos - 1])) continue;
+      size_t j = pos + token.size();
+      if (j < n && IsIdentChar(stripped[j])) continue;  // Longer identifier.
+      // Start of the (possibly namespace-qualified) type name, so
+      // `new serving::ModelServer` sees the word before the qualifier.
+      size_t q = pos;
+      while (q > 0 && (IsIdentChar(stripped[q - 1]) || stripped[q - 1] == ':'))
+        --q;
+      const std::string before = prev_word(q);
+      if (before == "class" || before == "struct" || before == "enum") {
+        continue;  // Forward declarations are not construction.
+      }
+      if (before == "new") {
+        out->push_back({file, LineOfOffset(stripped, pos), "L011", advice});
+        continue;
+      }
+      // make_unique<...ModelServer>(...) / make_shared — the token sits
+      // inside the template argument, so look back past the '<'.
+      if (q > 0 && stripped[q - 1] == '<') {
+        const std::string helper = prev_word(q - 1);
+        if (helper == "make_unique" || helper == "make_shared") {
+          out->push_back({file, LineOfOffset(stripped, pos), "L011", advice});
+        }
+        continue;
+      }
+      // Stack instance: the type name followed by a declarator identifier.
+      j = skip_ws(j);
+      if (j < n && (std::isalpha(static_cast<unsigned char>(stripped[j])) !=
+                        0 ||
+                    stripped[j] == '_')) {
+        out->push_back({file, LineOfOffset(stripped, pos), "L011", advice});
+      }
+    }
+  }
+}
+
+// True for directories exempt from the serving-facade rule L011: the serving
+// layer itself (it constructs and shims its own internals).
+bool InServingExemptDir(const std::string& path) {
+  std::string norm = path;
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  return norm.rfind("src/serving/", 0) == 0 ||
+         norm.find("/src/serving/") != std::string::npos;
+}
+
 // True for directories exempt from the SIMD rule L010: the kernel backend.
 bool InSimdExemptDir(const std::string& path) {
   std::string norm = path;
@@ -480,6 +565,9 @@ std::vector<Violation> LintContent(const std::string& path,
   }
   if (!InSimdExemptDir(path)) {
     FindRawSimd(stripped, path, &v);
+  }
+  if (!InServingExemptDir(path)) {
+    FindDirectServingConstruction(stripped, path, &v);
   }
   // Same-line `alt_lint: allow(LXXX)` comments waive individual findings.
   if (apply_waivers) {
@@ -679,6 +767,32 @@ int RunSelfTest() {
        nullptr},
       {"mm-suffixed ident ok", "src/x/ok31.cc",
        "int latency_mm = 0; int f = latency_mm;", nullptr},
+      {"direct ModelServer stack instance", "src/core/bad16.cc",
+       "void F() { serving::ModelServer server(nullptr); }", "L011"},
+      {"direct BatchPredictor via new", "src/core/bad17.cc",
+       "void F() { auto* p = new serving::BatchPredictor(nullptr, {}); }",
+       "L011"},
+      {"direct ModelServer via make_unique", "src/core/bad18.cc",
+       "void F() { auto p = std::make_unique<serving::ModelServer>(); }",
+       "L011"},
+      {"ModelServer construction in src/serving ok", "src/serving/ok38.cc",
+       "void F() { ModelServer server(nullptr); }", nullptr},
+      {"ModelServer construction waived", "src/core/ok39.cc",
+       "void F() { serving::ModelServer server(nullptr); }  "
+       "// alt_lint: allow(L011): single-node tool, no sharding\n",
+       nullptr},
+      {"ModelServer pointer use ok", "src/core/ok40.cc",
+       "serving::ModelServer* Engine();\n"
+       "float F(serving::ModelServer& server);",
+       nullptr},
+      {"ModelServer forward declaration ok", "src/core/ok41.cc",
+       "namespace serving { class ModelServer; }\nint F();", nullptr},
+      {"ModelServer in comment ok", "src/core/ok42.cc",
+       "// ModelServer server(...) is banned outside src/serving\nint F();",
+       nullptr},
+      {"unique_ptr member of ModelServer ok", "src/core/ok43.cc",
+       "struct H { std::unique_ptr<serving::ModelServer> engine; };",
+       nullptr},
       // Banned tokens inside string literals and block comments must never
       // fire — the scanner works on stripped text.
       {"rand in string ok", "src/x/ok22.cc",

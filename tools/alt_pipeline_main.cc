@@ -220,7 +220,7 @@ int Run(int argc, char** argv) {
       const std::string dir = job.at("export_dir").as_string();
       std::filesystem::create_directories(dir);
       const std::string path = dir + "/" + a.deployment_name + ".altm";
-      Status exported = system.server()->ExportBundle(a.deployment_name,
+      Status exported = system.serving()->ExportBundle(a.deployment_name,
                                                       path);
       if (exported.ok()) {
         std::printf("  exported bundle: %s\n", path.c_str());

@@ -17,6 +17,9 @@
 #   asan         Release + -fsanitize=address + ALT_DCHECKS=ON, full ctest
 #   chaos        chaos test in the ASan tree with a hot fault schedule
 #   bench        kernel bench smoke x2 gated by bench_compare
+#   serving-scale  sharded-serving bench smoke x2 gated by bench_compare on
+#                throughput_rps (each run kills a shard and requires a
+#                rebalance with zero lost requests)
 #   simd-parity  kernel/parity/quant tests rerun with ALT_SIMD=off (the
 #                guaranteed scalar contract) in the release tree
 #   telemetry    /healthz flips to 503 under injected serving faults
@@ -33,8 +36,8 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-ALL_STAGES=(release lint analyze tidy asan chaos bench simd-parity telemetry
-            ubsan tsan)
+ALL_STAGES=(release lint analyze tidy asan chaos bench serving-scale
+            simd-parity telemetry ubsan tsan)
 
 SELECTED=()
 for arg in "$@"; do
@@ -45,7 +48,7 @@ for arg in "$@"; do
       done
       ;;
     -h|--help)
-      sed -n '2,31p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,34p' "$0" | sed 's/^# \{0,1\}//'
       exit 0
       ;;
     -*)
@@ -171,6 +174,23 @@ if wants bench; then
   ./build/bench/bench_kernels --smoke --out=build/BENCH_smoke_head.json >/dev/null
   ./build/tools/bench_compare --baseline=build/BENCH_smoke_base.json \
     --head=build/BENCH_smoke_head.json --threshold=0.5
+fi
+
+if wants serving-scale; then
+  ensure_release_build
+  # Serving-scale stage: two smoke runs of the sharded-serving benchmark,
+  # head gated against base on throughput. Each run is itself a failover
+  # drill — it kills one of the four shards mid-stream and exits nonzero
+  # unless serving/rebalance_events fires and zero requests are lost — so
+  # this stage guards both serving throughput and the failover contract.
+  echo "==> serving-scale stage (bench_serving_scale --smoke x2 through bench_compare)"
+  ./build/bench/bench_serving_scale --smoke \
+    --out=build/BENCH_serving_smoke_base.json >/dev/null
+  ./build/bench/bench_serving_scale --smoke \
+    --out=build/BENCH_serving_smoke_head.json >/dev/null
+  ./build/tools/bench_compare --baseline=build/BENCH_serving_smoke_base.json \
+    --head=build/BENCH_serving_smoke_head.json --metric=throughput_rps \
+    --threshold=0.5
 fi
 
 if wants simd-parity; then
