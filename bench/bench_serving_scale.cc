@@ -4,19 +4,24 @@
 // Drives >= 1M Zipf-distributed predict requests over >= 200 deployed
 // scenarios on >= 4 worker shards (replication 2, hot head scenarios at 3),
 // through the micro-batching EnqueuePredict path in bursts that preserve
-// coalescing. Halfway through, one shard is killed: the run asserts the
-// breaker-driven rebalance fires (serving/rebalance_events >= 1) and that
-// ZERO requests are lost — every future must resolve ok, before, during and
-// after the failover.
+// coalescing. A third of the way in, one shard is killed: the run asserts
+// the breaker-driven rebalance fires (serving/rebalance_events >= 1) while
+// replicas absorb its traffic. At two thirds, the shard warm re-joins
+// (models re-deployed from cached bundles, vnodes staged back onto the
+// ring): the run asserts the rejoined shard carries >= 90% of its pre-kill
+// steady-state request share over the final phase. ZERO requests may be
+// lost anywhere — every future must resolve ok across kill, failover, and
+// re-join.
 //
 // Results go to BENCH_serving.json as a "results" array of
 // {name, threads, throughput_rps, p99_ms} entries consumed by
 // tools/bench_compare (--metric=throughput_rps); check.sh's serving-scale
-// stage runs this in --smoke mode twice and gates head against base.
+// stage runs this in --smoke mode twice and gates head against base, and
+// the serving-elastic stage runs the lifecycle test binaries.
 //
 // Flags:
-//   --smoke        CI mode: 20k requests over 24 scenarios (still kills a
-//                  shard and enforces the zero-loss + rebalance contract).
+//   --smoke        CI mode: 20k requests over 24 scenarios (still runs the
+//                  kill -> rejoin cycle and enforces every contract).
 //   --out=PATH     output JSON path (default BENCH_serving.json).
 //   --shards=N     worker shards (default 4).
 //   --scenarios=N  deployed scenarios (default 200).
@@ -117,20 +122,25 @@ int Run(int argc, char** argv) {
   const std::vector<double> cdf = ZipfCdf(scenarios);
 
   const std::string victim = "shard-" + std::to_string(shards - 1);
-  const int64_t kill_at = requests / 2;
+  const int64_t kill_at = requests / 3;
+  const int64_t rejoin_at = 2 * requests / 3;
   constexpr int64_t kWindow = 8192;  // Outstanding-futures bound.
 
   std::printf("driving %lld Zipf requests in bursts of %d "
-              "(killing %s at %lld)...\n",
+              "(killing %s at %lld, rejoining at %lld)...\n",
               static_cast<long long>(requests), burst, victim.c_str(),
-              static_cast<long long>(kill_at));
+              static_cast<long long>(kill_at),
+              static_cast<long long>(rejoin_at));
   std::vector<std::future<Result<float>>> window;
   window.reserve(static_cast<size_t>(kWindow));
   int64_t sent = 0, completed = 0, lost = 0;
-  bool killed = false;
-  PhaseStats pre, post, total;
+  bool killed = false, rejoined = false;
+  PhaseStats pre, degraded, recovered, total;
   double phase_start = bench::MonotonicSeconds();
   const double run_start = phase_start;
+  // The victim's request share before the kill is the steady-state baseline
+  // the rejoined shard must reclaim.
+  int64_t victim_served_pre = 0, victim_served_at_rejoin = 0;
 
   auto drain = [&]() {
     for (auto& future : window) {
@@ -151,8 +161,24 @@ int Run(int argc, char** argv) {
       const double now = bench::MonotonicSeconds();
       pre.requests = sent;
       pre.seconds = now - run_start;
+      victim_served_pre =
+          client.coordinator()->shard(victim)->RequestsServed();
       ALT_CHECK(client.KillShard(victim).ok());
       killed = true;
+      phase_start = now;
+    }
+    if (!rejoined && sent >= rejoin_at) {
+      // Warm re-join under live traffic: cached bundles re-deploy first,
+      // then the ring re-admits the shard's vnodes in staged batches.
+      drain();
+      const double now = bench::MonotonicSeconds();
+      degraded.requests = sent - pre.requests;
+      degraded.seconds = now - phase_start;
+      const Status status = client.RejoinShard(victim);
+      ALT_CHECK(status.ok()) << status.ToString();
+      victim_served_at_rejoin =
+          client.coordinator()->shard(victim)->RequestsServed();
+      rejoined = true;
       phase_start = now;
     }
     const double u = rng.Uniform(0.0, 1.0);
@@ -170,10 +196,24 @@ int Run(int argc, char** argv) {
   drain();
   client.DrainBatchQueues();
   const double run_end = bench::MonotonicSeconds();
-  post.requests = sent - pre.requests;
-  post.seconds = run_end - phase_start;
+  recovered.requests = sent - pre.requests - degraded.requests;
+  recovered.seconds = run_end - phase_start;
   total.requests = sent;
   total.seconds = run_end - run_start;
+
+  // Steady-state share pre-kill vs share over the post-rejoin drain window.
+  const int64_t victim_served_recovered =
+      client.coordinator()->shard(victim)->RequestsServed() -
+      victim_served_at_rejoin;
+  const double victim_share_pre =
+      pre.requests > 0 ? static_cast<double>(victim_served_pre) /
+                             static_cast<double>(pre.requests)
+                       : 0.0;
+  const double victim_share_recovered =
+      recovered.requests > 0
+          ? static_cast<double>(victim_served_recovered) /
+                static_cast<double>(recovered.requests)
+          : 0.0;
 
   const obs::HistogramSummary latency = registry.histogram_summary(
       "serving/batch_predictor/request_latency_ms");
@@ -181,13 +221,17 @@ int Run(int argc, char** argv) {
       registry.counter_value("serving/rebalance_events");
   const int64_t failovers =
       registry.counter_value("serving/coordinator/failovers");
+  const int64_t rejoins =
+      registry.counter_value("serving/coordinator/rejoins");
   const serving::ServingClient::Stats stats = client.GetStats();
 
   std::printf("total:     %lld requests in %.2fs -> %.0f req/s\n",
               static_cast<long long>(total.requests), total.seconds,
               total.throughput());
-  std::printf("pre-kill:  %.0f req/s, post-kill: %.0f req/s\n",
-              pre.throughput(), post.throughput());
+  std::printf("pre-kill:  %.0f req/s, degraded: %.0f req/s, "
+              "recovered: %.0f req/s\n",
+              pre.throughput(), degraded.throughput(),
+              recovered.throughput());
   std::printf("latency:   p50 %.3f ms, p99 %.3f ms over %lld requests\n",
               latency.p50, latency.p99,
               static_cast<long long>(latency.count));
@@ -197,6 +241,10 @@ int Run(int argc, char** argv) {
               static_cast<long long>(failovers), stats.live_shards,
               stats.num_shards, stats.routing_imbalance,
               static_cast<long long>(lost));
+  std::printf("rejoin:    rejoins=%lld victim share pre-kill %.3f -> "
+              "post-rejoin %.3f\n",
+              static_cast<long long>(rejoins), victim_share_pre,
+              victim_share_recovered);
 
   Json::Array results;
   auto add = [&](const std::string& name, const PhaseStats& phase) {
@@ -211,7 +259,8 @@ int Run(int argc, char** argv) {
   };
   add("serving_scale_e2e", total);
   add("serving_scale_prekill", pre);
-  add("serving_scale_postkill", post);
+  add("serving_scale_postkill", degraded);
+  add("serving_scale_postrejoin", recovered);
 
   Json doc = Json::Object{};
   doc["bench"] = "serving_scale";
@@ -224,6 +273,9 @@ int Run(int argc, char** argv) {
   derived["completed_requests"] = completed;
   derived["rebalance_events"] = rebalances;
   derived["failovers"] = failovers;
+  derived["rejoins"] = rejoins;
+  derived["victim_share_prekill"] = victim_share_pre;
+  derived["victim_share_postrejoin"] = victim_share_recovered;
   derived["routing_imbalance"] = stats.routing_imbalance;
   derived["live_shards"] = stats.live_shards;
   doc["derived"] = derived;
@@ -236,9 +288,10 @@ int Run(int argc, char** argv) {
   std::printf("wrote %s\n", out_path.c_str());
 
   // The scale contract, enforced: the kill must have triggered the
-  // rebalance, and no request may be lost across it.
+  // rebalance, no request may be lost anywhere in the kill -> rejoin
+  // cycle, and the rejoined shard must reclaim its steady-state share.
   if (lost != 0) {
-    std::printf("FAIL: %lld requests lost across the shard kill\n",
+    std::printf("FAIL: %lld requests lost across the kill/rejoin cycle\n",
                 static_cast<long long>(lost));
     return 1;
   }
@@ -250,6 +303,21 @@ int Run(int argc, char** argv) {
     std::printf("FAIL: completed %lld of %lld requests\n",
                 static_cast<long long>(completed),
                 static_cast<long long>(requests));
+    return 1;
+  }
+  if (rejoins < 1) {
+    std::printf("FAIL: warm re-join did not register\n");
+    return 1;
+  }
+  if (stats.live_shards != shards) {
+    std::printf("FAIL: %d of %d shards live after the re-join\n",
+                stats.live_shards, shards);
+    return 1;
+  }
+  if (victim_share_recovered < 0.9 * victim_share_pre) {
+    std::printf("FAIL: rejoined shard serves %.3f of traffic vs %.3f "
+                "steady-state (< 90%%)\n",
+                victim_share_recovered, victim_share_pre);
     return 1;
   }
   return 0;

@@ -34,23 +34,40 @@ AltSystem::AltSystem(AltSystemOptions options)
   if (options_.telemetry_port >= 0) {
     obs::TelemetryServer::Options telemetry;
     telemetry.port = options_.telemetry_port;
-    // Liveness: unhealthy while any serving circuit breaker is open.
+    // Liveness reflects shard lifecycle state: 503 only when some deployed
+    // scenario has no live replica left. Degraded capacity (suspect / dead /
+    // rejoining shards with every scenario still answerable) stays 200 and
+    // is reported in the detail body alongside the breakers.
     telemetry.health_fn = [this]() {
+      const serving::ServingClient::HealthReport health = client_.GetHealth();
       Json body = Json::Object{};
+      body["healthy"] = health.healthy;
+      body["degraded"] = health.degraded;
+      Json shards = Json::Object{};
+      for (const auto& [id, state] : health.shard_states) {
+        shards[id] = state;
+      }
+      body["shards"] = std::move(shards);
+      Json::Array unservable;
+      for (const std::string& scenario : health.unservable_scenarios) {
+        unservable.emplace_back(scenario);
+      }
+      body["unservable_scenarios"] = Json(std::move(unservable));
       Json breakers = Json::Object{};
-      bool healthy = true;
       for (const auto& [scenario, state] : client_.BreakerStates()) {
         breakers[scenario] = resilience::BreakerStateName(state);
-        if (state == resilience::BreakerState::kOpen) healthy = false;
       }
-      body["healthy"] = healthy;
       body["breakers"] = std::move(breakers);
       return body;
     };
-    // Readiness: the scenario-agnostic model exists.
+    // Readiness: the scenario-agnostic model exists AND every deployed
+    // scenario has a live replica to answer for it.
     telemetry.ready_fn = [this]() {
+      const serving::ServingClient::HealthReport health = client_.GetHealth();
       Json body = Json::Object{};
-      body["ready"] = initialized();
+      body["ready"] = initialized() && health.healthy;
+      body["initialized"] = initialized();
+      body["serving_healthy"] = health.healthy;
       return body;
     };
     auto started = obs::TelemetryServer::Start(std::move(telemetry));
@@ -169,13 +186,6 @@ Status AltSystem::DeployWithRetry(const std::string& scenario,
   return client_.Deploy(scenario, std::move(model), deploy);
 }
 
-serving::ModelServer* AltSystem::server() {
-  serving::shard::WorkerShard* worker =
-      client_.coordinator()->shard("shard-0");
-  ALT_CHECK(worker != nullptr);
-  return worker->engine();
-}
-
 Status AltSystem::StartResilientServing() {
   if (!initialized()) {
     return Status::FailedPrecondition("AltSystem::Initialize first");
@@ -197,12 +207,6 @@ Status AltSystem::StartResilientServing() {
   client_.EnableResilience(resilience);
   options_.serving.resilience = resilience;
   return Status::OK();
-}
-
-Status AltSystem::EnableResilientServing(
-    serving::ServingResilienceOptions options) {
-  options_.serving.resilience = std::move(options);
-  return StartResilientServing();
 }
 
 Result<std::vector<ScenarioArtifacts>> AltSystem::OnScenariosArrival(

@@ -48,8 +48,10 @@ struct AltSystemOptions {
   /// Telemetry exposition server (obs::TelemetryServer) on 127.0.0.1.
   /// Negative: disabled (default). 0: an ephemeral port (see
   /// AltSystem::telemetry()->port()). Positive: that port. Started by the
-  /// constructor; /healthz reports unhealthy while any serving circuit
-  /// breaker is open, /readyz reports ready once Initialize() succeeded.
+  /// constructor; /healthz reports the shard lifecycle (503 only when some
+  /// deployed scenario has no live replica; degraded-but-serving shards
+  /// stay 200 with detail in the body), /readyz reports ready once
+  /// Initialize() succeeded and the serving plane is healthy.
   int telemetry_port = -1;
   uint64_t seed = 123;
 };
@@ -94,25 +96,12 @@ class AltSystem {
   /// The serving plane: deploy/predict/batch-predict/undeploy/stats.
   serving::ServingClient* serving() { return &client_; }
 
-  /// Deprecated shim (one release): the single ModelServer is now shard 0's
-  /// engine behind ServingClient. Only meaningful with the default
-  /// single-shard layout; use serving() instead.
-  [[deprecated("use serving() — the ServingClient facade")]]
-  serving::ModelServer* server();
-
   /// Turns on graceful degradation for the serving plane using
   /// `options().serving.resilience`. Ensures the scenario-agnostic heavy
   /// model f0 is deployed on every shard under
   /// `resilience.fallback_scenario` (default "f0") so degraded traffic is
   /// answered by f0 rather than a constant prior. Requires Initialize().
   Status StartResilientServing();
-
-  /// Deprecated shim (one release) for StartResilientServing: the policy
-  /// now lives in AltSystemOptions::serving.resilience.
-  [[deprecated(
-      "set AltSystemOptions::serving.resilience and call "
-      "StartResilientServing()")]]
-  Status EnableResilientServing(serving::ServingResilienceOptions options);
 
   /// Persists the system state (agnostic heavy model + every deployed light
   /// model + a manifest) into `directory`, creating it if needed.

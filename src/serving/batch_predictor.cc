@@ -22,14 +22,6 @@ std::vector<double> BatchSizeBounds(int64_t max_batch_size) {
   return bounds;
 }
 
-/// Adapts the legacy ModelServer backend to the PredictFn interface.
-BatchPredictor::PredictFn WrapServer(ModelServer* server) {
-  ALT_CHECK(server != nullptr);
-  return [server](const std::string& scenario, const data::Batch& batch) {
-    return server->Predict(scenario, batch);
-  };
-}
-
 }  // namespace
 
 Result<std::unique_ptr<BatchPredictor>> BatchPredictor::Create(
@@ -51,20 +43,6 @@ Result<std::unique_ptr<BatchPredictor>> BatchPredictor::Create(
                                           registry);
 }
 
-Result<std::unique_ptr<BatchPredictor>> BatchPredictor::Create(
-    ModelServer* server, Options options, obs::MetricsRegistry* registry) {
-  if (server == nullptr) {
-    return Status::InvalidArgument("BatchPredictor: null server");
-  }
-  return Create(WrapServer(server), options,
-                registry != nullptr ? registry : server->registry());
-}
-
-BatchPredictor::BatchPredictor(ModelServer* server, Options options,
-                               obs::MetricsRegistry* registry)
-    : BatchPredictor(WrapServer(server), options,
-                     registry != nullptr ? registry : server->registry()) {}
-
 BatchPredictor::BatchPredictor(PredictFn predict, Options options,
                                obs::MetricsRegistry* registry)
     : predict_(std::move(predict)), options_(options) {
@@ -75,6 +53,7 @@ BatchPredictor::BatchPredictor(PredictFn predict, Options options,
       registry != nullptr ? registry : &obs::MetricsRegistry::Global();
   queue_depth_ = registry_->gauge("serving/batch_predictor/queue_depth");
   shard_unavailable_ = registry_->counter("serving/shard_unavailable");
+  requests_shed_ = registry_->counter("serving/requests_shed");
   batches_dispatched_ =
       registry_->counter("serving/batch_predictor/batches_dispatched");
   batch_size_ = registry_->histogram("serving/batch_predictor/batch_size",
@@ -184,10 +163,15 @@ void BatchPredictor::Resolve(Request* request, Result<float> result) {
   }
   // Every terminal path for a request funnels through here — success,
   // Predict failure, injected flush fault, shape rejection — so the gauge
-  // can never leak on errors. A request stranded by its shard vanishing
-  // mid-flush surfaces as kUnavailable and is counted distinctly.
-  if (!result.ok() && result.status().code() == StatusCode::kUnavailable) {
-    shard_unavailable_->Add(1);
+  // can never leak on errors. Shard death (kUnavailable: the backend
+  // vanished mid-flush) and load shedding (kResourceExhausted: every live
+  // replica was over its watermark, retry later) are counted distinctly.
+  if (!result.ok()) {
+    if (result.status().code() == StatusCode::kUnavailable) {
+      shard_unavailable_->Add(1);
+    } else if (result.status().code() == StatusCode::kResourceExhausted) {
+      requests_shed_->Add(1);
+    }
   }
   queue_depth_->Add(-1.0);
   pending_.fetch_sub(1, std::memory_order_relaxed);

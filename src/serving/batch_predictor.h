@@ -12,8 +12,8 @@
 
 #include "src/data/dataset.h"
 #include "src/obs/metrics.h"
-#include "src/serving/model_server.h"
 #include "src/util/mutex.h"
+#include "src/util/status.h"
 #include "src/util/thread_annotations.h"
 
 namespace alt {
@@ -24,7 +24,7 @@ namespace serving {
 /// model — the standard throughput optimization for online inference
 /// services. The backend is an injected PredictFn — the sharded plane wires
 /// one BatchPredictor per shard whose fn routes through the coordinator
-/// (with failover), while the legacy path wraps a ModelServer directly.
+/// (with failover).
 ///
 /// A dedicated dispatcher thread drains the queue; a batch is flushed when
 /// it reaches `max_batch_size` or when the oldest queued request has waited
@@ -49,6 +49,12 @@ namespace serving {
 ///                                                 because the backend shard
 ///                                                 vanished mid-flight
 ///                                                 (Status kUnavailable)
+///   serving/requests_shed                         counter: requests rejected
+///                                                 at admission — every live
+///                                                 replica was past its queue
+///                                                 watermark (Status
+///                                                 kResourceExhausted); retry
+///                                                 later, nothing was lost
 /// QueueDepth()/BatchesDispatched() are thin views over these metrics, so
 /// they read as zero when observability is disabled (ALT_OBS=off);
 /// PendingRequests() is an obs-independent per-instance count (the shared
@@ -71,26 +77,11 @@ class BatchPredictor {
       PredictFn predict, Options options,
       obs::MetricsRegistry* registry = nullptr);
 
-  /// Deprecated shim (one release): wrap the server in a PredictFn, or —
-  /// better — go through ServingClient, which owns the batching front-end.
-  [[deprecated(
-      "use ServingClient for batch predictions, or Create(PredictFn, ...)")]]
-  static Result<std::unique_ptr<BatchPredictor>> Create(
-      ModelServer* server, Options options,
-      obs::MetricsRegistry* registry = nullptr);
-
   /// `predict` outlives this object (it is copied; anything it captures
   /// must stay alive). Invalid options are programmer errors here
   /// (ALT_CHECK); use Create() for recoverable validation.
   /// `registry == nullptr` selects the process-global registry.
   BatchPredictor(PredictFn predict, Options options,
-                 obs::MetricsRegistry* registry = nullptr);
-
-  /// Deprecated shim (one release): see Create(ModelServer*, ...).
-  [[deprecated(
-      "use ServingClient for batch predictions, or the PredictFn "
-      "constructor")]]
-  BatchPredictor(ModelServer* server, Options options,
                  obs::MetricsRegistry* registry = nullptr);
   ~BatchPredictor();
 
@@ -141,6 +132,7 @@ class BatchPredictor {
   std::atomic<int64_t> pending_{0};
   obs::Gauge* queue_depth_;            // Owned by the registry.
   obs::Counter* shard_unavailable_;    // Owned by the registry.
+  obs::Counter* requests_shed_;        // Owned by the registry.
   obs::Counter* batches_dispatched_;   // Owned by the registry.
   obs::Histogram* batch_size_;         // Owned by the registry.
   obs::Histogram* queue_high_watermark_;  // Owned by the registry.

@@ -32,12 +32,6 @@ Status ModelServer::Deploy(const std::string& scenario,
   });
 }
 
-Status ModelServer::TryDeploy(const std::string& scenario,
-                              std::unique_ptr<models::BaseModel>* model,
-                              const DeployOptions& options) {
-  return DeployAttempt(scenario, model, options);
-}
-
 Status ModelServer::DeployAttempt(const std::string& scenario,
                                   std::unique_ptr<models::BaseModel>* model,
                                   const DeployOptions& options) {
@@ -86,11 +80,6 @@ Status ModelServer::DeployAttempt(const std::string& scenario,
   MutexLock model_lock(deployment->mu);
   deployment->model = std::move(*model);
   return Status::OK();
-}
-
-void ModelServer::SetResilience(ServingResilienceOptions options,
-                                resilience::Clock* clock) {
-  ConfigureResilience(std::move(options), clock);
 }
 
 void ModelServer::ConfigureResilience(ServingResilienceOptions options,

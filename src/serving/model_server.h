@@ -32,7 +32,8 @@ struct LatencyStats {  // alt_lint: allow(L007): read-view over obs::MetricsRegi
 };
 
 /// Graceful-degradation policy for Predict. Off by default; enable with
-/// ModelServer::SetResilience. With it on, each scenario gets a circuit
+/// ModelServer::ConfigureResilience (or, at the public API layer,
+/// ServingClient::EnableResilience). With it on, each scenario gets a circuit
 /// breaker over its Predict outcomes: while the breaker is open — or when a
 /// call fails or overruns `predict_deadline_ms` — the answer comes from the
 /// fallback path (the scenario-agnostic f0 deployment named by
@@ -77,7 +78,7 @@ struct DeployOptions {
   /// Retry transient deploy failures (e.g. injected serving/deploy faults)
   /// under `retry` before giving up. The model survives failed attempts and
   /// is consumed only on success or once the schedule is exhausted — this
-  /// subsumes the old TryDeploy-plus-external-RetryPolicy idiom.
+  /// subsumes external retry wrappers around single deploy attempts.
   bool retry_transient = false;
   resilience::RetryOptions retry;
 };
@@ -98,21 +99,11 @@ class ModelServer {
   explicit ModelServer(obs::MetricsRegistry* registry = nullptr);
 
   /// Installs (or replaces) the serving model of `scenario`. The one deploy
-  /// entry point: retry behavior (the old TryDeploy idiom) is selected via
+  /// entry point: retry behavior is selected via
   /// DeployOptions::retry_transient / DeployOptions::retry.
   Status Deploy(const std::string& scenario,
                 std::unique_ptr<models::BaseModel> model,
                 const DeployOptions& options = {});
-
-  /// Deprecated shim (one release): Deploy with
-  /// `DeployOptions::retry_transient` subsumes the keep-the-model-on-failure
-  /// contract; a single no-retry attempt is what this forwards to.
-  [[deprecated(
-      "use Deploy(scenario, std::move(model), options) with "
-      "DeployOptions::retry_transient for retries")]]
-  Status TryDeploy(const std::string& scenario,
-                   std::unique_ptr<models::BaseModel>* model,
-                   const DeployOptions& options = {});
 
   /// Enables graceful degradation for Predict. `clock == nullptr` selects
   /// resilience::RealClock(); tests inject a FakeClock to drive deadlines
@@ -121,14 +112,6 @@ class ModelServer {
   /// resilience; the sharded plane calls this on every shard engine.
   void ConfigureResilience(ServingResilienceOptions options,
                            resilience::Clock* clock = nullptr);
-
-  /// Deprecated shim (one release) for ConfigureResilience; resilience is
-  /// now configured in one place, on the ServingClient.
-  [[deprecated(
-      "configure resilience via ServingClient::Options or "
-      "ServingClient::EnableResilience")]]
-  void SetResilience(ServingResilienceOptions options,
-                     resilience::Clock* clock = nullptr);
 
   /// Breaker state of a scenario that has served resilient traffic;
   /// NotFound before its first Predict or with resilience off.
@@ -167,14 +150,14 @@ class ModelServer {
  private:
   struct Deployment {
     Mutex mu;
-    /// The serving model; swapped atomically by TryDeploy, serialized per
+    /// The serving model; swapped atomically by Deploy, serialized per
     /// scenario by PredictOn.
     std::unique_ptr<models::BaseModel> model ALT_GUARDED_BY(mu);
     obs::Histogram* latency_ms = nullptr;  // Owned by the registry.
   };
 
   std::shared_ptr<Deployment> FindDeployment(const std::string& scenario) const;
-  /// One deploy attempt; consumes `*model` only on success (the TryDeploy
+  /// One deploy attempt; consumes `*model` only on success (the retry-loop
   /// contract, now an implementation detail of Deploy's retry loop).
   Status DeployAttempt(const std::string& scenario,
                        std::unique_ptr<models::BaseModel>* model,
@@ -202,7 +185,7 @@ class ModelServer {
       ALT_GUARDED_BY(registry_mu_);
 
   // Resilience configuration (resilience_enabled_, resilience_, clock_ and
-  // the counter handles below) is written once by SetResilience before the
+  // the counter handles below) is written once by ConfigureResilience before the
   // server takes resilient traffic, then read without locking on the
   // Predict path; it is deliberately not lock-guarded.
   bool resilience_enabled_ = false;

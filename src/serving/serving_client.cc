@@ -21,6 +21,11 @@ shard::CoordinatorOptions ToCoordinatorOptions(
   out.hot_replication = options.hot_replication;
   out.shard_breaker = options.shard_breaker;
   out.max_queue_depth_per_shard = options.max_queue_depth_per_shard;
+  out.shed_high_watermark = options.shed_high_watermark;
+  out.shed_low_watermark = options.shed_low_watermark;
+  out.rejoin_stages = options.rejoin_stages;
+  out.rejoin_stage_pause_ms = options.rejoin_stage_pause_ms;
+  out.clock = options.clock;
   return out;
 }
 
@@ -31,17 +36,27 @@ ServingClient::ServingClient(Options options, obs::MetricsRegistry* registry)
       registry_(registry != nullptr ? registry
                                     : &obs::MetricsRegistry::Global()),
       coordinator_(ToCoordinatorOptions(options_), registry_) {
-  for (const std::string& id : coordinator_.ShardIds()) {
-    // Per-shard batchers keep micro-batch locality; the preferred-shard
-    // flush path falls back to replicas when the shard dies.
-    batchers_[id] = std::make_unique<BatchPredictor>(
-        [this, id](const std::string& scenario, const data::Batch& batch) {
-          return coordinator_.PredictPreferring(id, scenario, batch);
-        },
-        options_.batching, registry_);
+  {
+    MutexLock lock(batchers_mu_);
+    for (const std::string& id : coordinator_.ShardIds()) {
+      // Per-shard batchers keep micro-batch locality; the preferred-shard
+      // flush path falls back to replicas when the shard dies.
+      batchers_[id] = std::make_unique<BatchPredictor>(
+          [this, id](const std::string& scenario, const data::Batch& batch) {
+            return coordinator_.PredictPreferring(id, scenario, batch);
+          },
+          options_.batching, registry_);
+    }
   }
   if (options_.enable_resilience) {
-    coordinator_.EnableResilience(options_.resilience);
+    coordinator_.EnableResilience(options_.resilience, options_.clock);
+  }
+  if (options_.enable_supervisor) {
+    shard::SupervisorOptions supervisor = options_.supervisor;
+    if (supervisor.clock == nullptr) supervisor.clock = options_.clock;
+    supervisor_ = std::make_unique<shard::ShardSupervisor>(
+        &coordinator_, supervisor, registry_);
+    supervisor_->Start();  // alt_lint: allow(L008): void ShardSupervisor::Start
   }
 }
 
@@ -78,11 +93,23 @@ Result<std::vector<float>> ServingClient::Predict(const std::string& scenario,
   return coordinator_.Predict(scenario, batch);
 }
 
+void ServingClient::EnsureBatcher(const std::string& shard_id) {
+  MutexLock lock(batchers_mu_);
+  auto it = batchers_.find(shard_id);
+  if (it != batchers_.end()) return;
+  batchers_[shard_id] = std::make_unique<BatchPredictor>(
+      [this, shard_id](const std::string& scenario, const data::Batch& batch) {
+        return coordinator_.PredictPreferring(shard_id, scenario, batch);
+      },
+      options_.batching, registry_);
+}
+
 BatchPredictor* ServingClient::BatcherFor(const std::string& scenario) {
   // Owner-shard affinity keeps one scenario's requests coalescing in one
   // queue; unknown scenarios hash deterministically so resilience-default
   // traffic still batches.
   std::vector<std::string> replicas = coordinator_.ReplicasOf(scenario);
+  MutexLock lock(batchers_mu_);
   std::string id;
   if (!replicas.empty()) {
     id = replicas.front();
@@ -104,7 +131,17 @@ std::future<Result<float>> ServingClient::EnqueuePredict(
 }
 
 void ServingClient::DrainBatchQueues() const {
-  for (const auto& [id, batcher] : batchers_) {
+  // Snapshot under the lock, poll outside it: batchers are never destroyed
+  // once created, so the pointers stay valid while we wait.
+  std::vector<BatchPredictor*> batchers;
+  {
+    MutexLock lock(batchers_mu_);
+    batchers.reserve(batchers_.size());
+    for (const auto& [id, batcher] : batchers_) {
+      batchers.push_back(batcher.get());
+    }
+  }
+  for (BatchPredictor* batcher : batchers) {
     while (batcher->PendingRequests() > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
@@ -130,8 +167,11 @@ ServingClient::Stats ServingClient::GetStats() const {
     const shard::WorkerShard* worker = coordinator_.shard(id);
     if (worker != nullptr) stats.requests_served += worker->RequestsServed();
   }
-  for (const auto& [id, batcher] : batchers_) {
-    stats.pending_batch_requests += batcher->PendingRequests();
+  {
+    MutexLock lock(batchers_mu_);
+    for (const auto& [id, batcher] : batchers_) {
+      stats.pending_batch_requests += batcher->PendingRequests();
+    }
   }
   return stats;
 }
@@ -161,6 +201,40 @@ int ServingClient::NumLiveShards() const {
 
 Status ServingClient::KillShard(const std::string& shard_id) {
   return coordinator_.KillShard(shard_id);
+}
+
+Status ServingClient::RejoinShard(const std::string& shard_id) {
+  ALT_RETURN_IF_ERROR(coordinator_.RejoinShard(shard_id));
+  EnsureBatcher(shard_id);  // Original-topology shards already have one.
+  return Status::OK();
+}
+
+Status ServingClient::AddShard(const std::string& shard_id) {
+  // The batcher exists before the shard's vnodes can enter the ring, so a
+  // concurrent EnqueuePredict routed at the newcomer always finds a queue.
+  EnsureBatcher(shard_id);
+  return coordinator_.AddShard(shard_id);
+}
+
+ServingClient::HealthReport ServingClient::GetHealth() const {
+  HealthReport report;
+  report.unservable_scenarios = coordinator_.UnservableScenarios();
+  report.healthy = report.unservable_scenarios.empty();
+  for (const std::string& id : coordinator_.ShardIds()) {
+    const shard::WorkerShard* worker = coordinator_.shard(id);
+    report.shard_states[id] =
+        (worker != nullptr && worker->dead()) ? "dead" : "live";
+  }
+  // The supervisor's view is richer (suspect / rejoining); overlay it.
+  if (supervisor_ != nullptr) {
+    for (const auto& [id, health] : supervisor_->States()) {
+      report.shard_states[id] = shard::ShardHealthName(health);
+    }
+  }
+  for (const auto& [id, state] : report.shard_states) {
+    if (state != "live") report.degraded = true;
+  }
+  return report;
 }
 
 }  // namespace serving

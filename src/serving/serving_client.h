@@ -15,15 +15,18 @@
 #include "src/serving/batch_predictor.h"
 #include "src/serving/model_server.h"
 #include "src/serving/shard/coordinator.h"
+#include "src/serving/shard/supervisor.h"
+#include "src/util/mutex.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace alt {
 namespace serving {
 
 /// The public serving API: one facade over the sharded serving plane for
-/// deploy, predict, batch-predict, undeploy, and stats. Subsumes direct
-/// ModelServer / BatchPredictor use and AltSystem::EnableResilientServing —
-/// those entry points survive one release as thin deprecated shims.
+/// deploy, predict, batch-predict, undeploy, elasticity, and stats.
+/// Subsumes direct ModelServer / BatchPredictor use (their deprecated shims
+/// were removed after one release, per the PR 8 schedule).
 ///
 /// Topology: `Options::num_shards` WorkerShards (each a ModelServer on its
 /// own thread) behind a ShardCoordinator — consistent-hash routing with
@@ -54,6 +57,28 @@ class ServingClient {
         shard::CoordinatorOptions::DefaultShardBreaker();
     /// SubmitPredict backpressure per shard; 0 = unbounded.
     int64_t max_queue_depth_per_shard = 0;
+    /// Soft load-shedding watermarks per shard (hysteresis): a shard whose
+    /// queue reaches the high watermark rejects non-critical requests with
+    /// kResourceExhausted until it drains to the low watermark. Hot /
+    /// everywhere-deployed scenarios shed last (only the hard cap applies
+    /// to them). high <= 0 disables soft shedding.
+    int64_t shed_high_watermark = 0;
+    int64_t shed_low_watermark = 0;
+    /// Warm re-join pacing: a re-admitted shard's virtual nodes enter the
+    /// ring in this many staged batches, optionally pausing between stages
+    /// so in-flight traffic settles onto the new routing.
+    int rejoin_stages = 4;
+    double rejoin_stage_pause_ms = 0.0;
+    /// Health-probed membership: construct (and start) a ShardSupervisor
+    /// driving the Live -> Suspect -> Dead -> Rejoining lifecycle, with
+    /// `supervisor` holding the probe cadence / eviction / cooldown knobs.
+    /// Tests that need exact schedules usually keep this off and drive a
+    /// standalone ShardSupervisor::ProbeOnce() on a FakeClock instead.
+    bool enable_supervisor = false;
+    shard::SupervisorOptions supervisor;
+    /// Clock for re-join pacing (and the supervisor, unless its own clock
+    /// is set); nullptr = real clock.
+    resilience::Clock* clock = nullptr;
     /// Micro-batching knobs of the EnqueuePredict path.
     BatchPredictor::Options batching;
     /// Graceful degradation (breakers + fallback predictions) on every
@@ -142,22 +167,57 @@ class ServingClient {
   /// rebalances on the next requests against it.
   Status KillShard(const std::string& shard_id);
 
+  /// Warm re-join of a killed/evicted shard: models re-deploy from the
+  /// coordinator's cached bundles before its virtual nodes re-enter the
+  /// ring in staged batches. See ShardCoordinator::RejoinShard.
+  Status RejoinShard(const std::string& shard_id);
+
+  /// Elastic scale-up: adds a brand-new shard through the same warm staged
+  /// admission, and gives it a batching front-end.
+  Status AddShard(const std::string& shard_id);
+
+  /// Shard-state health report, the /healthz / /readyz source of truth.
+  struct HealthReport {
+    /// False only when a deployed scenario has no live replica left —
+    /// requests to it fail until a re-join/re-deploy. Maps to HTTP 503.
+    bool healthy = true;
+    /// True while any shard is not live (suspect / dead / rejoining):
+    /// serving capacity is degraded but every scenario still answers.
+    bool degraded = false;
+    /// Shard id -> lifecycle state name ("live", "suspect", "dead",
+    /// "rejoining"). Supervisor states when one runs, else live/dead.
+    std::map<std::string, std::string> shard_states;
+    std::vector<std::string> unservable_scenarios;
+  };
+  HealthReport GetHealth() const;
+
   /// The underlying control plane — white-box access for tests and tools.
   shard::ShardCoordinator* coordinator() { return &coordinator_; }
   const shard::ShardCoordinator* coordinator() const { return &coordinator_; }
+
+  /// The health-probe loop; nullptr unless Options::enable_supervisor.
+  shard::ShardSupervisor* supervisor() { return supervisor_.get(); }
 
   obs::MetricsRegistry* registry() const { return registry_; }
   const Options& options() const { return options_; }
 
  private:
-  BatchPredictor* BatcherFor(const std::string& scenario);
+  BatchPredictor* BatcherFor(const std::string& scenario)
+      ALT_EXCLUDES(batchers_mu_);
+  /// Creates the shard's batcher if absent (runtime AddShard path).
+  void EnsureBatcher(const std::string& shard_id) ALT_EXCLUDES(batchers_mu_);
 
   Options options_;
   obs::MetricsRegistry* registry_;
   shard::ShardCoordinator coordinator_;
   /// One batcher per shard id; declared after the coordinator so their
-  /// dispatcher threads shut down first.
-  std::map<std::string, std::unique_ptr<BatchPredictor>> batchers_;
+  /// dispatcher threads shut down first. Guarded: AddShard grows the map
+  /// at runtime.
+  mutable Mutex batchers_mu_;
+  std::map<std::string, std::unique_ptr<BatchPredictor>> batchers_
+      ALT_GUARDED_BY(batchers_mu_);
+  /// Declared last so its probe thread stops before anything it watches.
+  std::unique_ptr<shard::ShardSupervisor> supervisor_;
 };
 
 }  // namespace serving

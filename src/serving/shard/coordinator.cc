@@ -34,11 +34,16 @@ ShardCoordinator::ShardCoordinator(CoordinatorOptions options,
     : options_(options),
       registry_(registry != nullptr ? registry
                                     : &obs::MetricsRegistry::Global()),
+      clock_(options.clock != nullptr ? options.clock
+                                      : resilience::RealClock()),
       ring_(options.vnodes_per_shard),
       rebalance_events_(registry_->counter("serving/rebalance_events")),
+      rejoins_(registry_->counter("serving/coordinator/rejoins")),
       failovers_(registry_->counter("serving/coordinator/failovers")),
       no_replica_available_(
           registry_->counter("serving/coordinator/no_replica_available")),
+      admission_shed_(registry_->counter("serving/admission/shed")),
+      admission_accepted_(registry_->counter("serving/admission/accepted")),
       routing_imbalance_(
           registry_->gauge("serving/coordinator/routing_imbalance")),
       broadcast_ms_(registry_->histogram("serving/coordinator/broadcast_ms")) {
@@ -47,30 +52,46 @@ ShardCoordinator::ShardCoordinator(CoordinatorOptions options,
   if (options_.hot_replication < options_.replication) {
     options_.hot_replication = options_.replication;
   }
+  if (options_.rejoin_stages < 1) options_.rejoin_stages = 1;
+  if (options_.shed_low_watermark > options_.shed_high_watermark) {
+    options_.shed_low_watermark = options_.shed_high_watermark;
+  }
   MutexLock state(state_mu_);
   for (int i = 0; i < options_.num_shards; ++i) {
     const std::string id = "shard-" + std::to_string(i);
     auto worker = std::make_unique<WorkerShard>(id, registry_);
-    worker->set_max_queue_depth(options_.max_queue_depth_per_shard);
+    ConfigureWorker(worker.get());
     shards_by_id_[id] = worker.get();
     shards_.push_back(std::move(worker));
     breakers_[id] = std::make_unique<resilience::CircuitBreaker>(
         "shard:" + id, options_.shard_breaker, /*clock=*/nullptr, registry_);
-    ring_.AddShard(id);
+    ring_.AddShard(id);  // alt_lint: allow(L008): void HashRing::AddShard
   }
   PublishImbalanceLocked();
 }
 
 ShardCoordinator::~ShardCoordinator() = default;
 
-WorkerShard* ShardCoordinator::LiveShard(const std::string& shard_id) const {
+void ShardCoordinator::ConfigureWorker(WorkerShard* worker) const {
+  worker->set_max_queue_depth(options_.max_queue_depth_per_shard);
+  worker->set_shed_watermarks(options_.shed_high_watermark,
+                              options_.shed_low_watermark);
+}
+
+WorkerShard* ShardCoordinator::FindShard(const std::string& shard_id) const {
+  MutexLock state(state_mu_);
   auto it = shards_by_id_.find(shard_id);
-  if (it == shards_by_id_.end() || it->second->dead()) return nullptr;
-  return it->second;
+  return it == shards_by_id_.end() ? nullptr : it->second;
+}
+
+WorkerShard* ShardCoordinator::LiveShard(const std::string& shard_id) const {
+  WorkerShard* worker = FindShard(shard_id);
+  return (worker == nullptr || worker->dead()) ? nullptr : worker;
 }
 
 resilience::CircuitBreaker* ShardCoordinator::BreakerOf(
     const std::string& shard_id) const {
+  MutexLock state(state_mu_);
   auto it = breakers_.find(shard_id);
   return it == breakers_.end() ? nullptr : it->second.get();
 }
@@ -139,8 +160,8 @@ Status ShardCoordinator::BroadcastLocked(
   Status first_error;
   std::vector<std::string> deployed;
   for (size_t i = 0; i < targets.size(); ++i) {
-    auto it = shards_by_id_.find(targets[i]);
-    if (it == shards_by_id_.end()) continue;
+    WorkerShard* target = FindShard(targets[i]);
+    if (target == nullptr) continue;
     std::unique_ptr<models::BaseModel> model;
     if (i == 0) {
       model = std::move(original);
@@ -155,8 +176,8 @@ Status ShardCoordinator::BroadcastLocked(
       }
       model = std::move(loaded).value();
     }
-    Status status = it->second->Deploy(scenario, std::move(model),
-                                       deploy_options, entry->version);
+    Status status = target->Deploy(scenario, std::move(model),
+                                   deploy_options, entry->version);
     if (status.ok()) {
       deployed.push_back(targets[i]);
     } else if (first_error.ok()) {
@@ -197,11 +218,11 @@ Status ShardCoordinator::Undeploy(const std::string& scenario) {
     PublishImbalanceLocked();
   }
   for (const std::string& id : targets) {
-    auto it = shards_by_id_.find(id);
-    if (it == shards_by_id_.end()) continue;
+    WorkerShard* worker = FindShard(id);
+    if (worker == nullptr) continue;
     // A replica that never finished its deploy reports NotFound; that is
     // the desired end state, not an error.
-    Status status = it->second->Undeploy(scenario);
+    Status status = worker->Undeploy(scenario);
     if (!status.ok() && status.code() != StatusCode::kNotFound) {
       ALT_LOG(Warning) << "undeploy of " << scenario << " on " << id
                        << " failed: " << status.ToString();
@@ -223,34 +244,42 @@ std::vector<std::string> ShardCoordinator::Scenarios() const {
   return out;
 }
 
-std::vector<std::string> ShardCoordinator::RankedReplicas(
+ShardCoordinator::RouteDecision ShardCoordinator::RankedReplicas(
     const std::string& scenario) {
-  std::vector<std::string> candidates;
+  RouteDecision decision;
+  std::vector<std::string>& candidates = decision.candidates;
   {
     MutexLock state(state_mu_);
     auto it = table_.find(scenario);
     if (it != table_.end()) {
       candidates =
           it->second.everywhere ? ring_.Shards() : it->second.replicas;
+      // Hot and everywhere-deployed scenarios (the resilience fallback /
+      // default paths among them) are the last traffic a loaded shard
+      // should drop: they bypass the soft shed watermark.
+      if (it->second.everywhere || it->second.options.hot) {
+        decision.admission = Admission::kCritical;
+      }
     } else if (resilience_enabled_ && !resilience_.default_scenario.empty()) {
       // Unknown scenario under resilience: route by ring hash anyway so the
       // shard engine's default-scenario degradation answers.
       candidates = ring_.RouteReplicas(scenario, options_.replication);
     }
+    if (candidates.size() >= 2) {
+      const uint64_t ticket =
+          pick_counter_.fetch_add(1, std::memory_order_relaxed);
+      const size_t n = candidates.size();
+      size_t a = static_cast<size_t>(Mix64(ticket) % n);
+      size_t b =
+          static_cast<size_t>(Mix64(ticket ^ 0x5851f42d4c957f2dull) % n);
+      if (a == b) b = (b + 1) % n;
+      const WorkerShard* sa = shards_by_id_.at(candidates[a]);
+      const WorkerShard* sb = shards_by_id_.at(candidates[b]);
+      const size_t best = sa->QueueDepth() <= sb->QueueDepth() ? a : b;
+      std::swap(candidates[0], candidates[best]);
+    }
   }
-  if (candidates.size() >= 2) {
-    const uint64_t ticket =
-        pick_counter_.fetch_add(1, std::memory_order_relaxed);
-    const size_t n = candidates.size();
-    size_t a = static_cast<size_t>(Mix64(ticket) % n);
-    size_t b = static_cast<size_t>(Mix64(ticket ^ 0x5851f42d4c957f2dull) % n);
-    if (a == b) b = (b + 1) % n;
-    const WorkerShard* sa = shards_by_id_.at(candidates[a]);
-    const WorkerShard* sb = shards_by_id_.at(candidates[b]);
-    const size_t best = sa->QueueDepth() <= sb->QueueDepth() ? a : b;
-    std::swap(candidates[0], candidates[best]);
-  }
-  return candidates;
+  return decision;
 }
 
 Result<std::vector<float>> ShardCoordinator::Predict(
@@ -267,7 +296,8 @@ Result<std::vector<float>> ShardCoordinator::PredictPreferring(
   // that keeps finding dead shards still reaches the re-routed replicas —
   // the zero-lost-requests contract of the scale bench.
   for (int round = 0; round <= options_.num_shards; ++round) {
-    std::vector<std::string> candidates = RankedReplicas(scenario);
+    RouteDecision decision = RankedReplicas(scenario);
+    std::vector<std::string>& candidates = decision.candidates;
     if (!preferred_shard.empty()) {
       // Shard affinity (BatchPredictor locality): only honored while the
       // preferred shard is still in the replica group — after a rebalance
@@ -279,7 +309,8 @@ Result<std::vector<float>> ShardCoordinator::PredictPreferring(
     if (candidates.empty()) break;
     bool rebalanced = false;
     for (const std::string& id : candidates) {
-      WorkerShard* worker = shards_by_id_.at(id);
+      WorkerShard* worker = FindShard(id);
+      if (worker == nullptr) continue;
       if (worker->dead()) {
         HandleShardDeath(id);
         rebalanced = true;
@@ -292,9 +323,10 @@ Result<std::vector<float>> ShardCoordinator::PredictPreferring(
         continue;
       }
       Result<std::vector<float>> result =
-          worker->SubmitPredict(scenario, batch).get();
+          worker->SubmitPredict(scenario, batch, decision.admission).get();
       if (result.ok()) {
         if (breaker != nullptr) breaker->RecordSuccess();
+        admission_accepted_->Add(1);
         return result;
       }
       const Status status = result.status();
@@ -302,6 +334,13 @@ Result<std::vector<float>> ShardCoordinator::PredictPreferring(
         // Deploy-state error, identical on every replica — not a shard
         // health signal, and failing over would only repeat it.
         return result;
+      }
+      if (status.code() == StatusCode::kResourceExhausted) {
+        // Admission shed: the shard is alive but over capacity. Another
+        // replica may still have headroom, so keep trying the group — but
+        // this is load, not failure: no breaker damage, no rebalance.
+        last = status;
+        continue;
       }
       if (breaker != nullptr) breaker->RecordFailure();
       failovers_->Add(1);
@@ -317,32 +356,59 @@ Result<std::vector<float>> ShardCoordinator::PredictPreferring(
     // next round re-routes against the shrunken ring.
     if (!rebalanced) break;
   }
-  if (last.code() != StatusCode::kNotFound) no_replica_available_->Add(1);
+  if (last.code() == StatusCode::kResourceExhausted) {
+    // Every live replica shed the request: reject it loudly (the caller
+    // sees kResourceExhausted, never a silent drop) and count it.
+    admission_shed_->Add(1);
+  } else if (last.code() != StatusCode::kNotFound) {
+    no_replica_available_->Add(1);
+  }
   return last;
 }
 
 void ShardCoordinator::EnableResilience(
     const ServingResilienceOptions& options, resilience::Clock* clock) {
   MutexLock control(control_mu_);
-  for (auto& worker : shards_) {
+  std::vector<WorkerShard*> workers;
+  {
+    MutexLock state(state_mu_);
+    workers.reserve(shards_.size());
+    for (auto& worker : shards_) workers.push_back(worker.get());
+  }
+  for (WorkerShard* worker : workers) {
     worker->engine()->ConfigureResilience(options, clock);
   }
   MutexLock state(state_mu_);
   resilience_ = options;
   resilience_enabled_ = true;
+  resilience_clock_ = clock;
 }
 
 Status ShardCoordinator::KillShard(const std::string& shard_id) {
-  auto it = shards_by_id_.find(shard_id);
-  if (it == shards_by_id_.end()) {
+  WorkerShard* worker = FindShard(shard_id);
+  if (worker == nullptr) {
     return Status::NotFound("unknown shard " + shard_id);
   }
-  it->second->Kill();
+  worker->Kill();
+  return Status::OK();
+}
+
+Status ShardCoordinator::EvictShard(const std::string& shard_id) {
+  if (FindShard(shard_id) == nullptr) {
+    return Status::NotFound("unknown shard " + shard_id);
+  }
+  // HandleShardDeath kills the worker and is idempotent, so a supervisor
+  // eviction and a data-plane-triggered rebalance can race harmlessly.
+  HandleShardDeath(shard_id);
   return Status::OK();
 }
 
 void ShardCoordinator::HandleShardDeath(const std::string& shard_id) {
   MutexLock control(control_mu_);
+  HandleShardDeathLocked(shard_id);
+}
+
+void ShardCoordinator::HandleShardDeathLocked(const std::string& shard_id) {
   struct Affected {
     std::string scenario;
     ScenarioEntry snapshot;
@@ -377,11 +443,12 @@ void ShardCoordinator::HandleShardDeath(const std::string& shard_id) {
     }
   }
   rebalance_events_->Add(1);
-  // The shard is leaving the ring for good (the plane has no re-join), so
-  // park its worker even when the trigger was an open breaker rather than
-  // an explicit Kill: queued requests drain with Unavailable and fail over.
-  auto worker_it = shards_by_id_.find(shard_id);
-  if (worker_it != shards_by_id_.end()) worker_it->second->Kill();
+  // The shard is leaving the ring (until a supervisor-driven RejoinShard
+  // re-admits it), so park its worker even when the trigger was an open
+  // breaker rather than an explicit Kill: queued requests drain with
+  // Unavailable and fail over.
+  WorkerShard* victim = FindShard(shard_id);
+  if (victim != nullptr) victim->Kill();
   // Re-deploys run outside state_mu_ so routing stays readable; control_mu_
   // keeps the table stable meanwhile.
   for (Affected& item : affected) {
@@ -416,7 +483,167 @@ void ShardCoordinator::HandleShardDeath(const std::string& shard_id) {
   PublishImbalanceLocked();
 }
 
+Status ShardCoordinator::RejoinShard(const std::string& shard_id) {
+  MutexLock control(control_mu_);
+  WorkerShard* worker = FindShard(shard_id);
+  if (worker == nullptr) {
+    return Status::NotFound("unknown shard " + shard_id);
+  }
+  if (!worker->dead()) {
+    return Status::FailedPrecondition("shard " + shard_id +
+                                      " is live; nothing to rejoin");
+  }
+  {
+    // A killed shard whose death no traffic ever observed may still be on
+    // the ring; evict it first so the admission below starts from a clean
+    // slate (and its scenarios have live replicas to fail over to).
+    bool on_ring;
+    {
+      MutexLock state(state_mu_);
+      on_ring = ring_.HasShard(shard_id);
+    }
+    if (on_ring) HandleShardDeathLocked(shard_id);
+  }
+  ALT_RETURN_IF_ERROR(worker->Revive());
+  ConfigureWorker(worker);
+  return AdmitShardLocked(worker);
+}
+
+Status ShardCoordinator::AddShard(const std::string& shard_id) {
+  MutexLock control(control_mu_);
+  if (FindShard(shard_id) != nullptr) {
+    return Status::AlreadyExists("shard " + shard_id + " already exists");
+  }
+  auto owned = std::make_unique<WorkerShard>(shard_id, registry_);
+  WorkerShard* worker = owned.get();
+  ConfigureWorker(worker);
+  bool configure_resilience = false;
+  ServingResilienceOptions resilience;
+  resilience::Clock* resilience_clock = nullptr;
+  {
+    MutexLock state(state_mu_);
+    shards_by_id_[shard_id] = worker;
+    shards_.push_back(std::move(owned));
+    breakers_[shard_id] = std::make_unique<resilience::CircuitBreaker>(
+        "shard:" + shard_id, options_.shard_breaker, /*clock=*/nullptr,
+        registry_);
+    configure_resilience = resilience_enabled_;
+    resilience = resilience_;
+    resilience_clock = resilience_clock_;
+  }
+  if (configure_resilience) {
+    worker->engine()->ConfigureResilience(resilience, resilience_clock);
+  }
+  return AdmitShardLocked(worker);
+}
+
+Status ShardCoordinator::AdmitShardLocked(WorkerShard* worker) {
+  const std::string& id = worker->id();
+  resilience::CircuitBreaker* breaker = BreakerOf(id);
+  // The shard must not inherit the failure streak that evicted it.
+  if (breaker != nullptr) breaker->Reset();
+  // Final assignment: every scenario the fully-admitted ring will place on
+  // this shard (plus all everywhere deployments). Computed on a ring COPY —
+  // the live ring is untouched until the models are in place.
+  struct Assigned {
+    std::string scenario;
+    std::string bundle;
+    DeployOptions options;
+    uint64_t version = 0;
+  };
+  std::vector<Assigned> assigned;
+  {
+    MutexLock state(state_mu_);
+    HashRing future_ring = ring_;
+    future_ring.AddShard(id);  // alt_lint: allow(L008): void HashRing::AddShard
+    for (const auto& [scenario, entry] : table_) {
+      bool wanted = entry.everywhere;
+      if (!wanted) {
+        const int want = entry.options.hot ? options_.hot_replication
+                                           : options_.replication;
+        wanted = Contains(future_ring.RouteReplicas(scenario, want), id);
+      }
+      if (!wanted) continue;
+      Assigned item;
+      item.scenario = scenario;
+      item.bundle = entry.bundle;
+      item.options = entry.options;
+      item.version = entry.version;
+      assigned.push_back(std::move(item));
+    }
+  }
+  // Warm pre-deploy from the cached bundles at current versions, BEFORE any
+  // ring mutation: a key never routes to this shard until the model it
+  // needs is already swapped in. Any failure aborts the admission with the
+  // ring unchanged (models already deployed are harmless — unrouted).
+  for (const Assigned& item : assigned) {
+    std::istringstream in(item.bundle);
+    Result<std::unique_ptr<models::BaseModel>> loaded = LoadModelBundle(&in);
+    if (!loaded.ok()) return loaded.status();
+    ALT_RETURN_IF_ERROR(worker->Deploy(item.scenario,
+                                       std::move(loaded).value(),
+                                       item.options, item.version));
+  }
+  // Staged vnode admission: vnode indices are stable, so ownership grows
+  // monotonically stage over stage and each stage moves only the keys
+  // adjacent to its new points. Per stage, every replica group is
+  // recomputed from the ring; membership can only change by this shard
+  // entering a group (possibly displacing its last member), and this shard
+  // already holds every model its final groups need — so the table never
+  // names a replica without the model.
+  const int stages = options_.rejoin_stages;
+  const int full = options_.vnodes_per_shard;
+  for (int stage = 1; stage <= stages; ++stage) {
+    const int target = stage == stages ? full : full * stage / stages;
+    {
+      MutexLock state(state_mu_);
+      ring_.AddShardVnodes(id, target);
+      for (auto& [scenario, entry] : table_) {
+        if (entry.everywhere) continue;
+        const int want = entry.options.hot ? options_.hot_replication
+                                           : options_.replication;
+        entry.replicas = ring_.RouteReplicas(scenario, want);
+      }
+      PublishImbalanceLocked();
+    }
+    // Drain pause between stages: in-flight traffic settles onto the new
+    // routing before the next batch of keys moves.
+    if (stage < stages && options_.rejoin_stage_pause_ms > 0.0) {
+      clock_->SleepMs(options_.rejoin_stage_pause_ms);
+    }
+  }
+  rejoins_->Add(1);
+  return Status::OK();
+}
+
+std::vector<std::string> ShardCoordinator::UnservableScenarios() const {
+  std::vector<std::string> out;
+  MutexLock state(state_mu_);
+  for (const auto& [scenario, entry] : table_) {
+    bool live = false;
+    if (entry.everywhere) {
+      for (const auto& [id, worker] : shards_by_id_) {
+        if (ring_.HasShard(id) && !worker->dead()) {
+          live = true;
+          break;
+        }
+      }
+    } else {
+      for (const std::string& id : entry.replicas) {
+        auto it = shards_by_id_.find(id);
+        if (it != shards_by_id_.end() && !it->second->dead()) {
+          live = true;
+          break;
+        }
+      }
+    }
+    if (!live) out.push_back(scenario);
+  }
+  return out;
+}
+
 std::vector<std::string> ShardCoordinator::ShardIds() const {
+  MutexLock state(state_mu_);
   std::vector<std::string> out;
   out.reserve(shards_by_id_.size());
   for (const auto& [id, worker] : shards_by_id_) out.push_back(id);
@@ -424,6 +651,7 @@ std::vector<std::string> ShardCoordinator::ShardIds() const {
 }
 
 int ShardCoordinator::NumLiveShards() const {
+  MutexLock state(state_mu_);
   int live = 0;
   for (const auto& worker : shards_) {
     if (!worker->dead()) ++live;
@@ -432,13 +660,11 @@ int ShardCoordinator::NumLiveShards() const {
 }
 
 const WorkerShard* ShardCoordinator::shard(const std::string& shard_id) const {
-  auto it = shards_by_id_.find(shard_id);
-  return it == shards_by_id_.end() ? nullptr : it->second;
+  return FindShard(shard_id);
 }
 
 WorkerShard* ShardCoordinator::shard(const std::string& shard_id) {
-  auto it = shards_by_id_.find(shard_id);
-  return it == shards_by_id_.end() ? nullptr : it->second;
+  return FindShard(shard_id);
 }
 
 std::vector<std::string> ShardCoordinator::ReplicasOf(
@@ -457,11 +683,21 @@ uint64_t ShardCoordinator::VersionOf(const std::string& scenario) const {
 
 std::map<std::string, resilience::BreakerState>
 ShardCoordinator::BreakerStates() const {
+  std::map<std::string, resilience::CircuitBreaker*> breakers;
+  std::vector<WorkerShard*> workers;
+  {
+    MutexLock state(state_mu_);
+    for (const auto& [id, breaker] : breakers_) {
+      breakers[id] = breaker.get();
+    }
+    workers.reserve(shards_.size());
+    for (const auto& worker : shards_) workers.push_back(worker.get());
+  }
   std::map<std::string, resilience::BreakerState> out;
-  for (const auto& [id, breaker] : breakers_) {
+  for (const auto& [id, breaker] : breakers) {
     out["shard:" + id] = breaker->state();
   }
-  for (const auto& worker : shards_) {
+  for (WorkerShard* worker : workers) {
     for (const auto& [scenario, state] : worker->engine()->BreakerStates()) {
       auto it = out.find(scenario);
       // Worst state wins across shards (kOpen > kHalfOpen > kClosed).

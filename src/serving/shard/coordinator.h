@@ -49,6 +49,23 @@ struct CoordinatorOptions {
   resilience::CircuitBreakerOptions shard_breaker = DefaultShardBreaker();
   /// SubmitPredict backpressure per shard; 0 = unbounded.
   int64_t max_queue_depth_per_shard = 0;
+  /// Soft load-shedding watermarks per shard, with hysteresis: once a
+  /// shard's queue reaches `shed_high_watermark`, non-critical submissions
+  /// are rejected with kResourceExhausted until the queue drains to
+  /// `shed_low_watermark`. Hot / everywhere-deployed scenarios bypass the
+  /// soft watermark (only the hard cap applies), so cold traffic sheds
+  /// first. `shed_high_watermark <= 0` disables soft shedding.
+  int64_t shed_high_watermark = 0;
+  int64_t shed_low_watermark = 0;
+  /// Staged re-join: a re-admitted shard's virtual nodes enter the ring in
+  /// this many equal batches, so each stage moves at most ~(2/N)/stages of
+  /// the key space and in-flight traffic keeps failing over normally.
+  int rejoin_stages = 4;
+  /// Clock-paced pause between re-join stages (0 = back-to-back). Uses the
+  /// injected `clock`, so FakeClock tests replay exact drain schedules.
+  double rejoin_stage_pause_ms = 0.0;
+  /// Time source for re-join pacing; nullptr selects the real clock.
+  resilience::Clock* clock = nullptr;
 };
 
 /// Control plane of the sharded serving plane. Owns N WorkerShards, the
@@ -78,8 +95,13 @@ struct CoordinatorOptions {
 ///
 /// Obs (shared registry):
 ///   serving/rebalance_events                    counter
+///   serving/coordinator/rejoins                 counter: warm re-admissions
 ///   serving/coordinator/failovers               counter: replica fail-overs
 ///   serving/coordinator/no_replica_available    counter: exhausted groups
+///   serving/admission/shed                      counter: requests rejected
+///                                               with kResourceExhausted
+///   serving/admission/accepted                  counter: requests served
+///                                               after admission
 ///   serving/coordinator/routing_imbalance       gauge: max/mean owner share
 ///   serving/coordinator/broadcast_ms            histogram: deploy fan-out
 ///   (plus per-shard queue depth / request counters from WorkerShard and
@@ -136,6 +158,33 @@ class ShardCoordinator {
   /// next predicts against the dead shard, exactly as a real crash would.
   Status KillShard(const std::string& shard_id);
 
+  /// Proactively evicts a shard from the ring (kill + rebalance) without
+  /// waiting for data-plane traffic to trip its breaker — the
+  /// ShardSupervisor's teardown path once probes declare a shard dead.
+  /// Idempotent; NotFound for unknown ids.
+  Status EvictShard(const std::string& shard_id);
+
+  /// Warm re-join of a previously killed/evicted shard: revives the worker
+  /// (clearing stale serving state), resets its health breaker, re-deploys
+  /// every scenario the fully-admitted ring will assign to it from the
+  /// cached bundles at current versions, and only then re-adds its virtual
+  /// nodes in `rejoin_stages` staged batches — routing shifts at most ~2/N
+  /// of the key space across the whole re-join, replica tables are
+  /// recomputed per stage, and no key ever routes to a shard that does not
+  /// already hold its model. NotFound for unknown ids; FailedPrecondition
+  /// when the shard is still live.
+  Status RejoinShard(const std::string& shard_id);
+
+  /// Elastic scale-up: creates a brand-new WorkerShard (with the plane's
+  /// queue/admission configuration and resilience policy) and admits it
+  /// through the same warm staged protocol as RejoinShard. AlreadyExists
+  /// when the id is taken.
+  Status AddShard(const std::string& shard_id);
+
+  /// Deployed scenarios with no live replica left — requests to these fail
+  /// until a re-join or re-deploy; the telemetry /healthz 503 signal.
+  std::vector<std::string> UnservableScenarios() const;
+
   std::vector<std::string> ShardIds() const;
   int NumLiveShards() const;
   const WorkerShard* shard(const std::string& shard_id) const;
@@ -175,18 +224,43 @@ class ShardCoordinator {
     std::vector<std::string> replicas;
   };
 
-  WorkerShard* LiveShard(const std::string& shard_id) const;
-  resilience::CircuitBreaker* BreakerOf(const std::string& shard_id) const;
+  /// Routing decision for one scenario: the candidate replica ids in
+  /// failover order plus the admission class its traffic submits with.
+  struct RouteDecision {
+    std::vector<std::string> candidates;
+    Admission admission = Admission::kNormal;
+  };
+
+  WorkerShard* LiveShard(const std::string& shard_id) const
+      ALT_EXCLUDES(state_mu_);
+  /// The worker registered under `shard_id` (dead or alive); nullptr when
+  /// unknown. Takes state_mu_ briefly: the shard maps grow at runtime via
+  /// AddShard.
+  WorkerShard* FindShard(const std::string& shard_id) const
+      ALT_EXCLUDES(state_mu_);
+  resilience::CircuitBreaker* BreakerOf(const std::string& shard_id) const
+      ALT_EXCLUDES(state_mu_);
   /// The scenario's candidate replica ids in failover order: the
   /// least-loaded of two sampled candidates first (power-of-two-choices on
   /// queue depth). Dead shards stay in the list so the predict loop can
-  /// detect them and trigger the rebalance.
-  std::vector<std::string> RankedReplicas(const std::string& scenario)
+  /// detect them and trigger the rebalance. Hot / everywhere scenarios are
+  /// marked kCritical so shards shed them last.
+  RouteDecision RankedReplicas(const std::string& scenario)
       ALT_EXCLUDES(state_mu_);
   /// Removes a failed shard from the ring and re-deploys its scenarios onto
   /// their new owners. Idempotent; serialized by control_mu_.
   void HandleShardDeath(const std::string& shard_id)
       ALT_EXCLUDES(control_mu_, state_mu_);
+  void HandleShardDeathLocked(const std::string& shard_id)
+      ALT_REQUIRES(control_mu_) ALT_EXCLUDES(state_mu_);
+  /// The shared warm-admission protocol of RejoinShard/AddShard: breaker
+  /// reset, pre-deploy of the final assignment from cached bundles, then
+  /// staged vnode admission with per-stage replica-table recompute.
+  Status AdmitShardLocked(WorkerShard* worker)
+      ALT_REQUIRES(control_mu_) ALT_EXCLUDES(state_mu_);
+  /// Applies the plane's per-shard configuration (queue cap, shed
+  /// watermarks) to a worker.
+  void ConfigureWorker(WorkerShard* worker) const;
   /// Deploys `original` (owner) + bundle clones (other targets) and commits
   /// the entry into the table on success. `deploy_options` is the caller's
   /// options (still carrying the calibration pointer); `entry->options` is
@@ -201,27 +275,34 @@ class ShardCoordinator {
 
   CoordinatorOptions options_;
   obs::MetricsRegistry* registry_;
-
-  /// Shards are constructed once and never destroyed before the
-  /// coordinator: a dead shard stays allocated (parked) so in-flight
-  /// submits resolve safely. Unguarded after the constructor.
-  std::vector<std::unique_ptr<WorkerShard>> shards_;
-  std::map<std::string, WorkerShard*> shards_by_id_;
-  /// Shard-health breakers, one per shard, created in the constructor.
-  std::map<std::string, std::unique_ptr<resilience::CircuitBreaker>> breakers_;
+  resilience::Clock* clock_;
 
   mutable Mutex control_mu_;
   mutable Mutex state_mu_;
+  /// Shards are never destroyed before the coordinator — a dead shard stays
+  /// allocated (parked) so in-flight submits resolve safely, and a re-join
+  /// revives it in place. The containers themselves grow at runtime
+  /// (AddShard), so the maps are guarded; the pointed-to objects are stable
+  /// and safe to use outside the lock.
+  std::vector<std::unique_ptr<WorkerShard>> shards_ ALT_GUARDED_BY(state_mu_);
+  std::map<std::string, WorkerShard*> shards_by_id_ ALT_GUARDED_BY(state_mu_);
+  /// Shard-health breakers, one per shard.
+  std::map<std::string, std::unique_ptr<resilience::CircuitBreaker>> breakers_
+      ALT_GUARDED_BY(state_mu_);
   HashRing ring_ ALT_GUARDED_BY(state_mu_);
   std::map<std::string, ScenarioEntry> table_ ALT_GUARDED_BY(state_mu_);
   bool resilience_enabled_ ALT_GUARDED_BY(state_mu_) = false;
   ServingResilienceOptions resilience_ ALT_GUARDED_BY(state_mu_);
+  resilience::Clock* resilience_clock_ ALT_GUARDED_BY(state_mu_) = nullptr;
 
   std::atomic<uint64_t> pick_counter_{0};
 
   obs::Counter* rebalance_events_ = nullptr;       // Owned by the registry.
+  obs::Counter* rejoins_ = nullptr;                // Owned by the registry.
   obs::Counter* failovers_ = nullptr;              // Owned by the registry.
   obs::Counter* no_replica_available_ = nullptr;   // Owned by the registry.
+  obs::Counter* admission_shed_ = nullptr;         // Owned by the registry.
+  obs::Counter* admission_accepted_ = nullptr;     // Owned by the registry.
   obs::Gauge* routing_imbalance_ = nullptr;        // Owned by the registry.
   obs::Histogram* broadcast_ms_ = nullptr;         // Owned by the registry.
 };

@@ -34,7 +34,15 @@ uint64_t HashRing::KeyHash(const std::string& key) {
 
 void HashRing::AddShard(const std::string& shard_id) {
   if (shards_.count(shard_id) > 0) return;
-  for (int v = 0; v < vnodes_per_shard_; ++v) {
+  AddShardVnodes(shard_id, vnodes_per_shard_);
+}
+
+void HashRing::AddShardVnodes(const std::string& shard_id, int vnodes) {
+  vnodes = std::min(vnodes, vnodes_per_shard_);
+  auto current = shards_.find(shard_id);
+  const int from = current == shards_.end() ? 0 : current->second;
+  if (vnodes <= from) return;
+  for (int v = from; v < vnodes; ++v) {
     const uint64_t point =
         KeyHash(shard_id + "#vnode#" + std::to_string(v));
     // A hash collision between vnodes of different shards is resolved by
@@ -46,7 +54,7 @@ void HashRing::AddShard(const std::string& shard_id) {
       it->second = shard_id;
     }
   }
-  shards_[shard_id] = vnodes_per_shard_;
+  shards_[shard_id] = vnodes;
 }
 
 void HashRing::RemoveShard(const std::string& shard_id) {
@@ -54,6 +62,11 @@ void HashRing::RemoveShard(const std::string& shard_id) {
   for (auto it = ring_.begin(); it != ring_.end();) {
     it = it->second == shard_id ? ring_.erase(it) : std::next(it);
   }
+}
+
+int HashRing::VnodesOf(const std::string& shard_id) const {
+  auto it = shards_.find(shard_id);
+  return it == shards_.end() ? 0 : it->second;
 }
 
 bool HashRing::HasShard(const std::string& shard_id) const {

@@ -13,6 +13,7 @@ WorkerShard::WorkerShard(std::string id, obs::MetricsRegistry* registry)
       engine_(registry_),
       queue_depth_gauge_(
           registry_->gauge("serving/shard/queue_depth/" + id_)),
+      pressure_gauge_(registry_->gauge("serving/shard/pressure/" + id_)),
       requests_total_(registry_->counter("serving/shard/requests/" + id_)),
       worker_([this] { WorkerLoop(); }) {}
 
@@ -71,8 +72,27 @@ uint64_t WorkerShard::DeployedVersion(const std::string& scenario) const {
   return it == versions_.end() ? 0 : it->second;
 }
 
+bool WorkerShard::UpdateShedState(int64_t depth) {
+  if (shed_high_watermark_ <= 0) {
+    pressure_gauge_->Set(0.0);
+    return false;
+  }
+  pressure_gauge_->Set(static_cast<double>(depth) /
+                       static_cast<double>(shed_high_watermark_));
+  bool shedding = shedding_.load(std::memory_order_relaxed);
+  if (!shedding && depth >= shed_high_watermark_) {
+    shedding = true;
+    shedding_.store(true, std::memory_order_relaxed);
+  } else if (shedding && depth <= shed_low_watermark_) {
+    shedding = false;
+    shedding_.store(false, std::memory_order_relaxed);
+  }
+  return shedding;
+}
+
 std::future<Result<std::vector<float>>> WorkerShard::SubmitPredict(
-    const std::string& scenario, const data::Batch& batch) {
+    const std::string& scenario, const data::Batch& batch,
+    Admission admission) {
   Task task;
   task.scenario = scenario;
   task.batch = &batch;
@@ -81,10 +101,19 @@ std::future<Result<std::vector<float>>> WorkerShard::SubmitPredict(
     task.promise.set_value(Status::Unavailable("shard " + id_ + " is dead"));
     return future;
   }
-  if (max_queue_depth_ > 0 &&
-      queue_depth_.load(std::memory_order_relaxed) >= max_queue_depth_) {
-    task.promise.set_value(
-        Status::Unavailable("shard " + id_ + " queue full"));
+  const int64_t depth = queue_depth_.load(std::memory_order_relaxed);
+  if (max_queue_depth_ > 0 && depth >= max_queue_depth_) {
+    task.promise.set_value(Status::ResourceExhausted(
+        "shard " + id_ + " queue full (depth " + std::to_string(depth) +
+        " >= cap " + std::to_string(max_queue_depth_) + ")"));
+    return future;
+  }
+  // Soft shed: evaluate the hysteresis state machine on every submit so
+  // recovery is observed, but only kNormal traffic is actually rejected.
+  if (UpdateShedState(depth) && admission != Admission::kCritical) {
+    task.promise.set_value(Status::ResourceExhausted(
+        "shard " + id_ + " shedding load (depth " + std::to_string(depth) +
+        " >= high watermark " + std::to_string(shed_high_watermark_) + ")"));
     return future;
   }
   {
@@ -112,9 +141,38 @@ void WorkerShard::Kill() {
   cv_.NotifyAll();
   for (Task& task : orphaned) {
     task.promise.set_value(Status::Unavailable("shard " + id_ + " is dead"));
-    queue_depth_gauge_->Set(
-        static_cast<double>(queue_depth_.fetch_sub(1) - 1));
+    const int64_t depth = queue_depth_.fetch_sub(1) - 1;
+    queue_depth_gauge_->Set(static_cast<double>(depth));
+    UpdateShedState(depth);
   }
+}
+
+Status WorkerShard::Revive() {
+  if (!dead()) {
+    return Status::FailedPrecondition("shard " + id_ + " is not dead");
+  }
+  // Drop all stale serving state: the coordinator re-deploys every assigned
+  // scenario from its cached bundles at current versions, and anything the
+  // engine held from before the failure could conflict with scenarios
+  // re-created at restarted versions while this shard was out.
+  for (const std::string& scenario : engine_.Scenarios()) {
+    ALT_RETURN_IF_ERROR(engine_.Undeploy(scenario));
+  }
+  {
+    MutexLock lock(versions_mu_);
+    versions_.clear();
+  }
+  shedding_.store(false, std::memory_order_relaxed);
+  dead_.store(false, std::memory_order_release);
+  return Status::OK();
+}
+
+void WorkerShard::PauseDispatchForTesting(bool paused) {
+  {
+    MutexLock lock(mu_);
+    paused_ = paused;
+  }
+  cv_.NotifyAll();
 }
 
 void WorkerShard::WorkerLoop() {
@@ -122,7 +180,7 @@ void WorkerShard::WorkerLoop() {
     Task task;
     {
       MutexLock lock(mu_);
-      while (queue_.empty() && !stopping_) cv_.Wait(mu_);
+      while ((queue_.empty() || paused_) && !stopping_) cv_.Wait(mu_);
       if (queue_.empty()) return;  // stopping_ with a drained queue.
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -135,8 +193,9 @@ void WorkerShard::WorkerLoop() {
       requests_total_->Add(1);
       requests_served_.fetch_add(1, std::memory_order_relaxed);
     }
-    queue_depth_gauge_->Set(
-        static_cast<double>(queue_depth_.fetch_sub(1) - 1));
+    const int64_t depth = queue_depth_.fetch_sub(1) - 1;
+    queue_depth_gauge_->Set(static_cast<double>(depth));
+    UpdateShedState(depth);
   }
 }
 

@@ -23,6 +23,12 @@ namespace alt {
 namespace serving {
 namespace shard {
 
+/// Admission class of one SubmitPredict. The coordinator maps scenario
+/// placement to priority: hot / everywhere-deployed scenarios submit as
+/// kCritical and bypass the soft shed watermark (the hard queue cap still
+/// applies); everything else is kNormal and sheds first under pressure.
+enum class Admission { kNormal = 0, kCritical = 1 };
+
 /// One worker of the sharded serving plane: a ModelServer engine owned by a
 /// dedicated serving thread. The coordinator talks to a shard through two
 /// planes:
@@ -35,11 +41,24 @@ namespace shard {
 ///
 /// Kill() simulates shard failure for chaos tests and the scale bench: the
 /// queue drains with Status::Unavailable (callers fail over to replicas —
-/// no request is silently lost) and every later submit fails fast.
+/// no request is silently lost) and every later submit fails fast. Revive()
+/// undoes a Kill for warm re-join: the worker thread (which parks rather
+/// than exit on Kill) resumes, with all serving state cleared so the
+/// coordinator can re-deploy current versions from its cached bundles.
+///
+/// Admission control: beyond the hard `max_queue_depth` cap, the shard
+/// sheds load between a high/low watermark pair with hysteresis — once the
+/// queue reaches the high watermark, kNormal submissions are rejected with
+/// Status::ResourceExhausted (never enqueued, never silently dropped) until
+/// the queue drains to the low watermark. kCritical submissions (hot or
+/// everywhere-deployed scenarios, decided by the coordinator) bypass the
+/// soft watermark and are only bounded by the hard cap, so cold traffic is
+/// shed before head traffic.
 ///
 /// Obs (shared registry, instance-labelled by shard id):
 ///   serving/shard/queue_depth/<id>   gauge: requests queued + in flight
 ///   serving/shard/requests/<id>      counter: requests served by the engine
+///   serving/shard/pressure/<id>      gauge: queue depth / high watermark
 class WorkerShard {
  public:
   /// `registry == nullptr` selects the process-global registry. All shards
@@ -67,16 +86,41 @@ class WorkerShard {
   uint64_t DeployedVersion(const std::string& scenario) const;
 
   /// Enqueues a predict for the worker thread. `batch` must stay alive until
-  /// the future resolves (the coordinator blocks on it). A dead shard — or a
-  /// full queue, when `max_queue_depth` > 0 — resolves immediately with
-  /// Status::Unavailable.
+  /// the future resolves (the coordinator blocks on it). A dead shard
+  /// resolves immediately with Status::Unavailable; an over-watermark queue
+  /// (soft shed, kNormal only) or a full queue (`max_queue_depth` > 0)
+  /// resolves immediately with Status::ResourceExhausted — rejected at
+  /// admission, never enqueued.
   std::future<Result<std::vector<float>>> SubmitPredict(
-      const std::string& scenario, const data::Batch& batch);
+      const std::string& scenario, const data::Batch& batch,
+      Admission admission = Admission::kNormal);
 
   /// Marks the shard dead: pending queue entries resolve with Unavailable,
   /// later submits fail fast, the worker thread parks. Idempotent.
   void Kill();
   bool dead() const { return dead_.load(std::memory_order_acquire); }
+
+  /// Undoes Kill() for warm re-join: clears every deployment and version
+  /// (the coordinator re-deploys current versions from its cached bundles)
+  /// and re-opens admission. FailedPrecondition unless the shard is dead.
+  Status Revive();
+
+  /// Soft shed watermarks with hysteresis: shedding starts when the queue
+  /// reaches `high` and stops once it drains to `low`. `high` <= 0 disables
+  /// soft shedding. Control-plane only (set before traffic, or from the
+  /// coordinator's control plane); not synchronized with in-flight submits.
+  void set_shed_watermarks(int64_t high, int64_t low) {
+    shed_high_watermark_ = high;
+    shed_low_watermark_ = low;
+  }
+
+  /// True while the shard is between watermarks shedding kNormal load.
+  bool shedding() const { return shedding_.load(std::memory_order_relaxed); }
+
+  /// Test hook: while paused the worker thread stops dequeuing, so tests
+  /// can build exact queue depths; admission behaves as in production.
+  /// Kill() and destruction still drain normally.
+  void PauseDispatchForTesting(bool paused);
 
   /// Requests queued or in flight — the load signal the coordinator's
   /// power-of-two-choices balancer compares.
@@ -105,21 +149,31 @@ class WorkerShard {
 
   void WorkerLoop();
 
+  /// Advances the hysteresis state machine for a queue at `depth` and
+  /// returns whether kNormal admissions are currently shed. Also refreshes
+  /// the pressure gauge. Lock-free; racing updates settle on the next call.
+  bool UpdateShedState(int64_t depth);
+
   const std::string id_;
   obs::MetricsRegistry* registry_;
   ModelServer engine_;
 
   std::atomic<bool> dead_{false};
+  std::atomic<bool> shedding_{false};
   std::atomic<int64_t> queue_depth_{0};
   std::atomic<int64_t> requests_served_{0};
   int64_t max_queue_depth_ = 0;
+  int64_t shed_high_watermark_ = 0;
+  int64_t shed_low_watermark_ = 0;
   obs::Gauge* queue_depth_gauge_ = nullptr;  // Owned by the registry.
+  obs::Gauge* pressure_gauge_ = nullptr;     // Owned by the registry.
   obs::Counter* requests_total_ = nullptr;   // Owned by the registry.
 
   mutable Mutex mu_;
   CondVar cv_;
   std::deque<Task> queue_ ALT_GUARDED_BY(mu_);
   bool stopping_ ALT_GUARDED_BY(mu_) = false;
+  bool paused_ ALT_GUARDED_BY(mu_) = false;
 
   mutable Mutex versions_mu_;
   std::map<std::string, uint64_t> versions_ ALT_GUARDED_BY(versions_mu_);

@@ -1,0 +1,194 @@
+#include "src/serving/shard/supervisor.h"
+
+#include <vector>
+
+#include "src/resilience/fault_injection.h"
+#include "src/util/logging.h"
+
+namespace alt {
+namespace serving {
+namespace shard {
+
+const char* ShardHealthName(ShardHealth health) {
+  switch (health) {
+    case ShardHealth::kLive:
+      return "live";
+    case ShardHealth::kSuspect:
+      return "suspect";
+    case ShardHealth::kDead:
+      return "dead";
+    case ShardHealth::kRejoining:
+      return "rejoining";
+  }
+  return "unknown";
+}
+
+ShardSupervisor::ShardSupervisor(ShardCoordinator* coordinator,
+                                 SupervisorOptions options,
+                                 obs::MetricsRegistry* registry)
+    : coordinator_(coordinator),
+      options_(options),
+      registry_(registry != nullptr ? registry : coordinator->registry()),
+      clock_(options.clock != nullptr ? options.clock
+                                      : resilience::RealClock()),
+      probe_failures_(
+          registry_->counter("serving/supervisor/probe_failures")),
+      evictions_(registry_->counter("serving/supervisor/evictions")),
+      rejoins_(registry_->counter("serving/supervisor/rejoins")) {
+  ALT_CHECK(coordinator_ != nullptr);
+  if (options_.dead_after_failures < 1) options_.dead_after_failures = 1;
+}
+
+ShardSupervisor::~ShardSupervisor() { Stop(); }
+
+void ShardSupervisor::Start() {
+  MutexLock lock(mu_);
+  if (running_) return;
+  stop_requested_ = false;
+  running_ = true;
+  prober_ = std::thread([this] { ProbeLoop(); });
+}
+
+void ShardSupervisor::Stop() {
+  {
+    MutexLock lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  prober_.join();
+  MutexLock lock(mu_);
+  running_ = false;
+}
+
+bool ShardSupervisor::running() const {
+  MutexLock lock(mu_);
+  return running_;
+}
+
+void ShardSupervisor::ProbeLoop() {
+  for (;;) {
+    {
+      MutexLock lock(mu_);
+      if (stop_requested_) return;
+    }
+    ProbeOnce();
+    {
+      MutexLock lock(mu_);
+      if (stop_requested_) return;
+    }
+    clock_->SleepMs(options_.probe_interval_ms);
+  }
+}
+
+Status ShardSupervisor::ProbeShard(const std::string& shard_id) {
+  // Chaos hook: arming `serving/shard/probe` makes probes flap without the
+  // shard being unhealthy — the Suspect grace period absorbs exactly this.
+  ALT_FAULT_RETURN_IF("serving/shard/probe");
+  const WorkerShard* worker = coordinator_->shard(shard_id);
+  if (worker == nullptr) {
+    return Status::NotFound("unknown shard " + shard_id);
+  }
+  if (worker->dead()) {
+    return Status::Unavailable("shard " + shard_id + " is dead");
+  }
+  return Status::OK();
+}
+
+void ShardSupervisor::SetHealthLocked(const std::string& shard_id,
+                                      Entry* entry, ShardHealth next) {
+  entry->health = next;
+  registry_->gauge("serving/supervisor/state/" + shard_id)
+      ->Set(static_cast<double>(next));
+}
+
+void ShardSupervisor::ProbeOnce() {
+  // One round at a time: the background thread and explicit ProbeOnce
+  // callers never interleave half-advanced state machines.
+  MutexLock round(probe_mu_);
+  const std::vector<std::string> ids = coordinator_->ShardIds();
+  for (const std::string& id : ids) {
+    ShardHealth health;
+    double dead_since_ms;
+    {
+      MutexLock lock(mu_);
+      Entry& entry = entries_[id];  // New shards start Live.
+      health = entry.health;
+      dead_since_ms = entry.dead_since_ms;
+    }
+    switch (health) {
+      case ShardHealth::kLive:
+      case ShardHealth::kSuspect: {
+        const Status probe = ProbeShard(id);
+        bool evict = false;
+        {
+          MutexLock lock(mu_);
+          Entry& entry = entries_[id];
+          if (probe.ok()) {
+            // A Suspect shard that answers its probe returns to Live with
+            // its slate clean — a flap never tears down a healthy shard.
+            entry.consecutive_failures = 0;
+            SetHealthLocked(id, &entry, ShardHealth::kLive);
+          } else {
+            probe_failures_->Add(1);
+            ++entry.consecutive_failures;
+            if (entry.consecutive_failures >= options_.dead_after_failures) {
+              SetHealthLocked(id, &entry, ShardHealth::kDead);
+              entry.dead_since_ms = clock_->NowMs();
+              evict = true;
+            } else {
+              SetHealthLocked(id, &entry, ShardHealth::kSuspect);
+            }
+          }
+        }
+        if (evict) {
+          evictions_->Add(1);
+          const Status status = coordinator_->EvictShard(id);
+          if (!status.ok()) {
+            ALT_LOG(Warning) << "supervisor eviction of " << id
+                             << " failed: " << status.ToString();
+          }
+        }
+        break;
+      }
+      case ShardHealth::kDead: {
+        if (!options_.auto_rejoin) break;
+        if (clock_->NowMs() - dead_since_ms < options_.rejoin_cooldown_ms) {
+          break;
+        }
+        {
+          MutexLock lock(mu_);
+          SetHealthLocked(id, &entries_[id], ShardHealth::kRejoining);
+        }
+        const Status status = coordinator_->RejoinShard(id);
+        MutexLock lock(mu_);
+        Entry& entry = entries_[id];
+        if (status.ok()) {
+          entry.consecutive_failures = 0;
+          SetHealthLocked(id, &entry, ShardHealth::kLive);
+          rejoins_->Add(1);
+        } else {
+          ALT_LOG(Warning) << "supervisor re-join of " << id
+                           << " failed: " << status.ToString();
+          SetHealthLocked(id, &entry, ShardHealth::kDead);
+          entry.dead_since_ms = clock_->NowMs();  // Fresh cooldown.
+        }
+        break;
+      }
+      case ShardHealth::kRejoining:
+        // Only observable from States() while a re-join is in flight;
+        // rounds are serialized, so nothing to advance here.
+        break;
+    }
+  }
+}
+
+std::map<std::string, ShardHealth> ShardSupervisor::States() const {
+  std::map<std::string, ShardHealth> out;
+  MutexLock lock(mu_);
+  for (const auto& [id, entry] : entries_) out[id] = entry.health;
+  return out;
+}
+
+}  // namespace shard
+}  // namespace serving
+}  // namespace alt

@@ -1,0 +1,141 @@
+#ifndef ALT_SRC_SERVING_SHARD_SUPERVISOR_H_
+#define ALT_SRC_SERVING_SHARD_SUPERVISOR_H_
+
+#include <map>
+#include <string>
+#include <thread>
+
+#include "src/obs/metrics.h"
+#include "src/resilience/clock.h"
+#include "src/serving/shard/coordinator.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace alt {
+namespace serving {
+namespace shard {
+
+/// Health state the supervisor tracks per shard. The lifecycle is
+///
+///   Live -> Suspect -> Dead -> Rejoining -> Live
+///    ^________|                   |
+///        (probe recovers)         '-> Dead (failed re-join; retried)
+///
+/// Live:      probes succeed.
+/// Suspect:   at least one probe failed, fewer than `dead_after_failures`
+///            consecutively — the shard keeps serving; a single flapped
+///            probe never tears down a healthy shard.
+/// Dead:      `dead_after_failures` consecutive probe failures — the shard
+///            is evicted from the ring (kill + rebalance onto replicas).
+/// Rejoining: after `rejoin_cooldown_ms` in Dead, the supervisor attempts a
+///            warm re-join (ShardCoordinator::RejoinShard); success returns
+///            the shard to Live, failure back to Dead for another cooldown.
+enum class ShardHealth { kLive = 0, kSuspect = 1, kDead = 2, kRejoining = 3 };
+
+const char* ShardHealthName(ShardHealth health);
+
+struct SupervisorOptions {
+  /// Probe cadence of the background thread started by Start(). Tests that
+  /// drive ProbeOnce() by hand never sleep.
+  double probe_interval_ms = 100.0;
+  /// Consecutive probe failures before a Suspect shard is declared Dead and
+  /// evicted. 1 would tear down on the first flap; keep it >= 2 wherever a
+  /// probe can fail transiently.
+  int dead_after_failures = 3;
+  /// How long a Dead shard rests before the supervisor attempts its warm
+  /// re-join, measured on the injected clock.
+  double rejoin_cooldown_ms = 1000.0;
+  /// Attempt automatic re-joins at all. Off, Dead shards stay down until
+  /// someone calls ShardCoordinator::RejoinShard explicitly.
+  bool auto_rejoin = true;
+  /// Time source for cooldowns and the probe loop; nullptr = real clock.
+  /// With a FakeClock, tests replay exact probe/cooldown schedules.
+  resilience::Clock* clock = nullptr;
+};
+
+/// Health-probed shard membership: the control loop that turns the sharded
+/// plane from fail-once into self-healing. Every probe round asks each
+/// worker whether it is alive (through the `serving/shard/probe` fault
+/// point, so chaos tests can flap probes deterministically) and advances
+/// the per-shard state machine above, calling ShardCoordinator::EvictShard
+/// on death and ShardCoordinator::RejoinShard after the cooldown.
+///
+/// Driving: Start() spawns a probing thread on `probe_interval_ms` (real
+/// deployments); ProbeOnce() runs a single round synchronously (FakeClock
+/// tests). Both may be mixed — rounds are serialized on an internal mutex.
+///
+/// Obs (shared registry):
+///   serving/supervisor/state/<id>    gauge: 0 live, 1 suspect, 2 dead,
+///                                    3 rejoining
+///   serving/supervisor/probe_failures  counter
+///   serving/supervisor/evictions       counter: Suspect -> Dead teardowns
+///   serving/supervisor/rejoins         counter: successful re-joins
+class ShardSupervisor {
+ public:
+  /// `coordinator` must outlive the supervisor. `registry == nullptr`
+  /// selects the coordinator's registry.
+  explicit ShardSupervisor(ShardCoordinator* coordinator,
+                           SupervisorOptions options = {},
+                           obs::MetricsRegistry* registry = nullptr);
+  ~ShardSupervisor();
+
+  ShardSupervisor(const ShardSupervisor&) = delete;
+  ShardSupervisor& operator=(const ShardSupervisor&) = delete;
+
+  /// Starts the background probe thread (idempotent).
+  void Start();
+  /// Stops the background probe thread (idempotent; the destructor calls
+  /// it). In-flight probe rounds finish first.
+  void Stop();
+  bool running() const;
+
+  /// Runs one synchronous probe round over every shard the coordinator
+  /// knows. The unit tests' entry point: with a FakeClock injected, the
+  /// exact eviction/re-join schedule is a pure function of the probe calls.
+  void ProbeOnce();
+
+  /// Current health of every supervised shard. Shards discovered this call
+  /// (e.g. after ShardCoordinator::AddShard) report kLive.
+  std::map<std::string, ShardHealth> States() const;
+
+  const SupervisorOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    ShardHealth health = ShardHealth::kLive;
+    int consecutive_failures = 0;
+    /// Clock time the shard entered Dead; re-join waits out the cooldown.
+    double dead_since_ms = 0.0;
+  };
+
+  /// One shard's probe: OK when its worker is registered and not dead.
+  /// Routed through the `serving/shard/probe` fault point.
+  Status ProbeShard(const std::string& shard_id);
+  void SetHealthLocked(const std::string& shard_id, Entry* entry,
+                       ShardHealth next) ALT_REQUIRES(mu_);
+  void ProbeLoop();
+
+  ShardCoordinator* coordinator_;
+  SupervisorOptions options_;
+  obs::MetricsRegistry* registry_;
+  resilience::Clock* clock_;
+
+  obs::Counter* probe_failures_ = nullptr;  // Owned by the registry.
+  obs::Counter* evictions_ = nullptr;       // Owned by the registry.
+  obs::Counter* rejoins_ = nullptr;         // Owned by the registry.
+
+  /// Serializes probe rounds (background thread vs ProbeOnce callers).
+  mutable Mutex probe_mu_;
+  mutable Mutex mu_;
+  std::map<std::string, Entry> entries_ ALT_GUARDED_BY(mu_);
+  bool stop_requested_ ALT_GUARDED_BY(mu_) = false;
+  bool running_ ALT_GUARDED_BY(mu_) = false;
+
+  std::thread prober_;  // Joined by Stop().
+};
+
+}  // namespace shard
+}  // namespace serving
+}  // namespace alt
+
+#endif  // ALT_SRC_SERVING_SHARD_SUPERVISOR_H_

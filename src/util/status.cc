@@ -28,6 +28,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "IOError";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -24,6 +24,11 @@ enum class StatusCode {
   /// A required backend (e.g. a serving shard) is gone or unreachable;
   /// retrying against a different replica may succeed.
   kUnavailable,
+  /// The backend is alive but over capacity and is shedding load (e.g. a
+  /// serving shard past its queue watermark). The request was rejected at
+  /// admission — nothing was enqueued — so the caller should back off and
+  /// retry later rather than fail over as if the backend were dead.
+  kResourceExhausted,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -70,6 +75,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

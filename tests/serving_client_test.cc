@@ -1,7 +1,6 @@
 // Tests of the ServingClient facade — the public serving API over the
-// sharded plane — plus one compatibility test that exercises the deprecated
-// single-server entry points (TryDeploy, SetResilience, the
-// ModelServer-backed BatchPredictor) which survive one release as shims.
+// sharded plane — including the elastic lifecycle surface (warm re-join,
+// runtime AddShard, the shard-state HealthReport).
 
 #include <future>
 #include <string>
@@ -187,46 +186,101 @@ TEST(ServingClientTest, ExportBundleWritesServableArtifact) {
 }
 
 // ---------------------------------------------------------------------------
-// Deprecated-shim compatibility (one release of source compatibility).
-// Each call below intentionally targets a [[deprecated]] entry point; the
-// build warns here, and that is the point — the shims must keep compiling
-// and behaving until the next release removes them.
+// Elastic shard lifecycle through the facade.
 // ---------------------------------------------------------------------------
 
-TEST(DeprecatedShimCompatTest, LegacyEntryPointsStillServe) {
+TEST(ServingClientTest, KillRejoinLosesNoBatchRequests) {
+  // The full chaos cycle on the batched path: a shard dies under enqueued
+  // load, its requests fail over to replicas, and a warm re-join brings it
+  // back — zero lost requests end to end.
   obs::MetricsRegistry registry;
-  ModelServer server(&registry);
+  ServingClient::Options options = SmallTopology(3, 2);
+  options.rejoin_stages = 3;
+  ServingClient client(options, &registry);
+  ASSERT_TRUE(client.Deploy("s", TinyModel(16)).ok());
+  const std::string owner = client.coordinator()->ReplicasOf("s").front();
 
-  // TryDeploy keeps the model across failed attempts and consumes it on
-  // success — the contract DeployOptions::retry_transient now wraps.
-  std::unique_ptr<models::BaseModel> model = TinyModel(16);
-  ASSERT_TRUE(server.TryDeploy("s", &model).ok());
-  EXPECT_EQ(model, nullptr);
+  Rng rng(17);
+  std::vector<std::future<Result<float>>> futures;
+  const std::vector<int64_t> behavior = {0, 1, 2, 3, 4};
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(
+        client.EnqueuePredict("s", Tensor::Randn({1, 4}, &rng), behavior));
+  }
+  ASSERT_TRUE(client.KillShard(owner).ok());
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(
+        client.EnqueuePredict("s", Tensor::Randn({1, 4}, &rng), behavior));
+  }
 
-  // SetResilience forwards to ConfigureResilience.
-  ServingResilienceOptions resilience;
-  resilience.default_scenario = "s";
-  server.SetResilience(resilience);
-  const data::Batch batch = OneSample(17);
-  EXPECT_TRUE(server.Predict("unknown", batch).ok());
+  ASSERT_TRUE(client.RejoinShard(owner).ok());
+  EXPECT_EQ(client.NumLiveShards(), 3);
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(
+        client.EnqueuePredict("s", Tensor::Randn({1, 4}, &rng), behavior));
+  }
 
-  // The ModelServer-backed BatchPredictor constructor and factory wrap the
-  // server into the PredictFn backend.
-  BatchPredictor::Options options;
-  options.max_batch_size = 2;
-  options.max_delay_ms = 1.0;
-  BatchPredictor predictor(&server, options);
-  Rng rng(18);
-  auto future =
-      predictor.Enqueue("s", Tensor::Randn({1, 4}, &rng), {0, 1, 2, 3, 4});
-  EXPECT_TRUE(future.get().ok());
+  for (auto& future : futures) {
+    Result<float> result = future.get();
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+  }
+  EXPECT_EQ(registry.counter_value("serving/shard_unavailable"), 0);
+  EXPECT_GE(registry.counter_value("serving/coordinator/rejoins"), 1);
+  // The rejoined shard serves again: its model came back from the cached
+  // bundle at the current version.
+  EXPECT_GE(client.coordinator()->shard(owner)->DeployedVersion("s"), 1u);
+}
 
-  auto created = BatchPredictor::Create(&server, options);
-  ASSERT_TRUE(created.ok());
-  EXPECT_EQ(created.value()->registry(), &registry);
-  EXPECT_FALSE(BatchPredictor::Create(static_cast<ModelServer*>(nullptr),
-                                      options)
-                   .ok());
+TEST(ServingClientTest, AddShardGrowsTopologyAndServes) {
+  obs::MetricsRegistry registry;
+  ServingClient client(SmallTopology(2, 2), &registry);
+  ASSERT_TRUE(client.Deploy("s", TinyModel(18)).ok());
+  ASSERT_TRUE(client.AddShard("shard-2").ok());
+  EXPECT_EQ(client.NumLiveShards(), 3);
+  EXPECT_EQ(client.ShardIds().size(), 3u);
+  EXPECT_EQ(client.AddShard("shard-2").code(), StatusCode::kAlreadyExists);
+
+  // The newcomer participates in batched serving without request loss.
+  Rng rng(19);
+  std::vector<std::future<Result<float>>> futures;
+  for (int i = 0; i < 12; ++i) {
+    futures.push_back(client.EnqueuePredict("s", Tensor::Randn({1, 4}, &rng),
+                                            {0, 1, 2, 3, 4}));
+  }
+  for (auto& future : futures) {
+    EXPECT_TRUE(future.get().ok());
+  }
+}
+
+TEST(ServingClientTest, GetHealthReflectsShardLifecycle) {
+  obs::MetricsRegistry registry;
+  ServingClient client(SmallTopology(2, 1), &registry);
+  ASSERT_TRUE(client.Deploy("s", TinyModel(20)).ok());
+
+  ServingClient::HealthReport health = client.GetHealth();
+  EXPECT_TRUE(health.healthy);
+  EXPECT_FALSE(health.degraded);
+  EXPECT_EQ(health.shard_states.size(), 2u);
+  for (const auto& [id, state] : health.shard_states) {
+    EXPECT_EQ(state, "live") << id;
+  }
+
+  // With replication 1, killing the owner leaves "s" unservable -> 503.
+  const std::string owner = client.coordinator()->ReplicasOf("s").front();
+  ASSERT_TRUE(client.KillShard(owner).ok());
+  health = client.GetHealth();
+  EXPECT_FALSE(health.healthy);
+  EXPECT_TRUE(health.degraded);
+  EXPECT_EQ(health.shard_states.at(owner), "dead");
+  ASSERT_EQ(health.unservable_scenarios.size(), 1u);
+  EXPECT_EQ(health.unservable_scenarios[0], "s");
+
+  // Warm re-join restores full health.
+  ASSERT_TRUE(client.RejoinShard(owner).ok());
+  health = client.GetHealth();
+  EXPECT_TRUE(health.healthy);
+  EXPECT_FALSE(health.degraded);
+  EXPECT_TRUE(health.unservable_scenarios.empty());
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 // worker shard, and the ShardCoordinator (broadcast deploys, replica
 // failover, breaker-driven rebalance with zero lost requests).
 
+#include <future>
 #include <map>
 #include <set>
 #include <string>
@@ -11,9 +12,12 @@
 #include "gtest/gtest.h"
 #include "src/data/synthetic.h"
 #include "src/obs/metrics.h"
+#include "src/resilience/clock.h"
+#include "src/resilience/fault_injection.h"
 #include "src/serving/shard/coordinator.h"
 #include "src/serving/shard/hash_ring.h"
 #include "src/serving/shard/shard.h"
+#include "src/serving/shard/supervisor.h"
 
 namespace alt {
 namespace serving {
@@ -329,6 +333,366 @@ TEST(ShardCoordinatorTest, BreakerStatesCoverShardsAndScenarios) {
   EXPECT_EQ(states.count("shard:shard-1"), 1u);
   for (const auto& [name, state] : states) {
     EXPECT_EQ(state, resilience::BreakerState::kClosed) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Staged vnode admission (the warm re-join drain protocol's routing half)
+// ---------------------------------------------------------------------------
+
+TEST(HashRingTest, StagedVnodeAdmissionBoundsPerStageMovement) {
+  const int n = 4;
+  const int vnodes = 128;
+  const int stages = 4;
+  HashRing ring(vnodes);
+  for (int s = 0; s < n; ++s) ring.AddShard("shard-" + std::to_string(s));
+  const std::string newcomer = "shard-" + std::to_string(n);
+
+  std::map<int, std::string> previous;
+  for (int i = 0; i < kKeys; ++i) previous[i] = ring.Route(Key(i)).value();
+  std::set<int> owned_by_newcomer;
+
+  for (int stage = 1; stage <= stages; ++stage) {
+    ring.AddShardVnodes(newcomer, stage * vnodes / stages);
+    EXPECT_EQ(ring.VnodesOf(newcomer), stage * vnodes / stages);
+    int moved = 0;
+    for (int i = 0; i < kKeys; ++i) {
+      const std::string owner = ring.Route(Key(i)).value();
+      if (owner != previous[i]) {
+        moved++;
+        // Monotone ownership: a key only ever moves ONTO the newcomer —
+        // vnode points are added, never relocated, so incumbent-to-incumbent
+        // movement is impossible.
+        EXPECT_EQ(owner, newcomer);
+      }
+      if (owner == newcomer) {
+        owned_by_newcomer.insert(i);
+      } else {
+        // ...and once the newcomer owns a key it keeps it through every
+        // later stage.
+        EXPECT_EQ(owned_by_newcomer.count(i), 0u) << Key(i);
+      }
+      previous[i] = owner;
+    }
+    // Each stage shifts at most ~1/stages of the newcomer's final share:
+    // well under the 2/N single-join bound, so traffic drains gradually.
+    EXPECT_LE(moved, 2 * kKeys / (n + 1));
+  }
+
+  // The staged end state is exactly the single-shot join.
+  HashRing oneshot(vnodes);
+  for (int s = 0; s <= n; ++s) oneshot.AddShard("shard-" + std::to_string(s));
+  for (int i = 0; i < kKeys; ++i) {
+    EXPECT_EQ(ring.Route(Key(i)).value(), oneshot.Route(Key(i)).value());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Queue-depth-aware admission control (hysteresis shedding)
+// ---------------------------------------------------------------------------
+
+TEST(WorkerShardTest, ShedWatermarksHysteresisAndCriticalBypass) {
+  obs::MetricsRegistry registry;
+  WorkerShard shard("shard-0", &registry);
+  ASSERT_TRUE(shard.Deploy("s", TinyModel(30), DeployOptions{}, 1).ok());
+  shard.set_shed_watermarks(/*high=*/3, /*low=*/1);
+  shard.PauseDispatchForTesting(true);
+
+  const data::Batch batch = OneSample(31);
+  std::vector<std::future<Result<std::vector<float>>>> queued;
+  // Three critical submits fill the queue to the high watermark.
+  for (int i = 0; i < 3; ++i) {
+    queued.push_back(shard.SubmitPredict("s", batch, Admission::kCritical));
+  }
+  EXPECT_FALSE(shard.shedding());
+
+  // The next kNormal submit observes depth >= high: it is rejected with
+  // kResourceExhausted (load, not failure) and nothing is enqueued.
+  auto shed = shard.SubmitPredict("s", batch).get();
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(shard.shedding());
+
+  // Critical traffic (hot / everywhere scenarios) bypasses the soft
+  // watermark while the shard sheds.
+  queued.push_back(shard.SubmitPredict("s", batch, Admission::kCritical));
+
+  // Drain. Every queued request completes — shedding rejected new work, it
+  // never dropped accepted work.
+  shard.PauseDispatchForTesting(false);
+  for (auto& future : queued) {
+    auto result = future.get();
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+  }
+
+  // Recovery: the drain crossed the low watermark, so shedding has cleared
+  // and normal traffic is admitted again — repeatedly, with no re-flap
+  // below the high watermark.
+  for (int i = 0; i < 5; ++i) {
+    auto result = shard.SubmitPredict("s", batch).get();
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_FALSE(shard.shedding());
+  }
+  shard.Kill();
+}
+
+TEST(WorkerShardTest, HardQueueCapStillRejectsCriticalTraffic) {
+  obs::MetricsRegistry registry;
+  WorkerShard shard("shard-0", &registry);
+  ASSERT_TRUE(shard.Deploy("s", TinyModel(32), DeployOptions{}, 1).ok());
+  shard.set_max_queue_depth(2);
+  shard.PauseDispatchForTesting(true);
+
+  const data::Batch batch = OneSample(33);
+  auto a = shard.SubmitPredict("s", batch, Admission::kCritical);
+  auto b = shard.SubmitPredict("s", batch, Admission::kCritical);
+  // The hard cap is the memory-safety backstop: not even critical traffic
+  // may pass it.
+  auto rejected = shard.SubmitPredict("s", batch, Admission::kCritical).get();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+
+  shard.PauseDispatchForTesting(false);
+  EXPECT_TRUE(a.get().ok());
+  EXPECT_TRUE(b.get().ok());
+  shard.Kill();
+}
+
+TEST(ShardCoordinatorTest, ShedsWithResourceExhaustedAndRecovers) {
+  obs::MetricsRegistry registry;
+  CoordinatorOptions options = SmallCoordinator(2, 2);
+  options.shed_high_watermark = 2;
+  options.shed_low_watermark = 0;
+  ShardCoordinator coordinator(options, &registry);
+  ASSERT_TRUE(coordinator.Deploy("cold", TinyModel(34)).ok());
+  DeployOptions hot_options;
+  hot_options.hot = true;
+  ASSERT_TRUE(coordinator.Deploy("hot", TinyModel(35), hot_options).ok());
+
+  const data::Batch batch = OneSample(36);
+  std::vector<std::future<Result<std::vector<float>>>> queued;
+  for (const std::string& id : coordinator.ShardIds()) {
+    WorkerShard* worker = coordinator.shard(id);
+    worker->PauseDispatchForTesting(true);
+    for (int i = 0; i < 2; ++i) {
+      queued.push_back(
+          worker->SubmitPredict("cold", batch, Admission::kCritical));
+    }
+  }
+
+  // Every live replica is at its watermark: the coordinator rejects new
+  // normal work with the distinct admission status instead of failing over
+  // as if shards had died.
+  auto shed = coordinator.Predict("cold", batch);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GE(registry.counter_value("serving/admission/shed"), 1);
+  // Shedding is not failure: breakers stay closed and nobody rebalances.
+  for (const auto& [name, state] : coordinator.BreakerStates()) {
+    EXPECT_EQ(state, resilience::BreakerState::kClosed) << name;
+  }
+  EXPECT_EQ(registry.counter_value("serving/rebalance_events"), 0);
+
+  // Hot scenarios map to critical admission and bypass the soft watermark.
+  std::future<Result<std::vector<float>>> hot_future =
+      std::async(std::launch::async, [&coordinator, &batch]() {
+        return coordinator.Predict("hot", batch);
+      });
+
+  for (const std::string& id : coordinator.ShardIds()) {
+    coordinator.shard(id)->PauseDispatchForTesting(false);
+  }
+  auto hot_result = hot_future.get();
+  EXPECT_TRUE(hot_result.ok()) << hot_result.status().ToString();
+  for (auto& future : queued) {
+    EXPECT_TRUE(future.get().ok());
+  }
+
+  // Queues drained past the low watermark: normal traffic flows again.
+  auto recovered = coordinator.Predict("cold", batch);
+  EXPECT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_GE(registry.counter_value("serving/admission/accepted"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Warm re-join and elastic scale-up
+// ---------------------------------------------------------------------------
+
+TEST(ShardCoordinatorTest, RejoinShardRedeploysAtCurrentVersions) {
+  obs::MetricsRegistry registry;
+  CoordinatorOptions options = SmallCoordinator(4, 2);
+  options.rejoin_stages = 4;
+  ShardCoordinator coordinator(options, &registry);
+  const int kScenarios = 8;
+  for (int s = 0; s < kScenarios; ++s) {
+    ASSERT_TRUE(
+        coordinator.Deploy("scenario_" + std::to_string(s), TinyModel(40 + s))
+            .ok());
+  }
+
+  EXPECT_EQ(coordinator.RejoinShard("no-such-shard").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(coordinator.RejoinShard("shard-1").code(),
+            StatusCode::kFailedPrecondition);  // Not dead.
+
+  ASSERT_TRUE(coordinator.KillShard("shard-1").ok());
+  const data::Batch batch = OneSample(41);
+  // Traffic keeps flowing on replicas (and triggers the rebalance).
+  for (int s = 0; s < kScenarios; ++s) {
+    ASSERT_TRUE(
+        coordinator.Predict("scenario_" + std::to_string(s), batch).ok());
+  }
+  // The world moves on while the shard is out: scenario_0 is re-deployed,
+  // bumping its version.
+  ASSERT_TRUE(coordinator.Deploy("scenario_0", TinyModel(50)).ok());
+  EXPECT_EQ(coordinator.VersionOf("scenario_0"), 2u);
+
+  ASSERT_TRUE(coordinator.RejoinShard("shard-1").ok());
+  EXPECT_EQ(coordinator.NumLiveShards(), 4);
+  EXPECT_GE(registry.counter_value("serving/coordinator/rejoins"), 1);
+
+  // Post-rejoin invariants: every scenario's replica set is consistent with
+  // the ring, and every replica serves the CURRENT version — the rejoined
+  // shard warm-started from cached bundles, not from stale pre-kill state.
+  for (int s = 0; s < kScenarios; ++s) {
+    const std::string scenario = "scenario_" + std::to_string(s);
+    for (const std::string& id : coordinator.ReplicasOf(scenario)) {
+      EXPECT_EQ(coordinator.shard(id)->DeployedVersion(scenario),
+                coordinator.VersionOf(scenario))
+          << scenario << " on " << id;
+    }
+    auto scores = coordinator.Predict(scenario, batch);
+    EXPECT_TRUE(scores.ok()) << scores.status().ToString();
+  }
+  EXPECT_TRUE(coordinator.UnservableScenarios().empty());
+}
+
+TEST(ShardCoordinatorTest, AddShardJoinsRingAndServesAssignedScenarios) {
+  obs::MetricsRegistry registry;
+  ShardCoordinator coordinator(SmallCoordinator(3, 2), &registry);
+  for (int s = 0; s < 6; ++s) {
+    ASSERT_TRUE(
+        coordinator.Deploy("scenario_" + std::to_string(s), TinyModel(60 + s))
+            .ok());
+  }
+  ASSERT_TRUE(coordinator.DeployEverywhere("f0", TinyModel(66)).ok());
+
+  EXPECT_EQ(coordinator.AddShard("shard-0").code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(coordinator.AddShard("shard-3").ok());
+  EXPECT_EQ(coordinator.NumLiveShards(), 4);
+
+  // Everywhere-deployments cover the newcomer too.
+  EXPECT_GE(coordinator.shard("shard-3")->DeployedVersion("f0"), 1u);
+  // Replica tables were recomputed against the grown ring; whatever routed
+  // to the newcomer is deployed there.
+  const data::Batch batch = OneSample(67);
+  for (int s = 0; s < 6; ++s) {
+    const std::string scenario = "scenario_" + std::to_string(s);
+    for (const std::string& id : coordinator.ReplicasOf(scenario)) {
+      EXPECT_EQ(coordinator.shard(id)->DeployedVersion(scenario),
+                coordinator.VersionOf(scenario))
+          << scenario << " on " << id;
+    }
+    EXPECT_TRUE(coordinator.Predict(scenario, batch).ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ShardSupervisor: health-probed membership on a fake clock
+// ---------------------------------------------------------------------------
+
+TEST(ShardSupervisorTest, StateMachineEvictsDeadShardAndRejoinsAfterCooldown) {
+  obs::MetricsRegistry registry;
+  resilience::FakeClock clock;
+  CoordinatorOptions coordinator_options = SmallCoordinator(3, 2);
+  coordinator_options.clock = &clock;
+  ShardCoordinator coordinator(coordinator_options, &registry);
+  ASSERT_TRUE(coordinator.Deploy("s", TinyModel(70)).ok());
+
+  SupervisorOptions options;
+  options.dead_after_failures = 2;
+  options.rejoin_cooldown_ms = 500.0;
+  options.clock = &clock;
+  ShardSupervisor supervisor(&coordinator, options, &registry);
+
+  supervisor.ProbeOnce();
+  for (const auto& [id, health] : supervisor.States()) {
+    EXPECT_EQ(health, ShardHealth::kLive) << id;
+  }
+
+  ASSERT_TRUE(coordinator.KillShard("shard-1").ok());
+  // First failed probe: Suspect, NOT evicted — grace before teardown.
+  supervisor.ProbeOnce();
+  EXPECT_EQ(supervisor.States().at("shard-1"), ShardHealth::kSuspect);
+  EXPECT_EQ(registry.counter_value("serving/supervisor/evictions"), 0);
+
+  // Second consecutive failure: Dead, evicted from the ring.
+  supervisor.ProbeOnce();
+  EXPECT_EQ(supervisor.States().at("shard-1"), ShardHealth::kDead);
+  EXPECT_EQ(registry.counter_value("serving/supervisor/evictions"), 1);
+  EXPECT_EQ(coordinator.NumLiveShards(), 2);
+  const data::Batch batch = OneSample(71);
+  EXPECT_TRUE(coordinator.Predict("s", batch).ok());
+
+  // Within the cooldown the shard rests.
+  supervisor.ProbeOnce();
+  EXPECT_EQ(supervisor.States().at("shard-1"), ShardHealth::kDead);
+  EXPECT_EQ(registry.counter_value("serving/supervisor/rejoins"), 0);
+
+  // Cooldown elapses on the fake clock: the supervisor re-joins the shard
+  // warm and it returns to Live.
+  clock.SleepMs(600.0);
+  supervisor.ProbeOnce();
+  EXPECT_EQ(supervisor.States().at("shard-1"), ShardHealth::kLive);
+  EXPECT_EQ(registry.counter_value("serving/supervisor/rejoins"), 1);
+  EXPECT_EQ(coordinator.NumLiveShards(), 3);
+  EXPECT_TRUE(coordinator.Predict("s", batch).ok());
+
+  // The probed membership is stable afterwards.
+  supervisor.ProbeOnce();
+  EXPECT_EQ(supervisor.States().at("shard-1"), ShardHealth::kLive);
+}
+
+TEST(ShardSupervisorTest, FlappingProbesNeverTearDownHealthyShard) {
+  resilience::FaultInjector& faults = resilience::FaultInjector::Global();
+  faults.Reset();
+  obs::MetricsRegistry registry;
+  resilience::FakeClock clock;
+  ShardCoordinator coordinator(SmallCoordinator(3, 2), &registry);
+  ASSERT_TRUE(coordinator.Deploy("s", TinyModel(72)).ok());
+
+  SupervisorOptions options;
+  options.dead_after_failures = 2;
+  options.clock = &clock;
+  ShardSupervisor supervisor(&coordinator, options, &registry);
+
+  // Every second probe fails at the injected fault point. With three
+  // shards probed per round the failure parity alternates per shard, so no
+  // shard ever fails twice in a row: Suspect absorbs every flap.
+  resilience::FaultRule rule;
+  rule.every_nth = 2;
+  rule.code = StatusCode::kUnavailable;
+  faults.Arm("serving/shard/probe", rule);
+
+  for (int round = 0; round < 8; ++round) {
+    supervisor.ProbeOnce();
+    for (const auto& [id, health] : supervisor.States()) {
+      EXPECT_NE(health, ShardHealth::kDead) << id << " round " << round;
+    }
+  }
+  EXPECT_GE(registry.counter_value("serving/supervisor/probe_failures"), 8);
+  EXPECT_EQ(registry.counter_value("serving/supervisor/evictions"), 0);
+  EXPECT_EQ(registry.counter_value("serving/rebalance_events"), 0);
+  EXPECT_EQ(coordinator.NumLiveShards(), 3);
+  const data::Batch batch = OneSample(73);
+  EXPECT_TRUE(coordinator.Predict("s", batch).ok());
+
+  // Once the flapping stops, one clean round settles everything Live.
+  faults.Reset();
+  supervisor.ProbeOnce();
+  for (const auto& [id, health] : supervisor.States()) {
+    EXPECT_EQ(health, ShardHealth::kLive) << id;
   }
 }
 

@@ -36,8 +36,17 @@
 //         `new`, or make_unique/make_shared) outside src/serving: serving
 //         goes through the ServingClient facade (src/serving/
 //         serving_client.h), which owns sharding, replication, failover and
-//         batching. The serving layer itself (including the deprecated
-//         compatibility shims it keeps for one release) is exempt.
+//         batching.
+//   L012  shard lifecycle mutation outside src/serving/shard: direct
+//         member calls to WorkerShard::Kill or the ring mutators
+//         (AddShardVnodes / RemoveShard), and direct HashRing construction,
+//         bypass the coordinator/supervisor — replica tables, breaker
+//         state, and the staged-rejoin ownership invariants all go stale.
+//         Kill/rejoin/grow through ShardCoordinator (KillShard /
+//         RejoinShard / AddShard) or the ServingClient facade. Bare
+//         `AddShard(` member calls are deliberately not flagged: that name
+//         is also the coordinator's own grow-the-fleet entry point, and
+//         the construction ban already denies outsiders a ring to mutate.
 //
 // A violation can be waived by a comment on the same line:
 //   `alt_lint: allow(L006): <reason>`
@@ -356,16 +365,16 @@ void FindRawSimd(const std::string& stripped, const std::string& file,
   }
 }
 
-// L011: direct construction of the serving internals outside the serving
-// layer. Flags, for `ModelServer` and `BatchPredictor`:
+// Shared construction scanner for L011/L012. Flags, for one `type` name:
 //   - stack instances:      `serving::ModelServer server(&registry);`
 //   - heap instances:       `new serving::BatchPredictor(...)`
 //   - factory helpers:      `std::make_unique<serving::ModelServer>(...)`
 // Pointer/reference uses (parameters, return types, members handed out by
 // the facade) are deliberately not construction and never fire.
-void FindDirectServingConstruction(const std::string& stripped,
-                                   const std::string& file,
-                                   std::vector<Violation>* out) {
+void FindDirectConstructionOf(const std::string& stripped,
+                              const std::string& file, const char* type,
+                              const char* rule, const std::string& advice,
+                              std::vector<Violation>* out) {
   const size_t n = stripped.size();
   auto skip_ws = [&](size_t j) {
     while (j < n && std::isspace(static_cast<unsigned char>(stripped[j])) != 0)
@@ -382,48 +391,128 @@ void FindDirectServingConstruction(const std::string& stripped,
     while (b > 0 && IsIdentChar(stripped[b - 1])) --b;
     return stripped.substr(b, e - b);
   };
+  const std::string token = type;
+  for (size_t pos = stripped.find(token); pos != std::string::npos;
+       pos = stripped.find(token, pos + 1)) {
+    if (pos > 0 && IsIdentChar(stripped[pos - 1])) continue;
+    size_t j = pos + token.size();
+    if (j < n && IsIdentChar(stripped[j])) continue;  // Longer identifier.
+    // Start of the (possibly namespace-qualified) type name, so
+    // `new serving::ModelServer` sees the word before the qualifier.
+    size_t q = pos;
+    while (q > 0 && (IsIdentChar(stripped[q - 1]) || stripped[q - 1] == ':'))
+      --q;
+    const std::string before = prev_word(q);
+    if (before == "class" || before == "struct" || before == "enum") {
+      continue;  // Forward declarations are not construction.
+    }
+    if (before == "new") {
+      out->push_back({file, LineOfOffset(stripped, pos), rule, advice});
+      continue;
+    }
+    // make_unique<...ModelServer>(...) / make_shared — the token sits
+    // inside the template argument, so look back past the '<'.
+    if (q > 0 && stripped[q - 1] == '<') {
+      const std::string helper = prev_word(q - 1);
+      if (helper == "make_unique" || helper == "make_shared") {
+        out->push_back({file, LineOfOffset(stripped, pos), rule, advice});
+      }
+      continue;
+    }
+    // Stack instance: the type name followed by a declarator identifier.
+    j = skip_ws(j);
+    if (j < n &&
+        (std::isalpha(static_cast<unsigned char>(stripped[j])) != 0 ||
+         stripped[j] == '_')) {
+      out->push_back({file, LineOfOffset(stripped, pos), rule, advice});
+    }
+  }
+}
+
+// L011: direct construction of the serving internals outside the serving
+// layer.
+void FindDirectServingConstruction(const std::string& stripped,
+                                   const std::string& file,
+                                   std::vector<Violation>* out) {
   for (const char* type : {"ModelServer", "BatchPredictor"}) {
-    const std::string token = type;
-    const std::string advice =
+    FindDirectConstructionOf(
+        stripped, file, type, "L011",
         std::string("direct ") + type +
-        " construction outside src/serving; serve through the "
-        "serving::ServingClient facade (src/serving/serving_client.h)";
+            " construction outside src/serving; serve through the "
+            "serving::ServingClient facade (src/serving/serving_client.h)",
+        out);
+  }
+}
+
+// L012: shard lifecycle mutation outside the shard layer. Flags member
+// calls `x.Kill(` / `x->Kill(` (WorkerShard teardown) and the ring
+// mutators `AddShardVnodes` / `RemoveShard`, plus direct HashRing
+// construction. Qualified names (`WorkerShard::Kill` definitions) and
+// longer identifiers (`KillShard`) never fire; `AddShard` is not scanned
+// because it is also the coordinator's own facade entry point.
+void FindDirectShardLifecycleMutation(const std::string& stripped,
+                                      const std::string& file,
+                                      std::vector<Violation>* out) {
+  const size_t n = stripped.size();
+  auto skip_ws = [&](size_t j) {
+    while (j < n && std::isspace(static_cast<unsigned char>(stripped[j])) != 0)
+      ++j;
+    return j;
+  };
+  struct Banned {
+    const char* token;
+    const char* advice;
+  };
+  const Banned kMemberCalls[] = {
+      {"Kill",
+       "direct WorkerShard::Kill outside src/serving/shard; tear shards "
+       "down through ShardCoordinator::KillShard (or "
+       "ServingClient::KillShard) so routing, breakers and rebalancing "
+       "stay consistent"},
+      {"AddShardVnodes",
+       "direct ring mutation outside src/serving/shard; membership changes "
+       "go through ShardCoordinator::AddShard/RejoinShard so the replica "
+       "table and the staged-rejoin ownership invariants hold"},
+      {"RemoveShard",
+       "direct ring mutation outside src/serving/shard; membership changes "
+       "go through ShardCoordinator::KillShard/RejoinShard so the replica "
+       "table and the staged-rejoin ownership invariants hold"},
+  };
+  for (const Banned& banned : kMemberCalls) {
+    const std::string token = banned.token;
     for (size_t pos = stripped.find(token); pos != std::string::npos;
          pos = stripped.find(token, pos + 1)) {
       if (pos > 0 && IsIdentChar(stripped[pos - 1])) continue;
       size_t j = pos + token.size();
-      if (j < n && IsIdentChar(stripped[j])) continue;  // Longer identifier.
-      // Start of the (possibly namespace-qualified) type name, so
-      // `new serving::ModelServer` sees the word before the qualifier.
-      size_t q = pos;
-      while (q > 0 && (IsIdentChar(stripped[q - 1]) || stripped[q - 1] == ':'))
-        --q;
-      const std::string before = prev_word(q);
-      if (before == "class" || before == "struct" || before == "enum") {
-        continue;  // Forward declarations are not construction.
-      }
-      if (before == "new") {
-        out->push_back({file, LineOfOffset(stripped, pos), "L011", advice});
-        continue;
-      }
-      // make_unique<...ModelServer>(...) / make_shared — the token sits
-      // inside the template argument, so look back past the '<'.
-      if (q > 0 && stripped[q - 1] == '<') {
-        const std::string helper = prev_word(q - 1);
-        if (helper == "make_unique" || helper == "make_shared") {
-          out->push_back({file, LineOfOffset(stripped, pos), "L011", advice});
-        }
-        continue;
-      }
-      // Stack instance: the type name followed by a declarator identifier.
+      if (j < n && IsIdentChar(stripped[j])) continue;  // KillShard etc.
+      // Member call only: preceded by `.` or `->`; `WorkerShard::Kill`
+      // definitions and free functions named Kill are out of scope.
+      const bool dot = pos > 0 && stripped[pos - 1] == '.';
+      const bool arrow = pos > 1 && stripped[pos - 2] == '-' &&
+                         stripped[pos - 1] == '>';
+      if (!dot && !arrow) continue;
       j = skip_ws(j);
-      if (j < n && (std::isalpha(static_cast<unsigned char>(stripped[j])) !=
-                        0 ||
-                    stripped[j] == '_')) {
-        out->push_back({file, LineOfOffset(stripped, pos), "L011", advice});
+      if (j < n && stripped[j] == '(') {
+        out->push_back(
+            {file, LineOfOffset(stripped, pos), "L012", banned.advice});
       }
     }
   }
+  FindDirectConstructionOf(
+      stripped, file, "HashRing", "L012",
+      "direct HashRing construction outside src/serving/shard; the "
+      "coordinator owns the ring so staged vnode admission and replica "
+      "recomputation stay atomic",
+      out);
+}
+
+// True for directories exempt from the shard-lifecycle rule L012: the shard
+// layer itself (coordinator + supervisor own membership).
+bool InShardExemptDir(const std::string& path) {
+  std::string norm = path;
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  return norm.rfind("src/serving/shard/", 0) == 0 ||
+         norm.find("/src/serving/shard/") != std::string::npos;
 }
 
 // True for directories exempt from the serving-facade rule L011: the serving
@@ -568,6 +657,9 @@ std::vector<Violation> LintContent(const std::string& path,
   }
   if (!InServingExemptDir(path)) {
     FindDirectServingConstruction(stripped, path, &v);
+  }
+  if (!InShardExemptDir(path)) {
+    FindDirectShardLifecycleMutation(stripped, path, &v);
   }
   // Same-line `alt_lint: allow(LXXX)` comments waive individual findings.
   if (apply_waivers) {
@@ -793,6 +885,33 @@ int RunSelfTest() {
       {"unique_ptr member of ModelServer ok", "src/core/ok43.cc",
        "struct H { std::unique_ptr<serving::ModelServer> engine; };",
        nullptr},
+      {"direct shard Kill outside shard layer", "src/core/bad19.cc",
+       "void F(serving::shard::WorkerShard* w) { w->Kill(); }", "L012"},
+      {"direct ring vnode mutation outside shard layer", "src/core/bad20.cc",
+       "void F(serving::shard::HashRing* r) { r->AddShardVnodes(\"s\", 4); }",
+       "L012"},
+      {"direct ring removal outside shard layer", "src/core/bad21.cc",
+       "void F(serving::shard::HashRing& r) { r.RemoveShard(\"shard-1\"); }",
+       "L012"},
+      {"direct HashRing construction outside shard layer", "src/core/bad22.cc",
+       "void F() { serving::shard::HashRing ring(64); }", "L012"},
+      {"KillShard facade ok (boundary)", "src/core/ok44.cc",
+       "void F(serving::ServingClient* c) { c->KillShard(\"shard-0\").ok(); }",
+       nullptr},
+      {"HashRing static hash ok", "src/app/ok45.cc",
+       "uint64_t F(const std::string& s) "
+       "{ return serving::shard::HashRing::KeyHash(s); }",
+       nullptr},
+      {"Kill in src/serving/shard ok", "src/serving/shard/ok46.cc",
+       "void F(WorkerShard* w) { w->Kill(); }", nullptr},
+      {"shard Kill waived", "src/core/ok47.cc",
+       "void F(serving::shard::WorkerShard* w) { w->Kill(); }  "
+       "// alt_lint: allow(L012): chaos-harness teardown\n",
+       nullptr},
+      {"Kill definition qualified ok", "src/core/ok48.cc",
+       "void WorkerShard::Kill() { }", nullptr},
+      {"Kill in comment ok", "src/core/ok49.cc",
+       "// w->Kill() is banned outside the shard layer\nint F();", nullptr},
       // Banned tokens inside string literals and block comments must never
       // fire — the scanner works on stripped text.
       {"rand in string ok", "src/x/ok22.cc",

@@ -18,8 +18,12 @@
 #   chaos        chaos test in the ASan tree with a hot fault schedule
 #   bench        kernel bench smoke x2 gated by bench_compare
 #   serving-scale  sharded-serving bench smoke x2 gated by bench_compare on
-#                throughput_rps (each run kills a shard and requires a
-#                rebalance with zero lost requests)
+#                throughput_rps (each run kills a shard mid-stream, then
+#                warm-rejoins it, and exits nonzero unless zero requests
+#                are lost and the rejoined shard recovers its share)
+#   serving-elastic  shard lifecycle suite in the ASan tree: supervisor
+#                state machine, warm kill->rejoin with zero lost requests,
+#                staged ring admission bounds, and shed/recover hysteresis
 #   simd-parity  kernel/parity/quant tests rerun with ALT_SIMD=off (the
 #                guaranteed scalar contract) in the release tree
 #   telemetry    /healthz flips to 503 under injected serving faults
@@ -37,7 +41,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ALL_STAGES=(release lint analyze tidy asan chaos bench serving-scale
-            simd-parity telemetry ubsan tsan)
+            serving-elastic simd-parity telemetry ubsan tsan)
 
 SELECTED=()
 for arg in "$@"; do
@@ -191,6 +195,20 @@ if wants serving-scale; then
   ./build/tools/bench_compare --baseline=build/BENCH_serving_smoke_base.json \
     --head=build/BENCH_serving_smoke_head.json --metric=throughput_rps \
     --threshold=0.5
+fi
+
+if wants serving-elastic; then
+  ensure_asan_build
+  # Serving-elastic stage: the shard lifecycle suite under ASan. Covers the
+  # supervisor state machine (probe flap must never evict a healthy shard),
+  # warm kill->rejoin with zero lost requests on both the direct and the
+  # batched path, staged ring admission movement bounds, and the
+  # shed-then-recover hysteresis contract.
+  echo "==> serving-elastic stage (build-asan, shard lifecycle suite)"
+  ./build-asan/tests/shard_test --gtest_filter=\
+'ShardSupervisorTest.*:*Rejoin*:*Shed*:*Staged*:*AddShard*:*HardQueueCap*'
+  ./build-asan/tests/serving_client_test --gtest_filter=\
+'*KillRejoin*:*AddShardGrows*:*GetHealthReflects*'
 fi
 
 if wants simd-parity; then
