@@ -27,18 +27,32 @@
 //   --scenarios=N  deployed scenarios (default 200).
 //   --requests=N   total requests (default 1000000).
 //   --burst=N      consecutive same-scenario requests (default 16).
+//   --trace_sample=R  steady-state request-trace sampling rate (default
+//                  0.01). The kill window bursts to 1.0 so the failover
+//                  decomposition is guaranteed to be captured, then falls
+//                  back to R.
+//
+// Tracing contract, enforced post-run: the slow-trace ring must retain at
+// least one completed (ok) request whose segment decomposition contains a
+// `failover` segment and whose segments sum to within 5% of its end-to-end
+// latency. A separate A/B probe measures the throughput cost of 1% sampling
+// vs tracing disabled (recorded in derived as trace_overhead_frac; asserted
+// < 3% in full mode only — the smoke probe is too short to be stable).
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "src/obs/metrics.h"
+#include "src/obs/request_trace.h"
 #include "src/serving/serving_client.h"
 #include "src/util/json.h"
 #include "src/util/logging.h"
@@ -79,6 +93,44 @@ struct PhaseStats {
   }
 };
 
+/// One arm of the tracing-overhead probe: a fresh 2-shard client driving
+/// `requests` batched predicts at the given sampling rate; returns req/s.
+double ProbeArm(int64_t requests, double sample_rate) {
+  obs::MetricsRegistry registry;
+  serving::ServingClient::Options options;
+  options.num_shards = 2;
+  options.replication = 2;
+  options.batching.max_batch_size = 32;
+  options.batching.max_delay_ms = 0.2;
+  options.trace.sample_rate = sample_rate;
+  serving::ServingClient client(options, &registry);
+  constexpr int kProbeScenarios = 8;
+  for (int i = 0; i < kProbeScenarios; ++i) {
+    ALT_CHECK(client
+                  .Deploy("probe_" + std::to_string(i),
+                          ScenarioModel(7000 + static_cast<uint64_t>(i)))
+                  .ok());
+  }
+  Rng rng(77);
+  std::vector<Tensor> profiles;
+  for (int i = 0; i < 16; ++i) profiles.push_back(Tensor::Randn({1, 4}, &rng));
+  const std::vector<int64_t> behavior = {0, 1, 2, 3, 4};
+  std::vector<std::future<Result<float>>> window;
+  const double start = bench::MonotonicSeconds();
+  for (int64_t i = 0; i < requests; ++i) {
+    window.push_back(client.EnqueuePredict(
+        "probe_" + std::to_string(i % kProbeScenarios),
+        profiles[static_cast<size_t>(i) % profiles.size()], behavior));
+    if (window.size() >= 4096) {
+      for (auto& f : window) ALT_CHECK(f.get().ok());
+      window.clear();
+    }
+  }
+  for (auto& f : window) ALT_CHECK(f.get().ok());
+  const double seconds = bench::MonotonicSeconds() - start;
+  return seconds > 0.0 ? static_cast<double>(requests) / seconds : 0.0;
+}
+
 int Run(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
   const bool smoke = flags.GetBool("smoke", false);
@@ -89,6 +141,7 @@ int Run(int argc, char** argv) {
       static_cast<int>(flags.GetInt("scenarios", smoke ? 24 : 200));
   const int64_t requests = flags.GetInt("requests", smoke ? 20000 : 1000000);
   const int burst = static_cast<int>(flags.GetInt("burst", 16));
+  const double trace_sample = flags.GetDouble("trace_sample", 0.01);
   ALT_CHECK_GE(shards, 2);  // The run kills one shard and keeps serving.
 
   obs::MetricsRegistry registry;
@@ -98,6 +151,8 @@ int Run(int argc, char** argv) {
   options.hot_replication = 3;
   options.batching.max_batch_size = 32;
   options.batching.max_delay_ms = 0.2;
+  options.trace.sample_rate = trace_sample;
+  options.trace.slow_ring_size = 64;
   serving::ServingClient client(options, &registry);
 
   std::printf("deploying %d scenarios over %d shards (replication 2)...\n",
@@ -105,6 +160,10 @@ int Run(int argc, char** argv) {
   for (int s = 0; s < scenarios; ++s) {
     serving::DeployOptions deploy;
     deploy.hot = s < 4;  // Zipf head: wider replica group.
+    // SLO objectives the /slo burn windows measure against during the
+    // kill/rejoin cycle.
+    deploy.slo.target_latency_ms = 50.0;
+    deploy.slo.availability = 0.999;
     const Status status =
         client.Deploy("scenario_" + std::to_string(s),
                       ScenarioModel(1000 + static_cast<uint64_t>(s)), deploy);
@@ -133,7 +192,7 @@ int Run(int argc, char** argv) {
               static_cast<long long>(rejoin_at));
   std::vector<std::future<Result<float>>> window;
   window.reserve(static_cast<size_t>(kWindow));
-  int64_t sent = 0, completed = 0, lost = 0;
+  int64_t sent = 0, completed = 0, lost = 0, captive_sent = 0;
   bool killed = false, rejoined = false;
   PhaseStats pre, degraded, recovered, total;
   double phase_start = bench::MonotonicSeconds();
@@ -163,9 +222,50 @@ int Run(int argc, char** argv) {
       pre.seconds = now - run_start;
       victim_served_pre =
           client.coordinator()->shard(victim)->RequestsServed();
+      // Burst sampling around the incident: capture every request while the
+      // failover storm is live, fall back to the steady rate once the
+      // window has turned over twice.
+      client.tracer()->set_sample_rate(1.0);
+      // Captive failover cohort: park the victim's dispatcher, queue one
+      // micro-batch against a scenario it owns, and kill it mid-wait. The
+      // cohort's requests block on the dead queue until the kill releases
+      // them with Unavailable and the coordinator fails them over — a
+      // guaranteed, genuinely slow trace whose decomposition carries the
+      // failover segment (the /trace/slow contract asserted below).
+      std::string captive_scenario;
+      for (int c = 0; c < scenarios; ++c) {
+        const std::string name = "scenario_" + std::to_string(c);
+        const std::vector<std::string> replicas =
+            client.coordinator()->ReplicasOf(name);
+        if (!replicas.empty() && replicas.front() == victim) {
+          captive_scenario = name;
+          break;
+        }
+      }
+      ALT_CHECK(!captive_scenario.empty())
+          << "no scenario owned by " << victim;
+      client.coordinator()->shard(victim)->PauseDispatchForTesting(true);
+      std::vector<std::future<Result<float>>> captive;
+      for (int c = 0; c < 32; ++c) {
+        captive.push_back(client.EnqueuePredict(
+            captive_scenario, profiles[static_cast<size_t>(c)], behavior));
+      }
+      // Hold long enough that the captive traces outrank ordinary deep-queue
+      // waits in the slow ring even on a loaded machine.
+      std::this_thread::sleep_for(std::chrono::milliseconds(180));
       ALT_CHECK(client.KillShard(victim).ok());
+      client.coordinator()->shard(victim)->PauseDispatchForTesting(false);
+      for (auto& future : captive) {
+        // Cohort requests fail over to live replicas — none may be lost.
+        if (future.get().ok()) { completed++; } else { lost++; }
+      }
+      captive_sent += 32;
       killed = true;
-      phase_start = now;
+      phase_start = bench::MonotonicSeconds();
+    }
+    if (killed && sent >= kill_at + 2 * kWindow &&
+        client.tracer()->sample_rate() == 1.0) {
+      client.tracer()->set_sample_rate(trace_sample);
     }
     if (!rejoined && sent >= rejoin_at) {
       // Warm re-join under live traffic: cached bundles re-deploy first,
@@ -225,6 +325,33 @@ int Run(int argc, char** argv) {
       registry.counter_value("serving/coordinator/rejoins");
   const serving::ServingClient::Stats stats = client.GetStats();
 
+  // Slow-trace contract: the kill window must have produced at least one
+  // retained ok trace whose decomposition shows the failover, and whose
+  // segments account for its end-to-end wall time (within 5%).
+  const std::vector<obs::RequestTracer::CompletedTrace> slow =
+      client.tracer()->SlowTraces();
+  int64_t failover_traces = 0;
+  double best_failover_gap = 1.0;  // Relative |sum - total| / total.
+  for (const auto& trace : slow) {
+    if (!trace.ok || trace.SegmentMs(obs::segment::kFailover) <= 0.0) continue;
+    ++failover_traces;
+    if (trace.total_ms > 0.0) {
+      best_failover_gap = std::min(
+          best_failover_gap,
+          std::abs(trace.SegmentSumMs() - trace.total_ms) / trace.total_ms);
+    }
+  }
+
+  // Tracing-overhead A/B probe on an isolated small client: sampling off vs
+  // the production 1% rate.
+  const int64_t probe_requests = smoke ? 8000 : 120000;
+  std::printf("probing tracing overhead (%lld requests per arm)...\n",
+              static_cast<long long>(probe_requests));
+  const double rps_untraced = ProbeArm(probe_requests, 0.0);
+  const double rps_traced = ProbeArm(probe_requests, 0.01);
+  const double trace_overhead =
+      rps_untraced > 0.0 ? 1.0 - rps_traced / rps_untraced : 0.0;
+
   std::printf("total:     %lld requests in %.2fs -> %.0f req/s\n",
               static_cast<long long>(total.requests), total.seconds,
               total.throughput());
@@ -245,6 +372,14 @@ int Run(int argc, char** argv) {
               "post-rejoin %.3f\n",
               static_cast<long long>(rejoins), victim_share_pre,
               victim_share_recovered);
+  std::printf("tracing:   traced=%lld slow_ring=%zu failover_traces=%lld "
+              "best_gap=%.3f slowest=%.3f ms\n",
+              static_cast<long long>(stats.traced_requests), slow.size(),
+              static_cast<long long>(failover_traces), best_failover_gap,
+              stats.slowest_request_ms);
+  std::printf("overhead:  untraced %.0f req/s vs 1%%-sampled %.0f req/s "
+              "-> %.2f%%\n",
+              rps_untraced, rps_traced, 100.0 * trace_overhead);
 
   Json::Array results;
   auto add = [&](const std::string& name, const PhaseStats& phase) {
@@ -278,7 +413,15 @@ int Run(int argc, char** argv) {
   derived["victim_share_postrejoin"] = victim_share_recovered;
   derived["routing_imbalance"] = stats.routing_imbalance;
   derived["live_shards"] = stats.live_shards;
+  derived["traced_requests"] = stats.traced_requests;
+  derived["slow_traces"] = static_cast<int64_t>(slow.size());
+  derived["failover_traces"] = failover_traces;
+  derived["failover_trace_gap"] = best_failover_gap;
+  derived["slowest_request_ms"] = stats.slowest_request_ms;
+  derived["trace_overhead_frac"] = trace_overhead;
+  derived["scenarios_burning_at_end"] = stats.scenarios_burning;
   doc["derived"] = derived;
+  doc["slo"] = client.slo()->ToJson();
   doc["obs"] = registry.ToJson();
 
   std::ofstream out(out_path);
@@ -299,10 +442,10 @@ int Run(int argc, char** argv) {
     std::printf("FAIL: shard kill did not trigger a rebalance event\n");
     return 1;
   }
-  if (completed != requests) {
+  if (completed != requests + captive_sent) {
     std::printf("FAIL: completed %lld of %lld requests\n",
                 static_cast<long long>(completed),
-                static_cast<long long>(requests));
+                static_cast<long long>(requests + captive_sent));
     return 1;
   }
   if (rejoins < 1) {
@@ -318,6 +461,22 @@ int Run(int argc, char** argv) {
     std::printf("FAIL: rejoined shard serves %.3f of traffic vs %.3f "
                 "steady-state (< 90%%)\n",
                 victim_share_recovered, victim_share_pre);
+    return 1;
+  }
+  if (failover_traces < 1) {
+    std::printf("FAIL: no retained slow trace carries a failover segment\n");
+    return 1;
+  }
+  if (best_failover_gap > 0.05) {
+    std::printf("FAIL: best failover-trace segment sum is %.1f%% off its "
+                "end-to-end latency (want <= 5%%)\n",
+                100.0 * best_failover_gap);
+    return 1;
+  }
+  if (!smoke && trace_overhead > 0.03) {
+    std::printf("FAIL: 1%% trace sampling costs %.2f%% throughput "
+                "(want < 3%%)\n",
+                100.0 * trace_overhead);
     return 1;
   }
   return 0;

@@ -34,6 +34,10 @@ AltSystem::AltSystem(AltSystemOptions options)
   if (options_.telemetry_port >= 0) {
     obs::TelemetryServer::Options telemetry;
     telemetry.port = options_.telemetry_port;
+    // /trace/slow and /slo read straight off the serving client's request
+    // tracer and SLO tracker; both outlive the server (stopped first).
+    telemetry.tracer = client_.tracer();
+    telemetry.slo = client_.slo();
     // Liveness reflects shard lifecycle state: 503 only when some deployed
     // scenario has no live replica left. Degraded capacity (suspect / dead /
     // rejoining shards with every scenario still answerable) stays 200 and
@@ -58,6 +62,11 @@ AltSystem::AltSystem(AltSystemOptions options)
         breakers[scenario] = resilience::BreakerStateName(state);
       }
       body["breakers"] = std::move(breakers);
+      Json::Array burning;
+      for (const std::string& scenario : client_.slo()->Burning()) {
+        burning.emplace_back(scenario);
+      }
+      body["slo_burning"] = Json(std::move(burning));
       return body;
     };
     // Readiness: the scenario-agnostic model exists AND every deployed

@@ -8,10 +8,13 @@
 
 #include <cerrno>
 #include <cstring>
+#include <map>
 #include <utility>
 
 #include "src/obs/export.h"
 #include "src/obs/memory_tracker.h"
+#include "src/obs/request_trace.h"
+#include "src/obs/slo.h"
 #include "src/util/logging.h"
 
 namespace alt {
@@ -26,13 +29,16 @@ constexpr size_t kMaxRequestBytes = 8192;
 const char* StatusText(int status) {
   switch (status) {
     case 200: return "OK";
+    case 400: return "Bad Request";
     case 404: return "Not Found";
     case 503: return "Service Unavailable";
     default: return "Internal Server Error";
   }
 }
 
-/// First line "GET /path HTTP/1.1" -> "/path"; empty on parse failure.
+/// First line "GET /path?query HTTP/1.1" -> "/path?query"; empty on parse
+/// failure. The query string stays attached — Handle() owns splitting it so
+/// endpoints like /trace?limit=200 can read their parameters.
 std::string RequestPath(const std::string& request) {
   const size_t line_end = request.find("\r\n");
   const std::string line =
@@ -41,10 +47,38 @@ std::string RequestPath(const std::string& request) {
   if (sp1 == std::string::npos || line.substr(0, sp1) != "GET") return "";
   const size_t sp2 = line.find(' ', sp1 + 1);
   if (sp2 == std::string::npos) return "";
-  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
-  const size_t query = path.find('?');
-  if (query != std::string::npos) path = path.substr(0, query);
-  return path;
+  return line.substr(sp1 + 1, sp2 - sp1 - 1);
+}
+
+/// "a=1&b=2" -> {{"a","1"},{"b","2"}}; valueless keys map to "".
+std::map<std::string, std::string> ParseQuery(const std::string& query) {
+  std::map<std::string, std::string> params;
+  size_t start = 0;
+  while (start < query.size()) {
+    size_t end = query.find('&', start);
+    if (end == std::string::npos) end = query.size();
+    const std::string pair = query.substr(start, end - start);
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      if (!pair.empty()) params[pair] = "";
+    } else {
+      params[pair.substr(0, eq)] = pair.substr(eq + 1);
+    }
+    start = end + 1;
+  }
+  return params;
+}
+
+/// Strict non-negative integer parse; false on empty / non-digits / overflow.
+bool ParseLimit(const std::string& text, size_t* out) {
+  if (text.empty() || text.size() > 9) return false;
+  size_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<size_t>(c - '0');
+  }
+  *out = value;
+  return true;
 }
 
 void WriteAll(int fd, const std::string& data) {
@@ -159,8 +193,24 @@ void TelemetryServer::ServeConnection(int fd) const {
     request.append(buf, static_cast<size_t>(n));
   }
 
+  // A request that never produced a complete header block (peer hung up,
+  // dribbled bytes until the timeout, or blew past the size cap) or whose
+  // request line failed to parse gets a clean 400 — the serving thread
+  // answers and moves on rather than wedging on garbage input.
+  const bool complete = request.find("\r\n\r\n") != std::string::npos;
   const std::string path = RequestPath(request);
-  const Response response = Handle(path);
+  Response response;
+  if (!complete || path.empty()) {
+    options_.registry
+        ->counter("obs/telemetry_server/requests/bad_request")
+        ->Add(1);
+    response.status = 400;
+    response.content_type = "text/plain; charset=utf-8";
+    response.body = complete ? "bad request line\n"
+                             : "incomplete or oversized request\n";
+  } else {
+    response = Handle(path);
+  }
   std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
                     StatusText(response.status) + "\r\n";
   out += "Content-Type: " + response.content_type + "\r\n";
@@ -171,26 +221,76 @@ void TelemetryServer::ServeConnection(int fd) const {
 }
 
 TelemetryServer::Response TelemetryServer::Handle(
-    const std::string& path) const {
+    const std::string& full_path) const {
   Response response;
+  const size_t query_pos = full_path.find('?');
+  const std::string path = query_pos == std::string::npos
+                               ? full_path
+                               : full_path.substr(0, query_pos);
+  const std::map<std::string, std::string> query =
+      query_pos == std::string::npos
+          ? std::map<std::string, std::string>{}
+          : ParseQuery(full_path.substr(query_pos + 1));
   // Known endpoints only; arbitrary request paths must not mint metrics.
-  const char* endpoint = path == "/metrics"    ? "metrics"
-                         : path == "/trace"    ? "trace"
-                         : path == "/healthz"  ? "healthz"
-                         : path == "/readyz"   ? "readyz"
-                         : path == "/snapshot" ? "snapshot"
-                                               : "other";
+  const char* endpoint = path == "/metrics"      ? "metrics"
+                         : path == "/trace"      ? "trace"
+                         : path == "/trace/slow" ? "trace_slow"
+                         : path == "/slo"        ? "slo"
+                         : path == "/healthz"    ? "healthz"
+                         : path == "/readyz"     ? "readyz"
+                         : path == "/snapshot"   ? "snapshot"
+                                                 : "other";
   options_.registry
       ->counter(std::string("obs/telemetry_server/requests/") + endpoint)
       ->Add(1);
   if (path == "/metrics") {
+    // Sync the recorder's drop tally into a scrapeable counter
+    // (alt_trace_dropped_events) as a delta so repeated scrapes never
+    // double-count, and refresh the alt_slo_* burn gauges so the scrape
+    // sees current windows rather than the last request's.
+    Counter* dropped =
+        options_.registry->counter("trace/dropped_events");
+    const int64_t delta = options_.recorder->dropped_count() - dropped->value();
+    if (delta > 0) dropped->Add(delta);
+    if (options_.slo != nullptr) options_.slo->PublishGauges();
     response.content_type = "text/plain; version=0.0.4; charset=utf-8";
     response.body = RenderPrometheus(options_.registry);
     return response;
   }
   if (path == "/trace") {
+    size_t limit = 0;
+    const auto limit_it = query.find("limit");
+    if (limit_it != query.end() && !ParseLimit(limit_it->second, &limit)) {
+      response.status = 400;
+      response.content_type = "text/plain; charset=utf-8";
+      response.body =
+          "bad limit: \"" + limit_it->second + "\" (want a non-negative integer)\n";
+      return response;
+    }
     response.content_type = "application/json";
-    response.body = options_.recorder->ToChromeJson().Dump() + "\n";
+    response.body = options_.recorder->ToChromeJson(limit).Dump() + "\n";
+    return response;
+  }
+  if (path == "/trace/slow") {
+    if (options_.tracer == nullptr) {
+      response.status = 404;
+      response.content_type = "text/plain; charset=utf-8";
+      response.body = "no request tracer wired\n";
+      return response;
+    }
+    response.content_type = "application/json";
+    response.body = options_.tracer->ToJson().Dump() + "\n";
+    return response;
+  }
+  if (path == "/slo") {
+    if (options_.slo == nullptr) {
+      response.status = 404;
+      response.content_type = "text/plain; charset=utf-8";
+      response.body = "no SLO tracker wired\n";
+      return response;
+    }
+    response.content_type = "application/json";
+    response.body = options_.slo->ToJson().Dump() + "\n";
     return response;
   }
   if (path == "/healthz" || path == "/readyz") {
@@ -222,7 +322,8 @@ TelemetryServer::Response TelemetryServer::Handle(
   response.status = 404;
   response.content_type = "text/plain; charset=utf-8";
   response.body = "not found: " + (path.empty() ? "(bad request)" : path) +
-                  "\nendpoints: /metrics /trace /healthz /readyz /snapshot\n";
+                  "\nendpoints: /metrics /trace /trace/slow /slo /healthz"
+                  " /readyz /snapshot\n";
   return response;
 }
 

@@ -15,18 +15,30 @@
 namespace alt {
 namespace obs {
 
+class RequestTracer;
+class SloTracker;
+
 /// Telemetry exposition server ------------------------------------------------
 ///
 /// A small dependency-free blocking HTTP/1.1 server (POSIX sockets, loopback
 /// only) that makes a running ALT process observable from outside:
 ///
-///   GET /metrics   Prometheus text exposition of the registry (export.h),
-///                  memory gauges included
-///   GET /trace     Chrome trace_event JSON from the TraceRecorder
-///   GET /healthz   liveness: 200 {"healthy": true, ...} or 503; wired by
-///                  the owner (e.g. AltSystem: no open serving breaker)
-///   GET /readyz    readiness: 200/503, e.g. "system initialized"
-///   GET /snapshot  full registry + memory JSON
+///   GET /metrics     Prometheus text exposition of the registry (export.h),
+///                    memory gauges, alt_trace_dropped_events, and (when an
+///                    SloTracker is wired) fresh alt_slo_* burn gauges
+///   GET /trace       Chrome trace_event JSON from the TraceRecorder;
+///                    `?limit=N` serves only the N most recent events
+///   GET /trace/slow  slow-request ring of the wired RequestTracer: the
+///                    slowest completed traces with per-segment latency
+///                    decomposition
+///   GET /slo         per-scenario SLO burn rates from the wired SloTracker
+///   GET /healthz     liveness: 200 {"healthy": true, ...} or 503; wired by
+///                    the owner (e.g. AltSystem: no open serving breaker)
+///   GET /readyz      readiness: 200/503, e.g. "system initialized"
+///   GET /snapshot    full registry + memory JSON
+///
+/// Malformed requests (bad request line, unterminated or oversized headers)
+/// get a clean 400 and never wedge the serving thread.
 ///
 /// The accept loop runs on a dedicated util::ThreadPool thread; requests
 /// are handled synchronously (each render is cheap), so the server costs
@@ -41,6 +53,11 @@ class TelemetryServer {
     MetricsRegistry* registry = nullptr;
     /// nullptr selects TraceRecorder::Global().
     TraceRecorder* recorder = nullptr;
+    /// Slow-request trace source for /trace/slow; nullptr = 404 there.
+    RequestTracer* tracer = nullptr;
+    /// SLO burn source for /slo (and alt_slo_* gauge refresh on /metrics);
+    /// nullptr = 404 there.
+    SloTracker* slo = nullptr;
     /// Liveness probe; must return an object with a boolean `healthy` key
     /// (503 when false). Unset: always healthy.
     std::function<Json()> health_fn;

@@ -1,0 +1,241 @@
+#include "src/obs/request_trace.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace alt {
+namespace obs {
+
+namespace {
+
+/// splitmix64 finalizer (same mix as the serving-layer p2c tie-breaker):
+/// full avalanche, so consecutive tickets sample independently.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double SampleRateFromEnv() {
+  const char* env = std::getenv("ALT_TRACE_SAMPLE");
+  if (env == nullptr || env[0] == '\0') return 0.01;
+  char* end = nullptr;
+  const double rate = std::strtod(env, &end);
+  if (end == env) return 0.01;
+  return std::min(1.0, std::max(0.0, rate));
+}
+
+std::string HexTraceId(uint64_t id) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out = "0x";
+  bool leading = true;
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    const int nibble = static_cast<int>((id >> shift) & 0xf);
+    if (leading && nibble == 0 && shift != 0) continue;
+    leading = false;
+    out.push_back(kDigits[nibble]);
+  }
+  return out;
+}
+
+}  // namespace
+
+RequestTrace::RequestTrace(uint64_t trace_id, std::string scenario,
+                           double start_us)
+    : trace_id_(trace_id),
+      scenario_(std::move(scenario)),
+      start_us_(start_us) {}
+
+void RequestTrace::AddSegment(const char* name, double ms) {
+  MutexLock lock(mu_);
+  for (auto& [existing, total] : segments_) {
+    if (existing == name) {
+      total += ms;
+      return;
+    }
+  }
+  segments_.emplace_back(name, ms);
+}
+
+std::vector<std::pair<std::string, double>> RequestTrace::Segments() const {
+  MutexLock lock(mu_);
+  return segments_;
+}
+
+RequestTracer::RequestTracer() : RequestTracer(Options()) {}
+
+RequestTracer::RequestTracer(Options options)
+    : registry_(options.registry != nullptr ? options.registry
+                                            : &MetricsRegistry::Global()),
+      recorder_(options.recorder != nullptr ? options.recorder
+                                            : &TraceRecorder::Global()),
+      seed_(options.seed),
+      slow_ring_size_(options.slow_ring_size > 0
+                          ? static_cast<size_t>(options.slow_ring_size)
+                          : 1),
+      sample_rate_(options.sample_rate >= 0.0
+                       ? std::min(1.0, options.sample_rate)
+                       : SampleRateFromEnv()) {
+  completed_ = registry_->counter("serving/trace/completed");
+  slowest_gauge_ = registry_->gauge("serving/trace/slowest_ms");
+}
+
+bool RequestTracer::enabled() const { return registry_->enabled(); }
+
+RequestContext RequestTracer::StartRequest(const std::string& scenario) {
+  RequestContext ctx;
+  if (!enabled()) return ctx;
+  ctx.start_us = MonotonicMicros();
+  const uint64_t ticket = ticket_.fetch_add(1, std::memory_order_relaxed);
+  const double rate = sample_rate_.load(std::memory_order_relaxed);
+  if (rate <= 0.0) return ctx;
+  // Deterministic per-ticket coin: top 53 bits of the mix as a uniform in
+  // [0,1). Same seed + same request order → same sampling decisions.
+  const uint64_t coin = Mix64(seed_ ^ ticket);
+  if ((coin >> 11) * 0x1.0p-53 >= rate) return ctx;
+  ctx.trace_id = Mix64(~seed_ ^ (ticket * 0x9e3779b97f4a7c15ULL));
+  if (ctx.trace_id == 0) ctx.trace_id = 1;
+  ctx.span_id = NextSpanId(ctx.trace_id);
+  ctx.trace = std::make_shared<RequestTrace>(ctx.trace_id, scenario,
+                                             ctx.start_us);
+  return ctx;
+}
+
+double RequestTracer::CompleteRequest(const RequestContext& ctx,
+                                      const Status& status) {
+  if (ctx.start_us == 0.0) return 0.0;  // Tracer was disabled at start.
+  const double total_ms = (MonotonicMicros() - ctx.start_us) / 1e3;
+  if (!ctx.sampled()) return total_ms;
+
+  completed_->Add(1);
+  CompletedTrace done;
+  done.trace_id = ctx.trace_id;
+  done.scenario = ctx.trace->scenario();
+  done.total_ms = total_ms;
+  done.ok = status.ok();
+  done.status = status.ok() ? "OK" : status.ToString();
+  done.segments = ctx.trace->Segments();
+  for (const auto& [name, ms] : done.segments) {
+    SegmentHistogram(name)->Observe(ms);
+  }
+
+  MutexLock lock(mu_);
+  if (slow_.size() < slow_ring_size_) {
+    slow_.push_back(std::move(done));
+  } else {
+    // Replace the fastest retained trace if this one is slower.
+    size_t fastest = 0;
+    for (size_t i = 1; i < slow_.size(); ++i) {
+      if (slow_[i].total_ms < slow_[fastest].total_ms) fastest = i;
+    }
+    if (done.total_ms > slow_[fastest].total_ms) {
+      slow_[fastest] = std::move(done);
+    }
+  }
+  double slowest = 0.0;
+  for (const CompletedTrace& t : slow_) slowest = std::max(slowest, t.total_ms);
+  slowest_gauge_->Set(slowest);
+  return total_ms;
+}
+
+Histogram* RequestTracer::SegmentHistogram(const std::string& name) {
+  MutexLock lock(mu_);
+  auto it = segment_hists_.find(name);
+  if (it != segment_hists_.end()) return it->second;
+  Histogram* hist = registry_->histogram("serving/trace/segment_ms/" + name);
+  segment_hists_.emplace(name, hist);
+  return hist;
+}
+
+double RequestTracer::CompletedTrace::SegmentSumMs() const {
+  double sum = 0.0;
+  for (const auto& [name, ms] : segments) sum += ms;
+  return sum;
+}
+
+double RequestTracer::CompletedTrace::SegmentMs(
+    const std::string& name) const {
+  for (const auto& [seg, ms] : segments) {
+    if (seg == name) return ms;
+  }
+  return 0.0;
+}
+
+std::vector<RequestTracer::CompletedTrace> RequestTracer::SlowTraces() const {
+  std::vector<CompletedTrace> traces;
+  {
+    MutexLock lock(mu_);
+    traces = slow_;
+  }
+  std::sort(traces.begin(), traces.end(),
+            [](const CompletedTrace& a, const CompletedTrace& b) {
+              return a.total_ms > b.total_ms;
+            });
+  return traces;
+}
+
+Json RequestTracer::ToJson() const {
+  Json::Array entries;
+  for (const CompletedTrace& trace : SlowTraces()) {
+    Json entry = Json::Object{};
+    entry["trace_id"] = HexTraceId(trace.trace_id);
+    entry["scenario"] = trace.scenario;
+    entry["total_ms"] = trace.total_ms;
+    entry["segment_sum_ms"] = trace.SegmentSumMs();
+    entry["ok"] = trace.ok;
+    entry["status"] = trace.status;
+    Json segments = Json::Object{};
+    for (const auto& [name, ms] : trace.segments) segments[name] = ms;
+    entry["segments"] = std::move(segments);
+    entries.push_back(std::move(entry));
+  }
+  Json doc = Json::Object{};
+  doc["sample_rate"] = sample_rate();
+  doc["traced_requests"] = traced_requests();
+  doc["slow_traces"] = std::move(entries);
+  return doc;
+}
+
+int64_t RequestTracer::traced_requests() const { return completed_->value(); }
+
+double RequestTracer::slowest_ms() const {
+  MutexLock lock(mu_);
+  double slowest = 0.0;
+  for (const CompletedTrace& t : slow_) slowest = std::max(slowest, t.total_ms);
+  return slowest;
+}
+
+double RequestTracer::sample_rate() const {
+  return sample_rate_.load(std::memory_order_relaxed);
+}
+
+void RequestTracer::set_sample_rate(double rate) {
+  sample_rate_.store(std::min(1.0, std::max(0.0, rate)),
+                     std::memory_order_relaxed);
+}
+
+SegmentTimer::SegmentTimer(const RequestContext& ctx)
+    : trace_(ctx.trace), on_destroy_(nullptr) {
+  if (trace_ != nullptr) start_us_ = MonotonicMicros();
+}
+
+SegmentTimer::SegmentTimer(const RequestContext& ctx, const char* segment)
+    : trace_(ctx.trace), on_destroy_(segment) {
+  if (trace_ != nullptr) start_us_ = MonotonicMicros();
+}
+
+SegmentTimer::~SegmentTimer() {
+  if (trace_ == nullptr || on_destroy_ == nullptr) return;
+  trace_->AddSegment(on_destroy_, (MonotonicMicros() - start_us_) / 1e3);
+}
+
+void SegmentTimer::RecordAs(const char* segment) {
+  if (trace_ == nullptr) return;
+  const double now_us = MonotonicMicros();
+  trace_->AddSegment(segment, (now_us - start_us_) / 1e3);
+  start_us_ = now_us;
+}
+
+}  // namespace obs
+}  // namespace alt

@@ -1,0 +1,164 @@
+#include "src/obs/slo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/obs/trace.h"
+
+namespace alt {
+namespace obs {
+
+SloTracker::SloTracker() : SloTracker(Options()) {}
+
+SloTracker::SloTracker(Options options)
+    : registry_(options.registry != nullptr ? options.registry
+                                            : &MetricsRegistry::Global()),
+      now_ms_(options.now_ms != nullptr
+                  ? std::move(options.now_ms)
+                  : std::function<double()>(
+                        [] { return MonotonicMicros() / 1e3; })),
+      bucket_ms_(options.bucket_ms > 0.0 ? options.bucket_ms : 1000.0),
+      default_objective_(options.default_objective) {
+  const double short_ms = std::max(options.short_window_ms, bucket_ms_);
+  const double long_ms = std::max(options.long_window_ms, short_ms);
+  short_buckets_ = static_cast<int64_t>(std::ceil(short_ms / bucket_ms_));
+  long_buckets_ = static_cast<int64_t>(std::ceil(long_ms / bucket_ms_));
+  ring_size_ = static_cast<size_t>(long_buckets_ + 1);
+}
+
+double SloTracker::NowMs() const { return now_ms_(); }
+
+SloTracker::Scenario& SloTracker::ScenarioLocked(const std::string& name) {
+  auto it = scenarios_.find(name);
+  if (it == scenarios_.end()) {
+    Scenario scenario;
+    scenario.objective = default_objective_;
+    scenario.ring.resize(ring_size_);
+    it = scenarios_.emplace(name, std::move(scenario)).first;
+  }
+  return it->second;
+}
+
+void SloTracker::SetObjective(const std::string& scenario,
+                              const SloObjective& objective) {
+  MutexLock lock(mu_);
+  ScenarioLocked(scenario).objective = objective;
+}
+
+void SloTracker::Record(const std::string& scenario, double latency_ms,
+                        bool ok) {
+  if (!registry_->enabled()) return;
+  const int64_t index = static_cast<int64_t>(now_ms_() / bucket_ms_);
+  MutexLock lock(mu_);
+  Scenario& state = ScenarioLocked(scenario);
+  const bool bad = !ok || (state.objective.target_latency_ms > 0.0 &&
+                           latency_ms > state.objective.target_latency_ms);
+  ++state.total;
+  if (bad) ++state.bad;
+  Bucket& bucket = state.ring[static_cast<size_t>(index) % ring_size_];
+  if (bucket.index != index) {
+    bucket.index = index;
+    bucket.total = 0;
+    bucket.bad = 0;
+  }
+  ++bucket.total;
+  if (bad) ++bucket.bad;
+}
+
+void SloTracker::WindowCounts(const Scenario& scenario, int64_t now_index,
+                              int64_t window_buckets, int64_t* total,
+                              int64_t* bad) {
+  *total = 0;
+  *bad = 0;
+  for (const Bucket& bucket : scenario.ring) {
+    if (bucket.index < 0) continue;
+    if (bucket.index > now_index) continue;          // Future (clock reset).
+    if (bucket.index <= now_index - window_buckets) continue;  // Aged out.
+    *total += bucket.total;
+    *bad += bucket.bad;
+  }
+}
+
+double SloTracker::Burn(int64_t total, int64_t bad,
+                        const SloObjective& objective) {
+  if (total <= 0) return 0.0;
+  const double budget = 1.0 - objective.availability;
+  const double bad_fraction =
+      static_cast<double>(bad) / static_cast<double>(total);
+  if (budget <= 0.0) return bad > 0 ? kInfiniteBurn : 0.0;
+  return bad_fraction / budget;
+}
+
+std::map<std::string, SloTracker::ScenarioSlo> SloTracker::Snapshot() const {
+  const int64_t now_index = static_cast<int64_t>(now_ms_() / bucket_ms_);
+  std::map<std::string, ScenarioSlo> out;
+  MutexLock lock(mu_);
+  for (const auto& [name, state] : scenarios_) {
+    ScenarioSlo slo;
+    slo.objective = state.objective;
+    slo.total = state.total;
+    slo.bad = state.bad;
+    int64_t total = 0;
+    int64_t bad = 0;
+    WindowCounts(state, now_index, short_buckets_, &total, &bad);
+    slo.burn_short = Burn(total, bad, state.objective);
+    WindowCounts(state, now_index, long_buckets_, &total, &bad);
+    slo.burn_long = Burn(total, bad, state.objective);
+    const double allowed =
+        static_cast<double>(total) * (1.0 - state.objective.availability);
+    if (allowed > 0.0) {
+      slo.budget_remaining = std::max(
+          0.0, std::min(1.0, 1.0 - static_cast<double>(bad) / allowed));
+    } else {
+      slo.budget_remaining = bad > 0 ? 0.0 : 1.0;
+    }
+    out.emplace(name, std::move(slo));
+  }
+  return out;
+}
+
+std::vector<std::string> SloTracker::Burning() const {
+  std::vector<std::string> burning;
+  for (const auto& [name, slo] : Snapshot()) {
+    if (slo.burning()) burning.push_back(name);
+  }
+  return burning;
+}
+
+void SloTracker::PublishGauges() {
+  for (const auto& [name, slo] : Snapshot()) {
+    registry_->gauge("slo/burn/short/" + name)->Set(slo.burn_short);
+    registry_->gauge("slo/burn/long/" + name)->Set(slo.burn_long);
+    registry_->gauge("slo/budget/remaining/" + name)
+        ->Set(slo.budget_remaining);
+  }
+}
+
+Json SloTracker::ToJson() const {
+  Json scenarios = Json::Object{};
+  int64_t burning = 0;
+  for (const auto& [name, slo] : Snapshot()) {
+    Json entry = Json::Object{};
+    Json objective = Json::Object{};
+    objective["target_latency_ms"] = slo.objective.target_latency_ms;
+    objective["availability"] = slo.objective.availability;
+    entry["objective"] = std::move(objective);
+    entry["total"] = slo.total;
+    entry["bad"] = slo.bad;
+    entry["burn_short"] = slo.burn_short;
+    entry["burn_long"] = slo.burn_long;
+    entry["budget_remaining"] = slo.budget_remaining;
+    entry["burning"] = slo.burning();
+    if (slo.burning()) ++burning;
+    scenarios[name] = std::move(entry);
+  }
+  Json doc = Json::Object{};
+  doc["scenarios"] = std::move(scenarios);
+  doc["burning"] = burning;
+  doc["short_window_ms"] = bucket_ms_ * static_cast<double>(short_buckets_);
+  doc["long_window_ms"] = bucket_ms_ * static_cast<double>(long_buckets_);
+  return doc;
+}
+
+}  // namespace obs
+}  // namespace alt

@@ -13,12 +13,49 @@ namespace obs {
 namespace {
 
 std::atomic<uint64_t> g_next_recorder_id{1};
+std::atomic<uint64_t> g_next_span_seq{1};
 
 /// Nesting depth of active spans on the current thread. A single counter is
 /// enough: spans are strictly scoped, so interleaved recorders still nest.
 thread_local int tls_span_depth = 0;
 
+/// splitmix64 finalizer: full-avalanche 64-bit mix.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::string HexId(uint64_t id) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out = "0x";
+  bool leading = true;
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    const int nibble = static_cast<int>((id >> shift) & 0xf);
+    if (leading && nibble == 0 && shift != 0) continue;
+    leading = false;
+    out.push_back(kDigits[nibble]);
+  }
+  return out;
+}
+
 }  // namespace
+
+uint64_t NextSpanId(uint64_t parent_span_id) {
+  const uint64_t seq =
+      g_next_span_seq.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t id = Mix64(parent_span_id ^ (seq * 0x9e3779b97f4a7c15ULL));
+  return id == 0 ? 1 : id;
+}
+
+double MonotonicMicros() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
 
 namespace internal {
 bool ObsEnabledFromEnv();  // Defined in metrics.cc.
@@ -132,9 +169,25 @@ std::vector<TraceEvent> TraceRecorder::SortedEvents() const {
   return events;
 }
 
-Json TraceRecorder::ToChromeJson() const {
+Json TraceRecorder::ToChromeJson(size_t limit) const {
+  std::vector<TraceEvent> events = SortedEvents();
+  const size_t total = events.size();
+  if (limit > 0 && events.size() > limit) {
+    // Keep the most recent `limit` events; the sort is by start time, so
+    // this is the tail of the stream.
+    events.erase(events.begin(),
+                 events.begin() + static_cast<ptrdiff_t>(events.size() - limit));
+  }
+
+  // span id → position in `events`, for flow-event endpoints. Only spans
+  // whose parent is also in the emitted slice get a flow edge.
+  std::map<uint64_t, size_t> span_index;
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (events[i].span_id != 0) span_index[events[i].span_id] = i;
+  }
+
   Json::Array trace_events;
-  for (const TraceEvent& event : SortedEvents()) {
+  for (const TraceEvent& event : events) {
     Json entry = Json::Object{};
     entry["name"] = event.name;
     entry["cat"] = "alt";
@@ -143,12 +196,49 @@ Json TraceRecorder::ToChromeJson() const {
     entry["dur"] = event.dur_us;
     entry["pid"] = 1;
     entry["tid"] = event.tid;
+    if (event.trace_id != 0) {
+      entry["id"] = HexId(event.trace_id);
+      Json args = Json::Object{};
+      args["trace"] = HexId(event.trace_id);
+      args["span"] = HexId(event.span_id);
+      args["parent"] = HexId(event.parent_span_id);
+      entry["args"] = std::move(args);
+    }
     trace_events.push_back(std::move(entry));
+  }
+  // Flow events: one s→f pair per parent→child span edge, keyed by the
+  // child's span id, binding to the enclosing slices ("bp":"e") so Perfetto
+  // draws arrows across threads.
+  for (const TraceEvent& event : events) {
+    if (event.parent_span_id == 0) continue;
+    auto it = span_index.find(event.parent_span_id);
+    if (it == span_index.end()) continue;
+    const TraceEvent& parent = events[it->second];
+    Json start = Json::Object{};
+    start["name"] = "request";
+    start["cat"] = "alt_flow";
+    start["ph"] = "s";
+    start["id"] = HexId(event.span_id);
+    start["ts"] = parent.ts_us;
+    start["pid"] = 1;
+    start["tid"] = parent.tid;
+    trace_events.push_back(std::move(start));
+    Json finish = Json::Object{};
+    finish["name"] = "request";
+    finish["cat"] = "alt_flow";
+    finish["ph"] = "f";
+    finish["bp"] = "e";
+    finish["id"] = HexId(event.span_id);
+    finish["ts"] = event.ts_us;
+    finish["pid"] = 1;
+    finish["tid"] = event.tid;
+    trace_events.push_back(std::move(finish));
   }
   Json doc = Json::Object{};
   doc["traceEvents"] = std::move(trace_events);
   doc["displayTimeUnit"] = "ms";
   doc["droppedEvents"] = dropped_count();
+  doc["totalEvents"] = static_cast<int64_t>(total);
   return doc;
 }
 
@@ -182,6 +272,28 @@ TraceSpan::TraceSpan(std::string name, TraceRecorder* recorder)
   start_us_ = recorder_->NowMicros();
 }
 
+TraceSpan::TraceSpan(std::string name, const RequestContext& ctx,
+                     TraceRecorder* recorder)
+    : name_(std::move(name)),
+      recorder_(recorder != nullptr ? recorder : &TraceRecorder::Global()),
+      ctx_(ctx) {
+  if (!recorder_->enabled() || !ctx_.sampled()) {
+    recorder_ = nullptr;  // Inactive; context() still forwards ctx_.
+    return;
+  }
+  span_id_ = NextSpanId(ctx_.span_id);
+  depth_ = tls_span_depth++;
+  start_us_ = recorder_->NowMicros();
+}
+
+RequestContext TraceSpan::context() const {
+  if (span_id_ == 0) return ctx_;
+  RequestContext child = ctx_;
+  child.parent_span_id = ctx_.span_id;
+  child.span_id = span_id_;
+  return child;
+}
+
 TraceSpan::~TraceSpan() {
   if (recorder_ == nullptr) return;
   --tls_span_depth;
@@ -190,6 +302,11 @@ TraceSpan::~TraceSpan() {
   event.ts_us = start_us_;
   event.dur_us = recorder_->NowMicros() - start_us_;
   event.depth = depth_;
+  if (span_id_ != 0) {
+    event.trace_id = ctx_.trace_id;
+    event.span_id = span_id_;
+    event.parent_span_id = ctx_.span_id;
+  }
   recorder_->Record(std::move(event));
 }
 

@@ -39,7 +39,40 @@ struct TraceEvent {
   double dur_us = 0.0;
   int tid = 0;
   int depth = 0;
+  /// Request-scoped causality (all 0 for spans outside a sampled request).
+  /// Export uses these to attach ids and emit Chrome flow events so Perfetto
+  /// renders one causal lane per request across threads.
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
 };
+
+class RequestTrace;  // src/obs/request_trace.h
+
+/// Identity of one request as it crosses threads: caller → coordinator →
+/// shard dispatcher → batch flush. Copied by value; the shared_ptr keeps the
+/// per-request segment accumulator alive on every thread the request visits.
+/// A default-constructed context is unsampled and makes every tracing hook
+/// along the path a no-op.
+struct RequestContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;  // The span that currently owns the request.
+  uint64_t parent_span_id = 0;
+  /// Microseconds (MonotonicMicros epoch) at StartRequest; 0 when request
+  /// timing is disabled entirely (registry off).
+  double start_us = 0.0;
+  std::shared_ptr<RequestTrace> trace;  // Null = unsampled.
+  bool sampled() const { return trace != nullptr; }
+};
+
+/// Process-unique span id, mixed from the parent id so ids stay deterministic
+/// for a deterministic span sequence. Never returns 0 (0 = "no span").
+uint64_t NextSpanId(uint64_t parent_span_id);
+
+/// Microseconds on the process steady clock (arbitrary but fixed epoch).
+/// Segment timing helper for serving code, which must not read raw chrono
+/// clocks (lint L006).
+double MonotonicMicros();
 
 class TraceRecorder {
  public:
@@ -70,8 +103,12 @@ class TraceRecorder {
 
   /// Chrome trace_event JSON: {"traceEvents": [...], "displayTimeUnit":
   /// "ms"}. Events are sorted by start time (ties: longer span first, so a
-  /// parent precedes the children it encloses).
-  Json ToChromeJson() const;
+  /// parent precedes the children it encloses). `limit` > 0 keeps only the
+  /// most recent `limit` X events (the tail of the sorted stream). Events
+  /// that belong to a sampled request additionally carry `id` + `args`
+  /// (trace/span/parent) and parent→child pairs emit Chrome flow events
+  /// (ph "s"/"f") so Perfetto draws one causal lane per request.
+  Json ToChromeJson(size_t limit = 0) const;
 
   /// Indented per-thread span tree (depth = nesting at record time).
   std::string ToTextTree() const;
@@ -110,6 +147,12 @@ class TraceRecorder {
 class TraceSpan {
  public:
   explicit TraceSpan(std::string name, TraceRecorder* recorder = nullptr);
+  /// Request-linked span: active only when the recorder is enabled AND `ctx`
+  /// is sampled. The recorded event carries the request's trace id plus a
+  /// fresh span id parented on ctx.span_id; hand `context()` to downstream
+  /// work so its spans nest under this one in the request's causal lane.
+  TraceSpan(std::string name, const RequestContext& ctx,
+            TraceRecorder* recorder = nullptr);
   ~TraceSpan();
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
@@ -118,11 +161,18 @@ class TraceSpan {
   /// Wall time since construction; 0 when inactive.
   double ElapsedMillis() const;
 
+  /// The context downstream work should propagate: this span's child context
+  /// when active, else the construction-time context unchanged (so segment
+  /// attribution still flows when only the recorder is disabled).
+  RequestContext context() const;
+
  private:
   std::string name_;
   TraceRecorder* recorder_;  // Null when inactive.
   double start_us_ = 0.0;
   int depth_ = 0;
+  RequestContext ctx_;       // Construction-time context (may be unsampled).
+  uint64_t span_id_ = 0;     // This span's id; 0 unless request-linked.
 };
 
 }  // namespace obs

@@ -79,11 +79,12 @@ BatchPredictor::~BatchPredictor() {
 
 std::future<Result<float>> BatchPredictor::Enqueue(
     const std::string& scenario, Tensor profile,
-    std::vector<int64_t> behavior) {
+    std::vector<int64_t> behavior, const obs::RequestContext& ctx) {
   Request request;
   request.scenario = scenario;
   request.profile = std::move(profile);
   request.behavior = std::move(behavior);
+  request.ctx = ctx;
   // Control-flow timestamp (batching deadline), not telemetry.
   request.enqueue_time = std::chrono::steady_clock::now();  // alt_lint: allow(L006): batching deadline, not telemetry
   std::future<Result<float>> future = request.promise.get_future();
@@ -154,12 +155,18 @@ void BatchPredictor::Resolve(Request* request, Result<float> result) {
   // Request latency covers the full queue→reply path; measured from the
   // control-flow enqueue timestamp so no extra clock read is needed on the
   // hot enqueue path.
-  if (request_latency_->enabled()) {
-    const double latency_ms =
+  double latency_ms = 0.0;
+  if (request_latency_->enabled() || on_complete_ != nullptr) {
+    latency_ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - request->enqueue_time)  // alt_lint: allow(L006): pairs with the enqueue timestamp
             .count();
     request_latency_->Observe(latency_ms);
+  }
+  // Sampled requests complete their trace here: segment histograms + the
+  // slow-trace ring see the request before its caller is unblocked.
+  if (tracer_ != nullptr && request->ctx.sampled()) {
+    tracer_->CompleteRequest(request->ctx, result.status());
   }
   // Every terminal path for a request funnels through here — success,
   // Predict failure, injected flush fault, shape rejection — so the gauge
@@ -175,6 +182,9 @@ void BatchPredictor::Resolve(Request* request, Result<float> result) {
   }
   queue_depth_->Add(-1.0);
   pending_.fetch_sub(1, std::memory_order_relaxed);
+  if (on_complete_ != nullptr) {
+    on_complete_(request->scenario, latency_ms, result.status());
+  }
   request->promise.set_value(std::move(result));
 }
 
@@ -200,6 +210,24 @@ void BatchPredictor::Flush(std::vector<Request> batch) {
   }
   if (accepted.empty()) return;
 
+  // Attribute coalescing delay to every sampled accepted request, and elect
+  // the first sampled one as the flush's representative: its context rides
+  // the backend call, so the flush's downstream decomposition (route,
+  // queue_wait, compute, failover, ...) lands on its trace. The other
+  // sampled co-batched requests account the whole backend call as compute
+  // below — either way segments sum to the request's end-to-end latency.
+  obs::RequestContext rep;
+  for (size_t i : accepted) {
+    Request& request = batch[i];
+    if (!request.ctx.sampled()) continue;
+    const double wait_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - request.enqueue_time)  // alt_lint: allow(L006): pairs with the enqueue timestamp
+            .count();
+    request.ctx.trace->AddSegment(obs::segment::kBatchWait, wait_ms);
+    if (!rep.sampled()) rep = request.ctx;
+  }
+
   merged.batch_size = static_cast<int64_t>(accepted.size());
   merged.profiles = Tensor({merged.batch_size, profile_dim});
   merged.behaviors.resize(static_cast<size_t>(merged.batch_size * seq_len));
@@ -217,10 +245,25 @@ void BatchPredictor::Flush(std::vector<Request> batch) {
 
   // An injected flush fault fails the whole merged batch the same way a
   // failed Predict does: every accepted request resolves with the error.
+  const double predict_start_us = rep.sampled() ? obs::MonotonicMicros() : 0.0;
   Result<std::vector<float>> scores = [&]() -> Result<std::vector<float>> {
     ALT_FAULT_RETURN_IF("serving/batch_predictor/flush");
-    return predict_(batch[accepted[0]].scenario, merged);
+    obs::TraceSpan predict_span("serving/batch_predictor/flush_predict", rep);
+    return predict_(batch[accepted[0]].scenario, merged,
+                    predict_span.context());
   }();
+  if (rep.sampled()) {
+    const double predict_ms =
+        (obs::MonotonicMicros() - predict_start_us) / 1e3;
+    // Non-representative sampled passengers: the shared backend call is
+    // their compute time (they have no per-attempt visibility of their own).
+    for (size_t i : accepted) {
+      Request& request = batch[i];
+      if (request.ctx.sampled() && request.ctx.trace != rep.trace) {
+        request.ctx.trace->AddSegment(obs::segment::kCompute, predict_ms);
+      }
+    }
+  }
   for (int64_t r = 0; r < merged.batch_size; ++r) {
     Request& request = batch[accepted[static_cast<size_t>(r)]];
     if (scores.ok()) {

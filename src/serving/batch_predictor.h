@@ -12,6 +12,7 @@
 
 #include "src/data/dataset.h"
 #include "src/obs/metrics.h"
+#include "src/obs/request_trace.h"
 #include "src/util/mutex.h"
 #include "src/util/status.h"
 #include "src/util/thread_annotations.h"
@@ -67,9 +68,20 @@ class BatchPredictor {
   };
 
   /// The serving backend: scores a merged micro-batch for one scenario.
-  /// Must be thread-safe (called from the dispatcher thread).
+  /// Must be thread-safe (called from the dispatcher thread). `ctx` is the
+  /// representative request context of the flush (unsampled when no request
+  /// in the batch is sampled) — backends propagate it so the flush's
+  /// downstream decomposition lands on that request's trace.
   using PredictFn = std::function<Result<std::vector<float>>(
-      const std::string& scenario, const data::Batch& batch)>;
+      const std::string& scenario, const data::Batch& batch,
+      const obs::RequestContext& ctx)>;
+
+  /// Completion hook: called once per resolved request with its end-to-end
+  /// latency (enqueue to resolve) and final status, before the caller's
+  /// future is unblocked. The sharded plane feeds per-scenario latency
+  /// histograms and the SLO tracker through this.
+  using CompletionFn = std::function<void(
+      const std::string& scenario, double latency_ms, const Status& status)>;
 
   /// Validating factory: rejects a null `predict`, `max_batch_size <= 0`,
   /// and negative `max_delay_ms` with InvalidArgument.
@@ -90,10 +102,20 @@ class BatchPredictor {
 
   /// Enqueues one sample for `scenario`; the future resolves to the score
   /// (or an error status, e.g. scenario not deployed).
-  std::future<Result<float>> Enqueue(const std::string& scenario,
-                                     Tensor profile,
-                                     std::vector<int64_t> behavior)
+  std::future<Result<float>> Enqueue(
+      const std::string& scenario, Tensor profile,
+      std::vector<int64_t> behavior,
+      const obs::RequestContext& ctx = obs::RequestContext())
       ALT_EXCLUDES(mu_);
+
+  /// Control-plane wiring, set before traffic (not synchronized with the
+  /// dispatcher): the tracer completes sampled requests as they resolve
+  /// (batch_wait attribution + slow-trace ring); the completion hook sees
+  /// every request.
+  void set_tracer(obs::RequestTracer* tracer) { tracer_ = tracer; }
+  void set_completion_hook(CompletionFn hook) {
+    on_complete_ = std::move(hook);
+  }
 
   /// Requests enqueued but not yet resolved — queued plus in-flight
   /// (registry gauge view).
@@ -120,6 +142,7 @@ class BatchPredictor {
     std::vector<int64_t> behavior;  // [T]
     std::promise<Result<float>> promise;
     std::chrono::steady_clock::time_point enqueue_time;
+    obs::RequestContext ctx;        // Sampled requests only; default inert.
   };
 
   void DispatcherLoop() ALT_EXCLUDES(mu_);
@@ -129,6 +152,8 @@ class BatchPredictor {
   PredictFn predict_;
   Options options_;
   obs::MetricsRegistry* registry_;
+  obs::RequestTracer* tracer_ = nullptr;  // Optional; set before traffic.
+  CompletionFn on_complete_;              // Optional; set before traffic.
   std::atomic<int64_t> pending_{0};
   obs::Gauge* queue_depth_;            // Owned by the registry.
   obs::Counter* shard_unavailable_;    // Owned by the registry.

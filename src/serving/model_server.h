@@ -9,6 +9,7 @@
 #include "src/data/dataset.h"
 #include "src/models/base_model.h"
 #include "src/obs/metrics.h"
+#include "src/obs/slo.h"
 #include "src/resilience/circuit_breaker.h"
 #include "src/resilience/retry.h"
 #include "src/util/mutex.h"
@@ -81,6 +82,10 @@ struct DeployOptions {
   /// subsumes external retry wrappers around single deploy attempts.
   bool retry_transient = false;
   resilience::RetryOptions retry;
+  /// Per-scenario SLO: latency target + availability objective. A plain
+  /// ModelServer ignores it; ServingClient registers it with its SloTracker
+  /// so the scenario's burn rate shows up on /slo and the alt_slo_* gauges.
+  obs::SloObjective slo;
 };
 
 /// The Model Serving module (Sec. IV-E): per-scenario model registry with

@@ -29,12 +29,35 @@ shard::CoordinatorOptions ToCoordinatorOptions(
   return out;
 }
 
+obs::RequestTracer::Options ToTracerOptions(
+    const ServingClient::Options& options, obs::MetricsRegistry* registry) {
+  obs::RequestTracer::Options out = options.trace;
+  if (out.registry == nullptr) out.registry = registry;
+  return out;
+}
+
+obs::SloTracker::Options ToSloOptions(const ServingClient::Options& options,
+                                      obs::MetricsRegistry* registry) {
+  obs::SloTracker::Options out = options.slo;
+  if (out.registry == nullptr) out.registry = registry;
+  if (out.now_ms == nullptr && options.clock != nullptr) {
+    // FakeClock-driven tests advance SLO burn windows through the same
+    // injected clock that paces re-join and the supervisor.
+    out.now_ms = [clock = options.clock] { return clock->NowMs(); };
+  }
+  return out;
+}
+
 }  // namespace
 
 ServingClient::ServingClient(Options options, obs::MetricsRegistry* registry)
     : options_(std::move(options)),
       registry_(registry != nullptr ? registry
                                     : &obs::MetricsRegistry::Global()),
+      tracer_(std::make_unique<obs::RequestTracer>(
+          ToTracerOptions(options_, registry_))),
+      slo_(std::make_unique<obs::SloTracker>(
+          ToSloOptions(options_, registry_))),
       coordinator_(ToCoordinatorOptions(options_), registry_) {
   {
     MutexLock lock(batchers_mu_);
@@ -42,10 +65,12 @@ ServingClient::ServingClient(Options options, obs::MetricsRegistry* registry)
       // Per-shard batchers keep micro-batch locality; the preferred-shard
       // flush path falls back to replicas when the shard dies.
       batchers_[id] = std::make_unique<BatchPredictor>(
-          [this, id](const std::string& scenario, const data::Batch& batch) {
-            return coordinator_.PredictPreferring(id, scenario, batch);
+          [this, id](const std::string& scenario, const data::Batch& batch,
+                     const obs::RequestContext& ctx) {
+            return coordinator_.PredictPreferring(id, scenario, batch, ctx);
           },
           options_.batching, registry_);
+      WireBatcher(batchers_[id].get());
     }
   }
   if (options_.enable_resilience) {
@@ -67,13 +92,18 @@ ServingClient::~ServingClient() = default;
 Status ServingClient::Deploy(const std::string& scenario,
                              std::unique_ptr<models::BaseModel> model,
                              const DeployOptions& options) {
-  return coordinator_.Deploy(scenario, std::move(model), options);
+  ALT_RETURN_IF_ERROR(coordinator_.Deploy(scenario, std::move(model), options));
+  slo_->SetObjective(scenario, options.slo);
+  return Status::OK();
 }
 
 Status ServingClient::DeployEverywhere(const std::string& scenario,
                                        std::unique_ptr<models::BaseModel> model,
                                        const DeployOptions& options) {
-  return coordinator_.DeployEverywhere(scenario, std::move(model), options);
+  ALT_RETURN_IF_ERROR(
+      coordinator_.DeployEverywhere(scenario, std::move(model), options));
+  slo_->SetObjective(scenario, options.slo);
+  return Status::OK();
 }
 
 Status ServingClient::Undeploy(const std::string& scenario) {
@@ -90,7 +120,11 @@ std::vector<std::string> ServingClient::Scenarios() const {
 
 Result<std::vector<float>> ServingClient::Predict(const std::string& scenario,
                                                   const data::Batch& batch) {
-  return coordinator_.Predict(scenario, batch);
+  const obs::RequestContext ctx = tracer_->StartRequest(scenario);
+  Result<std::vector<float>> result = coordinator_.Predict(scenario, batch, ctx);
+  const double total_ms = tracer_->CompleteRequest(ctx, result.status());
+  RecordOutcome(scenario, total_ms, result.status());
+  return result;
 }
 
 void ServingClient::EnsureBatcher(const std::string& shard_id) {
@@ -98,10 +132,21 @@ void ServingClient::EnsureBatcher(const std::string& shard_id) {
   auto it = batchers_.find(shard_id);
   if (it != batchers_.end()) return;
   batchers_[shard_id] = std::make_unique<BatchPredictor>(
-      [this, shard_id](const std::string& scenario, const data::Batch& batch) {
-        return coordinator_.PredictPreferring(shard_id, scenario, batch);
+      [this, shard_id](const std::string& scenario, const data::Batch& batch,
+                       const obs::RequestContext& ctx) {
+        return coordinator_.PredictPreferring(shard_id, scenario, batch, ctx);
       },
       options_.batching, registry_);
+  WireBatcher(batchers_[shard_id].get());
+}
+
+void ServingClient::WireBatcher(BatchPredictor* batcher) {
+  batcher->set_tracer(tracer_.get());
+  batcher->set_completion_hook(
+      [this](const std::string& scenario, double latency_ms,
+             const Status& status) {
+        RecordOutcome(scenario, latency_ms, status);
+      });
 }
 
 BatchPredictor* ServingClient::BatcherFor(const std::string& scenario) {
@@ -126,8 +171,12 @@ BatchPredictor* ServingClient::BatcherFor(const std::string& scenario) {
 std::future<Result<float>> ServingClient::EnqueuePredict(
     const std::string& scenario, Tensor profile,
     std::vector<int64_t> behavior) {
+  // The batcher's resolve path completes the trace and fires the completion
+  // hook once the flushed prediction lands, so the enqueue only mints the
+  // context here.
+  const obs::RequestContext ctx = tracer_->StartRequest(scenario);
   return BatcherFor(scenario)->Enqueue(scenario, std::move(profile),
-                                       std::move(behavior));
+                                       std::move(behavior), ctx);
 }
 
 void ServingClient::DrainBatchQueues() const {
@@ -173,7 +222,31 @@ ServingClient::Stats ServingClient::GetStats() const {
       stats.pending_batch_requests += batcher->PendingRequests();
     }
   }
+  stats.traced_requests = tracer_->traced_requests();
+  stats.slowest_request_ms = tracer_->slowest_ms();
+  stats.scenarios_burning = static_cast<int>(slo_->Burning().size());
   return stats;
+}
+
+obs::Histogram* ServingClient::LatencyHistogramFor(
+    const std::string& scenario) {
+  MutexLock lock(latency_mu_);
+  auto it = latency_hists_.find(scenario);
+  if (it == latency_hists_.end()) {
+    it = latency_hists_
+             .emplace(scenario, registry_->histogram(
+                                    "serving/request/latency_ms/" + scenario))
+             .first;
+  }
+  return it->second;
+}
+
+void ServingClient::RecordOutcome(const std::string& scenario,
+                                  double latency_ms, const Status& status) {
+  if (registry_->enabled()) {
+    LatencyHistogramFor(scenario)->Observe(latency_ms);
+  }
+  slo_->Record(scenario, latency_ms, status.ok());
 }
 
 Result<LatencyStats> ServingClient::GetLatencyStats(

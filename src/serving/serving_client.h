@@ -11,6 +11,8 @@
 #include "src/data/dataset.h"
 #include "src/models/base_model.h"
 #include "src/obs/metrics.h"
+#include "src/obs/request_trace.h"
+#include "src/obs/slo.h"
 #include "src/resilience/circuit_breaker.h"
 #include "src/serving/batch_predictor.h"
 #include "src/serving/model_server.h"
@@ -87,6 +89,17 @@ class ServingClient {
     /// ServingResilienceOptions plumbing now lives.
     bool enable_resilience = false;
     ServingResilienceOptions resilience;
+    /// Request-scoped tracing: every Predict/EnqueuePredict ticks the
+    /// tracer; sampled requests (rate from ALT_TRACE_SAMPLE unless
+    /// trace.sample_rate >= 0) get per-segment latency attribution and a
+    /// slot in the slow-trace ring (/trace/slow). A null trace.registry /
+    /// trace.recorder inherits the client's registry / global recorder.
+    obs::RequestTracer::Options trace;
+    /// Per-scenario SLO burn-rate tracking. A null slo.registry inherits
+    /// the client's registry; a null slo.now_ms wraps Options::clock when
+    /// one is set (FakeClock tests drive the burn windows), else the
+    /// steady clock.
+    obs::SloTracker::Options slo;
   };
 
   /// Aggregate serving-plane stats (per-scenario latency distributions come
@@ -99,6 +112,12 @@ class ServingClient {
     int64_t requests_served = 0;
     /// Batch-path requests enqueued but not yet resolved.
     int64_t pending_batch_requests = 0;
+    /// Sampled requests completed by the request tracer.
+    int64_t traced_requests = 0;
+    /// Slowest completed traced request retained in the slow-trace ring.
+    double slowest_request_ms = 0.0;
+    /// Scenarios whose short-window SLO burn rate currently exceeds 1.
+    int scenarios_burning = 0;
   };
 
   /// `registry == nullptr` selects the process-global registry; all shards
@@ -132,7 +151,9 @@ class ServingClient {
   std::vector<std::string> Scenarios() const;
 
   /// Synchronous batch predict: routed to the scenario's replica group with
-  /// load balancing and failover.
+  /// load balancing and failover. Starts a request trace (sampled at the
+  /// tracer's rate) and records the outcome against the scenario's latency
+  /// histogram and SLO.
   Result<std::vector<float>> Predict(const std::string& scenario,
                                      const data::Batch& batch);
 
@@ -198,6 +219,11 @@ class ServingClient {
   /// The health-probe loop; nullptr unless Options::enable_supervisor.
   shard::ShardSupervisor* supervisor() { return supervisor_.get(); }
 
+  /// Request tracer (sampling, slow-trace ring) — the /trace/slow source.
+  obs::RequestTracer* tracer() const { return tracer_.get(); }
+  /// Per-scenario SLO burn tracker — the /slo and alt_slo_* source.
+  obs::SloTracker* slo() const { return slo_.get(); }
+
   obs::MetricsRegistry* registry() const { return registry_; }
   const Options& options() const { return options_; }
 
@@ -206,9 +232,28 @@ class ServingClient {
       ALT_EXCLUDES(batchers_mu_);
   /// Creates the shard's batcher if absent (runtime AddShard path).
   void EnsureBatcher(const std::string& shard_id) ALT_EXCLUDES(batchers_mu_);
+  /// Points a freshly created batcher at the tracer + completion hook.
+  void WireBatcher(BatchPredictor* batcher);
+  /// Per-scenario request-latency histogram
+  /// (`serving/request_latency_ms/<scenario>` → the exporter renders it as
+  /// alt_serving_request_latency_ms{id="<scenario>"}), cached per scenario.
+  obs::Histogram* LatencyHistogramFor(const std::string& scenario)
+      ALT_EXCLUDES(latency_mu_);
+  /// Terminal accounting for every request (direct or batched): scenario
+  /// latency histogram + SLO outcome.
+  void RecordOutcome(const std::string& scenario, double latency_ms,
+                     const Status& status);
 
   Options options_;
   obs::MetricsRegistry* registry_;
+  /// Declared before the coordinator/batchers: batcher dispatcher threads
+  /// call into the tracer and SLO tracker until they join, so these must be
+  /// destroyed after them.
+  std::unique_ptr<obs::RequestTracer> tracer_;
+  std::unique_ptr<obs::SloTracker> slo_;
+  mutable Mutex latency_mu_;
+  std::map<std::string, obs::Histogram*> latency_hists_
+      ALT_GUARDED_BY(latency_mu_);
   shard::ShardCoordinator coordinator_;
   /// One batcher per shard id; declared after the coordinator so their
   /// dispatcher threads shut down first. Guarded: AddShard grows the map

@@ -283,20 +283,29 @@ ShardCoordinator::RouteDecision ShardCoordinator::RankedReplicas(
 }
 
 Result<std::vector<float>> ShardCoordinator::Predict(
-    const std::string& scenario, const data::Batch& batch) {
-  return PredictPreferring("", scenario, batch);
+    const std::string& scenario, const data::Batch& batch,
+    const obs::RequestContext& ctx) {
+  return PredictPreferring("", scenario, batch, ctx);
 }
 
 Result<std::vector<float>> ShardCoordinator::PredictPreferring(
     const std::string& preferred_shard, const std::string& scenario,
-    const data::Batch& batch) {
+    const data::Batch& batch, const obs::RequestContext& ctx) {
+  // Request-linked span for sampled requests; rctx parents the per-shard
+  // dispatch spans under it so Perfetto shows one causal lane per request.
+  obs::TraceSpan request_span("serving/coordinator/predict", ctx);
+  const obs::RequestContext rctx = request_span.context();
   Status last = Status::NotFound("scenario " + scenario + " not deployed");
   // Each extra round is only taken after a rebalance (a shard left the
   // ring), so num_shards rounds bound the loop while guaranteeing a request
   // that keeps finding dead shards still reaches the re-routed replicas —
   // the zero-lost-requests contract of the scale bench.
   for (int round = 0; round <= options_.num_shards; ++round) {
-    RouteDecision decision = RankedReplicas(scenario);
+    RouteDecision decision;
+    {
+      obs::SegmentTimer route_timer(rctx, obs::segment::kRoute);
+      decision = RankedReplicas(scenario);
+    }
     std::vector<std::string>& candidates = decision.candidates;
     if (!preferred_shard.empty()) {
       // Shard affinity (BatchPredictor locality): only honored while the
@@ -309,21 +318,28 @@ Result<std::vector<float>> ShardCoordinator::PredictPreferring(
     if (candidates.empty()) break;
     bool rebalanced = false;
     for (const std::string& id : candidates) {
+      // Meters this attempt; failed attempts are claimed as failover /
+      // shed_requeue below, the successful one is left for the shard to
+      // attribute as queue_wait + compute (the timer then discards it).
+      obs::SegmentTimer attempt(rctx);
       WorkerShard* worker = FindShard(id);
       if (worker == nullptr) continue;
       if (worker->dead()) {
         HandleShardDeath(id);
         rebalanced = true;
         last = Status::Unavailable("shard " + id + " is dead");
+        attempt.RecordAs(obs::segment::kFailover);
         continue;
       }
       resilience::CircuitBreaker* breaker = BreakerOf(id);
       if (breaker != nullptr && !breaker->AllowRequest()) {
         last = Status::Unavailable("shard " + id + " breaker open");
+        attempt.RecordAs(obs::segment::kFailover);
         continue;
       }
       Result<std::vector<float>> result =
-          worker->SubmitPredict(scenario, batch, decision.admission).get();
+          worker->SubmitPredict(scenario, batch, decision.admission, rctx)
+              .get();
       if (result.ok()) {
         if (breaker != nullptr) breaker->RecordSuccess();
         admission_accepted_->Add(1);
@@ -340,6 +356,7 @@ Result<std::vector<float>> ShardCoordinator::PredictPreferring(
         // replica may still have headroom, so keep trying the group — but
         // this is load, not failure: no breaker damage, no rebalance.
         last = status;
+        attempt.RecordAs(obs::segment::kShedRequeue);
         continue;
       }
       if (breaker != nullptr) breaker->RecordFailure();
@@ -351,6 +368,7 @@ Result<std::vector<float>> ShardCoordinator::PredictPreferring(
         HandleShardDeath(id);
         rebalanced = true;
       }
+      attempt.RecordAs(obs::segment::kFailover);
     }
     // Without a rebalance the candidate set cannot change; with one, the
     // next round re-routes against the shrunken ring.

@@ -137,15 +137,23 @@ class ShardCoordinator {
   /// queue depth), failing over on shard errors. With resilience enabled an
   /// unknown scenario still routes by ring hash so the shard engine's
   /// default-scenario degradation applies.
-  Result<std::vector<float>> Predict(const std::string& scenario,
-                                     const data::Batch& batch);
+  ///
+  /// A sampled `ctx` gets its wall time attributed along the way: `route`
+  /// for replica ranking, `failover` for failed attempts (including any
+  /// rebalance they trigger), `shed_requeue` for attempts rejected with
+  /// kResourceExhausted; the successful attempt's time lands as
+  /// queue_wait + compute on the shard side.
+  Result<std::vector<float>> Predict(
+      const std::string& scenario, const data::Batch& batch,
+      const obs::RequestContext& ctx = obs::RequestContext());
 
   /// Predict with shard affinity: tries `preferred_shard` first (the
   /// BatchPredictor keeps per-shard queues to preserve batching locality),
   /// failing over to the normal replica path when it is gone.
   Result<std::vector<float>> PredictPreferring(
       const std::string& preferred_shard, const std::string& scenario,
-      const data::Batch& batch);
+      const data::Batch& batch,
+      const obs::RequestContext& ctx = obs::RequestContext());
 
   /// Configures graceful degradation on every shard engine. The caller is
   /// responsible for deploying `options.fallback_scenario` /

@@ -73,17 +73,19 @@ uint64_t WorkerShard::DeployedVersion(const std::string& scenario) const {
 }
 
 bool WorkerShard::UpdateShedState(int64_t depth) {
-  if (shed_high_watermark_ <= 0) {
+  const int64_t high = shed_high_watermark_.load(std::memory_order_relaxed);
+  const int64_t low = shed_low_watermark_.load(std::memory_order_relaxed);
+  if (high <= 0) {
     pressure_gauge_->Set(0.0);
     return false;
   }
   pressure_gauge_->Set(static_cast<double>(depth) /
-                       static_cast<double>(shed_high_watermark_));
+                       static_cast<double>(high));
   bool shedding = shedding_.load(std::memory_order_relaxed);
-  if (!shedding && depth >= shed_high_watermark_) {
+  if (!shedding && depth >= high) {
     shedding = true;
     shedding_.store(true, std::memory_order_relaxed);
-  } else if (shedding && depth <= shed_low_watermark_) {
+  } else if (shedding && depth <= low) {
     shedding = false;
     shedding_.store(false, std::memory_order_relaxed);
   }
@@ -92,20 +94,25 @@ bool WorkerShard::UpdateShedState(int64_t depth) {
 
 std::future<Result<std::vector<float>>> WorkerShard::SubmitPredict(
     const std::string& scenario, const data::Batch& batch,
-    Admission admission) {
+    Admission admission, const obs::RequestContext& ctx) {
   Task task;
   task.scenario = scenario;
   task.batch = &batch;
+  if (ctx.sampled()) {
+    task.ctx = ctx;
+    task.enqueue_us = obs::MonotonicMicros();
+  }
   std::future<Result<std::vector<float>>> future = task.promise.get_future();
   if (dead()) {
     task.promise.set_value(Status::Unavailable("shard " + id_ + " is dead"));
     return future;
   }
   const int64_t depth = queue_depth_.load(std::memory_order_relaxed);
-  if (max_queue_depth_ > 0 && depth >= max_queue_depth_) {
+  const int64_t max_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  if (max_depth > 0 && depth >= max_depth) {
     task.promise.set_value(Status::ResourceExhausted(
         "shard " + id_ + " queue full (depth " + std::to_string(depth) +
-        " >= cap " + std::to_string(max_queue_depth_) + ")"));
+        " >= cap " + std::to_string(max_depth) + ")"));
     return future;
   }
   // Soft shed: evaluate the hysteresis state machine on every submit so
@@ -113,7 +120,10 @@ std::future<Result<std::vector<float>>> WorkerShard::SubmitPredict(
   if (UpdateShedState(depth) && admission != Admission::kCritical) {
     task.promise.set_value(Status::ResourceExhausted(
         "shard " + id_ + " shedding load (depth " + std::to_string(depth) +
-        " >= high watermark " + std::to_string(shed_high_watermark_) + ")"));
+        " >= high watermark " +
+        std::to_string(
+            shed_high_watermark_.load(std::memory_order_relaxed)) +
+        ")"));
     return future;
   }
   {
@@ -188,6 +198,25 @@ void WorkerShard::WorkerLoop() {
     if (dead()) {
       task.promise.set_value(
           Status::Unavailable("shard " + id_ + " is dead"));
+    } else if (task.ctx.sampled()) {
+      const double dequeue_us = obs::MonotonicMicros();
+      Result<std::vector<float>> result = [&] {
+        obs::TraceSpan dispatch_span("serving/shard/dispatch", task.ctx);
+        return engine_.Predict(task.scenario, *task.batch);
+      }();
+      // Attribute queue_wait + compute only on success: a failed attempt's
+      // wall time belongs to the coordinator's failover/shed segments, so
+      // segments never double-count against the end-to-end latency.
+      if (result.ok()) {
+        task.ctx.trace->AddSegment(obs::segment::kQueueWait,
+                                   (dequeue_us - task.enqueue_us) / 1e3);
+        task.ctx.trace->AddSegment(
+            obs::segment::kCompute,
+            (obs::MonotonicMicros() - dequeue_us) / 1e3);
+      }
+      task.promise.set_value(std::move(result));
+      requests_total_->Add(1);
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
     } else {
       task.promise.set_value(engine_.Predict(task.scenario, *task.batch));
       requests_total_->Add(1);

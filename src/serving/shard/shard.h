@@ -14,6 +14,7 @@
 #include "src/data/dataset.h"
 #include "src/models/base_model.h"
 #include "src/obs/metrics.h"
+#include "src/obs/request_trace.h"
 #include "src/serving/model_server.h"
 #include "src/util/mutex.h"
 #include "src/util/status.h"
@@ -91,9 +92,15 @@ class WorkerShard {
   /// (soft shed, kNormal only) or a full queue (`max_queue_depth` > 0)
   /// resolves immediately with Status::ResourceExhausted — rejected at
   /// admission, never enqueued.
+  ///
+  /// A sampled `ctx` rides the task across the dispatcher queue: the worker
+  /// thread attributes queue_wait + compute segments to the request (on
+  /// success — a failed attempt's wall time is the coordinator's to claim as
+  /// failover) and records a request-linked dispatch span.
   std::future<Result<std::vector<float>>> SubmitPredict(
       const std::string& scenario, const data::Batch& batch,
-      Admission admission = Admission::kNormal);
+      Admission admission = Admission::kNormal,
+      const obs::RequestContext& ctx = obs::RequestContext());
 
   /// Marks the shard dead: pending queue entries resolve with Unavailable,
   /// later submits fail fast, the worker thread parks. Idempotent.
@@ -107,11 +114,12 @@ class WorkerShard {
 
   /// Soft shed watermarks with hysteresis: shedding starts when the queue
   /// reaches `high` and stops once it drains to `low`. `high` <= 0 disables
-  /// soft shedding. Control-plane only (set before traffic, or from the
-  /// coordinator's control plane); not synchronized with in-flight submits.
+  /// soft shedding. Relaxed atomics: the coordinator's control plane may
+  /// retune them (e.g. on warm re-join) while submits are in flight; a
+  /// submit racing the store sheds under either the old or new watermark.
   void set_shed_watermarks(int64_t high, int64_t low) {
-    shed_high_watermark_ = high;
-    shed_low_watermark_ = low;
+    shed_high_watermark_.store(high, std::memory_order_relaxed);
+    shed_low_watermark_.store(low, std::memory_order_relaxed);
   }
 
   /// True while the shard is between watermarks shedding kNormal load.
@@ -132,7 +140,11 @@ class WorkerShard {
   }
 
   /// Backpressure limit for SubmitPredict; 0 (default) = unbounded.
-  void set_max_queue_depth(int64_t depth) { max_queue_depth_ = depth; }
+  /// Relaxed atomic for the same control-plane-vs-submit race as the
+  /// watermarks.
+  void set_max_queue_depth(int64_t depth) {
+    max_queue_depth_.store(depth, std::memory_order_relaxed);
+  }
 
   /// The shard-local engine. Exposed for control-plane wiring only
   /// (ConfigureResilience, breaker states, bundle export) — predictions go
@@ -145,6 +157,8 @@ class WorkerShard {
     std::string scenario;
     const data::Batch* batch = nullptr;
     std::promise<Result<std::vector<float>>> promise;
+    obs::RequestContext ctx;    // Sampled requests only; default = inert.
+    double enqueue_us = 0.0;    // MonotonicMicros at enqueue, when sampled.
   };
 
   void WorkerLoop();
@@ -162,9 +176,9 @@ class WorkerShard {
   std::atomic<bool> shedding_{false};
   std::atomic<int64_t> queue_depth_{0};
   std::atomic<int64_t> requests_served_{0};
-  int64_t max_queue_depth_ = 0;
-  int64_t shed_high_watermark_ = 0;
-  int64_t shed_low_watermark_ = 0;
+  std::atomic<int64_t> max_queue_depth_{0};
+  std::atomic<int64_t> shed_high_watermark_{0};
+  std::atomic<int64_t> shed_low_watermark_{0};
   obs::Gauge* queue_depth_gauge_ = nullptr;  // Owned by the registry.
   obs::Gauge* pressure_gauge_ = nullptr;     // Owned by the registry.
   obs::Counter* requests_total_ = nullptr;   // Owned by the registry.

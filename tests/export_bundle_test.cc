@@ -70,7 +70,8 @@ TEST(BatchPredictorTest, MixedScenariosAreRoutedCorrectly) {
   options.max_batch_size = 4;
   options.max_delay_ms = 5.0;
   BatchPredictor predictor(
-      [&server](const std::string& s, const data::Batch& b) {
+      [&server](const std::string& s, const data::Batch& b,
+                const obs::RequestContext&) {
         return server.Predict(s, b);
       },
       options);
@@ -106,7 +107,8 @@ TEST(BatchPredictorTest, HighVolumeDrainsCompletely) {
   options.max_batch_size = 16;
   options.max_delay_ms = 1.0;
   BatchPredictor predictor(
-      [&server](const std::string& s, const data::Batch& b) {
+      [&server](const std::string& s, const data::Batch& b,
+                const obs::RequestContext&) {
         return server.Predict(s, b);
       },
       options, &registry);

@@ -183,7 +183,8 @@ TEST(BatchPredictorTest, CoalescesAndMatchesDirectPredict) {
   options.max_batch_size = 8;
   options.max_delay_ms = 20.0;
   serving::BatchPredictor predictor(
-      [&server](const std::string& scenario, const data::Batch& batch) {
+      [&server](const std::string& scenario, const data::Batch& batch,
+                const obs::RequestContext&) {
         return server.Predict(scenario, batch);
       },
       options, &registry);
@@ -221,7 +222,8 @@ TEST(BatchPredictorTest, CoalescesAndMatchesDirectPredict) {
 TEST(BatchPredictorTest, UnknownScenarioErrorsThroughFuture) {
   serving::ModelServer server;
   serving::BatchPredictor predictor(
-      [&server](const std::string& scenario, const data::Batch& batch) {
+      [&server](const std::string& scenario, const data::Batch& batch,
+                const obs::RequestContext&) {
         return server.Predict(scenario, batch);
       },
       serving::BatchPredictor::Options{});
@@ -239,7 +241,8 @@ TEST(BatchPredictorTest, ShapeMismatchRejectedPerRequest) {
   options.max_batch_size = 2;
   options.max_delay_ms = 5.0;
   serving::BatchPredictor predictor(
-      [&server](const std::string& scenario, const data::Batch& batch) {
+      [&server](const std::string& scenario, const data::Batch& batch,
+                const obs::RequestContext&) {
         return server.Predict(scenario, batch);
       },
       options);

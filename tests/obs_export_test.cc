@@ -24,6 +24,8 @@
 #include "src/obs/http_server.h"
 #include "src/obs/memory_tracker.h"
 #include "src/obs/metrics.h"
+#include "src/obs/request_trace.h"
+#include "src/obs/slo.h"
 #include "src/resilience/fault_injection.h"
 #include "src/serving/model_server.h"
 #include "src/train/trainer.h"
@@ -159,6 +161,24 @@ TEST(RenderPrometheusTest, LabelValuesAreEscaped) {
       << text;
 }
 
+TEST(RenderPrometheusTest, PerScenarioLatencyRidesInEscapedIdLabel) {
+  // ServingClient names per-scenario request-latency histograms
+  // serving/request/latency_ms/<scenario>: the scenario is the fourth path
+  // segment, so it lands in the (escaped) id label instead of minting a new
+  // family per scenario.
+  MetricsRegistry registry;
+  registry.histogram("serving/request/latency_ms/we\"ird\\name")
+      ->Observe(1.0);
+  const std::string text = RenderPrometheus(registry.TakeSnapshot());
+  EXPECT_NE(text.find("alt_serving_request_latency_ms_count"
+                      "{id=\"we\\\"ird\\\\name\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("_bucket{id=\"we\\\"ird\\\\name\",le=\""),
+            std::string::npos)
+      << text;
+}
+
 // ---------------------------------------------------------------------------
 // Endpoint handlers (no sockets)
 // ---------------------------------------------------------------------------
@@ -197,6 +217,134 @@ TEST(TelemetryServerTest, HandleDispatchesEndpoints) {
             1);
   EXPECT_EQ(registry.counter_value("obs/telemetry_server/requests/other"),
             1);
+  server.value()->Stop();
+}
+
+TEST(TelemetryServerTest, TraceLimitServesBoundedRecentSlice) {
+  MetricsRegistry registry;
+  TraceRecorder recorder;
+  for (int i = 0; i < 6; ++i) {
+    TraceEvent event;
+    event.name = "e" + std::to_string(i);
+    event.ts_us = static_cast<double>(i);
+    recorder.Record(std::move(event));
+  }
+  TelemetryServer::Options options;
+  options.registry = &registry;
+  options.recorder = &recorder;
+  auto server = TelemetryServer::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  auto sliced = server.value()->Handle("/trace?limit=2");
+  EXPECT_EQ(sliced.status, 200);
+  EXPECT_EQ(sliced.content_type, "application/json");
+  auto doc = Json::Parse(sliced.body);
+  ASSERT_TRUE(doc.ok());
+  const Json::Array& events = doc.value().at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 2u);  // Most recent tail.
+  EXPECT_EQ(events[0].at("name").as_string(), "e4");
+  EXPECT_EQ(events[1].at("name").as_string(), "e5");
+  EXPECT_DOUBLE_EQ(doc.value().at("totalEvents").as_number(), 6.0);
+
+  // limit=0 (and no limit) serve everything.
+  auto full = Json::Parse(server.value()->Handle("/trace?limit=0").body);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full.value().at("traceEvents").as_array().size(), 6u);
+
+  auto bad = server.value()->Handle("/trace?limit=abc");
+  EXPECT_EQ(bad.status, 400);
+  EXPECT_NE(bad.body.find("bad limit"), std::string::npos);
+  server.value()->Stop();
+}
+
+TEST(TelemetryServerTest, TraceSlowAndSloEndpointsServeWiredSources) {
+  MetricsRegistry registry;
+  TraceRecorder recorder;
+  RequestTracer::Options tracer_options;
+  tracer_options.sample_rate = 1.0;
+  tracer_options.registry = &registry;
+  tracer_options.recorder = &recorder;
+  RequestTracer tracer(tracer_options);
+  SloTracker::Options slo_options;
+  slo_options.registry = &registry;
+  SloTracker slo(slo_options);
+
+  RequestContext ctx = tracer.StartRequest("s0");
+  ASSERT_TRUE(ctx.sampled());
+  ctx.trace->AddSegment(segment::kCompute, 1.0);
+  tracer.CompleteRequest(ctx, Status::OK());
+  slo.Record("s0", 2.0, true);
+
+  TelemetryServer::Options options;
+  options.registry = &registry;
+  options.recorder = &recorder;
+  options.tracer = &tracer;
+  options.slo = &slo;
+  auto server = TelemetryServer::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  auto slow = server.value()->Handle("/trace/slow");
+  EXPECT_EQ(slow.status, 200);
+  EXPECT_EQ(slow.content_type, "application/json");
+  auto slow_doc = Json::Parse(slow.body);
+  ASSERT_TRUE(slow_doc.ok());
+  EXPECT_EQ(slow_doc.value().at("slow_traces").as_array().size(), 1u);
+  EXPECT_DOUBLE_EQ(slow_doc.value().at("traced_requests").as_number(), 1.0);
+
+  auto slo_response = server.value()->Handle("/slo");
+  EXPECT_EQ(slo_response.status, 200);
+  auto slo_doc = Json::Parse(slo_response.body);
+  ASSERT_TRUE(slo_doc.ok());
+  ASSERT_TRUE(slo_doc.value().at("scenarios").contains("s0"));
+  EXPECT_DOUBLE_EQ(
+      slo_doc.value().at("scenarios").at("s0").at("total").as_number(), 1.0);
+
+  // /metrics refreshes alt_slo_* burn gauges from the wired tracker.
+  auto metrics = server.value()->Handle("/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("alt_slo_burn_short{id=\"s0\"}"),
+            std::string::npos)
+      << metrics.body.substr(0, 2000);
+  server.value()->Stop();
+
+  // Without wired sources the endpoints 404 instead of crashing.
+  TelemetryServer::Options bare;
+  bare.registry = &registry;
+  bare.recorder = &recorder;
+  auto bare_server = TelemetryServer::Start(bare);
+  ASSERT_TRUE(bare_server.ok());
+  EXPECT_EQ(bare_server.value()->Handle("/trace/slow").status, 404);
+  EXPECT_EQ(bare_server.value()->Handle("/slo").status, 404);
+  bare_server.value()->Stop();
+}
+
+TEST(TelemetryServerTest, MetricsSyncDroppedEventsWithoutDoubleCounting) {
+  MetricsRegistry registry;
+  TraceRecorder recorder;
+  constexpr int64_t kExtra = 3;
+  for (size_t i = 0; i < TraceRecorder::kMaxEventsPerThread + kExtra; ++i) {
+    TraceEvent event;
+    event.name = "e";
+    recorder.Record(std::move(event));
+  }
+  ASSERT_EQ(recorder.dropped_count(), kExtra);
+
+  TelemetryServer::Options options;
+  options.registry = &registry;
+  options.recorder = &recorder;
+  auto server = TelemetryServer::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  // The drop tally syncs into the counter as a delta: scraping twice must
+  // not double-count.
+  for (int scrape = 0; scrape < 2; ++scrape) {
+    const auto response = server.value()->Handle("/metrics");
+    EXPECT_EQ(response.status, 200);
+    EXPECT_NE(response.body.find("alt_trace_dropped_events 3"),
+              std::string::npos)
+        << "scrape " << scrape;
+  }
+  EXPECT_EQ(registry.counter_value("trace/dropped_events"), kExtra);
   server.value()->Stop();
 }
 
@@ -350,6 +498,90 @@ TEST(TelemetryServerTest, HealthzFlipsWhenBreakerOpens) {
   faults.Reset();
   // Breaker closed again after cooldown is not tested here (clock-driven);
   // the flip to unhealthy is the contract this probe exists for.
+  server.value()->Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Malformed / partial requests over real sockets
+// ---------------------------------------------------------------------------
+
+/// Sends raw bytes (not necessarily valid HTTP) and returns the response
+/// body. Half-closes the write side after sending so the server sees EOF
+/// immediately instead of waiting out its request timeout on partial input.
+std::string RawHttp(int port, const std::string& request, int* status_out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  ::shutdown(fd, SHUT_WR);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  if (status_out != nullptr) {
+    *status_out = response.empty()
+                      ? 0
+                      : std::atoi(response.c_str() + response.find(' ') + 1);
+  }
+  const size_t body = response.find("\r\n\r\n");
+  return body == std::string::npos ? "" : response.substr(body + 4);
+}
+
+TEST(TelemetryServerTest, MalformedRequestsGet4xxWithoutWedgingTheServer) {
+  MetricsRegistry registry;
+  TelemetryServer::Options options;
+  options.registry = &registry;
+  auto server = TelemetryServer::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const int port = server.value()->port();
+
+  int status = 0;
+  // Garbage request line.
+  std::string body = RawHttp(port, "BOGUS\r\n\r\n", &status);
+  EXPECT_EQ(status, 400);
+  EXPECT_NE(body.find("bad request line"), std::string::npos);
+
+  // Well-formed HTTP, unsupported method.
+  RawHttp(port, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n", &status);
+  EXPECT_EQ(status, 400);
+
+  // Partial request: header block never terminates; the half-close makes
+  // the server see EOF and answer 400 instead of hanging.
+  body = RawHttp(port, "GET /metrics HTTP/1.1\r\nHost: x\r\n", &status);
+  EXPECT_EQ(status, 400);
+  EXPECT_NE(body.find("incomplete or oversized"), std::string::npos);
+
+  // Oversized header blows the request size cap before ever completing.
+  RawHttp(port,
+          "GET /metrics HTTP/1.1\r\nX-Pad: " + std::string(9000, 'a') +
+              "\r\n\r\n",
+          &status);
+  EXPECT_EQ(status, 400);
+
+  // Unknown endpoint with a query string: a clean 404, not a parse error.
+  body = RawHttp(port, "GET /nope?x=1&y HTTP/1.1\r\nHost: x\r\n\r\n",
+                 &status);
+  EXPECT_EQ(status, 404);
+  EXPECT_NE(body.find("endpoints:"), std::string::npos);
+
+  EXPECT_EQ(
+      registry.counter_value("obs/telemetry_server/requests/bad_request"), 4);
+
+  // The serving thread survived all of the above: a good request still
+  // round-trips.
+  const std::string metrics = HttpGet(port, "/metrics", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(metrics.find("alt_obs_telemetry_server_requests"),
+            std::string::npos);
   server.value()->Stop();
 }
 

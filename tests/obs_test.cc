@@ -5,6 +5,7 @@
 
 #include <chrono>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "gtest/gtest.h"
 #include "src/models/base_model.h"
 #include "src/obs/metrics.h"
+#include "src/obs/request_trace.h"
 #include "src/obs/trace.h"
 #include "src/serving/batch_predictor.h"
 #include "src/serving/model_server.h"
@@ -317,6 +319,83 @@ TEST(TraceTest, PerThreadCapCountsDropped) {
                    static_cast<double>(kExtra));
 }
 
+TEST(TraceTest, RequestLinkedSpansCarryIdsAndFlowEvents) {
+  TraceRecorder recorder;
+  RequestContext ctx;
+  ctx.trace_id = 0xabcdefULL;
+  ctx.span_id = NextSpanId(0);
+  ctx.trace = std::make_shared<RequestTrace>(ctx.trace_id, "s", 0.0);
+  {
+    TraceSpan parent("coordinator", ctx, &recorder);
+    const RequestContext child_ctx = parent.context();
+    EXPECT_EQ(child_ctx.trace_id, ctx.trace_id);
+    EXPECT_NE(child_ctx.span_id, ctx.span_id);
+    EXPECT_TRUE(child_ctx.sampled());
+    TraceSpan child("dispatch", child_ctx, &recorder);
+  }
+  auto parsed = Json::Parse(recorder.ToChromeJson().Dump());
+  ASSERT_TRUE(parsed.ok());
+  const Json::Array& events = parsed.value().at("traceEvents").as_array();
+  int x_events = 0;
+  int flow_starts = 0;
+  int flow_finishes = 0;
+  for (const Json& e : events) {
+    const std::string ph = e.at("ph").as_string();
+    if (ph == "X") {
+      ++x_events;
+      // Request-linked slices carry the trace id plus span lineage args.
+      EXPECT_FALSE(e.at("id").as_string().empty());
+      EXPECT_FALSE(e.at("args").at("trace").as_string().empty());
+      EXPECT_FALSE(e.at("args").at("span").as_string().empty());
+    } else if (ph == "s") {
+      ++flow_starts;
+      EXPECT_EQ(e.at("cat").as_string(), "alt_flow");
+      EXPECT_EQ(e.at("name").as_string(), "request");
+    } else if (ph == "f") {
+      ++flow_finishes;
+      EXPECT_EQ(e.at("bp").as_string(), "e");
+    }
+  }
+  EXPECT_EQ(x_events, 2);
+  // Exactly one parent→child edge: the child's flow pair. The outer span's
+  // parent (the minted request root) has no recorded slice, so no edge.
+  EXPECT_EQ(flow_starts, 1);
+  EXPECT_EQ(flow_finishes, 1);
+}
+
+TEST(TraceTest, ChromeJsonLimitKeepsMostRecentTail) {
+  TraceRecorder recorder;
+  for (int i = 0; i < 5; ++i) {
+    TraceEvent event;
+    event.name = "e" + std::to_string(i);
+    event.ts_us = static_cast<double>(i);
+    recorder.Record(std::move(event));
+  }
+  auto sliced = Json::Parse(recorder.ToChromeJson(2).Dump());
+  ASSERT_TRUE(sliced.ok());
+  const Json::Array& events = sliced.value().at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at("name").as_string(), "e3");
+  EXPECT_EQ(events[1].at("name").as_string(), "e4");
+  EXPECT_DOUBLE_EQ(sliced.value().at("totalEvents").as_number(), 5.0);
+
+  auto full = Json::Parse(recorder.ToChromeJson().Dump());
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full.value().at("traceEvents").as_array().size(), 5u);
+  EXPECT_DOUBLE_EQ(full.value().at("totalEvents").as_number(), 5.0);
+}
+
+TEST(TraceTest, NextSpanIdIsNonZeroAndDistinct) {
+  std::set<uint64_t> ids;
+  uint64_t parent = 0;
+  for (int i = 0; i < 100; ++i) {
+    parent = NextSpanId(parent);
+    EXPECT_NE(parent, 0u);
+    ids.insert(parent);
+  }
+  EXPECT_EQ(ids.size(), 100u);
+}
+
 // ---------------------------------------------------------------------------
 // Wiring: ModelServer / BatchPredictor / ParallelFor
 // ---------------------------------------------------------------------------
@@ -367,7 +446,8 @@ TEST(WiringTest, BatchPredictorCreateValidatesOptions) {
   MetricsRegistry registry;
   serving::ModelServer server(&registry);
   serving::BatchPredictor::PredictFn predict =
-      [&server](const std::string& scenario, const data::Batch& batch) {
+      [&server](const std::string& scenario, const data::Batch& batch,
+                const obs::RequestContext&) {
         return server.Predict(scenario, batch);
       };
   serving::BatchPredictor::Options options;
@@ -402,7 +482,8 @@ TEST(WiringTest, BatchPredictorReportsThroughRegistryAndTraces) {
   constexpr int kRequests = 32;
   {
     serving::BatchPredictor predictor(
-        [&server](const std::string& scenario, const data::Batch& batch) {
+        [&server](const std::string& scenario, const data::Batch& batch,
+                  const obs::RequestContext&) {
           return server.Predict(scenario, batch);
         },
         options, &registry);

@@ -262,7 +262,8 @@ TEST(QuantTest, BatchPredictorServesQuantizedDeployment) {
   popts.max_batch_size = 4;
   popts.max_delay_ms = 1.0;
   serving::BatchPredictor predictor(
-      [&server](const std::string& s, const data::Batch& b) {
+      [&server](const std::string& s, const data::Batch& b,
+                const obs::RequestContext&) {
         return server.Predict(s, b);
       },
       popts, &registry);

@@ -24,6 +24,11 @@
 #   serving-elastic  shard lifecycle suite in the ASan tree: supervisor
 #                state machine, warm kill->rejoin with zero lost requests,
 #                staged ring admission bounds, and shed/recover hysteresis
+#   request-trace  traced-serving suite: serving_trace_test (request-context
+#                propagation, segment attribution, SLO burn windows, traced
+#                chaos) under TSan, then a traced bench_serving_scale smoke
+#                pair through bench_compare (the run itself asserts a
+#                failover-segment slow trace and bounded tracing overhead)
 #   simd-parity  kernel/parity/quant tests rerun with ALT_SIMD=off (the
 #                guaranteed scalar contract) in the release tree
 #   telemetry    /healthz flips to 503 under injected serving faults
@@ -41,7 +46,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ALL_STAGES=(release lint analyze tidy asan chaos bench serving-scale
-            serving-elastic simd-parity telemetry ubsan tsan)
+            serving-elastic request-trace simd-parity telemetry ubsan tsan)
 
 SELECTED=()
 for arg in "$@"; do
@@ -209,6 +214,26 @@ if wants serving-elastic; then
 'ShardSupervisorTest.*:*Rejoin*:*Shed*:*Staged*:*AddShard*:*HardQueueCap*'
   ./build-asan/tests/serving_client_test --gtest_filter=\
 '*KillRejoin*:*AddShardGrows*:*GetHealthReflects*'
+fi
+
+if wants request-trace; then
+  ensure_release_build
+  # Request-trace stage: the traced serving chaos suite under TSan (the
+  # request context crosses the coordinator, shard dispatcher, and batch
+  # flush threads — exactly the handoffs TSan can falsify), then two traced
+  # smoke runs of the scale bench gated on throughput. Each bench run
+  # asserts the /trace/slow contract: a retained slow trace with a failover
+  # segment whose decomposition sums to its end-to-end latency.
+  echo "==> request-trace stage (serving_trace_test under TSan)"
+  # Reconfigure unconditionally: a build-tsan tree left by an earlier run
+  # may predate this test target, and a no-op reconfigure is cheap.
+  cmake -B build-tsan -S . -DALT_SANITIZE=thread -DALT_DCHECKS=ON >/dev/null
+  cmake --build build-tsan -j --target serving_trace_test >/dev/null
+  ./build-tsan/tests/serving_trace_test
+  echo "==> request-trace stage (traced bench_serving_scale --smoke x2)"
+  ./build/bench/bench_serving_scale --smoke --trace_sample=0.01     --out=build/BENCH_serving_traced_base.json >/dev/null
+  ./build/bench/bench_serving_scale --smoke --trace_sample=0.01     --out=build/BENCH_serving_traced_head.json >/dev/null
+  ./build/tools/bench_compare --baseline=build/BENCH_serving_traced_base.json     --head=build/BENCH_serving_traced_head.json --metric=throughput_rps     --threshold=0.5
 fi
 
 if wants simd-parity; then
